@@ -1,0 +1,138 @@
+// Ablation (DESIGN.md): the paper's evaluation assumes the data is
+// "equally distributed" over the sites (uniform random placement). Real
+// deployments are rarely uniform — geographically collected data is
+// spatially correlated and site sizes are skewed. This bench quantifies
+// how DBDC's quality depends on the placement, holding everything else
+// fixed.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dbdc.h"
+#include "data/generators.h"
+#include "eval/quality.h"
+
+namespace dbdc {
+namespace {
+
+constexpr int kSites = 8;
+
+struct Row {
+  std::string partitioner;
+  std::string model;
+  double p1 = 0.0;
+  double p2 = 0.0;
+  std::size_t reps = 0;
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+const SyntheticDataset& Workload() {
+  static const auto* synth = new SyntheticDataset(MakeTestDatasetA());
+  return *synth;
+}
+
+const Clustering& CentralReference() {
+  static const auto* central = new Clustering(RunCentralDbscan(
+      Workload().data, Euclidean(), Workload().suggested_params,
+      IndexType::kGrid));
+  return *central;
+}
+
+const Partitioner& PartitionerByIndex(int idx) {
+  static const UniformRandomPartitioner* const uniform =
+      new UniformRandomPartitioner();
+  static const SpatialSlabPartitioner* const slab =
+      new SpatialSlabPartitioner(0);
+  static const SizeSkewedPartitioner* const skewed =
+      new SizeSkewedPartitioner(0.6);
+  switch (idx) {
+    case 0:
+      return *uniform;
+    case 1:
+      return *slab;
+    default:
+      return *skewed;
+  }
+}
+
+void BM_Partitioning(benchmark::State& state, LocalModelType model) {
+  const SyntheticDataset& synth = Workload();
+  const Partitioner& partitioner =
+      PartitionerByIndex(static_cast<int>(state.range(0)));
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.model_type = model;
+  config.num_sites = kSites;
+  config.eps_global = 2.0 * synth.suggested_params.eps;
+  config.partitioner = &partitioner;
+  for (auto _ : state) {
+    const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
+    Row row;
+    row.partitioner = std::string(partitioner.name());
+    row.model = std::string(LocalModelTypeName(model));
+    row.p1 = QualityP1(result.labels, CentralReference().labels,
+                       synth.suggested_params.min_pts);
+    row.p2 = QualityP2(result.labels, CentralReference().labels);
+    row.reps = result.num_representatives;
+    Rows().push_back(row);
+    state.counters["P2"] = row.p2;
+  }
+}
+
+void BM_Scor(benchmark::State& state) {
+  BM_Partitioning(state, LocalModelType::kScor);
+}
+void BM_KMeans(benchmark::State& state) {
+  BM_Partitioning(state, LocalModelType::kKMeans);
+}
+
+void RegisterAll() {
+  for (const int idx : {0, 1, 2}) {
+    benchmark::RegisterBenchmark("partition_rep_scor", BM_Scor)
+        ->Arg(idx)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("partition_rep_kmeans", BM_KMeans)
+        ->Arg(idx)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void PrintPaperTables() {
+  bench::Table table(
+      "Ablation — data placement across sites (data set A, 8 sites, "
+      "Eps_global = 2*Eps_local)");
+  table.SetHeader({"placement", "local model", "P^I [%]", "P^II [%]",
+                   "#reps"});
+  for (const Row& row : Rows()) {
+    table.AddRow({row.partitioner, row.model,
+                  bench::Fmt("%.1f", 100.0 * row.p1),
+                  bench::Fmt("%.1f", 100.0 * row.p2),
+                  bench::Fmt("%zu", row.reps)});
+  }
+  table.Print();
+  std::printf("Expectation: uniform placement (the paper's setting) gives "
+              "the best quality; spatially correlated slabs remain good "
+              "because the global merge reunites split clusters; size "
+              "skew mostly affects the per-site noise floor.\n");
+}
+
+}  // namespace
+}  // namespace dbdc
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  dbdc::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dbdc::PrintPaperTables();
+  return 0;
+}

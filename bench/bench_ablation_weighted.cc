@@ -1,0 +1,103 @@
+// Ablation (extension beyond EDBT'04): the weighted global core
+// condition. Version-2 local models carry per-representative weights
+// (covered object counts); the server can require a minimum *object*
+// weight instead of MinPts_global = 2 representatives to form a global
+// cluster. On the noisy data set B this suppresses global clusters that
+// exist only because a few tiny spurious local clusters touch, at the
+// cost of occasionally dropping genuine thin structures.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dbdc.h"
+#include "data/generators.h"
+#include "eval/quality.h"
+
+namespace dbdc {
+namespace {
+
+constexpr int kSites = 8;
+
+struct Row {
+  std::string dataset;
+  std::string condition;
+  int clusters = 0;
+  double p2 = 0.0;
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+void BM_WeightedCondition(benchmark::State& state) {
+  const int idx = static_cast<int>(state.range(0));
+  const std::uint32_t min_weight = static_cast<std::uint32_t>(state.range(1));
+  const SyntheticDataset synth =
+      idx == 0 ? MakeTestDatasetA() : MakeTestDatasetB();
+  const Clustering central = RunCentralDbscan(
+      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.num_sites = kSites;
+  config.eps_global = 2.0 * synth.suggested_params.eps;
+  config.min_weight_global = min_weight;
+  for (auto _ : state) {
+    const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
+    Row row;
+    row.dataset = synth.name;
+    row.condition = min_weight == 0
+                        ? "unweighted (MinPts=2, paper)"
+                        : bench::Fmt("weighted >= %u objects", min_weight);
+    row.clusters = result.num_global_clusters;
+    row.p2 = QualityP2(result.labels, central.labels);
+    Rows().push_back(row);
+    state.counters["clusters"] = row.clusters;
+    state.counters["P2"] = row.p2;
+  }
+}
+
+void RegisterAll() {
+  for (const int idx : {0, 1}) {
+    for (const int w : {0, 5, 20, 60}) {
+      benchmark::RegisterBenchmark("weighted_global_core",
+                                   BM_WeightedCondition)
+          ->Args({idx, w})
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void PrintPaperTables() {
+  bench::Table table(
+      "Ablation — weighted global core condition (8 sites, Eps_global = "
+      "2*Eps_local)");
+  table.SetHeader({"data set", "server core condition", "global clusters",
+                   "Q_DBDC (P^II) [%]"});
+  for (const Row& row : Rows()) {
+    table.AddRow({row.dataset, row.condition,
+                  bench::Fmt("%d", row.clusters),
+                  bench::Fmt("%.1f", 100.0 * row.p2)});
+  }
+  table.Print();
+  std::printf("Expectation: moderate weights prune singleton/spurious "
+              "global clusters (fewer clusters at equal or better P^II, "
+              "most visible on the noisy set B); extreme weights start "
+              "dropping genuine structure.\n");
+}
+
+}  // namespace
+}  // namespace dbdc
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  dbdc::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dbdc::PrintPaperTables();
+  return 0;
+}

@@ -1,0 +1,163 @@
+// Related-work comparison (paper Sec. 2.2 and Sec. 4): DBDC versus the
+// two families it is contrasted against —
+//  * distributed k-means (Dhillon & Modha [5]): iterative
+//    broadcast/reduce rounds, requires k, assumes globular clusters;
+//  * exact parallel DBSCAN (Xu et al. [21] in spirit): central spatial
+//    partitioning + halo replication + merge, exact but
+//    communication-heavy.
+//
+// Two workloads: the paper-style blob set A (everyone's easy case) and a
+// blob-in-ring set (non-globular — the Sec. 4 argument for density-based
+// clustering). Reported: quality vs the central DBSCAN reference, bytes
+// on the wire, and the overall runtime under the common cost model.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "baseline/distributed_kmeans.h"
+#include "baseline/parallel_dbscan.h"
+#include "bench_util.h"
+#include "core/dbdc.h"
+#include "data/generators.h"
+#include "eval/external_indices.h"
+#include "eval/quality.h"
+
+namespace dbdc {
+namespace {
+
+constexpr int kSites = 4;
+
+struct Row {
+  std::string workload;
+  std::string method;
+  double p2 = 0.0;   // Vs central DBSCAN.
+  double ari = 0.0;  // Vs central DBSCAN.
+  std::uint64_t bytes = 0;
+  double overall_s = 0.0;
+  int clusters = 0;
+};
+
+std::vector<Row>& Rows() {
+  static auto* rows = new std::vector<Row>();
+  return *rows;
+}
+
+struct Workload {
+  std::string name;
+  SyntheticDataset synth;
+  int true_k;
+};
+
+Workload MakeWorkload(int idx) {
+  if (idx == 0) {
+    return {"blobs (set A)", MakeTestDatasetA(), 13};
+  }
+  // Blob inside a ring: non-globular.
+  Workload w;
+  w.name = "ring + blob";
+  w.true_k = 2;
+  w.synth.name = "ring";
+  w.synth.data = Dataset(2);
+  Rng rng(11);
+  AppendBlob({{50.0, 50.0}, 1.5, 2000}, 0, &rng, &w.synth.data,
+             &w.synth.true_labels);
+  AppendRing({50.0, 50.0}, 15.0, 0.5, 4000, 1, &rng, &w.synth.data,
+             &w.synth.true_labels);
+  w.synth.suggested_params = {1.5, 5};
+  w.synth.num_components = 2;
+  return w;
+}
+
+void BM_Comparison(benchmark::State& state) {
+  const Workload workload = MakeWorkload(static_cast<int>(state.range(0)));
+  const SyntheticDataset& synth = workload.synth;
+  const Clustering central = RunCentralDbscan(
+      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+  for (auto _ : state) {
+    // DBDC.
+    DbdcConfig dbdc_config;
+    dbdc_config.local_dbscan = synth.suggested_params;
+    dbdc_config.num_sites = kSites;
+    const DbdcResult dbdc = RunDbdc(synth.data, Euclidean(), dbdc_config);
+    Rows().push_back(
+        {workload.name, "DBDC(REP_Scor)",
+         QualityP2(dbdc.labels, central.labels),
+         AdjustedRandIndex(dbdc.labels, central.labels),
+         dbdc.bytes_uplink + dbdc.bytes_downlink, dbdc.OverallSeconds(),
+         dbdc.num_global_clusters});
+
+    // Exact parallel DBSCAN.
+    ParallelDbscanConfig par_config;
+    par_config.dbscan = synth.suggested_params;
+    par_config.num_workers = kSites;
+    const ParallelDbscanResult par =
+        RunParallelDbscan(synth.data, Euclidean(), par_config);
+    Rows().push_back(
+        {workload.name, "parallel DBSCAN [21]",
+         QualityP2(par.clustering.labels, central.labels),
+         AdjustedRandIndex(par.clustering.labels, central.labels),
+         par.bytes_halo + par.bytes_merge, par.OverallSeconds(),
+         par.clustering.num_clusters});
+
+    // Distributed k-means with the generator's true k.
+    DistributedKMeansConfig km_config;
+    km_config.k = workload.true_k;
+    km_config.num_sites = kSites;
+    const DistributedKMeansResult km =
+        RunDistributedKMeans(synth.data, km_config);
+    Rows().push_back({workload.name, "distributed k-means [5]",
+                      QualityP2(km.labels, central.labels),
+                      AdjustedRandIndex(km.labels, central.labels),
+                      km.bytes_total,
+                      km.max_site_seconds + km.server_seconds,
+                      workload.true_k});
+    state.counters["done"] = 1;
+  }
+}
+
+void RegisterAll() {
+  for (const int idx : {0, 1}) {
+    benchmark::RegisterBenchmark("baseline_comparison", BM_Comparison)
+        ->Arg(idx)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void PrintPaperTables() {
+  bench::Table table(
+      "Related-work comparison — DBDC vs parallel DBSCAN vs distributed "
+      "k-means (4 sites/workers; quality vs central DBSCAN)");
+  table.SetHeader({"workload", "method", "P^II [%]", "ARI", "wire bytes",
+                   "overall [s]", "clusters"});
+  for (const Row& row : Rows()) {
+    table.AddRow({row.workload, row.method,
+                  bench::Fmt("%.1f", 100.0 * row.p2),
+                  bench::Fmt("%.3f", row.ari),
+                  bench::Fmt("%llu",
+                             static_cast<unsigned long long>(row.bytes)),
+                  bench::Fmt("%.4f", row.overall_s),
+                  bench::Fmt("%d", row.clusters)});
+  }
+  table.Print();
+  std::printf(
+      "Expected contrast: parallel DBSCAN is exact (ARI = 1) but ships "
+      "halo points and needs central partitioning; DBDC trades a few "
+      "quality points for far less coordination; distributed k-means "
+      "needs k upfront, ignores noise, and collapses on the non-globular "
+      "workload.\n");
+}
+
+}  // namespace
+}  // namespace dbdc
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  dbdc::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dbdc::PrintPaperTables();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Reproduces Fig. 6 of the DBDC paper: the three test data sets A (8700
+// points, randomly generated clusters), B (4000 points, very noisy) and
+// C (1021 points, 3 clusters). The paper shows scatter plots; this bench
+// prints the structural statistics (cardinality, clusters found by the
+// central DBSCAN reference, noise share) and times generation plus the
+// reference clustering of each set.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dbdc.h"
+#include "data/generators.h"
+
+namespace dbdc {
+namespace {
+
+struct Fig6Row {
+  std::string name;
+  std::size_t n = 0;
+  int components = 0;
+  int dbscan_clusters = 0;
+  double noise_pct = 0.0;
+  double eps = 0.0;
+  int min_pts = 0;
+};
+
+std::vector<Fig6Row>& Rows() {
+  static auto* rows = new std::vector<Fig6Row>();
+  return *rows;
+}
+
+SyntheticDataset MakeByIndex(int idx) {
+  switch (idx) {
+    case 0:
+      return MakeTestDatasetA();
+    case 1:
+      return MakeTestDatasetB();
+    default:
+      return MakeTestDatasetC();
+  }
+}
+
+void BM_GenerateAndCluster(benchmark::State& state) {
+  const int idx = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const SyntheticDataset synth = MakeByIndex(idx);
+    const Clustering central = RunCentralDbscan(
+        synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+    benchmark::DoNotOptimize(central.num_clusters);
+    Fig6Row row;
+    row.name = synth.name;
+    row.n = synth.data.size();
+    row.components = synth.num_components;
+    row.dbscan_clusters = central.num_clusters;
+    row.noise_pct = 100.0 * static_cast<double>(central.CountNoise()) /
+                    static_cast<double>(synth.data.size());
+    row.eps = synth.suggested_params.eps;
+    row.min_pts = synth.suggested_params.min_pts;
+    bool found = false;
+    for (const Fig6Row& existing : Rows()) {
+      if (existing.name == row.name) found = true;
+    }
+    if (!found) Rows().push_back(row);
+    state.counters["clusters"] = central.num_clusters;
+    state.counters["noise_pct"] = row.noise_pct;
+  }
+}
+
+void RegisterAll() {
+  for (const int idx : {0, 1, 2}) {
+    benchmark::RegisterBenchmark("generate_and_cluster",
+                                 BM_GenerateAndCluster)
+        ->Arg(idx)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void PrintPaperTables() {
+  bench::Table table("Fig. 6 — test data sets (paper: A=8700 random "
+                     "clusters, B=4000 very noisy, C=1021 / 3 clusters)");
+  table.SetHeader({"set", "n", "generated components", "DBSCAN clusters",
+                   "noise [%]", "Eps_local", "MinPts"});
+  for (const Fig6Row& row : Rows()) {
+    table.AddRow({row.name, bench::Fmt("%zu", row.n),
+                  bench::Fmt("%d", row.components),
+                  bench::Fmt("%d", row.dbscan_clusters),
+                  bench::Fmt("%.1f", row.noise_pct),
+                  bench::Fmt("%.2f", row.eps),
+                  bench::Fmt("%d", row.min_pts)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace dbdc
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  dbdc::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dbdc::PrintPaperTables();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Reproduces Fig. 8 of the DBDC paper: overall runtime of DBDC(REP_Scor)
+// on a 203,000-point data set as a function of the number of client
+// sites (Fig. 8a), and the speed-up over a central DBSCAN run (Fig. 8b).
+// The paper observes a speed-up "somewhere between O(n) and O(n^2)" in
+// the number of sites, because DBSCAN itself is superlinear in the site
+// cardinality.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dbdc.h"
+#include "data/generators.h"
+
+namespace dbdc {
+namespace {
+
+constexpr std::size_t kN = 203000;
+
+double& CentralSeconds() {
+  static double seconds = 0.0;
+  return seconds;
+}
+
+struct Fig8Row {
+  int sites = 0;
+  double overall_s = 0.0;
+  double max_local_s = 0.0;
+  double global_s = 0.0;
+  std::size_t reps = 0;
+};
+
+std::vector<Fig8Row>& Rows() {
+  static auto* rows = new std::vector<Fig8Row>();
+  return *rows;
+}
+
+const SyntheticDataset& Workload() {
+  static const auto* synth = new SyntheticDataset(MakeScaledDataset(kN));
+  return *synth;
+}
+
+void BM_CentralReference(benchmark::State& state) {
+  const SyntheticDataset& synth = Workload();
+  for (auto _ : state) {
+    double seconds = 0.0;
+    const Clustering result =
+        RunCentralDbscan(synth.data, Euclidean(), synth.suggested_params,
+                         IndexType::kGrid, &seconds);
+    benchmark::DoNotOptimize(result.num_clusters);
+    CentralSeconds() = seconds;
+    state.counters["clusters"] = result.num_clusters;
+  }
+}
+
+void BM_DbdcSites(benchmark::State& state) {
+  const SyntheticDataset& synth = Workload();
+  const int sites = static_cast<int>(state.range(0));
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.model_type = LocalModelType::kScor;
+  config.num_sites = sites;
+  for (auto _ : state) {
+    const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
+    benchmark::DoNotOptimize(result.num_global_clusters);
+    Rows().push_back(Fig8Row{sites, result.OverallSeconds(),
+                             result.max_local_seconds, result.global_seconds,
+                             result.num_representatives});
+    state.counters["overall_s"] = result.OverallSeconds();
+    state.counters["speedup"] = CentralSeconds() / result.OverallSeconds();
+  }
+}
+
+void RegisterAll() {
+  benchmark::RegisterBenchmark("central_dbscan_203k", BM_CentralReference)
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  for (const int sites : {1, 2, 4, 8, 16, 32}) {
+    benchmark::RegisterBenchmark("dbdc_rep_scor_203k", BM_DbdcSites)
+        ->Arg(sites)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void PrintPaperTables() {
+  bench::Table table(
+      "Fig. 8 — DBDC(REP_Scor), 203,000 points: runtime vs #sites (8a) "
+      "and speed-up vs central DBSCAN (8b)");
+  table.SetHeader({"sites", "overall [s]", "max local [s]", "global [s]",
+                   "#reps", "speedup vs central"});
+  for (const Fig8Row& row : Rows()) {
+    table.AddRow({bench::Fmt("%d", row.sites),
+                  bench::Fmt("%.4f", row.overall_s),
+                  bench::Fmt("%.4f", row.max_local_s),
+                  bench::Fmt("%.4f", row.global_s),
+                  bench::Fmt("%zu", row.reps),
+                  bench::Fmt("%.2fx", CentralSeconds() / row.overall_s)});
+  }
+  table.Print();
+  std::printf("central DBSCAN reference: %.4f s\n", CentralSeconds());
+  std::printf("Paper shape check: the speed-up should grow superlinearly "
+              "in the number of sites (between O(s) and O(s^2)) until the "
+              "global clustering starts to dominate.\n");
+}
+
+}  // namespace
+}  // namespace dbdc
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  dbdc::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dbdc::PrintPaperTables();
+  return 0;
+}

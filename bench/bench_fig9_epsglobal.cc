@@ -1,0 +1,136 @@
+// Reproduces Fig. 9 of the DBDC paper: quality Q_DBDC of both local
+// models as a function of the Eps_global parameter (as a multiple of
+// Eps_local), measured with the discrete criterion P^I (Fig. 9a) and the
+// continuous criterion P^II (Fig. 9b) on test data set A with 4 sites.
+//
+// Paper shape: P^I stays flat and high (it cannot discriminate), while
+// P^II peaks around Eps_global = 2 * Eps_local and degrades for very
+// small and very large values.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dbdc.h"
+#include "data/generators.h"
+#include "eval/quality.h"
+
+namespace dbdc {
+namespace {
+
+constexpr int kSites = 4;
+
+struct Fig9Row {
+  double factor = 0.0;
+  double p1_kmeans = 0.0, p2_kmeans = 0.0;
+  double p1_scor = 0.0, p2_scor = 0.0;
+};
+
+std::vector<Fig9Row>& Rows() {
+  static auto* rows = new std::vector<Fig9Row>();
+  return *rows;
+}
+
+Fig9Row& RowFor(double factor) {
+  for (Fig9Row& row : Rows()) {
+    if (row.factor == factor) return row;
+  }
+  Rows().push_back(Fig9Row{factor, 0, 0, 0, 0});
+  return Rows().back();
+}
+
+const SyntheticDataset& Workload() {
+  static const auto* synth = new SyntheticDataset(MakeTestDatasetA());
+  return *synth;
+}
+
+const Clustering& CentralReference() {
+  static const auto* central = new Clustering(RunCentralDbscan(
+      Workload().data, Euclidean(), Workload().suggested_params,
+      IndexType::kGrid));
+  return *central;
+}
+
+void BM_QualityVsEpsGlobal(benchmark::State& state, LocalModelType model) {
+  const SyntheticDataset& synth = Workload();
+  const double factor = static_cast<double>(state.range(0)) / 10.0;
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.model_type = model;
+  config.num_sites = kSites;
+  config.eps_global = factor * synth.suggested_params.eps;
+  for (auto _ : state) {
+    const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
+    const double p1 = QualityP1(result.labels, CentralReference().labels,
+                                synth.suggested_params.min_pts);
+    const double p2 = QualityP2(result.labels, CentralReference().labels);
+    Fig9Row& row = RowFor(factor);
+    if (model == LocalModelType::kKMeans) {
+      row.p1_kmeans = p1;
+      row.p2_kmeans = p2;
+    } else {
+      row.p1_scor = p1;
+      row.p2_scor = p2;
+    }
+    state.counters["P1"] = p1;
+    state.counters["P2"] = p2;
+  }
+}
+
+void BM_KMeans(benchmark::State& state) {
+  BM_QualityVsEpsGlobal(state, LocalModelType::kKMeans);
+}
+void BM_Scor(benchmark::State& state) {
+  BM_QualityVsEpsGlobal(state, LocalModelType::kScor);
+}
+
+void RegisterAll() {
+  // Eps_global factors 1.0, 1.5, 2.0, 2.5, 3.0, 4.0 (x10 as int args).
+  for (const int f : {10, 15, 20, 25, 30, 40}) {
+    benchmark::RegisterBenchmark("quality_rep_kmeans", BM_KMeans)
+        ->Arg(f)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("quality_rep_scor", BM_Scor)
+        ->Arg(f)
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void PrintPaperTables() {
+  bench::Table a("Fig. 9a — Q_DBDC under P^I vs Eps_global (data set A, "
+                 "4 sites)");
+  a.SetHeader({"Eps_global / Eps_local", "P^I REP_kMeans [%]",
+               "P^I REP_Scor [%]"});
+  bench::Table b("Fig. 9b — Q_DBDC under P^II vs Eps_global (data set A, "
+                 "4 sites)");
+  b.SetHeader({"Eps_global / Eps_local", "P^II REP_kMeans [%]",
+               "P^II REP_Scor [%]"});
+  for (const Fig9Row& row : Rows()) {
+    a.AddRow({bench::Fmt("%.1f", row.factor),
+              bench::Fmt("%.1f", 100.0 * row.p1_kmeans),
+              bench::Fmt("%.1f", 100.0 * row.p1_scor)});
+    b.AddRow({bench::Fmt("%.1f", row.factor),
+              bench::Fmt("%.1f", 100.0 * row.p2_kmeans),
+              bench::Fmt("%.1f", 100.0 * row.p2_scor)});
+  }
+  a.Print();
+  b.Print();
+  std::printf("Paper shape check: P^I is flat/high for every Eps_global "
+              "(unsuitable as a criterion); P^II peaks at Eps_global = "
+              "2*Eps_local and falls off for extreme values.\n");
+}
+
+}  // namespace
+}  // namespace dbdc
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  dbdc::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dbdc::PrintPaperTables();
+  return 0;
+}

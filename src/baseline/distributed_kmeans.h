@@ -1,0 +1,55 @@
+#ifndef DBDC_BASELINE_DISTRIBUTED_KMEANS_H_
+#define DBDC_BASELINE_DISTRIBUTED_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "distrib/partitioner.h"
+
+namespace dbdc {
+
+/// Configuration of the distributed k-means baseline.
+struct DistributedKMeansConfig {
+  int k = 8;
+  int num_sites = 4;
+  int max_rounds = 100;
+  double tolerance = 1e-6;
+  std::uint64_t seed = 42;
+  /// Null = uniform random placement (like the DBDC experiments).
+  const Partitioner* partitioner = nullptr;
+};
+
+struct DistributedKMeansResult {
+  /// Centroid assignment per point (k-means has no noise concept).
+  std::vector<ClusterId> labels;
+  std::vector<Point> centroids;
+  int rounds = 0;
+  double inertia = 0.0;
+  /// Bytes moved over the simulated links: per round, the server
+  /// broadcasts k centroids to every site and every site returns k
+  /// partial (sum, count) accumulators.
+  std::uint64_t bytes_total = 0;
+  double max_site_seconds = 0.0;
+  double server_seconds = 0.0;
+};
+
+/// The parallel/distributed k-means of Dhillon & Modha (SIGKDD 1999),
+/// the paper's related-work baseline [5]: k centroids iterate through
+/// broadcast / local-assignment / global-reduction rounds until they
+/// stop moving.
+///
+/// Implemented as the same kind of single-process simulation as DBDC
+/// (sites run sequentially, the cost model charges the slowest site per
+/// round), so runtimes and byte counts are directly comparable. The
+/// paper's critique applies verbatim: k must be chosen by the user, and
+/// non-globular clusters / noise are handled poorly — the
+/// `bench_baseline_comparison` harness demonstrates both.
+DistributedKMeansResult RunDistributedKMeans(
+    const Dataset& data, const DistributedKMeansConfig& config);
+
+}  // namespace dbdc
+
+#endif  // DBDC_BASELINE_DISTRIBUTED_KMEANS_H_

@@ -1,0 +1,224 @@
+#include "baseline/parallel_dbscan.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace dbdc {
+namespace {
+
+/// Union-find over dense component ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+struct WorkerState {
+  std::vector<PointId> local_to_global;  // Owned first, then halo.
+  std::size_t owned_count = 0;
+  Dataset local = Dataset(1);
+  std::unique_ptr<NeighborIndex> index;
+  /// Component id per local point (-1 = unlabeled/noise so far); valid
+  /// after the cluster phase.
+  std::vector<std::int32_t> comp;
+  std::int32_t num_comps = 0;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+ParallelDbscanResult RunParallelDbscan(const Dataset& data,
+                                       const Metric& metric,
+                                       const ParallelDbscanConfig& config) {
+  DBDC_CHECK(config.num_workers >= 1);
+  DBDC_CHECK(config.dbscan.eps > 0.0 && config.dbscan.min_pts >= 1);
+  const std::size_t n = data.size();
+  const int workers = config.num_workers;
+  const int axis = config.slice_axis;
+  DBDC_CHECK(data.dim() > axis);
+
+  ParallelDbscanResult result;
+  result.clustering.labels.assign(n, kNoise);
+  result.clustering.is_core.assign(n, 0);
+  if (n == 0) return result;
+
+  // Central preprocessing (the step DBDC avoids by design): slice the
+  // space into equi-count slabs along `axis`.
+  std::vector<PointId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](PointId a, PointId b) {
+    const double xa = data.point(a)[axis];
+    const double xb = data.point(b)[axis];
+    if (xa != xb) return xa < xb;
+    return a < b;
+  });
+  std::vector<std::pair<std::size_t, std::size_t>> slab(workers);
+  for (int w = 0; w < workers; ++w) {
+    slab[w] = {n * w / workers, n * (w + 1) / workers};
+  }
+
+  // Distribute: every worker gets its owned points plus the halo — all
+  // foreign points within eps of its slab's axis interval.
+  std::vector<WorkerState> states(workers);
+  for (int w = 0; w < workers; ++w) {
+    WorkerState& state = states[w];
+    state.local = Dataset(data.dim());
+    const auto [begin, end] = slab[w];
+    if (begin == end) continue;
+    const double lo = data.point(order[begin])[axis];
+    const double hi = data.point(order[end - 1])[axis];
+    for (std::size_t i = begin; i < end; ++i) {
+      state.local.Add(data.point(order[i]));
+      state.local_to_global.push_back(order[i]);
+    }
+    state.owned_count = state.local_to_global.size();
+    // Halo: scan outward from the slab in the sorted order.
+    for (std::size_t i = begin; i-- > 0;) {
+      if (data.point(order[i])[axis] < lo - config.dbscan.eps) break;
+      state.local.Add(data.point(order[i]));
+      state.local_to_global.push_back(order[i]);
+    }
+    for (std::size_t i = end; i < n; ++i) {
+      if (data.point(order[i])[axis] > hi + config.dbscan.eps) break;
+      state.local.Add(data.point(order[i]));
+      state.local_to_global.push_back(order[i]);
+    }
+    const std::size_t halo = state.local_to_global.size() - state.owned_count;
+    result.total_halo_points += halo;
+    result.bytes_halo +=
+        halo * (data.dim() * sizeof(double) + sizeof(PointId));
+  }
+
+  // Worker phase 1: exact core flags for owned points (their full
+  // eps-neighborhood is guaranteed to be inside owned + halo).
+  std::vector<PointId> neighbors;
+  for (int w = 0; w < workers; ++w) {
+    WorkerState& state = states[w];
+    Timer timer;
+    state.index = CreateIndex(config.index_type, state.local, metric,
+                              config.dbscan.eps);
+    for (std::size_t i = 0; i < state.owned_count; ++i) {
+      state.index->RangeQuery(static_cast<PointId>(i), config.dbscan.eps,
+                              &neighbors);
+      if (static_cast<int>(neighbors.size()) >= config.dbscan.min_pts) {
+        result.clustering.is_core[state.local_to_global[i]] = 1;
+      }
+    }
+    state.seconds += timer.Seconds();
+  }
+  // Core-flag exchange for halo points (owners know the exact flags).
+  result.bytes_merge += result.total_halo_points;  // 1 flag byte each.
+
+  // Worker phase 2: connected components over the (exact) core graph of
+  // owned + halo, then local border attachment.
+  for (int w = 0; w < workers; ++w) {
+    WorkerState& state = states[w];
+    Timer timer;
+    const std::size_t local_n = state.local_to_global.size();
+    state.comp.assign(local_n, -1);
+    std::vector<PointId> queue;
+    for (std::size_t seed = 0; seed < local_n; ++seed) {
+      if (state.comp[seed] >= 0) continue;
+      if (!result.clustering.is_core[state.local_to_global[seed]]) continue;
+      const std::int32_t comp = state.num_comps++;
+      state.comp[seed] = comp;
+      queue.clear();
+      queue.push_back(static_cast<PointId>(seed));
+      for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        state.index->RangeQuery(queue[qi], config.dbscan.eps, &neighbors);
+        for (const PointId r : neighbors) {
+          if (state.comp[r] >= 0) continue;
+          if (!result.clustering.is_core[state.local_to_global[r]]) continue;
+          state.comp[r] = comp;
+          queue.push_back(r);
+        }
+      }
+    }
+    // Border attachment for owned non-core points.
+    for (std::size_t i = 0; i < state.owned_count; ++i) {
+      if (result.clustering.is_core[state.local_to_global[i]]) continue;
+      state.index->RangeQuery(static_cast<PointId>(i), config.dbscan.eps,
+                              &neighbors);
+      for (const PointId r : neighbors) {
+        if (result.clustering.is_core[state.local_to_global[r]]) {
+          state.comp[i] = state.comp[r];
+          break;
+        }
+      }
+    }
+    state.seconds += timer.Seconds();
+    result.max_worker_seconds =
+        std::max(result.max_worker_seconds, state.seconds);
+  }
+
+  // Merge stage: replicated halo cores identify their component in the
+  // visiting worker with their component at the owner.
+  Timer merge_timer;
+  std::vector<std::size_t> comp_offset(workers + 1, 0);
+  for (int w = 0; w < workers; ++w) {
+    comp_offset[w + 1] = comp_offset[w] + states[w].num_comps;
+  }
+  // Owner-side component of every core point.
+  std::vector<std::size_t> owner_comp(n, 0);
+  for (int w = 0; w < workers; ++w) {
+    const WorkerState& state = states[w];
+    for (std::size_t i = 0; i < state.owned_count; ++i) {
+      const PointId g = state.local_to_global[i];
+      if (result.clustering.is_core[g]) {
+        DBDC_CHECK(state.comp[i] >= 0);
+        owner_comp[g] = comp_offset[w] + state.comp[i];
+      }
+    }
+  }
+  UnionFind uf(comp_offset[workers]);
+  for (int w = 0; w < workers; ++w) {
+    const WorkerState& state = states[w];
+    for (std::size_t i = state.owned_count; i < state.local_to_global.size();
+         ++i) {
+      const PointId g = state.local_to_global[i];
+      if (!result.clustering.is_core[g]) continue;
+      DBDC_CHECK(state.comp[i] >= 0);
+      uf.Union(comp_offset[w] + state.comp[i], owner_comp[g]);
+      result.bytes_merge += 2 * sizeof(std::int32_t);  // One merge edge.
+    }
+  }
+  // Final labels for owned points through the union-find, densely
+  // renumbered.
+  std::unordered_map<std::size_t, ClusterId> dense;
+  for (int w = 0; w < workers; ++w) {
+    const WorkerState& state = states[w];
+    for (std::size_t i = 0; i < state.owned_count; ++i) {
+      if (state.comp[i] < 0) continue;  // Noise.
+      const std::size_t root = uf.Find(comp_offset[w] + state.comp[i]);
+      const auto [it, inserted] =
+          dense.emplace(root, static_cast<ClusterId>(dense.size()));
+      result.clustering.labels[state.local_to_global[i]] = it->second;
+    }
+  }
+  result.clustering.num_clusters = static_cast<int>(dense.size());
+  result.merge_seconds = merge_timer.Seconds();
+  return result;
+}
+
+}  // namespace dbdc

@@ -1,0 +1,82 @@
+#include "cluster/dbscan.h"
+
+#include <algorithm>
+
+namespace dbdc {
+
+std::size_t Clustering::CountNoise() const {
+  return static_cast<std::size_t>(
+      std::count(labels.begin(), labels.end(), kNoise));
+}
+
+std::size_t Clustering::CountCore() const {
+  return static_cast<std::size_t>(
+      std::count(is_core.begin(), is_core.end(), std::uint8_t{1}));
+}
+
+std::vector<std::size_t> Clustering::ClusterSizes() const {
+  std::vector<std::size_t> sizes(num_clusters, 0);
+  for (const ClusterId label : labels) {
+    if (label >= 0) ++sizes[label];
+  }
+  return sizes;
+}
+
+Clustering RunDbscan(const NeighborIndex& index, const DbscanParams& params,
+                     DbscanObserver* observer) {
+  DBDC_CHECK(params.eps > 0.0);
+  DBDC_CHECK(params.min_pts >= 1);
+  const Dataset& data = index.data();
+  const std::size_t n = data.size();
+  DBDC_CHECK(index.size() == n && "RunDbscan requires a fully-built index");
+
+  Clustering result;
+  result.labels.assign(n, kUnclassified);
+  result.is_core.assign(n, 0);
+
+  std::vector<PointId> neighbors;
+  std::vector<PointId> seeds;  // FIFO expansion queue of the current cluster.
+  std::vector<PointId> expansion;
+
+  ClusterId next_cluster = 0;
+  for (PointId p = 0; p < static_cast<PointId>(n); ++p) {
+    if (result.labels[p] != kUnclassified) continue;
+    index.RangeQuery(p, params.eps, &neighbors);
+    if (static_cast<int>(neighbors.size()) < params.min_pts) {
+      // Tentative noise; may later be claimed as a border point.
+      result.labels[p] = kNoise;
+      continue;
+    }
+    // p is a core point: start a new cluster and expand it.
+    const ClusterId cluster = next_cluster++;
+    if (observer != nullptr) observer->OnClusterStarted(cluster);
+    result.labels[p] = cluster;
+    result.is_core[p] = 1;
+    if (observer != nullptr) observer->OnCorePoint(p, cluster);
+    seeds.clear();
+    for (const PointId q : neighbors) {
+      if (q == p) continue;
+      if (result.labels[q] == kUnclassified || result.labels[q] == kNoise) {
+        result.labels[q] = cluster;
+        seeds.push_back(q);
+      }
+    }
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      const PointId q = seeds[i];
+      index.RangeQuery(q, params.eps, &expansion);
+      if (static_cast<int>(expansion.size()) < params.min_pts) continue;
+      result.is_core[q] = 1;
+      if (observer != nullptr) observer->OnCorePoint(q, cluster);
+      for (const PointId r : expansion) {
+        if (result.labels[r] == kUnclassified || result.labels[r] == kNoise) {
+          result.labels[r] = cluster;
+          seeds.push_back(r);
+        }
+      }
+    }
+  }
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+}  // namespace dbdc

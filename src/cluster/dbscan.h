@@ -1,0 +1,55 @@
+#ifndef DBDC_CLUSTER_DBSCAN_H_
+#define DBDC_CLUSTER_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/neighbor_index.h"
+
+namespace dbdc {
+
+/// DBSCAN parameters (Ester, Kriegel, Sander, Xu, KDD 1996): a point is a
+/// core point when its eps-neighborhood (inclusive of itself) holds at
+/// least min_pts objects.
+struct DbscanParams {
+  double eps = 0.0;
+  int min_pts = 0;
+};
+
+/// The output of a (DBSCAN-style) flat clustering: per-point labels in
+/// {kNoise} ∪ {0..num_clusters-1} plus per-point core flags.
+struct Clustering {
+  std::vector<ClusterId> labels;
+  std::vector<std::uint8_t> is_core;
+  int num_clusters = 0;
+
+  /// Number of points labeled noise.
+  std::size_t CountNoise() const;
+  /// Number of core points.
+  std::size_t CountCore() const;
+  /// Size of each cluster.
+  std::vector<std::size_t> ClusterSizes() const;
+};
+
+/// Observer of the DBSCAN run. DBDC uses this to compute the complete set
+/// of specific core points "on-the-fly during the DBSCAN run" (Sec. 4):
+/// OnCorePoint fires exactly once per core point, in the order DBSCAN
+/// discovers them, after the point's cluster id is final.
+class DbscanObserver {
+ public:
+  virtual ~DbscanObserver() = default;
+  virtual void OnClusterStarted(ClusterId cluster) = 0;
+  virtual void OnCorePoint(PointId id, ClusterId cluster) = 0;
+};
+
+/// Runs DBSCAN over all points indexed by `index`.
+///
+/// Border points are assigned to the first cluster that reaches them (the
+/// original DBSCAN semantics). The index must cover the whole dataset; the
+/// result vectors are sized index.data().size().
+Clustering RunDbscan(const NeighborIndex& index, const DbscanParams& params,
+                     DbscanObserver* observer = nullptr);
+
+}  // namespace dbdc
+
+#endif  // DBDC_CLUSTER_DBSCAN_H_

@@ -1,0 +1,238 @@
+#include "cluster/incremental_dbscan.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "index/grid_index.h"
+
+namespace dbdc {
+
+IncrementalDbscan::IncrementalDbscan(const DbscanParams& params,
+                                     const Metric& metric, int dim)
+    : params_(params), metric_(&metric), data_(dim) {
+  DBDC_CHECK(params.eps > 0.0);
+  DBDC_CHECK(params.min_pts >= 1);
+  index_ = std::make_unique<GridIndex>(data_, metric, params.eps,
+                                       /*index_all=*/false);
+}
+
+ClusterId IncrementalDbscan::NewCluster() {
+  const ClusterId c = static_cast<ClusterId>(cluster_parent_.size());
+  cluster_parent_.push_back(c);
+  return c;
+}
+
+ClusterId IncrementalDbscan::Find(ClusterId c) const {
+  DBDC_CHECK(c >= 0 && static_cast<std::size_t>(c) < cluster_parent_.size());
+  while (cluster_parent_[c] != c) {
+    cluster_parent_[c] = cluster_parent_[cluster_parent_[c]];
+    c = cluster_parent_[c];
+  }
+  return c;
+}
+
+void IncrementalDbscan::Union(ClusterId a, ClusterId b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return;
+  if (a < b) std::swap(a, b);  // Keep the smaller id as the root.
+  cluster_parent_[a] = b;
+}
+
+ClusterId IncrementalDbscan::CanonicalRaw(PointId id) const {
+  const ClusterId raw = raw_label_[id];
+  return raw >= 0 ? Find(raw) : raw;
+}
+
+ClusterId IncrementalDbscan::Label(PointId id) const {
+  DBDC_CHECK(IsActive(id));
+  return CanonicalRaw(id);
+}
+
+PointId IncrementalDbscan::Insert(std::span<const double> coords) {
+  const PointId id = data_.Add(coords);
+  active_.push_back(true);
+  ++active_count_;
+  raw_label_.push_back(kUnclassified);
+  neighbor_count_.push_back(0);
+  index_->Insert(id);
+
+  std::vector<PointId> neighbors;
+  index_->RangeQuery(id, params_.eps, &neighbors);
+  neighbor_count_[id] = static_cast<int>(neighbors.size());
+
+  // Only points in N_eps(id) can change their core property.
+  std::vector<PointId> changed;  // Newly-core points (possibly id itself).
+  for (const PointId q : neighbors) {
+    if (q == id) continue;
+    ++neighbor_count_[q];
+    if (neighbor_count_[q] == params_.min_pts) changed.push_back(q);
+  }
+  if (neighbor_count_[id] >= params_.min_pts) changed.push_back(id);
+
+  if (changed.empty()) {
+    // No core property changed: id is a border point of the nearest
+    // adjacent core's cluster, or noise.
+    ClusterId best = kNoise;
+    double best_d = std::numeric_limits<double>::max();
+    for (const PointId q : neighbors) {
+      if (q == id || neighbor_count_[q] < params_.min_pts) continue;
+      const double d = metric_->Distance(coords, data_.point(q));
+      if (d < best_d) {
+        best_d = d;
+        best = CanonicalRaw(q);
+      }
+    }
+    raw_label_[id] = best;
+    return id;
+  }
+
+  // For every newly-core point q: all cores in N_eps(q) become mutually
+  // density-connected through q (merge), and every non-core neighbor of q
+  // is at least a border point of q's cluster (absorption).
+  std::vector<PointId> q_neighbors;
+  for (const PointId q : changed) {
+    index_->RangeQuery(q, params_.eps, &q_neighbors);
+    ClusterId target = kNoise;
+    // Merge the clusters of all labeled cores around q (q included).
+    for (const PointId r : q_neighbors) {
+      if (neighbor_count_[r] < params_.min_pts) continue;
+      const ClusterId c = raw_label_[r];
+      if (c < 0) continue;
+      if (target == kNoise) {
+        target = Find(c);
+      } else {
+        Union(target, c);
+        target = Find(target);
+      }
+    }
+    if (target == kNoise) target = NewCluster();  // Creation of a cluster.
+    raw_label_[q] = target;
+    for (const PointId r : q_neighbors) {
+      if (raw_label_[r] == kUnclassified || raw_label_[r] == kNoise) {
+        raw_label_[r] = target;  // Border absorption (covers id as well).
+      }
+    }
+  }
+  // id is within eps of every changed point, so it was absorbed above
+  // unless it is itself core (then it was labeled directly).
+  DBDC_CHECK(raw_label_[id] != kUnclassified);
+  return id;
+}
+
+void IncrementalDbscan::Erase(PointId id) {
+  DBDC_CHECK(IsActive(id));
+  std::vector<PointId> neighbors;
+  index_->RangeQuery(id, params_.eps, &neighbors);
+  index_->Erase(id);
+  active_[id] = false;
+  --active_count_;
+
+  const bool was_core = neighbor_count_[id] >= params_.min_pts;
+  const ClusterId own_cluster = CanonicalRaw(id);
+
+  std::vector<PointId> demoted;  // Cores that lost the core property.
+  for (const PointId q : neighbors) {
+    if (q == id) continue;
+    if (neighbor_count_[q] == params_.min_pts) demoted.push_back(q);
+    --neighbor_count_[q];
+  }
+  neighbor_count_[id] = 0;
+  raw_label_[id] = kUnclassified;
+
+  // Clusters that can shrink or split: those of demoted cores, plus id's
+  // own cluster when id was core. (Removing a border point or noise point
+  // never affects other points' labels beyond the demotions.)
+  std::vector<ClusterId> affected;
+  auto add_affected = [&](ClusterId c) {
+    if (c < 0) return;
+    if (std::find(affected.begin(), affected.end(), c) == affected.end()) {
+      affected.push_back(c);
+    }
+  };
+  if (was_core) add_affected(own_cluster);
+  for (const PointId q : demoted) add_affected(CanonicalRaw(q));
+  if (affected.empty()) return;
+  RecluterAffected(affected);
+}
+
+void IncrementalDbscan::RecluterAffected(
+    const std::vector<ClusterId>& affected) {
+  // Collect the member sets of the affected clusters.
+  std::vector<PointId> members;
+  std::vector<bool> in_members(data_.size(), false);
+  for (PointId p = 0; p < static_cast<PointId>(data_.size()); ++p) {
+    if (!active_[p]) continue;
+    const ClusterId c = CanonicalRaw(p);
+    if (c < 0) continue;
+    if (std::find(affected.begin(), affected.end(), c) != affected.end()) {
+      members.push_back(p);
+      in_members[p] = true;
+      raw_label_[p] = kUnclassified;
+    }
+  }
+  // Re-cluster: connected components of the core graph, restricted to the
+  // affected members (counts are already up to date, so the core property
+  // is global and exact).
+  std::vector<PointId> queue;
+  std::vector<PointId> nbrs;
+  for (const PointId seed : members) {
+    if (raw_label_[seed] != kUnclassified) continue;
+    if (neighbor_count_[seed] < params_.min_pts) continue;
+    const ClusterId cluster = NewCluster();
+    raw_label_[seed] = cluster;
+    queue.clear();
+    queue.push_back(seed);
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      index_->RangeQuery(queue[i], params_.eps, &nbrs);
+      for (const PointId r : nbrs) {
+        if (!in_members[r] || raw_label_[r] != kUnclassified) continue;
+        if (neighbor_count_[r] < params_.min_pts) continue;
+        raw_label_[r] = cluster;
+        queue.push_back(r);
+      }
+    }
+  }
+  // Attach border points: any remaining member joins the cluster of its
+  // nearest adjacent core (from any cluster), or becomes noise.
+  for (const PointId p : members) {
+    if (raw_label_[p] != kUnclassified) continue;
+    index_->RangeQuery(p, params_.eps, &nbrs);
+    ClusterId best = kNoise;
+    double best_d = std::numeric_limits<double>::max();
+    for (const PointId r : nbrs) {
+      if (r == p || neighbor_count_[r] < params_.min_pts) continue;
+      const double d = metric_->Distance(data_.point(p), data_.point(r));
+      if (d < best_d) {
+        best_d = d;
+        best = CanonicalRaw(r);
+      }
+    }
+    raw_label_[p] = best;
+  }
+}
+
+Clustering IncrementalDbscan::Snapshot() const {
+  Clustering result;
+  result.labels.assign(data_.size(), kUnclassified);
+  result.is_core.assign(data_.size(), 0);
+  std::unordered_map<ClusterId, ClusterId> dense;
+  for (PointId p = 0; p < static_cast<PointId>(data_.size()); ++p) {
+    if (!active_[p]) continue;
+    const ClusterId c = CanonicalRaw(p);
+    if (c < 0) {
+      result.labels[p] = kNoise;
+      continue;
+    }
+    const auto [it, inserted] =
+        dense.emplace(c, static_cast<ClusterId>(dense.size()));
+    result.labels[p] = it->second;
+    if (neighbor_count_[p] >= params_.min_pts) result.is_core[p] = 1;
+  }
+  result.num_clusters = static_cast<int>(dense.size());
+  return result;
+}
+
+}  // namespace dbdc

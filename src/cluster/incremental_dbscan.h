@@ -1,0 +1,102 @@
+#ifndef DBDC_CLUSTER_INCREMENTAL_DBSCAN_H_
+#define DBDC_CLUSTER_INCREMENTAL_DBSCAN_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "common/dataset.h"
+#include "common/distance.h"
+#include "index/neighbor_index.h"
+
+namespace dbdc {
+
+/// Incrementally maintained DBSCAN clustering (after Ester, Kriegel,
+/// Sander, Wimmer, Xu: "Incremental Clustering for Mining in a Data
+/// Warehousing Environment", VLDB 1998).
+///
+/// The DBDC paper names the existence of this algorithm as one reason for
+/// choosing DBSCAN locally: a site only re-transmits its local model when
+/// its clustering changed considerably, and this class is what keeps the
+/// local clustering current under insertions and deletions.
+///
+/// Semantics: after any sequence of Insert/Erase calls, the maintained
+/// labeling is a valid DBSCAN clustering of the active points — the core
+/// points and their partition into clusters match a batch run exactly;
+/// border points are assigned to the cluster of *one* of their adjacent
+/// cores (which batch DBSCAN also only guarantees up to visit order).
+///
+/// Insertions are handled by the update-seed analysis of the paper
+/// (absorption / creation / merge); deletions re-cluster only the affected
+/// clusters (potential splits), identified via the cores that lost their
+/// core property.
+class IncrementalDbscan {
+ public:
+  /// `params.eps` also sizes the dynamic grid index cells.
+  IncrementalDbscan(const DbscanParams& params, const Metric& metric,
+                    int dim);
+
+  IncrementalDbscan(const IncrementalDbscan&) = delete;
+  IncrementalDbscan& operator=(const IncrementalDbscan&) = delete;
+
+  /// Adds a point and updates the clustering. Returns its id.
+  PointId Insert(std::span<const double> coords);
+
+  /// Removes an active point and updates the clustering.
+  void Erase(PointId id);
+
+  /// Whether `id` has been inserted and not erased.
+  bool IsActive(PointId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < active_.size() &&
+           active_[id];
+  }
+
+  /// Canonical cluster label of an active point (kNoise for noise). Labels
+  /// are stable names, not dense: use Snapshot() for a dense relabeling.
+  ClusterId Label(PointId id) const;
+
+  /// Whether an active point currently satisfies the core condition.
+  bool IsCore(PointId id) const {
+    DBDC_CHECK(IsActive(id));
+    return neighbor_count_[id] >= params_.min_pts;
+  }
+
+  /// Dense-labeled view of the current clustering. Labels of erased points
+  /// are kUnclassified; active points are labeled 0..num_clusters-1 or
+  /// kNoise.
+  Clustering Snapshot() const;
+
+  /// Number of active points.
+  std::size_t size() const { return active_count_; }
+
+  const Dataset& data() const { return data_; }
+  const DbscanParams& params() const { return params_; }
+
+ private:
+  ClusterId NewCluster();
+  ClusterId Find(ClusterId c) const;
+  void Union(ClusterId a, ClusterId b);
+  /// Canonical label of `id`'s raw label, or kNoise/kUnclassified.
+  ClusterId CanonicalRaw(PointId id) const;
+  /// Re-clusters the member sets of the given canonical clusters from
+  /// scratch (cores first, then border attachment). Used after deletions.
+  void RecluterAffected(const std::vector<ClusterId>& affected);
+
+  DbscanParams params_;
+  const Metric* metric_;
+  Dataset data_;
+  std::unique_ptr<NeighborIndex> index_;  // Over active points only.
+  std::vector<bool> active_;
+  std::size_t active_count_ = 0;
+  /// |N_eps| among active points, including the point itself.
+  std::vector<int> neighbor_count_;
+  /// Raw (pre-union-find) cluster label per point.
+  std::vector<ClusterId> raw_label_;
+  /// Union-find forest over raw cluster ids (merges from insertions).
+  mutable std::vector<ClusterId> cluster_parent_;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_CLUSTER_INCREMENTAL_DBSCAN_H_

@@ -1,0 +1,157 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dbdc {
+namespace {
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+KMeansResult RunKMeans(const Dataset& data,
+                       const std::vector<PointId>& members,
+                       const std::vector<Point>& initial_centroids,
+                       const KMeansParams& params) {
+  const int k = static_cast<int>(initial_centroids.size());
+  DBDC_CHECK(k >= 1);
+  DBDC_CHECK(!members.empty());
+  const int dim = data.dim();
+  for (const Point& c : initial_centroids) {
+    DBDC_CHECK(static_cast<int>(c.size()) == dim);
+  }
+
+  KMeansResult result;
+  result.centroids = initial_centroids;
+  result.assignment.assign(members.size(), 0);
+
+  std::vector<Point> sums(k, Point(dim, 0.0));
+  std::vector<std::size_t> counts(k, 0);
+
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const auto p = data.point(members[i]);
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        const double d = SquaredDistance(p, result.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      result.assignment[i] = best;
+    }
+    // Update step.
+    for (int c = 0; c < k; ++c) {
+      std::fill(sums[c].begin(), sums[c].end(), 0.0);
+      counts[c] = 0;
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const auto p = data.point(members[i]);
+      const int c = result.assignment[i];
+      for (int d = 0; d < dim; ++d) sums[c][d] += p[d];
+      ++counts[c];
+    }
+    // Empty-cluster repair: reseed at the member farthest from its own
+    // centroid, so k stays constant (DBDC relies on |Scor_C| centroids).
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] != 0) continue;
+      // Donor points must come from clusters that keep at least one member.
+      std::size_t far_i = members.size();
+      double far_d = -1.0;
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (counts[result.assignment[i]] < 2) continue;
+        const double d = SquaredDistance(
+            data.point(members[i]), result.centroids[result.assignment[i]]);
+        if (d > far_d) {
+          far_d = d;
+          far_i = i;
+        }
+      }
+      if (far_i == members.size()) continue;  // Fewer members than centroids.
+      const auto p = data.point(members[far_i]);
+      // Move the farthest point into the empty cluster.
+      const int old = result.assignment[far_i];
+      for (int d = 0; d < dim; ++d) {
+        sums[old][d] -= p[d];
+        sums[c][d] += p[d];
+      }
+      --counts[old];
+      ++counts[c];
+      result.assignment[far_i] = c;
+    }
+    double max_shift = 0.0;
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // Fewer members than centroids.
+      Point updated(dim);
+      for (int d = 0; d < dim; ++d) {
+        updated[d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+      max_shift = std::max(
+          max_shift, std::sqrt(SquaredDistance(updated, result.centroids[c])));
+      result.centroids[c] = std::move(updated);
+    }
+    if (max_shift <= params.tolerance) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    result.inertia += SquaredDistance(data.point(members[i]),
+                                      result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+std::vector<Point> KMeansPlusPlusInit(const Dataset& data,
+                                      const std::vector<PointId>& members,
+                                      int k, Rng* rng) {
+  DBDC_CHECK(k >= 1);
+  DBDC_CHECK(!members.empty());
+  std::vector<Point> centroids;
+  centroids.reserve(k);
+  const auto first =
+      data.point(members[rng->UniformInt(0, members.size() - 1)]);
+  centroids.emplace_back(first.begin(), first.end());
+  std::vector<double> best_d2(members.size(),
+                              std::numeric_limits<double>::max());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      best_d2[i] = std::min(
+          best_d2[i], SquaredDistance(data.point(members[i]),
+                                      centroids.back()));
+      total += best_d2[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double r = rng->Uniform(0.0, total);
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        r -= best_d2[i];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<std::size_t>(
+          rng->UniformInt(0, members.size() - 1));
+    }
+    const auto p = data.point(members[chosen]);
+    centroids.emplace_back(p.begin(), p.end());
+  }
+  return centroids;
+}
+
+}  // namespace dbdc

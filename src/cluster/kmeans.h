@@ -1,0 +1,52 @@
+#ifndef DBDC_CLUSTER_KMEANS_H_
+#define DBDC_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/distance.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace dbdc {
+
+/// Lloyd's k-means configuration.
+struct KMeansParams {
+  int max_iterations = 100;
+  /// Converged when no centroid moves farther than this between rounds.
+  double tolerance = 1e-9;
+};
+
+/// Result of a k-means run on a subset of a dataset.
+struct KMeansResult {
+  /// Final centroids (row-major coordinate vectors), exactly k of them.
+  std::vector<Point> centroids;
+  /// assignment[i] = centroid index of the i-th input point.
+  std::vector<int> assignment;
+  /// Sum of squared distances of points to their centroid.
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+/// Runs Lloyd's k-means on the points `members` of `data`, starting from
+/// the given `initial_centroids` (their count fixes k).
+///
+/// DBDC's REP_kMeans local model calls this per local cluster with the
+/// specific core points as starting centers (Sec. 5.2). Distances use the
+/// Euclidean metric (centroid averaging assumes a vector space). Empty
+/// clusters are repaired by reseeding the centroid at the point farthest
+/// from its current centroid, keeping k constant.
+KMeansResult RunKMeans(const Dataset& data, const std::vector<PointId>& members,
+                       const std::vector<Point>& initial_centroids,
+                       const KMeansParams& params);
+
+/// Chooses k starting centroids from `members` with the k-means++
+/// strategy (for standalone k-means use; DBDC seeds from specific core
+/// points instead).
+std::vector<Point> KMeansPlusPlusInit(const Dataset& data,
+                                      const std::vector<PointId>& members,
+                                      int k, Rng* rng);
+
+}  // namespace dbdc
+
+#endif  // DBDC_CLUSTER_KMEANS_H_

@@ -1,0 +1,110 @@
+#include "cluster/optics.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace dbdc {
+
+OpticsResult RunOptics(const NeighborIndex& index,
+                       const OpticsParams& params) {
+  DBDC_CHECK(params.eps > 0.0);
+  DBDC_CHECK(params.min_pts >= 1);
+  const Dataset& data = index.data();
+  const std::size_t n = data.size();
+  DBDC_CHECK(index.size() == n && "RunOptics requires a fully-built index");
+  const Metric& metric = index.metric();
+
+  OpticsResult result;
+  result.ordering.reserve(n);
+  result.reachability.assign(n, OpticsResult::kUndefined);
+  result.core_distance.assign(n, OpticsResult::kUndefined);
+
+  std::vector<bool> processed(n, false);
+  std::vector<PointId> neighbors;
+  std::vector<double> neighbor_dist;
+
+  // Computes the core distance of p and caches neighbors/distances.
+  auto load_neighborhood = [&](PointId p) {
+    index.RangeQuery(p, params.eps, &neighbors);
+    neighbor_dist.resize(neighbors.size());
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      neighbor_dist[i] =
+          metric.Distance(data.point(p), data.point(neighbors[i]));
+    }
+    if (static_cast<int>(neighbors.size()) >= params.min_pts) {
+      std::vector<double> sorted = neighbor_dist;
+      std::nth_element(sorted.begin(), sorted.begin() + (params.min_pts - 1),
+                       sorted.end());
+      result.core_distance[p] = sorted[params.min_pts - 1];
+    } else {
+      result.core_distance[p] = OpticsResult::kUndefined;
+    }
+  };
+
+  // Lazy-deletion min-heap of (reachability, id); stale entries are
+  // skipped by comparing against the authoritative reachability array.
+  using Seed = std::pair<double, PointId>;
+  std::priority_queue<Seed, std::vector<Seed>, std::greater<>> seeds;
+
+  auto update_seeds = [&](PointId p) {
+    const double core_d = result.core_distance[p];
+    if (core_d == OpticsResult::kUndefined) return;
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const PointId q = neighbors[i];
+      if (processed[q]) continue;
+      const double new_reach = std::max(core_d, neighbor_dist[i]);
+      if (new_reach < result.reachability[q]) {
+        result.reachability[q] = new_reach;
+        seeds.emplace(new_reach, q);
+      }
+    }
+  };
+
+  for (PointId start = 0; start < static_cast<PointId>(n); ++start) {
+    if (processed[start]) continue;
+    load_neighborhood(start);
+    processed[start] = true;
+    result.ordering.push_back(start);
+    update_seeds(start);
+    while (!seeds.empty()) {
+      const auto [reach, q] = seeds.top();
+      seeds.pop();
+      if (processed[q] || reach != result.reachability[q]) continue;  // Stale.
+      load_neighborhood(q);
+      processed[q] = true;
+      result.ordering.push_back(q);
+      update_seeds(q);
+    }
+  }
+  return result;
+}
+
+Clustering ExtractDbscanClustering(const OpticsResult& optics,
+                                   double eps_prime) {
+  const std::size_t n = optics.ordering.size();
+  Clustering result;
+  result.labels.assign(n, kNoise);
+  result.is_core.assign(n, 0);
+  ClusterId current = kNoise;
+  ClusterId next_cluster = 0;
+  for (const PointId p : optics.ordering) {
+    if (optics.reachability[p] > eps_prime) {
+      if (optics.core_distance[p] <= eps_prime) {
+        current = next_cluster++;
+        result.labels[p] = current;
+      } else {
+        result.labels[p] = kNoise;
+        current = kNoise;
+      }
+    } else {
+      // Density-reachable from the preceding part of the ordering.
+      result.labels[p] = current;
+    }
+    if (optics.core_distance[p] <= eps_prime) result.is_core[p] = 1;
+  }
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+}  // namespace dbdc

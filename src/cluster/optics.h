@@ -1,0 +1,47 @@
+#ifndef DBDC_CLUSTER_OPTICS_H_
+#define DBDC_CLUSTER_OPTICS_H_
+
+#include <limits>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "index/neighbor_index.h"
+
+namespace dbdc {
+
+/// OPTICS parameters: the generating distance `eps` bounds the
+/// neighborhoods considered; `min_pts` as in DBSCAN.
+struct OpticsParams {
+  double eps = 0.0;
+  int min_pts = 0;
+};
+
+/// The cluster-ordering produced by OPTICS (Ankerst, Breunig, Kriegel,
+/// Sander, SIGMOD 1999). The paper discusses OPTICS as an alternative way
+/// to build the DBDC global model: one run supports extracting a flat
+/// clustering for any eps' <= eps without re-clustering.
+struct OpticsResult {
+  /// Marks an undefined reachability/core distance.
+  static constexpr double kUndefined = std::numeric_limits<double>::infinity();
+
+  /// Visit order of all points.
+  std::vector<PointId> ordering;
+  /// Per point (indexed by PointId): reachability distance.
+  std::vector<double> reachability;
+  /// Per point (indexed by PointId): core distance.
+  std::vector<double> core_distance;
+};
+
+/// Computes the OPTICS cluster-ordering of all indexed points.
+OpticsResult RunOptics(const NeighborIndex& index, const OpticsParams& params);
+
+/// Extracts the DBSCAN-equivalent flat clustering for `eps_prime` from an
+/// OPTICS ordering (requires eps_prime <= the generating eps and the same
+/// min_pts). Core flags are set for points with core distance <=
+/// eps_prime.
+Clustering ExtractDbscanClustering(const OpticsResult& optics,
+                                   double eps_prime);
+
+}  // namespace dbdc
+
+#endif  // DBDC_CLUSTER_OPTICS_H_

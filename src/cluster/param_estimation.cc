@@ -1,0 +1,50 @@
+#include "cluster/param_estimation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbdc {
+
+std::vector<double> SortedKDistances(const NeighborIndex& index, int k) {
+  DBDC_CHECK(k >= 1);
+  const Dataset& data = index.data();
+  const Metric& metric = index.metric();
+  std::vector<double> kdist;
+  kdist.reserve(data.size());
+  std::vector<PointId> knn;
+  for (PointId p = 0; p < static_cast<PointId>(data.size()); ++p) {
+    // k-th nearest other point = (k+1)-th including the point itself.
+    index.KnnQuery(data.point(p), k + 1, &knn);
+    if (static_cast<int>(knn.size()) < k + 1) continue;  // Tiny dataset.
+    kdist.push_back(metric.Distance(data.point(p), data.point(knn[k])));
+  }
+  std::sort(kdist.begin(), kdist.end(), std::greater<>());
+  return kdist;
+}
+
+double SuggestEps(const NeighborIndex& index, int min_pts) {
+  DBDC_CHECK(min_pts >= 2);
+  const std::vector<double> kdist = SortedKDistances(index, min_pts - 1);
+  const std::size_t n = kdist.size();
+  if (n < 3) return 0.0;
+  // Knee = curve point with maximum distance to the chord from the first
+  // to the last point of the sorted k-dist graph.
+  const double x0 = 0.0, y0 = kdist.front();
+  const double x1 = static_cast<double>(n - 1), y1 = kdist.back();
+  const double dx = x1 - x0, dy = y1 - y0;
+  const double norm = std::sqrt(dx * dx + dy * dy);
+  std::size_t best_i = 0;
+  double best_d = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d =
+        std::fabs(dy * (static_cast<double>(i) - x0) - dx * (kdist[i] - y0)) /
+        norm;
+    if (d > best_d) {
+      best_d = d;
+      best_i = i;
+    }
+  }
+  return kdist[best_i];
+}
+
+}  // namespace dbdc

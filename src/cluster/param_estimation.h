@@ -1,0 +1,26 @@
+#ifndef DBDC_CLUSTER_PARAM_ESTIMATION_H_
+#define DBDC_CLUSTER_PARAM_ESTIMATION_H_
+
+#include <vector>
+
+#include "index/neighbor_index.h"
+
+namespace dbdc {
+
+/// The sorted k-dist graph from the DBSCAN paper (Sec. 4.2): for every
+/// indexed point, the distance to its k-th nearest *other* neighbor,
+/// sorted in descending order. Its "valley"/knee separates noise (left,
+/// large k-dist) from cluster points (right, small k-dist), and the
+/// k-dist value at the knee is the suggested Eps.
+std::vector<double> SortedKDistances(const NeighborIndex& index, int k);
+
+/// Suggests a DBSCAN Eps for the indexed data with min_pts = k + 1,
+/// using the maximum-deviation knee heuristic on the sorted k-dist
+/// graph: the knee is the point of the curve farthest from the straight
+/// line connecting its endpoints. Returns 0 for datasets with fewer
+/// than 3 points.
+double SuggestEps(const NeighborIndex& index, int min_pts);
+
+}  // namespace dbdc
+
+#endif  // DBDC_CLUSTER_PARAM_ESTIMATION_H_

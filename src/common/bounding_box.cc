@@ -1,0 +1,94 @@
+#include "common/bounding_box.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dbdc {
+
+BoundingBox::BoundingBox(int dim)
+    : lo_(dim, std::numeric_limits<double>::max()),
+      hi_(dim, std::numeric_limits<double>::lowest()) {
+  DBDC_CHECK(dim >= 1);
+}
+
+BoundingBox BoundingBox::FromPoint(std::span<const double> p) {
+  BoundingBox box(static_cast<int>(p.size()));
+  box.Extend(p);
+  return box;
+}
+
+void BoundingBox::Extend(std::span<const double> p) {
+  DBDC_CHECK(static_cast<int>(p.size()) == dim());
+  for (int i = 0; i < dim(); ++i) {
+    lo_[i] = std::min(lo_[i], p[i]);
+    hi_[i] = std::max(hi_[i], p[i]);
+  }
+  empty_ = false;
+}
+
+void BoundingBox::Extend(const BoundingBox& other) {
+  DBDC_CHECK(other.dim() == dim());
+  if (other.empty_) return;
+  for (int i = 0; i < dim(); ++i) {
+    lo_[i] = std::min(lo_[i], other.lo_[i]);
+    hi_[i] = std::max(hi_[i], other.hi_[i]);
+  }
+  empty_ = false;
+}
+
+bool BoundingBox::Contains(std::span<const double> p) const {
+  if (empty_) return false;
+  for (int i = 0; i < dim(); ++i) {
+    if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+bool BoundingBox::Intersects(const BoundingBox& other) const {
+  if (empty_ || other.empty_) return false;
+  for (int i = 0; i < dim(); ++i) {
+    if (lo_[i] > other.hi_[i] || other.lo_[i] > hi_[i]) return false;
+  }
+  return true;
+}
+
+double BoundingBox::Margin() const {
+  if (empty_) return 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < dim(); ++i) sum += hi_[i] - lo_[i];
+  return sum;
+}
+
+double BoundingBox::Volume() const {
+  if (empty_) return 0.0;
+  double vol = 1.0;
+  for (int i = 0; i < dim(); ++i) vol *= hi_[i] - lo_[i];
+  return vol;
+}
+
+double BoundingBox::OverlapVolume(const BoundingBox& other) const {
+  if (empty_ || other.empty_) return 0.0;
+  double vol = 1.0;
+  for (int i = 0; i < dim(); ++i) {
+    const double side =
+        std::min(hi_[i], other.hi_[i]) - std::max(lo_[i], other.lo_[i]);
+    if (side <= 0.0) return 0.0;
+    vol *= side;
+  }
+  return vol;
+}
+
+double BoundingBox::Enlargement(const BoundingBox& other) const {
+  BoundingBox merged = *this;
+  merged.Extend(other);
+  return merged.Volume() - Volume();
+}
+
+std::vector<double> BoundingBox::Center() const {
+  DBDC_CHECK(!empty_);
+  std::vector<double> c(dim());
+  for (int i = 0; i < dim(); ++i) c[i] = 0.5 * (lo_[i] + hi_[i]);
+  return c;
+}
+
+}  // namespace dbdc

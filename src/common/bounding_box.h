@@ -1,0 +1,63 @@
+#ifndef DBDC_COMMON_BOUNDING_BOX_H_
+#define DBDC_COMMON_BOUNDING_BOX_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dbdc {
+
+/// An axis-aligned d-dimensional rectangle, used by the grid index and the
+/// R*-tree. An empty (default) box contains nothing and unions as identity.
+class BoundingBox {
+ public:
+  /// Creates the empty box of dimension `dim`.
+  explicit BoundingBox(int dim);
+
+  /// Creates the degenerate box covering a single point.
+  static BoundingBox FromPoint(std::span<const double> p);
+
+  /// Extends the box to cover `p`.
+  void Extend(std::span<const double> p);
+
+  /// Extends the box to cover `other` (dimensions must match).
+  void Extend(const BoundingBox& other);
+
+  /// True when the box covers no point (never extended).
+  bool empty() const { return empty_; }
+
+  /// True when `p` lies inside the box (inclusive).
+  bool Contains(std::span<const double> p) const;
+
+  /// True when the two boxes share at least one point.
+  bool Intersects(const BoundingBox& other) const;
+
+  /// Sum of side lengths ("margin" in R*-tree terms).
+  double Margin() const;
+
+  /// d-dimensional volume (product of side lengths).
+  double Volume() const;
+
+  /// Volume of the intersection with `other` (0 when disjoint).
+  double OverlapVolume(const BoundingBox& other) const;
+
+  /// Volume increase required to also cover `other`.
+  double Enlargement(const BoundingBox& other) const;
+
+  /// Coordinates of the box center.
+  std::vector<double> Center() const;
+
+  int dim() const { return static_cast<int>(lo_.size()); }
+  std::span<const double> lo() const { return lo_; }
+  std::span<const double> hi() const { return hi_; }
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+  bool empty_ = true;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_COMMON_BOUNDING_BOX_H_

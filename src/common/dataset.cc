@@ -1,0 +1,19 @@
+#include "common/dataset.h"
+
+namespace dbdc {
+
+Dataset::Dataset(int dim) : dim_(dim) { DBDC_CHECK(dim >= 1); }
+
+PointId Dataset::Add(std::span<const double> coords) {
+  DBDC_CHECK(static_cast<int>(coords.size()) == dim_);
+  const PointId id = static_cast<PointId>(size());
+  data_.insert(data_.end(), coords.begin(), coords.end());
+  return id;
+}
+
+void Dataset::Append(const Dataset& other) {
+  DBDC_CHECK(other.dim() == dim_);
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+}
+
+}  // namespace dbdc

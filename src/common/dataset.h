@@ -1,0 +1,59 @@
+#ifndef DBDC_COMMON_DATASET_H_
+#define DBDC_COMMON_DATASET_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dbdc {
+
+/// A collection of d-dimensional points with dense integer ids.
+///
+/// Storage is a single flat array (row-major), so a point is a contiguous
+/// span of `dim()` doubles. Points are append-only; ids are assigned in
+/// insertion order starting at 0. Indices built over a Dataset hold a
+/// non-owning pointer, so a Dataset must outlive any index built on it.
+class Dataset {
+ public:
+  /// Creates an empty dataset of points with `dim` coordinates (dim >= 1).
+  explicit Dataset(int dim);
+
+  Dataset(const Dataset&) = default;
+  Dataset& operator=(const Dataset&) = default;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  /// Appends a point; `coords.size()` must equal `dim()`. Returns its id.
+  PointId Add(std::span<const double> coords);
+
+  /// Appends every point of `other` (dimensions must match).
+  void Append(const Dataset& other);
+
+  /// Coordinates of point `id`.
+  std::span<const double> point(PointId id) const {
+    DBDC_CHECK(id >= 0 && static_cast<std::size_t>(id) < size());
+    return {data_.data() + static_cast<std::size_t>(id) * dim_,
+            static_cast<std::size_t>(dim_)};
+  }
+
+  /// Number of points.
+  std::size_t size() const { return data_.size() / dim_; }
+
+  bool empty() const { return data_.empty(); }
+
+  /// Dimensionality of every point.
+  int dim() const { return dim_; }
+
+  /// Reserves storage for `n` points.
+  void Reserve(std::size_t n) { data_.reserve(n * dim_); }
+
+ private:
+  int dim_;
+  std::vector<double> data_;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_COMMON_DATASET_H_

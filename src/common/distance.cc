@@ -1,0 +1,115 @@
+#include "common/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace dbdc {
+namespace {
+
+// Per-axis distance from coordinate x to the interval [lo, hi].
+inline double AxisDelta(double x, double lo, double hi) {
+  if (x < lo) return lo - x;
+  if (x > hi) return x - hi;
+  return 0.0;
+}
+
+class EuclideanMetric final : public Metric {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override {
+    DBDC_CHECK(a.size() == b.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double d = a[i] - b[i];
+      sum += d * d;
+    }
+    return std::sqrt(sum);
+  }
+
+  double MinDistanceToBox(std::span<const double> p,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const double d = AxisDelta(p[i], lo[i], hi[i]);
+      sum += d * d;
+    }
+    return std::sqrt(sum);
+  }
+
+  std::string_view name() const override { return "euclidean"; }
+};
+
+class ManhattanMetric final : public Metric {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override {
+    DBDC_CHECK(a.size() == b.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+    return sum;
+  }
+
+  double MinDistanceToBox(std::span<const double> p,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i)
+      sum += AxisDelta(p[i], lo[i], hi[i]);
+    return sum;
+  }
+
+  std::string_view name() const override { return "manhattan"; }
+};
+
+class ChebyshevMetric final : public Metric {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override {
+    DBDC_CHECK(a.size() == b.size());
+    double best = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      best = std::max(best, std::fabs(a[i] - b[i]));
+    return best;
+  }
+
+  double MinDistanceToBox(std::span<const double> p,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override {
+    double best = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i)
+      best = std::max(best, AxisDelta(p[i], lo[i], hi[i]));
+    return best;
+  }
+
+  std::string_view name() const override { return "chebyshev"; }
+};
+
+}  // namespace
+
+const Metric& Euclidean() {
+  static const EuclideanMetric* const kMetric = new EuclideanMetric();
+  return *kMetric;
+}
+
+const Metric& Manhattan() {
+  static const ManhattanMetric* const kMetric = new ManhattanMetric();
+  return *kMetric;
+}
+
+const Metric& Chebyshev() {
+  static const ChebyshevMetric* const kMetric = new ChebyshevMetric();
+  return *kMetric;
+}
+
+const Metric* MetricByName(std::string_view name) {
+  if (name == "euclidean") return &Euclidean();
+  if (name == "manhattan") return &Manhattan();
+  if (name == "chebyshev") return &Chebyshev();
+  return nullptr;
+}
+
+}  // namespace dbdc

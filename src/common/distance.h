@@ -1,0 +1,49 @@
+#ifndef DBDC_COMMON_DISTANCE_H_
+#define DBDC_COMMON_DISTANCE_H_
+
+#include <span>
+#include <string_view>
+
+namespace dbdc {
+
+/// A distance function on coordinate vectors.
+///
+/// DBSCAN and the spatial indices are metric-generic: the paper stresses
+/// that DBSCAN "can be used for all kinds of metric data spaces and is not
+/// confined to vector spaces". Implementations must satisfy the metric
+/// axioms (the M-tree relies on the triangle inequality for pruning).
+///
+/// For the box-based indices (grid, k-d tree, R*-tree) a metric must also
+/// provide a lower bound of the distance from a point to an axis-aligned
+/// box; any Lp metric admits this via per-axis deltas.
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  /// Distance between two points of equal dimensionality.
+  virtual double Distance(std::span<const double> a,
+                          std::span<const double> b) const = 0;
+
+  /// Lower bound of Distance(p, x) over all x inside the box [lo, hi].
+  /// Zero when p lies inside the box.
+  virtual double MinDistanceToBox(std::span<const double> p,
+                                  std::span<const double> lo,
+                                  std::span<const double> hi) const = 0;
+
+  /// Human-readable metric name ("euclidean", ...).
+  virtual std::string_view name() const = 0;
+};
+
+/// The standard L2 metric.
+const Metric& Euclidean();
+/// The L1 (city-block) metric.
+const Metric& Manhattan();
+/// The L-infinity (maximum) metric.
+const Metric& Chebyshev();
+
+/// Looks up a metric by name; returns nullptr for unknown names.
+const Metric* MetricByName(std::string_view name);
+
+}  // namespace dbdc
+
+#endif  // DBDC_COMMON_DISTANCE_H_

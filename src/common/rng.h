@@ -1,0 +1,46 @@
+#ifndef DBDC_COMMON_RNG_H_
+#define DBDC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace dbdc {
+
+/// Seeded deterministic random number generator.
+///
+/// Every randomized component of the library (generators, partitioners,
+/// k-means++) takes an explicit Rng so experiments are exactly
+/// reproducible. A thin wrapper around std::mt19937_64 with the
+/// distributions this codebase needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Derives an independent child generator (for per-site streams).
+  Rng Fork() { return Rng(engine_()); }
+
+  /// The underlying engine, for std::shuffle and friends.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_COMMON_RNG_H_

@@ -1,0 +1,30 @@
+#ifndef DBDC_COMMON_TIMER_H_
+#define DBDC_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace dbdc {
+
+/// Monotonic wall-clock stopwatch used by the DBDC driver and the benchmark
+/// harness for the paper's per-phase cost model (max local time + global
+/// time).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_COMMON_TIMER_H_

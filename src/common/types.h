@@ -1,0 +1,39 @@
+#ifndef DBDC_COMMON_TYPES_H_
+#define DBDC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace dbdc {
+
+/// Identifier of a point within a Dataset. Ids are dense: 0 .. size()-1.
+using PointId = std::int32_t;
+
+/// A point is a runtime-dimensional coordinate vector.
+using Point = std::vector<double>;
+
+/// Cluster label assigned to a point. Non-negative values are cluster ids,
+/// kNoise marks noise, kUnclassified marks a not-yet-visited point.
+using ClusterId = std::int32_t;
+
+inline constexpr ClusterId kNoise = -1;
+inline constexpr ClusterId kUnclassified = -2;
+
+/// Aborts with a message when `cond` is false. Always active (independent of
+/// NDEBUG): the library is exception-free and uses this for contract
+/// violations that indicate programming errors, never for recoverable
+/// conditions.
+#define DBDC_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "DBDC_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+}  // namespace dbdc
+
+#endif  // DBDC_COMMON_TYPES_H_

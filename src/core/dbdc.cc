@@ -1,0 +1,118 @@
+#include "core/dbdc.h"
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace dbdc {
+
+DbdcResult RunDbdc(const Dataset& data, const Metric& metric,
+                   const DbdcConfig& config, SimulatedNetwork* network) {
+  DBDC_CHECK(config.num_sites >= 1);
+  SimulatedNetwork own_network;
+  if (network == nullptr) network = &own_network;
+
+  // Step 0: horizontal distribution. In the real deployment the data is
+  // born at the sites; here the partitioner simulates that placement.
+  const UniformRandomPartitioner default_partitioner;
+  const Partitioner* partitioner = config.partitioner != nullptr
+                                       ? config.partitioner
+                                       : &default_partitioner;
+  Rng rng(config.seed);
+  const std::vector<std::vector<PointId>> parts =
+      partitioner->Partition(data, config.num_sites, &rng);
+
+  std::vector<Site> sites;
+  sites.reserve(parts.size());
+  for (int s = 0; s < config.num_sites; ++s) {
+    Dataset site_data(data.dim());
+    site_data.Reserve(parts[s].size());
+    for (const PointId id : parts[s]) site_data.Add(data.point(id));
+    sites.emplace_back(s, metric, std::move(site_data), parts[s]);
+  }
+
+  // Step 1+2: independent local clustering and local models.
+  const SiteConfig site_config{config.local_dbscan, config.model_type,
+                               config.kmeans, config.index_type,
+                               config.condense_eps};
+  DbdcResult result;
+  result.site_sizes.reserve(sites.size());
+  if (config.parallel_sites) {
+    // Sites are fully independent; one thread each, as in a real
+    // deployment where every site is its own machine.
+    std::vector<std::thread> workers;
+    workers.reserve(sites.size());
+    for (Site& site : sites) {
+      workers.emplace_back(
+          [&site, &site_config] { site.RunLocalPipeline(site_config); });
+    }
+    for (std::thread& worker : workers) worker.join();
+  } else {
+    for (Site& site : sites) site.RunLocalPipeline(site_config);
+  }
+  for (Site& site : sites) {
+    result.site_sizes.push_back(site.data().size());
+    const double local_seconds =
+        site.local_clustering_seconds() + site.model_seconds();
+    result.max_local_seconds =
+        std::max(result.max_local_seconds, local_seconds);
+    result.sum_local_seconds += local_seconds;
+    result.num_representatives += site.local_model().representatives.size();
+    network->Send(site.site_id(), kServerEndpoint,
+                  site.EncodeLocalModelBytes());
+  }
+
+  // Step 3: the server merges the local models into the global model.
+  GlobalModelParams global_params;
+  global_params.eps_global = config.eps_global;
+  global_params.min_pts_global = 2;
+  global_params.index_type = config.index_type;
+  global_params.min_weight_global = config.min_weight_global;
+  Server server(metric, global_params);
+  for (const NetworkMessage* msg : network->Inbox(kServerEndpoint)) {
+    const bool ok = server.AddLocalModelBytes(msg->payload);
+    DBDC_CHECK(ok && "local model payload failed to decode");
+  }
+  server.BuildGlobal();
+  result.global_seconds = server.global_clustering_seconds();
+  result.eps_global_used = server.global_model().eps_global_used;
+
+  // Step 4: broadcast and relabel.
+  const std::vector<std::uint8_t> global_bytes =
+      server.EncodeGlobalModelBytes();
+  result.labels.assign(data.size(), kNoise);
+  for (Site& site : sites) {
+    network->Send(kServerEndpoint, site.site_id(), global_bytes);
+    const bool ok = site.ApplyGlobalModelBytes(global_bytes);
+    DBDC_CHECK(ok && "global model payload failed to decode");
+    result.max_relabel_seconds =
+        std::max(result.max_relabel_seconds, site.relabel_seconds());
+    const std::vector<ClusterId>& labels = site.global_labels();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      result.labels[site.origin_ids()[i]] = labels[i];
+    }
+  }
+
+  result.num_global_clusters = server.global_model().num_global_clusters;
+  result.bytes_uplink = network->BytesUplink();
+  result.bytes_downlink = network->BytesDownlink();
+  result.global_model = server.global_model();
+  return result;
+}
+
+Clustering RunCentralDbscan(const Dataset& data, const Metric& metric,
+                            const DbscanParams& params, IndexType index_type,
+                            double* seconds) {
+  Timer timer;
+  const std::unique_ptr<NeighborIndex> index =
+      CreateIndex(index_type, data, metric, params.eps);
+  Clustering clustering = RunDbscan(*index, params);
+  if (seconds != nullptr) *seconds = timer.Seconds();
+  return clustering;
+}
+
+}  // namespace dbdc

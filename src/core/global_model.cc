@@ -1,0 +1,130 @@
+#include "core/global_model.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "cluster/dbscan.h"
+
+namespace dbdc {
+namespace {
+
+/// DBSCAN with a weighted core condition: an object is core iff the
+/// weights of its eps-neighbors (itself included) sum to at least
+/// `min_weight`. With all weights 1 and min_weight = MinPts this is
+/// plain DBSCAN.
+Clustering RunWeightedDbscan(const NeighborIndex& index, double eps,
+                             const std::vector<std::uint32_t>& weights,
+                             std::uint32_t min_weight) {
+  const std::size_t n = index.data().size();
+  DBDC_CHECK(weights.size() == n);
+  Clustering result;
+  result.labels.assign(n, kUnclassified);
+  result.is_core.assign(n, 0);
+
+  std::vector<PointId> neighbors;
+  std::vector<PointId> seeds;
+  auto neighborhood_weight = [&](const std::vector<PointId>& ids) {
+    std::uint64_t total = 0;
+    for (const PointId id : ids) total += weights[id];
+    return total;
+  };
+
+  ClusterId next_cluster = 0;
+  for (PointId p = 0; p < static_cast<PointId>(n); ++p) {
+    if (result.labels[p] != kUnclassified) continue;
+    index.RangeQuery(p, eps, &neighbors);
+    if (neighborhood_weight(neighbors) < min_weight) {
+      result.labels[p] = kNoise;
+      continue;
+    }
+    const ClusterId cluster = next_cluster++;
+    result.labels[p] = cluster;
+    result.is_core[p] = 1;
+    seeds.clear();
+    for (const PointId q : neighbors) {
+      if (q == p) continue;
+      if (result.labels[q] == kUnclassified || result.labels[q] == kNoise) {
+        result.labels[q] = cluster;
+        seeds.push_back(q);
+      }
+    }
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      index.RangeQuery(seeds[i], eps, &neighbors);
+      if (neighborhood_weight(neighbors) < min_weight) continue;
+      result.is_core[seeds[i]] = 1;
+      for (const PointId r : neighbors) {
+        if (result.labels[r] == kUnclassified || result.labels[r] == kNoise) {
+          result.labels[r] = cluster;
+          seeds.push_back(r);
+        }
+      }
+    }
+  }
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+}  // namespace
+
+double DefaultEpsGlobal(std::span<const LocalModel> locals) {
+  double max_eps = 0.0;
+  for (const LocalModel& model : locals) {
+    for (const Representative& rep : model.representatives) {
+      max_eps = std::max(max_eps, rep.eps_range);
+    }
+  }
+  return max_eps;
+}
+
+GlobalModel BuildGlobalModel(std::span<const LocalModel> locals,
+                             const Metric& metric,
+                             const GlobalModelParams& params) {
+  int dim = 0;
+  for (const LocalModel& model : locals) {
+    if (model.dim > 0) {
+      DBDC_CHECK(dim == 0 || dim == model.dim);
+      dim = model.dim;
+    }
+  }
+  GlobalModel global;
+  if (dim == 0) return global;  // No site produced any representative.
+  global.rep_points = Dataset(dim);
+
+  for (const LocalModel& model : locals) {
+    for (const Representative& rep : model.representatives) {
+      global.rep_points.Add(rep.center);
+      global.rep_eps.push_back(rep.eps_range);
+      global.rep_weight.push_back(rep.weight);
+      global.rep_site.push_back(model.site_id);
+      global.rep_local_cluster.push_back(rep.local_cluster);
+    }
+  }
+  const std::size_t m = global.rep_points.size();
+  if (m == 0) return global;
+
+  double eps_global = params.eps_global;
+  if (eps_global <= 0.0) eps_global = DefaultEpsGlobal(locals);
+  DBDC_CHECK(eps_global > 0.0);
+  global.eps_global_used = eps_global;
+
+  const std::unique_ptr<NeighborIndex> index =
+      CreateIndex(params.index_type, global.rep_points, metric, eps_global);
+  const Clustering merged =
+      params.min_weight_global > 0
+          ? RunWeightedDbscan(*index, eps_global, global.rep_weight,
+                              params.min_weight_global)
+          : RunDbscan(*index,
+                      DbscanParams{eps_global, params.min_pts_global});
+
+  // Unmerged (noise) representatives keep singleton global clusters.
+  global.rep_global_cluster.assign(m, kNoise);
+  ClusterId next = merged.num_clusters;
+  for (std::size_t i = 0; i < m; ++i) {
+    const ClusterId c = merged.labels[i];
+    global.rep_global_cluster[i] = c >= 0 ? c : next++;
+  }
+  global.num_global_clusters = next;
+  return global;
+}
+
+}  // namespace dbdc

@@ -1,0 +1,67 @@
+#ifndef DBDC_CORE_GLOBAL_MODEL_H_
+#define DBDC_CORE_GLOBAL_MODEL_H_
+
+#include <span>
+#include <vector>
+
+#include "common/dataset.h"
+#include "core/local_model.h"
+#include "index/index_factory.h"
+
+namespace dbdc {
+
+/// Parameters for the server-side clustering of the representatives
+/// (Sec. 6). With eps_global == 0 the paper's default is used: the
+/// maximum ε_R over all transmitted representatives, which is "generally
+/// close to 2·Eps_local". MinPts_global is 2 because every representative
+/// already stands for a cluster of its own.
+struct GlobalModelParams {
+  double eps_global = 0.0;  // 0 = default: max ε_R of all representatives.
+  int min_pts_global = 2;
+  IndexType index_type = IndexType::kLinearScan;
+  /// Extension beyond the EDBT'04 scheme: when > 0, the server-side core
+  /// condition counts represented *objects* instead of representatives —
+  /// a representative is core iff the weights of the representatives in
+  /// its Eps_global-neighborhood (itself included) sum to at least
+  /// `min_weight_global`. Suppresses merges through lightweight
+  /// representatives of tiny spurious local clusters. 0 (default)
+  /// selects the paper's unweighted MinPts_global = 2 condition.
+  std::uint32_t min_weight_global = 0;
+};
+
+/// The global model the server broadcasts back: every local
+/// representative annotated with its global cluster id. Representatives
+/// that DBSCAN left unmerged keep a singleton global cluster — "the
+/// merged local representatives together with the unmerged local
+/// representatives form the global model".
+struct GlobalModel {
+  /// All representatives of all sites, concatenated.
+  Dataset rep_points = Dataset(1);
+  std::vector<double> rep_eps;
+  std::vector<std::uint32_t> rep_weight;
+  std::vector<ClusterId> rep_global_cluster;
+  /// Origin bookkeeping (diagnostics; not needed for relabeling).
+  std::vector<int> rep_site;
+  std::vector<ClusterId> rep_local_cluster;
+  int num_global_clusters = 0;
+  /// The eps_global value actually used (after applying the default).
+  double eps_global_used = 0.0;
+
+  std::size_t NumRepresentatives() const { return rep_eps.size(); }
+};
+
+/// The paper's default Eps_global: the maximum ε_R over all
+/// representatives of all local models (Sec. 6). Returns 0 when there are
+/// no representatives.
+double DefaultEpsGlobal(std::span<const LocalModel> locals);
+
+/// Merges the local models into the global model: DBSCAN over the
+/// representative points with (eps_global, min_pts_global); noise
+/// representatives become singleton global clusters.
+GlobalModel BuildGlobalModel(std::span<const LocalModel> locals,
+                             const Metric& metric,
+                             const GlobalModelParams& params);
+
+}  // namespace dbdc
+
+#endif  // DBDC_CORE_GLOBAL_MODEL_H_

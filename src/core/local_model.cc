@@ -1,0 +1,190 @@
+#include "core/local_model.h"
+
+#include <algorithm>
+
+namespace dbdc {
+
+std::string_view LocalModelTypeName(LocalModelType type) {
+  switch (type) {
+    case LocalModelType::kScor:
+      return "REP_Scor";
+    case LocalModelType::kKMeans:
+      return "REP_kMeans";
+  }
+  return "unknown";
+}
+
+void SpecificCorePointCollector::OnClusterStarted(ClusterId cluster) {
+  DBDC_CHECK(cluster == static_cast<ClusterId>(scor_.size()));
+  scor_.emplace_back();
+}
+
+void SpecificCorePointCollector::OnCorePoint(PointId id, ClusterId cluster) {
+  DBDC_CHECK(cluster >= 0 &&
+             static_cast<std::size_t>(cluster) < scor_.size());
+  const auto p = data_->point(id);
+  for (const PointId s : scor_[cluster]) {
+    // Condition 2 of Def. 6: specific core points are pairwise more than
+    // Eps apart.
+    if (metric_->Distance(p, data_->point(s)) <= eps_) return;
+  }
+  scor_[cluster].push_back(id);
+}
+
+LocalClustering RunLocalDbscan(const NeighborIndex& index,
+                               const DbscanParams& params) {
+  SpecificCorePointCollector collector(index.data(), index.metric(),
+                                       params.eps);
+  LocalClustering local;
+  local.clustering = RunDbscan(index, params, &collector);
+  local.scor = collector.per_cluster();
+  return local;
+}
+
+LocalModel BuildScorModel(const NeighborIndex& index,
+                          const LocalClustering& local,
+                          const DbscanParams& params, int site_id) {
+  const Dataset& data = index.data();
+  const Metric& metric = index.metric();
+  LocalModel model;
+  model.site_id = site_id;
+  model.dim = data.dim();
+  model.num_local_clusters = local.clustering.num_clusters;
+
+  std::vector<PointId> neighbors;
+  for (ClusterId c = 0; c < local.clustering.num_clusters; ++c) {
+    for (const PointId s : local.scor[c]) {
+      // Def. 7: ε_s = Eps + max distance to a core point within Eps of s.
+      index.RangeQuery(s, params.eps, &neighbors);
+      double max_core_dist = 0.0;
+      const auto sp = data.point(s);
+      for (const PointId q : neighbors) {
+        if (!local.clustering.is_core[q]) continue;
+        max_core_dist =
+            std::max(max_core_dist, metric.Distance(sp, data.point(q)));
+      }
+      Representative rep;
+      rep.center.assign(sp.begin(), sp.end());
+      rep.eps_range = params.eps + max_core_dist;
+      rep.local_cluster = c;
+      // Weight: how many local objects fall into the represented area.
+      index.RangeQuery(s, rep.eps_range, &neighbors);
+      rep.weight = static_cast<std::uint32_t>(neighbors.size());
+      model.representatives.push_back(std::move(rep));
+    }
+  }
+  return model;
+}
+
+LocalModel BuildKMeansModel(const NeighborIndex& index,
+                            const LocalClustering& local,
+                            const DbscanParams& /*params*/,
+                            const KMeansParams& kmeans_params, int site_id) {
+  const Dataset& data = index.data();
+  const Metric& metric = index.metric();
+  LocalModel model;
+  model.site_id = site_id;
+  model.dim = data.dim();
+  model.num_local_clusters = local.clustering.num_clusters;
+
+  // Cluster member lists.
+  std::vector<std::vector<PointId>> members(local.clustering.num_clusters);
+  for (PointId p = 0; p < static_cast<PointId>(data.size()); ++p) {
+    const ClusterId c = local.clustering.labels[p];
+    if (c >= 0) members[c].push_back(p);
+  }
+
+  for (ClusterId c = 0; c < local.clustering.num_clusters; ++c) {
+    const std::vector<PointId>& scor = local.scor[c];
+    if (scor.empty() || members[c].empty()) continue;
+    std::vector<Point> init;
+    init.reserve(scor.size());
+    for (const PointId s : scor) {
+      const auto sp = data.point(s);
+      init.emplace_back(sp.begin(), sp.end());
+    }
+    const KMeansResult km =
+        RunKMeans(data, members[c], init, kmeans_params);
+    // ε_{c_j} = max distance of the objects assigned to centroid j.
+    std::vector<double> eps_range(km.centroids.size(), 0.0);
+    std::vector<std::size_t> counts(km.centroids.size(), 0);
+    for (std::size_t i = 0; i < members[c].size(); ++i) {
+      const int j = km.assignment[i];
+      eps_range[j] = std::max(
+          eps_range[j],
+          metric.Distance(data.point(members[c][i]), km.centroids[j]));
+      ++counts[j];
+    }
+    for (std::size_t j = 0; j < km.centroids.size(); ++j) {
+      if (counts[j] == 0) continue;  // Unreachable: |Scor_C| <= |C|.
+      Representative rep;
+      rep.center = km.centroids[j];
+      rep.eps_range = eps_range[j];
+      rep.local_cluster = c;
+      rep.weight = static_cast<std::uint32_t>(counts[j]);
+      model.representatives.push_back(std::move(rep));
+    }
+  }
+  return model;
+}
+
+LocalModel CondenseLocalModel(const LocalModel& model, double condense_eps,
+                              const Metric& metric) {
+  if (condense_eps <= 0.0) return model;
+  LocalModel condensed;
+  condensed.site_id = model.site_id;
+  condensed.dim = model.dim;
+  condensed.num_local_clusters = model.num_local_clusters;
+
+  // Heaviest representatives survive; order is deterministic.
+  std::vector<std::size_t> order(model.representatives.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Representative& ra = model.representatives[a];
+    const Representative& rb = model.representatives[b];
+    if (ra.weight != rb.weight) return ra.weight > rb.weight;
+    return a < b;
+  });
+
+  for (const std::size_t i : order) {
+    const Representative& rep = model.representatives[i];
+    // Find the nearest survivor of the same local cluster within
+    // condense_eps.
+    Representative* nearest = nullptr;
+    double nearest_dist = condense_eps;
+    for (Representative& survivor : condensed.representatives) {
+      if (survivor.local_cluster != rep.local_cluster) continue;
+      const double d = metric.Distance(rep.center, survivor.center);
+      if (d <= nearest_dist) {
+        nearest_dist = d;
+        nearest = &survivor;
+      }
+    }
+    if (nearest == nullptr) {
+      condensed.representatives.push_back(rep);
+    } else {
+      // Grow the survivor's range so it still covers everything the
+      // merged representative covered (triangle inequality).
+      nearest->eps_range =
+          std::max(nearest->eps_range, nearest_dist + rep.eps_range);
+      nearest->weight += rep.weight;
+    }
+  }
+  return condensed;
+}
+
+LocalModel BuildLocalModel(LocalModelType type, const NeighborIndex& index,
+                           const LocalClustering& local,
+                           const DbscanParams& params,
+                           const KMeansParams& kmeans_params, int site_id) {
+  switch (type) {
+    case LocalModelType::kScor:
+      return BuildScorModel(index, local, params, site_id);
+    case LocalModelType::kKMeans:
+      return BuildKMeansModel(index, local, params, kmeans_params, site_id);
+  }
+  DBDC_CHECK(false && "unknown local model type");
+  return LocalModel{};
+}
+
+}  // namespace dbdc

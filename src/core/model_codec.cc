@@ -1,0 +1,198 @@
+#include "core/model_codec.h"
+
+#include <cstring>
+
+namespace dbdc {
+namespace {
+
+constexpr std::uint32_t kLocalMagic = 0x4442544Du;   // "MTBD" LE -> 'DBLM'.
+constexpr std::uint32_t kGlobalMagic = 0x4442474Du;  // 'DBGM'.
+// Version 2 added the per-representative weight (see Representative).
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>* out) : out_(out) {}
+
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t offset = out_->size();
+    out_->resize(offset + sizeof(T));
+    std::memcpy(out_->data() + offset, &value, sizeof(T));
+  }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Get(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > bytes_.size()) return false;
+    std::memcpy(value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+  std::size_t Remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+// Guards decoders against corrupted counts: the declared payload must
+// fit in the bytes actually present, otherwise a flipped count could
+// provoke a giant allocation before the per-field reads fail.
+bool PayloadFits(const Reader& r, std::uint64_t count,
+                 std::uint64_t bytes_per_item) {
+  return count <= r.Remaining() / bytes_per_item;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeLocalModel(const LocalModel& model) {
+  std::vector<std::uint8_t> out;
+  Writer w(&out);
+  w.Put(kLocalMagic);
+  w.Put(kVersion);
+  w.Put(static_cast<std::int32_t>(model.site_id));
+  w.Put(static_cast<std::int32_t>(model.dim));
+  w.Put(static_cast<std::int32_t>(model.num_local_clusters));
+  w.Put(static_cast<std::uint32_t>(model.representatives.size()));
+  for (const Representative& rep : model.representatives) {
+    DBDC_CHECK(static_cast<int>(rep.center.size()) == model.dim);
+    w.Put(static_cast<std::int32_t>(rep.local_cluster));
+    w.Put(rep.eps_range);
+    w.Put(rep.weight);
+    for (const double c : rep.center) w.Put(c);
+  }
+  return out;
+}
+
+std::optional<LocalModel> DecodeLocalModel(
+    std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  std::uint32_t magic = 0, version = 0, rep_count = 0;
+  std::int32_t site_id = 0, dim = 0, num_clusters = 0;
+  if (!r.Get(&magic) || magic != kLocalMagic) return std::nullopt;
+  if (!r.Get(&version) || version < kMinVersion || version > kVersion) {
+    return std::nullopt;
+  }
+  if (!r.Get(&site_id) || !r.Get(&dim) || !r.Get(&num_clusters) ||
+      !r.Get(&rep_count)) {
+    return std::nullopt;
+  }
+  if (dim < 1 || num_clusters < 0) return std::nullopt;
+  // Each representative occupies 4 + 8 [+ 4 in v2] + dim*8 bytes.
+  const std::uint64_t rep_bytes = (version >= 2 ? 16 : 12) +
+                                  static_cast<std::uint64_t>(dim) * 8;
+  if (!PayloadFits(r, rep_count, rep_bytes)) return std::nullopt;
+  LocalModel model;
+  model.site_id = site_id;
+  model.dim = dim;
+  model.num_local_clusters = num_clusters;
+  model.representatives.reserve(rep_count);
+  for (std::uint32_t i = 0; i < rep_count; ++i) {
+    Representative rep;
+    std::int32_t cluster = 0;
+    if (!r.Get(&cluster) || !r.Get(&rep.eps_range)) return std::nullopt;
+    if (version >= 2 && !r.Get(&rep.weight)) return std::nullopt;
+    rep.local_cluster = cluster;
+    rep.center.resize(dim);
+    for (std::int32_t d = 0; d < dim; ++d) {
+      if (!r.Get(&rep.center[d])) return std::nullopt;
+    }
+    model.representatives.push_back(std::move(rep));
+  }
+  if (!r.AtEnd()) return std::nullopt;  // Trailing garbage.
+  return model;
+}
+
+std::vector<std::uint8_t> EncodeGlobalModel(const GlobalModel& model) {
+  std::vector<std::uint8_t> out;
+  Writer w(&out);
+  const std::size_t m = model.NumRepresentatives();
+  w.Put(kGlobalMagic);
+  w.Put(kVersion);
+  w.Put(static_cast<std::int32_t>(model.rep_points.dim()));
+  w.Put(static_cast<std::int32_t>(model.num_global_clusters));
+  w.Put(model.eps_global_used);
+  w.Put(static_cast<std::uint32_t>(m));
+  for (std::size_t i = 0; i < m; ++i) {
+    w.Put(static_cast<std::int32_t>(model.rep_global_cluster[i]));
+    w.Put(static_cast<std::int32_t>(model.rep_site[i]));
+    w.Put(static_cast<std::int32_t>(model.rep_local_cluster[i]));
+    w.Put(model.rep_eps[i]);
+    w.Put(i < model.rep_weight.size() ? model.rep_weight[i] : 1u);
+    for (const double c : model.rep_points.point(static_cast<PointId>(i))) {
+      w.Put(c);
+    }
+  }
+  return out;
+}
+
+std::optional<GlobalModel> DecodeGlobalModel(
+    std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  std::uint32_t magic = 0, version = 0, rep_count = 0;
+  std::int32_t dim = 0, num_clusters = 0;
+  double eps_global = 0.0;
+  if (!r.Get(&magic) || magic != kGlobalMagic) return std::nullopt;
+  if (!r.Get(&version) || version < kMinVersion || version > kVersion) {
+    return std::nullopt;
+  }
+  if (!r.Get(&dim) || !r.Get(&num_clusters) || !r.Get(&eps_global) ||
+      !r.Get(&rep_count)) {
+    return std::nullopt;
+  }
+  if (dim < 1 || num_clusters < 0) return std::nullopt;
+  // Each representative occupies 3*4 + 8 [+ 4 in v2] + dim*8 bytes.
+  const std::uint64_t rep_bytes = (version >= 2 ? 24 : 20) +
+                                  static_cast<std::uint64_t>(dim) * 8;
+  if (!PayloadFits(r, rep_count, rep_bytes)) return std::nullopt;
+  GlobalModel model;
+  model.rep_points = Dataset(dim);
+  model.num_global_clusters = num_clusters;
+  model.eps_global_used = eps_global;
+  if (rep_count == 0) {
+    if (!r.AtEnd()) return std::nullopt;
+    return model;
+  }
+  Point coords(dim);
+  for (std::uint32_t i = 0; i < rep_count; ++i) {
+    std::int32_t global_cluster = 0, site = 0, local_cluster = 0;
+    double eps = 0.0;
+    std::uint32_t weight = 1;
+    if (!r.Get(&global_cluster) || !r.Get(&site) || !r.Get(&local_cluster) ||
+        !r.Get(&eps)) {
+      return std::nullopt;
+    }
+    if (version >= 2 && !r.Get(&weight)) return std::nullopt;
+    for (std::int32_t d = 0; d < dim; ++d) {
+      if (!r.Get(&coords[d])) return std::nullopt;
+    }
+    model.rep_points.Add(coords);
+    model.rep_eps.push_back(eps);
+    model.rep_weight.push_back(weight);
+    model.rep_global_cluster.push_back(global_cluster);
+    model.rep_site.push_back(site);
+    model.rep_local_cluster.push_back(local_cluster);
+  }
+  if (!r.AtEnd()) return std::nullopt;
+  return model;
+}
+
+std::uint64_t RawDatasetWireSize(std::size_t num_points, int dim) {
+  return 16 + static_cast<std::uint64_t>(num_points) * dim * sizeof(double);
+}
+
+}  // namespace dbdc

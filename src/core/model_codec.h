@@ -1,0 +1,51 @@
+#ifndef DBDC_CORE_MODEL_CODEC_H_
+#define DBDC_CORE_MODEL_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/global_model.h"
+#include "core/local_model.h"
+
+namespace dbdc {
+
+/// Wire format for the models exchanged between sites and server.
+///
+/// Everything that crosses the simulated network is serialized through
+/// this codec, so the byte counters of SimulatedNetwork measure the real
+/// transmission cost of DBDC (the paper's headline saving: the local
+/// models are a small fraction of the raw data).
+///
+/// Encoding is little-endian, versioned and self-describing enough for
+/// Decode to reject truncated or corrupt payloads by returning nullopt
+/// (recoverable error, no exceptions).
+///
+/// LocalModel layout (version 2; version-1 payloads without the weight
+/// field still decode, with weight = 1):
+///   u32 magic 'DBLM' | u32 version | i32 site_id | i32 dim
+///   i32 num_local_clusters | u32 rep_count
+///   rep_count x { i32 local_cluster | f64 eps_range | u32 weight
+///                 | dim x f64 coords }
+///
+/// GlobalModel layout:
+///   u32 magic 'DBGM' | u32 version | i32 dim | i32 num_global_clusters
+///   f64 eps_global_used | u32 rep_count
+///   rep_count x { i32 global_cluster | i32 site | i32 local_cluster
+///                 | f64 eps_range | u32 weight | dim x f64 coords }
+std::vector<std::uint8_t> EncodeLocalModel(const LocalModel& model);
+std::optional<LocalModel> DecodeLocalModel(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> EncodeGlobalModel(const GlobalModel& model);
+std::optional<GlobalModel> DecodeGlobalModel(
+    std::span<const std::uint8_t> bytes);
+
+/// Serialized size in bytes of a raw dataset shipped naively (the
+/// baseline DBDC's transmission saving is measured against): dim doubles
+/// per point plus a small header.
+std::uint64_t RawDatasetWireSize(std::size_t num_points, int dim);
+
+}  // namespace dbdc
+
+#endif  // DBDC_CORE_MODEL_CODEC_H_

@@ -1,0 +1,58 @@
+#include "core/optics_global.h"
+
+#include <memory>
+
+namespace dbdc {
+
+OpticsGlobalModelBuilder::OpticsGlobalModelBuilder(
+    std::span<const LocalModel> locals, const Metric& metric,
+    double max_eps_global, IndexType index_type) {
+  int dim = 0;
+  for (const LocalModel& model : locals) {
+    if (model.dim > 0) {
+      DBDC_CHECK(dim == 0 || dim == model.dim);
+      dim = model.dim;
+    }
+  }
+  if (dim == 0) return;
+  reps_.rep_points = Dataset(dim);
+  for (const LocalModel& model : locals) {
+    for (const Representative& rep : model.representatives) {
+      reps_.rep_points.Add(rep.center);
+      reps_.rep_eps.push_back(rep.eps_range);
+      reps_.rep_weight.push_back(rep.weight);
+      reps_.rep_site.push_back(model.site_id);
+      reps_.rep_local_cluster.push_back(rep.local_cluster);
+    }
+  }
+  if (reps_.rep_points.size() == 0) return;
+
+  default_eps_global_ = DefaultEpsGlobal(locals);
+  max_eps_global_ =
+      max_eps_global > 0.0 ? max_eps_global : 4.0 * default_eps_global_;
+  DBDC_CHECK(max_eps_global_ > 0.0);
+
+  const std::unique_ptr<NeighborIndex> index = CreateIndex(
+      index_type, reps_.rep_points, metric, max_eps_global_);
+  optics_ = RunOptics(*index, OpticsParams{max_eps_global_, 2});
+}
+
+GlobalModel OpticsGlobalModelBuilder::Extract(double eps_global) const {
+  const std::size_t m = reps_.rep_eps.size();
+  GlobalModel global = reps_;
+  global.eps_global_used = eps_global;
+  if (m == 0) return global;
+  DBDC_CHECK(eps_global > 0.0 && eps_global <= max_eps_global_);
+
+  const Clustering merged = ExtractDbscanClustering(optics_, eps_global);
+  global.rep_global_cluster.assign(m, kNoise);
+  ClusterId next = merged.num_clusters;
+  for (std::size_t i = 0; i < m; ++i) {
+    const ClusterId c = merged.labels[i];
+    global.rep_global_cluster[i] = c >= 0 ? c : next++;
+  }
+  global.num_global_clusters = next;
+  return global;
+}
+
+}  // namespace dbdc

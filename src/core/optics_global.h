@@ -1,0 +1,58 @@
+#ifndef DBDC_CORE_OPTICS_GLOBAL_H_
+#define DBDC_CORE_OPTICS_GLOBAL_H_
+
+#include <span>
+#include <vector>
+
+#include "cluster/optics.h"
+#include "core/global_model.h"
+
+namespace dbdc {
+
+/// The OPTICS-based global-model builder the paper discusses as an
+/// alternative in Sec. 6: instead of running DBSCAN on the
+/// representatives once per Eps_global, the server computes a single
+/// OPTICS cluster-ordering and can then *extract* the global model for
+/// any Eps_global <= the generating distance without re-clustering —
+/// letting a user explore the Eps_global trade-off interactively.
+///
+/// (The paper refrains from this route because of the relabeling
+/// bookkeeping and evaluation complexity; this implementation shows it
+/// works and the `bench_optics_global` ablation quantifies it. Flat
+/// extractions are DBSCAN-equivalent up to border representatives.)
+class OpticsGlobalModelBuilder {
+ public:
+  /// Collects the representatives of all `locals` and computes the
+  /// OPTICS ordering with MinPts_global = 2 and generating distance
+  /// `max_eps_global` (0 selects 4x the paper's default, i.e.
+  /// 4 * max ε_R, which comfortably covers the useful range).
+  OpticsGlobalModelBuilder(std::span<const LocalModel> locals,
+                           const Metric& metric, double max_eps_global = 0.0,
+                           IndexType index_type = IndexType::kLinearScan);
+
+  /// Extracts the global model for `eps_global` (must be > 0 and <=
+  /// max_eps_global()). Representatives left unmerged keep singleton
+  /// global clusters, exactly as in BuildGlobalModel.
+  GlobalModel Extract(double eps_global) const;
+
+  /// The generating distance actually used.
+  double max_eps_global() const { return max_eps_global_; }
+
+  /// The paper's default Eps_global for the collected representatives.
+  double default_eps_global() const { return default_eps_global_; }
+
+  std::size_t num_representatives() const { return reps_.rep_eps.size(); }
+
+  /// The underlying cluster-ordering (e.g. for reachability plots).
+  const OpticsResult& optics() const { return optics_; }
+
+ private:
+  GlobalModel reps_;  // Representative points + origin bookkeeping.
+  OpticsResult optics_;
+  double max_eps_global_ = 0.0;
+  double default_eps_global_ = 0.0;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_CORE_OPTICS_GLOBAL_H_

@@ -1,0 +1,45 @@
+#include "core/relabel.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "index/grid_index.h"
+
+namespace dbdc {
+
+std::vector<ClusterId> RelabelSite(const Dataset& site_data,
+                                   const GlobalModel& global,
+                                   const Metric& metric) {
+  std::vector<ClusterId> labels(site_data.size(), kNoise);
+  const std::size_t m = global.NumRepresentatives();
+  if (m == 0 || site_data.empty()) return labels;
+  DBDC_CHECK(global.rep_points.dim() == site_data.dim());
+
+  // Representatives have individual ranges; query the index at the
+  // maximum range and filter by each candidate's own ε_r.
+  const double max_eps =
+      *std::max_element(global.rep_eps.begin(), global.rep_eps.end());
+  DBDC_CHECK(max_eps > 0.0);
+  const GridIndex rep_index(global.rep_points, metric, max_eps);
+
+  std::vector<PointId> candidates;
+  for (PointId p = 0; p < static_cast<PointId>(site_data.size()); ++p) {
+    const auto coords = site_data.point(p);
+    rep_index.RangeQuery(coords, max_eps, &candidates);
+    double best_d = std::numeric_limits<double>::max();
+    ClusterId best = kNoise;
+    for (const PointId r : candidates) {
+      const double d = metric.Distance(coords, global.rep_points.point(r));
+      if (d > global.rep_eps[r]) continue;  // Outside this rep's ε_r.
+      if (d < best_d) {
+        best_d = d;
+        best = global.rep_global_cluster[r];
+      }
+    }
+    labels[p] = best;
+  }
+  return labels;
+}
+
+}  // namespace dbdc

@@ -1,0 +1,29 @@
+#ifndef DBDC_CORE_RELABEL_H_
+#define DBDC_CORE_RELABEL_H_
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/distance.h"
+#include "core/global_model.h"
+
+namespace dbdc {
+
+/// Client-side relabeling (Sec. 7): every local object within the
+/// ε_r-neighborhood of a global representative r is assigned r's global
+/// cluster id — this can merge formerly independent local clusters and
+/// absorb former local noise. Objects covered by no representative stay
+/// noise.
+///
+/// When several representatives of different global clusters cover an
+/// object, the nearest one wins (the paper leaves this tie open; nearest
+/// is the deterministic choice).
+///
+/// Returns one global label (or kNoise) per point of `site_data`.
+std::vector<ClusterId> RelabelSite(const Dataset& site_data,
+                                   const GlobalModel& global,
+                                   const Metric& metric);
+
+}  // namespace dbdc
+
+#endif  // DBDC_CORE_RELABEL_H_

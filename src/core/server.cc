@@ -1,0 +1,32 @@
+#include "core/server.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "core/model_codec.h"
+
+namespace dbdc {
+
+bool Server::AddLocalModelBytes(std::span<const std::uint8_t> bytes) {
+  std::optional<LocalModel> model = DecodeLocalModel(bytes);
+  if (!model.has_value()) return false;
+  locals_.push_back(*std::move(model));
+  return true;
+}
+
+void Server::AddLocalModel(LocalModel model) {
+  locals_.push_back(std::move(model));
+}
+
+const GlobalModel& Server::BuildGlobal() {
+  Timer timer;
+  global_ = BuildGlobalModel(locals_, *metric_, params_);
+  global_seconds_ = timer.Seconds();
+  return global_;
+}
+
+std::vector<std::uint8_t> Server::EncodeGlobalModelBytes() const {
+  return EncodeGlobalModel(global_);
+}
+
+}  // namespace dbdc

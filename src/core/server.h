@@ -1,0 +1,53 @@
+#ifndef DBDC_CORE_SERVER_H_
+#define DBDC_CORE_SERVER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/global_model.h"
+
+namespace dbdc {
+
+/// The central server (Sec. 3, 6): collects the local models of all
+/// sites, merges them into the global model, and serializes it for the
+/// broadcast back to the sites.
+///
+/// Local models may arrive one by one (the paper notes that incremental
+/// DBSCAN would even allow building the global model before all clients
+/// have transmitted); BuildGlobal() can be called repeatedly and always
+/// reflects every model received so far.
+class Server {
+ public:
+  Server(const Metric& metric, const GlobalModelParams& params)
+      : metric_(&metric), params_(params) {}
+
+  /// Registers a local model received as bytes. Returns false (and
+  /// ignores the payload) when it does not decode.
+  bool AddLocalModelBytes(std::span<const std::uint8_t> bytes);
+
+  /// Registers an already-decoded local model (tests).
+  void AddLocalModel(LocalModel model);
+
+  /// Merges everything received so far into a global model.
+  const GlobalModel& BuildGlobal();
+
+  /// The last BuildGlobal() result, serialized for broadcast.
+  std::vector<std::uint8_t> EncodeGlobalModelBytes() const;
+
+  std::size_t num_local_models() const { return locals_.size(); }
+  const std::vector<LocalModel>& local_models() const { return locals_; }
+  const GlobalModel& global_model() const { return global_; }
+  double global_clustering_seconds() const { return global_seconds_; }
+
+ private:
+  const Metric* metric_;
+  GlobalModelParams params_;
+  std::vector<LocalModel> locals_;
+  GlobalModel global_;
+  double global_seconds_ = 0.0;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_CORE_SERVER_H_

@@ -1,0 +1,52 @@
+#include "core/site.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "core/model_codec.h"
+
+namespace dbdc {
+
+Site::Site(int site_id, const Metric& metric, Dataset data,
+           std::vector<PointId> origin_ids)
+    : site_id_(site_id),
+      metric_(&metric),
+      data_(std::move(data)),
+      origin_ids_(std::move(origin_ids)) {
+  DBDC_CHECK(origin_ids_.size() == data_.size());
+}
+
+void Site::RunLocalPipeline(const SiteConfig& config) {
+  Timer timer;
+  index_ = CreateIndex(config.index_type, data_, *metric_,
+                       config.dbscan.eps);
+  local_ = RunLocalDbscan(*index_, config.dbscan);
+  cluster_seconds_ = timer.Seconds();
+
+  timer.Reset();
+  model_ = BuildLocalModel(config.model_type, *index_, local_, config.dbscan,
+                           config.kmeans, site_id_);
+  if (config.condense_eps > 0.0) {
+    model_ = CondenseLocalModel(model_, config.condense_eps, *metric_);
+  }
+  model_seconds_ = timer.Seconds();
+}
+
+std::vector<std::uint8_t> Site::EncodeLocalModelBytes() const {
+  return EncodeLocalModel(model_);
+}
+
+bool Site::ApplyGlobalModelBytes(std::span<const std::uint8_t> bytes) {
+  std::optional<GlobalModel> global = DecodeGlobalModel(bytes);
+  if (!global.has_value()) return false;
+  ApplyGlobalModel(*global);
+  return true;
+}
+
+void Site::ApplyGlobalModel(const GlobalModel& global) {
+  Timer timer;
+  global_labels_ = RelabelSite(data_, global, *metric_);
+  relabel_seconds_ = timer.Seconds();
+}
+
+}  // namespace dbdc

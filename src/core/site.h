@@ -1,0 +1,92 @@
+#ifndef DBDC_CORE_SITE_H_
+#define DBDC_CORE_SITE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/local_model.h"
+#include "core/relabel.h"
+#include "index/index_factory.h"
+
+namespace dbdc {
+
+/// Configuration of a site's local pipeline.
+struct SiteConfig {
+  DbscanParams dbscan;
+  LocalModelType model_type = LocalModelType::kScor;
+  KMeansParams kmeans;
+  IndexType index_type = IndexType::kGrid;
+  /// When > 0, the local model is condensed with this radius before
+  /// transmission (CondenseLocalModel; smaller uplink, coarser ranges).
+  double condense_eps = 0.0;
+};
+
+/// A local client site (Sec. 3): owns its horizontal partition of the
+/// data, clusters it independently, derives the local model, and — once
+/// the server broadcasts the global model — relabels its objects.
+///
+/// Sites never talk to each other, only to the server, and all
+/// communication happens through serialized bytes (see model_codec.h) so
+/// the transmission cost is measured faithfully.
+class Site {
+ public:
+  /// `data` is the site's own copy of its partition; `origin_ids[i]` maps
+  /// local point i back to the id in the original (conceptual) full
+  /// dataset, for evaluation only — the algorithm never uses it.
+  Site(int site_id, const Metric& metric, Dataset data,
+       std::vector<PointId> origin_ids);
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+  Site(Site&&) = default;
+
+  /// Phase 1+2: local DBSCAN and local model determination. Records the
+  /// wall-clock time of each phase.
+  void RunLocalPipeline(const SiteConfig& config);
+
+  /// The local model, serialized for transmission to the server.
+  std::vector<std::uint8_t> EncodeLocalModelBytes() const;
+
+  /// Phase 4: relabels all local objects against the received global
+  /// model (deserialized from `bytes`). Returns false on a corrupt
+  /// payload.
+  bool ApplyGlobalModelBytes(std::span<const std::uint8_t> bytes);
+
+  /// Phase 4, non-serialized variant (tests).
+  void ApplyGlobalModel(const GlobalModel& global);
+
+  int site_id() const { return site_id_; }
+  const Dataset& data() const { return data_; }
+  const std::vector<PointId>& origin_ids() const { return origin_ids_; }
+
+  /// Valid after RunLocalPipeline().
+  const LocalClustering& local_clustering() const { return local_; }
+  const LocalModel& local_model() const { return model_; }
+  double local_clustering_seconds() const { return cluster_seconds_; }
+  double model_seconds() const { return model_seconds_; }
+
+  /// Valid after ApplyGlobalModel*(): global label per local point.
+  const std::vector<ClusterId>& global_labels() const {
+    return global_labels_;
+  }
+  double relabel_seconds() const { return relabel_seconds_; }
+
+ private:
+  int site_id_;
+  const Metric* metric_;
+  Dataset data_;
+  std::vector<PointId> origin_ids_;
+  std::unique_ptr<NeighborIndex> index_;
+  LocalClustering local_;
+  LocalModel model_;
+  std::vector<ClusterId> global_labels_;
+  double cluster_seconds_ = 0.0;
+  double model_seconds_ = 0.0;
+  double relabel_seconds_ = 0.0;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_CORE_SITE_H_

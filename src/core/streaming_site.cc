@@ -1,0 +1,87 @@
+#include "core/streaming_site.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "index/grid_index.h"
+
+namespace dbdc {
+
+StreamingSite::StreamingSite(int site_id, const Metric& metric,
+                             const DbscanParams& params, int dim,
+                             LocalModelType model_type,
+                             const RefreshPolicy& policy)
+    : site_id_(site_id),
+      metric_(&metric),
+      params_(params),
+      model_type_(model_type),
+      policy_(policy),
+      clustering_(params, metric, dim) {}
+
+PointId StreamingSite::Insert(std::span<const double> coords) {
+  ++updates_since_refresh_;
+  return clustering_.Insert(coords);
+}
+
+void StreamingSite::Erase(PointId id) {
+  ++updates_since_refresh_;
+  clustering_.Erase(id);
+}
+
+bool StreamingSite::ModelNeedsRefresh() const {
+  if (refresh_count_ == 0) return clustering_.size() > 0;
+  if (updates_since_refresh_ < policy_.min_updates_between) return false;
+  const int clusters = clustering_.Snapshot().num_clusters;
+  if (policy_.min_cluster_delta > 0 &&
+      std::abs(clusters - clusters_at_refresh_) >=
+          policy_.min_cluster_delta) {
+    return true;
+  }
+  if (policy_.updated_fraction > 0.0 && clustering_.size() > 0) {
+    const double fraction = static_cast<double>(updates_since_refresh_) /
+                            static_cast<double>(clustering_.size());
+    if (fraction >= policy_.updated_fraction) return true;
+  }
+  return false;
+}
+
+void StreamingSite::ActiveSnapshot(Dataset* active,
+                                   std::vector<PointId>* ids) const {
+  for (PointId p = 0; p < static_cast<PointId>(clustering_.data().size());
+       ++p) {
+    if (!clustering_.IsActive(p)) continue;
+    active->Add(clustering_.data().point(p));
+    ids->push_back(p);
+  }
+}
+
+const LocalModel& StreamingSite::RefreshModel() {
+  Dataset active(clustering_.data().dim());
+  std::vector<PointId> ids;
+  ActiveSnapshot(&active, &ids);
+  const GridIndex index(active, *metric_, params_.eps);
+  const LocalClustering local = RunLocalDbscan(index, params_);
+  model_ = BuildLocalModel(model_type_, index, local, params_,
+                           KMeansParams{}, site_id_);
+  clusters_at_refresh_ = local.clustering.num_clusters;
+  updates_since_refresh_ = 0;
+  ++refresh_count_;
+  return model_;
+}
+
+std::vector<std::pair<PointId, ClusterId>> StreamingSite::ApplyGlobalModel(
+    const GlobalModel& global) const {
+  Dataset active(clustering_.data().dim());
+  std::vector<PointId> ids;
+  ActiveSnapshot(&active, &ids);
+  const std::vector<ClusterId> labels =
+      RelabelSite(active, global, *metric_);
+  std::vector<std::pair<PointId, ClusterId>> result;
+  result.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    result.emplace_back(ids[i], labels[i]);
+  }
+  return result;
+}
+
+}  // namespace dbdc

@@ -1,0 +1,91 @@
+#ifndef DBDC_CORE_STREAMING_SITE_H_
+#define DBDC_CORE_STREAMING_SITE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cluster/incremental_dbscan.h"
+#include "core/local_model.h"
+#include "core/relabel.h"
+
+namespace dbdc {
+
+/// When a streaming site re-derives and re-transmits its local model.
+/// The paper's motivation for DBSCAN (Sec. 4): with the incremental
+/// version "only if the local clustering changes considerably, we have
+/// to transmit a new local model to the central site".
+struct RefreshPolicy {
+  /// Refresh when the number of clusters changed by at least this many
+  /// since the last transmitted model.
+  int min_cluster_delta = 1;
+  /// ... or when the insertions/deletions since the last transmitted
+  /// model amount to at least this fraction of the active points
+  /// (0 disables the criterion).
+  double updated_fraction = 0.0;
+  /// Never refresh more often than every this many updates.
+  std::size_t min_updates_between = 0;
+};
+
+/// A client site whose data arrives (and expires) as a stream.
+///
+/// Maintains its clustering with IncrementalDbscan and decides via the
+/// RefreshPolicy when the local model is stale enough to justify a new
+/// transmission — the DBDC deployment mode the paper sketches but does
+/// not implement. Model extraction itself re-runs the (cheap, local)
+/// specific-core-point pass over the current points, since the
+/// representative set depends on the discovery order of a DBSCAN run.
+class StreamingSite {
+ public:
+  StreamingSite(int site_id, const Metric& metric,
+                const DbscanParams& params, int dim,
+                LocalModelType model_type, const RefreshPolicy& policy);
+
+  /// Adds an observation. Returns its id.
+  PointId Insert(std::span<const double> coords);
+  /// Expires an observation.
+  void Erase(PointId id);
+
+  /// Whether the policy says the last transmitted model is stale.
+  bool ModelNeedsRefresh() const;
+
+  /// Re-derives the local model from the current points and marks it
+  /// transmitted (resets the staleness tracking).
+  const LocalModel& RefreshModel();
+
+  /// The last refreshed model (empty before the first RefreshModel()).
+  const LocalModel& local_model() const { return model_; }
+
+  /// Relabels the *active* points against a received global model;
+  /// returns (active point id, global label) pairs.
+  std::vector<std::pair<PointId, ClusterId>> ApplyGlobalModel(
+      const GlobalModel& global) const;
+
+  const IncrementalDbscan& clustering() const { return clustering_; }
+  int site_id() const { return site_id_; }
+  std::size_t updates_since_refresh() const {
+    return updates_since_refresh_;
+  }
+  int refresh_count() const { return refresh_count_; }
+
+ private:
+  /// Builds the compact dataset of active points + the id mapping.
+  void ActiveSnapshot(Dataset* active, std::vector<PointId>* ids) const;
+
+  int site_id_;
+  const Metric* metric_;
+  DbscanParams params_;
+  LocalModelType model_type_;
+  RefreshPolicy policy_;
+  IncrementalDbscan clustering_;
+  LocalModel model_;
+  // Staleness tracking relative to the last refresh.
+  int clusters_at_refresh_ = 0;
+  std::size_t updates_since_refresh_ = 0;
+  int refresh_count_ = 0;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_CORE_STREAMING_SITE_H_

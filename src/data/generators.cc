@@ -1,0 +1,158 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace dbdc {
+namespace {
+
+/// Jittered-grid centers over [0,100]^2 with spacing that keeps blobs
+/// separated: cells of a ceil(sqrt(k)) x ceil(sqrt(k)) grid, shuffled.
+std::vector<Point> GridCenters(int k, double region, Rng* rng) {
+  const int side = static_cast<int>(std::ceil(std::sqrt(k)));
+  std::vector<Point> cells;
+  cells.reserve(side * side);
+  const double step = region / side;
+  for (int i = 0; i < side; ++i) {
+    for (int j = 0; j < side; ++j) {
+      cells.push_back({(i + 0.5) * step, (j + 0.5) * step});
+    }
+  }
+  std::shuffle(cells.begin(), cells.end(), rng->engine());
+  cells.resize(k);
+  for (Point& c : cells) {
+    // Jitter within a quarter cell so blobs stay apart.
+    c[0] += rng->Uniform(-step / 8.0, step / 8.0);
+    c[1] += rng->Uniform(-step / 8.0, step / 8.0);
+  }
+  return cells;
+}
+
+}  // namespace
+
+void AppendBlob(const BlobSpec& spec, ClusterId label, Rng* rng,
+                Dataset* data, std::vector<ClusterId>* labels) {
+  Point p(spec.center.size());
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    for (std::size_t d = 0; d < spec.center.size(); ++d) {
+      p[d] = rng->Gaussian(spec.center[d], spec.stddev);
+    }
+    data->Add(p);
+    labels->push_back(label);
+  }
+}
+
+void AppendUniformNoise(std::size_t count, double lo, double hi, Rng* rng,
+                        Dataset* data, std::vector<ClusterId>* labels) {
+  Point p(data->dim());
+  for (std::size_t i = 0; i < count; ++i) {
+    for (int d = 0; d < data->dim(); ++d) p[d] = rng->Uniform(lo, hi);
+    data->Add(p);
+    labels->push_back(kNoise);
+  }
+}
+
+void AppendRing(const Point& center, double radius, double thickness,
+                std::size_t count, ClusterId label, Rng* rng, Dataset* data,
+                std::vector<ClusterId>* labels) {
+  DBDC_CHECK(center.size() == 2 && data->dim() == 2);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double angle = rng->Uniform(0.0, 2.0 * std::numbers::pi);
+    const double r = radius + rng->Gaussian(0.0, thickness);
+    data->Add(Point{center[0] + r * std::cos(angle),
+                    center[1] + r * std::sin(angle)});
+    labels->push_back(label);
+  }
+}
+
+SyntheticDataset MakeBlobs(std::size_t n, int num_blobs,
+                           double noise_fraction, double stddev_lo,
+                           double stddev_hi, std::uint64_t seed,
+                           double region) {
+  DBDC_CHECK(num_blobs >= 1);
+  DBDC_CHECK(noise_fraction >= 0.0 && noise_fraction < 1.0);
+  Rng rng(seed);
+  SyntheticDataset out;
+  out.data = Dataset(2);
+  out.data.Reserve(n);
+  out.num_components = num_blobs;
+
+  const std::size_t noise_count =
+      static_cast<std::size_t>(noise_fraction * static_cast<double>(n));
+  const std::size_t cluster_total = n - noise_count;
+
+  // Random blob weights (each at least half the uniform share).
+  std::vector<double> weights(num_blobs);
+  double weight_sum = 0.0;
+  for (double& w : weights) {
+    w = rng.Uniform(0.5, 1.5);
+    weight_sum += w;
+  }
+  const std::vector<Point> centers = GridCenters(num_blobs, region, &rng);
+  std::size_t assigned = 0;
+  for (int b = 0; b < num_blobs; ++b) {
+    std::size_t count = b + 1 == num_blobs
+                            ? cluster_total - assigned
+                            : static_cast<std::size_t>(
+                                  weights[b] / weight_sum * cluster_total);
+    count = std::min(count, cluster_total - assigned);
+    assigned += count;
+    BlobSpec spec{centers[b], rng.Uniform(stddev_lo, stddev_hi), count};
+    AppendBlob(spec, b, &rng, &out.data, &out.true_labels);
+  }
+  AppendUniformNoise(noise_count, 0.0, region, &rng, &out.data,
+                     &out.true_labels);
+  return out;
+}
+
+SyntheticDataset MakeTestDatasetA(std::uint64_t seed) {
+  // 8700 points, "randomly generated data/cluster": 13 blobs of varying
+  // size and spread plus 5% background noise. The region is sized so that
+  // some cluster pairs are only a few Eps_local apart — dense enough that
+  // an oversized Eps_global (>~4x Eps_local) erroneously merges them,
+  // reproducing the quality drop-off of Fig. 9b.
+  SyntheticDataset out = MakeBlobs(8700, 13, 0.05, 1.2, 2.0, seed,
+                                   /*region=*/56.0);
+  out.name = "A";
+  out.suggested_params = {1.2, 5};
+  return out;
+}
+
+SyntheticDataset MakeTestDatasetB(std::uint64_t seed) {
+  // 4000 points, "very noisy data": 5 diffuse blobs under 40% uniform
+  // noise. The blobs are wide enough that their fringes sit close to the
+  // core-density threshold — the regime in which the paper's set B lives
+  // and in which the distributed clustering visibly disagrees with the
+  // central one (Fig. 11: B scores lowest under P^II).
+  SyntheticDataset out = MakeBlobs(4000, 5, 0.40, 2.5, 4.0, seed);
+  out.name = "B";
+  out.suggested_params = {2.0, 10};
+  return out;
+}
+
+SyntheticDataset MakeTestDatasetC(std::uint64_t seed) {
+  // 1021 points, 3 clusters.
+  Rng rng(seed);
+  SyntheticDataset out;
+  out.name = "C";
+  out.data = Dataset(2);
+  out.num_components = 3;
+  AppendBlob({{25.0, 25.0}, 3.0, 340}, 0, &rng, &out.data, &out.true_labels);
+  AppendBlob({{75.0, 30.0}, 3.5, 340}, 1, &rng, &out.data, &out.true_labels);
+  AppendBlob({{50.0, 75.0}, 4.0, 341}, 2, &rng, &out.data, &out.true_labels);
+  out.suggested_params = {2.5, 5};
+  return out;
+}
+
+SyntheticDataset MakeScaledDataset(std::size_t n, std::uint64_t seed) {
+  // Fixed [0,100]^2 region, 13 blobs, 5% noise — density (and with it the
+  // cost of every eps-range query) scales with n, as in the paper's
+  // runtime experiments.
+  SyntheticDataset out = MakeBlobs(n, 13, 0.05, 1.2, 2.4, seed);
+  out.name = "scaled";
+  out.suggested_params = {1.2, 5};
+  return out;
+}
+
+}  // namespace dbdc

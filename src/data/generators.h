@@ -1,0 +1,80 @@
+#ifndef DBDC_DATA_GENERATORS_H_
+#define DBDC_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "common/dataset.h"
+#include "common/rng.h"
+
+namespace dbdc {
+
+/// A synthetic dataset together with its generating ground truth and the
+/// DBSCAN parameters calibrated for it.
+struct SyntheticDataset {
+  std::string name;
+  Dataset data = Dataset(2);
+  /// Generating component per point; kNoise for background noise. This is
+  /// the *generator's* truth, used for sanity checks — the quality
+  /// criteria of the paper compare against a central DBSCAN run instead.
+  std::vector<ClusterId> true_labels;
+  /// Eps_local / MinPts calibrated so central DBSCAN recovers the
+  /// generated structure.
+  DbscanParams suggested_params;
+  int num_components = 0;
+};
+
+/// A Gaussian blob specification.
+struct BlobSpec {
+  Point center;
+  double stddev = 1.0;
+  std::size_t count = 0;
+};
+
+/// Appends `spec.count` Gaussian-distributed points around spec.center.
+void AppendBlob(const BlobSpec& spec, ClusterId label, Rng* rng,
+                Dataset* data, std::vector<ClusterId>* labels);
+
+/// Appends uniform background noise over the box [lo, hi]^dim.
+void AppendUniformNoise(std::size_t count, double lo, double hi, Rng* rng,
+                        Dataset* data, std::vector<ClusterId>* labels);
+
+/// Appends a ring (annulus) of points — a non-globular shape k-means
+/// cannot capture but DBSCAN can (the paper's Sec. 4 motivation).
+void AppendRing(const Point& center, double radius, double thickness,
+                std::size_t count, ClusterId label, Rng* rng, Dataset* data,
+                std::vector<ClusterId>* labels);
+
+/// General blob generator: `num_blobs` Gaussian clusters with centers on a
+/// jittered grid over [0,region]^2 (guaranteed separation), plus
+/// `noise_fraction` uniform noise over the same square. Total point count
+/// is `n`. Smaller regions move the clusters closer together, which is
+/// what makes an over-sized Eps_global erroneously merge clusters
+/// (Fig. 9's quality drop-off).
+SyntheticDataset MakeBlobs(std::size_t n, int num_blobs,
+                           double noise_fraction, double stddev_lo,
+                           double stddev_hi, std::uint64_t seed,
+                           double region = 100.0);
+
+/// Paper test data set A (Fig. 6a): 8700 points, randomly generated
+/// clusters of varying size and extent plus light background noise.
+SyntheticDataset MakeTestDatasetA(std::uint64_t seed = 1);
+
+/// Paper test data set B (Fig. 6b): 4000 points, very noisy (~40 %
+/// uniform background noise around a few clusters).
+SyntheticDataset MakeTestDatasetB(std::uint64_t seed = 2);
+
+/// Paper test data set C (Fig. 6c): 1021 points in 3 clusters.
+SyntheticDataset MakeTestDatasetC(std::uint64_t seed = 3);
+
+/// Dataset-A-style generator at arbitrary cardinality, used by the
+/// runtime experiments (Figs. 7 and 8): the spatial region stays fixed
+/// while n grows, so neighborhood sizes — and central DBSCAN's cost —
+/// grow with n exactly as in the paper's setup.
+SyntheticDataset MakeScaledDataset(std::size_t n, std::uint64_t seed = 7);
+
+}  // namespace dbdc
+
+#endif  // DBDC_DATA_GENERATORS_H_

@@ -1,0 +1,73 @@
+#include "data/io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dbdc {
+
+bool WriteDatasetCsv(const std::string& path, const Dataset& data,
+                     const std::vector<ClusterId>* labels) {
+  if (labels != nullptr && labels->size() != data.size()) return false;
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out.precision(17);
+  for (PointId id = 0; id < static_cast<PointId>(data.size()); ++id) {
+    const auto p = data.point(id);
+    for (int d = 0; d < data.dim(); ++d) {
+      if (d > 0) out << ',';
+      out << p[d];
+    }
+    if (labels != nullptr) out << ',' << (*labels)[id];
+    out << '\n';
+  }
+  return out.good();
+}
+
+std::optional<CsvDataset> ReadDatasetCsv(const std::string& path,
+                                         bool has_label_column) {
+  std::ifstream in(path);
+  if (!in.is_open()) return std::nullopt;
+
+  std::string line;
+  std::vector<std::vector<double>> rows;
+  std::size_t columns = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) {
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || errno != 0) return std::nullopt;
+      row.push_back(v);
+    }
+    if (row.empty()) return std::nullopt;
+    if (columns == 0) {
+      columns = row.size();
+    } else if (row.size() != columns) {
+      return std::nullopt;  // Ragged rows.
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return std::nullopt;
+  const int label_cols = has_label_column ? 1 : 0;
+  if (static_cast<int>(columns) - label_cols < 1) return std::nullopt;
+
+  CsvDataset result;
+  result.data = Dataset(static_cast<int>(columns) - label_cols);
+  if (has_label_column) result.labels.emplace();
+  for (const std::vector<double>& row : rows) {
+    result.data.Add(
+        std::span<const double>(row.data(), columns - label_cols));
+    if (has_label_column) {
+      result.labels->push_back(static_cast<ClusterId>(row.back()));
+    }
+  }
+  return result;
+}
+
+}  // namespace dbdc

@@ -1,0 +1,34 @@
+#ifndef DBDC_DATA_IO_H_
+#define DBDC_DATA_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/types.h"
+
+namespace dbdc {
+
+/// Writes `data` as CSV (one point per row, full precision). When
+/// `labels` is non-null (same length as the dataset), a final integer
+/// label column is appended. Returns false on IO failure.
+bool WriteDatasetCsv(const std::string& path, const Dataset& data,
+                     const std::vector<ClusterId>* labels = nullptr);
+
+/// Result of ReadDatasetCsv.
+struct CsvDataset {
+  Dataset data = Dataset(1);
+  /// Present when the file carried a label column.
+  std::optional<std::vector<ClusterId>> labels;
+};
+
+/// Reads a CSV of doubles; dimensionality is inferred from the first row.
+/// With has_label_column, the last column is parsed as integer labels.
+/// Returns nullopt on IO failure or malformed rows.
+std::optional<CsvDataset> ReadDatasetCsv(const std::string& path,
+                                         bool has_label_column = false);
+
+}  // namespace dbdc
+
+#endif  // DBDC_DATA_IO_H_

@@ -1,0 +1,48 @@
+#include "distrib/network.h"
+
+namespace dbdc {
+
+std::size_t SimulatedNetwork::Send(EndpointId from, EndpointId to,
+                                   std::vector<std::uint8_t> payload) {
+  messages_.push_back({from, to, std::move(payload)});
+  return messages_.size() - 1;
+}
+
+std::vector<const NetworkMessage*> SimulatedNetwork::Inbox(
+    EndpointId endpoint) const {
+  std::vector<const NetworkMessage*> inbox;
+  for (const NetworkMessage& m : messages_) {
+    if (m.to == endpoint) inbox.push_back(&m);
+  }
+  return inbox;
+}
+
+std::uint64_t SimulatedNetwork::BytesUplink() const {
+  std::uint64_t total = 0;
+  for (const NetworkMessage& m : messages_) {
+    if (m.to == kServerEndpoint) total += m.payload.size();
+  }
+  return total;
+}
+
+std::uint64_t SimulatedNetwork::BytesDownlink() const {
+  std::uint64_t total = 0;
+  for (const NetworkMessage& m : messages_) {
+    if (m.from == kServerEndpoint) total += m.payload.size();
+  }
+  return total;
+}
+
+std::uint64_t SimulatedNetwork::BytesTotal() const {
+  std::uint64_t total = 0;
+  for (const NetworkMessage& m : messages_) total += m.payload.size();
+  return total;
+}
+
+double SimulatedNetwork::EstimateTransferSeconds(std::uint64_t bytes,
+                                                 const LinkModel& link) {
+  return link.latency_sec +
+         static_cast<double>(bytes) / link.bandwidth_bytes_per_sec;
+}
+
+}  // namespace dbdc

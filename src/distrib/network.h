@@ -1,0 +1,70 @@
+#ifndef DBDC_DISTRIB_NETWORK_H_
+#define DBDC_DISTRIB_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dbdc {
+
+/// Endpoint id on the simulated network. The server is kServerEndpoint;
+/// sites use their non-negative site index.
+using EndpointId = int;
+inline constexpr EndpointId kServerEndpoint = -1;
+
+/// A recorded transmission.
+struct NetworkMessage {
+  EndpointId from = 0;
+  EndpointId to = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// In-process stand-in for the wide-area links between sites and server.
+///
+/// DBDC's efficiency claim rests on transmitting only the local models
+/// instead of the raw data; this class makes that cost observable: every
+/// model crosses it as real serialized bytes, and byte counters plus an
+/// optional bandwidth/latency model translate them into transfer-time
+/// estimates. (The paper reports no wire times — sites were simulated on
+/// one machine — so counters are the faithful reproduction.)
+class SimulatedNetwork {
+ public:
+  SimulatedNetwork() = default;
+
+  /// Link model used by EstimateTransferSeconds.
+  struct LinkModel {
+    double bandwidth_bytes_per_sec = 1e6;  // ~8 Mbit/s WAN default.
+    double latency_sec = 0.05;
+  };
+
+  /// Delivers `payload` from `from` to `to`, recording it. Returns the
+  /// message index.
+  std::size_t Send(EndpointId from, EndpointId to,
+                   std::vector<std::uint8_t> payload);
+
+  /// Messages received by `endpoint`, in arrival order.
+  std::vector<const NetworkMessage*> Inbox(EndpointId endpoint) const;
+
+  /// All recorded messages in send order.
+  const std::vector<NetworkMessage>& messages() const { return messages_; }
+
+  /// Total bytes sent from sites to the server (local models).
+  std::uint64_t BytesUplink() const;
+  /// Total bytes sent from the server to sites (global model broadcast).
+  std::uint64_t BytesDownlink() const;
+  std::uint64_t BytesTotal() const;
+
+  /// Transfer-time estimate for a payload of `bytes` under `link`.
+  static double EstimateTransferSeconds(std::uint64_t bytes,
+                                        const LinkModel& link);
+
+  void Clear() { messages_.clear(); }
+
+ private:
+  std::vector<NetworkMessage> messages_;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_DISTRIB_NETWORK_H_

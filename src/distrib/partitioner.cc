@@ -1,0 +1,87 @@
+#include "distrib/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dbdc {
+namespace {
+
+std::vector<PointId> AllIds(const Dataset& data) {
+  std::vector<PointId> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+}  // namespace
+
+std::vector<std::vector<PointId>> UniformRandomPartitioner::Partition(
+    const Dataset& data, int num_sites, Rng* rng) const {
+  DBDC_CHECK(num_sites >= 1);
+  std::vector<PointId> ids = AllIds(data);
+  std::shuffle(ids.begin(), ids.end(), rng->engine());
+  std::vector<std::vector<PointId>> sites(num_sites);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    sites[i % num_sites].push_back(ids[i]);
+  }
+  return sites;
+}
+
+std::vector<std::vector<PointId>> RoundRobinPartitioner::Partition(
+    const Dataset& data, int num_sites, Rng* /*rng*/) const {
+  DBDC_CHECK(num_sites >= 1);
+  std::vector<std::vector<PointId>> sites(num_sites);
+  for (PointId id = 0; id < static_cast<PointId>(data.size()); ++id) {
+    sites[id % num_sites].push_back(id);
+  }
+  return sites;
+}
+
+std::vector<std::vector<PointId>> SpatialSlabPartitioner::Partition(
+    const Dataset& data, int num_sites, Rng* /*rng*/) const {
+  DBDC_CHECK(num_sites >= 1);
+  DBDC_CHECK(axis_ >= 0 && axis_ < data.dim());
+  std::vector<PointId> ids = AllIds(data);
+  std::sort(ids.begin(), ids.end(), [&](PointId a, PointId b) {
+    const double xa = data.point(a)[axis_];
+    const double xb = data.point(b)[axis_];
+    if (xa != xb) return xa < xb;
+    return a < b;
+  });
+  std::vector<std::vector<PointId>> sites(num_sites);
+  const std::size_t n = ids.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t site = i * num_sites / n;
+    sites[site].push_back(ids[i]);
+  }
+  return sites;
+}
+
+std::vector<std::vector<PointId>> SizeSkewedPartitioner::Partition(
+    const Dataset& data, int num_sites, Rng* rng) const {
+  DBDC_CHECK(num_sites >= 1);
+  DBDC_CHECK(ratio_ > 0.0 && ratio_ <= 1.0);
+  std::vector<PointId> ids = AllIds(data);
+  std::shuffle(ids.begin(), ids.end(), rng->engine());
+  // Geometric shares, normalized.
+  std::vector<double> share(num_sites);
+  double total = 0.0;
+  for (int s = 0; s < num_sites; ++s) {
+    share[s] = std::pow(ratio_, s);
+    total += share[s];
+  }
+  std::vector<std::vector<PointId>> sites(num_sites);
+  std::size_t next = 0;
+  for (int s = 0; s < num_sites; ++s) {
+    std::size_t take = static_cast<std::size_t>(
+        std::llround(share[s] / total * static_cast<double>(ids.size())));
+    if (s == num_sites - 1) take = ids.size() - next;
+    take = std::min(take, ids.size() - next);
+    for (std::size_t i = 0; i < take; ++i) sites[s].push_back(ids[next++]);
+  }
+  // Leftovers from rounding go to the largest site.
+  while (next < ids.size()) sites[0].push_back(ids[next++]);
+  return sites;
+}
+
+}  // namespace dbdc

@@ -1,0 +1,123 @@
+#include "eval/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+namespace dbdc {
+
+DiagnosticsReport DiagnoseClustering(std::span<const ClusterId> distributed,
+                                     std::span<const ClusterId> central,
+                                     double min_overlap_fraction) {
+  DBDC_CHECK(distributed.size() == central.size());
+  DiagnosticsReport report;
+
+  std::unordered_map<ClusterId, std::size_t> distr_size, central_size;
+  std::map<std::pair<ClusterId, ClusterId>, std::size_t> overlap;
+  for (std::size_t i = 0; i < distributed.size(); ++i) {
+    const ClusterId d = distributed[i];
+    const ClusterId c = central[i];
+    if (d >= 0) ++distr_size[d];
+    if (c >= 0) ++central_size[c];
+    if (d >= 0 && c >= 0) {
+      ++overlap[{d, c}];
+    } else if (d >= 0 && c < 0) {
+      ++report.noise_absorbed;
+    } else if (d < 0 && c >= 0) {
+      ++report.noise_lost;
+    } else {
+      ++report.noise_agreed;
+    }
+  }
+  report.num_distributed_clusters = static_cast<int>(distr_size.size());
+  report.num_central_clusters = static_cast<int>(central_size.size());
+
+  // Best match per distributed cluster.
+  std::unordered_map<ClusterId, ClusterOverlap> best;
+  for (const auto& [pair, size] : overlap) {
+    const auto [d, c] = pair;
+    ClusterOverlap entry;
+    entry.distributed = d;
+    entry.central = c;
+    entry.size = size;
+    entry.jaccard = static_cast<double>(size) /
+                    static_cast<double>(distr_size[d] + central_size[c] -
+                                        size);
+    auto [it, inserted] = best.emplace(d, entry);
+    if (!inserted && size > it->second.size) it->second = entry;
+  }
+  for (const auto& [d, entry] : best) {
+    report.best_match_per_distributed.push_back(entry);
+  }
+  std::sort(report.best_match_per_distributed.begin(),
+            report.best_match_per_distributed.end(),
+            [](const ClusterOverlap& a, const ClusterOverlap& b) {
+              return a.distributed < b.distributed;
+            });
+
+  // Split events: central clusters covered substantially by >= 2
+  // distributed clusters.
+  std::map<ClusterId, std::vector<ClusterId>> central_parts;
+  std::map<ClusterId, std::vector<ClusterId>> distr_parts;
+  for (const auto& [pair, size] : overlap) {
+    const auto [d, c] = pair;
+    if (static_cast<double>(size) >=
+        min_overlap_fraction * static_cast<double>(central_size[c])) {
+      central_parts[c].push_back(d);
+    }
+    if (static_cast<double>(size) >=
+        min_overlap_fraction * static_cast<double>(distr_size[d])) {
+      distr_parts[d].push_back(c);
+    }
+  }
+  for (auto& [c, parts] : central_parts) {
+    if (parts.size() >= 2) {
+      std::sort(parts.begin(), parts.end());
+      report.splits.push_back(SplitEvent{c, parts});
+    }
+  }
+  for (auto& [d, parts] : distr_parts) {
+    if (parts.size() >= 2) {
+      std::sort(parts.begin(), parts.end());
+      report.merges.push_back(MergeEvent{d, parts});
+    }
+  }
+  return report;
+}
+
+std::string FormatDiagnostics(const DiagnosticsReport& report) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "clusters: %d distributed vs %d central\n",
+                report.num_distributed_clusters,
+                report.num_central_clusters);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "noise: %zu agreed, %zu absorbed into clusters, %zu lost "
+                "to noise\n",
+                report.noise_agreed, report.noise_absorbed,
+                report.noise_lost);
+  out += line;
+  for (const SplitEvent& split : report.splits) {
+    std::snprintf(line, sizeof(line),
+                  "SPLIT: central cluster %d covered by %zu distributed "
+                  "clusters\n",
+                  split.central, split.parts.size());
+    out += line;
+  }
+  for (const MergeEvent& merge : report.merges) {
+    std::snprintf(line, sizeof(line),
+                  "MERGE: distributed cluster %d spans %zu central "
+                  "clusters\n",
+                  merge.distributed, merge.parts.size());
+    out += line;
+  }
+  if (report.splits.empty() && report.merges.empty()) {
+    out += "structure: one-to-one cluster correspondence\n";
+  }
+  return out;
+}
+
+}  // namespace dbdc

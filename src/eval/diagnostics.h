@@ -1,0 +1,62 @@
+#ifndef DBDC_EVAL_DIAGNOSTICS_H_
+#define DBDC_EVAL_DIAGNOSTICS_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dbdc {
+
+/// One (distributed cluster, central cluster) overlap.
+struct ClusterOverlap {
+  ClusterId distributed = kNoise;
+  ClusterId central = kNoise;
+  std::size_t size = 0;     // |C_d ∩ C_c|
+  double jaccard = 0.0;     // |C_d ∩ C_c| / |C_d ∪ C_c|
+};
+
+/// A central cluster that the distributed clustering split into several
+/// pieces (or vice versa for MergeEvent).
+struct SplitEvent {
+  ClusterId central = kNoise;
+  std::vector<ClusterId> parts;  // Distributed clusters covering it.
+};
+
+struct MergeEvent {
+  ClusterId distributed = kNoise;
+  std::vector<ClusterId> parts;  // Central clusters it swallowed.
+};
+
+/// A structural comparison of a distributed clustering against the
+/// central reference — the qualitative view behind the Q_DBDC number:
+/// *which* clusters were split, merged, or exchanged with noise.
+struct DiagnosticsReport {
+  /// Best-matching central cluster per distributed cluster (by overlap).
+  std::vector<ClusterOverlap> best_match_per_distributed;
+  std::vector<SplitEvent> splits;
+  std::vector<MergeEvent> merges;
+  /// Points that are noise centrally but clustered distributedly.
+  std::size_t noise_absorbed = 0;
+  /// Points clustered centrally but noise distributedly.
+  std::size_t noise_lost = 0;
+  /// Points that are noise in both.
+  std::size_t noise_agreed = 0;
+  int num_distributed_clusters = 0;
+  int num_central_clusters = 0;
+};
+
+/// Builds the report. An overlap counts towards a split/merge event when
+/// it covers at least `min_overlap_fraction` of the cluster being
+/// split/merged (filters incidental single-point contacts).
+DiagnosticsReport DiagnoseClustering(std::span<const ClusterId> distributed,
+                                     std::span<const ClusterId> central,
+                                     double min_overlap_fraction = 0.05);
+
+/// Human-readable multi-line rendering of the report.
+std::string FormatDiagnostics(const DiagnosticsReport& report);
+
+}  // namespace dbdc
+
+#endif  // DBDC_EVAL_DIAGNOSTICS_H_

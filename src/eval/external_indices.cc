@@ -1,0 +1,133 @@
+#include "eval/external_indices.h"
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dbdc {
+namespace {
+
+/// Rewrites labels so every noise point becomes its own singleton
+/// cluster, then renumbers densely.
+std::vector<ClusterId> Canonicalize(std::span<const ClusterId> labels) {
+  std::vector<ClusterId> out(labels.size());
+  std::unordered_map<ClusterId, ClusterId> remap;
+  ClusterId next = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) {
+      out[i] = next++;
+      continue;
+    }
+    const auto [it, inserted] = remap.emplace(labels[i], next);
+    if (inserted) ++next;
+    out[i] = it->second;
+  }
+  return out;
+}
+
+struct PairCounts {
+  // Sum over contingency cells / marginals of C(n_ij, 2) etc.
+  double sum_cells = 0.0;  // sum_ij C(n_ij, 2)
+  double sum_a = 0.0;      // sum_i C(a_i, 2)
+  double sum_b = 0.0;      // sum_j C(b_j, 2)
+  double total_pairs = 0.0;
+  std::vector<std::size_t> a_sizes;
+  std::vector<std::size_t> b_sizes;
+  std::unordered_map<std::uint64_t, std::size_t> cells;
+  std::size_t n = 0;
+};
+
+double Choose2(std::size_t n) {
+  return 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+}
+
+PairCounts Count(std::span<const ClusterId> a_in,
+                 std::span<const ClusterId> b_in) {
+  DBDC_CHECK(a_in.size() == b_in.size());
+  const std::vector<ClusterId> a = Canonicalize(a_in);
+  const std::vector<ClusterId> b = Canonicalize(b_in);
+  PairCounts pc;
+  pc.n = a.size();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (static_cast<std::size_t>(a[i]) >= pc.a_sizes.size()) {
+      pc.a_sizes.resize(a[i] + 1, 0);
+    }
+    if (static_cast<std::size_t>(b[i]) >= pc.b_sizes.size()) {
+      pc.b_sizes.resize(b[i] + 1, 0);
+    }
+    ++pc.a_sizes[a[i]];
+    ++pc.b_sizes[b[i]];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a[i])) << 32) |
+        static_cast<std::uint32_t>(b[i]);
+    ++pc.cells[key];
+  }
+  for (const auto& [key, count] : pc.cells) pc.sum_cells += Choose2(count);
+  for (const std::size_t s : pc.a_sizes) pc.sum_a += Choose2(s);
+  for (const std::size_t s : pc.b_sizes) pc.sum_b += Choose2(s);
+  pc.total_pairs = Choose2(pc.n);
+  return pc;
+}
+
+}  // namespace
+
+double RandIndex(std::span<const ClusterId> a, std::span<const ClusterId> b) {
+  const PairCounts pc = Count(a, b);
+  DBDC_CHECK(pc.n >= 2);
+  // Agreements = pairs together in both + pairs separate in both.
+  const double together_both = pc.sum_cells;
+  const double separate_both =
+      pc.total_pairs - pc.sum_a - pc.sum_b + pc.sum_cells;
+  return (together_both + separate_both) / pc.total_pairs;
+}
+
+double AdjustedRandIndex(std::span<const ClusterId> a,
+                         std::span<const ClusterId> b) {
+  const PairCounts pc = Count(a, b);
+  DBDC_CHECK(pc.n >= 2);
+  const double expected = pc.sum_a * pc.sum_b / pc.total_pairs;
+  const double max_index = 0.5 * (pc.sum_a + pc.sum_b);
+  if (max_index == expected) return 1.0;  // Both trivial partitions.
+  return (pc.sum_cells - expected) / (max_index - expected);
+}
+
+double NormalizedMutualInformation(std::span<const ClusterId> a,
+                                   std::span<const ClusterId> b) {
+  const PairCounts pc = Count(a, b);
+  const double n = static_cast<double>(pc.n);
+  double h_a = 0.0, h_b = 0.0, mi = 0.0;
+  for (const std::size_t s : pc.a_sizes) {
+    if (s > 0) h_a -= s / n * std::log(s / n);
+  }
+  for (const std::size_t s : pc.b_sizes) {
+    if (s > 0) h_b -= s / n * std::log(s / n);
+  }
+  for (const auto& [key, count] : pc.cells) {
+    const std::size_t ai = key >> 32;
+    const std::size_t bi = key & 0xffffffffu;
+    const double pij = count / n;
+    const double pa = pc.a_sizes[ai] / n;
+    const double pb = pc.b_sizes[bi] / n;
+    mi += pij * std::log(pij / (pa * pb));
+  }
+  const double denom = 0.5 * (h_a + h_b);
+  if (denom == 0.0) return 1.0;  // Both single-cluster partitions: equal.
+  return mi / denom;
+}
+
+double Purity(std::span<const ClusterId> a, std::span<const ClusterId> b) {
+  const PairCounts pc = Count(a, b);
+  // For each cluster of `a`, the size of its largest overlap with a
+  // cluster of `b`.
+  std::vector<std::size_t> best(pc.a_sizes.size(), 0);
+  for (const auto& [key, count] : pc.cells) {
+    const std::size_t ai = key >> 32;
+    if (count > best[ai]) best[ai] = count;
+  }
+  std::size_t sum = 0;
+  for (const std::size_t v : best) sum += v;
+  return static_cast<double>(sum) / static_cast<double>(pc.n);
+}
+
+}  // namespace dbdc

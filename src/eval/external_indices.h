@@ -1,0 +1,39 @@
+#ifndef DBDC_EVAL_EXTERNAL_INDICES_H_
+#define DBDC_EVAL_EXTERNAL_INDICES_H_
+
+#include <span>
+
+#include "common/types.h"
+
+namespace dbdc {
+
+/// Standard external clustering-agreement indices, used as cross-checks
+/// for the paper's P^I / P^II criteria (they are not part of the paper's
+/// evaluation, but let us verify that P^II orders clusterings the same
+/// way established measures do).
+///
+/// Noise handling: each noise point (label kNoise) is treated as a
+/// singleton cluster of its own, the common convention when comparing
+/// DBSCAN-style clusterings.
+
+/// Rand index in [0, 1]: the fraction of point pairs on which the two
+/// clusterings agree. Requires at least 2 points.
+double RandIndex(std::span<const ClusterId> a, std::span<const ClusterId> b);
+
+/// Adjusted Rand index in [-1, 1] (1 = identical, ~0 = random).
+double AdjustedRandIndex(std::span<const ClusterId> a,
+                         std::span<const ClusterId> b);
+
+/// Normalized mutual information in [0, 1] (arithmetic-mean
+/// normalization). Two identical clusterings score 1; a constant
+/// labeling against anything scores 0.
+double NormalizedMutualInformation(std::span<const ClusterId> a,
+                                   std::span<const ClusterId> b);
+
+/// Purity of clustering `a` against reference `b` in (0, 1]: each cluster
+/// of `a` votes for its dominant reference cluster.
+double Purity(std::span<const ClusterId> a, std::span<const ClusterId> b);
+
+}  // namespace dbdc
+
+#endif  // DBDC_EVAL_EXTERNAL_INDICES_H_

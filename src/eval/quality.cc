@@ -1,0 +1,102 @@
+#include "eval/quality.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace dbdc {
+namespace {
+
+/// Pairwise co-occurrence counts |C_d ∩ C_c| for every (distributed,
+/// central) cluster pair, plus the cluster sizes.
+struct Contingency {
+  std::unordered_map<std::uint64_t, std::size_t> pair_count;
+  std::unordered_map<ClusterId, std::size_t> distr_size;
+  std::unordered_map<ClusterId, std::size_t> central_size;
+
+  static std::uint64_t Key(ClusterId d, ClusterId c) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(d)) << 32) |
+           static_cast<std::uint32_t>(c);
+  }
+};
+
+Contingency BuildContingency(std::span<const ClusterId> distributed,
+                             std::span<const ClusterId> central) {
+  DBDC_CHECK(distributed.size() == central.size());
+  Contingency table;
+  for (std::size_t i = 0; i < distributed.size(); ++i) {
+    const ClusterId d = distributed[i];
+    const ClusterId c = central[i];
+    if (d >= 0) ++table.distr_size[d];
+    if (c >= 0) ++table.central_size[c];
+    if (d >= 0 && c >= 0) ++table.pair_count[Contingency::Key(d, c)];
+  }
+  return table;
+}
+
+}  // namespace
+
+std::vector<double> ObjectQualityP1(std::span<const ClusterId> distributed,
+                                    std::span<const ClusterId> central,
+                                    int qp) {
+  DBDC_CHECK(qp >= 1);
+  const Contingency table = BuildContingency(distributed, central);
+  std::vector<double> quality(distributed.size(), 0.0);
+  for (std::size_t i = 0; i < distributed.size(); ++i) {
+    const ClusterId d = distributed[i];
+    const ClusterId c = central[i];
+    if (d < 0 && c < 0) {
+      quality[i] = 1.0;
+    } else if (d >= 0 && c >= 0) {
+      const auto it = table.pair_count.find(Contingency::Key(d, c));
+      const std::size_t inter = it == table.pair_count.end() ? 0 : it->second;
+      quality[i] = inter >= static_cast<std::size_t>(qp) ? 1.0 : 0.0;
+    }
+    // Noise in exactly one clustering: 0.
+  }
+  return quality;
+}
+
+std::vector<double> ObjectQualityP2(std::span<const ClusterId> distributed,
+                                    std::span<const ClusterId> central) {
+  const Contingency table = BuildContingency(distributed, central);
+  std::vector<double> quality(distributed.size(), 0.0);
+  for (std::size_t i = 0; i < distributed.size(); ++i) {
+    const ClusterId d = distributed[i];
+    const ClusterId c = central[i];
+    if (d < 0 && c < 0) {
+      quality[i] = 1.0;
+    } else if (d >= 0 && c >= 0) {
+      const auto it = table.pair_count.find(Contingency::Key(d, c));
+      const std::size_t inter = it == table.pair_count.end() ? 0 : it->second;
+      const std::size_t uni = table.distr_size.at(d) +
+                              table.central_size.at(c) - inter;
+      quality[i] = uni == 0 ? 0.0
+                            : static_cast<double>(inter) /
+                                  static_cast<double>(uni);
+    }
+  }
+  return quality;
+}
+
+namespace {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;  // Empty database: trivially perfect.
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+double QualityP1(std::span<const ClusterId> distributed,
+                 std::span<const ClusterId> central, int qp) {
+  return Mean(ObjectQualityP1(distributed, central, qp));
+}
+
+double QualityP2(std::span<const ClusterId> distributed,
+                 std::span<const ClusterId> central) {
+  return Mean(ObjectQualityP2(distributed, central));
+}
+
+}  // namespace dbdc

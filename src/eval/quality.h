@@ -1,0 +1,48 @@
+#ifndef DBDC_EVAL_QUALITY_H_
+#define DBDC_EVAL_QUALITY_H_
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dbdc {
+
+/// The paper's quality framework (Sec. 8): the quality Q_DBDC of a
+/// distributed clustering is the mean of a per-object quality P(x)
+/// comparing the object's distributed cluster C_d against its cluster C_c
+/// in the central reference clustering.
+///
+/// Both label vectors use kNoise for noise and non-negative ids for
+/// clusters; label *values* need not correspond between the two
+/// clusterings — only co-membership matters.
+///
+/// The printed case lists of Defs. 10/11 are garbled in the paper; the
+/// implementations here use the only consistent reading (see DESIGN.md):
+/// identical clusterings score exactly 1 under both criteria.
+
+/// Per-object values of the discrete criterion P^I (Def. 10) w.r.t. the
+/// quality parameter qp (the paper suggests qp = MinPts):
+///   1  if x is noise in both clusterings,
+///   1  if x is clustered in both and |C_d ∩ C_c| >= qp,
+///   0  otherwise.
+std::vector<double> ObjectQualityP1(std::span<const ClusterId> distributed,
+                                    std::span<const ClusterId> central,
+                                    int qp);
+
+/// Per-object values of the continuous criterion P^II (Def. 11):
+///   1                        if x is noise in both,
+///   0                        if x is noise in exactly one,
+///   |C_d ∩ C_c| / |C_d ∪ C_c|  otherwise (Jaccard of x's two clusters).
+std::vector<double> ObjectQualityP2(std::span<const ClusterId> distributed,
+                                    std::span<const ClusterId> central);
+
+/// Q_DBDC (Def. 9): the mean object quality.
+double QualityP1(std::span<const ClusterId> distributed,
+                 std::span<const ClusterId> central, int qp);
+double QualityP2(std::span<const ClusterId> distributed,
+                 std::span<const ClusterId> central);
+
+}  // namespace dbdc
+
+#endif  // DBDC_EVAL_QUALITY_H_

@@ -1,0 +1,56 @@
+#include "eval/silhouette.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dbdc {
+
+double SilhouetteCoefficient(const Dataset& data,
+                             std::span<const ClusterId> labels,
+                             const Metric& metric, std::size_t max_samples,
+                             std::uint64_t seed) {
+  DBDC_CHECK(labels.size() == data.size());
+  std::vector<PointId> clustered;
+  std::unordered_map<ClusterId, std::size_t> cluster_sizes;
+  for (PointId p = 0; p < static_cast<PointId>(data.size()); ++p) {
+    if (labels[p] >= 0) {
+      clustered.push_back(p);
+      ++cluster_sizes[labels[p]];
+    }
+  }
+  if (cluster_sizes.size() < 2) return 0.0;
+
+  std::vector<PointId> samples = clustered;
+  if (samples.size() > max_samples) {
+    Rng rng(seed);
+    std::shuffle(samples.begin(), samples.end(), rng.engine());
+    samples.resize(max_samples);
+  }
+
+  double total = 0.0;
+  std::unordered_map<ClusterId, double> dist_sum;
+  for (const PointId p : samples) {
+    const ClusterId own = labels[p];
+    if (cluster_sizes[own] <= 1) continue;  // Singleton: s = 0.
+    dist_sum.clear();
+    for (const PointId q : clustered) {
+      if (q == p) continue;
+      dist_sum[labels[q]] += metric.Distance(data.point(p), data.point(q));
+    }
+    const double a =
+        dist_sum[own] / static_cast<double>(cluster_sizes[own] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (const auto& [cluster, sum] : dist_sum) {
+      if (cluster == own) continue;
+      b = std::min(b, sum / static_cast<double>(cluster_sizes[cluster]));
+    }
+    total += (b - a) / std::max(a, b);
+  }
+  return total / static_cast<double>(samples.size());
+}
+
+}  // namespace dbdc

@@ -1,0 +1,32 @@
+#ifndef DBDC_EVAL_SILHOUETTE_H_
+#define DBDC_EVAL_SILHOUETTE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/dataset.h"
+#include "common/distance.h"
+#include "common/types.h"
+
+namespace dbdc {
+
+/// Mean silhouette coefficient of a clustering in [-1, 1] — an
+/// *internal* quality measure (no reference clustering needed),
+/// complementing the paper's external criteria P^I / P^II.
+///
+/// Noise points are excluded. Points in singleton clusters score 0 (the
+/// usual convention). Exact computation is O(n²) in the number of
+/// clustered points; when that exceeds `max_samples`, a seeded uniform
+/// sample of points is scored (distances still go against all clustered
+/// points, so the estimate is unbiased).
+///
+/// Returns 0 when fewer than 2 clusters exist.
+double SilhouetteCoefficient(const Dataset& data,
+                             std::span<const ClusterId> labels,
+                             const Metric& metric,
+                             std::size_t max_samples = 2000,
+                             std::uint64_t seed = 1);
+
+}  // namespace dbdc
+
+#endif  // DBDC_EVAL_SILHOUETTE_H_

@@ -1,0 +1,132 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace dbdc {
+namespace {
+
+// Splitmix-style integer mix for cell-coordinate hashing.
+inline std::uint64_t Mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+}  // namespace
+
+GridIndex::GridIndex(const Dataset& data, const Metric& metric,
+                     double cell_width, bool index_all)
+    : data_(&data), metric_(&metric), cell_width_(cell_width) {
+  DBDC_CHECK(cell_width > 0.0);
+  if (index_all) {
+    for (PointId id = 0; id < static_cast<PointId>(data.size()); ++id) {
+      Insert(id);
+    }
+  }
+}
+
+void GridIndex::CellCoords(std::span<const double> p,
+                           std::vector<std::int64_t>* c) const {
+  c->resize(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    (*c)[i] = static_cast<std::int64_t>(std::floor(p[i] / cell_width_));
+  }
+}
+
+GridIndex::CellKey GridIndex::HashCoords(
+    const std::vector<std::int64_t>& c) const {
+  std::uint64_t h = 0x51ed270b0a1f2c3dULL;
+  for (const std::int64_t v : c) h = Mix(h, static_cast<std::uint64_t>(v));
+  return h;
+}
+
+GridIndex::CellKey GridIndex::KeyFor(std::span<const double> p) const {
+  std::vector<std::int64_t> c;
+  CellCoords(p, &c);
+  return HashCoords(c);
+}
+
+void GridIndex::RangeQuery(std::span<const double> q, double eps,
+                           std::vector<PointId>* out) const {
+  out->clear();
+  DBDC_CHECK(static_cast<int>(q.size()) == data_->dim());
+  const int dim = data_->dim();
+  // Cell-coordinate box covering [q-eps, q+eps].
+  std::vector<std::int64_t> lo(dim), hi(dim), cur(dim);
+  for (int i = 0; i < dim; ++i) {
+    lo[i] = static_cast<std::int64_t>(std::floor((q[i] - eps) / cell_width_));
+    hi[i] = static_cast<std::int64_t>(std::floor((q[i] + eps) / cell_width_));
+  }
+  cur = lo;
+  while (true) {
+    const auto it = cells_.find(HashCoords(cur));
+    if (it != cells_.end()) {
+      for (const PointId id : it->second) {
+        if (metric_->Distance(q, data_->point(id)) <= eps) {
+          out->push_back(id);
+        }
+      }
+    }
+    // Odometer-style advance through the cell box.
+    int axis = 0;
+    while (axis < dim) {
+      if (++cur[axis] <= hi[axis]) break;
+      cur[axis] = lo[axis];
+      ++axis;
+    }
+    if (axis == dim) break;
+  }
+}
+
+void GridIndex::KnnQuery(std::span<const double> q, int k,
+                         std::vector<PointId>* out) const {
+  out->clear();
+  if (k <= 0 || count_ == 0) return;
+  const std::size_t want = std::min<std::size_t>(k, count_);
+  // Expanding-radius search: the answer is exact once the k-th neighbor
+  // lies within the scanned radius.
+  double r = cell_width_;
+  std::vector<PointId> candidates;
+  for (;;) {
+    RangeQuery(q, r, &candidates);
+    if (candidates.size() >= want) {
+      std::vector<std::pair<double, PointId>> scored;
+      scored.reserve(candidates.size());
+      for (const PointId id : candidates) {
+        scored.emplace_back(metric_->Distance(q, data_->point(id)), id);
+      }
+      std::sort(scored.begin(), scored.end());
+      if (scored[want - 1].first <= r) {
+        for (std::size_t i = 0; i < want; ++i) out->push_back(scored[i].second);
+        return;
+      }
+    }
+    r *= 2.0;
+    DBDC_CHECK(r < std::numeric_limits<double>::max() / 4.0);
+  }
+}
+
+void GridIndex::Insert(PointId id) {
+  DBDC_CHECK(id >= 0 && static_cast<std::size_t>(id) < data_->size());
+  cells_[KeyFor(data_->point(id))].push_back(id);
+  ++count_;
+}
+
+void GridIndex::Erase(PointId id) {
+  DBDC_CHECK(id >= 0 && static_cast<std::size_t>(id) < data_->size());
+  const auto it = cells_.find(KeyFor(data_->point(id)));
+  DBDC_CHECK(it != cells_.end());
+  auto& ids = it->second;
+  const auto pos = std::find(ids.begin(), ids.end(), id);
+  DBDC_CHECK(pos != ids.end());
+  *pos = ids.back();
+  ids.pop_back();
+  if (ids.empty()) cells_.erase(it);
+  --count_;
+}
+
+}  // namespace dbdc

@@ -1,0 +1,78 @@
+#include "index/index_factory.h"
+
+#include "index/grid_index.h"
+#include "index/kd_tree_index.h"
+#include "index/linear_scan_index.h"
+#include "index/m_tree.h"
+#include "index/rstar_tree.h"
+#include "index/vp_tree.h"
+
+namespace dbdc {
+
+std::unique_ptr<NeighborIndex> CreateIndex(IndexType type, const Dataset& data,
+                                           const Metric& metric,
+                                           double eps_hint) {
+  switch (type) {
+    case IndexType::kLinearScan:
+      return std::make_unique<LinearScanIndex>(data, metric);
+    case IndexType::kGrid:
+      return std::make_unique<GridIndex>(data, metric, eps_hint);
+    case IndexType::kKdTree:
+      return std::make_unique<KdTreeIndex>(data, metric);
+    case IndexType::kRStarTree:
+      return std::make_unique<RStarTree>(data, metric);
+    case IndexType::kRStarTreeBulk:
+      return std::make_unique<RStarTree>(
+          data, metric, /*index_all=*/true,
+          RStarTree::Construction::kBulkLoadStr);
+    case IndexType::kMTree:
+      return std::make_unique<MTree>(data, metric);
+    case IndexType::kVpTree:
+      return std::make_unique<VpTree>(data, metric);
+  }
+  DBDC_CHECK(false && "unknown index type");
+  return nullptr;
+}
+
+bool ParseIndexType(std::string_view name, IndexType* out) {
+  if (name == "linear") {
+    *out = IndexType::kLinearScan;
+  } else if (name == "grid") {
+    *out = IndexType::kGrid;
+  } else if (name == "kdtree") {
+    *out = IndexType::kKdTree;
+  } else if (name == "rstar") {
+    *out = IndexType::kRStarTree;
+  } else if (name == "rstar_bulk") {
+    *out = IndexType::kRStarTreeBulk;
+  } else if (name == "mtree") {
+    *out = IndexType::kMTree;
+  } else if (name == "vptree") {
+    *out = IndexType::kVpTree;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string_view IndexTypeName(IndexType type) {
+  switch (type) {
+    case IndexType::kLinearScan:
+      return "linear";
+    case IndexType::kGrid:
+      return "grid";
+    case IndexType::kKdTree:
+      return "kdtree";
+    case IndexType::kRStarTree:
+      return "rstar";
+    case IndexType::kRStarTreeBulk:
+      return "rstar_bulk";
+    case IndexType::kMTree:
+      return "mtree";
+    case IndexType::kVpTree:
+      return "vptree";
+  }
+  return "unknown";
+}
+
+}  // namespace dbdc

@@ -1,0 +1,43 @@
+#ifndef DBDC_INDEX_INDEX_FACTORY_H_
+#define DBDC_INDEX_INDEX_FACTORY_H_
+
+#include <memory>
+#include <string_view>
+
+#include "index/neighbor_index.h"
+
+namespace dbdc {
+
+/// The spatial access methods available to DBSCAN and the DBDC driver.
+enum class IndexType {
+  kLinearScan,
+  kGrid,
+  kKdTree,
+  kRStarTree,
+  /// R*-tree built with Sort-Tile-Recursive bulk loading instead of
+  /// repeated insertion (same queries, much faster static construction).
+  kRStarTreeBulk,
+  kMTree,
+  /// Vantage-point tree (metric-only, static, balanced).
+  kVpTree,
+};
+
+/// Builds an index of the requested type over `data`.
+///
+/// `eps_hint` sizes the grid cells (ignored by the other types); it should
+/// be the DBSCAN ε the index will mostly be queried with and must be
+/// positive when `type == kGrid`.
+std::unique_ptr<NeighborIndex> CreateIndex(IndexType type, const Dataset& data,
+                                           const Metric& metric,
+                                           double eps_hint);
+
+/// Parses "linear" / "grid" / "kdtree" / "rstar" / "rstar_bulk" /
+/// "mtree" / "vptree"; returns false for unknown names.
+bool ParseIndexType(std::string_view name, IndexType* out);
+
+/// The inverse of ParseIndexType.
+std::string_view IndexTypeName(IndexType type);
+
+}  // namespace dbdc
+
+#endif  // DBDC_INDEX_INDEX_FACTORY_H_

@@ -1,0 +1,131 @@
+#include "index/kd_tree_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace dbdc {
+
+KdTreeIndex::KdTreeIndex(const Dataset& data, const Metric& metric)
+    : data_(&data), metric_(&metric) {
+  ids_.resize(data.size());
+  std::iota(ids_.begin(), ids_.end(), 0);
+  if (!ids_.empty()) {
+    nodes_.reserve(2 * ids_.size() / kLeafSize + 2);
+    root_ = BuildRecursive(0, static_cast<std::int32_t>(ids_.size()));
+  }
+}
+
+std::int32_t KdTreeIndex::BuildRecursive(std::int32_t begin,
+                                         std::int32_t end) {
+  const std::int32_t node_idx = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (end - begin <= kLeafSize) {
+    nodes_[node_idx].begin = begin;
+    nodes_[node_idx].end = end;
+    return node_idx;
+  }
+  // Split on the widest axis at the median.
+  const int dim = data_->dim();
+  int best_axis = 0;
+  double best_extent = -1.0;
+  for (int a = 0; a < dim; ++a) {
+    double lo = std::numeric_limits<double>::max();
+    double hi = std::numeric_limits<double>::lowest();
+    for (std::int32_t i = begin; i < end; ++i) {
+      const double v = data_->point(ids_[i])[a];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_extent) {
+      best_extent = hi - lo;
+      best_axis = a;
+    }
+  }
+  const std::int32_t mid = begin + (end - begin) / 2;
+  std::nth_element(ids_.begin() + begin, ids_.begin() + mid,
+                   ids_.begin() + end, [&](PointId a, PointId b) {
+                     return data_->point(a)[best_axis] <
+                            data_->point(b)[best_axis];
+                   });
+  const double split = data_->point(ids_[mid])[best_axis];
+  const std::int32_t left = BuildRecursive(begin, mid);
+  const std::int32_t right = BuildRecursive(mid, end);
+  Node& node = nodes_[node_idx];
+  node.axis = best_axis;
+  node.split = split;
+  node.left = left;
+  node.right = right;
+  return node_idx;
+}
+
+void KdTreeIndex::RangeQuery(std::span<const double> q, double eps,
+                             std::vector<PointId>* out) const {
+  out->clear();
+  if (root_ >= 0) RangeRecursive(root_, q, eps, out);
+}
+
+void KdTreeIndex::RangeRecursive(std::int32_t node_idx,
+                                 std::span<const double> q, double eps,
+                                 std::vector<PointId>* out) const {
+  const Node& node = nodes_[node_idx];
+  if (node.axis < 0) {
+    for (std::int32_t i = node.begin; i < node.end; ++i) {
+      const PointId id = ids_[i];
+      if (metric_->Distance(q, data_->point(id)) <= eps) out->push_back(id);
+    }
+    return;
+  }
+  // The true distance dominates any per-axis delta, so a subtree on the far
+  // side of the split plane by more than eps cannot contain answers.
+  if (q[node.axis] - eps <= node.split) {
+    RangeRecursive(node.left, q, eps, out);
+  }
+  if (q[node.axis] + eps >= node.split) {
+    RangeRecursive(node.right, q, eps, out);
+  }
+}
+
+void KdTreeIndex::KnnQuery(std::span<const double> q, int k,
+                           std::vector<PointId>* out) const {
+  out->clear();
+  if (k <= 0 || root_ < 0) return;
+  const std::size_t want = std::min<std::size_t>(k, ids_.size());
+  std::vector<std::pair<double, PointId>> heap;  // Max-heap on distance.
+  KnnRecursive(root_, q, want, &heap);
+  std::sort_heap(heap.begin(), heap.end());
+  out->reserve(heap.size());
+  for (const auto& [d, id] : heap) out->push_back(id);
+}
+
+void KdTreeIndex::KnnRecursive(
+    std::int32_t node_idx, std::span<const double> q, std::size_t k,
+    std::vector<std::pair<double, PointId>>* heap) const {
+  const Node& node = nodes_[node_idx];
+  if (node.axis < 0) {
+    for (std::int32_t i = node.begin; i < node.end; ++i) {
+      const PointId id = ids_[i];
+      const double d = metric_->Distance(q, data_->point(id));
+      if (heap->size() < k) {
+        heap->emplace_back(d, id);
+        std::push_heap(heap->begin(), heap->end());
+      } else if (d < heap->front().first) {
+        std::pop_heap(heap->begin(), heap->end());
+        heap->back() = {d, id};
+        std::push_heap(heap->begin(), heap->end());
+      }
+    }
+    return;
+  }
+  const double delta = q[node.axis] - node.split;
+  const std::int32_t near = delta <= 0.0 ? node.left : node.right;
+  const std::int32_t far = delta <= 0.0 ? node.right : node.left;
+  KnnRecursive(near, q, k, heap);
+  const double worst = heap->size() < k
+                           ? std::numeric_limits<double>::max()
+                           : heap->front().first;
+  if (std::fabs(delta) <= worst) KnnRecursive(far, q, k, heap);
+}
+
+}  // namespace dbdc

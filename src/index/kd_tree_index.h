@@ -1,0 +1,61 @@
+#ifndef DBDC_INDEX_KD_TREE_INDEX_H_
+#define DBDC_INDEX_KD_TREE_INDEX_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "index/neighbor_index.h"
+
+namespace dbdc {
+
+/// Static balanced k-d tree.
+///
+/// Built once over the whole dataset by recursive median splits on the
+/// widest axis; leaves hold small point buckets. Pruning uses per-axis
+/// coordinate deltas, which is correct for any metric dominating them
+/// (all Lp metrics). No dynamic updates — use GridIndex or RStarTree for
+/// incremental workloads.
+class KdTreeIndex final : public NeighborIndex {
+ public:
+  KdTreeIndex(const Dataset& data, const Metric& metric);
+
+  void RangeQuery(std::span<const double> q, double eps,
+                  std::vector<PointId>* out) const override;
+  using NeighborIndex::RangeQuery;
+  void KnnQuery(std::span<const double> q, int k,
+                std::vector<PointId>* out) const override;
+  std::size_t size() const override { return ids_.size(); }
+  std::string_view name() const override { return "kdtree"; }
+  const Dataset& data() const override { return *data_; }
+  const Metric& metric() const override { return *metric_; }
+
+ private:
+  struct Node {
+    int axis = -1;       // -1 marks a leaf.
+    double split = 0.0;  // Split coordinate for interior nodes.
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::int32_t begin = 0;  // Leaf: range [begin, end) into ids_.
+    std::int32_t end = 0;
+  };
+
+  std::int32_t BuildRecursive(std::int32_t begin, std::int32_t end);
+  void RangeRecursive(std::int32_t node, std::span<const double> q, double eps,
+                      std::vector<PointId>* out) const;
+  void KnnRecursive(std::int32_t node, std::span<const double> q,
+                    std::size_t k,
+                    std::vector<std::pair<double, PointId>>* heap) const;
+
+  static constexpr std::int32_t kLeafSize = 16;
+
+  const Dataset* data_;
+  const Metric* metric_;
+  std::vector<PointId> ids_;  // Permutation of all ids, bucketed by leaves.
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_INDEX_KD_TREE_INDEX_H_

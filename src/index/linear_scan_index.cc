@@ -1,0 +1,67 @@
+#include "index/linear_scan_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dbdc {
+
+LinearScanIndex::LinearScanIndex(const Dataset& data, const Metric& metric,
+                                 bool index_all)
+    : data_(&data), metric_(&metric) {
+  if (index_all) {
+    present_.assign(data.size(), true);
+    count_ = data.size();
+  }
+}
+
+void LinearScanIndex::RangeQuery(std::span<const double> q, double eps,
+                                 std::vector<PointId>* out) const {
+  out->clear();
+  for (PointId id = 0; id < static_cast<PointId>(present_.size()); ++id) {
+    if (!present_[id]) continue;
+    if (metric_->Distance(q, data_->point(id)) <= eps) out->push_back(id);
+  }
+}
+
+void LinearScanIndex::KnnQuery(std::span<const double> q, int k,
+                               std::vector<PointId>* out) const {
+  out->clear();
+  if (k <= 0) return;
+  // (distance, id) max-heap of the best k so far.
+  std::vector<std::pair<double, PointId>> heap;
+  heap.reserve(static_cast<std::size_t>(k) + 1);
+  for (PointId id = 0; id < static_cast<PointId>(present_.size()); ++id) {
+    if (!present_[id]) continue;
+    const double d = metric_->Distance(q, data_->point(id));
+    if (static_cast<int>(heap.size()) < k) {
+      heap.emplace_back(d, id);
+      std::push_heap(heap.begin(), heap.end());
+    } else if (d < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {d, id};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end());
+  out->reserve(heap.size());
+  for (const auto& [d, id] : heap) out->push_back(id);
+}
+
+void LinearScanIndex::Insert(PointId id) {
+  DBDC_CHECK(id >= 0 && static_cast<std::size_t>(id) < data_->size());
+  if (static_cast<std::size_t>(id) >= present_.size()) {
+    present_.resize(data_->size(), false);
+  }
+  DBDC_CHECK(!present_[id]);
+  present_[id] = true;
+  ++count_;
+}
+
+void LinearScanIndex::Erase(PointId id) {
+  DBDC_CHECK(id >= 0 && static_cast<std::size_t>(id) < present_.size());
+  DBDC_CHECK(present_[id]);
+  present_[id] = false;
+  --count_;
+}
+
+}  // namespace dbdc

@@ -1,0 +1,42 @@
+#ifndef DBDC_INDEX_LINEAR_SCAN_INDEX_H_
+#define DBDC_INDEX_LINEAR_SCAN_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "index/neighbor_index.h"
+
+namespace dbdc {
+
+/// O(n)-per-query reference index. Supports any metric and dynamic
+/// updates; it is the ground truth the other indices are validated
+/// against in the test suite.
+class LinearScanIndex final : public NeighborIndex {
+ public:
+  /// Indexes every point of `data` (pass index_all=false to start empty).
+  LinearScanIndex(const Dataset& data, const Metric& metric,
+                  bool index_all = true);
+
+  void RangeQuery(std::span<const double> q, double eps,
+                  std::vector<PointId>* out) const override;
+  using NeighborIndex::RangeQuery;
+  void KnnQuery(std::span<const double> q, int k,
+                std::vector<PointId>* out) const override;
+  std::size_t size() const override { return count_; }
+  bool SupportsDynamicUpdates() const override { return true; }
+  void Insert(PointId id) override;
+  void Erase(PointId id) override;
+  std::string_view name() const override { return "linear"; }
+  const Dataset& data() const override { return *data_; }
+  const Metric& metric() const override { return *metric_; }
+
+ private:
+  const Dataset* data_;
+  const Metric* metric_;
+  std::vector<bool> present_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_INDEX_LINEAR_SCAN_INDEX_H_

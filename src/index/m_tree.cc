@@ -1,0 +1,244 @@
+#include "index/m_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace dbdc {
+
+MTree::MTree(const Dataset& data, const Metric& metric)
+    : data_(&data), metric_(&metric), root_(new Node(/*leaf_in=*/true)) {
+  for (PointId id = 0; id < static_cast<PointId>(data.size()); ++id) {
+    InsertPoint(id);
+  }
+}
+
+MTree::~MTree() { FreeNode(root_); }
+
+void MTree::FreeNode(Node* node) {
+  for (RoutingEntry& e : node->routing) FreeNode(e.child);
+  delete node;
+}
+
+double MTree::Dist(PointId a, PointId b) const {
+  return metric_->Distance(data_->point(a), data_->point(b));
+}
+
+void MTree::InsertPoint(PointId id) {
+  RoutingEntry a, b;
+  if (InsertRecursive(root_, id, &a, &b)) {
+    Node* new_root = new Node(/*leaf_in=*/false);
+    new_root->routing.push_back(a);
+    new_root->routing.push_back(b);
+    root_ = new_root;
+  }
+  ++count_;
+}
+
+bool MTree::InsertRecursive(Node* node, PointId id, RoutingEntry* a,
+                            RoutingEntry* b) {
+  if (node->leaf) {
+    node->points.push_back(id);
+  } else {
+    // Prefer a subtree already covering the point (minimal distance);
+    // otherwise the one whose radius grows least.
+    std::size_t best = 0;
+    double best_key = std::numeric_limits<double>::max();
+    bool best_covers = false;
+    for (std::size_t i = 0; i < node->routing.size(); ++i) {
+      const double d = Dist(id, node->routing[i].pivot);
+      const bool covers = d <= node->routing[i].radius;
+      const double key = covers ? d : d - node->routing[i].radius;
+      if ((covers && !best_covers) ||
+          (covers == best_covers && key < best_key)) {
+        best = i;
+        best_key = key;
+        best_covers = covers;
+      }
+    }
+    RoutingEntry& target = node->routing[best];
+    target.radius = std::max(target.radius, Dist(id, target.pivot));
+    RoutingEntry ca, cb;
+    if (InsertRecursive(target.child, id, &ca, &cb)) {
+      node->routing.erase(node->routing.begin() + best);
+      node->routing.push_back(ca);
+      node->routing.push_back(cb);
+    }
+  }
+  if (static_cast<int>(node->entry_count()) > kMaxEntries) {
+    Split(node, a, b);
+    return true;
+  }
+  return false;
+}
+
+void MTree::Split(Node* node, RoutingEntry* a, RoutingEntry* b) {
+  // Promotion: the pair of entry pivots with maximum mutual distance.
+  std::vector<PointId> pivots;
+  if (node->leaf) {
+    pivots = node->points;
+  } else {
+    pivots.reserve(node->routing.size());
+    for (const RoutingEntry& e : node->routing) pivots.push_back(e.pivot);
+  }
+  std::size_t pa = 0, pb = 1;
+  double best = -1.0;
+  for (std::size_t i = 0; i < pivots.size(); ++i) {
+    for (std::size_t j = i + 1; j < pivots.size(); ++j) {
+      const double d = Dist(pivots[i], pivots[j]);
+      if (d > best) {
+        best = d;
+        pa = i;
+        pb = j;
+      }
+    }
+  }
+  const PointId pivot_a = pivots[pa];
+  const PointId pivot_b = pivots[pb];
+
+  // Generalized-hyperplane partition: each entry to its nearest pivot.
+  Node* na = new Node(node->leaf);
+  Node* nb = new Node(node->leaf);
+  double ra = 0.0, rb = 0.0;
+  if (node->leaf) {
+    for (const PointId p : node->points) {
+      const double da = Dist(p, pivot_a);
+      const double db = Dist(p, pivot_b);
+      if (da <= db) {
+        na->points.push_back(p);
+        ra = std::max(ra, da);
+      } else {
+        nb->points.push_back(p);
+        rb = std::max(rb, db);
+      }
+    }
+  } else {
+    for (const RoutingEntry& e : node->routing) {
+      const double da = Dist(e.pivot, pivot_a);
+      const double db = Dist(e.pivot, pivot_b);
+      if (da <= db) {
+        na->routing.push_back(e);
+        ra = std::max(ra, da + e.radius);
+      } else {
+        nb->routing.push_back(e);
+        rb = std::max(rb, db + e.radius);
+      }
+    }
+  }
+  // When every pairwise distance is zero the partition can be one-sided;
+  // rebalance so neither node is empty.
+  if (node->leaf && nb->points.empty()) {
+    nb->points.push_back(na->points.back());
+    na->points.pop_back();
+  } else if (!node->leaf && nb->routing.empty()) {
+    nb->routing.push_back(na->routing.back());
+    rb = na->routing.back().radius;
+    na->routing.pop_back();
+  }
+  node->routing.clear();
+  node->points.clear();
+  *a = {pivot_a, ra, na};
+  *b = {pivot_b, rb, nb};
+  // The caller replaces its routing entry (or the root) with *a and *b;
+  // the original node is dead.
+  delete node;
+}
+
+double MTree::SubtreeRadius(const Node* node, PointId pivot) const {
+  double r = 0.0;
+  if (node->leaf) {
+    for (const PointId p : node->points) r = std::max(r, Dist(p, pivot));
+  } else {
+    for (const RoutingEntry& e : node->routing) {
+      r = std::max(r, SubtreeRadius(e.child, pivot));
+    }
+  }
+  return r;
+}
+
+void MTree::RangeQuery(std::span<const double> q, double eps,
+                       std::vector<PointId>* out) const {
+  out->clear();
+  RangeRecursive(root_, q, eps, out);
+}
+
+void MTree::RangeRecursive(const Node* node, std::span<const double> q,
+                           double eps, std::vector<PointId>* out) const {
+  if (node->leaf) {
+    for (const PointId p : node->points) {
+      if (metric_->Distance(q, data_->point(p)) <= eps) out->push_back(p);
+    }
+    return;
+  }
+  for (const RoutingEntry& e : node->routing) {
+    // Triangle inequality: anything within radius of the pivot is at least
+    // dist(q, pivot) - radius away from q.
+    const double d = metric_->Distance(q, data_->point(e.pivot));
+    if (d - e.radius <= eps) RangeRecursive(e.child, q, eps, out);
+  }
+}
+
+void MTree::KnnQuery(std::span<const double> q, int k,
+                     std::vector<PointId>* out) const {
+  out->clear();
+  if (k <= 0 || count_ == 0) return;
+  const std::size_t want = std::min<std::size_t>(k, count_);
+  struct QueueItem {
+    double dist;
+    const Node* node;  // Null for point results.
+    PointId id;
+    bool operator>(const QueueItem& other) const { return dist > other.dist; }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  pq.push({0.0, root_, -1});
+  while (!pq.empty()) {
+    const QueueItem item = pq.top();
+    pq.pop();
+    if (item.node == nullptr) {
+      out->push_back(item.id);
+      if (out->size() == want) return;
+      continue;
+    }
+    if (item.node->leaf) {
+      for (const PointId p : item.node->points) {
+        pq.push({metric_->Distance(q, data_->point(p)), nullptr, p});
+      }
+    } else {
+      for (const RoutingEntry& e : item.node->routing) {
+        const double d = metric_->Distance(q, data_->point(e.pivot));
+        pq.push({std::max(0.0, d - e.radius), e.child, -1});
+      }
+    }
+  }
+}
+
+void MTree::CheckInvariants() const {
+  std::vector<PointId> all;
+  CollectPoints(root_, &all);
+  DBDC_CHECK(all.size() == count_);
+  std::sort(all.begin(), all.end());
+  DBDC_CHECK(std::adjacent_find(all.begin(), all.end()) == all.end());
+  // Every routing entry's covering radius bounds its whole subtree.
+  struct Checker {
+    const MTree* tree;
+    void Check(const Node* node) const {
+      if (node->leaf) return;
+      for (const RoutingEntry& e : node->routing) {
+        const double actual = tree->SubtreeRadius(e.child, e.pivot);
+        DBDC_CHECK(actual <= e.radius + 1e-9);
+        Check(e.child);
+      }
+    }
+  };
+  Checker{this}.Check(root_);
+}
+
+void MTree::CollectPoints(const Node* node, std::vector<PointId>* out) const {
+  if (node->leaf) {
+    out->insert(out->end(), node->points.begin(), node->points.end());
+    return;
+  }
+  for (const RoutingEntry& e : node->routing) CollectPoints(e.child, out);
+}
+
+}  // namespace dbdc

@@ -1,0 +1,92 @@
+#ifndef DBDC_INDEX_M_TREE_H_
+#define DBDC_INDEX_M_TREE_H_
+
+#include <span>
+#include <vector>
+
+#include "index/neighbor_index.h"
+
+namespace dbdc {
+
+/// M-tree (Ciaccia, Patella, Zezula, VLDB 1997) — the access method the
+/// paper cites for DBSCAN over general metric spaces.
+///
+/// Unlike the box-based indices, the M-tree only requires a metric (the
+/// triangle inequality): routing entries store a pivot object and a
+/// covering radius, and queries prune subtrees with
+/// dist(q, pivot) - radius > eps. Pivots are promoted by the
+/// maximum-distance heuristic and entries partitioned to the nearest
+/// pivot (generalized hyperplane). Built by repeated insertion; the
+/// public interface is static (no Insert/Erase after construction).
+class MTree final : public NeighborIndex {
+ public:
+  static constexpr int kMaxEntries = 32;
+
+  MTree(const Dataset& data, const Metric& metric);
+  ~MTree() override;
+
+  MTree(const MTree&) = delete;
+  MTree& operator=(const MTree&) = delete;
+
+  void RangeQuery(std::span<const double> q, double eps,
+                  std::vector<PointId>* out) const override;
+  using NeighborIndex::RangeQuery;
+  void KnnQuery(std::span<const double> q, int k,
+                std::vector<PointId>* out) const override;
+  std::size_t size() const override { return count_; }
+  std::string_view name() const override { return "mtree"; }
+  const Dataset& data() const override { return *data_; }
+  const Metric& metric() const override { return *metric_; }
+
+  /// Verifies that every point of a subtree lies within the covering
+  /// radius of its routing pivot, and that the tree holds exactly the
+  /// indexed points. Aborts on violation. Test-only helper.
+  void CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  /// Interior-node entry: subtree rooted at `child`, every object of which
+  /// is within `radius` of the pivot object.
+  struct RoutingEntry {
+    PointId pivot;
+    double radius;
+    Node* child;
+  };
+
+  struct Node {
+    explicit Node(bool leaf_in) : leaf(leaf_in) {}
+    bool leaf;
+    std::vector<RoutingEntry> routing;  // Interior nodes.
+    std::vector<PointId> points;        // Leaves.
+    std::size_t entry_count() const {
+      return leaf ? points.size() : routing.size();
+    }
+  };
+
+  void FreeNode(Node* node);
+  void InsertPoint(PointId id);
+  /// Splits an overfull node into two; returns the replacement routing
+  /// entries in (*a, *b).
+  void Split(Node* node, RoutingEntry* a, RoutingEntry* b);
+  /// Recursive insert; returns true when `node` overflowed and was split,
+  /// with the replacement entries in (*a, *b).
+  bool InsertRecursive(Node* node, PointId id, RoutingEntry* a,
+                       RoutingEntry* b);
+  double Dist(PointId a, PointId b) const;
+  /// Exact covering radius of `node` around `pivot` (full subtree walk;
+  /// used after splits to keep radii tight).
+  double SubtreeRadius(const Node* node, PointId pivot) const;
+  void RangeRecursive(const Node* node, std::span<const double> q, double eps,
+                      std::vector<PointId>* out) const;
+  void CollectPoints(const Node* node, std::vector<PointId>* out) const;
+
+  const Dataset* data_;
+  const Metric* metric_;
+  Node* root_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_INDEX_M_TREE_H_

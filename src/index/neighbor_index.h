@@ -1,0 +1,76 @@
+#ifndef DBDC_INDEX_NEIGHBOR_INDEX_H_
+#define DBDC_INDEX_NEIGHBOR_INDEX_H_
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/distance.h"
+#include "common/types.h"
+
+namespace dbdc {
+
+/// A spatial access method answering the ε-range queries that drive DBSCAN
+/// (the paper cites the R*-tree for vector data and the M-tree for general
+/// metric data).
+///
+/// An index is bound to one Dataset and one Metric at construction; the
+/// Dataset must outlive the index. Indexed points are identified by their
+/// PointId. Implementations that return true from SupportsDynamicUpdates()
+/// additionally allow inserting/erasing individual ids (used by the
+/// incremental DBSCAN substrate).
+class NeighborIndex {
+ public:
+  virtual ~NeighborIndex() = default;
+
+  /// All indexed ids whose distance to `q` is <= eps (inclusive, so a query
+  /// at an indexed point returns that point itself). Results are appended
+  /// to `*out` after clearing it; order is unspecified.
+  virtual void RangeQuery(std::span<const double> q, double eps,
+                          std::vector<PointId>* out) const = 0;
+
+  /// Range query centered at an indexed point.
+  void RangeQuery(PointId id, double eps, std::vector<PointId>* out) const {
+    RangeQuery(data().point(id), eps, out);
+  }
+
+  /// The `k` indexed ids closest to `q`, ordered by increasing distance
+  /// (fewer if the index holds fewer than k points). Ties broken
+  /// arbitrarily.
+  virtual void KnnQuery(std::span<const double> q, int k,
+                        std::vector<PointId>* out) const = 0;
+
+  /// Number of indexed points.
+  virtual std::size_t size() const = 0;
+
+  /// Whether Insert/Erase are supported.
+  virtual bool SupportsDynamicUpdates() const { return false; }
+
+  /// Adds point `id` of the bound dataset to the index. Requires
+  /// SupportsDynamicUpdates().
+  virtual void Insert(PointId id) {
+    (void)id;
+    DBDC_CHECK(false && "index does not support dynamic updates");
+  }
+
+  /// Removes point `id` from the index (must be indexed). Requires
+  /// SupportsDynamicUpdates().
+  virtual void Erase(PointId id) {
+    (void)id;
+    DBDC_CHECK(false && "index does not support dynamic updates");
+  }
+
+  /// Implementation name ("rstar", "grid", ...).
+  virtual std::string_view name() const = 0;
+
+  /// The dataset the index was built over.
+  virtual const Dataset& data() const = 0;
+
+  /// The metric used for all distance computations.
+  virtual const Metric& metric() const = 0;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_INDEX_NEIGHBOR_INDEX_H_

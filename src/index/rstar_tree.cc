@@ -1,0 +1,531 @@
+#include "index/rstar_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+namespace dbdc {
+
+RStarTree::RStarTree(const Dataset& data, const Metric& metric,
+                     bool index_all, Construction construction)
+    : data_(&data), metric_(&metric), root_(new Node(0)) {
+  if (!index_all) return;
+  if (construction == Construction::kBulkLoadStr && data.size() > 0) {
+    BulkLoadStr();
+    return;
+  }
+  for (PointId id = 0; id < static_cast<PointId>(data.size()); ++id) {
+    Insert(id);
+  }
+}
+
+void RStarTree::StrTile(std::vector<Entry>* entries, int axis,
+                        std::vector<std::vector<Entry>>* groups) {
+  const int dim = data_->dim();
+  const std::size_t n = entries->size();
+  auto center_key = [&](const Entry& e, int a) {
+    return 0.5 * (e.box.lo()[a] + e.box.hi()[a]);
+  };
+  std::sort(entries->begin(), entries->end(),
+            [&](const Entry& a, const Entry& b) {
+              return center_key(a, axis) < center_key(b, axis);
+            });
+  if (axis == dim - 1 || n <= static_cast<std::size_t>(kMaxEntries)) {
+    // Final axis: chunk the sorted run into full nodes.
+    for (std::size_t begin = 0; begin < n; begin += kMaxEntries) {
+      const std::size_t end = std::min(n, begin + kMaxEntries);
+      groups->emplace_back(std::make_move_iterator(entries->begin() + begin),
+                           std::make_move_iterator(entries->begin() + end));
+    }
+    // Rebalance an underfull trailing group against its predecessor so
+    // the occupancy invariant (>= kMinEntries) holds everywhere.
+    if (groups->size() >= 2 &&
+        groups->back().size() < static_cast<std::size_t>(kMinEntries)) {
+      std::vector<Entry>& prev = (*groups)[groups->size() - 2];
+      std::vector<Entry>& last = groups->back();
+      while (last.size() < static_cast<std::size_t>(kMinEntries)) {
+        last.insert(last.begin(), std::move(prev.back()));
+        prev.pop_back();
+      }
+    }
+    return;
+  }
+  // Slice along this axis into about (n / M)^(1/(remaining axes)) slabs,
+  // then recurse within each slab on the next axis.
+  const double pages = std::ceil(static_cast<double>(n) / kMaxEntries);
+  const int slabs = std::max(
+      1, static_cast<int>(
+             std::ceil(std::pow(pages, 1.0 / (dim - axis)))));
+  const std::size_t per_slab = (n + slabs - 1) / slabs;
+  for (std::size_t begin = 0; begin < n; begin += per_slab) {
+    const std::size_t end = std::min(n, begin + per_slab);
+    std::vector<Entry> slab(std::make_move_iterator(entries->begin() + begin),
+                            std::make_move_iterator(entries->begin() + end));
+    StrTile(&slab, axis + 1, groups);
+  }
+}
+
+void RStarTree::BulkLoadStr() {
+  DBDC_CHECK(count_ == 0 && root_->entries.empty());
+  std::vector<Entry> entries;
+  entries.reserve(data_->size());
+  for (PointId id = 0; id < static_cast<PointId>(data_->size()); ++id) {
+    entries.push_back(MakePointEntry(id));
+  }
+  int level = 0;
+  while (entries.size() > static_cast<std::size_t>(kMaxEntries)) {
+    std::vector<std::vector<Entry>> groups;
+    StrTile(&entries, /*axis=*/0, &groups);
+    // Safety net: tiling can leave an undersized group when a slice holds
+    // fewer than kMinEntries entries; top it up from the largest group so
+    // the occupancy invariant holds. (Rare; spatial quality of the stolen
+    // entries is secondary to correctness.)
+    for (std::vector<Entry>& group : groups) {
+      while (group.size() < static_cast<std::size_t>(kMinEntries)) {
+        std::vector<Entry>* largest = nullptr;
+        for (std::vector<Entry>& other : groups) {
+          if (&other == &group) continue;
+          if (largest == nullptr || other.size() > largest->size()) {
+            largest = &other;
+          }
+        }
+        if (largest == nullptr ||
+            largest->size() <= static_cast<std::size_t>(kMinEntries)) {
+          break;
+        }
+        group.push_back(std::move(largest->back()));
+        largest->pop_back();
+      }
+    }
+    std::vector<Entry> parents;
+    parents.reserve(groups.size());
+    for (std::vector<Entry>& group : groups) {
+      Node* node = new Node(level);
+      node->entries = std::move(group);
+      Entry parent;
+      parent.box = NodeBox(*node);
+      parent.child = node;
+      parents.push_back(std::move(parent));
+    }
+    entries = std::move(parents);
+    ++level;
+  }
+  delete root_;
+  root_ = new Node(level);
+  root_->entries = std::move(entries);
+  height_ = level + 1;
+  count_ = data_->size();
+  reinserted_at_level_.assign(height_ + 1, false);
+}
+
+RStarTree::~RStarTree() { FreeNode(root_); }
+
+void RStarTree::FreeNode(Node* node) {
+  for (Entry& e : node->entries) {
+    if (e.child != nullptr) FreeNode(e.child);
+  }
+  delete node;
+}
+
+BoundingBox RStarTree::NodeBox(const Node& node) const {
+  BoundingBox box(data_->dim());
+  for (const Entry& e : node.entries) box.Extend(e.box);
+  return box;
+}
+
+RStarTree::Entry RStarTree::MakePointEntry(PointId id) const {
+  Entry e;
+  e.box = BoundingBox::FromPoint(data_->point(id));
+  e.id = id;
+  return e;
+}
+
+std::size_t RStarTree::ChooseSubtree(const Node& node,
+                                     const BoundingBox& box) const {
+  DBDC_CHECK(!node.entries.empty());
+  const bool children_are_leaves = node.level == 1;
+  std::size_t best = 0;
+  if (children_are_leaves) {
+    // R*: minimize overlap enlargement; ties by area enlargement, then area.
+    double best_overlap = std::numeric_limits<double>::max();
+    double best_enlarge = std::numeric_limits<double>::max();
+    double best_area = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      BoundingBox grown = node.entries[i].box;
+      grown.Extend(box);
+      double overlap_before = 0.0;
+      double overlap_after = 0.0;
+      for (std::size_t j = 0; j < node.entries.size(); ++j) {
+        if (j == i) continue;
+        overlap_before += node.entries[i].box.OverlapVolume(node.entries[j].box);
+        overlap_after += grown.OverlapVolume(node.entries[j].box);
+      }
+      const double overlap_enlarge = overlap_after - overlap_before;
+      const double enlarge = node.entries[i].box.Enlargement(box);
+      const double area = node.entries[i].box.Volume();
+      if (overlap_enlarge < best_overlap ||
+          (overlap_enlarge == best_overlap &&
+           (enlarge < best_enlarge ||
+            (enlarge == best_enlarge && area < best_area)))) {
+        best_overlap = overlap_enlarge;
+        best_enlarge = enlarge;
+        best_area = area;
+        best = i;
+      }
+    }
+  } else {
+    // Minimize area enlargement; ties by smaller area.
+    double best_enlarge = std::numeric_limits<double>::max();
+    double best_area = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < node.entries.size(); ++i) {
+      const double enlarge = node.entries[i].box.Enlargement(box);
+      const double area = node.entries[i].box.Volume();
+      if (enlarge < best_enlarge ||
+          (enlarge == best_enlarge && area < best_area)) {
+        best_enlarge = enlarge;
+        best_area = area;
+        best = i;
+      }
+    }
+  }
+  return best;
+}
+
+void RStarTree::Insert(PointId id) {
+  DBDC_CHECK(id >= 0 && static_cast<std::size_t>(id) < data_->size());
+  reinserted_at_level_.assign(height_ + 1, false);
+  pending_.clear();
+  pending_.emplace_back(MakePointEntry(id), 0);
+  DrainPending();
+  ++count_;
+}
+
+void RStarTree::DrainPending() {
+  while (!pending_.empty()) {
+    auto [entry, level] = std::move(pending_.back());
+    pending_.pop_back();
+    Node* sibling = InsertRecursive(root_, std::move(entry), level);
+    if (sibling != nullptr) GrowRoot(sibling);
+  }
+}
+
+RStarTree::Node* RStarTree::InsertRecursive(Node* node, Entry entry,
+                                            int target_level) {
+  if (node->level == target_level) {
+    node->entries.push_back(std::move(entry));
+  } else {
+    const std::size_t idx = ChooseSubtree(*node, entry.box);
+    Node* child = node->entries[idx].child;
+    Node* sibling = InsertRecursive(child, std::move(entry), target_level);
+    node->entries[idx].box = NodeBox(*child);
+    if (sibling != nullptr) {
+      Entry e;
+      e.box = NodeBox(*sibling);
+      e.child = sibling;
+      node->entries.push_back(std::move(e));
+    }
+  }
+  if (static_cast<int>(node->entries.size()) > kMaxEntries) {
+    return OverflowTreatment(node);
+  }
+  return nullptr;
+}
+
+RStarTree::Node* RStarTree::OverflowTreatment(Node* node) {
+  const int level = node->level;
+  if (node != root_ && !reinserted_at_level_[level]) {
+    reinserted_at_level_[level] = true;
+    ForcedReinsert(node);
+    return nullptr;
+  }
+  return SplitNode(node);
+}
+
+void RStarTree::ForcedReinsert(Node* node) {
+  const BoundingBox box = NodeBox(*node);
+  const std::vector<double> center = box.Center();
+  // Sort entries by decreasing distance of their box center to the node
+  // center and remove the farthest kReinsertCount ("far reinsert").
+  std::vector<std::size_t> order(node->entries.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> dist(node->entries.size());
+  for (std::size_t i = 0; i < node->entries.size(); ++i) {
+    dist[i] = metric_->Distance(center, node->entries[i].box.Center());
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return dist[a] > dist[b]; });
+  std::vector<bool> removed(node->entries.size(), false);
+  for (int i = 0; i < kReinsertCount; ++i) {
+    const std::size_t idx = order[i];
+    removed[idx] = true;
+    pending_.emplace_back(std::move(node->entries[idx]), node->level);
+  }
+  std::vector<Entry> kept;
+  kept.reserve(node->entries.size() - kReinsertCount);
+  for (std::size_t i = 0; i < node->entries.size(); ++i) {
+    if (!removed[i]) kept.push_back(std::move(node->entries[i]));
+  }
+  node->entries = std::move(kept);
+}
+
+RStarTree::Node* RStarTree::SplitNode(Node* node) {
+  const int total = static_cast<int>(node->entries.size());
+  DBDC_CHECK(total == kMaxEntries + 1);
+  const int dim = data_->dim();
+  const int num_dists = kMaxEntries - 2 * kMinEntries + 2;
+
+  // ChooseSplitAxis: for every axis and both sortings (by lower and by
+  // upper box edge) sum the margins of all legal distributions.
+  auto sort_by = [&](int axis, bool by_upper) {
+    std::vector<std::size_t> order(node->entries.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const auto& ba = node->entries[a].box;
+      const auto& bb = node->entries[b].box;
+      const double ka = by_upper ? ba.hi()[axis] : ba.lo()[axis];
+      const double kb = by_upper ? bb.hi()[axis] : bb.lo()[axis];
+      return ka < kb;
+    });
+    return order;
+  };
+
+  int best_axis = 0;
+  double best_margin_sum = std::numeric_limits<double>::max();
+  for (int axis = 0; axis < dim; ++axis) {
+    double margin_sum = 0.0;
+    for (const bool by_upper : {false, true}) {
+      const std::vector<std::size_t> order = sort_by(axis, by_upper);
+      // Prefix/suffix boxes over the sorted order.
+      std::vector<BoundingBox> prefix(total, BoundingBox(dim));
+      std::vector<BoundingBox> suffix(total, BoundingBox(dim));
+      for (int i = 0; i < total; ++i) {
+        prefix[i] = i == 0 ? BoundingBox(dim) : prefix[i - 1];
+        prefix[i].Extend(node->entries[order[i]].box);
+      }
+      for (int i = total - 1; i >= 0; --i) {
+        suffix[i] = i == total - 1 ? BoundingBox(dim) : suffix[i + 1];
+        suffix[i].Extend(node->entries[order[i]].box);
+      }
+      for (int k = 0; k < num_dists; ++k) {
+        const int first_count = kMinEntries + k;
+        margin_sum += prefix[first_count - 1].Margin() +
+                      suffix[first_count].Margin();
+      }
+    }
+    if (margin_sum < best_margin_sum) {
+      best_margin_sum = margin_sum;
+      best_axis = axis;
+    }
+  }
+
+  // ChooseSplitIndex on the best axis: minimal overlap, ties minimal area.
+  double best_overlap = std::numeric_limits<double>::max();
+  double best_area = std::numeric_limits<double>::max();
+  std::vector<std::size_t> best_order;
+  int best_first_count = kMinEntries;
+  for (const bool by_upper : {false, true}) {
+    const std::vector<std::size_t> order = sort_by(best_axis, by_upper);
+    std::vector<BoundingBox> prefix(total, BoundingBox(dim));
+    std::vector<BoundingBox> suffix(total, BoundingBox(dim));
+    for (int i = 0; i < total; ++i) {
+      prefix[i] = i == 0 ? BoundingBox(dim) : prefix[i - 1];
+      prefix[i].Extend(node->entries[order[i]].box);
+    }
+    for (int i = total - 1; i >= 0; --i) {
+      suffix[i] = i == total - 1 ? BoundingBox(dim) : suffix[i + 1];
+      suffix[i].Extend(node->entries[order[i]].box);
+    }
+    for (int k = 0; k < num_dists; ++k) {
+      const int first_count = kMinEntries + k;
+      const BoundingBox& g1 = prefix[first_count - 1];
+      const BoundingBox& g2 = suffix[first_count];
+      const double overlap = g1.OverlapVolume(g2);
+      const double area = g1.Volume() + g2.Volume();
+      if (overlap < best_overlap ||
+          (overlap == best_overlap && area < best_area)) {
+        best_overlap = overlap;
+        best_area = area;
+        best_order = order;
+        best_first_count = first_count;
+      }
+    }
+  }
+
+  Node* sibling = new Node(node->level);
+  std::vector<Entry> group1;
+  group1.reserve(best_first_count);
+  for (int i = 0; i < total; ++i) {
+    Entry& e = node->entries[best_order[i]];
+    if (i < best_first_count) {
+      group1.push_back(std::move(e));
+    } else {
+      sibling->entries.push_back(std::move(e));
+    }
+  }
+  node->entries = std::move(group1);
+  return sibling;
+}
+
+void RStarTree::GrowRoot(Node* sibling) {
+  Node* new_root = new Node(root_->level + 1);
+  Entry e1;
+  e1.box = NodeBox(*root_);
+  e1.child = root_;
+  Entry e2;
+  e2.box = NodeBox(*sibling);
+  e2.child = sibling;
+  new_root->entries.push_back(std::move(e1));
+  new_root->entries.push_back(std::move(e2));
+  root_ = new_root;
+  ++height_;
+  reinserted_at_level_.resize(height_ + 1, false);
+}
+
+void RStarTree::Erase(PointId id) {
+  DBDC_CHECK(id >= 0 && static_cast<std::size_t>(id) < data_->size());
+  pending_.clear();
+  const bool found = EraseRecursive(root_, id, data_->point(id));
+  DBDC_CHECK(found && "Erase of an id that is not indexed");
+  // Shrink the root while it is an interior node with a single child.
+  while (!root_->is_leaf() && root_->entries.size() == 1) {
+    Node* child = root_->entries[0].child;
+    root_->entries[0].child = nullptr;
+    delete root_;
+    root_ = child;
+    --height_;
+  }
+  // Reinsert orphaned entries at their original levels. Forced reinsertion
+  // is allowed to kick in again (fresh bookkeeping).
+  reinserted_at_level_.assign(height_ + 1, false);
+  DrainPending();
+  --count_;
+}
+
+bool RStarTree::EraseRecursive(Node* node, PointId id,
+                               std::span<const double> p) {
+  if (node->is_leaf()) {
+    for (std::size_t i = 0; i < node->entries.size(); ++i) {
+      if (node->entries[i].id == id) {
+        node->entries.erase(node->entries.begin() + i);
+        return true;
+      }
+    }
+    return false;
+  }
+  for (std::size_t i = 0; i < node->entries.size(); ++i) {
+    Entry& e = node->entries[i];
+    if (!e.box.Contains(p)) continue;
+    if (!EraseRecursive(e.child, id, p)) continue;
+    // Found in this subtree. Condense: dissolve the child if underfull.
+    if (static_cast<int>(e.child->entries.size()) < kMinEntries) {
+      Node* child = e.child;
+      for (Entry& orphan : child->entries) {
+        pending_.emplace_back(std::move(orphan), child->level);
+      }
+      child->entries.clear();
+      delete child;
+      node->entries.erase(node->entries.begin() + i);
+    } else {
+      e.box = NodeBox(*e.child);
+    }
+    return true;
+  }
+  return false;
+}
+
+void RStarTree::RangeQuery(std::span<const double> q, double eps,
+                           std::vector<PointId>* out) const {
+  out->clear();
+  RangeRecursive(root_, q, eps, out);
+}
+
+void RStarTree::RangeRecursive(const Node* node, std::span<const double> q,
+                               double eps, std::vector<PointId>* out) const {
+  if (node->is_leaf()) {
+    for (const Entry& e : node->entries) {
+      if (metric_->Distance(q, data_->point(e.id)) <= eps) {
+        out->push_back(e.id);
+      }
+    }
+    return;
+  }
+  for (const Entry& e : node->entries) {
+    if (e.box.empty()) continue;
+    if (metric_->MinDistanceToBox(q, e.box.lo(), e.box.hi()) <= eps) {
+      RangeRecursive(e.child, q, eps, out);
+    }
+  }
+}
+
+void RStarTree::KnnQuery(std::span<const double> q, int k,
+                         std::vector<PointId>* out) const {
+  out->clear();
+  if (k <= 0 || count_ == 0) return;
+  const std::size_t want = std::min<std::size_t>(k, count_);
+  // Best-first search over (min-distance, node-or-point).
+  struct QueueItem {
+    double dist;
+    const Node* node;  // Null for point results.
+    PointId id;
+    bool operator>(const QueueItem& other) const { return dist > other.dist; }
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  pq.push({0.0, root_, -1});
+  while (!pq.empty()) {
+    const QueueItem item = pq.top();
+    pq.pop();
+    if (item.node == nullptr) {
+      out->push_back(item.id);
+      if (out->size() == want) return;
+      continue;
+    }
+    if (item.node->is_leaf()) {
+      for (const Entry& e : item.node->entries) {
+        pq.push({metric_->Distance(q, data_->point(e.id)), nullptr, e.id});
+      }
+    } else {
+      for (const Entry& e : item.node->entries) {
+        if (e.box.empty()) continue;
+        pq.push({metric_->MinDistanceToBox(q, e.box.lo(), e.box.hi()),
+                 e.child, -1});
+      }
+    }
+  }
+}
+
+void RStarTree::CheckInvariants() const {
+  std::size_t point_count = 0;
+  CheckNode(root_, height_ - 1, &point_count);
+  DBDC_CHECK(point_count == count_);
+}
+
+void RStarTree::CheckNode(const Node* node, int expected_level,
+                          std::size_t* point_count) const {
+  DBDC_CHECK(node->level == expected_level);
+  DBDC_CHECK(static_cast<int>(node->entries.size()) <= kMaxEntries);
+  if (node != root_) {
+    DBDC_CHECK(static_cast<int>(node->entries.size()) >= kMinEntries);
+  } else if (!node->is_leaf()) {
+    DBDC_CHECK(node->entries.size() >= 2);
+  }
+  for (const Entry& e : node->entries) {
+    if (node->is_leaf()) {
+      DBDC_CHECK(e.child == nullptr);
+      DBDC_CHECK(e.id >= 0);
+      DBDC_CHECK(e.box.Contains(data_->point(e.id)));
+      ++*point_count;
+    } else {
+      DBDC_CHECK(e.child != nullptr);
+      const BoundingBox expect = NodeBox(*e.child);
+      for (int d = 0; d < data_->dim(); ++d) {
+        DBDC_CHECK(e.box.lo()[d] == expect.lo()[d]);
+        DBDC_CHECK(e.box.hi()[d] == expect.hi()[d]);
+      }
+      CheckNode(e.child, expected_level - 1, point_count);
+    }
+  }
+}
+
+}  // namespace dbdc

@@ -1,0 +1,151 @@
+#ifndef DBDC_INDEX_RSTAR_TREE_H_
+#define DBDC_INDEX_RSTAR_TREE_H_
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/bounding_box.h"
+#include "index/neighbor_index.h"
+
+namespace dbdc {
+
+/// Dynamic R*-tree (Beckmann, Kriegel, Schneider, Seeger, SIGMOD 1990) —
+/// the access method the DBDC paper cites for DBSCAN's region queries.
+///
+/// Implements the full R* insertion heuristics: overlap-minimizing
+/// ChooseSubtree at the leaf level, forced reinsertion (30 % of M, once
+/// per level per insertion), and the margin-driven axis/index split.
+/// Deletion condenses underfull nodes and reinserts orphaned entries at
+/// their original level. Range queries prune with the metric's
+/// point-to-box lower bound; kNN uses best-first search.
+class RStarTree final : public NeighborIndex {
+ public:
+  /// Node capacity bounds: at most kMaxEntries and (except for the root)
+  /// at least kMinEntries entries per node.
+  static constexpr int kMaxEntries = 32;
+  static constexpr int kMinEntries = 13;   // 40% of M, the R* recommendation.
+  static constexpr int kReinsertCount = 10;  // 30% of M.
+
+  /// How the initial tree over `data` is constructed.
+  enum class Construction {
+    /// Repeated R* insertion (forced reinsertion etc.). Dynamic-quality
+    /// tree, O(n log n) with substantial constants.
+    kInsert,
+    /// Sort-Tile-Recursive bulk loading (Leutenegger et al., ICDE 1997):
+    /// packs near-full nodes bottom-up by recursive coordinate tiling.
+    /// Much faster to build and usually better clustered for static
+    /// data; the tree remains fully dynamic afterwards.
+    kBulkLoadStr,
+  };
+
+  RStarTree(const Dataset& data, const Metric& metric, bool index_all = true,
+            Construction construction = Construction::kInsert);
+  ~RStarTree() override;
+
+  RStarTree(const RStarTree&) = delete;
+  RStarTree& operator=(const RStarTree&) = delete;
+
+  void RangeQuery(std::span<const double> q, double eps,
+                  std::vector<PointId>* out) const override;
+  using NeighborIndex::RangeQuery;
+  void KnnQuery(std::span<const double> q, int k,
+                std::vector<PointId>* out) const override;
+  std::size_t size() const override { return count_; }
+  bool SupportsDynamicUpdates() const override { return true; }
+  void Insert(PointId id) override;
+  void Erase(PointId id) override;
+  std::string_view name() const override { return "rstar"; }
+  const Dataset& data() const override { return *data_; }
+  const Metric& metric() const override { return *metric_; }
+
+  /// Height of the tree (1 = root is a leaf). For tests and diagnostics.
+  int height() const { return height_; }
+
+  /// Verifies structural invariants (occupancy bounds, exact MBRs, uniform
+  /// leaf depth, entry count). Aborts on violation. Test-only helper.
+  void CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  /// An entry is either a (box, child) pair in an interior node or a
+  /// (point-box, id) pair in a leaf.
+  struct Entry {
+    BoundingBox box = BoundingBox(1);  // Replaced before use.
+    Node* child = nullptr;             // Owned; null in leaf entries.
+    PointId id = -1;
+  };
+
+  struct Node {
+    explicit Node(int level_in) : level(level_in) {}
+    int level;  // 0 = leaf.
+    std::vector<Entry> entries;
+    bool is_leaf() const { return level == 0; }
+  };
+
+  void FreeNode(Node* node);
+  BoundingBox NodeBox(const Node& node) const;
+  Entry MakePointEntry(PointId id) const;
+
+  /// Descends one step: index of the child entry of `node` to follow when
+  /// inserting `box`.
+  std::size_t ChooseSubtree(const Node& node, const BoundingBox& box) const;
+
+  /// Recursive insertion of `entry` at `target_level`. Returns a split-off
+  /// sibling when `node` overflowed and was split; the caller installs it.
+  Node* InsertRecursive(Node* node, Entry entry, int target_level);
+
+  /// R* overflow treatment: forced reinsertion (first time per level per
+  /// top-level insert, non-root) or split. Returns the split sibling or
+  /// null.
+  Node* OverflowTreatment(Node* node);
+
+  /// The R* topological split: picks axis by minimum margin sum, then the
+  /// distribution with minimal overlap (ties: minimal area). Returns the
+  /// new sibling holding the second group.
+  Node* SplitNode(Node* node);
+
+  /// Removes the kReinsertCount entries farthest from the node's box
+  /// center and queues them for reinsertion.
+  void ForcedReinsert(Node* node);
+
+  /// Installs a split of the root, growing the tree by one level.
+  void GrowRoot(Node* sibling);
+
+  /// Drains pending_ by re-running the insertion machinery.
+  void DrainPending();
+
+  /// Recursive deletion; returns true when `id` was found and removed.
+  /// Underfull descendants are dissolved into orphans_.
+  bool EraseRecursive(Node* node, PointId id, std::span<const double> p);
+
+  /// Sort-Tile-Recursive bulk load of all points (requires an empty
+  /// tree).
+  void BulkLoadStr();
+  /// Tiles `entries` into groups of <= kMaxEntries by recursive
+  /// coordinate sorting (axis cycles with recursion depth).
+  void StrTile(std::vector<Entry>* entries, int axis,
+               std::vector<std::vector<Entry>>* groups);
+
+  void RangeRecursive(const Node* node, std::span<const double> q, double eps,
+                      std::vector<PointId>* out) const;
+
+  void CheckNode(const Node* node, int expected_level,
+                 std::size_t* point_count) const;
+
+  const Dataset* data_;
+  const Metric* metric_;
+  Node* root_;
+  int height_ = 1;
+  std::size_t count_ = 0;
+
+  // Insertion bookkeeping (valid during one top-level Insert/Erase).
+  std::vector<std::pair<Entry, int>> pending_;  // (entry, target level)
+  std::vector<bool> reinserted_at_level_;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_INDEX_RSTAR_TREE_H_

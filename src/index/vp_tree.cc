@@ -1,0 +1,129 @@
+#include "index/vp_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dbdc {
+
+VpTree::VpTree(const Dataset& data, const Metric& metric)
+    : data_(&data), metric_(&metric), count_(data.size()) {
+  if (count_ == 0) return;
+  // items carry (distance-to-current-vantage, id); the distance slot is
+  // recomputed at every level.
+  std::vector<std::pair<double, PointId>> items;
+  items.reserve(count_);
+  for (PointId id = 0; id < static_cast<PointId>(count_); ++id) {
+    items.emplace_back(0.0, id);
+  }
+  ids_.reserve(count_);
+  nodes_.reserve(2 * count_ / kLeafSize + 2);
+  root_ = Build(&items, 0, static_cast<std::int32_t>(items.size()));
+}
+
+std::int32_t VpTree::Build(std::vector<std::pair<double, PointId>>* items,
+                           std::int32_t begin, std::int32_t end) {
+  const std::int32_t node_idx = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (end - begin <= kLeafSize) {
+    Node& node = nodes_[node_idx];
+    node.begin = static_cast<std::int32_t>(ids_.size());
+    for (std::int32_t i = begin; i < end; ++i) {
+      ids_.push_back((*items)[i].second);
+    }
+    node.end = static_cast<std::int32_t>(ids_.size());
+    return node_idx;
+  }
+  // Deterministic vantage choice: the first item of the range.
+  const PointId vantage = (*items)[begin].second;
+  const auto vp = data_->point(vantage);
+  for (std::int32_t i = begin + 1; i < end; ++i) {
+    (*items)[i].first = metric_->Distance(vp, data_->point((*items)[i].second));
+  }
+  const std::int32_t mid = begin + 1 + (end - begin - 1) / 2;
+  std::nth_element(items->begin() + begin + 1, items->begin() + mid,
+                   items->begin() + end);
+  const double threshold = (*items)[mid].first;
+  const std::int32_t inner = Build(items, begin + 1, mid + 1);
+  const std::int32_t outer = Build(items, mid + 1, end);
+  Node& node = nodes_[node_idx];
+  node.vantage = vantage;
+  node.threshold = threshold;
+  node.inner = inner;
+  node.outer = outer;
+  return node_idx;
+}
+
+void VpTree::RangeQuery(std::span<const double> q, double eps,
+                        std::vector<PointId>* out) const {
+  out->clear();
+  if (root_ >= 0) RangeRecursive(root_, q, eps, out);
+}
+
+void VpTree::RangeRecursive(std::int32_t node_idx, std::span<const double> q,
+                            double eps, std::vector<PointId>* out) const {
+  const Node& node = nodes_[node_idx];
+  if (node.is_leaf()) {
+    for (std::int32_t i = node.begin; i < node.end; ++i) {
+      const PointId id = ids_[i];
+      if (metric_->Distance(q, data_->point(id)) <= eps) out->push_back(id);
+    }
+    return;
+  }
+  const double d = metric_->Distance(q, data_->point(node.vantage));
+  if (d <= eps) out->push_back(node.vantage);
+  // Triangle inequality: the inner ball holds points within threshold of
+  // the vantage; it can contain answers only if d - eps <= threshold.
+  if (d - eps <= node.threshold) RangeRecursive(node.inner, q, eps, out);
+  if (d + eps >= node.threshold) RangeRecursive(node.outer, q, eps, out);
+}
+
+void VpTree::KnnQuery(std::span<const double> q, int k,
+                      std::vector<PointId>* out) const {
+  out->clear();
+  if (k <= 0 || root_ < 0) return;
+  const std::size_t want = std::min<std::size_t>(k, count_);
+  std::vector<std::pair<double, PointId>> heap;  // Max-heap on distance.
+  KnnRecursive(root_, q, want, &heap);
+  std::sort_heap(heap.begin(), heap.end());
+  out->reserve(heap.size());
+  for (const auto& [d, id] : heap) out->push_back(id);
+}
+
+void VpTree::KnnRecursive(
+    std::int32_t node_idx, std::span<const double> q, std::size_t k,
+    std::vector<std::pair<double, PointId>>* heap) const {
+  const Node& node = nodes_[node_idx];
+  auto offer = [&](double d, PointId id) {
+    if (heap->size() < k) {
+      heap->emplace_back(d, id);
+      std::push_heap(heap->begin(), heap->end());
+    } else if (d < heap->front().first) {
+      std::pop_heap(heap->begin(), heap->end());
+      heap->back() = {d, id};
+      std::push_heap(heap->begin(), heap->end());
+    }
+  };
+  if (node.is_leaf()) {
+    for (std::int32_t i = node.begin; i < node.end; ++i) {
+      const PointId id = ids_[i];
+      offer(metric_->Distance(q, data_->point(id)), id);
+    }
+    return;
+  }
+  const double d = metric_->Distance(q, data_->point(node.vantage));
+  offer(d, node.vantage);
+  const bool inner_first = d <= node.threshold;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool take_inner = (pass == 0) == inner_first;
+    const double tau = heap->size() < k
+                           ? std::numeric_limits<double>::max()
+                           : heap->front().first;
+    if (take_inner) {
+      if (d - tau <= node.threshold) KnnRecursive(node.inner, q, k, heap);
+    } else {
+      if (d + tau >= node.threshold) KnnRecursive(node.outer, q, k, heap);
+    }
+  }
+}
+
+}  // namespace dbdc

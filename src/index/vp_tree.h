@@ -1,0 +1,64 @@
+#ifndef DBDC_INDEX_VP_TREE_H_
+#define DBDC_INDEX_VP_TREE_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "index/neighbor_index.h"
+
+namespace dbdc {
+
+/// Vantage-point tree (Yianilos, SODA 1993) — a second metric-only
+/// access method besides the M-tree.
+///
+/// Each interior node holds a vantage point and the median distance of
+/// its subtree to that point; queries prune with the triangle
+/// inequality. Works with any metric; built once (static), balanced by
+/// construction via median splits.
+class VpTree final : public NeighborIndex {
+ public:
+  VpTree(const Dataset& data, const Metric& metric);
+
+  void RangeQuery(std::span<const double> q, double eps,
+                  std::vector<PointId>* out) const override;
+  using NeighborIndex::RangeQuery;
+  void KnnQuery(std::span<const double> q, int k,
+                std::vector<PointId>* out) const override;
+  std::size_t size() const override { return count_; }
+  std::string_view name() const override { return "vptree"; }
+  const Dataset& data() const override { return *data_; }
+  const Metric& metric() const override { return *metric_; }
+
+ private:
+  struct Node {
+    PointId vantage = -1;    // Interior: vantage point; also indexed.
+    double threshold = 0.0;  // Median distance to the vantage point.
+    std::int32_t inner = -1;
+    std::int32_t outer = -1;
+    std::int32_t begin = 0;  // Leaf: range [begin, end) into ids_.
+    std::int32_t end = 0;
+    bool is_leaf() const { return vantage < 0; }
+  };
+
+  std::int32_t Build(std::vector<std::pair<double, PointId>>* items,
+                     std::int32_t begin, std::int32_t end);
+  void RangeRecursive(std::int32_t node, std::span<const double> q,
+                      double eps, std::vector<PointId>* out) const;
+  void KnnRecursive(std::int32_t node, std::span<const double> q,
+                    std::size_t k,
+                    std::vector<std::pair<double, PointId>>* heap) const;
+
+  static constexpr std::int32_t kLeafSize = 12;
+
+  const Dataset* data_;
+  const Metric* metric_;
+  std::vector<PointId> ids_;  // Leaf buckets.
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_INDEX_VP_TREE_H_

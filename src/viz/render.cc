@@ -1,0 +1,171 @@
+#include "viz/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace dbdc {
+namespace {
+
+struct Bounds {
+  double lo_x, hi_x, lo_y, hi_y;
+};
+
+Bounds ComputeBounds(const Dataset& data) {
+  Bounds b{std::numeric_limits<double>::max(),
+           std::numeric_limits<double>::lowest(),
+           std::numeric_limits<double>::max(),
+           std::numeric_limits<double>::lowest()};
+  for (PointId p = 0; p < static_cast<PointId>(data.size()); ++p) {
+    const auto pt = data.point(p);
+    b.lo_x = std::min(b.lo_x, pt[0]);
+    b.hi_x = std::max(b.hi_x, pt[0]);
+    b.lo_y = std::min(b.lo_y, pt[1]);
+    b.hi_y = std::max(b.hi_y, pt[1]);
+  }
+  // Avoid zero-width ranges.
+  if (b.hi_x <= b.lo_x) b.hi_x = b.lo_x + 1.0;
+  if (b.hi_y <= b.lo_y) b.hi_y = b.lo_y + 1.0;
+  return b;
+}
+
+/// A fixed, visually distinct color palette (cycled for many clusters).
+constexpr unsigned char kPalette[][3] = {
+    {230, 25, 75},   {60, 180, 75},   {0, 130, 200},  {245, 130, 48},
+    {145, 30, 180},  {70, 240, 240},  {240, 50, 230}, {210, 245, 60},
+    {250, 190, 212}, {0, 128, 128},   {220, 190, 255}, {170, 110, 40},
+    {128, 0, 0},     {170, 255, 195}, {128, 128, 0},  {0, 0, 128},
+};
+constexpr int kPaletteSize = 16;
+
+}  // namespace
+
+std::string AsciiScatter(const Dataset& data,
+                         std::span<const ClusterId> labels, int width,
+                         int height) {
+  DBDC_CHECK(data.dim() >= 2);
+  DBDC_CHECK(width >= 2 && height >= 2);
+  if (data.empty()) return std::string("(empty dataset)\n");
+  const Bounds b = ComputeBounds(data);
+  // Per cell: votes per label.
+  std::vector<std::map<ClusterId, int>> cells(width * height);
+  for (PointId p = 0; p < static_cast<PointId>(data.size()); ++p) {
+    const auto pt = data.point(p);
+    int cx = static_cast<int>((pt[0] - b.lo_x) / (b.hi_x - b.lo_x) *
+                              (width - 1));
+    int cy = static_cast<int>((pt[1] - b.lo_y) / (b.hi_y - b.lo_y) *
+                              (height - 1));
+    cx = std::clamp(cx, 0, width - 1);
+    cy = std::clamp(cy, 0, height - 1);
+    const ClusterId label =
+        labels.empty() ? 0 : labels[static_cast<std::size_t>(p)];
+    ++cells[cy * width + cx][label];
+  }
+  std::string out;
+  out.reserve(static_cast<std::size_t>(height) * (width + 1));
+  for (int y = height - 1; y >= 0; --y) {  // y axis points up.
+    for (int x = 0; x < width; ++x) {
+      const auto& votes = cells[y * width + x];
+      if (votes.empty()) {
+        out += ' ';
+        continue;
+      }
+      ClusterId best = kNoise;
+      int best_votes = -1;
+      for (const auto& [label, count] : votes) {
+        if (count > best_votes) {
+          best_votes = count;
+          best = label;
+        }
+      }
+      if (best < 0) {
+        out += '.';
+      } else if (labels.empty()) {
+        out += 'o';
+      } else {
+        out += static_cast<char>('a' + best % 26);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool WriteScatterPpm(const std::string& path, const Dataset& data,
+                     std::span<const ClusterId> labels, int width,
+                     int height) {
+  DBDC_CHECK(data.dim() >= 2);
+  DBDC_CHECK(width >= 2 && height >= 2);
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return false;
+  std::vector<unsigned char> pixels(
+      static_cast<std::size_t>(width) * height * 3, 255);
+  if (!data.empty()) {
+    const Bounds b = ComputeBounds(data);
+    for (PointId p = 0; p < static_cast<PointId>(data.size()); ++p) {
+      const auto pt = data.point(p);
+      int cx = static_cast<int>((pt[0] - b.lo_x) / (b.hi_x - b.lo_x) *
+                                (width - 1));
+      int cy = static_cast<int>((pt[1] - b.lo_y) / (b.hi_y - b.lo_y) *
+                                (height - 1));
+      cx = std::clamp(cx, 0, width - 1);
+      cy = std::clamp(cy, 0, height - 1);
+      const ClusterId label =
+          labels.empty() ? 0 : labels[static_cast<std::size_t>(p)];
+      unsigned char r = 160, g = 160, bch = 160;  // Noise: gray.
+      if (label >= 0) {
+        const auto& color = kPalette[label % kPaletteSize];
+        r = color[0];
+        g = color[1];
+        bch = color[2];
+      }
+      // Image row 0 is the top; flip y.
+      const std::size_t idx =
+          (static_cast<std::size_t>(height - 1 - cy) * width + cx) * 3;
+      pixels[idx] = r;
+      pixels[idx + 1] = g;
+      pixels[idx + 2] = bch;
+    }
+  }
+  out << "P6\n" << width << " " << height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels.data()),
+            static_cast<std::streamsize>(pixels.size()));
+  return out.good();
+}
+
+std::string AsciiReachabilityPlot(const OpticsResult& optics, int width,
+                                  int height) {
+  DBDC_CHECK(width >= 2 && height >= 2);
+  const std::size_t n = optics.ordering.size();
+  if (n == 0) return std::string("(empty ordering)\n");
+  // Subsample ordering positions to `width` columns.
+  const std::size_t columns = std::min<std::size_t>(width, n);
+  std::vector<double> value(columns, 0.0);
+  double max_finite = 0.0;
+  for (std::size_t c = 0; c < columns; ++c) {
+    const std::size_t pos = c * n / columns;
+    value[c] = optics.reachability[optics.ordering[pos]];
+    if (value[c] != OpticsResult::kUndefined) {
+      max_finite = std::max(max_finite, value[c]);
+    }
+  }
+  if (max_finite <= 0.0) max_finite = 1.0;
+  std::string out;
+  for (int row = height; row >= 1; --row) {
+    const double threshold =
+        max_finite * static_cast<double>(row) / static_cast<double>(height);
+    for (std::size_t c = 0; c < columns; ++c) {
+      const bool undefined = value[c] == OpticsResult::kUndefined;
+      out += (undefined || value[c] >= threshold) ? '#' : ' ';
+    }
+    out += '\n';
+  }
+  out += std::string(columns, '-');
+  out += '\n';
+  return out;
+}
+
+}  // namespace dbdc

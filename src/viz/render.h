@@ -1,0 +1,38 @@
+#ifndef DBDC_VIZ_RENDER_H_
+#define DBDC_VIZ_RENDER_H_
+
+#include <span>
+#include <string>
+
+#include "cluster/optics.h"
+#include "common/dataset.h"
+#include "common/types.h"
+
+namespace dbdc {
+
+/// Renders a 2-d dataset as an ASCII scatter plot (for terminals and
+/// logs): clusters print as letters a, b, c, ..., noise as '.', empty
+/// cells as ' '. When several points share a character cell, the most
+/// frequent cluster wins. `labels` may be empty (everything drawn 'o').
+std::string AsciiScatter(const Dataset& data,
+                         std::span<const ClusterId> labels, int width = 78,
+                         int height = 24);
+
+/// Writes a 2-d dataset as a binary PPM (P6) image, points colored by
+/// cluster (noise is gray, background white) — the counterpart of the
+/// paper's Fig. 6 scatter plots. Returns false on IO failure.
+bool WriteScatterPpm(const std::string& path, const Dataset& data,
+                     std::span<const ClusterId> labels, int width = 600,
+                     int height = 600);
+
+/// Renders an OPTICS reachability plot as ASCII bars (the visualization
+/// Sec. 6 alludes to for choosing Eps_global interactively). Bars are
+/// scaled to `height` rows; undefined reachabilities render at full
+/// height. At most `width` ordering positions are shown (uniform
+/// subsampling beyond that).
+std::string AsciiReachabilityPlot(const OpticsResult& optics, int width = 78,
+                                  int height = 16);
+
+}  // namespace dbdc
+
+#endif  // DBDC_VIZ_RENDER_H_

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "baseline/distributed_kmeans.h"
+#include "baseline/parallel_dbscan.h"
+#include "core/dbdc.h"
+#include "data/generators.h"
+#include "eval/external_indices.h"
+#include "index/linear_scan_index.h"
+#include "test_util.h"
+
+namespace dbdc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Exact parallel DBSCAN (related work [21]).
+
+class ParallelDbscanEquivalenceTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelDbscanEquivalenceTest, ExactlyMatchesSequentialDbscan) {
+  const SyntheticDataset synth = MakeTestDatasetA(17);
+  const DbscanParams params = synth.suggested_params;
+  const LinearScanIndex reference(synth.data, Euclidean());
+  const Clustering sequential = RunDbscan(reference, params);
+
+  ParallelDbscanConfig config;
+  config.dbscan = params;
+  config.num_workers = GetParam();
+  const ParallelDbscanResult parallel =
+      RunParallelDbscan(synth.data, Euclidean(), config);
+
+  // The strongest claim: full DBSCAN equivalence (core partition exact,
+  // noise exact, borders adjacent) — unlike DBDC, which approximates.
+  ExpectDbscanEquivalent(synth.data, Euclidean(), params, sequential,
+                         parallel.clustering);
+  EXPECT_EQ(parallel.clustering.num_clusters, sequential.num_clusters);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ParallelDbscanEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 7, 16));
+
+TEST(ParallelDbscanTest, NoisyDatasetStaysExact) {
+  const SyntheticDataset synth = MakeTestDatasetB(18);
+  const LinearScanIndex reference(synth.data, Euclidean());
+  const Clustering sequential =
+      RunDbscan(reference, synth.suggested_params);
+  ParallelDbscanConfig config;
+  config.dbscan = synth.suggested_params;
+  config.num_workers = 5;
+  const ParallelDbscanResult parallel =
+      RunParallelDbscan(synth.data, Euclidean(), config);
+  ExpectDbscanEquivalent(synth.data, Euclidean(), synth.suggested_params,
+                         sequential, parallel.clustering);
+}
+
+TEST(ParallelDbscanTest, SliceAlongSecondAxis) {
+  const SyntheticDataset synth = MakeTestDatasetC(19);
+  const LinearScanIndex reference(synth.data, Euclidean());
+  const Clustering sequential =
+      RunDbscan(reference, synth.suggested_params);
+  ParallelDbscanConfig config;
+  config.dbscan = synth.suggested_params;
+  config.num_workers = 4;
+  config.slice_axis = 1;
+  const ParallelDbscanResult parallel =
+      RunParallelDbscan(synth.data, Euclidean(), config);
+  ExpectDbscanEquivalent(synth.data, Euclidean(), synth.suggested_params,
+                         sequential, parallel.clustering);
+}
+
+TEST(ParallelDbscanTest, HaloCostGrowsWithWorkers) {
+  const SyntheticDataset synth = MakeTestDatasetA(20);
+  ParallelDbscanConfig config;
+  config.dbscan = synth.suggested_params;
+  config.num_workers = 2;
+  const auto two = RunParallelDbscan(synth.data, Euclidean(), config);
+  config.num_workers = 8;
+  const auto eight = RunParallelDbscan(synth.data, Euclidean(), config);
+  EXPECT_GT(eight.bytes_halo, two.bytes_halo);
+  EXPECT_GT(two.bytes_halo, 0u);
+  EXPECT_GT(two.total_halo_points, 0u);
+}
+
+TEST(ParallelDbscanTest, EmptyAndTinyInputs) {
+  Dataset empty(2);
+  ParallelDbscanConfig config;
+  config.dbscan = {1.0, 3};
+  config.num_workers = 4;
+  const auto none = RunParallelDbscan(empty, Euclidean(), config);
+  EXPECT_EQ(none.clustering.num_clusters, 0);
+
+  Dataset tiny(2);
+  tiny.Add(Point{0.0, 0.0});
+  tiny.Add(Point{0.1, 0.0});
+  tiny.Add(Point{0.2, 0.0});
+  config.num_workers = 8;  // More workers than points.
+  const auto small = RunParallelDbscan(tiny, Euclidean(), config);
+  EXPECT_EQ(small.clustering.num_clusters, 1);
+  EXPECT_EQ(small.clustering.CountNoise(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed k-means (related work [5]).
+
+TEST(DistributedKMeansTest, RecoversWellSeparatedGlobularClusters) {
+  const SyntheticDataset synth = MakeTestDatasetC(21);  // 3 blobs.
+  DistributedKMeansConfig config;
+  config.k = 3;
+  config.num_sites = 4;
+  const DistributedKMeansResult result =
+      RunDistributedKMeans(synth.data, config);
+  // All three centroids used, and assignment matches the generator truth
+  // almost everywhere (blobs are globular — k-means' home turf).
+  std::set<ClusterId> used(result.labels.begin(), result.labels.end());
+  EXPECT_EQ(used.size(), 3u);
+  EXPECT_GT(AdjustedRandIndex(result.labels, synth.true_labels), 0.95);
+  EXPECT_GT(result.rounds, 1);
+  EXPECT_GT(result.bytes_total, 0u);
+}
+
+TEST(DistributedKMeansTest, MatchesCentralizedRoundsExactly) {
+  // The reduction is exact: distributing the same points over any number
+  // of sites must give identical centroids to a 1-site run (floating
+  // point aside, summation order differs — compare loosely).
+  const SyntheticDataset synth = MakeTestDatasetC(22);
+  DistributedKMeansConfig config;
+  config.k = 3;
+  config.seed = 9;
+  config.num_sites = 1;
+  const auto one = RunDistributedKMeans(synth.data, config);
+  config.num_sites = 7;
+  const auto seven = RunDistributedKMeans(synth.data, config);
+  EXPECT_NEAR(one.inertia, seven.inertia, 1e-6 * one.inertia);
+  EXPECT_NEAR(one.rounds, seven.rounds, 1);  // FP summation order only.
+}
+
+TEST(DistributedKMeansTest, FailsOnNonGlobularShapes) {
+  // The paper's Sec. 4 motivation: k-means cannot capture a ring around
+  // a blob; DBSCAN-based DBDC can.
+  Dataset data(2);
+  std::vector<ClusterId> truth;
+  Rng rng(5);
+  AppendBlob({{50.0, 50.0}, 1.5, 400}, 0, &rng, &data, &truth);
+  AppendRing({50.0, 50.0}, 15.0, 0.5, 800, 1, &rng, &data, &truth);
+
+  DistributedKMeansConfig km_config;
+  km_config.k = 2;
+  km_config.num_sites = 4;
+  const auto km = RunDistributedKMeans(data, km_config);
+  const double km_ari = AdjustedRandIndex(km.labels, truth);
+
+  DbdcConfig dbdc_config;
+  dbdc_config.local_dbscan = {2.0, 5};
+  dbdc_config.num_sites = 4;
+  const DbdcResult dbdc = RunDbdc(data, Euclidean(), dbdc_config);
+  const double dbdc_ari = AdjustedRandIndex(dbdc.labels, truth);
+
+  EXPECT_LT(km_ari, 0.5) << "k-means should fail on the ring";
+  EXPECT_GT(dbdc_ari, 0.9) << "DBDC should capture the ring";
+}
+
+TEST(DistributedKMeansTest, DeterministicGivenSeed) {
+  const SyntheticDataset synth = MakeTestDatasetC(23);
+  DistributedKMeansConfig config;
+  config.k = 3;
+  const auto a = RunDistributedKMeans(synth.data, config);
+  const auto b = RunDistributedKMeans(synth.data, config);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(DistributedKMeansTest, ByteCostLinearInRoundsAndK) {
+  const SyntheticDataset synth = MakeTestDatasetC(24);
+  DistributedKMeansConfig config;
+  config.k = 3;
+  config.num_sites = 4;
+  const auto result = RunDistributedKMeans(synth.data, config);
+  const std::uint64_t per_round =
+      4ull * 3 * (2 * sizeof(double)) +          // Broadcast.
+      4ull * 3 * (2 * sizeof(double) + sizeof(std::uint64_t));  // Reduce.
+  EXPECT_EQ(result.bytes_total,
+            per_round * static_cast<std::uint64_t>(result.rounds));
+}
+
+TEST(DistributedKMeansTest, EmptyDataset) {
+  Dataset data(2);
+  DistributedKMeansConfig config;
+  const auto result = RunDistributedKMeans(data, config);
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_EQ(result.rounds, 0);
+}
+
+}  // namespace
+}  // namespace dbdc

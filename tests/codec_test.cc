@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/model_codec.h"
+
+namespace dbdc {
+namespace {
+
+LocalModel SampleLocalModel() {
+  LocalModel model;
+  model.site_id = 7;
+  model.dim = 3;
+  model.num_local_clusters = 2;
+  model.representatives = {
+      {{1.0, 2.0, 3.0}, 1.5, 0, 12},
+      {{-4.0, 5.5, 0.25}, 2.25, 0, 7},
+      {{100.0, -200.0, 0.0}, 1.0, 1, 33},
+  };
+  return model;
+}
+
+GlobalModel SampleGlobalModel() {
+  GlobalModel model;
+  model.rep_points = Dataset(2);
+  model.rep_points.Add(Point{1.0, 2.0});
+  model.rep_points.Add(Point{3.5, -1.5});
+  model.rep_eps = {1.25, 2.5};
+  model.rep_weight = {40, 9};
+  model.rep_global_cluster = {0, 0};
+  model.rep_site = {0, 1};
+  model.rep_local_cluster = {2, 0};
+  model.num_global_clusters = 1;
+  model.eps_global_used = 2.5;
+  return model;
+}
+
+TEST(ModelCodecTest, LocalModelRoundTrip) {
+  const LocalModel model = SampleLocalModel();
+  const std::vector<std::uint8_t> bytes = EncodeLocalModel(model);
+  const auto decoded = DecodeLocalModel(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->site_id, model.site_id);
+  EXPECT_EQ(decoded->dim, model.dim);
+  EXPECT_EQ(decoded->num_local_clusters, model.num_local_clusters);
+  ASSERT_EQ(decoded->representatives.size(), model.representatives.size());
+  for (std::size_t i = 0; i < model.representatives.size(); ++i) {
+    EXPECT_EQ(decoded->representatives[i].center,
+              model.representatives[i].center);
+    EXPECT_DOUBLE_EQ(decoded->representatives[i].eps_range,
+                     model.representatives[i].eps_range);
+    EXPECT_EQ(decoded->representatives[i].local_cluster,
+              model.representatives[i].local_cluster);
+    EXPECT_EQ(decoded->representatives[i].weight,
+              model.representatives[i].weight);
+  }
+}
+
+TEST(ModelCodecTest, VersionOnePayloadsDecodeWithDefaultWeight) {
+  // Hand-craft a v1 local payload (no weight field): the decoder must
+  // accept it and default every weight to 1.
+  std::vector<std::uint8_t> bytes;
+  auto put_u32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  auto put_f64 = [&](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(v));
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+    }
+  };
+  put_u32(0x4442544Du);  // 'DBLM' magic.
+  put_u32(1);            // Version 1.
+  put_u32(5);            // site_id.
+  put_u32(2);            // dim.
+  put_u32(1);            // num_local_clusters.
+  put_u32(1);            // rep_count.
+  put_u32(0);            // local_cluster.
+  put_f64(1.5);          // eps_range.
+  put_f64(3.0);          // x.
+  put_f64(4.0);          // y.
+  const auto decoded = DecodeLocalModel(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->representatives.size(), 1u);
+  EXPECT_EQ(decoded->representatives[0].weight, 1u);
+  EXPECT_DOUBLE_EQ(decoded->representatives[0].eps_range, 1.5);
+  EXPECT_EQ(decoded->representatives[0].center, (Point{3.0, 4.0}));
+}
+
+TEST(ModelCodecTest, UnknownFutureVersionRejected) {
+  std::vector<std::uint8_t> bytes = EncodeLocalModel(SampleLocalModel());
+  bytes[4] = 99;  // Version field.
+  EXPECT_FALSE(DecodeLocalModel(bytes).has_value());
+}
+
+TEST(ModelCodecTest, EmptyLocalModelRoundTrip) {
+  LocalModel model;
+  model.site_id = 3;
+  model.dim = 2;
+  const auto decoded = DecodeLocalModel(EncodeLocalModel(model));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->representatives.empty());
+  EXPECT_EQ(decoded->site_id, 3);
+}
+
+TEST(ModelCodecTest, GlobalModelRoundTrip) {
+  const GlobalModel model = SampleGlobalModel();
+  const auto decoded = DecodeGlobalModel(EncodeGlobalModel(model));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->NumRepresentatives(), 2u);
+  EXPECT_EQ(decoded->num_global_clusters, 1);
+  EXPECT_DOUBLE_EQ(decoded->eps_global_used, 2.5);
+  EXPECT_EQ(decoded->rep_global_cluster, model.rep_global_cluster);
+  EXPECT_EQ(decoded->rep_weight, model.rep_weight);
+  EXPECT_EQ(decoded->rep_site, model.rep_site);
+  EXPECT_EQ(decoded->rep_local_cluster, model.rep_local_cluster);
+  for (PointId i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(decoded->rep_points.point(i)[0],
+                     model.rep_points.point(i)[0]);
+    EXPECT_DOUBLE_EQ(decoded->rep_points.point(i)[1],
+                     model.rep_points.point(i)[1]);
+  }
+}
+
+TEST(ModelCodecTest, RejectsTruncatedPayloads) {
+  const std::vector<std::uint8_t> bytes =
+      EncodeLocalModel(SampleLocalModel());
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{3}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    EXPECT_FALSE(
+        DecodeLocalModel(std::span(bytes.data(), len)).has_value())
+        << "accepted truncation to " << len;
+  }
+}
+
+TEST(ModelCodecTest, RejectsWrongMagicAndCrossDecoding) {
+  std::vector<std::uint8_t> bytes = EncodeLocalModel(SampleLocalModel());
+  // A local payload must not decode as a global model and vice versa.
+  EXPECT_FALSE(DecodeGlobalModel(bytes).has_value());
+  const std::vector<std::uint8_t> global_bytes =
+      EncodeGlobalModel(SampleGlobalModel());
+  EXPECT_FALSE(DecodeLocalModel(global_bytes).has_value());
+  // Corrupt magic.
+  bytes[0] ^= 0xff;
+  EXPECT_FALSE(DecodeLocalModel(bytes).has_value());
+}
+
+TEST(ModelCodecTest, RejectsTrailingGarbage) {
+  std::vector<std::uint8_t> bytes = EncodeLocalModel(SampleLocalModel());
+  bytes.push_back(0x00);
+  EXPECT_FALSE(DecodeLocalModel(bytes).has_value());
+}
+
+TEST(ModelCodecTest, WireSizeIsLinearInRepresentatives) {
+  LocalModel model;
+  model.dim = 2;
+  const std::size_t empty_size = EncodeLocalModel(model).size();
+  model.representatives.assign(10, {{1.0, 2.0}, 1.0, 0, 1});
+  const std::size_t full_size = EncodeLocalModel(model).size();
+  // Per-rep cost: i32 cluster + f64 eps + u32 weight + 2 f64 = 32 bytes.
+  EXPECT_EQ(full_size - empty_size, 10u * 32u);
+}
+
+TEST(ModelCodecTest, RawDatasetWireSizeBaseline) {
+  EXPECT_EQ(RawDatasetWireSize(1000, 2), 16u + 1000u * 16u);
+  // DBDC's saving: a model with 16% representatives is ~6x smaller than
+  // shipping the raw points (plus eps overhead).
+  LocalModel model;
+  model.dim = 2;
+  model.representatives.assign(160, {{0.0, 0.0}, 1.0, 0});
+  EXPECT_LT(EncodeLocalModel(model).size(), RawDatasetWireSize(1000, 2) / 2);
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "common/bounding_box.h"
+#include "common/dataset.h"
+#include "common/distance.h"
+#include "common/rng.h"
+
+namespace dbdc {
+namespace {
+
+TEST(DatasetTest, AddAndRead) {
+  Dataset data(2);
+  EXPECT_TRUE(data.empty());
+  const PointId a = data.Add(Point{1.0, 2.0});
+  const PointId b = data.Add(Point{-3.5, 4.25});
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.dim(), 2);
+  EXPECT_DOUBLE_EQ(data.point(a)[0], 1.0);
+  EXPECT_DOUBLE_EQ(data.point(b)[1], 4.25);
+}
+
+TEST(DatasetTest, AppendMergesAllPoints) {
+  Dataset a(2);
+  a.Add(Point{0.0, 0.0});
+  Dataset b(2);
+  b.Add(Point{1.0, 1.0});
+  b.Add(Point{2.0, 2.0});
+  a.Append(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.point(2)[0], 2.0);
+}
+
+TEST(DistanceTest, EuclideanBasics) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Euclidean().Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Euclidean().Distance(a, a), 0.0);
+}
+
+TEST(DistanceTest, ManhattanAndChebyshev) {
+  const Point a{1.0, 2.0};
+  const Point b{4.0, -2.0};
+  EXPECT_DOUBLE_EQ(Manhattan().Distance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(Chebyshev().Distance(a, b), 4.0);
+}
+
+TEST(DistanceTest, MetricByNameRoundTrip) {
+  EXPECT_EQ(MetricByName("euclidean"), &Euclidean());
+  EXPECT_EQ(MetricByName("manhattan"), &Manhattan());
+  EXPECT_EQ(MetricByName("chebyshev"), &Chebyshev());
+  EXPECT_EQ(MetricByName("nope"), nullptr);
+}
+
+class MetricAxiomsTest : public ::testing::TestWithParam<const Metric*> {};
+
+TEST_P(MetricAxiomsTest, TriangleInequalityAndSymmetryOnRandomPoints) {
+  const Metric& metric = *GetParam();
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point a(3), b(3), c(3);
+    for (int d = 0; d < 3; ++d) {
+      a[d] = rng.Uniform(-10.0, 10.0);
+      b[d] = rng.Uniform(-10.0, 10.0);
+      c[d] = rng.Uniform(-10.0, 10.0);
+    }
+    const double ab = metric.Distance(a, b);
+    const double ba = metric.Distance(b, a);
+    const double ac = metric.Distance(a, c);
+    const double cb = metric.Distance(c, b);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, ac + cb + 1e-12);
+    EXPECT_DOUBLE_EQ(metric.Distance(a, a), 0.0);
+  }
+}
+
+TEST_P(MetricAxiomsTest, MinDistanceToBoxIsALowerBound) {
+  const Metric& metric = *GetParam();
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point lo(2), hi(2), q(2), inside(2);
+    for (int d = 0; d < 2; ++d) {
+      const double a = rng.Uniform(-5.0, 5.0);
+      const double b = rng.Uniform(-5.0, 5.0);
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+      q[d] = rng.Uniform(-10.0, 10.0);
+      inside[d] = rng.Uniform(lo[d], hi[d]);
+    }
+    const double bound = metric.MinDistanceToBox(q, lo, hi);
+    EXPECT_LE(bound, metric.Distance(q, inside) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricAxiomsTest,
+                         ::testing::Values(&Euclidean(), &Manhattan(),
+                                           &Chebyshev()),
+                         [](const auto& info) {
+                           return std::string(info.param->name());
+                         });
+
+TEST(BoundingBoxTest, ExtendAndContains) {
+  BoundingBox box(2);
+  EXPECT_TRUE(box.empty());
+  box.Extend(Point{1.0, 1.0});
+  box.Extend(Point{3.0, -1.0});
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.Contains(Point{2.0, 0.0}));
+  EXPECT_FALSE(box.Contains(Point{0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(box.Volume(), 4.0);
+  EXPECT_DOUBLE_EQ(box.Margin(), 4.0);
+}
+
+TEST(BoundingBoxTest, OverlapAndEnlargement) {
+  BoundingBox a = BoundingBox::FromPoint(Point{0.0, 0.0});
+  a.Extend(Point{2.0, 2.0});
+  BoundingBox b = BoundingBox::FromPoint(Point{1.0, 1.0});
+  b.Extend(Point{3.0, 3.0});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 1.0);
+  BoundingBox far = BoundingBox::FromPoint(Point{10.0, 10.0});
+  EXPECT_FALSE(a.Intersects(far));
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(far), 0.0);
+  // Enlarging a to cover b adds 9 - 4 = 5.
+  EXPECT_DOUBLE_EQ(a.Enlargement(b), 5.0);
+}
+
+TEST(BoundingBoxTest, CenterOfDegenerateBox) {
+  const BoundingBox box = BoundingBox::FromPoint(Point{4.0, -2.0});
+  const std::vector<double> c = box.Center();
+  EXPECT_DOUBLE_EQ(c[0], 4.0);
+  EXPECT_DOUBLE_EQ(c[1], -2.0);
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.0);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0.0, 1.0), b.Uniform(0.0, 1.0));
+  }
+  EXPECT_EQ(a.UniformInt(0, 100), b.UniformInt(0, 100));
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+}  // namespace
+}  // namespace dbdc

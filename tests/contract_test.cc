@@ -1,0 +1,71 @@
+// Contract tests: programming errors must abort loudly through
+// DBDC_CHECK (the library is exception-free; contract violations are
+// never silently absorbed).
+
+#include <gtest/gtest.h>
+
+#include "cluster/dbscan.h"
+#include "common/dataset.h"
+#include "index/grid_index.h"
+#include "index/kd_tree_index.h"
+#include "index/linear_scan_index.h"
+
+namespace dbdc {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, DatasetRejectsWrongDimensionality) {
+  Dataset data(2);
+  EXPECT_DEATH(data.Add(Point{1.0, 2.0, 3.0}), "DBDC_CHECK");
+  EXPECT_DEATH(data.Add(Point{1.0}), "DBDC_CHECK");
+}
+
+TEST(ContractDeathTest, DatasetRejectsOutOfRangeIds) {
+  Dataset data(2);
+  data.Add(Point{0.0, 0.0});
+  EXPECT_DEATH(data.point(1), "DBDC_CHECK");
+  EXPECT_DEATH(data.point(-1), "DBDC_CHECK");
+}
+
+TEST(ContractDeathTest, DatasetAppendRejectsDimensionMismatch) {
+  Dataset a(2);
+  Dataset b(3);
+  EXPECT_DEATH(a.Append(b), "DBDC_CHECK");
+}
+
+TEST(ContractDeathTest, DbscanRejectsInvalidParameters) {
+  Dataset data(2);
+  data.Add(Point{0.0, 0.0});
+  const LinearScanIndex index(data, Euclidean());
+  EXPECT_DEATH(RunDbscan(index, {0.0, 3}), "DBDC_CHECK");
+  EXPECT_DEATH(RunDbscan(index, {1.0, 0}), "DBDC_CHECK");
+}
+
+TEST(ContractDeathTest, GridIndexRejectsNonPositiveCellWidth) {
+  Dataset data(2);
+  EXPECT_DEATH(GridIndex(data, Euclidean(), 0.0), "DBDC_CHECK");
+}
+
+TEST(ContractDeathTest, StaticIndexRejectsDynamicUpdates) {
+  Dataset data(2);
+  data.Add(Point{0.0, 0.0});
+  const KdTreeIndex index(data, Euclidean());
+  EXPECT_FALSE(index.SupportsDynamicUpdates());
+  KdTreeIndex mutable_index(data, Euclidean());
+  EXPECT_DEATH(mutable_index.Insert(0), "DBDC_CHECK");
+  EXPECT_DEATH(mutable_index.Erase(0), "DBDC_CHECK");
+}
+
+TEST(ContractDeathTest, DynamicIndexRejectsDoubleInsertAndGhostErase) {
+  Dataset data(2);
+  data.Add(Point{0.0, 0.0});
+  LinearScanIndex index(data, Euclidean(), /*index_all=*/false);
+  index.Insert(0);
+  EXPECT_DEATH(index.Insert(0), "DBDC_CHECK");
+  index.Erase(0);
+  EXPECT_DEATH(index.Erase(0), "DBDC_CHECK");
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/dbdc.h"
+#include "core/model_codec.h"
+#include "data/generators.h"
+#include "eval/external_indices.h"
+#include "eval/quality.h"
+
+namespace dbdc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Site / Server over serialized bytes.
+
+TEST(SiteServerTest, EndToEndOverBytes) {
+  const SyntheticDataset synth = MakeTestDatasetC(5);
+  // Split by id parity into two sites.
+  Dataset d0(2), d1(2);
+  std::vector<PointId> ids0, ids1;
+  for (PointId p = 0; p < static_cast<PointId>(synth.data.size()); ++p) {
+    if (p % 2 == 0) {
+      d0.Add(synth.data.point(p));
+      ids0.push_back(p);
+    } else {
+      d1.Add(synth.data.point(p));
+      ids1.push_back(p);
+    }
+  }
+  Site site0(0, Euclidean(), std::move(d0), ids0);
+  Site site1(1, Euclidean(), std::move(d1), ids1);
+  SiteConfig config;
+  config.dbscan = synth.suggested_params;
+  site0.RunLocalPipeline(config);
+  site1.RunLocalPipeline(config);
+  EXPECT_GT(site0.local_model().representatives.size(), 0u);
+
+  Server server(Euclidean(), GlobalModelParams{});
+  ASSERT_TRUE(server.AddLocalModelBytes(site0.EncodeLocalModelBytes()));
+  ASSERT_TRUE(server.AddLocalModelBytes(site1.EncodeLocalModelBytes()));
+  EXPECT_EQ(server.num_local_models(), 2u);
+  server.BuildGlobal();
+  // 3 well-separated clusters must survive the distribution.
+  EXPECT_EQ(server.global_model().num_global_clusters, 3);
+
+  const std::vector<std::uint8_t> bytes = server.EncodeGlobalModelBytes();
+  ASSERT_TRUE(site0.ApplyGlobalModelBytes(bytes));
+  ASSERT_TRUE(site1.ApplyGlobalModelBytes(bytes));
+  EXPECT_EQ(site0.global_labels().size(), site0.data().size());
+
+  // Corrupt payloads are rejected.
+  std::vector<std::uint8_t> bad = bytes;
+  bad.resize(bad.size() / 2);
+  EXPECT_FALSE(site0.ApplyGlobalModelBytes(bad));
+  EXPECT_FALSE(server.AddLocalModelBytes(bad));
+}
+
+TEST(SiteServerTest, IncrementalModelArrivalMatchesBatch) {
+  // The server can rebuild the global model after each arriving local
+  // model; the final result equals the all-at-once build.
+  const SyntheticDataset synth = MakeTestDatasetC(6);
+  std::vector<Site> sites;
+  const int k = 3;
+  std::vector<Dataset> datas(k, Dataset(2));
+  std::vector<std::vector<PointId>> idss(k);
+  for (PointId p = 0; p < static_cast<PointId>(synth.data.size()); ++p) {
+    datas[p % k].Add(synth.data.point(p));
+    idss[p % k].push_back(p);
+  }
+  SiteConfig config;
+  config.dbscan = synth.suggested_params;
+  Server incremental(Euclidean(), GlobalModelParams{});
+  Server batch(Euclidean(), GlobalModelParams{});
+  for (int s = 0; s < k; ++s) {
+    Site site(s, Euclidean(), std::move(datas[s]), idss[s]);
+    site.RunLocalPipeline(config);
+    const auto bytes = site.EncodeLocalModelBytes();
+    ASSERT_TRUE(incremental.AddLocalModelBytes(bytes));
+    incremental.BuildGlobal();  // Rebuild after every arrival.
+    ASSERT_TRUE(batch.AddLocalModelBytes(bytes));
+  }
+  batch.BuildGlobal();
+  EXPECT_EQ(incremental.global_model().num_global_clusters,
+            batch.global_model().num_global_clusters);
+  EXPECT_EQ(incremental.global_model().rep_global_cluster,
+            batch.global_model().rep_global_cluster);
+}
+
+// ---------------------------------------------------------------------------
+// Full DBDC runs.
+
+using DbdcCase = std::tuple<LocalModelType, int>;  // (model, sites)
+
+class DbdcQualityTest : public ::testing::TestWithParam<DbdcCase> {};
+
+TEST_P(DbdcQualityTest, HighQualityVersusCentralClustering) {
+  const auto [model_type, num_sites] = GetParam();
+  const SyntheticDataset synth = MakeTestDatasetA(8);
+
+  const Clustering central = RunCentralDbscan(
+      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+  ASSERT_GT(central.num_clusters, 1);
+
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.model_type = model_type;
+  config.num_sites = num_sites;
+  const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
+
+  const double q2 = QualityP2(result.labels, central.labels);
+  EXPECT_GT(q2, 0.80) << "P^II too low";
+  const double q1 = QualityP1(result.labels, central.labels,
+                              synth.suggested_params.min_pts);
+  EXPECT_GT(q1, 0.90) << "P^I too low";
+  // Cross-check with a standard index.
+  EXPECT_GT(AdjustedRandIndex(result.labels, central.labels), 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndSites, DbdcQualityTest,
+    ::testing::Combine(::testing::Values(LocalModelType::kScor,
+                                         LocalModelType::kKMeans),
+                       ::testing::Values(2, 4, 8)),
+    [](const auto& info) {
+      return std::string(LocalModelTypeName(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param)) + "sites";
+    });
+
+TEST(DbdcTest, DeterministicGivenSeed) {
+  const SyntheticDataset synth = MakeTestDatasetC(10);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.seed = 77;
+  const DbdcResult a = RunDbdc(synth.data, Euclidean(), config);
+  const DbdcResult b = RunDbdc(synth.data, Euclidean(), config);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.num_representatives, b.num_representatives);
+}
+
+TEST(DbdcTest, TransmissionIsSmallFractionOfRawData) {
+  const SyntheticDataset synth = MakeTestDatasetA(12);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  SimulatedNetwork network;
+  const DbdcResult result =
+      RunDbdc(synth.data, Euclidean(), config, &network);
+  const std::uint64_t raw = RawDatasetWireSize(synth.data.size(), 2);
+  EXPECT_LT(result.bytes_uplink, raw / 2)
+      << "local models should be far smaller than the raw data";
+  EXPECT_GT(result.num_representatives, 0u);
+  EXPECT_LT(result.num_representatives, synth.data.size() / 2);
+  EXPECT_EQ(network.BytesUplink(), result.bytes_uplink);
+  // Downlink: the global model goes to every site.
+  EXPECT_EQ(network.Inbox(0).size(), 1u);
+}
+
+TEST(DbdcTest, DefaultEpsGlobalIsCloseToTwiceEpsLocal) {
+  // Sec. 6/9: the default (max ε_R) is "generally close to 2·Eps_local".
+  const SyntheticDataset synth = MakeTestDatasetA(13);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
+  EXPECT_GT(result.eps_global_used, synth.suggested_params.eps);
+  EXPECT_LE(result.eps_global_used, 2.0 * synth.suggested_params.eps + 1e-9);
+  EXPECT_GT(result.eps_global_used, 1.8 * synth.suggested_params.eps);
+}
+
+TEST(DbdcTest, SingleSiteDegeneratesGracefully) {
+  const SyntheticDataset synth = MakeTestDatasetC(14);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.num_sites = 1;
+  const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
+  const Clustering central = RunCentralDbscan(
+      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+  // One site = the whole clustering is local; quality should be near 1.
+  EXPECT_GT(QualityP2(result.labels, central.labels), 0.95);
+  EXPECT_EQ(result.num_global_clusters, central.num_clusters);
+}
+
+TEST(DbdcTest, WorksWithEveryIndexType) {
+  const SyntheticDataset synth = MakeTestDatasetC(15);
+  const Clustering central = RunCentralDbscan(
+      synth.data, Euclidean(), synth.suggested_params, IndexType::kLinearScan);
+  for (const IndexType type :
+       {IndexType::kLinearScan, IndexType::kGrid, IndexType::kKdTree,
+        IndexType::kRStarTree, IndexType::kMTree}) {
+    DbdcConfig config;
+    config.local_dbscan = synth.suggested_params;
+    config.index_type = type;
+    const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
+    EXPECT_GT(QualityP2(result.labels, central.labels), 0.9)
+        << IndexTypeName(type);
+  }
+}
+
+TEST(DbdcTest, SpatialSkewStillRecoversGlobalClusters) {
+  // With slab partitioning each site only sees part of each cluster's
+  // extent; the global merge step must reunite the halves.
+  const SyntheticDataset synth = MakeTestDatasetC(16);
+  const Clustering central = RunCentralDbscan(
+      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+  const SpatialSlabPartitioner slab(0);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.partitioner = &slab;
+  config.num_sites = 4;
+  const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
+  EXPECT_GT(QualityP2(result.labels, central.labels), 0.8);
+}
+
+TEST(DbdcTest, PaperCostModelFields) {
+  const SyntheticDataset synth = MakeTestDatasetC(17);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
+  EXPECT_GE(result.sum_local_seconds, result.max_local_seconds);
+  EXPECT_DOUBLE_EQ(result.OverallSeconds(),
+                   result.max_local_seconds + result.global_seconds);
+  EXPECT_EQ(result.site_sizes.size(), 4u);
+  std::size_t total = 0;
+  for (const std::size_t s : result.site_sizes) total += s;
+  EXPECT_EQ(total, synth.data.size());
+}
+
+}  // namespace
+}  // namespace dbdc

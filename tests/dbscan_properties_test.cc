@@ -1,0 +1,213 @@
+// Property suite verifying the clustering outputs directly against the
+// paper's definitions (Sec. 4.1), independently of any reference
+// implementation: core condition (Def. 1), cluster maximality and
+// connectivity (Def. 4), noise (Def. 5) — plus the relabeling contract
+// of Sec. 7 on full DBDC runs.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "cluster/optics.h"
+#include "core/dbdc.h"
+#include "data/generators.h"
+#include "index/linear_scan_index.h"
+#include "test_util.h"
+
+namespace dbdc {
+namespace {
+
+/// Brute-force neighborhood of point p.
+std::vector<PointId> Neighborhood(const Dataset& data, const Metric& metric,
+                                  PointId p, double eps) {
+  std::vector<PointId> out;
+  for (PointId q = 0; q < static_cast<PointId>(data.size()); ++q) {
+    if (metric.Distance(data.point(p), data.point(q)) <= eps) {
+      out.push_back(q);
+    }
+  }
+  return out;
+}
+
+using DbscanCase = std::tuple<std::uint64_t, int>;  // (seed, min_pts)
+
+class DbscanDefinitionTest : public ::testing::TestWithParam<DbscanCase> {};
+
+TEST_P(DbscanDefinitionTest, OutputSatisfiesTheDefinitions) {
+  const auto [seed, min_pts] = GetParam();
+  Rng rng(seed);
+  // A mix of blobs and background noise.
+  Dataset data(2);
+  std::vector<ClusterId> unused;
+  AppendBlob({{2.0, 2.0}, 0.5, 60}, 0, &rng, &data, &unused);
+  AppendBlob({{8.0, 2.0}, 0.7, 80}, 1, &rng, &data, &unused);
+  AppendUniformNoise(60, 0.0, 10.0, &rng, &data, &unused);
+  const DbscanParams params{0.6, min_pts};
+  const LinearScanIndex index(data, Euclidean());
+  const Clustering result = RunDbscan(index, params);
+  const std::size_t n = data.size();
+
+  // Def. 1 (core condition): is_core[p] <=> |N_eps(p)| >= MinPts.
+  std::vector<std::vector<PointId>> nbrs(n);
+  for (PointId p = 0; p < static_cast<PointId>(n); ++p) {
+    nbrs[p] = Neighborhood(data, Euclidean(), p, params.eps);
+    EXPECT_EQ(result.is_core[p] != 0,
+              static_cast<int>(nbrs[p].size()) >= params.min_pts)
+        << "core flag wrong at " << p;
+  }
+
+  // Compute the ground-truth core components (density-connectivity).
+  std::vector<int> comp(n, -1);
+  int num_comps = 0;
+  for (PointId seed_pt = 0; seed_pt < static_cast<PointId>(n); ++seed_pt) {
+    if (!result.is_core[seed_pt] || comp[seed_pt] >= 0) continue;
+    const int c = num_comps++;
+    std::vector<PointId> queue{seed_pt};
+    comp[seed_pt] = c;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      for (const PointId q : nbrs[queue[i]]) {
+        if (result.is_core[q] && comp[q] < 0) {
+          comp[q] = c;
+          queue.push_back(q);
+        }
+      }
+    }
+  }
+
+  // Def. 4 connectivity + maximality for core points: two cores share a
+  // DBSCAN label iff they are density-connected (same component).
+  for (PointId p = 0; p < static_cast<PointId>(n); ++p) {
+    if (!result.is_core[p]) continue;
+    for (PointId q = p + 1; q < static_cast<PointId>(n); ++q) {
+      if (!result.is_core[q]) continue;
+      EXPECT_EQ(result.labels[p] == result.labels[q], comp[p] == comp[q])
+          << "cores " << p << "," << q;
+    }
+  }
+  EXPECT_EQ(result.num_clusters, num_comps);
+
+  // Def. 5 noise: exactly the points that are neither core nor within
+  // eps of a core.
+  for (PointId p = 0; p < static_cast<PointId>(n); ++p) {
+    if (result.is_core[p]) continue;
+    bool reachable = false;
+    for (const PointId q : nbrs[p]) {
+      if (result.is_core[q]) reachable = true;
+    }
+    EXPECT_EQ(result.labels[p] == kNoise, !reachable) << "point " << p;
+    if (result.labels[p] >= 0) {
+      // Border points carry the label of an adjacent core.
+      bool consistent = false;
+      for (const PointId q : nbrs[p]) {
+        if (result.is_core[q] && result.labels[q] == result.labels[p]) {
+          consistent = true;
+        }
+      }
+      EXPECT_TRUE(consistent) << "border " << p;
+    }
+  }
+
+  // Def. 8 sanity: every cluster has at least MinPts members.
+  for (const std::size_t size : result.ClusterSizes()) {
+    EXPECT_GE(size, static_cast<std::size_t>(params.min_pts));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndMinPts, DbscanDefinitionTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(3, 5, 9)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_minpts" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// The relabeling contract (Sec. 7) on full DBDC runs: a point's global
+// label comes from a covering representative; uncovered points are
+// noise.
+
+class DbdcRelabelContractTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DbdcRelabelContractTest, LabelsAreJustifiedByCoveringReps) {
+  const SyntheticDataset synth =
+      MakeBlobs(1200, 5, 0.15, 1.0, 2.0, GetParam());
+  DbdcConfig config;
+  config.local_dbscan = {1.2, 5};
+  config.num_sites = 5;
+  config.seed = GetParam();
+  const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
+  const GlobalModel& global = result.global_model;
+
+  for (PointId p = 0; p < static_cast<PointId>(synth.data.size()); ++p) {
+    // Covering representatives and their global clusters.
+    bool covered = false;
+    bool label_justified = false;
+    double nearest_cover = 1e18;
+    ClusterId nearest_cluster = kNoise;
+    for (std::size_t r = 0; r < global.NumRepresentatives(); ++r) {
+      const double d = Euclidean().Distance(
+          synth.data.point(p),
+          global.rep_points.point(static_cast<PointId>(r)));
+      if (d > global.rep_eps[r]) continue;
+      covered = true;
+      if (global.rep_global_cluster[r] == result.labels[p]) {
+        label_justified = true;
+      }
+      if (d < nearest_cover) {
+        nearest_cover = d;
+        nearest_cluster = global.rep_global_cluster[r];
+      }
+    }
+    if (result.labels[p] == kNoise) {
+      EXPECT_FALSE(covered) << "covered point " << p << " left as noise";
+    } else {
+      EXPECT_TRUE(label_justified)
+          << "label of " << p << " not justified by any covering rep";
+      // Our deterministic tie-break: the nearest covering rep wins.
+      EXPECT_EQ(result.labels[p], nearest_cluster);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbdcRelabelContractTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+// ---------------------------------------------------------------------------
+// OPTICS extraction equivalence across every index type.
+
+class OpticsIndexAgnosticTest : public ::testing::TestWithParam<IndexType> {
+};
+
+TEST_P(OpticsIndexAgnosticTest, ReachabilitiesIndependentOfIndex) {
+  const SyntheticDataset synth = MakeTestDatasetC(33);
+  const OpticsParams params{6.0, 5};
+  const LinearScanIndex reference(synth.data, Euclidean());
+  const OpticsResult want = RunOptics(reference, params);
+  const auto index =
+      CreateIndex(GetParam(), synth.data, Euclidean(), params.eps);
+  const OpticsResult got = RunOptics(*index, params);
+  ASSERT_EQ(got.ordering.size(), want.ordering.size());
+  // Core distances are order-independent and must agree exactly.
+  for (PointId p = 0; p < static_cast<PointId>(synth.data.size()); ++p) {
+    EXPECT_DOUBLE_EQ(got.core_distance[p], want.core_distance[p]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, OpticsIndexAgnosticTest,
+                         ::testing::Values(IndexType::kGrid,
+                                           IndexType::kKdTree,
+                                           IndexType::kRStarTree,
+                                           IndexType::kRStarTreeBulk,
+                                           IndexType::kMTree,
+                                           IndexType::kVpTree),
+                         [](const auto& info) {
+                           return std::string(IndexTypeName(info.param));
+                         });
+
+}  // namespace
+}  // namespace dbdc

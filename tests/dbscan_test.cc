@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "data/generators.h"
+#include "index/index_factory.h"
+#include "index/linear_scan_index.h"
+#include "test_util.h"
+
+namespace dbdc {
+namespace {
+
+/// Two tight blobs far apart plus two isolated points.
+Dataset TwoBlobsAndNoise() {
+  Dataset data(2);
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    data.Add(Point{rng.Gaussian(0.0, 0.3), rng.Gaussian(0.0, 0.3)});
+  }
+  for (int i = 0; i < 30; ++i) {
+    data.Add(Point{rng.Gaussian(10.0, 0.3), rng.Gaussian(10.0, 0.3)});
+  }
+  data.Add(Point{5.0, 5.0});
+  data.Add(Point{-20.0, 7.0});
+  return data;
+}
+
+TEST(DbscanTest, FindsTwoBlobsAndMarksNoise) {
+  const Dataset data = TwoBlobsAndNoise();
+  const LinearScanIndex index(data, Euclidean());
+  const Clustering result = RunDbscan(index, {1.0, 4});
+  EXPECT_EQ(result.num_clusters, 2);
+  // All of blob 1 in one cluster, all of blob 2 in another.
+  for (int i = 1; i < 30; ++i) EXPECT_EQ(result.labels[i], result.labels[0]);
+  for (int i = 31; i < 60; ++i) {
+    EXPECT_EQ(result.labels[i], result.labels[30]);
+  }
+  EXPECT_NE(result.labels[0], result.labels[30]);
+  EXPECT_EQ(result.labels[60], kNoise);
+  EXPECT_EQ(result.labels[61], kNoise);
+  EXPECT_EQ(result.CountNoise(), 2u);
+  EXPECT_EQ(result.ClusterSizes(), (std::vector<std::size_t>{30, 30}));
+}
+
+TEST(DbscanTest, ChainIsOneClusterThroughDensityReachability) {
+  // A chain of points each 0.9 apart: with eps=1, min_pts=2 every point is
+  // core and the chain is a single cluster despite its length.
+  Dataset data(2);
+  for (int i = 0; i < 50; ++i) data.Add(Point{i * 0.9, 0.0});
+  const LinearScanIndex index(data, Euclidean());
+  const Clustering result = RunDbscan(index, {1.0, 2});
+  EXPECT_EQ(result.num_clusters, 1);
+  EXPECT_EQ(result.CountNoise(), 0u);
+  EXPECT_EQ(result.CountCore(), 50u);
+}
+
+TEST(DbscanTest, BorderPointBetweenTwoClustersJoinsExactlyOne) {
+  // Two 4-point cores with one shared border point in the middle.
+  //   A A A A  m  B B B B  with eps covering each side's span and m within
+  //   eps of one core of each side but itself not core.
+  Dataset data(2);
+  for (int i = 0; i < 4; ++i) data.Add(Point{0.0 + i * 0.1, 0.0});  // 0-3
+  for (int i = 0; i < 4; ++i) data.Add(Point{2.0 + i * 0.1, 0.0});  // 4-7
+  data.Add(Point{1.15, 0.0});  // 8: within 1.0 of points 2,3 and 4,5.
+  const LinearScanIndex index(data, Euclidean());
+  const Clustering result = RunDbscan(index, {0.4, 3});
+  EXPECT_EQ(result.num_clusters, 2);
+  EXPECT_FALSE(result.is_core[8]);
+  // eps=0.4: the middle point is within eps of neither side; make a second
+  // run with a larger eps where it becomes a border of one cluster.
+  const Clustering wide = RunDbscan(index, {0.9, 4});
+  EXPECT_EQ(wide.num_clusters, 2);
+  EXPECT_FALSE(wide.is_core[8]);
+  EXPECT_GE(wide.labels[8], 0);  // Claimed by exactly one side.
+}
+
+TEST(DbscanTest, MinPtsOneMakesEveryPointACoreSingleton) {
+  Dataset data(2);
+  data.Add(Point{0.0, 0.0});
+  data.Add(Point{100.0, 0.0});
+  data.Add(Point{0.0, 100.0});
+  const LinearScanIndex index(data, Euclidean());
+  const Clustering result = RunDbscan(index, {1.0, 1});
+  EXPECT_EQ(result.num_clusters, 3);
+  EXPECT_EQ(result.CountNoise(), 0u);
+  EXPECT_EQ(result.CountCore(), 3u);
+}
+
+TEST(DbscanTest, AllNoiseWhenMinPtsTooHigh) {
+  Rng rng(2);
+  const Dataset data = RandomDataset(20, 2, 0.0, 100.0, &rng);
+  const LinearScanIndex index(data, Euclidean());
+  const Clustering result = RunDbscan(index, {0.5, 10});
+  EXPECT_EQ(result.num_clusters, 0);
+  EXPECT_EQ(result.CountNoise(), data.size());
+}
+
+TEST(DbscanTest, EmptyDataset) {
+  Dataset data(2);
+  const LinearScanIndex index(data, Euclidean());
+  const Clustering result = RunDbscan(index, {1.0, 3});
+  EXPECT_EQ(result.num_clusters, 0);
+  EXPECT_TRUE(result.labels.empty());
+}
+
+TEST(DbscanTest, SinglePointIsNoiseUnlessMinPtsOne) {
+  Dataset data(2);
+  data.Add(Point{1.0, 1.0});
+  const LinearScanIndex index(data, Euclidean());
+  EXPECT_EQ(RunDbscan(index, {1.0, 2}).CountNoise(), 1u);
+  EXPECT_EQ(RunDbscan(index, {1.0, 1}).num_clusters, 1);
+}
+
+TEST(DbscanTest, DuplicatePointsClusterTogether) {
+  Dataset data(2);
+  for (int i = 0; i < 10; ++i) data.Add(Point{3.0, 3.0});
+  const LinearScanIndex index(data, Euclidean());
+  const Clustering result = RunDbscan(index, {0.5, 5});
+  EXPECT_EQ(result.num_clusters, 1);
+  EXPECT_EQ(result.CountCore(), 10u);
+}
+
+// Every index type must produce an equivalent DBSCAN result.
+class DbscanIndexAgnosticTest : public ::testing::TestWithParam<IndexType> {};
+
+TEST_P(DbscanIndexAgnosticTest, EquivalentToLinearScanResult) {
+  const SyntheticDataset synth = MakeTestDatasetC(/*seed=*/9);
+  const DbscanParams params = synth.suggested_params;
+  const LinearScanIndex reference(synth.data, Euclidean());
+  const Clustering want = RunDbscan(reference, params);
+  const auto index =
+      CreateIndex(GetParam(), synth.data, Euclidean(), params.eps);
+  const Clustering got = RunDbscan(*index, params);
+  ExpectDbscanEquivalent(synth.data, Euclidean(), params, want, got);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndexes, DbscanIndexAgnosticTest,
+                         ::testing::Values(IndexType::kLinearScan,
+                                           IndexType::kGrid,
+                                           IndexType::kKdTree,
+                                           IndexType::kRStarTree,
+                                           IndexType::kMTree),
+                         [](const auto& info) {
+                           return std::string(IndexTypeName(info.param));
+                         });
+
+// Observer contract: OnCorePoint fires once per core point, after its
+// cluster exists, in discovery order.
+class RecordingObserver final : public DbscanObserver {
+ public:
+  void OnClusterStarted(ClusterId cluster) override {
+    started_.push_back(cluster);
+  }
+  void OnCorePoint(PointId id, ClusterId cluster) override {
+    core_events_.emplace_back(id, cluster);
+  }
+  std::vector<ClusterId> started_;
+  std::vector<std::pair<PointId, ClusterId>> core_events_;
+};
+
+TEST(DbscanObserverTest, FiresOncePerCorePointWithFinalCluster) {
+  const Dataset data = TwoBlobsAndNoise();
+  const LinearScanIndex index(data, Euclidean());
+  RecordingObserver observer;
+  const Clustering result = RunDbscan(index, {1.0, 4}, &observer);
+  EXPECT_EQ(observer.started_, (std::vector<ClusterId>{0, 1}));
+  EXPECT_EQ(observer.core_events_.size(), result.CountCore());
+  std::set<PointId> seen;
+  for (const auto& [id, cluster] : observer.core_events_) {
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate core event for " << id;
+    EXPECT_TRUE(result.is_core[id]);
+    EXPECT_EQ(result.labels[id], cluster);
+  }
+}
+
+TEST(DbscanTest, NoiseCanBecomeBorderOfLaterCluster) {
+  // Point 0 is visited first, initially marked noise, then claimed as a
+  // border point by the cluster around points 1..5.
+  Dataset data(2);
+  data.Add(Point{0.0, 0.0});  // Non-core; within eps of the core at 0.45.
+  for (int i = 0; i < 5; ++i) data.Add(Point{0.45 + 0.05 * i, 0.0});
+  const LinearScanIndex index(data, Euclidean());
+  const Clustering result = RunDbscan(index, {0.5, 4});
+  EXPECT_EQ(result.num_clusters, 1);
+  EXPECT_EQ(result.labels[0], 0);
+  EXPECT_FALSE(result.is_core[0]);
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "distrib/network.h"
+#include "distrib/partitioner.h"
+#include "test_util.h"
+
+namespace dbdc {
+namespace {
+
+void ExpectIsPartition(const std::vector<std::vector<PointId>>& parts,
+                       std::size_t n) {
+  std::vector<int> seen(n, 0);
+  for (const auto& part : parts) {
+    for (const PointId id : part) {
+      ASSERT_GE(id, 0);
+      ASSERT_LT(static_cast<std::size_t>(id), n);
+      ++seen[id];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(seen[i], 1) << "point " << i << " assigned " << seen[i]
+                          << " times";
+  }
+}
+
+class PartitionerContractTest
+    : public ::testing::TestWithParam<const Partitioner*> {};
+
+TEST_P(PartitionerContractTest, ProducesAnExactPartition) {
+  Rng rng(1);
+  const Dataset data = RandomDataset(503, 2, 0.0, 10.0, &rng);
+  for (const int k : {1, 2, 7, 16}) {
+    Rng part_rng(5);
+    const auto parts = GetParam()->Partition(data, k, &part_rng);
+    ASSERT_EQ(parts.size(), static_cast<std::size_t>(k));
+    ExpectIsPartition(parts, data.size());
+  }
+}
+
+const UniformRandomPartitioner kUniform;
+const RoundRobinPartitioner kRoundRobin;
+const SpatialSlabPartitioner kSlab;
+const SizeSkewedPartitioner kSkewed;
+
+INSTANTIATE_TEST_SUITE_P(AllPartitioners, PartitionerContractTest,
+                         ::testing::Values(&kUniform, &kRoundRobin, &kSlab,
+                                           &kSkewed),
+                         [](const auto& info) {
+                           return std::string(info.param->name());
+                         });
+
+TEST(UniformRandomPartitionerTest, BalancedAndSeedDeterministic) {
+  Rng rng(2);
+  const Dataset data = RandomDataset(1000, 2, 0.0, 10.0, &rng);
+  Rng r1(42), r2(42), r3(43);
+  const auto a = kUniform.Partition(data, 4, &r1);
+  const auto b = kUniform.Partition(data, 4, &r2);
+  const auto c = kUniform.Partition(data, 4, &r3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (const auto& part : a) EXPECT_EQ(part.size(), 250u);
+}
+
+TEST(SpatialSlabPartitionerTest, SlabsAreSpatiallyDisjoint) {
+  Rng rng(3);
+  const Dataset data = RandomDataset(400, 2, 0.0, 10.0, &rng);
+  Rng part_rng(1);
+  const auto parts = kSlab.Partition(data, 4, &part_rng);
+  // max x of slab i <= min x of slab i+1.
+  for (int s = 0; s + 1 < 4; ++s) {
+    double hi = -1e18, lo = 1e18;
+    for (const PointId id : parts[s]) {
+      hi = std::max(hi, data.point(id)[0]);
+    }
+    for (const PointId id : parts[s + 1]) {
+      lo = std::min(lo, data.point(id)[0]);
+    }
+    EXPECT_LE(hi, lo);
+  }
+}
+
+TEST(SizeSkewedPartitionerTest, SitesShrinkGeometrically) {
+  Rng rng(4);
+  const Dataset data = RandomDataset(2000, 2, 0.0, 10.0, &rng);
+  Rng part_rng(9);
+  const SizeSkewedPartitioner skew(0.5);
+  const auto parts = skew.Partition(data, 4, &part_rng);
+  EXPECT_GT(parts[0].size(), parts[1].size());
+  EXPECT_GT(parts[1].size(), parts[2].size());
+  EXPECT_GT(parts[2].size(), parts[3].size());
+}
+
+TEST(SimulatedNetworkTest, CountsUplinkAndDownlinkBytes) {
+  SimulatedNetwork net;
+  net.Send(0, kServerEndpoint, std::vector<std::uint8_t>(100));
+  net.Send(1, kServerEndpoint, std::vector<std::uint8_t>(50));
+  net.Send(kServerEndpoint, 0, std::vector<std::uint8_t>(30));
+  net.Send(kServerEndpoint, 1, std::vector<std::uint8_t>(30));
+  EXPECT_EQ(net.BytesUplink(), 150u);
+  EXPECT_EQ(net.BytesDownlink(), 60u);
+  EXPECT_EQ(net.BytesTotal(), 210u);
+  EXPECT_EQ(net.messages().size(), 4u);
+}
+
+TEST(SimulatedNetworkTest, InboxFiltersByRecipientInOrder) {
+  SimulatedNetwork net;
+  net.Send(0, kServerEndpoint, {1});
+  net.Send(kServerEndpoint, 1, {2});
+  net.Send(1, kServerEndpoint, {3});
+  const auto inbox = net.Inbox(kServerEndpoint);
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_EQ(inbox[0]->from, 0);
+  EXPECT_EQ(inbox[1]->from, 1);
+  EXPECT_EQ(net.Inbox(1).size(), 1u);
+  EXPECT_TRUE(net.Inbox(7).empty());
+}
+
+TEST(SimulatedNetworkTest, TransferTimeModel) {
+  SimulatedNetwork::LinkModel link;
+  link.bandwidth_bytes_per_sec = 1000.0;
+  link.latency_sec = 0.1;
+  EXPECT_DOUBLE_EQ(SimulatedNetwork::EstimateTransferSeconds(500, link),
+                   0.1 + 0.5);
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/generators.h"
+#include "eval/diagnostics.h"
+#include "eval/silhouette.h"
+#include "test_util.h"
+
+namespace dbdc {
+namespace {
+
+using Labels = std::vector<ClusterId>;
+
+// ---------------------------------------------------------------------------
+// Diagnostics.
+
+TEST(DiagnosticsTest, PerfectMatchHasNoEvents) {
+  const Labels labels = {0, 0, 0, 1, 1, 1, kNoise};
+  const DiagnosticsReport report = DiagnoseClustering(labels, labels);
+  EXPECT_TRUE(report.splits.empty());
+  EXPECT_TRUE(report.merges.empty());
+  EXPECT_EQ(report.noise_agreed, 1u);
+  EXPECT_EQ(report.noise_absorbed, 0u);
+  EXPECT_EQ(report.noise_lost, 0u);
+  EXPECT_EQ(report.num_distributed_clusters, 2);
+  ASSERT_EQ(report.best_match_per_distributed.size(), 2u);
+  for (const ClusterOverlap& match : report.best_match_per_distributed) {
+    EXPECT_DOUBLE_EQ(match.jaccard, 1.0);
+  }
+}
+
+TEST(DiagnosticsTest, DetectsASplit) {
+  const Labels central = {0, 0, 0, 0, 0, 0};
+  const Labels distr = {0, 0, 0, 1, 1, 1};
+  const DiagnosticsReport report = DiagnoseClustering(distr, central);
+  ASSERT_EQ(report.splits.size(), 1u);
+  EXPECT_EQ(report.splits[0].central, 0);
+  EXPECT_EQ(report.splits[0].parts, (std::vector<ClusterId>{0, 1}));
+  EXPECT_TRUE(report.merges.empty());
+}
+
+TEST(DiagnosticsTest, DetectsAMerge) {
+  const Labels central = {0, 0, 0, 1, 1, 1};
+  const Labels distr = {4, 4, 4, 4, 4, 4};
+  const DiagnosticsReport report = DiagnoseClustering(distr, central);
+  ASSERT_EQ(report.merges.size(), 1u);
+  EXPECT_EQ(report.merges[0].distributed, 4);
+  EXPECT_EQ(report.merges[0].parts, (std::vector<ClusterId>{0, 1}));
+  EXPECT_TRUE(report.splits.empty());
+}
+
+TEST(DiagnosticsTest, CountsNoiseExchanges) {
+  //                   absorbed     lost        agreed
+  const Labels distr = {0,          kNoise,     kNoise, 0};
+  const Labels central = {kNoise,   0,          kNoise, 0};
+  const DiagnosticsReport report = DiagnoseClustering(distr, central);
+  EXPECT_EQ(report.noise_absorbed, 1u);
+  EXPECT_EQ(report.noise_lost, 1u);
+  EXPECT_EQ(report.noise_agreed, 1u);
+}
+
+TEST(DiagnosticsTest, MinOverlapFractionFiltersIncidentalContact) {
+  // Distributed cluster 1 touches central 0 with a single point out of
+  // 100 — not a split at 5%, but a split at 0.
+  Labels central(101, 0);
+  Labels distr(101, 0);
+  distr[100] = 1;
+  EXPECT_TRUE(DiagnoseClustering(distr, central, 0.05).splits.empty());
+  EXPECT_EQ(DiagnoseClustering(distr, central, 0.0).splits.size(), 1u);
+}
+
+TEST(DiagnosticsTest, FormatMentionsEvents) {
+  const Labels central = {0, 0, 0, 0};
+  const Labels distr = {0, 0, 1, 1};
+  const std::string text =
+      FormatDiagnostics(DiagnoseClustering(distr, central));
+  EXPECT_NE(text.find("SPLIT"), std::string::npos);
+  const std::string clean = FormatDiagnostics(
+      DiagnoseClustering(central, central));
+  EXPECT_NE(clean.find("one-to-one"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Silhouette.
+
+TEST(SilhouetteTest, WellSeparatedBlobsScoreHigh) {
+  Dataset data(2);
+  Labels labels;
+  Rng rng(1);
+  AppendBlob({{0.0, 0.0}, 0.5, 100}, 0, &rng, &data, &labels);
+  AppendBlob({{20.0, 0.0}, 0.5, 100}, 1, &rng, &data, &labels);
+  EXPECT_GT(SilhouetteCoefficient(data, labels, Euclidean()), 0.9);
+}
+
+TEST(SilhouetteTest, WrongAssignmentScoresNegative) {
+  Dataset data(2);
+  Rng rng(2);
+  Labels truth;
+  AppendBlob({{0.0, 0.0}, 0.5, 50}, 0, &rng, &data, &truth);
+  AppendBlob({{20.0, 0.0}, 0.5, 50}, 1, &rng, &data, &truth);
+  // Swap half of each cluster's labels: many points now sit far from
+  // their own cluster and close to the other.
+  Labels scrambled = truth;
+  for (int i = 0; i < 25; ++i) scrambled[i] = 1;
+  for (int i = 50; i < 75; ++i) scrambled[i] = 0;
+  EXPECT_LT(SilhouetteCoefficient(data, scrambled, Euclidean()),
+            SilhouetteCoefficient(data, truth, Euclidean()));
+  EXPECT_LT(SilhouetteCoefficient(data, scrambled, Euclidean()), 0.1);
+}
+
+TEST(SilhouetteTest, NoiseIsExcluded) {
+  Dataset data(2);
+  Rng rng(3);
+  Labels labels;
+  AppendBlob({{0.0, 0.0}, 0.5, 60}, 0, &rng, &data, &labels);
+  AppendBlob({{20.0, 0.0}, 0.5, 60}, 1, &rng, &data, &labels);
+  const double without_noise = SilhouetteCoefficient(data, labels,
+                                                     Euclidean());
+  AppendUniformNoise(40, -10.0, 30.0, &rng, &data, &labels);
+  const double with_noise = SilhouetteCoefficient(data, labels, Euclidean());
+  EXPECT_NEAR(without_noise, with_noise, 1e-9);
+}
+
+TEST(SilhouetteTest, FewerThanTwoClustersScoresZero) {
+  Dataset data(2);
+  Labels labels;
+  Rng rng(4);
+  AppendBlob({{0.0, 0.0}, 0.5, 50}, 0, &rng, &data, &labels);
+  EXPECT_DOUBLE_EQ(SilhouetteCoefficient(data, labels, Euclidean()), 0.0);
+  const Labels all_noise(50, kNoise);
+  EXPECT_DOUBLE_EQ(SilhouetteCoefficient(data, all_noise, Euclidean()), 0.0);
+}
+
+TEST(SilhouetteTest, SubsamplingApproximatesTheExactValue) {
+  Dataset data(2);
+  Labels labels;
+  Rng rng(5);
+  AppendBlob({{0.0, 0.0}, 1.0, 400}, 0, &rng, &data, &labels);
+  AppendBlob({{10.0, 0.0}, 1.0, 400}, 1, &rng, &data, &labels);
+  const double exact =
+      SilhouetteCoefficient(data, labels, Euclidean(), /*max_samples=*/10000);
+  const double sampled =
+      SilhouetteCoefficient(data, labels, Euclidean(), /*max_samples=*/200);
+  EXPECT_NEAR(exact, sampled, 0.05);
+}
+
+}  // namespace
+}  // namespace dbdc

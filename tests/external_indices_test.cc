@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/external_indices.h"
+#include "eval/quality.h"
+
+namespace dbdc {
+namespace {
+
+using Labels = std::vector<ClusterId>;
+
+TEST(ExternalIndicesTest, PerfectAgreementScoresOne) {
+  const Labels a = {0, 0, 1, 1, 2, 2};
+  const Labels b = {5, 5, 3, 3, 9, 9};
+  EXPECT_DOUBLE_EQ(RandIndex(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), 1.0);
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Purity(a, b), 1.0);
+}
+
+TEST(ExternalIndicesTest, KnownRandIndexValue) {
+  // Classic example: a = {0,0,1,1}, b = {0,1,0,1}: all 6 pairs disagree
+  // on "together" except none; agreements = pairs separate in both = 2.
+  const Labels a = {0, 0, 1, 1};
+  const Labels b = {0, 1, 0, 1};
+  // Pairs: (0,1) a-together b-separate; (2,3) same; (0,2) a-sep b-tog;
+  // (1,3) same; (0,3),(1,2) separate in both -> 2 agreements of 6.
+  EXPECT_DOUBLE_EQ(RandIndex(a, b), 2.0 / 6.0);
+}
+
+TEST(ExternalIndicesTest, AriNearZeroForRandomLabels) {
+  Rng rng(1);
+  Labels a(2000), b(2000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<ClusterId>(rng.UniformInt(0, 4));
+    b[i] = static_cast<ClusterId>(rng.UniformInt(0, 4));
+  }
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 0.0, 0.05);
+  EXPECT_GT(RandIndex(a, b), 0.5);  // RI is inflated; ARI corrects that.
+}
+
+TEST(ExternalIndicesTest, NoisePointsActAsSingletons) {
+  // Two clusterings identical except noise markers: still perfect.
+  const Labels a = {0, 0, kNoise, 1, 1, kNoise};
+  const Labels b = {2, 2, kNoise, 0, 0, kNoise};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), 1.0);
+  // Noise vs clustered disagree.
+  const Labels c = {0, 0, 0, 1, 1, 1};
+  EXPECT_LT(AdjustedRandIndex(a, c), 1.0);
+}
+
+TEST(ExternalIndicesTest, PurityOfRefinementIsOne) {
+  // Every cluster of `a` is contained in one cluster of `b`.
+  const Labels a = {0, 0, 1, 1, 2, 2};
+  const Labels b = {0, 0, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Purity(a, b), 1.0);
+  EXPECT_LT(Purity(b, a), 1.0);
+}
+
+TEST(ExternalIndicesTest, NmiZeroForConstantVersusBalanced) {
+  const Labels constant = {0, 0, 0, 0};
+  const Labels split = {0, 0, 1, 1};
+  EXPECT_NEAR(NormalizedMutualInformation(constant, split), 0.0, 1e-12);
+}
+
+TEST(ExternalIndicesTest, OrdersClusteringsConsistentlyWithP2) {
+  // P^II and ARI must agree on which of two distributed clusterings is
+  // closer to the reference — the sanity check for the paper's criterion.
+  const Labels central = {0, 0, 0, 0, 1, 1, 1, 1};
+  const Labels good = {0, 0, 0, 0, 1, 1, 1, 2};   // One point split off.
+  const Labels bad = {0, 0, 1, 1, 2, 2, 3, 3};    // Everything split.
+  EXPECT_GT(QualityP2(good, central), QualityP2(bad, central));
+  EXPECT_GT(AdjustedRandIndex(good, central),
+            AdjustedRandIndex(bad, central));
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/dbscan.h"
+#include "data/generators.h"
+#include "index/index_factory.h"
+
+namespace dbdc {
+namespace {
+
+TEST(GeneratorsTest, PaperCardinalitiesAreExact) {
+  EXPECT_EQ(MakeTestDatasetA(1).data.size(), 8700u);
+  EXPECT_EQ(MakeTestDatasetB(1).data.size(), 4000u);
+  EXPECT_EQ(MakeTestDatasetC(1).data.size(), 1021u);
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  const SyntheticDataset a = MakeTestDatasetA(9);
+  const SyntheticDataset b = MakeTestDatasetA(9);
+  const SyntheticDataset c = MakeTestDatasetA(10);
+  ASSERT_EQ(a.data.size(), b.data.size());
+  for (PointId p = 0; p < static_cast<PointId>(a.data.size()); ++p) {
+    EXPECT_EQ(a.data.point(p)[0], b.data.point(p)[0]);
+    EXPECT_EQ(a.data.point(p)[1], b.data.point(p)[1]);
+  }
+  EXPECT_NE(a.data.point(0)[0], c.data.point(0)[0]);
+}
+
+TEST(GeneratorsTest, NoiseFractionIsRespected) {
+  const SyntheticDataset b = MakeTestDatasetB(2);
+  std::size_t noise = 0;
+  for (const ClusterId label : b.true_labels) {
+    if (label == kNoise) ++noise;
+  }
+  EXPECT_EQ(noise, 1600u);  // 40% of 4000.
+}
+
+TEST(GeneratorsTest, TrueLabelsCoverAllComponents) {
+  const SyntheticDataset a = MakeTestDatasetA(3);
+  std::set<ClusterId> components;
+  for (const ClusterId label : a.true_labels) {
+    if (label >= 0) components.insert(label);
+  }
+  EXPECT_EQ(static_cast<int>(components.size()), a.num_components);
+}
+
+TEST(GeneratorsTest, SuggestedParamsRecoverClustersOnDatasetC) {
+  const SyntheticDataset c = MakeTestDatasetC(4);
+  const auto index = CreateIndex(IndexType::kGrid, c.data, Euclidean(),
+                                 c.suggested_params.eps);
+  const Clustering result = RunDbscan(*index, c.suggested_params);
+  EXPECT_EQ(result.num_clusters, 3);
+  EXPECT_LT(result.CountNoise(), c.data.size() / 20);
+}
+
+TEST(GeneratorsTest, SuggestedParamsFindStructureOnDatasetA) {
+  const SyntheticDataset a = MakeTestDatasetA(5);
+  const auto index = CreateIndex(IndexType::kGrid, a.data, Euclidean(),
+                                 a.suggested_params.eps);
+  const Clustering result = RunDbscan(*index, a.suggested_params);
+  // The 13 generated blobs should be found approximately (merges/splits of
+  // a couple of blobs are acceptable).
+  EXPECT_GE(result.num_clusters, 9);
+  EXPECT_LE(result.num_clusters, 18);
+  // Most points belong to clusters.
+  EXPECT_LT(result.CountNoise(), a.data.size() / 4);
+}
+
+TEST(GeneratorsTest, DatasetBIsGenuinelyNoisyUnderDbscan) {
+  const SyntheticDataset b = MakeTestDatasetB(6);
+  const auto index = CreateIndex(IndexType::kGrid, b.data, Euclidean(),
+                                 b.suggested_params.eps);
+  const Clustering result = RunDbscan(*index, b.suggested_params);
+  EXPECT_GE(result.num_clusters, 3);
+  // A large share of the points is noise — the point of data set B.
+  EXPECT_GT(result.CountNoise(), b.data.size() / 5);
+}
+
+TEST(GeneratorsTest, ScaledDatasetKeepsRegionFixed) {
+  // Growing n in a fixed region raises density: the average neighborhood
+  // must grow with n (this is what makes central DBSCAN superlinear in
+  // the runtime experiments).
+  const SyntheticDataset small = MakeScaledDataset(2000, 1);
+  const SyntheticDataset large = MakeScaledDataset(8000, 1);
+  const double eps = small.suggested_params.eps;
+  const auto small_index =
+      CreateIndex(IndexType::kGrid, small.data, Euclidean(), eps);
+  const auto large_index =
+      CreateIndex(IndexType::kGrid, large.data, Euclidean(), eps);
+  // Average neighborhood cardinality grows roughly linearly with n.
+  std::vector<PointId> out;
+  double small_avg = 0.0, large_avg = 0.0;
+  for (PointId p = 0; p < static_cast<PointId>(small.data.size()); p += 7) {
+    small_index->RangeQuery(p, eps, &out);
+    small_avg += static_cast<double>(out.size());
+  }
+  small_avg /= static_cast<double>(small.data.size() / 7);
+  for (PointId p = 0; p < static_cast<PointId>(large.data.size()); p += 7) {
+    large_index->RangeQuery(p, eps, &out);
+    large_avg += static_cast<double>(out.size());
+  }
+  large_avg /= static_cast<double>(large.data.size() / 7);
+  EXPECT_GT(large_avg, 2.5 * small_avg);
+}
+
+TEST(GeneratorsTest, RingGeneratorProducesAnnulus) {
+  Dataset data(2);
+  std::vector<ClusterId> labels;
+  Rng rng(7);
+  AppendRing({50.0, 50.0}, 10.0, 0.5, 500, 0, &rng, &data, &labels);
+  ASSERT_EQ(data.size(), 500u);
+  for (PointId p = 0; p < 500; ++p) {
+    const double d = Euclidean().Distance(data.point(p), Point{50.0, 50.0});
+    EXPECT_GT(d, 6.0);
+    EXPECT_LT(d, 14.0);
+  }
+}
+
+TEST(GeneratorsTest, BlobSizesSumToTotal) {
+  const SyntheticDataset s = MakeBlobs(5000, 7, 0.2, 1.0, 2.0, 8);
+  EXPECT_EQ(s.data.size(), 5000u);
+  EXPECT_EQ(s.true_labels.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace dbdc

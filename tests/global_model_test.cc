@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/global_model.h"
+
+namespace dbdc {
+namespace {
+
+LocalModel MakeModel(int site, std::vector<Representative> reps) {
+  LocalModel model;
+  model.site_id = site;
+  model.dim = reps.empty() ? 0 : static_cast<int>(reps[0].center.size());
+  model.representatives = std::move(reps);
+  int max_cluster = -1;
+  for (const Representative& r : model.representatives) {
+    max_cluster = std::max(max_cluster, r.local_cluster);
+  }
+  model.num_local_clusters = max_cluster + 1;
+  return model;
+}
+
+Representative Rep(double x, double y, double eps, ClusterId cluster = 0) {
+  return Representative{{x, y}, eps, cluster};
+}
+
+TEST(GlobalModelTest, DefaultEpsGlobalIsMaxEpsRange) {
+  const std::vector<LocalModel> locals = {
+      MakeModel(0, {Rep(0, 0, 1.5), Rep(5, 0, 1.9)}),
+      MakeModel(1, {Rep(9, 0, 1.2)}),
+  };
+  EXPECT_DOUBLE_EQ(DefaultEpsGlobal(locals), 1.9);
+}
+
+TEST(GlobalModelTest, FigureFourScenario) {
+  // Fig. 4: four representatives of clusters found on 3 sites, spaced so
+  // that Eps_global = Eps_local finds no connection but Eps_global =
+  // 2·Eps_local merges all four into one global cluster.
+  const double eps_local = 1.0;
+  // R1, R2 from site 1; R3 from site 2; R4 from site 3 — consecutive
+  // distances of 1.8 (> eps_local, <= 2*eps_local).
+  const std::vector<LocalModel> locals = {
+      MakeModel(1, {Rep(0.0, 0.0, 2 * eps_local, 0),
+                    Rep(1.8, 0.0, 2 * eps_local, 0)}),
+      MakeModel(2, {Rep(3.6, 0.0, 2 * eps_local, 0)}),
+      MakeModel(3, {Rep(5.4, 0.0, 2 * eps_local, 0)}),
+  };
+
+  GlobalModelParams params;
+  params.eps_global = eps_local;  // Fig. 4c (VIII): insufficient.
+  const GlobalModel narrow = BuildGlobalModel(locals, Euclidean(), params);
+  EXPECT_EQ(narrow.num_global_clusters, 4);  // All stay singletons.
+
+  params.eps_global = 2 * eps_local;  // Fig. 4c (IX): one large cluster.
+  const GlobalModel wide = BuildGlobalModel(locals, Euclidean(), params);
+  EXPECT_EQ(wide.num_global_clusters, 1);
+  for (const ClusterId c : wide.rep_global_cluster) EXPECT_EQ(c, 0);
+  EXPECT_DOUBLE_EQ(wide.eps_global_used, 2 * eps_local);
+}
+
+TEST(GlobalModelTest, DefaultEpsGlobalAppliedWhenZero) {
+  const std::vector<LocalModel> locals = {
+      MakeModel(0, {Rep(0, 0, 2.0, 0)}),
+      MakeModel(1, {Rep(1.9, 0, 1.5, 0)}),
+  };
+  GlobalModelParams params;  // eps_global = 0 -> default max ε_R = 2.0.
+  const GlobalModel global = BuildGlobalModel(locals, Euclidean(), params);
+  EXPECT_DOUBLE_EQ(global.eps_global_used, 2.0);
+  EXPECT_EQ(global.num_global_clusters, 1);  // 1.9 <= 2.0: merged.
+}
+
+TEST(GlobalModelTest, UnmergedRepresentativesKeepSingletonClusters) {
+  const std::vector<LocalModel> locals = {
+      MakeModel(0, {Rep(0, 0, 1.0, 0), Rep(0.5, 0, 1.0, 1)}),
+      MakeModel(1, {Rep(100, 100, 1.0, 0)}),
+  };
+  GlobalModelParams params;
+  params.eps_global = 1.0;
+  const GlobalModel global = BuildGlobalModel(locals, Euclidean(), params);
+  // Two nearby reps merge; the remote one keeps its own global cluster.
+  EXPECT_EQ(global.num_global_clusters, 2);
+  EXPECT_EQ(global.rep_global_cluster[0], global.rep_global_cluster[1]);
+  EXPECT_NE(global.rep_global_cluster[0], global.rep_global_cluster[2]);
+}
+
+TEST(GlobalModelTest, MergesRepresentativesAcrossSites) {
+  // Halves of one cluster split over two sites: their representatives are
+  // within 2·eps of each other and must reunite globally.
+  const std::vector<LocalModel> locals = {
+      MakeModel(0, {Rep(10.0, 10.0, 2.0, 0)}),
+      MakeModel(1, {Rep(11.5, 10.0, 2.0, 0)}),
+  };
+  GlobalModelParams params;
+  const GlobalModel global = BuildGlobalModel(locals, Euclidean(), params);
+  EXPECT_EQ(global.num_global_clusters, 1);
+  EXPECT_EQ(global.rep_site[0], 0);
+  EXPECT_EQ(global.rep_site[1], 1);
+}
+
+TEST(GlobalModelTest, EmptyInputsProduceEmptyModel) {
+  const std::vector<LocalModel> locals;
+  GlobalModelParams params;
+  params.eps_global = 1.0;
+  const GlobalModel global = BuildGlobalModel(locals, Euclidean(), params);
+  EXPECT_EQ(global.NumRepresentatives(), 0u);
+  EXPECT_EQ(global.num_global_clusters, 0);
+
+  // Sites that found nothing transmit empty models.
+  const std::vector<LocalModel> empty_sites = {MakeModel(0, {}),
+                                               MakeModel(1, {})};
+  const GlobalModel global2 =
+      BuildGlobalModel(empty_sites, Euclidean(), params);
+  EXPECT_EQ(global2.NumRepresentatives(), 0u);
+}
+
+TEST(GlobalModelTest, WeightedCoreConditionSuppressesLightweightBridges) {
+  // Two heavy representative pairs (weight 50 each — real clusters)
+  // connected by a chain of two feather-weight representatives (weight 1
+  // — tiny spurious local clusters). Unweighted MinPts_global = 2 merges
+  // everything through the chain; the weighted condition keeps the two
+  // heavy clusters apart because the chain links never reach the weight
+  // threshold, so density-reachability breaks at the bridge.
+  auto weighted_rep = [](double x, std::uint32_t weight) {
+    Representative rep = Rep(x, 0.0, 1.0, 0);
+    rep.weight = weight;
+    return rep;
+  };
+  const std::vector<LocalModel> locals = {
+      MakeModel(0, {weighted_rep(0.0, 50), weighted_rep(0.5, 50)}),
+      MakeModel(1, {weighted_rep(1.5, 1), weighted_rep(2.5, 1)}),
+      MakeModel(2, {weighted_rep(3.5, 50), weighted_rep(4.0, 50)}),
+  };
+
+  GlobalModelParams unweighted;
+  unweighted.eps_global = 1.0;
+  const GlobalModel plain = BuildGlobalModel(locals, Euclidean(), unweighted);
+  EXPECT_EQ(plain.num_global_clusters, 1);  // Merged through the chain.
+
+  GlobalModelParams weighted = unweighted;
+  weighted.min_weight_global = 60;
+  const GlobalModel strict = BuildGlobalModel(locals, Euclidean(), weighted);
+  // Chain links see at most weight 52 in their neighborhoods -> not
+  // core; each heavy pair sees 100+ -> core. Two global clusters, the
+  // chain reps become border/singleton.
+  EXPECT_GE(strict.num_global_clusters, 2);
+  EXPECT_NE(strict.rep_global_cluster[0], strict.rep_global_cluster[4]);
+  EXPECT_EQ(strict.rep_global_cluster[0], strict.rep_global_cluster[1]);
+  EXPECT_EQ(strict.rep_global_cluster[4], strict.rep_global_cluster[5]);
+}
+
+TEST(GlobalModelTest, WeightedConditionEquivalentToPlainWithUnitWeights) {
+  // All weights 1 and min_weight = min_pts: identical result.
+  const std::vector<LocalModel> locals = {
+      MakeModel(0, {Rep(0.0, 0.0, 1.0, 0), Rep(0.8, 0.0, 1.0, 1)}),
+      MakeModel(1, {Rep(5.0, 0.0, 1.0, 0)}),
+  };
+  GlobalModelParams plain;
+  plain.eps_global = 1.0;
+  GlobalModelParams weighted = plain;
+  weighted.min_weight_global = 2;
+  const GlobalModel a = BuildGlobalModel(locals, Euclidean(), plain);
+  const GlobalModel b = BuildGlobalModel(locals, Euclidean(), weighted);
+  EXPECT_EQ(a.num_global_clusters, b.num_global_clusters);
+  EXPECT_EQ(a.rep_global_cluster, b.rep_global_cluster);
+}
+
+TEST(GlobalModelTest, CarriesRepresentativeWeights) {
+  LocalModel model = MakeModel(0, {Rep(0.0, 0.0, 1.0, 0)});
+  model.representatives[0].weight = 17;
+  GlobalModelParams params;
+  params.eps_global = 1.0;
+  const GlobalModel global =
+      BuildGlobalModel(std::vector<LocalModel>{model}, Euclidean(), params);
+  ASSERT_EQ(global.rep_weight.size(), 1u);
+  EXPECT_EQ(global.rep_weight[0], 17u);
+}
+
+TEST(GlobalModelTest, MinPtsGlobalOfTwoMergesAnyTouchingPair) {
+  // With MinPts_global = 2, two representatives within eps_global are
+  // both core and merge — the paper's argument that each representative
+  // already stands for a cluster.
+  const std::vector<LocalModel> locals = {
+      MakeModel(0, {Rep(0, 0, 1.0, 0)}),
+      MakeModel(1, {Rep(0.9, 0, 1.0, 0)}),
+  };
+  GlobalModelParams params;
+  params.eps_global = 1.0;
+  const GlobalModel global = BuildGlobalModel(locals, Euclidean(), params);
+  EXPECT_EQ(global.num_global_clusters, 1);
+}
+
+}  // namespace
+}  // namespace dbdc

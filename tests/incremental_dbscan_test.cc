@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/incremental_dbscan.h"
+#include "index/linear_scan_index.h"
+#include "test_util.h"
+
+namespace dbdc {
+namespace {
+
+constexpr DbscanParams kParams{1.0, 4};
+
+/// Runs batch DBSCAN on the active points of `inc` and asserts the
+/// incremental state is an equivalent DBSCAN clustering.
+void ExpectMatchesBatch(const IncrementalDbscan& inc) {
+  // Rebuild a dataset of the active points; keep the id mapping.
+  Dataset active(inc.data().dim());
+  std::vector<PointId> ids;
+  for (PointId p = 0; p < static_cast<PointId>(inc.data().size()); ++p) {
+    if (!inc.IsActive(p)) continue;
+    active.Add(inc.data().point(p));
+    ids.push_back(p);
+  }
+  const LinearScanIndex index(active, Euclidean());
+  const Clustering batch = RunDbscan(index, inc.params());
+  // Project the incremental labels onto the compact dataset.
+  const Clustering snapshot = inc.Snapshot();
+  Clustering projected;
+  projected.num_clusters = snapshot.num_clusters;
+  projected.labels.reserve(ids.size());
+  projected.is_core.reserve(ids.size());
+  for (const PointId p : ids) {
+    projected.labels.push_back(snapshot.labels[p]);
+    projected.is_core.push_back(snapshot.is_core[p]);
+  }
+  ExpectDbscanEquivalent(active, Euclidean(), inc.params(), batch,
+                         projected);
+}
+
+TEST(IncrementalDbscanTest, FirstPointsAreNoiseUntilDensityReached) {
+  IncrementalDbscan inc(kParams, Euclidean(), 2);
+  const PointId a = inc.Insert(Point{0.0, 0.0});
+  const PointId b = inc.Insert(Point{0.1, 0.0});
+  const PointId c = inc.Insert(Point{0.2, 0.0});
+  EXPECT_EQ(inc.Label(a), kNoise);
+  EXPECT_EQ(inc.Label(b), kNoise);
+  EXPECT_EQ(inc.Label(c), kNoise);
+  // Fourth point: all four are mutual neighbors -> everything turns core.
+  const PointId d = inc.Insert(Point{0.3, 0.0});
+  EXPECT_GE(inc.Label(a), 0);
+  EXPECT_EQ(inc.Label(a), inc.Label(b));
+  EXPECT_EQ(inc.Label(a), inc.Label(c));
+  EXPECT_EQ(inc.Label(a), inc.Label(d));
+  EXPECT_TRUE(inc.IsCore(a));
+  ExpectMatchesBatch(inc);
+}
+
+TEST(IncrementalDbscanTest, AbsorptionOfABorderPoint) {
+  IncrementalDbscan inc(kParams, Euclidean(), 2);
+  for (int i = 0; i < 5; ++i) {
+    inc.Insert(Point{0.1 * i, 0.0});
+  }
+  // New point near the cluster but with a sparse own neighborhood: border.
+  const PointId p = inc.Insert(Point{1.35, 0.0});
+  EXPECT_GE(inc.Label(p), 0);
+  EXPECT_FALSE(inc.IsCore(p));
+  ExpectMatchesBatch(inc);
+}
+
+TEST(IncrementalDbscanTest, InsertionMergesTwoClusters) {
+  IncrementalDbscan inc(kParams, Euclidean(), 2);
+  // Two dense groups 1.8 apart.
+  std::vector<PointId> left, right;
+  for (int i = 0; i < 5; ++i) {
+    left.push_back(inc.Insert(Point{0.0 + 0.05 * i, 0.0}));
+    right.push_back(inc.Insert(Point{1.8 + 0.05 * i, 0.0}));
+  }
+  ASSERT_NE(inc.Label(left[0]), inc.Label(right[0]));
+  ASSERT_GE(inc.Label(left[0]), 0);
+  // A bridge point in the middle is within eps of both groups and becomes
+  // core -> merge.
+  const PointId bridge = inc.Insert(Point{1.0, 0.0});
+  EXPECT_EQ(inc.Label(left[0]), inc.Label(right[0]));
+  EXPECT_EQ(inc.Label(bridge), inc.Label(left[0]));
+  ExpectMatchesBatch(inc);
+}
+
+TEST(IncrementalDbscanTest, DeletionSplitsACluster) {
+  IncrementalDbscan inc({1.0, 3}, Euclidean(), 2);
+  // Dumbbell: two dense groups connected through one bridge point.
+  std::vector<PointId> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(inc.Insert(Point{0.1 * i, 0.0}));
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(inc.Insert(Point{1.7 + 0.1 * i, 0.0}));
+  }
+  const PointId bridge = inc.Insert(Point{0.95, 0.0});
+  ASSERT_EQ(inc.Label(ids[0]), inc.Label(ids[4]));  // One merged cluster.
+  inc.Erase(bridge);
+  EXPECT_NE(inc.Label(ids[0]), inc.Label(ids[4]));  // Split again.
+  ExpectMatchesBatch(inc);
+}
+
+TEST(IncrementalDbscanTest, DeletionDemotesClusterToNoise) {
+  IncrementalDbscan inc(kParams, Euclidean(), 2);
+  std::vector<PointId> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(inc.Insert(Point{0.1 * i, 0.0}));
+  ASSERT_GE(inc.Label(ids[0]), 0);
+  inc.Erase(ids[3]);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(inc.Label(ids[i]), kNoise);
+  ExpectMatchesBatch(inc);
+}
+
+TEST(IncrementalDbscanTest, EraseBorderPointLeavesClusterIntact) {
+  IncrementalDbscan inc(kParams, Euclidean(), 2);
+  std::vector<PointId> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(inc.Insert(Point{0.1 * i, 0.0}));
+  const PointId border = inc.Insert(Point{1.4, 0.0});
+  ASSERT_FALSE(inc.IsCore(border));
+  ASSERT_GE(inc.Label(border), 0);
+  inc.Erase(border);
+  EXPECT_GE(inc.Label(ids[0]), 0);
+  EXPECT_EQ(inc.size(), 6u);
+  ExpectMatchesBatch(inc);
+}
+
+class IncrementalRandomizedTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalRandomizedTest, InsertOnlyStreamMatchesBatch) {
+  Rng rng(GetParam());
+  IncrementalDbscan inc(kParams, Euclidean(), 2);
+  for (int i = 0; i < 300; ++i) {
+    // Mix of clustered and background points.
+    if (rng.UniformInt(0, 3) == 0) {
+      inc.Insert(Point{rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 20.0)});
+    } else {
+      const double cx = 5.0 * rng.UniformInt(0, 3);
+      inc.Insert(Point{rng.Gaussian(cx, 0.4), rng.Gaussian(cx, 0.4)});
+    }
+  }
+  ExpectMatchesBatch(inc);
+}
+
+TEST_P(IncrementalRandomizedTest, MixedInsertEraseStreamMatchesBatch) {
+  Rng rng(GetParam() + 1000);
+  IncrementalDbscan inc(kParams, Euclidean(), 2);
+  std::vector<PointId> alive;
+  for (int step = 0; step < 400; ++step) {
+    if (alive.empty() || rng.UniformInt(0, 9) < 6) {
+      const double cx = 4.0 * rng.UniformInt(0, 2);
+      const PointId id = inc.Insert(
+          Point{rng.Gaussian(cx, 0.5), rng.Gaussian(cx, 0.5)});
+      alive.push_back(id);
+    } else {
+      const std::size_t pos = rng.UniformInt(0, alive.size() - 1);
+      inc.Erase(alive[pos]);
+      alive.erase(alive.begin() + pos);
+    }
+    if (step % 80 == 79) ExpectMatchesBatch(inc);
+  }
+  ExpectMatchesBatch(inc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalRandomizedTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(IncrementalDbscanTest, SnapshotDenseLabelsAndInactiveMarking) {
+  IncrementalDbscan inc(kParams, Euclidean(), 2);
+  std::vector<PointId> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(inc.Insert(Point{0.1 * i, 0.0}));
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(inc.Insert(Point{10.0 + 0.1 * i, 0.0}));
+  }
+  inc.Erase(ids[0]);
+  const Clustering snap = inc.Snapshot();
+  EXPECT_EQ(snap.labels[ids[0]], kUnclassified);
+  // Remaining left group fell below min_pts -> noise; right group intact.
+  EXPECT_EQ(snap.num_clusters, 1);
+  EXPECT_EQ(snap.labels[ids[4]], 0);
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -1,0 +1,441 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "index/grid_index.h"
+#include "index/index_factory.h"
+#include "index/kd_tree_index.h"
+#include "index/linear_scan_index.h"
+#include "index/m_tree.h"
+#include "index/rstar_tree.h"
+#include "index/vp_tree.h"
+#include "test_util.h"
+
+namespace dbdc {
+namespace {
+
+std::vector<PointId> Sorted(std::vector<PointId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-validation of every index type against the linear scan, over all
+// metrics and several dataset shapes.
+
+using IndexCase = std::tuple<IndexType, const Metric*>;
+
+class IndexEquivalenceTest : public ::testing::TestWithParam<IndexCase> {
+ protected:
+  IndexType index_type() const { return std::get<0>(GetParam()); }
+  const Metric& metric() const { return *std::get<1>(GetParam()); }
+};
+
+TEST_P(IndexEquivalenceTest, RangeQueryMatchesLinearScanOnRandomData) {
+  Rng rng(11);
+  const Dataset data = RandomDataset(400, 2, 0.0, 10.0, &rng);
+  const LinearScanIndex truth(data, metric());
+  const auto index = CreateIndex(index_type(), data, metric(), 0.7);
+  ASSERT_EQ(index->size(), data.size());
+  std::vector<PointId> got, want;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Point q{rng.Uniform(-1.0, 11.0), rng.Uniform(-1.0, 11.0)};
+    for (const double eps : {0.2, 0.7, 2.5}) {
+      truth.RangeQuery(q, eps, &want);
+      index->RangeQuery(q, eps, &got);
+      EXPECT_EQ(Sorted(got), Sorted(want))
+          << index->name() << " eps=" << eps;
+    }
+  }
+}
+
+TEST_P(IndexEquivalenceTest, RangeQueryMatchesOnClusteredData) {
+  Rng rng(23);
+  Dataset data(3);
+  Point p(3);
+  // Three tight 3-d blobs: stresses unbalanced trees.
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < 120; ++i) {
+      for (int d = 0; d < 3; ++d) p[d] = rng.Gaussian(b * 10.0, 0.5);
+      data.Add(p);
+    }
+  }
+  const LinearScanIndex truth(data, metric());
+  const auto index = CreateIndex(index_type(), data, metric(), 1.0);
+  std::vector<PointId> got, want;
+  for (PointId q = 0; q < static_cast<PointId>(data.size()); q += 17) {
+    truth.RangeQuery(q, 1.3, &want);
+    index->RangeQuery(q, 1.3, &got);
+    EXPECT_EQ(Sorted(got), Sorted(want));
+  }
+}
+
+TEST_P(IndexEquivalenceTest, RangeQueryIsInclusiveAtExactDistance) {
+  Dataset data(2);
+  data.Add(Point{0.0, 0.0});
+  data.Add(Point{3.0, 0.0});
+  const auto index = CreateIndex(index_type(), data, metric(), 3.0);
+  std::vector<PointId> out;
+  index->RangeQuery(Point{0.0, 0.0}, 3.0, &out);
+  EXPECT_EQ(Sorted(out), (std::vector<PointId>{0, 1}));
+}
+
+TEST_P(IndexEquivalenceTest, KnnMatchesLinearScan) {
+  Rng rng(31);
+  const Dataset data = RandomDataset(300, 2, 0.0, 10.0, &rng);
+  const LinearScanIndex truth(data, metric());
+  const auto index = CreateIndex(index_type(), data, metric(), 0.7);
+  std::vector<PointId> got, want;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Point q{rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+    for (const int k : {1, 5, 17}) {
+      truth.KnnQuery(q, k, &want);
+      index->KnnQuery(q, k, &got);
+      ASSERT_EQ(got.size(), want.size());
+      // Ties make exact id comparison fragile; compare distances.
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(metric().Distance(q, data.point(got[i])),
+                    metric().Distance(q, data.point(want[i])), 1e-12);
+      }
+    }
+  }
+}
+
+TEST_P(IndexEquivalenceTest, KnnWithKLargerThanDataset) {
+  Rng rng(5);
+  const Dataset data = RandomDataset(7, 2, 0.0, 1.0, &rng);
+  const auto index = CreateIndex(index_type(), data, metric(), 0.5);
+  std::vector<PointId> out;
+  index->KnnQuery(Point{0.5, 0.5}, 100, &out);
+  EXPECT_EQ(out.size(), 7u);
+  index->KnnQuery(Point{0.5, 0.5}, 0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(IndexEquivalenceTest, HandlesDuplicatePoints) {
+  Dataset data(2);
+  for (int i = 0; i < 40; ++i) data.Add(Point{1.0, 1.0});
+  for (int i = 0; i < 40; ++i) data.Add(Point{5.0, 5.0});
+  const auto index = CreateIndex(index_type(), data, metric(), 0.5);
+  std::vector<PointId> out;
+  index->RangeQuery(Point{1.0, 1.0}, 0.1, &out);
+  EXPECT_EQ(out.size(), 40u);
+  index->KnnQuery(Point{1.0, 1.0}, 50, &out);
+  EXPECT_EQ(out.size(), 50u);
+}
+
+TEST_P(IndexEquivalenceTest, EmptyRegionReturnsNothing) {
+  Rng rng(3);
+  const Dataset data = RandomDataset(100, 2, 0.0, 1.0, &rng);
+  const auto index = CreateIndex(index_type(), data, metric(), 0.2);
+  std::vector<PointId> out{1, 2, 3};  // Must be cleared.
+  index->RangeQuery(Point{100.0, 100.0}, 0.5, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+std::string IndexCaseName(
+    const ::testing::TestParamInfo<IndexCase>& info) {
+  return std::string(IndexTypeName(std::get<0>(info.param))) + "_" +
+         std::string(std::get<1>(info.param)->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, IndexEquivalenceTest,
+    ::testing::Combine(::testing::Values(IndexType::kLinearScan,
+                                         IndexType::kGrid, IndexType::kKdTree,
+                                         IndexType::kRStarTree,
+                                         IndexType::kRStarTreeBulk,
+                                         IndexType::kMTree,
+                                         IndexType::kVpTree),
+                       ::testing::Values(&Euclidean(), &Manhattan(),
+                                         &Chebyshev())),
+    IndexCaseName);
+
+// ---------------------------------------------------------------------------
+// Dynamic updates (linear, grid, R*).
+
+class DynamicIndexTest : public ::testing::TestWithParam<IndexType> {};
+
+TEST_P(DynamicIndexTest, InsertEraseMatchesLinearTruth) {
+  Rng rng(41);
+  const Dataset data = RandomDataset(250, 2, 0.0, 10.0, &rng);
+  LinearScanIndex truth(data, Euclidean(), /*index_all=*/false);
+  // The factory always indexes everything; construct empty ones directly.
+  std::unique_ptr<NeighborIndex> dynamic;
+  switch (GetParam()) {
+    case IndexType::kLinearScan:
+      dynamic = std::make_unique<LinearScanIndex>(data, Euclidean(), false);
+      break;
+    case IndexType::kGrid:
+      dynamic = std::make_unique<GridIndex>(data, Euclidean(), 0.8, false);
+      break;
+    case IndexType::kRStarTree:
+      dynamic = std::make_unique<RStarTree>(data, Euclidean(), false);
+      break;
+    default:
+      FAIL() << "not a dynamic index";
+  }
+  ASSERT_TRUE(dynamic->SupportsDynamicUpdates());
+  std::vector<PointId> present;
+  std::vector<PointId> got, want;
+  for (int step = 0; step < 500; ++step) {
+    const bool do_insert =
+        present.empty() || (present.size() < data.size() &&
+                            rng.UniformInt(0, 2) != 0);
+    if (do_insert) {
+      PointId id;
+      do {
+        id = static_cast<PointId>(rng.UniformInt(0, data.size() - 1));
+      } while (std::find(present.begin(), present.end(), id) !=
+               present.end());
+      present.push_back(id);
+      dynamic->Insert(id);
+      truth.Insert(id);
+    } else {
+      const std::size_t pos = rng.UniformInt(0, present.size() - 1);
+      const PointId id = present[pos];
+      present.erase(present.begin() + pos);
+      dynamic->Erase(id);
+      truth.Erase(id);
+    }
+    ASSERT_EQ(dynamic->size(), present.size());
+    if (step % 25 == 0) {
+      const Point q{rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+      truth.RangeQuery(q, 1.5, &want);
+      dynamic->RangeQuery(q, 1.5, &got);
+      ASSERT_EQ(Sorted(got), Sorted(want)) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DynamicIndexes, DynamicIndexTest,
+                         ::testing::Values(IndexType::kLinearScan,
+                                           IndexType::kGrid,
+                                           IndexType::kRStarTree),
+                         [](const auto& info) {
+                           return std::string(IndexTypeName(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// R*-tree structural invariants.
+
+TEST(RStarTreeTest, InvariantsHoldDuringBulkInsert) {
+  Rng rng(51);
+  const Dataset data = RandomDataset(2000, 2, 0.0, 100.0, &rng);
+  RStarTree tree(data, Euclidean(), /*index_all=*/false);
+  for (PointId id = 0; id < static_cast<PointId>(data.size()); ++id) {
+    tree.Insert(id);
+    if (id % 157 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  EXPECT_GT(tree.height(), 1);
+  EXPECT_EQ(tree.size(), data.size());
+}
+
+TEST(RStarTreeTest, InvariantsHoldDuringDrain) {
+  Rng rng(52);
+  const Dataset data = RandomDataset(800, 2, 0.0, 50.0, &rng);
+  RStarTree tree(data, Euclidean());
+  std::vector<PointId> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<PointId>(i);
+  }
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    tree.Erase(order[i]);
+    if (i % 61 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST(RStarTreeTest, EraseKeepsRemainingPointsQueryable) {
+  Rng rng(53);
+  const Dataset data = RandomDataset(300, 2, 0.0, 10.0, &rng);
+  RStarTree tree(data, Euclidean());
+  LinearScanIndex truth(data, Euclidean());
+  for (PointId id = 0; id < 150; ++id) {
+    tree.Erase(id);
+    truth.Erase(id);
+  }
+  std::vector<PointId> got, want;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point q{rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0)};
+    truth.RangeQuery(q, 2.0, &want);
+    tree.RangeQuery(q, 2.0, &got);
+    EXPECT_EQ(Sorted(got), Sorted(want));
+  }
+}
+
+TEST(RStarTreeTest, HighDimensionalData) {
+  Rng rng(54);
+  const Dataset data = RandomDataset(400, 6, 0.0, 1.0, &rng);
+  RStarTree tree(data, Euclidean());
+  tree.CheckInvariants();
+  LinearScanIndex truth(data, Euclidean());
+  std::vector<PointId> got, want;
+  truth.RangeQuery(data.point(0), 0.5, &want);
+  tree.RangeQuery(data.point(0), 0.5, &got);
+  EXPECT_EQ(Sorted(got), Sorted(want));
+}
+
+// ---------------------------------------------------------------------------
+// STR bulk loading.
+
+TEST(RStarTreeBulkLoadTest, InvariantsAndQueriesMatchInsertedTree) {
+  Rng rng(55);
+  const Dataset data = RandomDataset(5000, 2, 0.0, 100.0, &rng);
+  RStarTree bulk(data, Euclidean(), /*index_all=*/true,
+                 RStarTree::Construction::kBulkLoadStr);
+  bulk.CheckInvariants();
+  EXPECT_EQ(bulk.size(), data.size());
+  const RStarTree inserted(data, Euclidean());
+  std::vector<PointId> got, want;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Point q{rng.Uniform(0.0, 100.0), rng.Uniform(0.0, 100.0)};
+    inserted.RangeQuery(q, 3.0, &want);
+    bulk.RangeQuery(q, 3.0, &got);
+    EXPECT_EQ(Sorted(got), Sorted(want));
+  }
+  // Bulk loading packs nodes tighter, so the tree is never taller.
+  EXPECT_LE(bulk.height(), inserted.height());
+}
+
+TEST(RStarTreeBulkLoadTest, RemainsFullyDynamicAfterBulkLoad) {
+  Rng rng(56);
+  const Dataset data = RandomDataset(1200, 2, 0.0, 50.0, &rng);
+  RStarTree bulk(data, Euclidean(), /*index_all=*/true,
+                 RStarTree::Construction::kBulkLoadStr);
+  LinearScanIndex truth(data, Euclidean());
+  for (PointId id = 0; id < 600; ++id) {
+    bulk.Erase(id);
+    truth.Erase(id);
+    if (id % 97 == 0) bulk.CheckInvariants();
+  }
+  for (PointId id = 0; id < 300; ++id) {
+    bulk.Insert(id);
+    truth.Insert(id);
+  }
+  bulk.CheckInvariants();
+  std::vector<PointId> got, want;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point q{rng.Uniform(0.0, 50.0), rng.Uniform(0.0, 50.0)};
+    truth.RangeQuery(q, 2.5, &want);
+    bulk.RangeQuery(q, 2.5, &got);
+    EXPECT_EQ(Sorted(got), Sorted(want));
+  }
+}
+
+class BulkLoadSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BulkLoadSizeTest, InvariantsHoldAtAwkwardCardinalities) {
+  // Cardinalities around node-capacity boundaries, where tiling produces
+  // underfull trailing groups.
+  Rng rng(57);
+  const Dataset data =
+      RandomDataset(GetParam(), 2, 0.0, 10.0, &rng);
+  RStarTree bulk(data, Euclidean(), /*index_all=*/true,
+                 RStarTree::Construction::kBulkLoadStr);
+  bulk.CheckInvariants();
+  EXPECT_EQ(bulk.size(), data.size());
+  std::vector<PointId> out;
+  bulk.RangeQuery(Point{5.0, 5.0}, 100.0, &out);
+  EXPECT_EQ(out.size(), data.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BulkLoadSizeTest,
+                         ::testing::Values(1, 13, 32, 33, 64, 65, 1024,
+                                           1025, 1057));
+
+// ---------------------------------------------------------------------------
+// M-tree invariants.
+
+TEST(MTreeTest, CoveringRadiiBoundSubtrees) {
+  Rng rng(61);
+  const Dataset data = RandomDataset(1500, 2, 0.0, 100.0, &rng);
+  const MTree tree(data, Euclidean());
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), data.size());
+}
+
+TEST(MTreeTest, WorksWithNonEuclideanMetric) {
+  Rng rng(62);
+  const Dataset data = RandomDataset(500, 4, -1.0, 1.0, &rng);
+  const MTree tree(data, Manhattan());
+  tree.CheckInvariants();
+  const LinearScanIndex truth(data, Manhattan());
+  std::vector<PointId> got, want;
+  for (PointId q = 0; q < 50; ++q) {
+    truth.RangeQuery(q, 0.8, &want);
+    tree.RangeQuery(q, 0.8, &got);
+    EXPECT_EQ(Sorted(got), Sorted(want));
+  }
+}
+
+TEST(MTreeTest, AllIdenticalPoints) {
+  Dataset data(2);
+  for (int i = 0; i < 100; ++i) data.Add(Point{2.0, 2.0});
+  const MTree tree(data, Euclidean());
+  tree.CheckInvariants();
+  std::vector<PointId> out;
+  tree.RangeQuery(Point{2.0, 2.0}, 0.0, &out);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Grid index specifics.
+
+TEST(GridIndexTest, NegativeCoordinatesBinCorrectly) {
+  Dataset data(2);
+  data.Add(Point{-0.1, -0.1});
+  data.Add(Point{0.1, 0.1});
+  const GridIndex grid(data, Euclidean(), 1.0);
+  std::vector<PointId> out;
+  grid.RangeQuery(Point{0.0, 0.0}, 0.2, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(GridIndexTest, QueryRadiusLargerThanCellWidth) {
+  Rng rng(71);
+  const Dataset data = RandomDataset(300, 2, 0.0, 10.0, &rng);
+  const GridIndex grid(data, Euclidean(), 0.25);
+  const LinearScanIndex truth(data, Euclidean());
+  std::vector<PointId> got, want;
+  truth.RangeQuery(Point{5.0, 5.0}, 4.0, &want);
+  grid.RangeQuery(Point{5.0, 5.0}, 4.0, &got);
+  EXPECT_EQ(Sorted(got), Sorted(want));
+}
+
+// ---------------------------------------------------------------------------
+// Factory.
+
+TEST(IndexFactoryTest, ParseAndNameRoundTrip) {
+  for (const IndexType type :
+       {IndexType::kLinearScan, IndexType::kGrid, IndexType::kKdTree,
+        IndexType::kRStarTree, IndexType::kMTree}) {
+    IndexType parsed;
+    ASSERT_TRUE(ParseIndexType(IndexTypeName(type), &parsed));
+    EXPECT_EQ(parsed, type);
+  }
+  IndexType parsed;
+  EXPECT_FALSE(ParseIndexType("btree", &parsed));
+}
+
+TEST(IndexFactoryTest, CreatedIndexReportsItsName) {
+  Dataset data(2);
+  data.Add(Point{0.0, 0.0});
+  const auto index =
+      CreateIndex(IndexType::kRStarTree, data, Euclidean(), 1.0);
+  EXPECT_EQ(index->name(), "rstar");
+  EXPECT_EQ(&index->metric(), &Euclidean());
+  EXPECT_EQ(&index->data(), &data);
+}
+
+}  // namespace
+}  // namespace dbdc

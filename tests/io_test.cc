@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "data/generators.h"
+#include "data/io.h"
+
+namespace dbdc {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(IoTest, DatasetRoundTrip) {
+  Dataset data(3);
+  data.Add(Point{1.5, -2.25, 0.0});
+  data.Add(Point{1e-12, 3.14159265358979, -1e6});
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteDatasetCsv(path, data));
+  const auto loaded = ReadDatasetCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->data.size(), 2u);
+  ASSERT_EQ(loaded->data.dim(), 3);
+  for (PointId p = 0; p < 2; ++p) {
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_DOUBLE_EQ(loaded->data.point(p)[d], data.point(p)[d]);
+    }
+  }
+  EXPECT_FALSE(loaded->labels.has_value());
+}
+
+TEST_F(IoTest, LabeledRoundTrip) {
+  const SyntheticDataset synth = MakeTestDatasetC(1);
+  const std::string path = TempPath("labeled.csv");
+  ASSERT_TRUE(WriteDatasetCsv(path, synth.data, &synth.true_labels));
+  const auto loaded = ReadDatasetCsv(path, /*has_label_column=*/true);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->data.size(), synth.data.size());
+  EXPECT_EQ(loaded->data.dim(), 2);
+  ASSERT_TRUE(loaded->labels.has_value());
+  EXPECT_EQ(*loaded->labels, synth.true_labels);
+}
+
+TEST_F(IoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(ReadDatasetCsv(TempPath("does_not_exist.csv")).has_value());
+}
+
+TEST_F(IoTest, MalformedRowsRejected) {
+  const std::string path = TempPath("bad.csv");
+  {
+    std::ofstream out(path);
+    out << "1.0,2.0\n1.0\n";  // Ragged.
+  }
+  EXPECT_FALSE(ReadDatasetCsv(path).has_value());
+  {
+    std::ofstream out(path);
+    out << "1.0,abc\n";  // Not a number.
+  }
+  EXPECT_FALSE(ReadDatasetCsv(path).has_value());
+  {
+    std::ofstream out(path);  // Empty file.
+  }
+  EXPECT_FALSE(ReadDatasetCsv(path).has_value());
+}
+
+TEST_F(IoTest, LabelSizeMismatchFailsWrite) {
+  Dataset data(2);
+  data.Add(Point{1.0, 2.0});
+  const std::vector<ClusterId> labels = {0, 1};  // Wrong length.
+  EXPECT_FALSE(WriteDatasetCsv(TempPath("mismatch.csv"), data, &labels));
+}
+
+}  // namespace
+}  // namespace dbdc

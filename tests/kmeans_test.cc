@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "test_util.h"
+
+namespace dbdc {
+namespace {
+
+std::vector<PointId> AllIds(const Dataset& data) {
+  std::vector<PointId> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+TEST(KMeansTest, SeparatedBlobsConvergeToTheirMeans) {
+  Dataset data(2);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    data.Add(Point{rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5)});
+  }
+  for (int i = 0; i < 100; ++i) {
+    data.Add(Point{rng.Gaussian(20.0, 0.5), rng.Gaussian(20.0, 0.5)});
+  }
+  const std::vector<Point> init{{1.0, 1.0}, {19.0, 19.0}};
+  const KMeansResult result = RunKMeans(data, AllIds(data), init, {});
+  EXPECT_NEAR(result.centroids[0][0], 0.0, 0.3);
+  EXPECT_NEAR(result.centroids[0][1], 0.0, 0.3);
+  EXPECT_NEAR(result.centroids[1][0], 20.0, 0.3);
+  EXPECT_NEAR(result.centroids[1][1], 20.0, 0.3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(result.assignment[i], 0);
+  for (int i = 100; i < 200; ++i) EXPECT_EQ(result.assignment[i], 1);
+}
+
+TEST(KMeansTest, FixedPointWhenInitializedAtTheMeans) {
+  Dataset data(1);
+  data.Add(Point{0.0});
+  data.Add(Point{2.0});
+  data.Add(Point{10.0});
+  data.Add(Point{12.0});
+  const std::vector<Point> init{{1.0}, {11.0}};
+  const KMeansResult result = RunKMeans(data, AllIds(data), init, {});
+  EXPECT_DOUBLE_EQ(result.centroids[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(result.centroids[1][0], 11.0);
+  EXPECT_LE(result.iterations, 2);
+  EXPECT_DOUBLE_EQ(result.inertia, 4.0);
+}
+
+TEST(KMeansTest, KEqualsOneYieldsTheCentroidOfAllMembers) {
+  Dataset data(2);
+  data.Add(Point{0.0, 0.0});
+  data.Add(Point{2.0, 0.0});
+  data.Add(Point{0.0, 2.0});
+  data.Add(Point{2.0, 2.0});
+  const KMeansResult result =
+      RunKMeans(data, AllIds(data), {{5.0, 5.0}}, {});
+  EXPECT_DOUBLE_EQ(result.centroids[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(result.centroids[0][1], 1.0);
+}
+
+TEST(KMeansTest, SubsetOfMembersOnly) {
+  Dataset data(1);
+  for (int i = 0; i < 10; ++i) data.Add(Point{static_cast<double>(i)});
+  // Only the even ids participate.
+  const std::vector<PointId> members{0, 2, 4, 6, 8};
+  const KMeansResult result = RunKMeans(data, members, {{0.0}}, {});
+  EXPECT_DOUBLE_EQ(result.centroids[0][0], 4.0);
+  EXPECT_EQ(result.assignment.size(), members.size());
+}
+
+TEST(KMeansTest, EmptyClusterIsRepairedAndKStaysConstant) {
+  Dataset data(1);
+  data.Add(Point{0.0});
+  data.Add(Point{1.0});
+  data.Add(Point{10.0});
+  // Both initial centroids sit on the left; the right point must
+  // eventually claim one (repair keeps k = 2 populated).
+  const std::vector<Point> init{{0.0}, {100.0}};
+  const KMeansResult result = RunKMeans(data, AllIds(data), init, {});
+  EXPECT_EQ(result.centroids.size(), 2u);
+  std::vector<int> counts(2, 0);
+  for (const int a : result.assignment) ++counts[a];
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[1], 0);
+}
+
+TEST(KMeansTest, InertiaNeverIncreasesWithMoreCentroids) {
+  Rng rng(3);
+  const Dataset data = RandomDataset(200, 2, 0.0, 10.0, &rng);
+  const std::vector<PointId> members = AllIds(data);
+  double prev = std::numeric_limits<double>::max();
+  for (int k = 1; k <= 5; ++k) {
+    Rng init_rng(17);
+    const std::vector<Point> init =
+        KMeansPlusPlusInit(data, members, k, &init_rng);
+    const KMeansResult result = RunKMeans(data, members, init, {});
+    EXPECT_LE(result.inertia, prev * 1.0001) << "k=" << k;
+    prev = result.inertia;
+  }
+}
+
+TEST(KMeansTest, MoreMembersThanCentroidsNotRequired) {
+  Dataset data(1);
+  data.Add(Point{5.0});
+  const std::vector<Point> init{{0.0}, {10.0}};
+  const KMeansResult result = RunKMeans(data, {0}, init, {});
+  // One centroid holds the point, the other stays empty; no crash.
+  EXPECT_EQ(result.assignment.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.inertia, 0.0);
+}
+
+TEST(KMeansPlusPlusTest, DeterministicGivenSeedAndSpreadsCentroids) {
+  Rng rng(4);
+  const Dataset data = RandomDataset(100, 2, 0.0, 10.0, &rng);
+  const std::vector<PointId> members = AllIds(data);
+  Rng r1(9), r2(9);
+  const auto a = KMeansPlusPlusInit(data, members, 4, &r1);
+  const auto b = KMeansPlusPlusInit(data, members, 4, &r2);
+  ASSERT_EQ(a.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+  // All chosen centroids are distinct data points.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      EXPECT_NE(a[i], a[j]);
+    }
+  }
+}
+
+TEST(KMeansTest, MaxIterationsRespected) {
+  Rng rng(5);
+  const Dataset data = RandomDataset(500, 2, 0.0, 10.0, &rng);
+  KMeansParams params;
+  params.max_iterations = 1;
+  Rng init_rng(6);
+  const auto init = KMeansPlusPlusInit(data, AllIds(data), 8, &init_rng);
+  const KMeansResult result = RunKMeans(data, AllIds(data), init, params);
+  EXPECT_EQ(result.iterations, 1);
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/bounding_box.h"
+#include "core/local_model.h"
+#include "data/generators.h"
+#include "index/index_factory.h"
+#include "index/linear_scan_index.h"
+#include "test_util.h"
+
+namespace dbdc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Definition 6: properties of the complete set of specific core points.
+
+class ScorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScorPropertyTest, SatisfiesDefinitionSix) {
+  const SyntheticDataset synth = MakeBlobs(
+      /*n=*/800, /*num_blobs=*/5, /*noise_fraction=*/0.1, 1.0, 2.0,
+      /*seed=*/GetParam());
+  const DbscanParams params{1.2, 5};
+  const LinearScanIndex index(synth.data, Euclidean());
+  const LocalClustering local = RunLocalDbscan(index, params);
+  ASSERT_EQ(local.scor.size(),
+            static_cast<std::size_t>(local.clustering.num_clusters));
+
+  for (ClusterId c = 0; c < local.clustering.num_clusters; ++c) {
+    const std::vector<PointId>& scor = local.scor[c];
+    ASSERT_FALSE(scor.empty()) << "cluster " << c << " has no scor";
+    for (const PointId s : scor) {
+      // Condition 1: Scor_C ⊆ Cor_C — specific core points are core points
+      // of their cluster.
+      EXPECT_TRUE(local.clustering.is_core[s]);
+      EXPECT_EQ(local.clustering.labels[s], c);
+    }
+    // Condition 2: pairwise distance > Eps.
+    for (std::size_t i = 0; i < scor.size(); ++i) {
+      for (std::size_t j = i + 1; j < scor.size(); ++j) {
+        EXPECT_GT(Euclidean().Distance(synth.data.point(scor[i]),
+                                       synth.data.point(scor[j])),
+                  params.eps);
+      }
+    }
+  }
+  // Condition 3: every core point lies within Eps of a specific core point
+  // of its cluster.
+  for (PointId p = 0; p < static_cast<PointId>(synth.data.size()); ++p) {
+    if (!local.clustering.is_core[p]) continue;
+    const ClusterId c = local.clustering.labels[p];
+    bool covered = false;
+    for (const PointId s : local.scor[c]) {
+      if (Euclidean().Distance(synth.data.point(p), synth.data.point(s)) <=
+          params.eps) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "core point " << p << " uncovered";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScorPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------------
+// Definition 7 and the coverage guarantee of both local models: every
+// member of a local cluster lies inside the ε-range of at least one of
+// the cluster's representatives. (This is what makes relabeling able to
+// reconstruct the clusters; it follows from ε_s = Eps + max core
+// distance for REP_Scor and from ε_c = max assigned distance for
+// REP_kMeans.)
+
+class ModelCoverageTest
+    : public ::testing::TestWithParam<std::tuple<LocalModelType,
+                                                 std::uint64_t>> {};
+
+TEST_P(ModelCoverageTest, EveryClusterMemberIsCoveredBySomeRepresentative) {
+  const auto [type, seed] = GetParam();
+  const SyntheticDataset synth = MakeBlobs(600, 4, 0.15, 1.0, 2.0, seed);
+  const DbscanParams params{1.2, 5};
+  const LinearScanIndex index(synth.data, Euclidean());
+  const LocalClustering local = RunLocalDbscan(index, params);
+  const LocalModel model =
+      BuildLocalModel(type, index, local, params, {}, /*site_id=*/0);
+
+  for (PointId p = 0; p < static_cast<PointId>(synth.data.size()); ++p) {
+    const ClusterId c = local.clustering.labels[p];
+    if (c < 0) continue;
+    bool covered = false;
+    for (const Representative& rep : model.representatives) {
+      if (rep.local_cluster != c) continue;
+      if (Euclidean().Distance(synth.data.point(p), rep.center) <=
+          rep.eps_range + 1e-9) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << LocalModelTypeName(type) << ": point " << p
+                         << " of cluster " << c << " uncovered";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndSeeds, ModelCoverageTest,
+    ::testing::Combine(::testing::Values(LocalModelType::kScor,
+                                         LocalModelType::kKMeans),
+                       ::testing::Values(10u, 11u, 12u)),
+    [](const auto& info) {
+      return std::string(LocalModelTypeName(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+
+TEST(ScorModelTest, EpsRangeIsAtLeastEpsAndBoundedByTwoEps) {
+  const SyntheticDataset synth = MakeBlobs(600, 4, 0.1, 1.0, 2.0, 31);
+  const DbscanParams params{1.2, 5};
+  const LinearScanIndex index(synth.data, Euclidean());
+  const LocalClustering local = RunLocalDbscan(index, params);
+  const LocalModel model = BuildScorModel(index, local, params, 0);
+  for (const Representative& rep : model.representatives) {
+    // Def. 7: ε_s = Eps + max dist to a core within Eps, so it lies in
+    // [Eps, 2·Eps]. This is why the default Eps_global (max ε_R) is
+    // "generally close to 2·Eps_local".
+    EXPECT_GE(rep.eps_range, params.eps);
+    EXPECT_LE(rep.eps_range, 2.0 * params.eps + 1e-12);
+  }
+}
+
+TEST(ScorModelTest, IsolatedScorGetsPlainEpsRange) {
+  // min_pts = 1: every point is core. Two far-apart singleton clusters;
+  // each scor has no other core within Eps, so ε_s = Eps exactly.
+  Dataset data(2);
+  data.Add(Point{0.0, 0.0});
+  data.Add(Point{50.0, 50.0});
+  const LinearScanIndex index(data, Euclidean());
+  const DbscanParams params{1.0, 1};
+  const LocalClustering local = RunLocalDbscan(index, params);
+  const LocalModel model = BuildScorModel(index, local, params, 0);
+  ASSERT_EQ(model.representatives.size(), 2u);
+  EXPECT_DOUBLE_EQ(model.representatives[0].eps_range, 1.0);
+  EXPECT_DOUBLE_EQ(model.representatives[1].eps_range, 1.0);
+}
+
+TEST(ScorModelTest, FigureThreeScenario) {
+  // Fig. 3a: core points A, B within Eps of each other; if A is visited
+  // first it is the specific core point and ε_A = Eps + dist(A, B') for
+  // the farthest core B' in its Eps-neighborhood.
+  Dataset data(2);
+  // A at 0; B at 0.8; C/D close to A make both core; E/F hang off B as
+  // border points. The farthest core in N_Eps(A) is B itself.
+  data.Add(Point{0.0, 0.0});   // A (id 0, visited first).
+  data.Add(Point{0.8, 0.0});   // B (id 1).
+  data.Add(Point{0.1, 0.1});   // C.
+  data.Add(Point{-0.1, 0.1});  // D.
+  data.Add(Point{1.5, 0.0});   // E (border).
+  data.Add(Point{1.6, 0.0});   // F (border).
+  const DbscanParams params{1.0, 4};
+  const LinearScanIndex index(data, Euclidean());
+  const LocalClustering local = RunLocalDbscan(index, params);
+  ASSERT_EQ(local.clustering.num_clusters, 1);
+  ASSERT_TRUE(local.clustering.is_core[0]);
+  ASSERT_TRUE(local.clustering.is_core[1]);
+  // B is within Eps of A, so only A is specific.
+  ASSERT_EQ(local.scor[0].size(), 1u);
+  EXPECT_EQ(local.scor[0][0], 0);
+  const LocalModel model = BuildScorModel(index, local, params, 0);
+  ASSERT_EQ(model.representatives.size(), 1u);
+  // ε_A = Eps + max core distance within N_Eps(A) = 1.0 + dist(A, B).
+  EXPECT_DOUBLE_EQ(model.representatives[0].eps_range, 1.0 + 0.8);
+}
+
+TEST(KMeansModelTest, SameRepresentativeCountAsScorModel) {
+  // Sec. 5.2: "the number of representatives for each cluster is the same
+  // as in the previous approach".
+  const SyntheticDataset synth = MakeBlobs(700, 4, 0.1, 1.0, 2.0, 33);
+  const DbscanParams params{1.2, 5};
+  const LinearScanIndex index(synth.data, Euclidean());
+  const LocalClustering local = RunLocalDbscan(index, params);
+  const LocalModel scor_model = BuildScorModel(index, local, params, 0);
+  const LocalModel km_model =
+      BuildKMeansModel(index, local, params, {}, 0);
+  EXPECT_EQ(scor_model.representatives.size(),
+            km_model.representatives.size());
+}
+
+TEST(KMeansModelTest, CentroidsLieInsideTheClusterRegion) {
+  const SyntheticDataset synth = MakeBlobs(500, 3, 0.0, 1.0, 1.5, 35);
+  const DbscanParams params{1.2, 5};
+  const LinearScanIndex index(synth.data, Euclidean());
+  const LocalClustering local = RunLocalDbscan(index, params);
+  const LocalModel model = BuildKMeansModel(index, local, params, {}, 0);
+  // Every centroid is within the bounding box of its cluster's members.
+  for (const Representative& rep : model.representatives) {
+    BoundingBox box(2);
+    for (PointId p = 0; p < static_cast<PointId>(synth.data.size()); ++p) {
+      if (local.clustering.labels[p] == rep.local_cluster) {
+        box.Extend(synth.data.point(p));
+      }
+    }
+    EXPECT_TRUE(box.Contains(rep.center));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Model condensation (extension).
+
+class CondenseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CondenseTest, CoverageIsPreservedAndModelShrinks) {
+  const SyntheticDataset synth = MakeBlobs(800, 4, 0.1, 1.0, 2.0, 41);
+  const DbscanParams params{1.2, 5};
+  const LinearScanIndex index(synth.data, Euclidean());
+  const LocalClustering local = RunLocalDbscan(index, params);
+  const LocalModel model = BuildScorModel(index, local, params, 0);
+  const double condense_eps = GetParam();
+  const LocalModel condensed =
+      CondenseLocalModel(model, condense_eps, Euclidean());
+  EXPECT_LE(condensed.representatives.size(), model.representatives.size());
+  // Specific core points are pairwise > Eps apart, so only a condensation
+  // radius beyond Eps can actually merge anything.
+  if (condense_eps > params.eps) {
+    EXPECT_LT(condensed.representatives.size(),
+              model.representatives.size());
+  }
+  // Coverage guarantee: every cluster member covered before stays
+  // covered, by a representative of the same cluster.
+  for (PointId p = 0; p < static_cast<PointId>(synth.data.size()); ++p) {
+    const ClusterId c = local.clustering.labels[p];
+    if (c < 0) continue;
+    bool covered = false;
+    for (const Representative& rep : condensed.representatives) {
+      if (rep.local_cluster != c) continue;
+      if (Euclidean().Distance(synth.data.point(p), rep.center) <=
+          rep.eps_range + 1e-9) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "point " << p << " lost coverage at "
+                         << condense_eps;
+  }
+  // Total weight is conserved.
+  std::uint64_t before = 0, after = 0;
+  for (const Representative& rep : model.representatives) {
+    before += rep.weight;
+  }
+  for (const Representative& rep : condensed.representatives) {
+    after += rep.weight;
+  }
+  EXPECT_EQ(before, after);
+}
+
+INSTANTIATE_TEST_SUITE_P(CondenseEps, CondenseTest,
+                         ::testing::Values(0.6, 1.2, 2.4, 5.0));
+
+TEST(CondenseTest, ZeroEpsIsIdentity) {
+  const SyntheticDataset synth = MakeBlobs(300, 2, 0.0, 1.0, 1.5, 42);
+  const DbscanParams params{1.2, 5};
+  const LinearScanIndex index(synth.data, Euclidean());
+  const LocalClustering local = RunLocalDbscan(index, params);
+  const LocalModel model = BuildScorModel(index, local, params, 0);
+  const LocalModel same = CondenseLocalModel(model, 0.0, Euclidean());
+  EXPECT_EQ(same.representatives.size(), model.representatives.size());
+}
+
+TEST(CondenseTest, NeverMergesAcrossLocalClusters) {
+  LocalModel model;
+  model.dim = 2;
+  model.num_local_clusters = 2;
+  model.representatives = {
+      {{0.0, 0.0}, 1.0, 0, 5},
+      {{0.1, 0.0}, 1.0, 1, 5},  // Different cluster, though adjacent.
+  };
+  const LocalModel condensed =
+      CondenseLocalModel(model, 10.0, Euclidean());
+  EXPECT_EQ(condensed.representatives.size(), 2u);
+}
+
+TEST(LocalModelTest, NoClustersYieldsEmptyModel) {
+  Rng rng(36);
+  const Dataset data = RandomDataset(30, 2, 0.0, 100.0, &rng);
+  const DbscanParams params{0.5, 10};
+  const LinearScanIndex index(data, Euclidean());
+  const LocalClustering local = RunLocalDbscan(index, params);
+  ASSERT_EQ(local.clustering.num_clusters, 0);
+  for (const LocalModelType type :
+       {LocalModelType::kScor, LocalModelType::kKMeans}) {
+    const LocalModel model =
+        BuildLocalModel(type, index, local, params, {}, 3);
+    EXPECT_TRUE(model.representatives.empty());
+    EXPECT_EQ(model.site_id, 3);
+    EXPECT_EQ(model.num_local_clusters, 0);
+  }
+}
+
+TEST(LocalModelTest, ScorWeightsCountCoveredObjects) {
+  // A tight 6-point cluster with one specific core point: its weight is
+  // the number of local objects inside its ε-range.
+  Dataset data(2);
+  for (int i = 0; i < 6; ++i) data.Add(Point{0.1 * i, 0.0});
+  const DbscanParams params{1.0, 4};
+  const LinearScanIndex index(data, Euclidean());
+  const LocalClustering local = RunLocalDbscan(index, params);
+  const LocalModel model = BuildScorModel(index, local, params, 0);
+  ASSERT_EQ(model.representatives.size(), 1u);
+  EXPECT_EQ(model.representatives[0].weight, 6u);
+}
+
+TEST(KMeansModelTest, WeightsSumToClusterSizes) {
+  const SyntheticDataset synth = MakeBlobs(500, 3, 0.1, 1.0, 1.8, 39);
+  const DbscanParams params{1.2, 5};
+  const LinearScanIndex index(synth.data, Euclidean());
+  const LocalClustering local = RunLocalDbscan(index, params);
+  const LocalModel model = BuildKMeansModel(index, local, params, {}, 0);
+  // REP_kMeans weights are exact partition sizes: per cluster they sum
+  // to the cluster cardinality.
+  const std::vector<std::size_t> sizes = local.clustering.ClusterSizes();
+  std::vector<std::uint64_t> weight_sum(sizes.size(), 0);
+  for (const Representative& rep : model.representatives) {
+    ASSERT_GE(rep.local_cluster, 0);
+    weight_sum[rep.local_cluster] += rep.weight;
+  }
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    EXPECT_EQ(weight_sum[c], sizes[c]) << "cluster " << c;
+  }
+}
+
+TEST(LocalModelTest, RepresentativesAreAFractionOfTheData) {
+  // The transmission saving the paper reports (Fig. 10: ~16-17% of the
+  // data become representatives).
+  const SyntheticDataset synth = MakeTestDatasetA(37);
+  const auto index = CreateIndex(IndexType::kGrid, synth.data, Euclidean(),
+                                 synth.suggested_params.eps);
+  const LocalClustering local =
+      RunLocalDbscan(*index, synth.suggested_params);
+  const LocalModel model =
+      BuildScorModel(*index, local, synth.suggested_params, 0);
+  EXPECT_GT(model.representatives.size(), 0u);
+  EXPECT_LT(model.representatives.size(), synth.data.size() / 2);
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/optics_global.h"
+
+namespace dbdc {
+namespace {
+
+LocalModel MakeModel(int site, std::vector<Representative> reps) {
+  LocalModel model;
+  model.site_id = site;
+  model.dim = reps.empty() ? 0 : static_cast<int>(reps[0].center.size());
+  model.representatives = std::move(reps);
+  model.num_local_clusters = 1;
+  return model;
+}
+
+Representative Rep(double x, double y, double eps) {
+  return Representative{{x, y}, eps, 0};
+}
+
+TEST(OpticsGlobalTest, ExtractionsMatchDbscanGlobalModels) {
+  // The Fig. 4 chain: reps 1.8 apart merge at eps_global 2.0 but not 1.0.
+  const std::vector<LocalModel> locals = {
+      MakeModel(0, {Rep(0.0, 0.0, 2.0), Rep(1.8, 0.0, 2.0)}),
+      MakeModel(1, {Rep(3.6, 0.0, 2.0)}),
+      MakeModel(2, {Rep(5.4, 0.0, 2.0)}),
+  };
+  const OpticsGlobalModelBuilder builder(locals, Euclidean());
+  EXPECT_DOUBLE_EQ(builder.default_eps_global(), 2.0);
+  EXPECT_EQ(builder.num_representatives(), 4u);
+
+  for (const double eps_global : {1.0, 1.9, 2.5, 4.0}) {
+    const GlobalModel from_optics = builder.Extract(eps_global);
+    GlobalModelParams params;
+    params.eps_global = eps_global;
+    const GlobalModel from_dbscan =
+        BuildGlobalModel(locals, Euclidean(), params);
+    EXPECT_EQ(from_optics.num_global_clusters,
+              from_dbscan.num_global_clusters)
+        << "eps_global=" << eps_global;
+  }
+}
+
+TEST(OpticsGlobalTest, SingleOrderingServesManyEpsValues) {
+  // A two-scale configuration: pairs merge at small eps, everything at
+  // large eps — one OPTICS run must expose all three regimes.
+  const std::vector<LocalModel> locals = {
+      MakeModel(0, {Rep(0.0, 0.0, 1.0), Rep(0.8, 0.0, 1.0)}),
+      MakeModel(1, {Rep(10.0, 0.0, 1.0), Rep(10.8, 0.0, 1.0)}),
+  };
+  const OpticsGlobalModelBuilder builder(locals, Euclidean(),
+                                         /*max_eps_global=*/20.0);
+  EXPECT_EQ(builder.Extract(0.5).num_global_clusters, 4);   // No merges.
+  EXPECT_EQ(builder.Extract(1.0).num_global_clusters, 2);   // Pairs.
+  EXPECT_EQ(builder.Extract(15.0).num_global_clusters, 1);  // All.
+}
+
+TEST(OpticsGlobalTest, UnmergedRepsBecomeSingletons) {
+  const std::vector<LocalModel> locals = {
+      MakeModel(0, {Rep(0.0, 0.0, 1.0)}),
+      MakeModel(1, {Rep(100.0, 0.0, 1.0)}),
+  };
+  const OpticsGlobalModelBuilder builder(locals, Euclidean(), 5.0);
+  const GlobalModel global = builder.Extract(2.0);
+  EXPECT_EQ(global.num_global_clusters, 2);
+  EXPECT_NE(global.rep_global_cluster[0], global.rep_global_cluster[1]);
+}
+
+TEST(OpticsGlobalTest, EmptyLocalsYieldEmptyBuilder) {
+  const std::vector<LocalModel> locals;
+  const OpticsGlobalModelBuilder builder(locals, Euclidean());
+  EXPECT_EQ(builder.num_representatives(), 0u);
+  const GlobalModel global = builder.Extract(1.0);
+  EXPECT_EQ(global.num_global_clusters, 0);
+}
+
+TEST(OpticsGlobalTest, OriginBookkeepingPreserved) {
+  const std::vector<LocalModel> locals = {
+      MakeModel(3, {Rep(0.0, 0.0, 1.5)}),
+      MakeModel(7, {Rep(1.0, 0.0, 1.2)}),
+  };
+  const OpticsGlobalModelBuilder builder(locals, Euclidean(), 4.0);
+  const GlobalModel global = builder.Extract(2.0);
+  EXPECT_EQ(global.rep_site, (std::vector<int>{3, 7}));
+  EXPECT_DOUBLE_EQ(global.rep_eps[0], 1.5);
+  EXPECT_DOUBLE_EQ(global.rep_eps[1], 1.2);
+  EXPECT_EQ(global.num_global_clusters, 1);
+}
+
+}  // namespace
+}  // namespace dbdc

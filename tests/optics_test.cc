@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/optics.h"
+#include "data/generators.h"
+#include "index/linear_scan_index.h"
+#include "test_util.h"
+
+namespace dbdc {
+namespace {
+
+TEST(OpticsTest, OrderingCoversEveryPointExactlyOnce) {
+  Rng rng(1);
+  const Dataset data = RandomDataset(200, 2, 0.0, 10.0, &rng);
+  const LinearScanIndex index(data, Euclidean());
+  const OpticsResult result = RunOptics(index, {1.0, 5});
+  ASSERT_EQ(result.ordering.size(), data.size());
+  std::set<PointId> seen(result.ordering.begin(), result.ordering.end());
+  EXPECT_EQ(seen.size(), data.size());
+}
+
+TEST(OpticsTest, CoreDistanceIsDistanceToMinPtsThNeighbor) {
+  // Collinear points at 0, 1, 2, 3: with eps=2.5 and min_pts=2 the core
+  // distance of the point at 0 is the distance to its 2nd-nearest
+  // neighbor *including itself* -> its 1st other neighbor at distance 1.
+  Dataset data(1);
+  for (int i = 0; i < 4; ++i) data.Add(Point{static_cast<double>(i)});
+  const LinearScanIndex index(data, Euclidean());
+  const OpticsResult result = RunOptics(index, {2.5, 2});
+  EXPECT_DOUBLE_EQ(result.core_distance[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.core_distance[1], 1.0);
+}
+
+TEST(OpticsTest, IsolatedPointHasUndefinedCoreDistance) {
+  Dataset data(2);
+  data.Add(Point{0.0, 0.0});
+  data.Add(Point{0.1, 0.0});
+  data.Add(Point{0.2, 0.0});
+  data.Add(Point{50.0, 50.0});
+  const LinearScanIndex index(data, Euclidean());
+  const OpticsResult result = RunOptics(index, {1.0, 3});
+  EXPECT_EQ(result.core_distance[3], OpticsResult::kUndefined);
+  EXPECT_EQ(result.reachability[3], OpticsResult::kUndefined);
+}
+
+TEST(OpticsTest, ReachabilityWithinClusterStaysSmall) {
+  Dataset data(2);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    data.Add(Point{rng.Gaussian(0.0, 0.4), rng.Gaussian(0.0, 0.4)});
+  }
+  for (int i = 0; i < 100; ++i) {
+    data.Add(Point{rng.Gaussian(30.0, 0.4), rng.Gaussian(30.0, 0.4)});
+  }
+  const LinearScanIndex index(data, Euclidean());
+  const OpticsResult result = RunOptics(index, {50.0, 5});
+  // Exactly one big reachability jump in the ordering: the switch from the
+  // first cluster to the second.
+  int jumps = 0;
+  for (std::size_t i = 1; i < result.ordering.size(); ++i) {
+    const double r = result.reachability[result.ordering[i]];
+    if (r > 10.0) ++jumps;
+  }
+  EXPECT_EQ(jumps, 1);
+}
+
+// The headline OPTICS property the paper leans on for the global model:
+// one run supports extraction at any eps' <= eps, and each extraction is
+// DBSCAN-equivalent.
+class OpticsExtractionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OpticsExtractionTest, ExtractionMatchesDirectDbscan) {
+  const SyntheticDataset synth = MakeTestDatasetC(21);
+  const int min_pts = synth.suggested_params.min_pts;
+  const LinearScanIndex index(synth.data, Euclidean());
+  const OpticsResult optics = RunOptics(index, {8.0, min_pts});
+  const double eps_prime = GetParam();
+  const Clustering extracted = ExtractDbscanClustering(optics, eps_prime);
+  const Clustering direct = RunDbscan(index, {eps_prime, min_pts});
+  ExpectDbscanEquivalent(synth.data, Euclidean(), {eps_prime, min_pts},
+                         direct, extracted, BorderPolicy::kOpticsRelaxed);
+}
+
+INSTANTIATE_TEST_SUITE_P(EpsSweep, OpticsExtractionTest,
+                         ::testing::Values(0.8, 1.5, 2.5, 4.0, 7.9));
+
+TEST(OpticsTest, ExtractionAtGeneratingEpsMatchesDbscanOnNoisyData) {
+  const SyntheticDataset synth = MakeTestDatasetB(22);
+  const DbscanParams params = synth.suggested_params;
+  const LinearScanIndex index(synth.data, Euclidean());
+  const OpticsResult optics = RunOptics(index, {params.eps, params.min_pts});
+  const Clustering extracted = ExtractDbscanClustering(optics, params.eps);
+  const Clustering direct = RunDbscan(index, params);
+  ExpectDbscanEquivalent(synth.data, Euclidean(), params, direct, extracted,
+                         BorderPolicy::kOpticsRelaxed);
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/param_estimation.h"
+#include "data/generators.h"
+#include "index/index_factory.h"
+#include "index/linear_scan_index.h"
+#include "test_util.h"
+
+namespace dbdc {
+namespace {
+
+TEST(SortedKDistancesTest, DescendingAndSizedLikeTheData) {
+  Rng rng(1);
+  const Dataset data = RandomDataset(200, 2, 0.0, 10.0, &rng);
+  const LinearScanIndex index(data, Euclidean());
+  const std::vector<double> kdist = SortedKDistances(index, 4);
+  ASSERT_EQ(kdist.size(), data.size());
+  EXPECT_TRUE(std::is_sorted(kdist.begin(), kdist.end(), std::greater<>()));
+}
+
+TEST(SortedKDistancesTest, ExactValuesOnALine) {
+  // Points at 0, 1, 2, 3: 1-dist (nearest other point) is 1 for all.
+  Dataset data(1);
+  for (int i = 0; i < 4; ++i) data.Add(Point{static_cast<double>(i)});
+  const LinearScanIndex index(data, Euclidean());
+  const std::vector<double> d1 = SortedKDistances(index, 1);
+  for (const double d : d1) EXPECT_DOUBLE_EQ(d, 1.0);
+  // 2-dist: endpoints see {1,2} -> 2; middle points see {1,1} -> 1.
+  const std::vector<double> d2 = SortedKDistances(index, 2);
+  EXPECT_DOUBLE_EQ(d2[0], 2.0);
+  EXPECT_DOUBLE_EQ(d2[1], 2.0);
+  EXPECT_DOUBLE_EQ(d2[2], 1.0);
+  EXPECT_DOUBLE_EQ(d2[3], 1.0);
+}
+
+TEST(SuggestEpsTest, SeparatesClusterScaleFromNoiseScale) {
+  // Dense blobs (within-cluster k-dist ~0.2) plus sparse noise
+  // (k-dist >> 1): the knee must land between the two scales.
+  Dataset data(2);
+  Rng rng(2);
+  std::vector<ClusterId> unused;
+  AppendBlob({{10.0, 10.0}, 0.4, 300}, 0, &rng, &data, &unused);
+  AppendBlob({{30.0, 30.0}, 0.4, 300}, 1, &rng, &data, &unused);
+  AppendUniformNoise(60, 0.0, 40.0, &rng, &data, &unused);
+  const LinearScanIndex index(data, Euclidean());
+  const double eps = SuggestEps(index, 5);
+  EXPECT_GT(eps, 0.05);
+  EXPECT_LT(eps, 3.0);
+  // The suggested eps must make DBSCAN recover the two blobs.
+  const Clustering result = RunDbscan(index, {eps, 5});
+  EXPECT_GE(result.num_clusters, 2);
+  EXPECT_LE(result.num_clusters, 6);
+}
+
+TEST(SuggestEpsTest, WorksOnThePaperDatasets) {
+  for (int idx = 0; idx < 3; ++idx) {
+    const SyntheticDataset synth = idx == 0   ? MakeTestDatasetA(3)
+                                   : idx == 1 ? MakeTestDatasetB(3)
+                                              : MakeTestDatasetC(3);
+    const auto index = CreateIndex(IndexType::kKdTree, synth.data,
+                                   Euclidean(), 1.0);
+    const double eps = SuggestEps(*index, synth.suggested_params.min_pts);
+    ASSERT_GT(eps, 0.0) << synth.name;
+    // Within a factor ~3 of the hand-calibrated value.
+    EXPECT_GT(eps, synth.suggested_params.eps / 3.0) << synth.name;
+    EXPECT_LT(eps, synth.suggested_params.eps * 3.0) << synth.name;
+  }
+}
+
+TEST(SuggestEpsTest, TinyDatasetsReturnZero) {
+  Dataset data(2);
+  data.Add(Point{0.0, 0.0});
+  data.Add(Point{1.0, 1.0});
+  const LinearScanIndex index(data, Euclidean());
+  EXPECT_DOUBLE_EQ(SuggestEps(index, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -1,0 +1,78 @@
+// Invariants of the DBDC message protocol: exactly one uplink per site,
+// one broadcast per site, every payload decodable, and the server's
+// global model accounts for every transmitted representative.
+
+#include <gtest/gtest.h>
+
+#include "core/dbdc.h"
+#include "baseline/parallel_dbscan.h"
+#include "core/model_codec.h"
+#include "data/generators.h"
+
+namespace dbdc {
+namespace {
+
+class ProtocolInvariantsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtocolInvariantsTest, MessageStructureAndAccounting) {
+  const int sites = GetParam();
+  const SyntheticDataset synth = MakeTestDatasetC(31);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.num_sites = sites;
+  SimulatedNetwork network;
+  const DbdcResult result =
+      RunDbdc(synth.data, Euclidean(), config, &network);
+
+  // One uplink message per site, one broadcast per site.
+  EXPECT_EQ(network.Inbox(kServerEndpoint).size(),
+            static_cast<std::size_t>(sites));
+  std::size_t total_local_reps = 0;
+  for (const NetworkMessage* msg : network.Inbox(kServerEndpoint)) {
+    const auto model = DecodeLocalModel(msg->payload);
+    ASSERT_TRUE(model.has_value());
+    EXPECT_GE(model->site_id, 0);
+    EXPECT_LT(model->site_id, sites);
+    total_local_reps += model->representatives.size();
+  }
+  for (int s = 0; s < sites; ++s) {
+    const auto inbox = network.Inbox(s);
+    ASSERT_EQ(inbox.size(), 1u) << "site " << s;
+    const auto global = DecodeGlobalModel(inbox[0]->payload);
+    ASSERT_TRUE(global.has_value());
+    // The broadcast model carries every transmitted representative.
+    EXPECT_EQ(global->NumRepresentatives(), total_local_reps);
+  }
+  EXPECT_EQ(result.num_representatives, total_local_reps);
+  EXPECT_EQ(result.global_model.NumRepresentatives(), total_local_reps);
+
+  // Byte accounting matches the recorded messages exactly.
+  EXPECT_EQ(result.bytes_uplink, network.BytesUplink());
+  EXPECT_EQ(result.bytes_downlink, network.BytesDownlink());
+  EXPECT_EQ(network.BytesTotal(),
+            network.BytesUplink() + network.BytesDownlink());
+
+  // Global cluster ids referenced by labels exist in the model.
+  for (const ClusterId label : result.labels) {
+    EXPECT_GE(label, kNoise);
+    EXPECT_LT(label, result.num_global_clusters);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SiteCounts, ProtocolInvariantsTest,
+                         ::testing::Values(1, 3, 6));
+
+TEST(ProtocolInvariantsTest, SingleWorkerParallelDbscanHasNoHalo) {
+  // With one worker there is no boundary, hence no replication cost.
+  const SyntheticDataset synth = MakeTestDatasetC(32);
+  ParallelDbscanConfig config;
+  config.dbscan = synth.suggested_params;
+  config.num_workers = 1;
+  const ParallelDbscanResult result =
+      RunParallelDbscan(synth.data, Euclidean(), config);
+  EXPECT_EQ(result.total_halo_points, 0u);
+  EXPECT_EQ(result.bytes_halo, 0u);
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -1,0 +1,121 @@
+// Cross-checks the evaluation measures against independent brute-force
+// reimplementations on randomized labelings.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/external_indices.h"
+#include "eval/quality.h"
+
+namespace dbdc {
+namespace {
+
+using Labels = std::vector<ClusterId>;
+
+Labels RandomLabels(std::size_t n, int max_cluster, Rng* rng) {
+  Labels labels(n);
+  for (auto& label : labels) {
+    label = static_cast<ClusterId>(rng->UniformInt(-1, max_cluster));
+  }
+  return labels;
+}
+
+/// O(n^2) per-object P^II straight from Def. 11.
+double BruteForceP2(const Labels& distr, const Labels& central) {
+  const std::size_t n = distr.size();
+  if (n == 0) return 1.0;
+  double total = 0.0;
+  for (std::size_t x = 0; x < n; ++x) {
+    if (distr[x] < 0 && central[x] < 0) {
+      total += 1.0;
+    } else if (distr[x] >= 0 && central[x] >= 0) {
+      std::size_t inter = 0, uni = 0;
+      for (std::size_t y = 0; y < n; ++y) {
+        const bool in_d = distr[y] == distr[x] && distr[y] >= 0;
+        const bool in_c = central[y] == central[x] && central[y] >= 0;
+        if (in_d && in_c) ++inter;
+        if (in_d || in_c) ++uni;
+      }
+      total += static_cast<double>(inter) / static_cast<double>(uni);
+    }
+  }
+  return total / static_cast<double>(n);
+}
+
+/// O(n^2) P^I from Def. 10.
+double BruteForceP1(const Labels& distr, const Labels& central, int qp) {
+  const std::size_t n = distr.size();
+  if (n == 0) return 1.0;
+  double total = 0.0;
+  for (std::size_t x = 0; x < n; ++x) {
+    if (distr[x] < 0 && central[x] < 0) {
+      total += 1.0;
+    } else if (distr[x] >= 0 && central[x] >= 0) {
+      int inter = 0;
+      for (std::size_t y = 0; y < n; ++y) {
+        if (distr[y] == distr[x] && central[y] == central[x]) ++inter;
+      }
+      if (inter >= qp) total += 1.0;
+    }
+  }
+  return total / static_cast<double>(n);
+}
+
+/// O(n^2) Rand index with noise-as-singletons.
+double BruteForceRand(const Labels& a, const Labels& b) {
+  const std::size_t n = a.size();
+  auto together = [](const Labels& l, std::size_t i, std::size_t j) {
+    return l[i] >= 0 && l[i] == l[j];  // Noise is never together.
+  };
+  std::size_t agree = 0, pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      ++pairs;
+      if (together(a, i, j) == together(b, i, j)) ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(pairs);
+}
+
+class BruteForceCrossCheckTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BruteForceCrossCheckTest, P1AndP2MatchTheDefinitions) {
+  Rng rng(GetParam());
+  const Labels distr = RandomLabels(150, 4, &rng);
+  const Labels central = RandomLabels(150, 3, &rng);
+  EXPECT_NEAR(QualityP2(distr, central), BruteForceP2(distr, central),
+              1e-12);
+  for (const int qp : {1, 2, 5}) {
+    EXPECT_NEAR(QualityP1(distr, central, qp),
+                BruteForceP1(distr, central, qp), 1e-12)
+        << "qp=" << qp;
+  }
+}
+
+TEST_P(BruteForceCrossCheckTest, RandIndexMatchesPairCounting) {
+  Rng rng(GetParam() + 17);
+  const Labels a = RandomLabels(120, 3, &rng);
+  const Labels b = RandomLabels(120, 4, &rng);
+  EXPECT_NEAR(RandIndex(a, b), BruteForceRand(a, b), 1e-12);
+}
+
+TEST_P(BruteForceCrossCheckTest, NmiSymmetricAndBounded) {
+  Rng rng(GetParam() + 29);
+  const Labels a = RandomLabels(200, 5, &rng);
+  const Labels b = RandomLabels(200, 2, &rng);
+  const double ab = NormalizedMutualInformation(a, b);
+  const double ba = NormalizedMutualInformation(b, a);
+  EXPECT_NEAR(ab, ba, 1e-12);
+  EXPECT_GE(ab, -1e-12);
+  EXPECT_LE(ab, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForceCrossCheckTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace dbdc

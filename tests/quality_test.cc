@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/quality.h"
+
+namespace dbdc {
+namespace {
+
+using Labels = std::vector<ClusterId>;
+
+TEST(QualityTest, IdenticalClusteringsScoreOneUnderBothCriteria) {
+  const Labels labels = {0, 0, 0, 1, 1, 1, kNoise, kNoise, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(QualityP1(labels, labels, 3), 1.0);
+  EXPECT_DOUBLE_EQ(QualityP2(labels, labels), 1.0);
+}
+
+TEST(QualityTest, LabelValuesDoNotMatterOnlyCoMembership) {
+  const Labels a = {0, 0, 1, 1, kNoise};
+  const Labels b = {7, 7, 3, 3, kNoise};
+  EXPECT_DOUBLE_EQ(QualityP1(a, b, 2), 1.0);
+  EXPECT_DOUBLE_EQ(QualityP2(a, b), 1.0);
+}
+
+TEST(QualityTest, NoiseDisagreementScoresZeroForThatObject) {
+  //            x0 x1 x2 x3
+  const Labels distr = {0, 0, 0, kNoise};
+  const Labels central = {0, 0, 0, 0};
+  // x3: noise in distributed, clustered centrally -> 0.
+  const auto p2 = ObjectQualityP2(distr, central);
+  EXPECT_DOUBLE_EQ(p2[3], 0.0);
+  // x0..x2: |Cd ∩ Cc| = 3, |Cd ∪ Cc| = 4 -> 0.75.
+  EXPECT_DOUBLE_EQ(p2[0], 0.75);
+  EXPECT_DOUBLE_EQ(QualityP2(distr, central), (3 * 0.75 + 0.0) / 4.0);
+}
+
+TEST(QualityTest, P1UsesTheQualityParameterThreshold) {
+  // Two clusters overlapping in exactly 2 objects.
+  const Labels distr = {0, 0, 0, 1, 1};
+  const Labels central = {0, 0, 1, 1, 1};
+  // x0,x1: inter(d0,c0)=2. x2: inter(d0,c1)=1. x3,x4: inter(d1,c1)=2.
+  EXPECT_DOUBLE_EQ(QualityP1(distr, central, 2), 4.0 / 5.0);
+  EXPECT_DOUBLE_EQ(QualityP1(distr, central, 3), 0.0);
+  EXPECT_DOUBLE_EQ(QualityP1(distr, central, 1), 1.0);
+}
+
+TEST(QualityTest, P2IsFinerThanP1) {
+  // A distributed clustering that splits one central cluster in half:
+  // P^I (qp=2) still says "perfect", P^II penalizes the split. This is
+  // the paper's Sec. 9 argument for preferring P^II.
+  const Labels central = {0, 0, 0, 0};
+  const Labels split = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(QualityP1(split, central, 2), 1.0);
+  // Each object: inter=2, union=4 -> 0.5.
+  EXPECT_DOUBLE_EQ(QualityP2(split, central), 0.5);
+}
+
+TEST(QualityTest, BothNoiseScoresOne) {
+  const Labels a = {kNoise, kNoise};
+  const Labels b = {kNoise, kNoise};
+  EXPECT_DOUBLE_EQ(QualityP1(a, b, 2), 1.0);
+  EXPECT_DOUBLE_EQ(QualityP2(a, b), 1.0);
+}
+
+TEST(QualityTest, CompletelyWrongClusteringScoresLow) {
+  // Distributed says everything is noise; central has one cluster.
+  const Labels distr(10, kNoise);
+  Labels central(10, 0);
+  EXPECT_DOUBLE_EQ(QualityP1(distr, central, 2), 0.0);
+  EXPECT_DOUBLE_EQ(QualityP2(distr, central), 0.0);
+}
+
+TEST(QualityTest, MergeOfTwoCentralClustersPenalizedByP2Only) {
+  // Distributed merges two central clusters of size 3 each.
+  const Labels central = {0, 0, 0, 1, 1, 1};
+  const Labels merged = {5, 5, 5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(QualityP1(merged, central, 3), 1.0);
+  // Every object: inter=3, union=6 -> 0.5.
+  EXPECT_DOUBLE_EQ(QualityP2(merged, central), 0.5);
+}
+
+TEST(QualityTest, PerObjectVectorsHaveInputLength) {
+  const Labels a = {0, kNoise, 1};
+  const Labels b = {0, 0, 1};
+  EXPECT_EQ(ObjectQualityP1(a, b, 1).size(), 3u);
+  EXPECT_EQ(ObjectQualityP2(a, b).size(), 3u);
+}
+
+TEST(QualityTest, P2SymmetricInItsArguments) {
+  const Labels a = {0, 0, 1, 1, kNoise, 2};
+  const Labels b = {0, 1, 1, 1, 2, kNoise};
+  EXPECT_DOUBLE_EQ(QualityP2(a, b), QualityP2(b, a));
+}
+
+TEST(QualityTest, EmptyInputIsTriviallyPerfect) {
+  const Labels empty;
+  EXPECT_DOUBLE_EQ(QualityP1(empty, empty, 2), 1.0);
+  EXPECT_DOUBLE_EQ(QualityP2(empty, empty), 1.0);
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/global_model.h"
+#include "core/relabel.h"
+
+namespace dbdc {
+namespace {
+
+/// Builds a GlobalModel directly from (center, eps, global cluster)
+/// triples.
+GlobalModel MakeGlobal(
+    const std::vector<std::tuple<Point, double, ClusterId>>& reps) {
+  GlobalModel global;
+  DBDC_CHECK(!reps.empty());
+  global.rep_points = Dataset(static_cast<int>(std::get<0>(reps[0]).size()));
+  ClusterId max_cluster = -1;
+  for (const auto& [center, eps, cluster] : reps) {
+    global.rep_points.Add(center);
+    global.rep_eps.push_back(eps);
+    global.rep_global_cluster.push_back(cluster);
+    global.rep_site.push_back(0);
+    global.rep_local_cluster.push_back(0);
+    max_cluster = std::max(max_cluster, cluster);
+  }
+  global.num_global_clusters = max_cluster + 1;
+  global.eps_global_used = 1.0;
+  return global;
+}
+
+TEST(RelabelTest, FigureFiveScenario) {
+  // Fig. 5: local representatives R1, R2 (each their own local cluster)
+  // and R3 from another site all belong to global cluster 0. Local noise
+  // A, B fall inside the ε-neighborhood of R3 and get absorbed; C stays
+  // noise.
+  const GlobalModel global = MakeGlobal({
+      {{0.0, 0.0}, 1.5, 0},   // R1
+      {{3.0, 0.0}, 1.5, 0},   // R2
+      {{6.0, 0.0}, 2.5, 0},   // R3 (remote site, big ε-range).
+  });
+  Dataset site(2);
+  site.Add(Point{0.5, 0.0});   // Member of former local cluster 1.
+  site.Add(Point{3.2, 0.0});   // Member of former local cluster 2.
+  site.Add(Point{5.0, 0.0});   // A: former noise, within ε_R3 (dist 1.0).
+  site.Add(Point{7.5, 0.5});   // B: former noise, within ε_R3.
+  site.Add(Point{9.5, 0.0});   // C: outside every ε-range -> stays noise.
+  const std::vector<ClusterId> labels =
+      RelabelSite(site, global, Euclidean());
+  EXPECT_EQ(labels[0], 0);  // Former cluster 1 merged into global 0.
+  EXPECT_EQ(labels[1], 0);  // Former cluster 2 merged into global 0.
+  EXPECT_EQ(labels[2], 0);  // A absorbed.
+  EXPECT_EQ(labels[3], 0);  // B absorbed.
+  EXPECT_EQ(labels[4], kNoise);  // C remains noise.
+}
+
+TEST(RelabelTest, NearestCoveringRepresentativeWins) {
+  const GlobalModel global = MakeGlobal({
+      {{0.0, 0.0}, 2.0, 0},
+      {{3.0, 0.0}, 2.0, 1},
+  });
+  Dataset site(2);
+  site.Add(Point{1.2, 0.0});  // Covered by both; nearer to rep 0.
+  site.Add(Point{1.8, 0.0});  // Covered by both; nearer to rep 1.
+  const std::vector<ClusterId> labels =
+      RelabelSite(site, global, Euclidean());
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 1);
+}
+
+TEST(RelabelTest, RespectsPerRepresentativeRanges) {
+  // Two reps with very different ε-ranges: coverage is per-rep, not
+  // uniform.
+  const GlobalModel global = MakeGlobal({
+      {{0.0, 0.0}, 0.5, 0},
+      {{10.0, 0.0}, 4.0, 1},
+  });
+  Dataset site(2);
+  site.Add(Point{0.8, 0.0});   // 0.8 > 0.5: NOT covered by rep 0.
+  site.Add(Point{13.5, 0.0});  // 3.5 <= 4.0: covered by rep 1.
+  const std::vector<ClusterId> labels =
+      RelabelSite(site, global, Euclidean());
+  EXPECT_EQ(labels[0], kNoise);
+  EXPECT_EQ(labels[1], 1);
+}
+
+TEST(RelabelTest, BoundaryIsInclusive) {
+  const GlobalModel global = MakeGlobal({{{0.0, 0.0}, 1.0, 0}});
+  Dataset site(2);
+  site.Add(Point{1.0, 0.0});  // Exactly ε_r away.
+  const std::vector<ClusterId> labels =
+      RelabelSite(site, global, Euclidean());
+  EXPECT_EQ(labels[0], 0);
+}
+
+TEST(RelabelTest, EmptySiteAndEmptyModel) {
+  const GlobalModel global = MakeGlobal({{{0.0, 0.0}, 1.0, 0}});
+  Dataset empty_site(2);
+  EXPECT_TRUE(RelabelSite(empty_site, global, Euclidean()).empty());
+
+  GlobalModel empty_model;
+  Dataset site(2);
+  site.Add(Point{1.0, 2.0});
+  const std::vector<ClusterId> labels =
+      RelabelSite(site, empty_model, Euclidean());
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0], kNoise);
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -1,0 +1,273 @@
+// Failure-injection and edge-case suite: corrupt payloads, degenerate
+// datasets, extreme configurations. Nothing here may crash; recoverable
+// failures must surface as nullopt/false.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dbdc.h"
+#include "core/model_codec.h"
+#include "data/generators.h"
+#include "eval/quality.h"
+#include "index/index_factory.h"
+#include "test_util.h"
+
+namespace dbdc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Codec fuzzing.
+
+class CodecFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzzTest, RandomByteFlipsNeverCrashTheDecoder) {
+  LocalModel model;
+  model.site_id = 1;
+  model.dim = 2;
+  model.num_local_clusters = 3;
+  for (int i = 0; i < 20; ++i) {
+    model.representatives.push_back(
+        {{static_cast<double>(i), -static_cast<double>(i)}, 1.0 + i,
+         static_cast<ClusterId>(i % 3)});
+  }
+  const std::vector<std::uint8_t> clean = EncodeLocalModel(model);
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> bytes = clean;
+    const int flips = 1 + static_cast<int>(rng.UniformInt(0, 4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.UniformInt(0, bytes.size() - 1);
+      bytes[pos] ^= static_cast<std::uint8_t>(rng.UniformInt(1, 255));
+    }
+    // Must not crash; if it decodes, the structure must be coherent.
+    const auto decoded = DecodeLocalModel(bytes);
+    if (decoded.has_value()) {
+      EXPECT_GE(decoded->dim, 1);
+      for (const Representative& rep : decoded->representatives) {
+        EXPECT_EQ(static_cast<int>(rep.center.size()), decoded->dim);
+      }
+    }
+  }
+}
+
+TEST_P(CodecFuzzTest, RandomGarbageIsRejected) {
+  Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.UniformInt(0, 200));
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.UniformInt(0, 255));
+    }
+    // Garbage essentially never carries the magic; decoding must simply
+    // return nullopt or a coherent value, never crash.
+    (void)DecodeLocalModel(bytes);
+    (void)DecodeGlobalModel(bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzTest, ::testing::Values(1u, 2u));
+
+TEST(CodecFuzzTest, TruncationSweepOnGlobalModel) {
+  GlobalModel model;
+  model.rep_points = Dataset(3);
+  for (int i = 0; i < 10; ++i) {
+    model.rep_points.Add(Point{1.0 * i, 2.0 * i, 3.0 * i});
+    model.rep_eps.push_back(1.0);
+    model.rep_global_cluster.push_back(i % 2);
+    model.rep_site.push_back(i);
+    model.rep_local_cluster.push_back(0);
+  }
+  model.num_global_clusters = 2;
+  model.eps_global_used = 1.0;
+  const std::vector<std::uint8_t> bytes = EncodeGlobalModel(model);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeGlobalModel(std::span(bytes.data(), len)).has_value())
+        << "truncation to " << len << " accepted";
+  }
+  EXPECT_TRUE(DecodeGlobalModel(bytes).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate DBDC configurations.
+
+TEST(DbdcEdgeCaseTest, MoreSitesThanPoints) {
+  Dataset data(2);
+  for (int i = 0; i < 5; ++i) {
+    data.Add(Point{static_cast<double>(i), 0.0});
+  }
+  DbdcConfig config;
+  config.local_dbscan = {1.5, 2};
+  config.num_sites = 12;  // Most sites hold nothing.
+  const DbdcResult result = RunDbdc(data, Euclidean(), config);
+  EXPECT_EQ(result.labels.size(), 5u);
+  EXPECT_EQ(result.site_sizes.size(), 12u);
+}
+
+TEST(DbdcEdgeCaseTest, EmptyDataset) {
+  Dataset data(2);
+  DbdcConfig config;
+  config.local_dbscan = {1.0, 3};
+  const DbdcResult result = RunDbdc(data, Euclidean(), config);
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_EQ(result.num_global_clusters, 0);
+  EXPECT_EQ(result.num_representatives, 0u);
+}
+
+TEST(DbdcEdgeCaseTest, AllNoiseDataset) {
+  Rng rng(1);
+  const Dataset data = RandomDataset(100, 2, 0.0, 1000.0, &rng);
+  DbdcConfig config;
+  config.local_dbscan = {0.5, 5};
+  const DbdcResult result = RunDbdc(data, Euclidean(), config);
+  EXPECT_EQ(result.num_global_clusters, 0);
+  for (const ClusterId label : result.labels) EXPECT_EQ(label, kNoise);
+  // Nothing to transmit but the (tiny) empty models.
+  EXPECT_LT(result.bytes_uplink, 200u);
+}
+
+TEST(DbdcEdgeCaseTest, SingleClusterSpanningAllSites) {
+  Dataset data(2);
+  Rng rng(2);
+  for (int i = 0; i < 400; ++i) {
+    data.Add(Point{rng.Gaussian(0.0, 1.0), rng.Gaussian(0.0, 1.0)});
+  }
+  DbdcConfig config;
+  config.local_dbscan = {0.8, 5};
+  config.num_sites = 8;
+  const DbdcResult result = RunDbdc(data, Euclidean(), config);
+  EXPECT_EQ(result.num_global_clusters, 1);
+}
+
+TEST(DbdcEdgeCaseTest, OneDimensionalData) {
+  Dataset data(1);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) data.Add(Point{rng.Gaussian(0.0, 0.5)});
+  for (int i = 0; i < 100; ++i) data.Add(Point{rng.Gaussian(50.0, 0.5)});
+  DbdcConfig config;
+  config.local_dbscan = {0.5, 4};
+  config.num_sites = 3;
+  const DbdcResult result = RunDbdc(data, Euclidean(), config);
+  EXPECT_EQ(result.num_global_clusters, 2);
+}
+
+TEST(DbdcEdgeCaseTest, FiveDimensionalData) {
+  Dataset data(5);
+  Rng rng(4);
+  Point p(5);
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < 150; ++i) {
+      for (int d = 0; d < 5; ++d) p[d] = rng.Gaussian(b * 20.0, 0.8);
+      data.Add(p);
+    }
+  }
+  DbdcConfig config;
+  config.local_dbscan = {3.0, 5};
+  config.num_sites = 3;
+  config.index_type = IndexType::kRStarTreeBulk;
+  const DbdcResult result = RunDbdc(data, Euclidean(), config);
+  EXPECT_EQ(result.num_global_clusters, 3);
+}
+
+TEST(DbdcEdgeCaseTest, ManhattanMetricEndToEnd) {
+  const SyntheticDataset synth = MakeTestDatasetC(5);
+  const DbscanParams params{3.0, 5};
+  const Clustering central = RunCentralDbscan(synth.data, Manhattan(),
+                                              params, IndexType::kGrid);
+  DbdcConfig config;
+  config.local_dbscan = params;
+  config.model_type = LocalModelType::kScor;  // Metric-safe model.
+  config.index_type = IndexType::kMTree;      // Metric-generic index.
+  const DbdcResult result = RunDbdc(synth.data, Manhattan(), config);
+  EXPECT_GT(QualityP2(result.labels, central.labels), 0.9);
+}
+
+TEST(DbdcEdgeCaseTest, ParallelSitesMatchSequentialExactly) {
+  const SyntheticDataset synth = MakeTestDatasetA(6);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.num_sites = 6;
+  const DbdcResult sequential = RunDbdc(synth.data, Euclidean(), config);
+  config.parallel_sites = true;
+  const DbdcResult parallel = RunDbdc(synth.data, Euclidean(), config);
+  EXPECT_EQ(sequential.labels, parallel.labels);
+  EXPECT_EQ(sequential.num_representatives, parallel.num_representatives);
+  EXPECT_EQ(sequential.bytes_uplink, parallel.bytes_uplink);
+}
+
+// ---------------------------------------------------------------------------
+// Quality-measure properties on random labelings.
+
+class QualityPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(QualityPropertyTest, SelfComparisonIsPerfectAndPermutationInvariant) {
+  Rng rng(GetParam());
+  std::vector<ClusterId> labels(300);
+  for (auto& label : labels) {
+    label = static_cast<ClusterId>(rng.UniformInt(-1, 5));
+  }
+  EXPECT_DOUBLE_EQ(QualityP1(labels, labels, 2), 1.0);
+  EXPECT_DOUBLE_EQ(QualityP2(labels, labels), 1.0);
+  // Renaming cluster ids changes nothing.
+  std::vector<ClusterId> renamed(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    renamed[i] = labels[i] < 0 ? kNoise : 100 - labels[i];
+  }
+  EXPECT_DOUBLE_EQ(QualityP2(renamed, labels), 1.0);
+  EXPECT_DOUBLE_EQ(QualityP1(renamed, labels, 3), 1.0);
+}
+
+TEST_P(QualityPropertyTest, BoundedAndP2NeverAboveP1WithQpOne) {
+  Rng rng(GetParam() + 50);
+  std::vector<ClusterId> a(200), b(200);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<ClusterId>(rng.UniformInt(-1, 3));
+    b[i] = static_cast<ClusterId>(rng.UniformInt(-1, 3));
+  }
+  const double p2 = QualityP2(a, b);
+  EXPECT_GE(p2, 0.0);
+  EXPECT_LE(p2, 1.0);
+  // With qp = 1, P^I counts any overlap as perfect, so it dominates the
+  // Jaccard-based P^II.
+  EXPECT_LE(p2, QualityP1(a, b, 1) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QualityPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// ---------------------------------------------------------------------------
+// Index edge cases.
+
+TEST(IndexEdgeCaseTest, ZeroRadiusRangeQueryFindsExactDuplicates) {
+  Dataset data(2);
+  data.Add(Point{1.0, 1.0});
+  data.Add(Point{1.0, 1.0});
+  data.Add(Point{1.0000001, 1.0});
+  for (const IndexType type :
+       {IndexType::kLinearScan, IndexType::kGrid, IndexType::kKdTree,
+        IndexType::kRStarTree, IndexType::kMTree}) {
+    const auto index = CreateIndex(type, data, Euclidean(), 1.0);
+    std::vector<PointId> out;
+    index->RangeQuery(Point{1.0, 1.0}, 0.0, &out);
+    EXPECT_EQ(out.size(), 2u) << IndexTypeName(type);
+  }
+}
+
+TEST(IndexEdgeCaseTest, HugeCoordinates) {
+  Dataset data(2);
+  data.Add(Point{1e12, -1e12});
+  data.Add(Point{1e12 + 1.0, -1e12});
+  data.Add(Point{-1e12, 1e12});
+  for (const IndexType type :
+       {IndexType::kLinearScan, IndexType::kGrid, IndexType::kKdTree,
+        IndexType::kRStarTree, IndexType::kMTree}) {
+    const auto index = CreateIndex(type, data, Euclidean(), 2.0);
+    std::vector<PointId> out;
+    index->RangeQuery(Point{1e12, -1e12}, 1.5, &out);
+    EXPECT_EQ(out.size(), 2u) << IndexTypeName(type);
+  }
+}
+
+}  // namespace
+}  // namespace dbdc

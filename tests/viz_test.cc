@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "cluster/optics.h"
+#include "data/generators.h"
+#include "index/linear_scan_index.h"
+#include "test_util.h"
+#include "viz/render.h"
+
+namespace dbdc {
+namespace {
+
+TEST(AsciiScatterTest, DimensionsAndClusterGlyphs) {
+  Dataset data(2);
+  std::vector<ClusterId> labels;
+  Rng rng(1);
+  AppendBlob({{0.0, 0.0}, 0.5, 50}, 0, &rng, &data, &labels);
+  AppendBlob({{10.0, 10.0}, 0.5, 50}, 1, &rng, &data, &labels);
+  data.Add(Point{5.0, 5.0});
+  labels.push_back(kNoise);
+
+  const std::string plot = AsciiScatter(data, labels, 40, 12);
+  // 12 lines of exactly 40 characters.
+  int lines = 0;
+  std::size_t pos = 0;
+  while (pos < plot.size()) {
+    const std::size_t next = plot.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, 40u);
+    pos = next + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 12);
+  EXPECT_NE(plot.find('a'), std::string::npos);
+  EXPECT_NE(plot.find('b'), std::string::npos);
+  EXPECT_NE(plot.find('.'), std::string::npos);
+}
+
+TEST(AsciiScatterTest, EmptyAndUnlabeled) {
+  Dataset empty(2);
+  EXPECT_NE(AsciiScatter(empty, {}).find("empty"), std::string::npos);
+  Dataset data(2);
+  data.Add(Point{1.0, 1.0});
+  const std::string plot = AsciiScatter(data, {}, 10, 4);
+  EXPECT_NE(plot.find('o'), std::string::npos);
+}
+
+TEST(WriteScatterPpmTest, ProducesAValidP6Header) {
+  const SyntheticDataset synth = MakeTestDatasetC(1);
+  const std::string path = ::testing::TempDir() + "/scatter.ppm";
+  ASSERT_TRUE(WriteScatterPpm(path, synth.data, synth.true_labels, 80, 60));
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open());
+  std::string magic;
+  int width = 0, height = 0, maxval = 0;
+  in >> magic >> width >> height >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(width, 80);
+  EXPECT_EQ(height, 60);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // The single whitespace after the header.
+  std::string pixels((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_EQ(pixels.size(), 80u * 60u * 3u);
+}
+
+TEST(WriteScatterPpmTest, UnwritablePathFails) {
+  Dataset data(2);
+  data.Add(Point{0.0, 0.0});
+  EXPECT_FALSE(
+      WriteScatterPpm("/nonexistent-dir/x.ppm", data, {}, 10, 10));
+}
+
+TEST(AsciiReachabilityPlotTest, ShowsTheClusterValleys) {
+  Dataset data(2);
+  Rng rng(2);
+  std::vector<ClusterId> unused;
+  AppendBlob({{0.0, 0.0}, 0.3, 60}, 0, &rng, &data, &unused);
+  AppendBlob({{30.0, 0.0}, 0.3, 60}, 1, &rng, &data, &unused);
+  const LinearScanIndex index(data, Euclidean());
+  const OpticsResult optics = RunOptics(index, {100.0, 5});
+  const std::string plot = AsciiReachabilityPlot(optics, 60, 10);
+  // 10 bar rows + baseline.
+  EXPECT_EQ(std::count(plot.begin(), plot.end(), '\n'), 11);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  // The bottom row is almost entirely filled (every point has some bar),
+  // while the top row holds only the undefined/jump columns.
+  const std::size_t first_row_hashes =
+      std::count(plot.begin(), plot.begin() + 61, '#');
+  EXPECT_LT(first_row_hashes, 10u);
+}
+
+TEST(AsciiReachabilityPlotTest, EmptyOrdering) {
+  OpticsResult empty;
+  EXPECT_NE(AsciiReachabilityPlot(empty).find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbdc
