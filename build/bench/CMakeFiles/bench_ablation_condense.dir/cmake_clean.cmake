@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_condense.dir/bench_ablation_condense.cc.o"
+  "CMakeFiles/bench_ablation_condense.dir/bench_ablation_condense.cc.o.d"
+  "bench_ablation_condense"
+  "bench_ablation_condense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_condense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_epsdefault.dir/bench_ablation_epsdefault.cc.o"
+  "CMakeFiles/bench_ablation_epsdefault.dir/bench_ablation_epsdefault.cc.o.d"
+  "bench_ablation_epsdefault"
+  "bench_ablation_epsdefault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_epsdefault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_index.cc" "bench/CMakeFiles/bench_ablation_index.dir/bench_ablation_index.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_index.dir/bench_ablation_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbdc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbdc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbdc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbdc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbdc_distrib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbdc_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbdc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbdc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sites_table.dir/bench_fig10_sites_table.cc.o"
+  "CMakeFiles/bench_fig10_sites_table.dir/bench_fig10_sites_table.cc.o.d"
+  "bench_fig10_sites_table"
+  "bench_fig10_sites_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sites_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_datasets.dir/bench_fig6_datasets.cc.o"
+  "CMakeFiles/bench_fig6_datasets.dir/bench_fig6_datasets.cc.o.d"
+  "bench_fig6_datasets"
+  "bench_fig6_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sites.dir/bench_fig8_sites.cc.o"
+  "CMakeFiles/bench_fig8_sites.dir/bench_fig8_sites.cc.o.d"
+  "bench_fig8_sites"
+  "bench_fig8_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_epsglobal.dir/bench_fig9_epsglobal.cc.o"
+  "CMakeFiles/bench_fig9_epsglobal.dir/bench_fig9_epsglobal.cc.o.d"
+  "bench_fig9_epsglobal"
+  "bench_fig9_epsglobal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_epsglobal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

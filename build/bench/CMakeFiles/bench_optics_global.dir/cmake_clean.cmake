@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optics_global.dir/bench_optics_global.cc.o"
+  "CMakeFiles/bench_optics_global.dir/bench_optics_global.cc.o.d"
+  "bench_optics_global"
+  "bench_optics_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optics_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

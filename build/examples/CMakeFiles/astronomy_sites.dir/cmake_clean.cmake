@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astronomy_sites.dir/astronomy_sites.cpp.o"
+  "CMakeFiles/astronomy_sites.dir/astronomy_sites.cpp.o.d"
+  "astronomy_sites"
+  "astronomy_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astronomy_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

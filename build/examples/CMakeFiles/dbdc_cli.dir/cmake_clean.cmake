@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbdc_cli.dir/dbdc_cli.cpp.o"
+  "CMakeFiles/dbdc_cli.dir/dbdc_cli.cpp.o.d"
+  "dbdc_cli"
+  "dbdc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbdc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

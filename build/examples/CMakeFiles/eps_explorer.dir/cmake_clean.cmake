@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eps_explorer.dir/eps_explorer.cpp.o"
+  "CMakeFiles/eps_explorer.dir/eps_explorer.cpp.o.d"
+  "eps_explorer"
+  "eps_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eps_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_chain.dir/retail_chain.cpp.o"
+  "CMakeFiles/retail_chain.dir/retail_chain.cpp.o.d"
+  "retail_chain"
+  "retail_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbdc_baseline.dir/baseline/distributed_kmeans.cc.o"
+  "CMakeFiles/dbdc_baseline.dir/baseline/distributed_kmeans.cc.o.d"
+  "CMakeFiles/dbdc_baseline.dir/baseline/parallel_dbscan.cc.o"
+  "CMakeFiles/dbdc_baseline.dir/baseline/parallel_dbscan.cc.o.d"
+  "libdbdc_baseline.a"
+  "libdbdc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbdc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/dbscan.cc" "src/CMakeFiles/dbdc_cluster.dir/cluster/dbscan.cc.o" "gcc" "src/CMakeFiles/dbdc_cluster.dir/cluster/dbscan.cc.o.d"
+  "/root/repo/src/cluster/incremental_dbscan.cc" "src/CMakeFiles/dbdc_cluster.dir/cluster/incremental_dbscan.cc.o" "gcc" "src/CMakeFiles/dbdc_cluster.dir/cluster/incremental_dbscan.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/dbdc_cluster.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/dbdc_cluster.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/optics.cc" "src/CMakeFiles/dbdc_cluster.dir/cluster/optics.cc.o" "gcc" "src/CMakeFiles/dbdc_cluster.dir/cluster/optics.cc.o.d"
+  "/root/repo/src/cluster/param_estimation.cc" "src/CMakeFiles/dbdc_cluster.dir/cluster/param_estimation.cc.o" "gcc" "src/CMakeFiles/dbdc_cluster.dir/cluster/param_estimation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbdc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

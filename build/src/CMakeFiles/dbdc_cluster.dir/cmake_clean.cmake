@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbdc_cluster.dir/cluster/dbscan.cc.o"
+  "CMakeFiles/dbdc_cluster.dir/cluster/dbscan.cc.o.d"
+  "CMakeFiles/dbdc_cluster.dir/cluster/incremental_dbscan.cc.o"
+  "CMakeFiles/dbdc_cluster.dir/cluster/incremental_dbscan.cc.o.d"
+  "CMakeFiles/dbdc_cluster.dir/cluster/kmeans.cc.o"
+  "CMakeFiles/dbdc_cluster.dir/cluster/kmeans.cc.o.d"
+  "CMakeFiles/dbdc_cluster.dir/cluster/optics.cc.o"
+  "CMakeFiles/dbdc_cluster.dir/cluster/optics.cc.o.d"
+  "CMakeFiles/dbdc_cluster.dir/cluster/param_estimation.cc.o"
+  "CMakeFiles/dbdc_cluster.dir/cluster/param_estimation.cc.o.d"
+  "libdbdc_cluster.a"
+  "libdbdc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbdc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bounding_box.cc" "src/CMakeFiles/dbdc_common.dir/common/bounding_box.cc.o" "gcc" "src/CMakeFiles/dbdc_common.dir/common/bounding_box.cc.o.d"
+  "/root/repo/src/common/dataset.cc" "src/CMakeFiles/dbdc_common.dir/common/dataset.cc.o" "gcc" "src/CMakeFiles/dbdc_common.dir/common/dataset.cc.o.d"
+  "/root/repo/src/common/distance.cc" "src/CMakeFiles/dbdc_common.dir/common/distance.cc.o" "gcc" "src/CMakeFiles/dbdc_common.dir/common/distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

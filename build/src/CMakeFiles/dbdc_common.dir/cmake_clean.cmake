@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbdc_common.dir/common/bounding_box.cc.o"
+  "CMakeFiles/dbdc_common.dir/common/bounding_box.cc.o.d"
+  "CMakeFiles/dbdc_common.dir/common/dataset.cc.o"
+  "CMakeFiles/dbdc_common.dir/common/dataset.cc.o.d"
+  "CMakeFiles/dbdc_common.dir/common/distance.cc.o"
+  "CMakeFiles/dbdc_common.dir/common/distance.cc.o.d"
+  "libdbdc_common.a"
+  "libdbdc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbdc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

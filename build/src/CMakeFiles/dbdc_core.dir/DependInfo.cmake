@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dbdc.cc" "src/CMakeFiles/dbdc_core.dir/core/dbdc.cc.o" "gcc" "src/CMakeFiles/dbdc_core.dir/core/dbdc.cc.o.d"
+  "/root/repo/src/core/global_model.cc" "src/CMakeFiles/dbdc_core.dir/core/global_model.cc.o" "gcc" "src/CMakeFiles/dbdc_core.dir/core/global_model.cc.o.d"
+  "/root/repo/src/core/local_model.cc" "src/CMakeFiles/dbdc_core.dir/core/local_model.cc.o" "gcc" "src/CMakeFiles/dbdc_core.dir/core/local_model.cc.o.d"
+  "/root/repo/src/core/model_codec.cc" "src/CMakeFiles/dbdc_core.dir/core/model_codec.cc.o" "gcc" "src/CMakeFiles/dbdc_core.dir/core/model_codec.cc.o.d"
+  "/root/repo/src/core/optics_global.cc" "src/CMakeFiles/dbdc_core.dir/core/optics_global.cc.o" "gcc" "src/CMakeFiles/dbdc_core.dir/core/optics_global.cc.o.d"
+  "/root/repo/src/core/relabel.cc" "src/CMakeFiles/dbdc_core.dir/core/relabel.cc.o" "gcc" "src/CMakeFiles/dbdc_core.dir/core/relabel.cc.o.d"
+  "/root/repo/src/core/server.cc" "src/CMakeFiles/dbdc_core.dir/core/server.cc.o" "gcc" "src/CMakeFiles/dbdc_core.dir/core/server.cc.o.d"
+  "/root/repo/src/core/site.cc" "src/CMakeFiles/dbdc_core.dir/core/site.cc.o" "gcc" "src/CMakeFiles/dbdc_core.dir/core/site.cc.o.d"
+  "/root/repo/src/core/streaming_site.cc" "src/CMakeFiles/dbdc_core.dir/core/streaming_site.cc.o" "gcc" "src/CMakeFiles/dbdc_core.dir/core/streaming_site.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbdc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbdc_distrib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbdc_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

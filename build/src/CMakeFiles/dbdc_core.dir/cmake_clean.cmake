@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbdc_core.dir/core/dbdc.cc.o"
+  "CMakeFiles/dbdc_core.dir/core/dbdc.cc.o.d"
+  "CMakeFiles/dbdc_core.dir/core/global_model.cc.o"
+  "CMakeFiles/dbdc_core.dir/core/global_model.cc.o.d"
+  "CMakeFiles/dbdc_core.dir/core/local_model.cc.o"
+  "CMakeFiles/dbdc_core.dir/core/local_model.cc.o.d"
+  "CMakeFiles/dbdc_core.dir/core/model_codec.cc.o"
+  "CMakeFiles/dbdc_core.dir/core/model_codec.cc.o.d"
+  "CMakeFiles/dbdc_core.dir/core/optics_global.cc.o"
+  "CMakeFiles/dbdc_core.dir/core/optics_global.cc.o.d"
+  "CMakeFiles/dbdc_core.dir/core/relabel.cc.o"
+  "CMakeFiles/dbdc_core.dir/core/relabel.cc.o.d"
+  "CMakeFiles/dbdc_core.dir/core/server.cc.o"
+  "CMakeFiles/dbdc_core.dir/core/server.cc.o.d"
+  "CMakeFiles/dbdc_core.dir/core/site.cc.o"
+  "CMakeFiles/dbdc_core.dir/core/site.cc.o.d"
+  "CMakeFiles/dbdc_core.dir/core/streaming_site.cc.o"
+  "CMakeFiles/dbdc_core.dir/core/streaming_site.cc.o.d"
+  "libdbdc_core.a"
+  "libdbdc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbdc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

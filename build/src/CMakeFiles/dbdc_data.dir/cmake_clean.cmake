@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbdc_data.dir/data/generators.cc.o"
+  "CMakeFiles/dbdc_data.dir/data/generators.cc.o.d"
+  "CMakeFiles/dbdc_data.dir/data/io.cc.o"
+  "CMakeFiles/dbdc_data.dir/data/io.cc.o.d"
+  "libdbdc_data.a"
+  "libdbdc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbdc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbdc_data.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbdc_distrib.dir/distrib/network.cc.o"
+  "CMakeFiles/dbdc_distrib.dir/distrib/network.cc.o.d"
+  "CMakeFiles/dbdc_distrib.dir/distrib/partitioner.cc.o"
+  "CMakeFiles/dbdc_distrib.dir/distrib/partitioner.cc.o.d"
+  "libdbdc_distrib.a"
+  "libdbdc_distrib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbdc_distrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

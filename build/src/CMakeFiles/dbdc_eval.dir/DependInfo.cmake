@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/diagnostics.cc" "src/CMakeFiles/dbdc_eval.dir/eval/diagnostics.cc.o" "gcc" "src/CMakeFiles/dbdc_eval.dir/eval/diagnostics.cc.o.d"
+  "/root/repo/src/eval/external_indices.cc" "src/CMakeFiles/dbdc_eval.dir/eval/external_indices.cc.o" "gcc" "src/CMakeFiles/dbdc_eval.dir/eval/external_indices.cc.o.d"
+  "/root/repo/src/eval/quality.cc" "src/CMakeFiles/dbdc_eval.dir/eval/quality.cc.o" "gcc" "src/CMakeFiles/dbdc_eval.dir/eval/quality.cc.o.d"
+  "/root/repo/src/eval/silhouette.cc" "src/CMakeFiles/dbdc_eval.dir/eval/silhouette.cc.o" "gcc" "src/CMakeFiles/dbdc_eval.dir/eval/silhouette.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

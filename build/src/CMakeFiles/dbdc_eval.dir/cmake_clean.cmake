@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbdc_eval.dir/eval/diagnostics.cc.o"
+  "CMakeFiles/dbdc_eval.dir/eval/diagnostics.cc.o.d"
+  "CMakeFiles/dbdc_eval.dir/eval/external_indices.cc.o"
+  "CMakeFiles/dbdc_eval.dir/eval/external_indices.cc.o.d"
+  "CMakeFiles/dbdc_eval.dir/eval/quality.cc.o"
+  "CMakeFiles/dbdc_eval.dir/eval/quality.cc.o.d"
+  "CMakeFiles/dbdc_eval.dir/eval/silhouette.cc.o"
+  "CMakeFiles/dbdc_eval.dir/eval/silhouette.cc.o.d"
+  "libdbdc_eval.a"
+  "libdbdc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbdc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/grid_index.cc" "src/CMakeFiles/dbdc_index.dir/index/grid_index.cc.o" "gcc" "src/CMakeFiles/dbdc_index.dir/index/grid_index.cc.o.d"
+  "/root/repo/src/index/index_factory.cc" "src/CMakeFiles/dbdc_index.dir/index/index_factory.cc.o" "gcc" "src/CMakeFiles/dbdc_index.dir/index/index_factory.cc.o.d"
+  "/root/repo/src/index/kd_tree_index.cc" "src/CMakeFiles/dbdc_index.dir/index/kd_tree_index.cc.o" "gcc" "src/CMakeFiles/dbdc_index.dir/index/kd_tree_index.cc.o.d"
+  "/root/repo/src/index/linear_scan_index.cc" "src/CMakeFiles/dbdc_index.dir/index/linear_scan_index.cc.o" "gcc" "src/CMakeFiles/dbdc_index.dir/index/linear_scan_index.cc.o.d"
+  "/root/repo/src/index/m_tree.cc" "src/CMakeFiles/dbdc_index.dir/index/m_tree.cc.o" "gcc" "src/CMakeFiles/dbdc_index.dir/index/m_tree.cc.o.d"
+  "/root/repo/src/index/rstar_tree.cc" "src/CMakeFiles/dbdc_index.dir/index/rstar_tree.cc.o" "gcc" "src/CMakeFiles/dbdc_index.dir/index/rstar_tree.cc.o.d"
+  "/root/repo/src/index/vp_tree.cc" "src/CMakeFiles/dbdc_index.dir/index/vp_tree.cc.o" "gcc" "src/CMakeFiles/dbdc_index.dir/index/vp_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

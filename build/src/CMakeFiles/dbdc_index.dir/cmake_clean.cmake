@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbdc_index.dir/index/grid_index.cc.o"
+  "CMakeFiles/dbdc_index.dir/index/grid_index.cc.o.d"
+  "CMakeFiles/dbdc_index.dir/index/index_factory.cc.o"
+  "CMakeFiles/dbdc_index.dir/index/index_factory.cc.o.d"
+  "CMakeFiles/dbdc_index.dir/index/kd_tree_index.cc.o"
+  "CMakeFiles/dbdc_index.dir/index/kd_tree_index.cc.o.d"
+  "CMakeFiles/dbdc_index.dir/index/linear_scan_index.cc.o"
+  "CMakeFiles/dbdc_index.dir/index/linear_scan_index.cc.o.d"
+  "CMakeFiles/dbdc_index.dir/index/m_tree.cc.o"
+  "CMakeFiles/dbdc_index.dir/index/m_tree.cc.o.d"
+  "CMakeFiles/dbdc_index.dir/index/rstar_tree.cc.o"
+  "CMakeFiles/dbdc_index.dir/index/rstar_tree.cc.o.d"
+  "CMakeFiles/dbdc_index.dir/index/vp_tree.cc.o"
+  "CMakeFiles/dbdc_index.dir/index/vp_tree.cc.o.d"
+  "libdbdc_index.a"
+  "libdbdc_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbdc_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbdc_viz.dir/viz/render.cc.o"
+  "CMakeFiles/dbdc_viz.dir/viz/render.cc.o.d"
+  "libdbdc_viz.a"
+  "libdbdc_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbdc_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbdc_integration_test.dir/dbdc_integration_test.cc.o"
+  "CMakeFiles/dbdc_integration_test.dir/dbdc_integration_test.cc.o.d"
+  "dbdc_integration_test"
+  "dbdc_integration_test.pdb"
+  "dbdc_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbdc_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

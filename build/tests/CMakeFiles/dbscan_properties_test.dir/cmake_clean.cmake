@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbscan_properties_test.dir/dbscan_properties_test.cc.o"
+  "CMakeFiles/dbscan_properties_test.dir/dbscan_properties_test.cc.o.d"
+  "dbscan_properties_test"
+  "dbscan_properties_test.pdb"
+  "dbscan_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbscan_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distrib_test.dir/distrib_test.cc.o"
+  "CMakeFiles/distrib_test.dir/distrib_test.cc.o.d"
+  "distrib_test"
+  "distrib_test.pdb"
+  "distrib_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distrib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_indices_test.dir/external_indices_test.cc.o"
+  "CMakeFiles/external_indices_test.dir/external_indices_test.cc.o.d"
+  "external_indices_test"
+  "external_indices_test.pdb"
+  "external_indices_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_indices_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_model_test.dir/global_model_test.cc.o"
+  "CMakeFiles/global_model_test.dir/global_model_test.cc.o.d"
+  "global_model_test"
+  "global_model_test.pdb"
+  "global_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_dbscan_test.dir/incremental_dbscan_test.cc.o"
+  "CMakeFiles/incremental_dbscan_test.dir/incremental_dbscan_test.cc.o.d"
+  "incremental_dbscan_test"
+  "incremental_dbscan_test.pdb"
+  "incremental_dbscan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_dbscan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

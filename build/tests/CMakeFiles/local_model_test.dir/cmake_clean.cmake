@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_model_test.dir/local_model_test.cc.o"
+  "CMakeFiles/local_model_test.dir/local_model_test.cc.o.d"
+  "local_model_test"
+  "local_model_test.pdb"
+  "local_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

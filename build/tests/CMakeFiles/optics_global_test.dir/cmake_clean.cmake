@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optics_global_test.dir/optics_global_test.cc.o"
+  "CMakeFiles/optics_global_test.dir/optics_global_test.cc.o.d"
+  "optics_global_test"
+  "optics_global_test.pdb"
+  "optics_global_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optics_global_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

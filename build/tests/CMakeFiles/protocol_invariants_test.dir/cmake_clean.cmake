@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_invariants_test.dir/protocol_invariants_test.cc.o"
+  "CMakeFiles/protocol_invariants_test.dir/protocol_invariants_test.cc.o.d"
+  "protocol_invariants_test"
+  "protocol_invariants_test.pdb"
+  "protocol_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

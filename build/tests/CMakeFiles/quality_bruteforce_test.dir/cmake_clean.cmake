@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_bruteforce_test.dir/quality_bruteforce_test.cc.o"
+  "CMakeFiles/quality_bruteforce_test.dir/quality_bruteforce_test.cc.o.d"
+  "quality_bruteforce_test"
+  "quality_bruteforce_test.pdb"
+  "quality_bruteforce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_bruteforce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relabel_test.dir/relabel_test.cc.o"
+  "CMakeFiles/relabel_test.dir/relabel_test.cc.o.d"
+  "relabel_test"
+  "relabel_test.pdb"
+  "relabel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relabel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

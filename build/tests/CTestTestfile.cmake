@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/dbscan_test[1]_include.cmake")
+include("/root/repo/build/tests/kmeans_test[1]_include.cmake")
+include("/root/repo/build/tests/optics_test[1]_include.cmake")
+include("/root/repo/build/tests/incremental_dbscan_test[1]_include.cmake")
+include("/root/repo/build/tests/local_model_test[1]_include.cmake")
+include("/root/repo/build/tests/global_model_test[1]_include.cmake")
+include("/root/repo/build/tests/relabel_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/distrib_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/quality_test[1]_include.cmake")
+include("/root/repo/build/tests/external_indices_test[1]_include.cmake")
+include("/root/repo/build/tests/dbdc_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/param_estimation_test[1]_include.cmake")
+include("/root/repo/build/tests/optics_global_test[1]_include.cmake")
+include("/root/repo/build/tests/streaming_site_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/viz_test[1]_include.cmake")
+include("/root/repo/build/tests/dbscan_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/quality_bruteforce_test[1]_include.cmake")
+include("/root/repo/build/tests/contract_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_invariants_test[1]_include.cmake")
