@@ -46,9 +46,11 @@ DistributedKMeansResult RunDistributedKMeans(
   // would be a sample; the choice does not affect the round protocol).
   std::vector<PointId> all_ids(data.size());
   std::iota(all_ids.begin(), all_ids.end(), 0);
-  result.centroids =
-      KMeansPlusPlusInit(data, all_ids, std::min<std::size_t>(k, data.size()),
-                         &rng);
+  result.centroids = KMeansPlusPlusInit(
+      data, all_ids,
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(k),
+                                             data.size())),
+      &rng);
   while (static_cast<int>(result.centroids.size()) < k) {
     result.centroids.push_back(result.centroids.back());  // Degenerate k>n.
   }

@@ -76,7 +76,121 @@ Clustering RunDbscan(const NeighborIndex& index, const DbscanParams& params,
     }
   }
   result.num_clusters = next_cluster;
+#if DBDC_DCHECK_IS_ON()
+  ValidateDbscanResult(index, params, result);
+#endif
   return result;
+}
+
+namespace {
+
+// Union-find over point ids, used to recompute the ε-connected components
+// of the core points independently of the clustering under validation.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<PointId>(i);
+  }
+
+  PointId Find(PointId x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+
+  void Union(PointId a, PointId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[static_cast<std::size_t>(a)] = b;
+  }
+
+ private:
+  std::vector<PointId> parent_;
+};
+
+}  // namespace
+
+void ValidateDbscanResult(const NeighborIndex& index,
+                          const DbscanParams& params,
+                          const Clustering& result) {
+  const Dataset& data = index.data();
+  const std::size_t n = data.size();
+  DBDC_ASSERT(result.labels.size() == n);
+  DBDC_ASSERT(result.is_core.size() == n);
+  DBDC_ASSERT(result.num_clusters >= 0);
+
+  std::vector<std::uint8_t> cluster_has_core(
+      static_cast<std::size_t>(result.num_clusters), 0);
+  DisjointSets core_components(n);
+  std::vector<PointId> neighbors;
+  for (PointId p = 0; p < static_cast<PointId>(n); ++p) {
+    const ClusterId label = result.labels[p];
+    DBDC_ASSERT(label == kNoise || (label >= 0 && label < result.num_clusters));
+
+    index.RangeQuery(p, params.eps, &neighbors);
+    const bool core = static_cast<int>(neighbors.size()) >= params.min_pts;
+    DBDC_ASSERT((result.is_core[p] != 0) == core &&
+                "core predicate disagrees with a recomputation");
+    if (core) {
+      DBDC_ASSERT(label >= 0 && "every core point must be labeled");
+      cluster_has_core[static_cast<std::size_t>(label)] = 1;
+      for (const PointId q : neighbors) {
+        // Everything a core point reaches is density-reachable: never noise.
+        DBDC_ASSERT(result.labels[q] != kNoise);
+        if (result.is_core[q] != 0) core_components.Union(p, q);
+      }
+    } else {
+      // Border points touch a core point of their own cluster; noise points
+      // touch no core point at all.
+      bool has_core_neighbor_in_cluster = false;
+      bool has_core_neighbor = false;
+      for (const PointId q : neighbors) {
+        if (result.is_core[q] == 0) continue;
+        has_core_neighbor = true;
+        if (result.labels[q] == label) has_core_neighbor_in_cluster = true;
+      }
+      if (label >= 0) {
+        DBDC_ASSERT(has_core_neighbor_in_cluster &&
+                    "border point without a core point of its cluster");
+      } else {
+        DBDC_ASSERT(!has_core_neighbor &&
+                    "noise point within eps of a core point");
+      }
+    }
+  }
+  for (std::size_t c = 0; c < cluster_has_core.size(); ++c) {
+    DBDC_ASSERT(cluster_has_core[c] != 0 && "cluster without a core point");
+  }
+
+  // The core points of a cluster must form exactly one ε-connected
+  // component: label -> component must be a bijection. A cluster covering
+  // two components was merged beyond its ε-connectivity; one component
+  // split over two labels was torn apart.
+  std::vector<PointId> label_to_root(
+      static_cast<std::size_t>(result.num_clusters), -1);
+  std::vector<ClusterId> root_to_label(n, kUnclassified);
+  for (PointId p = 0; p < static_cast<PointId>(n); ++p) {
+    if (result.is_core[p] == 0) continue;
+    const std::size_t label = static_cast<std::size_t>(result.labels[p]);
+    const PointId root = core_components.Find(p);
+    if (label_to_root[label] == -1) {
+      label_to_root[label] = root;
+    } else {
+      DBDC_ASSERT(label_to_root[label] == root &&
+                  "cluster spans beyond its ε-connectivity");
+    }
+    ClusterId& seen = root_to_label[static_cast<std::size_t>(root)];
+    if (seen == kUnclassified) {
+      seen = result.labels[p];
+    } else {
+      DBDC_ASSERT(seen == result.labels[p] &&
+                  "one ε-connected component split across clusters");
+    }
+  }
 }
 
 }  // namespace dbdc

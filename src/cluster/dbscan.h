@@ -50,6 +50,25 @@ class DbscanObserver {
 Clustering RunDbscan(const NeighborIndex& index, const DbscanParams& params,
                      DbscanObserver* observer = nullptr);
 
+/// Verifies the DBSCAN postconditions of `result` against the index that
+/// produced it; aborts with file:line context on the first violation:
+///   - label/core vectors sized to the dataset, labels in {kNoise} ∪
+///     [0, num_clusters);
+///   - the core predicate matches a recomputation (|N_eps(p)| >= min_pts);
+///   - every core point carries a cluster label, and every core point in
+///     its ε-neighborhood carries the *same* label (clusters never span
+///     beyond the ε-connectivity of their core members);
+///   - no point in a core point's ε-neighborhood is noise;
+///   - border points (labeled, non-core) lie within eps of a core point of
+///     their cluster, and noise points have no core point within eps;
+///   - every cluster contains at least one core point.
+///
+/// Costs one range query per point; RunDbscan invokes it automatically in
+/// Debug / DBDC_DCHECKS builds.
+void ValidateDbscanResult(const NeighborIndex& index,
+                          const DbscanParams& params,
+                          const Clustering& result);
+
 }  // namespace dbdc
 
 #endif  // DBDC_CLUSTER_DBSCAN_H_

@@ -1,0 +1,74 @@
+#ifndef DBDC_COMMON_CHECK_H_
+#define DBDC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Runtime contract layer.
+///
+/// Two macro families, mirroring the usual CHECK/DCHECK split:
+///
+///   DBDC_ASSERT(cond)  — always active, in every build type. For contract
+///     violations that indicate programming errors (never for recoverable
+///     conditions: the library is exception-free and decoders signal bad
+///     input by returning nullopt). Aborts with file:line and the failed
+///     expression.
+///
+///   DBDC_DCHECK(cond)  — active in Debug builds and in builds configured
+///     with -DDBDC_DCHECKS=ON (the sanitizer presets do this so ASan/TSan
+///     runs also exercise the expensive invariant validators). Compiled out
+///     entirely in plain Release builds: the condition is not evaluated.
+///
+/// DBDC_DCHECK_IS_ON() gates whole validation passes (for example the
+/// O(n·query) DBSCAN postcondition sweep) that would be too expensive even
+/// as a dead conditional in a hot loop.
+///
+/// Both macros support the `cond && "message"` idiom for context:
+///   DBDC_ASSERT(ok && "local model payload failed to decode");
+
+#if !defined(NDEBUG) || defined(DBDC_FORCE_DCHECKS)
+#define DBDC_DCHECK_IS_ON() 1
+#else
+#define DBDC_DCHECK_IS_ON() 0
+#endif
+
+namespace dbdc {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* kind, const char* file,
+                                     int line, const char* expr) {
+  std::fprintf(stderr, "%s failed at %s:%d: %s\n", kind, file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dbdc
+
+#define DBDC_ASSERT(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::dbdc::internal::CheckFailed("DBDC_ASSERT", __FILE__, __LINE__,       \
+                                    #cond);                                  \
+    }                                                                        \
+  } while (0)
+
+#if DBDC_DCHECK_IS_ON()
+#define DBDC_DCHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::dbdc::internal::CheckFailed("DBDC_DCHECK", __FILE__, __LINE__,       \
+                                    #cond);                                  \
+    }                                                                        \
+  } while (0)
+#else
+#define DBDC_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif
+
+/// Legacy spelling, kept so existing call sites keep compiling; new code
+/// uses DBDC_ASSERT (always on) or DBDC_DCHECK (debug only).
+#define DBDC_CHECK(cond) DBDC_ASSERT(cond)
+
+#endif  // DBDC_COMMON_CHECK_H_

@@ -2,9 +2,9 @@
 #define DBDC_COMMON_TYPES_H_
 
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
 #include <vector>
+
+#include "common/check.h"
 
 namespace dbdc {
 
@@ -20,19 +20,6 @@ using ClusterId = std::int32_t;
 
 inline constexpr ClusterId kNoise = -1;
 inline constexpr ClusterId kUnclassified = -2;
-
-/// Aborts with a message when `cond` is false. Always active (independent of
-/// NDEBUG): the library is exception-free and uses this for contract
-/// violations that indicate programming errors, never for recoverable
-/// conditions.
-#define DBDC_CHECK(cond)                                                  \
-  do {                                                                    \
-    if (!(cond)) {                                                        \
-      std::fprintf(stderr, "DBDC_CHECK failed at %s:%d: %s\n", __FILE__,  \
-                   __LINE__, #cond);                                      \
-      std::abort();                                                       \
-    }                                                                     \
-  } while (0)
 
 }  // namespace dbdc
 

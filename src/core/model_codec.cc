@@ -1,5 +1,6 @@
 #include "core/model_codec.h"
 
+#include <cmath>
 #include <cstring>
 
 namespace dbdc {
@@ -57,9 +58,13 @@ bool PayloadFits(const Reader& r, std::uint64_t count,
   return count <= r.Remaining() / bytes_per_item;
 }
 
-}  // namespace
+// A finite, non-negative double — the only shape the codec accepts for
+// ε-ranges and eps_global. Corrupted bytes frequently decode to NaN or
+// huge negatives; both would silently poison every later distance
+// comparison, so they are rejected at the wire.
+bool IsValidEps(double eps) { return std::isfinite(eps) && eps >= 0.0; }
 
-std::vector<std::uint8_t> EncodeLocalModel(const LocalModel& model) {
+std::vector<std::uint8_t> EncodeLocalModelImpl(const LocalModel& model) {
   std::vector<std::uint8_t> out;
   Writer w(&out);
   w.Put(kLocalMagic);
@@ -69,7 +74,6 @@ std::vector<std::uint8_t> EncodeLocalModel(const LocalModel& model) {
   w.Put(static_cast<std::int32_t>(model.num_local_clusters));
   w.Put(static_cast<std::uint32_t>(model.representatives.size()));
   for (const Representative& rep : model.representatives) {
-    DBDC_CHECK(static_cast<int>(rep.center.size()) == model.dim);
     w.Put(static_cast<std::int32_t>(rep.local_cluster));
     w.Put(rep.eps_range);
     w.Put(rep.weight);
@@ -78,46 +82,7 @@ std::vector<std::uint8_t> EncodeLocalModel(const LocalModel& model) {
   return out;
 }
 
-std::optional<LocalModel> DecodeLocalModel(
-    std::span<const std::uint8_t> bytes) {
-  Reader r(bytes);
-  std::uint32_t magic = 0, version = 0, rep_count = 0;
-  std::int32_t site_id = 0, dim = 0, num_clusters = 0;
-  if (!r.Get(&magic) || magic != kLocalMagic) return std::nullopt;
-  if (!r.Get(&version) || version < kMinVersion || version > kVersion) {
-    return std::nullopt;
-  }
-  if (!r.Get(&site_id) || !r.Get(&dim) || !r.Get(&num_clusters) ||
-      !r.Get(&rep_count)) {
-    return std::nullopt;
-  }
-  if (dim < 1 || num_clusters < 0) return std::nullopt;
-  // Each representative occupies 4 + 8 [+ 4 in v2] + dim*8 bytes.
-  const std::uint64_t rep_bytes = (version >= 2 ? 16 : 12) +
-                                  static_cast<std::uint64_t>(dim) * 8;
-  if (!PayloadFits(r, rep_count, rep_bytes)) return std::nullopt;
-  LocalModel model;
-  model.site_id = site_id;
-  model.dim = dim;
-  model.num_local_clusters = num_clusters;
-  model.representatives.reserve(rep_count);
-  for (std::uint32_t i = 0; i < rep_count; ++i) {
-    Representative rep;
-    std::int32_t cluster = 0;
-    if (!r.Get(&cluster) || !r.Get(&rep.eps_range)) return std::nullopt;
-    if (version >= 2 && !r.Get(&rep.weight)) return std::nullopt;
-    rep.local_cluster = cluster;
-    rep.center.resize(dim);
-    for (std::int32_t d = 0; d < dim; ++d) {
-      if (!r.Get(&rep.center[d])) return std::nullopt;
-    }
-    model.representatives.push_back(std::move(rep));
-  }
-  if (!r.AtEnd()) return std::nullopt;  // Trailing garbage.
-  return model;
-}
-
-std::vector<std::uint8_t> EncodeGlobalModel(const GlobalModel& model) {
+std::vector<std::uint8_t> EncodeGlobalModelImpl(const GlobalModel& model) {
   std::vector<std::uint8_t> out;
   Writer w(&out);
   const std::size_t m = model.NumRepresentatives();
@@ -140,6 +105,118 @@ std::vector<std::uint8_t> EncodeGlobalModel(const GlobalModel& model) {
   return out;
 }
 
+}  // namespace
+
+void ValidateLocalModel(const LocalModel& model) {
+  DBDC_ASSERT(model.dim >= 1);
+  DBDC_ASSERT(model.site_id >= 0);
+  DBDC_ASSERT(model.num_local_clusters >= 0);
+  for (const Representative& rep : model.representatives) {
+    DBDC_ASSERT(static_cast<int>(rep.center.size()) == model.dim);
+    DBDC_ASSERT(IsValidEps(rep.eps_range));
+    DBDC_ASSERT(rep.weight >= 1);
+    // num_local_clusters is diagnostic, so only the sign is checked here:
+    // every representative must describe some concrete local cluster.
+    DBDC_ASSERT(rep.local_cluster >= 0);
+    for (const double c : rep.center) DBDC_ASSERT(std::isfinite(c));
+  }
+}
+
+void ValidateGlobalModel(const GlobalModel& model) {
+  const std::size_t m = model.NumRepresentatives();
+  DBDC_ASSERT(model.rep_points.dim() >= 1);
+  DBDC_ASSERT(model.rep_points.size() == m);
+  // Weights may be absent entirely (pre-v2 models; the encoder defaults
+  // them to 1 on the wire) but never partially populated.
+  DBDC_ASSERT(model.rep_weight.size() == m || model.rep_weight.empty());
+  DBDC_ASSERT(model.rep_global_cluster.size() == m);
+  DBDC_ASSERT(model.rep_site.size() == m);
+  DBDC_ASSERT(model.rep_local_cluster.size() == m);
+  DBDC_ASSERT(model.num_global_clusters >= 0);
+  DBDC_ASSERT(IsValidEps(model.eps_global_used));
+  for (std::size_t i = 0; i < m; ++i) {
+    DBDC_ASSERT(model.rep_global_cluster[i] >= 0 &&
+                model.rep_global_cluster[i] < model.num_global_clusters);
+    DBDC_ASSERT(model.rep_site[i] >= 0);
+    DBDC_ASSERT(model.rep_local_cluster[i] >= 0);
+    DBDC_ASSERT(IsValidEps(model.rep_eps[i]));
+    DBDC_ASSERT(i >= model.rep_weight.size() || model.rep_weight[i] >= 1);
+    for (const double c : model.rep_points.point(static_cast<PointId>(i))) {
+      DBDC_ASSERT(std::isfinite(c));
+    }
+  }
+}
+
+std::vector<std::uint8_t> EncodeLocalModel(const LocalModel& model) {
+  ValidateLocalModel(model);
+  std::vector<std::uint8_t> out = EncodeLocalModelImpl(model);
+#if DBDC_DCHECK_IS_ON()
+  // Round-trip self-check: whatever this encoder produced must decode and
+  // re-encode to the identical byte string.
+  const std::optional<LocalModel> back = DecodeLocalModel(out);
+  DBDC_DCHECK(back.has_value() && "encoder output does not decode");
+  DBDC_DCHECK(EncodeLocalModelImpl(*back) == out &&
+              "local model round trip is not byte-exact");
+#endif
+  return out;
+}
+
+std::optional<LocalModel> DecodeLocalModel(
+    std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  std::uint32_t magic = 0, version = 0, rep_count = 0;
+  std::int32_t site_id = 0, dim = 0, num_clusters = 0;
+  if (!r.Get(&magic) || magic != kLocalMagic) return std::nullopt;
+  if (!r.Get(&version) || version < kMinVersion || version > kVersion) {
+    return std::nullopt;
+  }
+  if (!r.Get(&site_id) || !r.Get(&dim) || !r.Get(&num_clusters) ||
+      !r.Get(&rep_count)) {
+    return std::nullopt;
+  }
+  if (dim < 1 || num_clusters < 0 || site_id < 0) return std::nullopt;
+  // Each representative occupies 4 + 8 [+ 4 in v2] + dim*8 bytes.
+  const std::uint64_t rep_bytes = (version >= 2 ? 16 : 12) +
+                                  static_cast<std::uint64_t>(dim) * 8;
+  if (!PayloadFits(r, rep_count, rep_bytes)) return std::nullopt;
+  LocalModel model;
+  model.site_id = site_id;
+  model.dim = dim;
+  model.num_local_clusters = num_clusters;
+  model.representatives.reserve(rep_count);
+  for (std::uint32_t i = 0; i < rep_count; ++i) {
+    Representative rep;
+    std::int32_t cluster = 0;
+    if (!r.Get(&cluster) || !r.Get(&rep.eps_range)) return std::nullopt;
+    if (version >= 2 && !r.Get(&rep.weight)) return std::nullopt;
+    if (cluster < 0 || !IsValidEps(rep.eps_range) || rep.weight < 1) {
+      return std::nullopt;
+    }
+    rep.local_cluster = cluster;
+    rep.center.resize(static_cast<std::size_t>(dim));
+    for (std::int32_t d = 0; d < dim; ++d) {
+      if (!r.Get(&rep.center[d]) || !std::isfinite(rep.center[d])) {
+        return std::nullopt;
+      }
+    }
+    model.representatives.push_back(std::move(rep));
+  }
+  if (!r.AtEnd()) return std::nullopt;  // Trailing garbage.
+  return model;
+}
+
+std::vector<std::uint8_t> EncodeGlobalModel(const GlobalModel& model) {
+  ValidateGlobalModel(model);
+  std::vector<std::uint8_t> out = EncodeGlobalModelImpl(model);
+#if DBDC_DCHECK_IS_ON()
+  const std::optional<GlobalModel> back = DecodeGlobalModel(out);
+  DBDC_DCHECK(back.has_value() && "encoder output does not decode");
+  DBDC_DCHECK(EncodeGlobalModelImpl(*back) == out &&
+              "global model round trip is not byte-exact");
+#endif
+  return out;
+}
+
 std::optional<GlobalModel> DecodeGlobalModel(
     std::span<const std::uint8_t> bytes) {
   Reader r(bytes);
@@ -154,7 +231,9 @@ std::optional<GlobalModel> DecodeGlobalModel(
       !r.Get(&rep_count)) {
     return std::nullopt;
   }
-  if (dim < 1 || num_clusters < 0) return std::nullopt;
+  if (dim < 1 || num_clusters < 0 || !IsValidEps(eps_global)) {
+    return std::nullopt;
+  }
   // Each representative occupies 3*4 + 8 [+ 4 in v2] + dim*8 bytes.
   const std::uint64_t rep_bytes = (version >= 2 ? 24 : 20) +
                                   static_cast<std::uint64_t>(dim) * 8;
@@ -167,7 +246,7 @@ std::optional<GlobalModel> DecodeGlobalModel(
     if (!r.AtEnd()) return std::nullopt;
     return model;
   }
-  Point coords(dim);
+  Point coords(static_cast<std::size_t>(dim));
   for (std::uint32_t i = 0; i < rep_count; ++i) {
     std::int32_t global_cluster = 0, site = 0, local_cluster = 0;
     double eps = 0.0;
@@ -177,8 +256,14 @@ std::optional<GlobalModel> DecodeGlobalModel(
       return std::nullopt;
     }
     if (version >= 2 && !r.Get(&weight)) return std::nullopt;
+    if (global_cluster < 0 || global_cluster >= num_clusters || site < 0 ||
+        local_cluster < 0 || !IsValidEps(eps) || weight < 1) {
+      return std::nullopt;
+    }
     for (std::int32_t d = 0; d < dim; ++d) {
-      if (!r.Get(&coords[d])) return std::nullopt;
+      if (!r.Get(&coords[d]) || !std::isfinite(coords[d])) {
+        return std::nullopt;
+      }
     }
     model.rep_points.Add(coords);
     model.rep_eps.push_back(eps);

@@ -41,6 +41,19 @@ std::vector<std::uint8_t> EncodeGlobalModel(const GlobalModel& model);
 std::optional<GlobalModel> DecodeGlobalModel(
     std::span<const std::uint8_t> bytes);
 
+/// Structural validation of a model about to be encoded or just decoded:
+/// consistent dimensions, finite non-negative ε-ranges, positive weights,
+/// cluster ids within range, and (for the global model) equally-sized
+/// parallel arrays. Aborts with file:line context on violation — these are
+/// programming errors, not wire corruption (corruption is rejected by the
+/// decoders returning nullopt).
+///
+/// In Debug / DBDC_DCHECKS builds the encoders additionally self-check:
+/// every encode is immediately decoded and re-encoded, and the round trip
+/// must reproduce the original bytes exactly.
+void ValidateLocalModel(const LocalModel& model);
+void ValidateGlobalModel(const GlobalModel& model);
+
 /// Serialized size in bytes of a raw dataset shipped naively (the
 /// baseline DBDC's transmission saving is measured against): dim doubles
 /// per point plus a small header.

@@ -92,10 +92,12 @@ SyntheticDataset MakeBlobs(std::size_t n, int num_blobs,
   const std::vector<Point> centers = GridCenters(num_blobs, region, &rng);
   std::size_t assigned = 0;
   for (int b = 0; b < num_blobs; ++b) {
-    std::size_t count = b + 1 == num_blobs
-                            ? cluster_total - assigned
-                            : static_cast<std::size_t>(
-                                  weights[b] / weight_sum * cluster_total);
+    std::size_t count =
+        b + 1 == num_blobs
+            ? cluster_total - assigned
+            : static_cast<std::size_t>(
+                  weights[b] / weight_sum *
+                  static_cast<double>(cluster_total));
     count = std::min(count, cluster_total - assigned);
     assigned += count;
     BlobSpec spec{centers[b], rng.Uniform(stddev_lo, stddev_hi), count};

@@ -98,17 +98,19 @@ double NormalizedMutualInformation(std::span<const ClusterId> a,
   const double n = static_cast<double>(pc.n);
   double h_a = 0.0, h_b = 0.0, mi = 0.0;
   for (const std::size_t s : pc.a_sizes) {
-    if (s > 0) h_a -= s / n * std::log(s / n);
+    const double p = static_cast<double>(s) / n;
+    if (s > 0) h_a -= p * std::log(p);
   }
   for (const std::size_t s : pc.b_sizes) {
-    if (s > 0) h_b -= s / n * std::log(s / n);
+    const double p = static_cast<double>(s) / n;
+    if (s > 0) h_b -= p * std::log(p);
   }
   for (const auto& [key, count] : pc.cells) {
     const std::size_t ai = key >> 32;
     const std::size_t bi = key & 0xffffffffu;
-    const double pij = count / n;
-    const double pa = pc.a_sizes[ai] / n;
-    const double pb = pc.b_sizes[bi] / n;
+    const double pij = static_cast<double>(count) / n;
+    const double pa = static_cast<double>(pc.a_sizes[ai]) / n;
+    const double pb = static_cast<double>(pc.b_sizes[bi]) / n;
     mi += pij * std::log(pij / (pa * pb));
   }
   const double denom = 0.5 * (h_a + h_b);

@@ -117,7 +117,12 @@ void RStarTree::BulkLoadStr() {
   root_->entries = std::move(entries);
   height_ = level + 1;
   count_ = data_->size();
-  reinserted_at_level_.assign(height_ + 1, false);
+  reinserted_at_level_.assign(static_cast<std::size_t>(height_) + 1, false);
+#if DBDC_DCHECK_IS_ON()
+  // One O(n) structural pass per bulk load; incremental paths are covered
+  // by the explicit CheckInvariants calls in the index tests.
+  CheckInvariants();
+#endif
 }
 
 RStarTree::~RStarTree() { FreeNode(root_); }
@@ -498,30 +503,38 @@ void RStarTree::KnnQuery(std::span<const double> q, int k,
 void RStarTree::CheckInvariants() const {
   std::size_t point_count = 0;
   CheckNode(root_, height_ - 1, &point_count);
-  DBDC_CHECK(point_count == count_);
+  DBDC_ASSERT(point_count == count_ && "tree holds a wrong number of points");
+  DBDC_ASSERT(pending_.empty() && "reinsertion queue left non-empty");
 }
 
 void RStarTree::CheckNode(const Node* node, int expected_level,
                           std::size_t* point_count) const {
-  DBDC_CHECK(node->level == expected_level);
-  DBDC_CHECK(static_cast<int>(node->entries.size()) <= kMaxEntries);
+  // Uniform leaf depth: every path from the root reaches level 0 after
+  // exactly height_ - 1 steps.
+  DBDC_ASSERT(node->level == expected_level);
+  // Fill factors: every node respects the capacity bound; only the root
+  // may be underfull (an interior root still needs two children).
+  DBDC_ASSERT(static_cast<int>(node->entries.size()) <= kMaxEntries);
   if (node != root_) {
-    DBDC_CHECK(static_cast<int>(node->entries.size()) >= kMinEntries);
+    DBDC_ASSERT(static_cast<int>(node->entries.size()) >= kMinEntries);
   } else if (!node->is_leaf()) {
-    DBDC_CHECK(node->entries.size() >= 2);
+    DBDC_ASSERT(node->entries.size() >= 2);
   }
   for (const Entry& e : node->entries) {
     if (node->is_leaf()) {
-      DBDC_CHECK(e.child == nullptr);
-      DBDC_CHECK(e.id >= 0);
-      DBDC_CHECK(e.box.Contains(data_->point(e.id)));
+      DBDC_ASSERT(e.child == nullptr);
+      DBDC_ASSERT(e.id >= 0 &&
+                  static_cast<std::size_t>(e.id) < data_->size());
+      DBDC_ASSERT(e.box.Contains(data_->point(e.id)));
       ++*point_count;
     } else {
-      DBDC_CHECK(e.child != nullptr);
+      // MBR containment, exactly: every interior box is the tight union of
+      // its child's boxes — no slack, no leaks.
+      DBDC_ASSERT(e.child != nullptr);
       const BoundingBox expect = NodeBox(*e.child);
       for (int d = 0; d < data_->dim(); ++d) {
-        DBDC_CHECK(e.box.lo()[d] == expect.lo()[d]);
-        DBDC_CHECK(e.box.hi()[d] == expect.hi()[d]);
+        DBDC_ASSERT(e.box.lo()[d] == expect.lo()[d]);
+        DBDC_ASSERT(e.box.hi()[d] == expect.hi()[d]);
       }
       CheckNode(e.child, expected_level - 1, point_count);
     }

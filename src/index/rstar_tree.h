@@ -63,8 +63,11 @@ class RStarTree final : public NeighborIndex {
   /// Height of the tree (1 = root is a leaf). For tests and diagnostics.
   int height() const { return height_; }
 
-  /// Verifies structural invariants (occupancy bounds, exact MBRs, uniform
-  /// leaf depth, entry count). Aborts on violation. Test-only helper.
+  /// Verifies structural invariants (occupancy bounds, exact MBR
+  /// containment, uniform leaf depth, entry count) with DBDC_ASSERT;
+  /// aborts with file:line context on violation. Runs automatically after
+  /// a bulk load in Debug / DBDC_DCHECKS builds; tests call it explicitly
+  /// after incremental updates.
   void CheckInvariants() const;
 
  private:

@@ -1,5 +1,5 @@
 // Contract tests: programming errors must abort loudly through
-// DBDC_CHECK (the library is exception-free; contract violations are
+// DBDC_ASSERT (the library is exception-free; contract violations are
 // never silently absorbed).
 
 #include <gtest/gtest.h>
@@ -17,34 +17,34 @@ using ContractDeathTest = ::testing::Test;
 
 TEST(ContractDeathTest, DatasetRejectsWrongDimensionality) {
   Dataset data(2);
-  EXPECT_DEATH(data.Add(Point{1.0, 2.0, 3.0}), "DBDC_CHECK");
-  EXPECT_DEATH(data.Add(Point{1.0}), "DBDC_CHECK");
+  EXPECT_DEATH(data.Add(Point{1.0, 2.0, 3.0}), "DBDC_ASSERT");
+  EXPECT_DEATH(data.Add(Point{1.0}), "DBDC_ASSERT");
 }
 
 TEST(ContractDeathTest, DatasetRejectsOutOfRangeIds) {
   Dataset data(2);
   data.Add(Point{0.0, 0.0});
-  EXPECT_DEATH(data.point(1), "DBDC_CHECK");
-  EXPECT_DEATH(data.point(-1), "DBDC_CHECK");
+  EXPECT_DEATH(data.point(1), "DBDC_ASSERT");
+  EXPECT_DEATH(data.point(-1), "DBDC_ASSERT");
 }
 
 TEST(ContractDeathTest, DatasetAppendRejectsDimensionMismatch) {
   Dataset a(2);
   Dataset b(3);
-  EXPECT_DEATH(a.Append(b), "DBDC_CHECK");
+  EXPECT_DEATH(a.Append(b), "DBDC_ASSERT");
 }
 
 TEST(ContractDeathTest, DbscanRejectsInvalidParameters) {
   Dataset data(2);
   data.Add(Point{0.0, 0.0});
   const LinearScanIndex index(data, Euclidean());
-  EXPECT_DEATH(RunDbscan(index, {0.0, 3}), "DBDC_CHECK");
-  EXPECT_DEATH(RunDbscan(index, {1.0, 0}), "DBDC_CHECK");
+  EXPECT_DEATH(RunDbscan(index, {0.0, 3}), "DBDC_ASSERT");
+  EXPECT_DEATH(RunDbscan(index, {1.0, 0}), "DBDC_ASSERT");
 }
 
 TEST(ContractDeathTest, GridIndexRejectsNonPositiveCellWidth) {
   Dataset data(2);
-  EXPECT_DEATH(GridIndex(data, Euclidean(), 0.0), "DBDC_CHECK");
+  EXPECT_DEATH(GridIndex(data, Euclidean(), 0.0), "DBDC_ASSERT");
 }
 
 TEST(ContractDeathTest, StaticIndexRejectsDynamicUpdates) {
@@ -53,8 +53,8 @@ TEST(ContractDeathTest, StaticIndexRejectsDynamicUpdates) {
   const KdTreeIndex index(data, Euclidean());
   EXPECT_FALSE(index.SupportsDynamicUpdates());
   KdTreeIndex mutable_index(data, Euclidean());
-  EXPECT_DEATH(mutable_index.Insert(0), "DBDC_CHECK");
-  EXPECT_DEATH(mutable_index.Erase(0), "DBDC_CHECK");
+  EXPECT_DEATH(mutable_index.Insert(0), "DBDC_ASSERT");
+  EXPECT_DEATH(mutable_index.Erase(0), "DBDC_ASSERT");
 }
 
 TEST(ContractDeathTest, DynamicIndexRejectsDoubleInsertAndGhostErase) {
@@ -62,9 +62,9 @@ TEST(ContractDeathTest, DynamicIndexRejectsDoubleInsertAndGhostErase) {
   data.Add(Point{0.0, 0.0});
   LinearScanIndex index(data, Euclidean(), /*index_all=*/false);
   index.Insert(0);
-  EXPECT_DEATH(index.Insert(0), "DBDC_CHECK");
+  EXPECT_DEATH(index.Insert(0), "DBDC_ASSERT");
   index.Erase(0);
-  EXPECT_DEATH(index.Erase(0), "DBDC_CHECK");
+  EXPECT_DEATH(index.Erase(0), "DBDC_ASSERT");
 }
 
 }  // namespace

@@ -1,0 +1,223 @@
+// Exercises the runtime contract layer (common/check.h): the DBDC_ASSERT
+// based invariant validators for the R*-tree, the DBSCAN postconditions
+// and the model codec — both the accepting direction (valid structures
+// pass) and the aborting direction (corrupted structures die with a
+// DBDC_ASSERT message).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "core/model_codec.h"
+#include "index/linear_scan_index.h"
+#include "index/rstar_tree.h"
+#include "test_util.h"
+
+namespace dbdc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// R*-tree structural validation.
+
+TEST(RStarInvariantsTest, HoldThroughInsertAndEraseChurn) {
+  Rng rng(7);
+  const Dataset data = RandomDataset(600, 3, 0.0, 10.0, &rng);
+  RStarTree tree(data, Euclidean());
+  tree.CheckInvariants();
+  // Erase a third, validate, reinsert, validate again.
+  for (PointId id = 0; id < 600; id += 3) tree.Erase(id);
+  tree.CheckInvariants();
+  for (PointId id = 0; id < 600; id += 3) tree.Insert(id);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 600u);
+}
+
+TEST(RStarInvariantsTest, HoldAfterBulkLoad) {
+  Rng rng(11);
+  const Dataset data = RandomDataset(900, 2, 0.0, 50.0, &rng);
+  // In Debug / DBDC_DCHECKS builds the constructor self-checks after the
+  // bulk load; the explicit call covers Release builds too.
+  RStarTree tree(data, Euclidean(), /*index_all=*/true,
+                 RStarTree::Construction::kBulkLoadStr);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 900u);
+}
+
+// ---------------------------------------------------------------------------
+// DBSCAN postcondition validation.
+
+TEST(DbscanInvariantsTest, RealRunPassesValidation) {
+  Rng rng(3);
+  const Dataset data = RandomDataset(400, 2, 0.0, 20.0, &rng);
+  const LinearScanIndex index(data, Euclidean());
+  const DbscanParams params{1.5, 4};
+  const Clustering clustering = RunDbscan(index, params);
+  ValidateDbscanResult(index, params, clustering);  // Must not abort.
+  EXPECT_GE(clustering.num_clusters, 1);
+}
+
+using DbscanInvariantsDeathTest = ::testing::Test;
+
+TEST(DbscanInvariantsDeathTest, DetectsCorruptedCoreFlag) {
+  Rng rng(3);
+  const Dataset data = RandomDataset(200, 2, 0.0, 15.0, &rng);
+  const LinearScanIndex index(data, Euclidean());
+  const DbscanParams params{1.5, 4};
+  Clustering clustering = RunDbscan(index, params);
+  ASSERT_GT(clustering.CountCore(), 0u);
+  for (std::size_t i = 0; i < clustering.is_core.size(); ++i) {
+    if (clustering.is_core[i] != 0) {
+      clustering.is_core[i] = 0;  // Forge: a core point loses its flag.
+      break;
+    }
+  }
+  EXPECT_DEATH(ValidateDbscanResult(index, params, clustering),
+               "DBDC_ASSERT");
+}
+
+TEST(DbscanInvariantsDeathTest, DetectsClusterSpanningBeyondConnectivity) {
+  Rng rng(5);
+  const Dataset data = RandomDataset(300, 2, 0.0, 25.0, &rng);
+  const LinearScanIndex index(data, Euclidean());
+  const DbscanParams params{1.5, 4};
+  Clustering clustering = RunDbscan(index, params);
+  if (clustering.num_clusters < 2) {
+    GTEST_SKIP() << "need two clusters to forge a cross-cluster merge";
+  }
+  // Forge: relabel every point of cluster 1 into cluster 0. The merged
+  // "cluster" now spans two ε-connected components.
+  for (auto& label : clustering.labels) {
+    if (label == 1) label = 0;
+  }
+  for (auto& label : clustering.labels) {
+    if (label == clustering.num_clusters - 1) label = 1;
+  }
+  clustering.num_clusters -= 1;
+  EXPECT_DEATH(ValidateDbscanResult(index, params, clustering),
+               "DBDC_ASSERT");
+}
+
+TEST(DbscanInvariantsDeathTest, DetectsUnlabeledCorePoint) {
+  Rng rng(9);
+  const Dataset data = RandomDataset(200, 2, 0.0, 15.0, &rng);
+  const LinearScanIndex index(data, Euclidean());
+  const DbscanParams params{1.5, 4};
+  Clustering clustering = RunDbscan(index, params);
+  bool forged = false;
+  for (std::size_t i = 0; i < clustering.labels.size(); ++i) {
+    if (clustering.is_core[i] != 0) {
+      clustering.labels[i] = kNoise;  // Forge: core point marked noise.
+      forged = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(forged);
+  EXPECT_DEATH(ValidateDbscanResult(index, params, clustering),
+               "DBDC_ASSERT");
+}
+
+// ---------------------------------------------------------------------------
+// Codec model validation.
+
+LocalModel ValidLocalModel() {
+  LocalModel model;
+  model.site_id = 2;
+  model.dim = 2;
+  model.num_local_clusters = 1;
+  model.representatives = {{{1.0, 2.0}, 0.5, 0, 3}, {{4.0, 5.0}, 1.5, 0, 8}};
+  return model;
+}
+
+GlobalModel ValidGlobalModel() {
+  GlobalModel model;
+  model.rep_points = Dataset(2);
+  model.rep_points.Add(Point{1.0, 2.0});
+  model.rep_eps = {0.75};
+  model.rep_weight = {4};
+  model.rep_global_cluster = {0};
+  model.rep_site = {0};
+  model.rep_local_cluster = {0};
+  model.num_global_clusters = 1;
+  model.eps_global_used = 1.5;
+  return model;
+}
+
+TEST(CodecInvariantsTest, ValidModelsPassAndRoundTripByteExactly) {
+  const LocalModel local = ValidLocalModel();
+  ValidateLocalModel(local);  // Must not abort.
+  const std::vector<std::uint8_t> bytes = EncodeLocalModel(local);
+  const auto decoded = DecodeLocalModel(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ValidateLocalModel(*decoded);
+  EXPECT_EQ(EncodeLocalModel(*decoded), bytes);
+
+  const GlobalModel global = ValidGlobalModel();
+  ValidateGlobalModel(global);
+  const std::vector<std::uint8_t> gbytes = EncodeGlobalModel(global);
+  const auto gdecoded = DecodeGlobalModel(gbytes);
+  ASSERT_TRUE(gdecoded.has_value());
+  ValidateGlobalModel(*gdecoded);
+  EXPECT_EQ(EncodeGlobalModel(*gdecoded), gbytes);
+}
+
+using CodecInvariantsDeathTest = ::testing::Test;
+
+TEST(CodecInvariantsDeathTest, DetectsDimensionMismatch) {
+  LocalModel model = ValidLocalModel();
+  model.representatives[0].center.push_back(9.0);
+  EXPECT_DEATH(ValidateLocalModel(model), "DBDC_ASSERT");
+}
+
+TEST(CodecInvariantsDeathTest, DetectsNonFiniteEpsRange) {
+  LocalModel model = ValidLocalModel();
+  model.representatives[1].eps_range =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DEATH(ValidateLocalModel(model), "DBDC_ASSERT");
+}
+
+TEST(CodecInvariantsDeathTest, DetectsZeroWeight) {
+  LocalModel model = ValidLocalModel();
+  model.representatives[0].weight = 0;
+  EXPECT_DEATH(ValidateLocalModel(model), "DBDC_ASSERT");
+}
+
+TEST(CodecInvariantsDeathTest, DetectsGlobalParallelArrayMismatch) {
+  GlobalModel model = ValidGlobalModel();
+  model.rep_site.push_back(1);
+  EXPECT_DEATH(ValidateGlobalModel(model), "DBDC_ASSERT");
+}
+
+TEST(CodecInvariantsDeathTest, DetectsGlobalClusterIdOutOfRange) {
+  GlobalModel model = ValidGlobalModel();
+  model.rep_global_cluster[0] = model.num_global_clusters;
+  EXPECT_DEATH(ValidateGlobalModel(model), "DBDC_ASSERT");
+}
+
+TEST(CodecInvariantsDeathTest, EncoderRejectsInvalidModel) {
+  LocalModel model = ValidLocalModel();
+  model.representatives[0].local_cluster = -3;
+  EXPECT_DEATH(EncodeLocalModel(model), "DBDC_ASSERT");
+}
+
+// ---------------------------------------------------------------------------
+// DBDC_DCHECK semantics.
+
+TEST(CheckMacroTest, DcheckCompiledInExactlyWhenAdvertised) {
+  int evaluations = 0;
+  DBDC_DCHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, DBDC_DCHECK_IS_ON() ? 1 : 0);
+}
+
+TEST(CheckMacroTest, AssertAbortsWithLocation) {
+  EXPECT_DEATH(DBDC_ASSERT(1 + 1 == 3), "DBDC_ASSERT failed at .*:[0-9]+");
+}
+
+}  // namespace
+}  // namespace dbdc

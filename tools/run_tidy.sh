@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over every library source under src/ using the
+# compile-commands database of a configured build tree.
+#
+# Usage:
+#   tools/run_tidy.sh [BUILD_DIR] [-- extra clang-tidy args]
+#
+# BUILD_DIR defaults to the first of build-tidy/, build/ that contains a
+# compile_commands.json; if none exists, one is configured into
+# build-tidy/ first (cmake --preset tidy).
+#
+# Exit status: 0 when clang-tidy produced no diagnostics (WarningsAsErrors
+# is '*' in .clang-tidy, so any finding is fatal), non-zero otherwise.
+# When no clang-tidy binary is available the script reports that and
+# exits 0 so environments without LLVM (the pinned build container has
+# only gcc) degrade gracefully; CI installs clang-tidy and runs the real
+# pass.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "$tidy_bin" ]]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                   clang-tidy-16 clang-tidy-15; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy_bin="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$tidy_bin" ]]; then
+  echo "run_tidy.sh: no clang-tidy binary found (set CLANG_TIDY=...);" \
+       "skipping the tidy pass." >&2
+  exit 0
+fi
+
+build_dir=""
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  build_dir="$1"
+  shift
+fi
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+  shift
+fi
+if [[ -z "$build_dir" ]]; then
+  for candidate in build-tidy build; do
+    if [[ -f "$candidate/compile_commands.json" ]]; then
+      build_dir="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$build_dir" ]]; then
+  echo "run_tidy.sh: no compile_commands.json found; configuring" \
+       "build-tidy/ ..." >&2
+  cmake --preset tidy >/dev/null || exit 1
+  build_dir="build-tidy"
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_tidy.sh: $build_dir/compile_commands.json missing" \
+       "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)." >&2
+  exit 1
+fi
+
+mapfile -t sources < <(find src -name '*.cc' | sort)
+echo "run_tidy.sh: $tidy_bin over ${#sources[@]} files" \
+     "(database: $build_dir)" >&2
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+printf '%s\n' "${sources[@]}" |
+  xargs -P "$jobs" -n 4 "$tidy_bin" -p "$build_dir" --quiet "$@"
+status=$?
+
+if [[ $status -eq 0 ]]; then
+  echo "run_tidy.sh: clean." >&2
+else
+  echo "run_tidy.sh: clang-tidy reported diagnostics (exit $status)." >&2
+fi
+exit "$status"
