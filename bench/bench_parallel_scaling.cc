@@ -1,0 +1,306 @@
+// Parallel scaling + distance fast-path benchmark.
+//
+// Measures, on this machine:
+//   1. Two-phase parallel DBSCAN (RunDbscan with params.threads) across
+//      threads x index x dataset, reporting speedup vs the 1-thread run
+//      and verifying labels are identical to the sequential run.
+//   2. Parallel relabeling (RelabelSite with a shared RelabelContext)
+//      across the same thread counts.
+//   3. The devirtualized squared-distance fast path: central DBSCAN with
+//      the Euclidean() singleton (fast path) vs an equivalent wrapper
+//      metric that is forced onto the generic virtual-call path.
+//
+// With --out FILE the results are also emitted as machine-readable JSON
+// (schema "dbdc-parallel-bench-v1"); --quick shrinks datasets and the
+// thread ladder for CI smoke runs. Absolute times are hardware-dependent;
+// speedups above 1x require actual hardware parallelism (more than one
+// core), so on constrained machines the JSON is still schema-valid but
+// speedups hover around 1x.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/dbscan.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/dbdc.h"
+#include "core/relabel.h"
+#include "data/generators.h"
+#include "index/index_factory.h"
+
+namespace {
+
+using dbdc::bench::Fmt;
+using dbdc::bench::Table;
+
+struct ScalingRow {
+  std::string phase;
+  std::string dataset;
+  std::size_t n = 0;
+  std::string index;
+  int threads = 1;
+  double seconds = 0.0;
+  double speedup_vs_1t = 1.0;
+};
+
+struct FastPathRow {
+  std::string dataset;
+  std::size_t n = 0;
+  std::string index;
+  double generic_seconds = 0.0;
+  double fast_seconds = 0.0;
+  double speedup = 1.0;
+};
+
+/// Forwards to Euclidean() but is a distinct Metric instance, so
+/// IsEuclideanMetric() is false and every index stays on the generic
+/// virtual-call path. This isolates the fast-path win.
+class WrappedEuclidean final : public dbdc::Metric {
+ public:
+  double Distance(std::span<const double> a,
+                  std::span<const double> b) const override {
+    return dbdc::Euclidean().Distance(a, b);
+  }
+  double MinDistanceToBox(std::span<const double> p,
+                          std::span<const double> lo,
+                          std::span<const double> hi) const override {
+    return dbdc::Euclidean().MinDistanceToBox(p, lo, hi);
+  }
+  std::string_view name() const override { return "euclidean_wrapped"; }
+};
+
+double MedianSeconds(const std::vector<double>& samples) {
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted[sorted.size() / 2];
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const int repeats = quick ? 1 : 3;
+  const std::vector<int> thread_ladder =
+      quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+  const std::vector<dbdc::IndexType> index_types = {
+      dbdc::IndexType::kGrid, dbdc::IndexType::kKdTree,
+      dbdc::IndexType::kRStarTreeBulk};
+
+  std::vector<dbdc::SyntheticDataset> datasets;
+  datasets.push_back(dbdc::MakeTestDatasetC());
+  datasets.push_back(dbdc::MakeScaledDataset(quick ? 4000 : 20000));
+
+  std::vector<ScalingRow> scaling;
+  std::vector<FastPathRow> fastpath;
+
+  // --- Phase 1: parallel DBSCAN scaling -------------------------------
+  Table dbscan_table("Parallel DBSCAN scaling (threads x index x dataset)");
+  dbscan_table.SetHeader(
+      {"dataset", "n", "index", "threads", "seconds", "speedup"});
+  for (const dbdc::SyntheticDataset& ds : datasets) {
+    for (const dbdc::IndexType index_type : index_types) {
+      const std::unique_ptr<dbdc::NeighborIndex> index = dbdc::CreateIndex(
+          index_type, ds.data, dbdc::Euclidean(), ds.suggested_params.eps);
+      dbdc::DbscanParams params = ds.suggested_params;
+      const dbdc::Clustering reference = dbdc::RunDbscan(*index, params);
+      double seconds_1t = 0.0;
+      for (const int threads : thread_ladder) {
+        params.threads = threads;
+        std::vector<double> samples;
+        for (int r = 0; r < repeats; ++r) {
+          dbdc::Timer timer;
+          const dbdc::Clustering clustering = dbdc::RunDbscan(*index, params);
+          samples.push_back(timer.Seconds());
+          if (clustering.labels != reference.labels) {
+            std::fprintf(stderr,
+                         "FATAL: parallel DBSCAN labels diverge "
+                         "(dataset=%s index=%s threads=%d)\n",
+                         ds.name.c_str(),
+                         std::string(dbdc::IndexTypeName(index_type)).c_str(),
+                         threads);
+            return 1;
+          }
+        }
+        const double seconds = MedianSeconds(samples);
+        if (threads == 1) seconds_1t = seconds;
+        ScalingRow row;
+        row.phase = "dbscan";
+        row.dataset = ds.name;
+        row.n = ds.data.size();
+        row.index = std::string(dbdc::IndexTypeName(index_type));
+        row.threads = threads;
+        row.seconds = seconds;
+        row.speedup_vs_1t = seconds > 0.0 ? seconds_1t / seconds : 1.0;
+        scaling.push_back(row);
+        dbscan_table.AddRow({row.dataset, Fmt("%zu", row.n), row.index,
+                             Fmt("%d", row.threads), Fmt("%.4f", row.seconds),
+                             Fmt("%.2fx", row.speedup_vs_1t)});
+      }
+    }
+  }
+  dbscan_table.Print();
+
+  // --- Phase 2: parallel relabel scaling ------------------------------
+  Table relabel_table("Parallel relabel scaling (shared RelabelContext)");
+  relabel_table.SetHeader({"dataset", "n", "threads", "seconds", "speedup"});
+  for (const dbdc::SyntheticDataset& ds : datasets) {
+    dbdc::DbdcConfig config;
+    config.num_sites = 4;
+    config.local_dbscan = ds.suggested_params;
+    const dbdc::DbdcResult run =
+        dbdc::RunDbdc(ds.data, dbdc::Euclidean(), config);
+    if (run.global_model.NumRepresentatives() == 0) continue;
+    const dbdc::RelabelContext context(run.global_model, dbdc::Euclidean());
+    const std::vector<dbdc::ClusterId> reference =
+        dbdc::RelabelSite(ds.data, context, dbdc::Euclidean(), 1);
+    double seconds_1t = 0.0;
+    for (const int threads : thread_ladder) {
+      std::vector<double> samples;
+      for (int r = 0; r < repeats; ++r) {
+        dbdc::Timer timer;
+        const std::vector<dbdc::ClusterId> labels =
+            dbdc::RelabelSite(ds.data, context, dbdc::Euclidean(), threads);
+        samples.push_back(timer.Seconds());
+        if (labels != reference) {
+          std::fprintf(stderr,
+                       "FATAL: parallel relabel labels diverge "
+                       "(dataset=%s threads=%d)\n",
+                       ds.name.c_str(), threads);
+          return 1;
+        }
+      }
+      const double seconds = MedianSeconds(samples);
+      if (threads == 1) seconds_1t = seconds;
+      ScalingRow row;
+      row.phase = "relabel";
+      row.dataset = ds.name;
+      row.n = ds.data.size();
+      row.index = "grid";
+      row.threads = threads;
+      row.seconds = seconds;
+      row.speedup_vs_1t = seconds > 0.0 ? seconds_1t / seconds : 1.0;
+      scaling.push_back(row);
+      relabel_table.AddRow({row.dataset, Fmt("%zu", row.n),
+                            Fmt("%d", row.threads), Fmt("%.4f", row.seconds),
+                            Fmt("%.2fx", row.speedup_vs_1t)});
+    }
+  }
+  relabel_table.Print();
+
+  // --- Phase 3: distance fast path vs generic metric ------------------
+  Table fast_table("Euclidean fast path vs generic virtual metric");
+  fast_table.SetHeader(
+      {"dataset", "n", "index", "generic_s", "fast_s", "speedup"});
+  const WrappedEuclidean wrapped;
+  for (const dbdc::SyntheticDataset& ds : datasets) {
+    for (const dbdc::IndexType index_type : index_types) {
+      dbdc::DbscanParams params = ds.suggested_params;
+      const std::unique_ptr<dbdc::NeighborIndex> fast_index =
+          dbdc::CreateIndex(index_type, ds.data, dbdc::Euclidean(),
+                            params.eps);
+      const std::unique_ptr<dbdc::NeighborIndex> generic_index =
+          dbdc::CreateIndex(index_type, ds.data, wrapped, params.eps);
+      std::vector<double> fast_samples;
+      std::vector<double> generic_samples;
+      dbdc::Clustering fast_result;
+      dbdc::Clustering generic_result;
+      for (int r = 0; r < repeats; ++r) {
+        dbdc::Timer fast_timer;
+        fast_result = dbdc::RunDbscan(*fast_index, params);
+        fast_samples.push_back(fast_timer.Seconds());
+        dbdc::Timer generic_timer;
+        generic_result = dbdc::RunDbscan(*generic_index, params);
+        generic_samples.push_back(generic_timer.Seconds());
+      }
+      if (fast_result.labels != generic_result.labels) {
+        std::fprintf(stderr,
+                     "FATAL: fast-path labels diverge from generic metric "
+                     "(dataset=%s index=%s)\n",
+                     ds.name.c_str(),
+                     std::string(dbdc::IndexTypeName(index_type)).c_str());
+        return 1;
+      }
+      FastPathRow row;
+      row.dataset = ds.name;
+      row.n = ds.data.size();
+      row.index = std::string(dbdc::IndexTypeName(index_type));
+      row.generic_seconds = MedianSeconds(generic_samples);
+      row.fast_seconds = MedianSeconds(fast_samples);
+      row.speedup = row.fast_seconds > 0.0
+                        ? row.generic_seconds / row.fast_seconds
+                        : 1.0;
+      fastpath.push_back(row);
+      fast_table.AddRow({row.dataset, Fmt("%zu", row.n), row.index,
+                         Fmt("%.4f", row.generic_seconds),
+                         Fmt("%.4f", row.fast_seconds),
+                         Fmt("%.2fx", row.speedup)});
+    }
+  }
+  fast_table.Print();
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+    out << "{\n";
+    out << "  \"schema\": \"dbdc-parallel-bench-v1\",\n";
+    out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+        << ",\n";
+    out << "  \"results\": [\n";
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+      const ScalingRow& r = scaling[i];
+      out << "    {\"phase\": \"" << JsonEscape(r.phase) << "\", \"dataset\": \""
+          << JsonEscape(r.dataset) << "\", \"n\": " << r.n << ", \"index\": \""
+          << JsonEscape(r.index) << "\", \"threads\": " << r.threads
+          << ", \"seconds\": " << Fmt("%.6f", r.seconds)
+          << ", \"speedup_vs_1t\": " << Fmt("%.4f", r.speedup_vs_1t) << "}"
+          << (i + 1 < scaling.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"fastpath\": [\n";
+    for (std::size_t i = 0; i < fastpath.size(); ++i) {
+      const FastPathRow& r = fastpath[i];
+      out << "    {\"dataset\": \"" << JsonEscape(r.dataset)
+          << "\", \"n\": " << r.n << ", \"index\": \"" << JsonEscape(r.index)
+          << "\", \"generic_seconds\": " << Fmt("%.6f", r.generic_seconds)
+          << ", \"fast_seconds\": " << Fmt("%.6f", r.fast_seconds)
+          << ", \"speedup\": " << Fmt("%.4f", r.speedup) << "}"
+          << (i + 1 < fastpath.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

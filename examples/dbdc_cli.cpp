@@ -12,6 +12,9 @@
 //     --seed <uint>              partitioning seed (default 42)
 //     --condense <double>        pre-transmission condensation radius
 //     --min-weight <uint>        weighted global core condition (0 = off)
+//     --threads <int>            intra-site worker threads (0 = hardware
+//                                concurrency, default 1); identical labels
+//                                for every value
 //     --out <labels.csv>         write "x,...,label" rows
 //
 // Example:
@@ -32,7 +35,7 @@ namespace {
                "[--minpts M] [--sites K] [--model scor|kmeans] "
                "[--eps-global G] [--index TYPE] [--metric NAME] "
                "[--seed S] [--condense R] [--min-weight W] "
-               "[--out labels.csv]\n",
+               "[--threads T] [--out labels.csv]\n",
                argv0);
   std::exit(2);
 }
@@ -87,6 +90,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--min-weight") {
       config.min_weight_global =
           static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--threads") {
+      config.num_threads = std::atoi(next());
     } else if (arg == "--out") {
       out_path = next();
     } else {
@@ -109,8 +114,10 @@ int main(int argc, char** argv) {
   std::vector<ClusterId> labels;
   if (mode == "central") {
     double seconds = 0.0;
+    DbscanParams central_params = config.local_dbscan;
+    central_params.threads = config.num_threads;
     const Clustering result =
-        RunCentralDbscan(csv->data, *metric, config.local_dbscan,
+        RunCentralDbscan(csv->data, *metric, central_params,
                          config.index_type, &seconds);
     labels = result.labels;
     std::printf("central DBSCAN: %d clusters, %zu noise, %.3f s\n",

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace dbdc {
@@ -110,12 +111,21 @@ ParallelDbscanResult RunParallelDbscan(const Dataset& data,
         halo * (data.dim() * sizeof(double) + sizeof(PointId));
   }
 
+  // The workers genuinely run concurrently on the pool (one lane per
+  // thread; `num_threads = 1` degrades to a sequential loop). Every
+  // worker writes only its own WorkerState plus the is_core flags of the
+  // points it *owns* — disjoint byte ranges — and the fork-join barrier
+  // between the phases is the core-flag exchange, so the result is
+  // byte-identical to the sequential execution.
+  ThreadPool pool(config.num_threads);
+  const std::size_t worker_count = static_cast<std::size_t>(workers);
+
   // Worker phase 1: exact core flags for owned points (their full
   // eps-neighborhood is guaranteed to be inside owned + halo).
-  std::vector<PointId> neighbors;
-  for (int w = 0; w < workers; ++w) {
+  pool.ParallelFor(worker_count, [&](std::size_t w) {
     WorkerState& state = states[w];
     Timer timer;
+    std::vector<PointId> neighbors;
     state.index = CreateIndex(config.index_type, state.local, metric,
                               config.dbscan.eps);
     for (std::size_t i = 0; i < state.owned_count; ++i) {
@@ -126,15 +136,17 @@ ParallelDbscanResult RunParallelDbscan(const Dataset& data,
       }
     }
     state.seconds += timer.Seconds();
-  }
-  // Core-flag exchange for halo points (owners know the exact flags).
+  });
+  // Core-flag exchange for halo points (owners know the exact flags); the
+  // barrier above makes every flag visible to every worker.
   result.bytes_merge += result.total_halo_points;  // 1 flag byte each.
 
   // Worker phase 2: connected components over the (exact) core graph of
   // owned + halo, then local border attachment.
-  for (int w = 0; w < workers; ++w) {
+  pool.ParallelFor(worker_count, [&](std::size_t w) {
     WorkerState& state = states[w];
     Timer timer;
+    std::vector<PointId> neighbors;
     const std::size_t local_n = state.local_to_global.size();
     state.comp.assign(local_n, -1);
     std::vector<PointId> queue;
@@ -168,6 +180,8 @@ ParallelDbscanResult RunParallelDbscan(const Dataset& data,
       }
     }
     state.seconds += timer.Seconds();
+  });
+  for (const WorkerState& state : states) {
     result.max_worker_seconds =
         std::max(result.max_worker_seconds, state.seconds);
   }

@@ -15,6 +15,11 @@ struct ParallelDbscanConfig {
   IndexType index_type = IndexType::kGrid;
   /// Axis along which the data space is sliced into worker partitions.
   int slice_axis = 0;
+  /// Threads executing the workers (ThreadPool size): 0 = hardware
+  /// concurrency (default), 1 = sequential execution of the workers.
+  /// Workers write disjoint state and the phases are fork-join barriers,
+  /// so the merged labeling is byte-identical for every value.
+  int num_threads = 0;
 };
 
 struct ParallelDbscanResult {

@@ -1,6 +1,9 @@
 #include "cluster/dbscan.h"
 
 #include <algorithm>
+#include <span>
+
+#include "common/thread_pool.h"
 
 namespace dbdc {
 
@@ -22,26 +25,25 @@ std::vector<std::size_t> Clustering::ClusterSizes() const {
   return sizes;
 }
 
-Clustering RunDbscan(const NeighborIndex& index, const DbscanParams& params,
-                     DbscanObserver* observer) {
-  DBDC_CHECK(params.eps > 0.0);
-  DBDC_CHECK(params.min_pts >= 1);
-  const Dataset& data = index.data();
-  const std::size_t n = data.size();
-  DBDC_CHECK(index.size() == n && "RunDbscan requires a fully-built index");
+namespace {
 
+/// The DBSCAN control flow, generic over where neighborhoods come from:
+/// `neighbors_of(p)` must return the ε-neighborhood of p (inclusive).
+/// The sequential path issues live range queries; the parallel path reads
+/// the materialized core graph. Keeping one sweep guarantees the two
+/// paths cannot diverge behaviorally.
+template <typename NeighborsOf>
+Clustering DbscanSweep(std::size_t n, const DbscanParams& params,
+                       DbscanObserver* observer, NeighborsOf&& neighbors_of) {
   Clustering result;
   result.labels.assign(n, kUnclassified);
   result.is_core.assign(n, 0);
 
-  std::vector<PointId> neighbors;
   std::vector<PointId> seeds;  // FIFO expansion queue of the current cluster.
-  std::vector<PointId> expansion;
-
   ClusterId next_cluster = 0;
   for (PointId p = 0; p < static_cast<PointId>(n); ++p) {
     if (result.labels[p] != kUnclassified) continue;
-    index.RangeQuery(p, params.eps, &neighbors);
+    const std::span<const PointId> neighbors = neighbors_of(p);
     if (static_cast<int>(neighbors.size()) < params.min_pts) {
       // Tentative noise; may later be claimed as a border point.
       result.labels[p] = kNoise;
@@ -63,7 +65,7 @@ Clustering RunDbscan(const NeighborIndex& index, const DbscanParams& params,
     }
     for (std::size_t i = 0; i < seeds.size(); ++i) {
       const PointId q = seeds[i];
-      index.RangeQuery(q, params.eps, &expansion);
+      const std::span<const PointId> expansion = neighbors_of(q);
       if (static_cast<int>(expansion.size()) < params.min_pts) continue;
       result.is_core[q] = 1;
       if (observer != nullptr) observer->OnCorePoint(q, cluster);
@@ -76,6 +78,89 @@ Clustering RunDbscan(const NeighborIndex& index, const DbscanParams& params,
     }
   }
   result.num_clusters = next_cluster;
+  return result;
+}
+
+}  // namespace
+
+Clustering RunDbscan(const NeighborIndex& index, const DbscanParams& params,
+                     DbscanObserver* observer) {
+  DBDC_CHECK(params.eps > 0.0);
+  DBDC_CHECK(params.min_pts >= 1);
+  if (params.threads != 1) {
+    return RunDbscanParallel(index, params, params.threads, observer);
+  }
+  const Dataset& data = index.data();
+  const std::size_t n = data.size();
+  DBDC_CHECK(index.size() == n && "RunDbscan requires a fully-built index");
+
+  std::vector<PointId> buffer;
+  Clustering result =
+      DbscanSweep(n, params, observer, [&](PointId p) {
+        index.RangeQuery(p, params.eps, &buffer);
+        return std::span<const PointId>(buffer);
+      });
+#if DBDC_DCHECK_IS_ON()
+  ValidateDbscanResult(index, params, result);
+#endif
+  return result;
+}
+
+Clustering RunDbscanParallel(const NeighborIndex& index,
+                             const DbscanParams& params, int threads,
+                             DbscanObserver* observer) {
+  DBDC_CHECK(params.eps > 0.0);
+  DBDC_CHECK(params.min_pts >= 1);
+  const int resolved = ResolveNumThreads(threads);
+  if (resolved == 1) {
+    // No workers to win anything with; skip the graph materialization.
+    DbscanParams sequential = params;
+    sequential.threads = 1;
+    return RunDbscan(index, sequential, observer);
+  }
+  const Dataset& data = index.data();
+  const std::size_t n = data.size();
+  DBDC_CHECK(index.size() == n && "RunDbscan requires a fully-built index");
+
+  ThreadPool pool(resolved);
+
+  // Phase A: all ε-neighborhoods via parallel range queries. Every chunk
+  // appends its points' neighbor lists to a private buffer; the chunking
+  // is pure index arithmetic, so buffer contents are independent of
+  // scheduling and thread count.
+  std::vector<std::size_t> offsets(n + 1, 0);  // offsets[p+1] = |N(p)| here.
+  std::vector<std::vector<PointId>> chunk_ids(pool.NumChunks(n));
+  pool.ParallelChunks(n, [&](std::size_t chunk, std::size_t begin,
+                             std::size_t end) {
+    std::vector<PointId> scratch;
+    std::vector<PointId>& buffer = chunk_ids[chunk];
+    for (std::size_t i = begin; i < end; ++i) {
+      index.RangeQuery(static_cast<PointId>(i), params.eps, &scratch);
+      offsets[i + 1] = scratch.size();
+      buffer.insert(buffer.end(), scratch.begin(), scratch.end());
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
+
+  // Stitch the per-chunk buffers into one CSR adjacency. A chunk's buffer
+  // is exactly the concatenation of its points' lists, and chunks cover
+  // contiguous point ranges, so each copies to adjacency[offsets[begin]...).
+  std::vector<PointId> adjacency(offsets[n]);
+  pool.ParallelChunks(n, [&](std::size_t chunk, std::size_t begin,
+                             std::size_t /*end*/) {
+    std::copy(chunk_ids[chunk].begin(), chunk_ids[chunk].end(),
+              adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[begin]));
+  });
+  chunk_ids.clear();
+
+  // Phase B: sequential expansion over the materialized core graph —
+  // the exact sequential control flow, consuming the exact data a
+  // sequential run would have queried, hence bit-identical output.
+  Clustering result = DbscanSweep(n, params, observer, [&](PointId p) {
+    const std::size_t begin = offsets[static_cast<std::size_t>(p)];
+    const std::size_t end = offsets[static_cast<std::size_t>(p) + 1];
+    return std::span<const PointId>(adjacency.data() + begin, end - begin);
+  });
 #if DBDC_DCHECK_IS_ON()
   ValidateDbscanResult(index, params, result);
 #endif

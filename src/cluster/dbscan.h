@@ -14,6 +14,13 @@ namespace dbdc {
 struct DbscanParams {
   double eps = 0.0;
   int min_pts = 0;
+  /// Worker threads for the ε-range-query phase (the dominant cost).
+  /// 1 = fully sequential (the default), 0 = hardware concurrency. Any
+  /// value produces labels bit-identical to the sequential run: the range
+  /// queries are parallel, the (cheap) cluster expansion replays the
+  /// sequential algorithm over the materialized core graph. See
+  /// RunDbscanParallel.
+  int threads = 1;
 };
 
 /// The output of a (DBSCAN-style) flat clustering: per-point labels in
@@ -47,8 +54,35 @@ class DbscanObserver {
 /// Border points are assigned to the first cluster that reaches them (the
 /// original DBSCAN semantics). The index must cover the whole dataset; the
 /// result vectors are sized index.data().size().
+///
+/// With params.threads != 1 this dispatches to RunDbscanParallel; the
+/// result (and every observer event, in order) is identical either way.
 Clustering RunDbscan(const NeighborIndex& index, const DbscanParams& params,
                      DbscanObserver* observer = nullptr);
+
+/// Two-phase parallel DBSCAN producing labels, core flags, cluster count
+/// and observer event sequence *bit-identical* to the sequential
+/// RunDbscan:
+///
+///   Phase A (parallel): the ε-neighborhood of every point — the part
+///   that dominates DBSCAN's cost — is computed by concurrent range
+///   queries into per-chunk buffers, then stitched into one CSR adjacency
+///   ("core graph") whose content is independent of thread count and
+///   scheduling (chunks are index-arithmetic splits; each range query is
+///   a deterministic pure function of the index).
+///
+///   Phase B (sequential): the original DBSCAN control flow runs
+///   unchanged, but reads neighborhoods from the core graph instead of
+///   issuing range queries — O(Σ|N(p)|) pointer chasing, no distance
+///   computations. Since phase B consumes exactly the data sequential
+///   DBSCAN would have computed, in the same order, the output is the
+///   same by construction.
+///
+/// `threads` follows DbscanParams::threads (0 = hardware concurrency).
+/// Memory: the materialized graph holds Σ|N_eps(p)| point ids.
+Clustering RunDbscanParallel(const NeighborIndex& index,
+                             const DbscanParams& params, int threads,
+                             DbscanObserver* observer = nullptr);
 
 /// Verifies the DBSCAN postconditions of `result` against the index that
 /// produced it; aborts with file:line context on the first violation:

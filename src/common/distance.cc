@@ -90,6 +90,12 @@ class ChebyshevMetric final : public Metric {
 
 }  // namespace
 
+bool IsEuclideanMetric(const Metric& metric) {
+  // The built-in metrics are singletons, so identity is sufficient; a
+  // user-defined L2 metric simply stays on the generic virtual path.
+  return &metric == &Euclidean();
+}
+
 const Metric& Euclidean() {
   static const EuclideanMetric* const kMetric = new EuclideanMetric();
   return *kMetric;

@@ -1,6 +1,7 @@
 #ifndef DBDC_COMMON_DISTANCE_H_
 #define DBDC_COMMON_DISTANCE_H_
 
+#include <cstddef>
 #include <span>
 #include <string_view>
 
@@ -36,6 +37,43 @@ class Metric {
 
 /// The standard L2 metric.
 const Metric& Euclidean();
+
+/// True iff `metric` is the built-in Euclidean metric. The spatial indices
+/// use this to take a devirtualized hot path on ε-range queries: candidate
+/// filtering compares *squared* distances against eps² via the inline
+/// kernels below — no virtual call and no sqrt per candidate. sqrt is
+/// strictly monotone, so the accepted candidate set is unchanged.
+bool IsEuclideanMetric(const Metric& metric);
+
+/// Squared L2 distance; the hot-path kernel behind IsEuclideanMetric().
+/// Sizes must match (checked by the callers' index invariants).
+inline double SquaredEuclideanDistance(std::span<const double> a,
+                                       std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// Squared L2 lower bound of the distance from p to the box [lo, hi];
+/// the hot-path companion of Metric::MinDistanceToBox.
+inline double SquaredEuclideanMinDistanceToBox(std::span<const double> p,
+                                               std::span<const double> lo,
+                                               std::span<const double> hi) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    double d = 0.0;
+    if (p[i] < lo[i]) {
+      d = lo[i] - p[i];
+    } else if (p[i] > hi[i]) {
+      d = p[i] - hi[i];
+    }
+    sum += d * d;
+  }
+  return sum;
+}
 /// The L1 (city-block) metric.
 const Metric& Manhattan();
 /// The L-infinity (maximum) metric.

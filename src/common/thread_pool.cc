@@ -1,0 +1,104 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace dbdc {
+
+int ResolveNumThreads(int requested) {
+  DBDC_CHECK(requested >= 0 && "thread count must be >= 0 (0 = auto)");
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(ResolveNumThreads(num_threads)) {
+  if (num_threads_ == 1) return;  // Inline execution; no workers.
+  workers_.reserve(static_cast<std::size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::NumChunks(std::size_t n) const {
+  if (n == 0) return 0;
+  // The split must NOT depend on the pool size: chunk boundaries are
+  // observable through ParallelReduce (a float fold groups differently
+  // under a different split), and results must be bit-identical for every
+  // thread count. A fixed chunk count gives enough granularity to smooth
+  // out imbalance (chunks differ in cost: dense regions have larger
+  // neighborhoods) for any sane pool size, and a single-thread pool just
+  // walks the same chunks inline in order.
+  constexpr std::size_t kFixedChunks = 32;
+  return std::min(n, kFixedChunks);
+}
+
+void ThreadPool::RunTasks(std::size_t num_tasks,
+                          std::function<void(std::size_t)> fn) {
+  if (num_tasks == 0) return;
+  if (num_threads_ == 1) {
+    for (std::size_t t = 0; t < num_tasks; ++t) fn(t);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    DBDC_CHECK(task_fn_ == nullptr &&
+               "nested ParallelFor on the same pool is not supported");
+    task_fn_ = &fn;
+    next_task_ = 0;
+    tasks_total_ = num_tasks;
+    tasks_finished_ = 0;
+  }
+  work_ready_.notify_all();
+  // The calling thread works too: the pool then provides num_threads_
+  // concurrent lanes total without idling the caller.
+  for (;;) {
+    std::size_t task;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (next_task_ >= tasks_total_) break;
+      task = next_task_++;
+    }
+    fn(task);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++tasks_finished_;
+    }
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return tasks_finished_ == tasks_total_; });
+  task_fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t task = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] {
+        return shutdown_ || (task_fn_ != nullptr && next_task_ < tasks_total_);
+      });
+      if (shutdown_) return;
+      fn = task_fn_;
+      task = next_task_++;
+    }
+    (*fn)(task);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++tasks_finished_;
+      if (tasks_finished_ == tasks_total_) work_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace dbdc

@@ -1,0 +1,126 @@
+#ifndef DBDC_COMMON_THREAD_POOL_H_
+#define DBDC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dbdc {
+
+/// Resolves a user-facing thread-count knob: values >= 1 are taken as-is,
+/// 0 selects the hardware concurrency (at least 1). Negative values are
+/// rejected.
+int ResolveNumThreads(int requested);
+
+/// A reusable fixed-size worker pool for intra-site parallelism.
+///
+/// The pool is deliberately minimal: blocking fork-join loops over index
+/// ranges, no futures, no work stealing. All parallel entry points are
+/// *deterministic by construction* — work is split into chunks by index
+/// arithmetic only, every chunk writes to disjoint state, and reductions
+/// combine per-chunk results in chunk order on the calling thread — so a
+/// result never depends on thread count or scheduling (see DESIGN.md,
+/// "Threading model & determinism").
+///
+/// A pool of size 1 executes everything inline on the calling thread and
+/// spawns no workers, which makes `threads = 1` configurations behave
+/// exactly like code written without a pool.
+///
+/// The loop body may be invoked concurrently from several threads; bodies
+/// must not throw. Nested ParallelFor calls from inside a body are not
+/// supported (they would deadlock on the pool's own workers); create a
+/// separate pool instead.
+class ThreadPool {
+ public:
+  /// Creates a pool with ResolveNumThreads(num_threads) workers.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Calls fn(i) for every i in [0, n), split into contiguous chunks that
+  /// run on the pool. Blocks until every call returned.
+  template <typename Fn>
+  void ParallelFor(std::size_t n, Fn&& fn) {
+    ParallelChunks(n, [&fn](std::size_t /*chunk*/, std::size_t begin,
+                            std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+
+  /// Calls fn(chunk, begin, end) for every chunk of [0, n). Chunks are
+  /// contiguous, disjoint, cover [0, n), and are numbered 0..num_chunks-1
+  /// in index order; the split depends only on n — not on the pool size
+  /// and not on scheduling — so chunk-indexed state (CSR stitching,
+  /// reduction folds) is identical for every thread count. Blocks until
+  /// every chunk returned.
+  template <typename Fn>
+  void ParallelChunks(std::size_t n, Fn&& fn) {
+    const std::size_t chunks = NumChunks(n);
+    if (chunks <= 1) {
+      if (n > 0) fn(std::size_t{0}, std::size_t{0}, n);
+      return;
+    }
+    const std::size_t per_chunk = (n + chunks - 1) / chunks;
+    RunTasks(chunks, [&fn, n, per_chunk](std::size_t chunk) {
+      const std::size_t begin = chunk * per_chunk;
+      const std::size_t end = std::min(n, begin + per_chunk);
+      if (begin < end) fn(chunk, begin, end);
+    });
+  }
+
+  /// Deterministic parallel reduction: every chunk maps its index range to
+  /// a partial result with `map(begin, end)`, and the calling thread folds
+  /// the partials *in chunk order* with `reduce(acc, partial)`. Because the
+  /// chunking is scheduling-independent, the result is bit-identical for
+  /// every pool size — including 1 — as long as map itself is
+  /// deterministic.
+  template <typename T, typename MapFn, typename ReduceFn>
+  T ParallelReduce(std::size_t n, T init, MapFn&& map, ReduceFn&& reduce) {
+    const std::size_t chunks = NumChunks(n);
+    std::vector<T> partial(chunks, init);
+    ParallelChunks(n, [&partial, &map](std::size_t chunk, std::size_t begin,
+                                       std::size_t end) {
+      partial[chunk] = map(begin, end);
+    });
+    T acc = init;
+    for (const T& p : partial) acc = reduce(acc, p);
+    return acc;
+  }
+
+  /// The number of chunks ParallelChunks/ParallelReduce split `n` items
+  /// into (stable: depends only on n, never on the pool size).
+  std::size_t NumChunks(std::size_t n) const;
+
+ private:
+  /// Runs fn(task) for task in [0, num_tasks) on the workers (inline when
+  /// the pool has a single thread); blocks until all tasks completed.
+  void RunTasks(std::size_t num_tasks, std::function<void(std::size_t)> fn);
+
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  /// Current fork-join batch; null when idle.
+  std::function<void(std::size_t)>* task_fn_ = nullptr;
+  std::size_t next_task_ = 0;
+  std::size_t tasks_total_ = 0;
+  std::size_t tasks_finished_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_COMMON_THREAD_POOL_H_

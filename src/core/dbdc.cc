@@ -38,7 +38,7 @@ DbdcResult RunDbdc(const Dataset& data, const Metric& metric,
   // Step 1+2: independent local clustering and local models.
   const SiteConfig site_config{config.local_dbscan, config.model_type,
                                config.kmeans, config.index_type,
-                               config.condense_eps};
+                               config.condense_eps, config.num_threads};
   DbdcResult result;
   result.site_sizes.reserve(sites.size());
   if (config.parallel_sites) {
@@ -72,6 +72,7 @@ DbdcResult RunDbdc(const Dataset& data, const Metric& metric,
   global_params.min_pts_global = 2;
   global_params.index_type = config.index_type;
   global_params.min_weight_global = config.min_weight_global;
+  global_params.num_threads = config.num_threads;
   Server server(metric, global_params);
   for (const NetworkMessage* msg : network->Inbox(kServerEndpoint)) {
     const bool ok = server.AddLocalModelBytes(msg->payload);
@@ -81,13 +82,16 @@ DbdcResult RunDbdc(const Dataset& data, const Metric& metric,
   result.global_seconds = server.global_clustering_seconds();
   result.eps_global_used = server.global_model().eps_global_used;
 
-  // Step 4: broadcast and relabel.
+  // Step 4: broadcast and relabel. The representative index is built once
+  // here (over the server's model — byte-identical to every decoded
+  // broadcast copy) and shared by all sites' relabel passes.
   const std::vector<std::uint8_t> global_bytes =
       server.EncodeGlobalModelBytes();
+  const RelabelContext relabel_context(server.global_model(), metric);
   result.labels.assign(data.size(), kNoise);
   for (Site& site : sites) {
     network->Send(kServerEndpoint, site.site_id(), global_bytes);
-    const bool ok = site.ApplyGlobalModelBytes(global_bytes);
+    const bool ok = site.ApplyGlobalModelBytes(global_bytes, &relabel_context);
     DBDC_CHECK(ok && "global model payload failed to decode");
     result.max_relabel_seconds =
         std::max(result.max_relabel_seconds, site.relabel_seconds());

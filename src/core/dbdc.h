@@ -42,6 +42,13 @@ struct DbdcConfig {
   /// (max local + global) is unaffected because it already charges only
   /// the slowest site.
   bool parallel_sites = false;
+  /// Intra-site/-server worker threads (the axis parallel_sites does not
+  /// cover): local DBSCAN range queries, the server's global DBSCAN, and
+  /// relabeling all run on a pool of this size. 1 = sequential (default),
+  /// 0 = hardware concurrency. Results are bit-identical for every value.
+  /// Combined with parallel_sites each site runs its own pool, so the
+  /// total thread count is roughly num_sites × num_threads.
+  int num_threads = 1;
 };
 
 /// Outcome of a DBDC run, including the per-phase cost breakdown of the

@@ -113,8 +113,8 @@ GlobalModel BuildGlobalModel(std::span<const LocalModel> locals,
       params.min_weight_global > 0
           ? RunWeightedDbscan(*index, eps_global, global.rep_weight,
                               params.min_weight_global)
-          : RunDbscan(*index,
-                      DbscanParams{eps_global, params.min_pts_global});
+          : RunDbscan(*index, DbscanParams{eps_global, params.min_pts_global,
+                                           params.num_threads});
 
   // Unmerged (noise) representatives keep singleton global clusters.
   global.rep_global_cluster.assign(m, kNoise);

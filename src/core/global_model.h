@@ -27,6 +27,11 @@ struct GlobalModelParams {
   /// representatives of tiny spurious local clusters. 0 (default)
   /// selects the paper's unweighted MinPts_global = 2 condition.
   std::uint32_t min_weight_global = 0;
+  /// Worker threads for the server-side DBSCAN over the representatives
+  /// (1 = sequential, 0 = hardware concurrency; results are identical for
+  /// every value). The weighted-core path stays sequential — the
+  /// representative sets it handles are small.
+  int num_threads = 1;
 };
 
 /// The global model the server broadcasts back: every local

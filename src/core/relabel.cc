@@ -4,42 +4,69 @@
 #include <limits>
 #include <vector>
 
-#include "index/grid_index.h"
+#include "common/thread_pool.h"
 
 namespace dbdc {
 
+RelabelContext::RelabelContext(const GlobalModel& global, const Metric& metric)
+    : global_(&global) {
+  if (global.NumRepresentatives() == 0) return;
+  // Representatives have individual ranges; the index is queried at the
+  // maximum range and candidates are filtered by their own ε_r.
+  max_eps_ = *std::max_element(global.rep_eps.begin(), global.rep_eps.end());
+  DBDC_CHECK(max_eps_ > 0.0);
+  rep_index_ =
+      std::make_unique<GridIndex>(global.rep_points, metric, max_eps_);
+}
+
+std::vector<ClusterId> RelabelSite(const Dataset& site_data,
+                                   const RelabelContext& context,
+                                   const Metric& metric, int threads) {
+  const GlobalModel& global = context.global();
+  std::vector<ClusterId> labels(site_data.size(), kNoise);
+  if (global.NumRepresentatives() == 0 || site_data.empty()) return labels;
+  DBDC_CHECK(global.rep_points.dim() == site_data.dim());
+  DBDC_CHECK(context.rep_index() != nullptr);
+
+  // Every point is labeled independently, so chunks write disjoint label
+  // ranges and the result cannot depend on scheduling.
+  ThreadPool pool(threads);
+  pool.ParallelChunks(
+      site_data.size(),
+      [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        std::vector<PointId> candidates;
+        for (std::size_t i = begin; i < end; ++i) {
+          const PointId p = static_cast<PointId>(i);
+          const auto coords = site_data.point(p);
+          context.rep_index()->RangeQuery(coords, context.max_eps(),
+                                          &candidates);
+          double best_d = std::numeric_limits<double>::max();
+          PointId best_rep = std::numeric_limits<PointId>::max();
+          ClusterId best = kNoise;
+          for (const PointId r : candidates) {
+            const double d =
+                metric.Distance(coords, global.rep_points.point(r));
+            if (d > global.rep_eps[r]) continue;  // Outside this rep's ε_r.
+            // Nearest representative wins; exact distance ties go to the
+            // smaller rep id so the choice is independent of candidate
+            // order.
+            if (d < best_d || (d == best_d && r < best_rep)) {
+              best_d = d;
+              best_rep = r;
+              best = global.rep_global_cluster[r];
+            }
+          }
+          labels[i] = best;
+        }
+      });
+  return labels;
+}
+
 std::vector<ClusterId> RelabelSite(const Dataset& site_data,
                                    const GlobalModel& global,
-                                   const Metric& metric) {
-  std::vector<ClusterId> labels(site_data.size(), kNoise);
-  const std::size_t m = global.NumRepresentatives();
-  if (m == 0 || site_data.empty()) return labels;
-  DBDC_CHECK(global.rep_points.dim() == site_data.dim());
-
-  // Representatives have individual ranges; query the index at the
-  // maximum range and filter by each candidate's own ε_r.
-  const double max_eps =
-      *std::max_element(global.rep_eps.begin(), global.rep_eps.end());
-  DBDC_CHECK(max_eps > 0.0);
-  const GridIndex rep_index(global.rep_points, metric, max_eps);
-
-  std::vector<PointId> candidates;
-  for (PointId p = 0; p < static_cast<PointId>(site_data.size()); ++p) {
-    const auto coords = site_data.point(p);
-    rep_index.RangeQuery(coords, max_eps, &candidates);
-    double best_d = std::numeric_limits<double>::max();
-    ClusterId best = kNoise;
-    for (const PointId r : candidates) {
-      const double d = metric.Distance(coords, global.rep_points.point(r));
-      if (d > global.rep_eps[r]) continue;  // Outside this rep's ε_r.
-      if (d < best_d) {
-        best_d = d;
-        best = global.rep_global_cluster[r];
-      }
-    }
-    labels[p] = best;
-  }
-  return labels;
+                                   const Metric& metric, int threads) {
+  const RelabelContext context(global, metric);
+  return RelabelSite(site_data, context, metric, threads);
 }
 
 }  // namespace dbdc

@@ -1,13 +1,38 @@
 #ifndef DBDC_CORE_RELABEL_H_
 #define DBDC_CORE_RELABEL_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/dataset.h"
 #include "common/distance.h"
 #include "core/global_model.h"
+#include "index/grid_index.h"
 
 namespace dbdc {
+
+/// Query structure over a global model's representatives, built once and
+/// shared by every relabel pass: holds the maximum representative ε-range
+/// and a grid index over the representative points. In the simulated
+/// driver the server builds one context per broadcast instead of every
+/// site rebuilding an identical index over the identical model.
+///
+/// The GlobalModel must outlive the context.
+class RelabelContext {
+ public:
+  RelabelContext(const GlobalModel& global, const Metric& metric);
+
+  const GlobalModel& global() const { return *global_; }
+  /// Maximum ε_r over all representatives (0 when the model is empty).
+  double max_eps() const { return max_eps_; }
+  /// Null when the model has no representatives.
+  const GridIndex* rep_index() const { return rep_index_.get(); }
+
+ private:
+  const GlobalModel* global_;
+  double max_eps_ = 0.0;
+  std::unique_ptr<GridIndex> rep_index_;
+};
 
 /// Client-side relabeling (Sec. 7): every local object within the
 /// ε_r-neighborhood of a global representative r is assigned r's global
@@ -17,12 +42,24 @@ namespace dbdc {
 ///
 /// When several representatives of different global clusters cover an
 /// object, the nearest one wins (the paper leaves this tie open; nearest
-/// is the deterministic choice).
+/// is the deterministic choice). Exact distance ties are broken by the
+/// smaller representative id, so the result is independent of the
+/// candidate order the index returns — stable across index types and
+/// thread counts.
+///
+/// Points are independent, so the scan parallelizes embarrassingly;
+/// `threads` != 1 runs it on a pool (0 = hardware concurrency) with
+/// bit-identical results.
 ///
 /// Returns one global label (or kNoise) per point of `site_data`.
 std::vector<ClusterId> RelabelSite(const Dataset& site_data,
+                                   const RelabelContext& context,
+                                   const Metric& metric, int threads = 1);
+
+/// Convenience overload building a private RelabelContext.
+std::vector<ClusterId> RelabelSite(const Dataset& site_data,
                                    const GlobalModel& global,
-                                   const Metric& metric);
+                                   const Metric& metric, int threads = 1);
 
 }  // namespace dbdc
 

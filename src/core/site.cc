@@ -17,10 +17,13 @@ Site::Site(int site_id, const Metric& metric, Dataset data,
 }
 
 void Site::RunLocalPipeline(const SiteConfig& config) {
+  num_threads_ = config.num_threads;
   Timer timer;
   index_ = CreateIndex(config.index_type, data_, *metric_,
                        config.dbscan.eps);
-  local_ = RunLocalDbscan(*index_, config.dbscan);
+  DbscanParams dbscan = config.dbscan;
+  dbscan.threads = config.num_threads;
+  local_ = RunLocalDbscan(*index_, dbscan);
   cluster_seconds_ = timer.Seconds();
 
   timer.Reset();
@@ -36,16 +39,21 @@ std::vector<std::uint8_t> Site::EncodeLocalModelBytes() const {
   return EncodeLocalModel(model_);
 }
 
-bool Site::ApplyGlobalModelBytes(std::span<const std::uint8_t> bytes) {
+bool Site::ApplyGlobalModelBytes(std::span<const std::uint8_t> bytes,
+                                 const RelabelContext* shared_context) {
   std::optional<GlobalModel> global = DecodeGlobalModel(bytes);
   if (!global.has_value()) return false;
-  ApplyGlobalModel(*global);
+  ApplyGlobalModel(*global, shared_context);
   return true;
 }
 
-void Site::ApplyGlobalModel(const GlobalModel& global) {
+void Site::ApplyGlobalModel(const GlobalModel& global,
+                            const RelabelContext* shared_context) {
   Timer timer;
-  global_labels_ = RelabelSite(data_, global, *metric_);
+  global_labels_ =
+      shared_context != nullptr
+          ? RelabelSite(data_, *shared_context, *metric_, num_threads_)
+          : RelabelSite(data_, global, *metric_, num_threads_);
   relabel_seconds_ = timer.Seconds();
 }
 

@@ -21,6 +21,10 @@ struct SiteConfig {
   /// When > 0, the local model is condensed with this radius before
   /// transmission (CondenseLocalModel; smaller uplink, coarser ranges).
   double condense_eps = 0.0;
+  /// Intra-site worker threads for the local DBSCAN range-query phase and
+  /// for relabeling (1 = sequential, 0 = hardware concurrency). Results
+  /// are bit-identical for every value.
+  int num_threads = 1;
 };
 
 /// A local client site (Sec. 3): owns its horizontal partition of the
@@ -52,10 +56,17 @@ class Site {
   /// Phase 4: relabels all local objects against the received global
   /// model (deserialized from `bytes`). Returns false on a corrupt
   /// payload.
-  bool ApplyGlobalModelBytes(std::span<const std::uint8_t> bytes);
+  ///
+  /// `shared_context` optionally supplies a RelabelContext built once for
+  /// the broadcast (the driver builds it from the server's model, which is
+  /// byte-identical to the decoded one) so every site skips rebuilding the
+  /// same representative index; null = build a private context.
+  bool ApplyGlobalModelBytes(std::span<const std::uint8_t> bytes,
+                             const RelabelContext* shared_context = nullptr);
 
   /// Phase 4, non-serialized variant (tests).
-  void ApplyGlobalModel(const GlobalModel& global);
+  void ApplyGlobalModel(const GlobalModel& global,
+                        const RelabelContext* shared_context = nullptr);
 
   int site_id() const { return site_id_; }
   const Dataset& data() const { return data_; }
@@ -81,6 +92,9 @@ class Site {
   std::unique_ptr<NeighborIndex> index_;
   LocalClustering local_;
   LocalModel model_;
+  /// Thread knob captured from the last RunLocalPipeline (relabeling has
+  /// no SiteConfig of its own).
+  int num_threads_ = 1;
   std::vector<ClusterId> global_labels_;
   double cluster_seconds_ = 0.0;
   double model_seconds_ = 0.0;

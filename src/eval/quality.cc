@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/thread_pool.h"
+
 namespace dbdc {
 namespace {
 
@@ -37,11 +39,14 @@ Contingency BuildContingency(std::span<const ClusterId> distributed,
 
 std::vector<double> ObjectQualityP1(std::span<const ClusterId> distributed,
                                     std::span<const ClusterId> central,
-                                    int qp) {
+                                    int qp, int threads) {
   DBDC_CHECK(qp >= 1);
+  // The table is built once here and only read below; each object writes
+  // its own slot, so the scoring loop parallelizes without coordination.
   const Contingency table = BuildContingency(distributed, central);
   std::vector<double> quality(distributed.size(), 0.0);
-  for (std::size_t i = 0; i < distributed.size(); ++i) {
+  ThreadPool pool(threads);
+  pool.ParallelFor(distributed.size(), [&](std::size_t i) {
     const ClusterId d = distributed[i];
     const ClusterId c = central[i];
     if (d < 0 && c < 0) {
@@ -52,15 +57,17 @@ std::vector<double> ObjectQualityP1(std::span<const ClusterId> distributed,
       quality[i] = inter >= static_cast<std::size_t>(qp) ? 1.0 : 0.0;
     }
     // Noise in exactly one clustering: 0.
-  }
+  });
   return quality;
 }
 
 std::vector<double> ObjectQualityP2(std::span<const ClusterId> distributed,
-                                    std::span<const ClusterId> central) {
+                                    std::span<const ClusterId> central,
+                                    int threads) {
   const Contingency table = BuildContingency(distributed, central);
   std::vector<double> quality(distributed.size(), 0.0);
-  for (std::size_t i = 0; i < distributed.size(); ++i) {
+  ThreadPool pool(threads);
+  pool.ParallelFor(distributed.size(), [&](std::size_t i) {
     const ClusterId d = distributed[i];
     const ClusterId c = central[i];
     if (d < 0 && c < 0) {
@@ -74,7 +81,7 @@ std::vector<double> ObjectQualityP2(std::span<const ClusterId> distributed,
                             : static_cast<double>(inter) /
                                   static_cast<double>(uni);
     }
-  }
+  });
   return quality;
 }
 
@@ -90,13 +97,13 @@ double Mean(const std::vector<double>& values) {
 }  // namespace
 
 double QualityP1(std::span<const ClusterId> distributed,
-                 std::span<const ClusterId> central, int qp) {
-  return Mean(ObjectQualityP1(distributed, central, qp));
+                 std::span<const ClusterId> central, int qp, int threads) {
+  return Mean(ObjectQualityP1(distributed, central, qp, threads));
 }
 
 double QualityP2(std::span<const ClusterId> distributed,
-                 std::span<const ClusterId> central) {
-  return Mean(ObjectQualityP2(distributed, central));
+                 std::span<const ClusterId> central, int threads) {
+  return Mean(ObjectQualityP2(distributed, central, threads));
 }
 
 }  // namespace dbdc

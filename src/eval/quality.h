@@ -26,22 +26,30 @@ namespace dbdc {
 ///   1  if x is noise in both clusterings,
 ///   1  if x is clustered in both and |C_d ∩ C_c| >= qp,
 ///   0  otherwise.
+///
+/// `threads` parallelizes the per-object scoring (1 = sequential, 0 =
+/// hardware concurrency). The contingency table is built once up front
+/// and only read afterwards; each object writes its own slot, so the
+/// result is identical for every thread count.
 std::vector<double> ObjectQualityP1(std::span<const ClusterId> distributed,
                                     std::span<const ClusterId> central,
-                                    int qp);
+                                    int qp, int threads = 1);
 
 /// Per-object values of the continuous criterion P^II (Def. 11):
 ///   1                        if x is noise in both,
 ///   0                        if x is noise in exactly one,
 ///   |C_d ∩ C_c| / |C_d ∪ C_c|  otherwise (Jaccard of x's two clusters).
+///
+/// `threads` as in ObjectQualityP1.
 std::vector<double> ObjectQualityP2(std::span<const ClusterId> distributed,
-                                    std::span<const ClusterId> central);
+                                    std::span<const ClusterId> central,
+                                    int threads = 1);
 
 /// Q_DBDC (Def. 9): the mean object quality.
 double QualityP1(std::span<const ClusterId> distributed,
-                 std::span<const ClusterId> central, int qp);
+                 std::span<const ClusterId> central, int qp, int threads = 1);
 double QualityP2(std::span<const ClusterId> distributed,
-                 std::span<const ClusterId> central);
+                 std::span<const ClusterId> central, int threads = 1);
 
 }  // namespace dbdc
 

@@ -6,13 +6,14 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace dbdc {
 
 double SilhouetteCoefficient(const Dataset& data,
                              std::span<const ClusterId> labels,
                              const Metric& metric, std::size_t max_samples,
-                             std::uint64_t seed) {
+                             std::uint64_t seed, int threads) {
   DBDC_CHECK(labels.size() == data.size());
   std::vector<PointId> clustered;
   std::unordered_map<ClusterId, std::size_t> cluster_sizes;
@@ -31,25 +32,37 @@ double SilhouetteCoefficient(const Dataset& data,
     samples.resize(max_samples);
   }
 
+  // Each sample's silhouette is independent (it reads all clustered
+  // points but writes only its own slot); the final sum runs in sample
+  // order on this thread, so every thread count produces the same bits.
+  std::vector<double> scores(samples.size(), 0.0);
+  ThreadPool pool(threads);
+  pool.ParallelChunks(
+      samples.size(),
+      [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        std::unordered_map<ClusterId, double> dist_sum;
+        for (std::size_t s = begin; s < end; ++s) {
+          const PointId p = samples[s];
+          const ClusterId own = labels[p];
+          if (cluster_sizes.at(own) <= 1) continue;  // Singleton: s = 0.
+          dist_sum.clear();
+          for (const PointId q : clustered) {
+            if (q == p) continue;
+            dist_sum[labels[q]] +=
+                metric.Distance(data.point(p), data.point(q));
+          }
+          const double a =
+              dist_sum[own] / static_cast<double>(cluster_sizes.at(own) - 1);
+          double b = std::numeric_limits<double>::max();
+          for (const auto& [cluster, sum] : dist_sum) {
+            if (cluster == own) continue;
+            b = std::min(b, sum / static_cast<double>(cluster_sizes.at(cluster)));
+          }
+          scores[s] = (b - a) / std::max(a, b);
+        }
+      });
   double total = 0.0;
-  std::unordered_map<ClusterId, double> dist_sum;
-  for (const PointId p : samples) {
-    const ClusterId own = labels[p];
-    if (cluster_sizes[own] <= 1) continue;  // Singleton: s = 0.
-    dist_sum.clear();
-    for (const PointId q : clustered) {
-      if (q == p) continue;
-      dist_sum[labels[q]] += metric.Distance(data.point(p), data.point(q));
-    }
-    const double a =
-        dist_sum[own] / static_cast<double>(cluster_sizes[own] - 1);
-    double b = std::numeric_limits<double>::max();
-    for (const auto& [cluster, sum] : dist_sum) {
-      if (cluster == own) continue;
-      b = std::min(b, sum / static_cast<double>(cluster_sizes[cluster]));
-    }
-    total += (b - a) / std::max(a, b);
-  }
+  for (const double s : scores) total += s;
   return total / static_cast<double>(samples.size());
 }
 

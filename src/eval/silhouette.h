@@ -21,11 +21,16 @@ namespace dbdc {
 /// points, so the estimate is unbiased).
 ///
 /// Returns 0 when fewer than 2 clusters exist.
+///
+/// `threads` parallelizes the per-sample scoring (1 = sequential, 0 =
+/// hardware concurrency). Each sample's score is computed independently
+/// and the scores are summed in sample order on one thread, so the result
+/// is bit-identical for every thread count.
 double SilhouetteCoefficient(const Dataset& data,
                              std::span<const ClusterId> labels,
                              const Metric& metric,
                              std::size_t max_samples = 2000,
-                             std::uint64_t seed = 1);
+                             std::uint64_t seed = 1, int threads = 1);
 
 }  // namespace dbdc
 

@@ -20,7 +20,10 @@ inline std::uint64_t Mix(std::uint64_t h, std::uint64_t v) {
 
 GridIndex::GridIndex(const Dataset& data, const Metric& metric,
                      double cell_width, bool index_all)
-    : data_(&data), metric_(&metric), cell_width_(cell_width) {
+    : data_(&data),
+      metric_(&metric),
+      euclidean_(IsEuclideanMetric(metric)),
+      cell_width_(cell_width) {
   DBDC_CHECK(cell_width > 0.0);
   if (index_all) {
     for (PointId id = 0; id < static_cast<PointId>(data.size()); ++id) {
@@ -61,13 +64,22 @@ void GridIndex::RangeQuery(std::span<const double> q, double eps,
     lo[i] = static_cast<std::int64_t>(std::floor((q[i] - eps) / cell_width_));
     hi[i] = static_cast<std::int64_t>(std::floor((q[i] + eps) / cell_width_));
   }
+  const double eps_sq = eps * eps;
   cur = lo;
   while (true) {
     const auto it = cells_.find(HashCoords(cur));
     if (it != cells_.end()) {
-      for (const PointId id : it->second) {
-        if (metric_->Distance(q, data_->point(id)) <= eps) {
-          out->push_back(id);
+      if (euclidean_) {
+        for (const PointId id : it->second) {
+          if (SquaredEuclideanDistance(q, data_->point(id)) <= eps_sq) {
+            out->push_back(id);
+          }
+        }
+      } else {
+        for (const PointId id : it->second) {
+          if (metric_->Distance(q, data_->point(id)) <= eps) {
+            out->push_back(id);
+          }
         }
       }
     }

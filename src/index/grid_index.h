@@ -49,6 +49,9 @@ class GridIndex final : public NeighborIndex {
 
   const Dataset* data_;
   const Metric* metric_;
+  /// Detected at construction: range queries then filter candidates by
+  /// squared distance against eps² (no virtual call, no sqrt).
+  bool euclidean_;
   double cell_width_;
   // Hashed cell -> ids. Hash collisions between distinct cells are
   // tolerated: queries re-check true distances, so collisions only cost

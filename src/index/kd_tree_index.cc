@@ -8,7 +8,7 @@
 namespace dbdc {
 
 KdTreeIndex::KdTreeIndex(const Dataset& data, const Metric& metric)
-    : data_(&data), metric_(&metric) {
+    : data_(&data), metric_(&metric), euclidean_(IsEuclideanMetric(metric)) {
   ids_.resize(data.size());
   std::iota(ids_.begin(), ids_.end(), 0);
   if (!ids_.empty()) {
@@ -63,14 +63,25 @@ std::int32_t KdTreeIndex::BuildRecursive(std::int32_t begin,
 void KdTreeIndex::RangeQuery(std::span<const double> q, double eps,
                              std::vector<PointId>* out) const {
   out->clear();
-  if (root_ >= 0) RangeRecursive(root_, q, eps, out);
+  if (root_ >= 0) RangeRecursive(root_, q, eps, eps * eps, out);
 }
 
 void KdTreeIndex::RangeRecursive(std::int32_t node_idx,
                                  std::span<const double> q, double eps,
+                                 double eps_sq,
                                  std::vector<PointId>* out) const {
   const Node& node = nodes_[node_idx];
   if (node.axis < 0) {
+    if (euclidean_) {
+      // Devirtualized fast path: squared distance against eps², no sqrt.
+      for (std::int32_t i = node.begin; i < node.end; ++i) {
+        const PointId id = ids_[i];
+        if (SquaredEuclideanDistance(q, data_->point(id)) <= eps_sq) {
+          out->push_back(id);
+        }
+      }
+      return;
+    }
     for (std::int32_t i = node.begin; i < node.end; ++i) {
       const PointId id = ids_[i];
       if (metric_->Distance(q, data_->point(id)) <= eps) out->push_back(id);
@@ -80,10 +91,10 @@ void KdTreeIndex::RangeRecursive(std::int32_t node_idx,
   // The true distance dominates any per-axis delta, so a subtree on the far
   // side of the split plane by more than eps cannot contain answers.
   if (q[node.axis] - eps <= node.split) {
-    RangeRecursive(node.left, q, eps, out);
+    RangeRecursive(node.left, q, eps, eps_sq, out);
   }
   if (q[node.axis] + eps >= node.split) {
-    RangeRecursive(node.right, q, eps, out);
+    RangeRecursive(node.right, q, eps, eps_sq, out);
   }
 }
 

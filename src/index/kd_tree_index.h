@@ -42,7 +42,7 @@ class KdTreeIndex final : public NeighborIndex {
 
   std::int32_t BuildRecursive(std::int32_t begin, std::int32_t end);
   void RangeRecursive(std::int32_t node, std::span<const double> q, double eps,
-                      std::vector<PointId>* out) const;
+                      double eps_sq, std::vector<PointId>* out) const;
   void KnnRecursive(std::int32_t node, std::span<const double> q,
                     std::size_t k,
                     std::vector<std::pair<double, PointId>>* heap) const;
@@ -51,6 +51,9 @@ class KdTreeIndex final : public NeighborIndex {
 
   const Dataset* data_;
   const Metric* metric_;
+  /// Detected at construction: leaf scans then filter by squared distance
+  /// against eps² (no virtual call, no sqrt).
+  bool euclidean_ = false;
   std::vector<PointId> ids_;  // Permutation of all ids, bucketed by leaves.
   std::vector<Node> nodes_;
   std::int32_t root_ = -1;

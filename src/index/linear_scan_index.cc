@@ -7,7 +7,7 @@ namespace dbdc {
 
 LinearScanIndex::LinearScanIndex(const Dataset& data, const Metric& metric,
                                  bool index_all)
-    : data_(&data), metric_(&metric) {
+    : data_(&data), metric_(&metric), euclidean_(IsEuclideanMetric(metric)) {
   if (index_all) {
     present_.assign(data.size(), true);
     count_ = data.size();
@@ -17,6 +17,17 @@ LinearScanIndex::LinearScanIndex(const Dataset& data, const Metric& metric,
 void LinearScanIndex::RangeQuery(std::span<const double> q, double eps,
                                  std::vector<PointId>* out) const {
   out->clear();
+  if (euclidean_) {
+    // Devirtualized fast path: squared distance against eps², no sqrt.
+    const double eps_sq = eps * eps;
+    for (PointId id = 0; id < static_cast<PointId>(present_.size()); ++id) {
+      if (!present_[id]) continue;
+      if (SquaredEuclideanDistance(q, data_->point(id)) <= eps_sq) {
+        out->push_back(id);
+      }
+    }
+    return;
+  }
   for (PointId id = 0; id < static_cast<PointId>(present_.size()); ++id) {
     if (!present_[id]) continue;
     if (metric_->Distance(q, data_->point(id)) <= eps) out->push_back(id);

@@ -33,6 +33,9 @@ class LinearScanIndex final : public NeighborIndex {
  private:
   const Dataset* data_;
   const Metric* metric_;
+  /// Detected at construction: range scans then filter by squared distance
+  /// against eps² (no virtual call, no sqrt).
+  bool euclidean_ = false;
   std::vector<bool> present_;
   std::size_t count_ = 0;
 };

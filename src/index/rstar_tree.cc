@@ -10,7 +10,10 @@ namespace dbdc {
 
 RStarTree::RStarTree(const Dataset& data, const Metric& metric,
                      bool index_all, Construction construction)
-    : data_(&data), metric_(&metric), root_(new Node(0)) {
+    : data_(&data),
+      metric_(&metric),
+      euclidean_(IsEuclideanMetric(metric)),
+      root_(new Node(0)) {
   if (!index_all) return;
   if (construction == Construction::kBulkLoadStr && data.size() > 0) {
     BulkLoadStr();
@@ -443,6 +446,12 @@ bool RStarTree::EraseRecursive(Node* node, PointId id,
 void RStarTree::RangeQuery(std::span<const double> q, double eps,
                            std::vector<PointId>* out) const {
   out->clear();
+  if (euclidean_) {
+    // Devirtualized fast path: leaf filtering and interior pruning both
+    // compare squared distances against eps² (no virtual call, no sqrt).
+    RangeRecursiveEuclidean(root_, q, eps * eps, out);
+    return;
+  }
   RangeRecursive(root_, q, eps, out);
 }
 
@@ -460,6 +469,27 @@ void RStarTree::RangeRecursive(const Node* node, std::span<const double> q,
     if (e.box.empty()) continue;
     if (metric_->MinDistanceToBox(q, e.box.lo(), e.box.hi()) <= eps) {
       RangeRecursive(e.child, q, eps, out);
+    }
+  }
+}
+
+void RStarTree::RangeRecursiveEuclidean(const Node* node,
+                                        std::span<const double> q,
+                                        double eps_sq,
+                                        std::vector<PointId>* out) const {
+  if (node->is_leaf()) {
+    for (const Entry& e : node->entries) {
+      if (SquaredEuclideanDistance(q, data_->point(e.id)) <= eps_sq) {
+        out->push_back(e.id);
+      }
+    }
+    return;
+  }
+  for (const Entry& e : node->entries) {
+    if (e.box.empty()) continue;
+    if (SquaredEuclideanMinDistanceToBox(q, e.box.lo(), e.box.hi()) <=
+        eps_sq) {
+      RangeRecursiveEuclidean(e.child, q, eps_sq, out);
     }
   }
 }

@@ -134,12 +134,18 @@ class RStarTree final : public NeighborIndex {
 
   void RangeRecursive(const Node* node, std::span<const double> q, double eps,
                       std::vector<PointId>* out) const;
+  /// Euclidean fast path of RangeRecursive: squared distances vs eps².
+  void RangeRecursiveEuclidean(const Node* node, std::span<const double> q,
+                               double eps_sq, std::vector<PointId>* out) const;
 
   void CheckNode(const Node* node, int expected_level,
                  std::size_t* point_count) const;
 
   const Dataset* data_;
   const Metric* metric_;
+  /// Detected at construction: range queries take the squared-distance
+  /// fast path (RangeRecursiveEuclidean).
+  bool euclidean_ = false;
   Node* root_;
   int height_ = 1;
   std::size_t count_ = 0;

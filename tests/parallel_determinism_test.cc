@@ -1,0 +1,393 @@
+// Determinism suite for the intra-site parallel execution layer: every
+// parallel entry point (two-phase DBSCAN, relabel, quality, silhouette,
+// the parallel-DBSCAN baseline and the full DBDC driver) must produce
+// results *identical* to its sequential run — for every index type, every
+// metric, and every thread count, including the degenerate datasets.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baseline/parallel_dbscan.h"
+#include "cluster/dbscan.h"
+#include "common/thread_pool.h"
+#include "core/dbdc.h"
+#include "core/relabel.h"
+#include "data/generators.h"
+#include "eval/quality.h"
+#include "eval/silhouette.h"
+#include "index/index_factory.h"
+
+namespace dbdc {
+namespace {
+
+const std::vector<int> kThreadLadder = {1, 2, 8};
+
+const std::vector<IndexType> kAllIndexTypes = {
+    IndexType::kLinearScan, IndexType::kGrid,         IndexType::kKdTree,
+    IndexType::kRStarTree,  IndexType::kRStarTreeBulk, IndexType::kMTree,
+    IndexType::kVpTree};
+
+struct NamedMetric {
+  const char* name;
+  const Metric* metric;
+};
+
+std::vector<NamedMetric> AllMetrics() {
+  return {{"euclidean", &Euclidean()},
+          {"manhattan", &Manhattan()},
+          {"chebyshev", &Chebyshev()}};
+}
+
+void ExpectSameClustering(const Clustering& a, const Clustering& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.labels, b.labels) << what;
+  EXPECT_EQ(a.is_core, b.is_core) << what;
+  EXPECT_EQ(a.num_clusters, b.num_clusters) << what;
+}
+
+// --- ThreadPool primitives -------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const int threads : kThreadLadder) {
+    ThreadPool pool(threads);
+    std::vector<int> hits(1000, 0);
+    pool.ParallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelChunksPartitionIsContiguousAndStable) {
+  for (const int threads : kThreadLadder) {
+    ThreadPool pool(threads);
+    for (const std::size_t n : {0ul, 1ul, 7ul, 1000ul}) {
+      std::vector<std::pair<std::size_t, std::size_t>> first;
+      std::vector<std::pair<std::size_t, std::size_t>> second;
+      std::mutex mu;
+      pool.ParallelChunks(n, [&](std::size_t chunk, std::size_t begin,
+                                 std::size_t end) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (first.size() <= chunk) first.resize(chunk + 1);
+        first[chunk] = {begin, end};
+      });
+      pool.ParallelChunks(n, [&](std::size_t chunk, std::size_t begin,
+                                 std::size_t end) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (second.size() <= chunk) second.resize(chunk + 1);
+        second[chunk] = {begin, end};
+      });
+      // Same n => byte-identical chunking (phase A of the parallel DBSCAN
+      // relies on this to stitch its CSR arrays).
+      EXPECT_EQ(first, second);
+      std::size_t covered = 0;
+      for (std::size_t c = 0; c < first.size(); ++c) {
+        EXPECT_EQ(first[c].first, covered);
+        EXPECT_LE(first[c].first, first[c].second);
+        covered = first[c].second;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelReduceFoldsInChunkOrder) {
+  for (const int threads : kThreadLadder) {
+    ThreadPool pool(threads);
+    // Floating-point sum: chunk-order folding makes the result identical
+    // for every pool size (same partials, same fold order).
+    const std::size_t n = 12345;
+    const auto map = [](std::size_t begin, std::size_t end) {
+      double sum = 0.0;
+      for (std::size_t i = begin; i < end; ++i) {
+        sum += 1.0 / (1.0 + static_cast<double>(i));
+      }
+      return sum;
+    };
+    const auto reduce = [](double a, double b) { return a + b; };
+    const double expected = [&] {
+      ThreadPool sequential(1);
+      return sequential.ParallelReduce(n, 0.0, map, reduce);
+    }();
+    EXPECT_EQ(pool.ParallelReduce(n, 0.0, map, reduce), expected)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsResolvesToHardwareConcurrency) {
+  EXPECT_GE(ResolveNumThreads(0), 1);
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(7), 7);
+}
+
+// --- Two-phase parallel DBSCAN ---------------------------------------
+
+TEST(ParallelDbscanDeterminismTest, EveryIndexEveryMetricEveryThreadCount) {
+  const SyntheticDataset ds = MakeTestDatasetC();
+  for (const NamedMetric& nm : AllMetrics()) {
+    for (const IndexType index_type : kAllIndexTypes) {
+      const std::unique_ptr<NeighborIndex> index = CreateIndex(
+          index_type, ds.data, *nm.metric, ds.suggested_params.eps);
+      DbscanParams params = ds.suggested_params;
+      params.threads = 1;
+      const Clustering reference = RunDbscan(*index, params);
+      for (const int threads : kThreadLadder) {
+        params.threads = threads;
+        const Clustering parallel = RunDbscan(*index, params);
+        ExpectSameClustering(
+            reference, parallel,
+            std::string("metric=") + nm.name +
+                " index=" + std::string(IndexTypeName(index_type)) +
+                " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ParallelDbscanDeterminismTest, ObserverEventSequenceIsIdentical) {
+  // The parallel path must replay the exact sequential control flow, so
+  // the observer must see the same events in the same order.
+  struct RecordingObserver : DbscanObserver {
+    std::vector<std::pair<PointId, ClusterId>> events;
+    void OnClusterStarted(ClusterId cluster) override {
+      events.emplace_back(-1, -10 - cluster);
+    }
+    void OnCorePoint(PointId id, ClusterId cluster) override {
+      events.emplace_back(id, cluster);
+    }
+  };
+  const SyntheticDataset ds = MakeTestDatasetB();
+  const std::unique_ptr<NeighborIndex> index = CreateIndex(
+      IndexType::kGrid, ds.data, Euclidean(), ds.suggested_params.eps);
+  DbscanParams params = ds.suggested_params;
+  RecordingObserver sequential;
+  RunDbscan(*index, params, &sequential);
+  for (const int threads : {2, 8}) {
+    params.threads = threads;
+    RecordingObserver parallel;
+    RunDbscan(*index, params, &parallel);
+    EXPECT_EQ(parallel.events, sequential.events) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDbscanDeterminismTest, EmptyDataset) {
+  const Dataset empty(2);
+  for (const int threads : kThreadLadder) {
+    const std::unique_ptr<NeighborIndex> index =
+        CreateIndex(IndexType::kGrid, empty, Euclidean(), 1.0);
+    const Clustering c = RunDbscan(*index, {1.0, 3, threads});
+    EXPECT_TRUE(c.labels.empty());
+    EXPECT_EQ(c.num_clusters, 0);
+  }
+}
+
+TEST(ParallelDbscanDeterminismTest, AllNoiseDataset) {
+  // Points far apart with high min_pts: everything is noise; the core
+  // graph is empty and phase B must still terminate correctly.
+  Dataset data(2);
+  for (int i = 0; i < 50; ++i) {
+    data.Add(Point{static_cast<double>(100 * i), 0.0});
+  }
+  for (const int threads : kThreadLadder) {
+    const std::unique_ptr<NeighborIndex> index =
+        CreateIndex(IndexType::kKdTree, data, Euclidean(), 1.0);
+    const Clustering c = RunDbscan(*index, {1.0, 3, threads});
+    EXPECT_EQ(c.num_clusters, 0);
+    for (const ClusterId label : c.labels) EXPECT_EQ(label, kNoise);
+  }
+}
+
+TEST(ParallelDbscanDeterminismTest, ThreadsZeroUsesHardwareConcurrency) {
+  const SyntheticDataset ds = MakeTestDatasetC();
+  const std::unique_ptr<NeighborIndex> index = CreateIndex(
+      IndexType::kGrid, ds.data, Euclidean(), ds.suggested_params.eps);
+  DbscanParams params = ds.suggested_params;
+  const Clustering reference = RunDbscan(*index, params);
+  params.threads = 0;
+  const Clustering parallel = RunDbscan(*index, params);
+  ExpectSameClustering(reference, parallel, "threads=0");
+}
+
+// --- Distance fast path (squared Euclidean) ---------------------------
+
+TEST(FastPathTest, WrappedEuclideanMatchesSingletonExactly) {
+  // A metric that forwards to Euclidean() but is a different instance:
+  // indices must keep it on the generic path, and the fast path must
+  // produce the identical clustering.
+  class Wrapped final : public Metric {
+   public:
+    double Distance(std::span<const double> a,
+                    std::span<const double> b) const override {
+      return Euclidean().Distance(a, b);
+    }
+    double MinDistanceToBox(std::span<const double> p,
+                            std::span<const double> lo,
+                            std::span<const double> hi) const override {
+      return Euclidean().MinDistanceToBox(p, lo, hi);
+    }
+    std::string_view name() const override { return "wrapped"; }
+  };
+  const Wrapped wrapped;
+  ASSERT_FALSE(IsEuclideanMetric(wrapped));
+  ASSERT_TRUE(IsEuclideanMetric(Euclidean()));
+  const SyntheticDataset ds = MakeTestDatasetC();
+  for (const IndexType index_type :
+       {IndexType::kLinearScan, IndexType::kGrid, IndexType::kKdTree,
+        IndexType::kRStarTree, IndexType::kRStarTreeBulk}) {
+    const std::unique_ptr<NeighborIndex> fast = CreateIndex(
+        index_type, ds.data, Euclidean(), ds.suggested_params.eps);
+    const std::unique_ptr<NeighborIndex> generic = CreateIndex(
+        index_type, ds.data, wrapped, ds.suggested_params.eps);
+    const Clustering a = RunDbscan(*fast, ds.suggested_params);
+    const Clustering b = RunDbscan(*generic, ds.suggested_params);
+    ExpectSameClustering(a, b, std::string(IndexTypeName(index_type)));
+  }
+}
+
+// --- Relabel ----------------------------------------------------------
+
+GlobalModel MakeTieGlobal() {
+  // Two representatives exactly equidistant from the probe point below;
+  // they carry different global clusters, so the (distance, rep id)
+  // tie-break is observable.
+  GlobalModel global;
+  global.rep_points = Dataset(2);
+  global.rep_points.Add(Point{-1.0, 0.0});  // rep 0, cluster 1.
+  global.rep_points.Add(Point{1.0, 0.0});   // rep 1, cluster 0.
+  global.rep_eps = {2.0, 2.0};
+  global.rep_global_cluster = {1, 0};
+  global.rep_site = {0, 1};
+  global.rep_local_cluster = {0, 0};
+  global.num_global_clusters = 2;
+  global.eps_global_used = 1.0;
+  return global;
+}
+
+TEST(RelabelDeterminismTest, ExactTieBreaksTowardLowerRepId) {
+  const GlobalModel global = MakeTieGlobal();
+  Dataset probe(2);
+  probe.Add(Point{0.0, 0.0});  // Equidistant from both representatives.
+  for (const int threads : kThreadLadder) {
+    const std::vector<ClusterId> labels =
+        RelabelSite(probe, global, Euclidean(), threads);
+    ASSERT_EQ(labels.size(), 1u);
+    // Rep 0 wins the tie => cluster 1, regardless of thread count.
+    EXPECT_EQ(labels[0], 1) << "threads=" << threads;
+  }
+}
+
+TEST(RelabelDeterminismTest, SharedContextMatchesPrivateContext) {
+  const SyntheticDataset ds = MakeTestDatasetA();
+  DbdcConfig config;
+  config.num_sites = 4;
+  config.local_dbscan = ds.suggested_params;
+  const DbdcResult run = RunDbdc(ds.data, Euclidean(), config);
+  ASSERT_GT(run.global_model.NumRepresentatives(), 0u);
+  const RelabelContext context(run.global_model, Euclidean());
+  const std::vector<ClusterId> reference =
+      RelabelSite(ds.data, run.global_model, Euclidean(), 1);
+  for (const int threads : kThreadLadder) {
+    EXPECT_EQ(RelabelSite(ds.data, context, Euclidean(), threads), reference)
+        << "shared context, threads=" << threads;
+    EXPECT_EQ(RelabelSite(ds.data, run.global_model, Euclidean(), threads),
+              reference)
+        << "private context, threads=" << threads;
+  }
+}
+
+TEST(RelabelDeterminismTest, EmptySiteData) {
+  const GlobalModel global = MakeTieGlobal();
+  const Dataset empty(2);
+  for (const int threads : kThreadLadder) {
+    EXPECT_TRUE(RelabelSite(empty, global, Euclidean(), threads).empty());
+  }
+}
+
+// --- Evaluation -------------------------------------------------------
+
+TEST(EvalDeterminismTest, QualityIdenticalForEveryThreadCount) {
+  const SyntheticDataset ds = MakeTestDatasetB();
+  DbdcConfig config;
+  config.num_sites = 3;
+  config.local_dbscan = ds.suggested_params;
+  const DbdcResult run = RunDbdc(ds.data, Euclidean(), config);
+  const Clustering central = RunCentralDbscan(ds.data, Euclidean(),
+                                              ds.suggested_params,
+                                              IndexType::kGrid, nullptr);
+  const double p1 = QualityP1(run.labels, central.labels,
+                              ds.suggested_params.min_pts, 1);
+  const double p2 = QualityP2(run.labels, central.labels, 1);
+  const std::vector<double> o1 = ObjectQualityP1(
+      run.labels, central.labels, ds.suggested_params.min_pts, 1);
+  const std::vector<double> o2 =
+      ObjectQualityP2(run.labels, central.labels, 1);
+  for (const int threads : {2, 8}) {
+    EXPECT_EQ(QualityP1(run.labels, central.labels,
+                        ds.suggested_params.min_pts, threads),
+              p1);
+    EXPECT_EQ(QualityP2(run.labels, central.labels, threads), p2);
+    EXPECT_EQ(ObjectQualityP1(run.labels, central.labels,
+                              ds.suggested_params.min_pts, threads),
+              o1);
+    EXPECT_EQ(ObjectQualityP2(run.labels, central.labels, threads), o2);
+  }
+}
+
+TEST(EvalDeterminismTest, SilhouetteIdenticalForEveryThreadCount) {
+  const SyntheticDataset ds = MakeTestDatasetC();
+  const Clustering central = RunCentralDbscan(ds.data, Euclidean(),
+                                              ds.suggested_params,
+                                              IndexType::kGrid, nullptr);
+  const double reference = SilhouetteCoefficient(
+      ds.data, central.labels, Euclidean(), 500, 1, 1);
+  for (const int threads : {2, 8}) {
+    EXPECT_EQ(SilhouetteCoefficient(ds.data, central.labels, Euclidean(),
+                                    500, 1, threads),
+              reference)
+        << "threads=" << threads;
+  }
+}
+
+// --- Baseline + full driver ------------------------------------------
+
+TEST(BaselineDeterminismTest, PooledWorkersMatchSequentialExecution) {
+  const SyntheticDataset ds = MakeTestDatasetC();
+  ParallelDbscanConfig config;
+  config.dbscan = ds.suggested_params;
+  config.num_workers = 4;
+  config.num_threads = 1;
+  const ParallelDbscanResult sequential =
+      RunParallelDbscan(ds.data, Euclidean(), config);
+  for (const int threads : {2, 8, 0}) {
+    config.num_threads = threads;
+    const ParallelDbscanResult pooled =
+        RunParallelDbscan(ds.data, Euclidean(), config);
+    ExpectSameClustering(sequential.clustering, pooled.clustering,
+                         "num_threads=" + std::to_string(threads));
+    EXPECT_EQ(pooled.total_halo_points, sequential.total_halo_points);
+    EXPECT_EQ(pooled.bytes_halo, sequential.bytes_halo);
+    EXPECT_EQ(pooled.bytes_merge, sequential.bytes_merge);
+  }
+}
+
+TEST(DbdcDriverDeterminismTest, NumThreadsDoesNotChangeTheResult) {
+  const SyntheticDataset ds = MakeTestDatasetA();
+  DbdcConfig config;
+  config.num_sites = 4;
+  config.local_dbscan = ds.suggested_params;
+  config.num_threads = 1;
+  const DbdcResult reference = RunDbdc(ds.data, Euclidean(), config);
+  for (const int threads : {2, 8}) {
+    config.num_threads = threads;
+    const DbdcResult run = RunDbdc(ds.data, Euclidean(), config);
+    EXPECT_EQ(run.labels, reference.labels) << "num_threads=" << threads;
+    EXPECT_EQ(run.num_global_clusters, reference.num_global_clusters);
+    EXPECT_EQ(run.bytes_uplink, reference.bytes_uplink);
+    EXPECT_EQ(run.bytes_downlink, reference.bytes_downlink);
+  }
+}
+
+}  // namespace
+}  // namespace dbdc

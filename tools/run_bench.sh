@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Builds (if needed) and runs the parallel-scaling benchmark, writing the
+# machine-readable perf baseline to BENCH_parallel.json at the repo root.
+#
+# Usage:
+#   tools/run_bench.sh [--quick] [--out FILE] [BUILD_DIR]
+#
+#   --quick     Shrunk datasets + thread ladder {1,2}; for CI smoke runs.
+#   --out FILE  Output path (default: BENCH_parallel.json in the repo root).
+#   BUILD_DIR   Existing build tree to use (default: build-release/ via the
+#               `release` preset, falling back to build/ when it already
+#               contains the benchmark target).
+#
+# After the run the emitted JSON is schema-validated (python3 when
+# available; a pure-bash key check otherwise). Exit status is non-zero if
+# the benchmark fails, the file is missing, or validation fails.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+quick_flag=""
+out_file="$repo_root/BENCH_parallel.json"
+build_dir=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) quick_flag="--quick"; shift ;;
+    --out) out_file="$2"; shift 2 ;;
+    -h|--help) sed -n '2,16p' "$0"; exit 0 ;;
+    *) build_dir="$1"; shift ;;
+  esac
+done
+
+bench_rel="bench/bench_parallel_scaling"
+if [[ -z "$build_dir" ]]; then
+  for candidate in build-release build; do
+    if [[ -x "$candidate/$bench_rel" ]]; then
+      build_dir="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$build_dir" ]]; then
+  echo "run_bench.sh: no built benchmark found; building the release" \
+       "preset ..." >&2
+  cmake --preset release >/dev/null || exit 1
+  build_dir="build-release"
+fi
+cmake --build "$build_dir" --target bench_parallel_scaling \
+      -j "$(nproc 2>/dev/null || echo 4)" >/dev/null || exit 1
+
+echo "run_bench.sh: running $build_dir/$bench_rel $quick_flag" \
+     "-> $out_file" >&2
+"$build_dir/$bench_rel" $quick_flag --out "$out_file" || exit 1
+
+if [[ ! -s "$out_file" ]]; then
+  echo "run_bench.sh: $out_file missing or empty." >&2
+  exit 1
+fi
+
+# Schema validation: JSON well-formedness + required keys and row fields.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$out_file" <<'PY' || exit 1
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "dbdc-parallel-bench-v1", doc.get("schema")
+assert isinstance(doc["quick"], bool)
+assert isinstance(doc["hardware_threads"], int)
+assert isinstance(doc["results"], list) and doc["results"]
+assert isinstance(doc["fastpath"], list) and doc["fastpath"]
+for row in doc["results"]:
+    for key in ("phase", "dataset", "n", "index", "threads", "seconds",
+                "speedup_vs_1t"):
+        assert key in row, f"results row missing {key}: {row}"
+    assert row["phase"] in ("dbscan", "relabel"), row["phase"]
+    assert row["threads"] >= 1 and row["seconds"] >= 0.0
+for row in doc["fastpath"]:
+    for key in ("dataset", "n", "index", "generic_seconds", "fast_seconds",
+                "speedup"):
+        assert key in row, f"fastpath row missing {key}: {row}"
+baseline = [r for r in doc["results"] if r["threads"] == 1]
+assert baseline and all(r["speedup_vs_1t"] == 1.0 for r in baseline)
+print(f"run_bench.sh: schema OK "
+      f"({len(doc['results'])} scaling rows, "
+      f"{len(doc['fastpath'])} fastpath rows).")
+PY
+else
+  echo "run_bench.sh: python3 unavailable; falling back to key check." >&2
+  for key in '"schema": "dbdc-parallel-bench-v1"' '"results"' '"fastpath"' \
+             '"hardware_threads"'; do
+    if ! grep -qF "$key" "$out_file"; then
+      echo "run_bench.sh: $out_file missing expected key $key" >&2
+      exit 1
+    fi
+  done
+  echo "run_bench.sh: key check OK (install python3 for full validation)." >&2
+fi
