@@ -43,7 +43,7 @@ const SyntheticDataset& Workload() {
 const Clustering& CentralReference() {
   static const auto* central = new Clustering(RunCentralDbscan(
       Workload().data, Euclidean(), Workload().suggested_params,
-      IndexType::kGrid));
+      IndexType::kGrid).clustering);
   return *central;
 }
 

@@ -50,7 +50,7 @@ void BM_EpsDefault(benchmark::State& state) {
   const SyntheticDataset synth = MakeByIndex(static_cast<int>(state.range(0)));
   const double factor = static_cast<double>(state.range(1)) / 10.0;
   const Clustering central = RunCentralDbscan(
-      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid).clustering;
   DbdcConfig config;
   config.local_dbscan = synth.suggested_params;
   config.num_sites = kSites;

@@ -39,7 +39,7 @@ void BM_WeightedCondition(benchmark::State& state) {
   const SyntheticDataset synth =
       idx == 0 ? MakeTestDatasetA() : MakeTestDatasetB();
   const Clustering central = RunCentralDbscan(
-      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid).clustering;
   DbdcConfig config;
   config.local_dbscan = synth.suggested_params;
   config.num_sites = kSites;

@@ -74,7 +74,7 @@ void BM_Comparison(benchmark::State& state) {
   const Workload workload = MakeWorkload(static_cast<int>(state.range(0)));
   const SyntheticDataset& synth = workload.synth;
   const Clustering central = RunCentralDbscan(
-      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid).clustering;
   for (auto _ : state) {
     // DBDC.
     DbdcConfig dbdc_config;

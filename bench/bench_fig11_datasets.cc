@@ -56,7 +56,7 @@ SyntheticDataset MakeByIndex(int idx) {
 void BM_QualityOnDataset(benchmark::State& state, LocalModelType model) {
   const SyntheticDataset synth = MakeByIndex(static_cast<int>(state.range(0)));
   const Clustering central = RunCentralDbscan(
-      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid).clustering;
   DbdcConfig config;
   config.local_dbscan = synth.suggested_params;
   config.model_type = model;

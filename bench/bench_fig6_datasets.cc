@@ -48,7 +48,7 @@ void BM_GenerateAndCluster(benchmark::State& state) {
   for (auto _ : state) {
     const SyntheticDataset synth = MakeByIndex(idx);
     const Clustering central = RunCentralDbscan(
-        synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+        synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid).clustering;
     benchmark::DoNotOptimize(central.num_clusters);
     Fig6Row row;
     row.name = synth.name;

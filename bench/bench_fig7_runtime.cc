@@ -44,13 +44,12 @@ void BM_CentralDbscan(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const SyntheticDataset synth = MakeScaledDataset(n);
   for (auto _ : state) {
-    double seconds = 0.0;
-    const Clustering result =
+    const CentralDbscanResult result =
         RunCentralDbscan(synth.data, Euclidean(), synth.suggested_params,
-                         IndexType::kGrid, &seconds);
-    benchmark::DoNotOptimize(result.num_clusters);
-    RowFor(n).central_s = seconds;
-    state.counters["clusters"] = result.num_clusters;
+                         IndexType::kGrid);
+    benchmark::DoNotOptimize(result.clustering.num_clusters);
+    RowFor(n).central_s = result.seconds;
+    state.counters["clusters"] = result.clustering.num_clusters;
   }
 }
 

@@ -44,13 +44,12 @@ const SyntheticDataset& Workload() {
 void BM_CentralReference(benchmark::State& state) {
   const SyntheticDataset& synth = Workload();
   for (auto _ : state) {
-    double seconds = 0.0;
-    const Clustering result =
+    const CentralDbscanResult result =
         RunCentralDbscan(synth.data, Euclidean(), synth.suggested_params,
-                         IndexType::kGrid, &seconds);
-    benchmark::DoNotOptimize(result.num_clusters);
-    CentralSeconds() = seconds;
-    state.counters["clusters"] = result.num_clusters;
+                         IndexType::kGrid);
+    benchmark::DoNotOptimize(result.clustering.num_clusters);
+    CentralSeconds() = result.seconds;
+    state.counters["clusters"] = result.clustering.num_clusters;
   }
 }
 

@@ -12,6 +12,7 @@
 #include "bench_util.h"
 #include "common/timer.h"
 #include "core/dbdc.h"
+#include "distrib/network.h"
 #include "core/model_codec.h"
 #include "core/optics_global.h"
 #include "data/generators.h"

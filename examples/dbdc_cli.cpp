@@ -113,15 +113,14 @@ int main(int argc, char** argv) {
 
   std::vector<ClusterId> labels;
   if (mode == "central") {
-    double seconds = 0.0;
     DbscanParams central_params = config.local_dbscan;
     central_params.threads = config.num_threads;
-    const Clustering result =
-        RunCentralDbscan(csv->data, *metric, central_params,
-                         config.index_type, &seconds);
-    labels = result.labels;
+    const CentralDbscanResult central = RunCentralDbscan(
+        csv->data, *metric, central_params, config.index_type);
+    labels = central.clustering.labels;
     std::printf("central DBSCAN: %d clusters, %zu noise, %.3f s\n",
-                result.num_clusters, result.CountNoise(), seconds);
+                central.clustering.num_clusters,
+                central.clustering.CountNoise(), central.seconds);
   } else if (mode == "dbdc") {
     const DbdcResult result = RunDbdc(csv->data, *metric, config);
     labels = result.labels;

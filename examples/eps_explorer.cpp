@@ -19,6 +19,7 @@
 
 #include "cluster/param_estimation.h"
 #include "core/dbdc.h"
+#include "distrib/network.h"
 #include "core/model_codec.h"
 #include "core/optics_global.h"
 #include "core/relabel.h"
@@ -42,7 +43,7 @@ int main() {
 
   const DbscanParams params{eps_local, kMinPts};
   const Clustering central = RunCentralDbscan(synth.data, Euclidean(),
-                                              params, IndexType::kGrid);
+                                              params, IndexType::kGrid).clustering;
   std::printf("central reference with estimated params: %d clusters\n\n",
               central.num_clusters);
 

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/dbdc.h"
+#include "distrib/network.h"
 #include "core/model_codec.h"
 #include "data/generators.h"
 #include "eval/diagnostics.h"
@@ -26,12 +27,13 @@ int main() {
               synth.name.c_str(), synth.data.size(), synth.data.dim());
 
   // 2. The central reference: plain DBSCAN over all data on one machine.
-  double central_seconds = 0.0;
-  const Clustering central =
+  const CentralDbscanResult central_run =
       RunCentralDbscan(synth.data, Euclidean(), synth.suggested_params,
-                       IndexType::kGrid, &central_seconds);
+                       IndexType::kGrid);
+  const Clustering& central = central_run.clustering;
   std::printf("central DBSCAN: %d clusters, %zu noise points, %.3f s\n",
-              central.num_clusters, central.CountNoise(), central_seconds);
+              central.num_clusters, central.CountNoise(),
+              central_run.seconds);
 
   // 3. DBDC: the data lives on 4 independent sites; only the local models
   //    (representatives + eps-ranges) travel to the server.
@@ -61,7 +63,7 @@ int main() {
               result.OverallSeconds(), result.max_local_seconds,
               result.global_seconds);
   std::printf("  speedup vs central:   %.1fx\n",
-              central_seconds / result.OverallSeconds());
+              central_run.seconds / result.OverallSeconds());
 
   // 4. Transmission cost: what actually crossed the (simulated) wire.
   const std::uint64_t raw_bytes =

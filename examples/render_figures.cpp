@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/dbdc.h"
+#include "distrib/network.h"
 #include "core/model_codec.h"
 #include "core/optics_global.h"
 #include "data/generators.h"
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
                                    : idx == 1 ? MakeTestDatasetB()
                                               : MakeTestDatasetC();
     const Clustering central = RunCentralDbscan(
-        synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+        synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid).clustering;
     const std::string path = dir + "/fig6_dataset_" + synth.name + ".ppm";
     if (!WriteScatterPpm(path, synth.data, central.labels)) {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "core/dbdc.h"
+#include "distrib/network.h"
 #include "core/model_codec.h"
 #include "data/generators.h"
 #include "distrib/partitioner.h"
@@ -30,7 +31,7 @@ int main() {
   // 10 stores; the flagship holds ~40% of all customers.
   const SizeSkewedPartitioner stores(/*ratio=*/0.6);
   const Clustering central = RunCentralDbscan(customers.data, Euclidean(),
-                                              params, IndexType::kGrid);
+                                              params, IndexType::kGrid).clustering;
   std::printf("chain-wide reference: %d segments over %zu customers\n\n",
               central.num_clusters, customers.data.size());
 

@@ -1,0 +1,34 @@
+#ifndef DBDC_COMMON_CHECKSUM_H_
+#define DBDC_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+#include <span>
+
+namespace dbdc {
+
+/// 64-bit FNV-1a over a byte range. Used as the end-to-end integrity
+/// check of the wire formats (model codec trailer, protocol frames):
+/// cheap, dependency-free, and any single flipped byte changes the value.
+/// Not cryptographic — it guards against transmission corruption, not
+/// adversaries.
+inline std::uint64_t Fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (const std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+/// SplitMix64 finalizer: decorrelates structured inputs (endpoint ids,
+/// per-link sequence counters) into independent-looking seed material.
+inline std::uint64_t MixBits(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace dbdc
+
+#endif  // DBDC_COMMON_CHECKSUM_H_

@@ -7,11 +7,36 @@
 
 #include "common/rng.h"
 #include "common/timer.h"
+#include "distrib/network.h"
 
 namespace dbdc {
+namespace {
+
+void AccumulateProtocolCounters(const TransferOutcome& outcome,
+                                DbdcResult* result) {
+  result->protocol_retries += static_cast<std::uint64_t>(outcome.retries);
+  result->frames_dropped += static_cast<std::uint64_t>(outcome.data_drops);
+  result->frames_corrupted +=
+      static_cast<std::uint64_t>(outcome.data_corruptions);
+  result->acks_lost += static_cast<std::uint64_t>(outcome.ack_losses);
+}
+
+/// Unwraps the payload of a frame the channel reports as delivered
+/// intact. The frame decoded once already (that is what "delivered"
+/// means), so failure here is a programming error, not wire corruption.
+std::vector<std::uint8_t> DeliveredPayload(const Transport& network,
+                                           const TransferOutcome& outcome) {
+  DBDC_CHECK(outcome.delivered);
+  std::optional<Frame> frame =
+      DecodeFrame(network.Message(outcome.delivered_index).payload);
+  DBDC_CHECK(frame.has_value() && "delivered frame no longer decodes");
+  return std::move(frame->payload);
+}
+
+}  // namespace
 
 DbdcResult RunDbdc(const Dataset& data, const Metric& metric,
-                   const DbdcConfig& config, SimulatedNetwork* network) {
+                   const DbdcConfig& config, Transport* network) {
   DBDC_CHECK(config.num_sites >= 1);
   SimulatedNetwork own_network;
   if (network == nullptr) network = &own_network;
@@ -61,12 +86,15 @@ DbdcResult RunDbdc(const Dataset& data, const Metric& metric,
     result.max_local_seconds =
         std::max(result.max_local_seconds, local_seconds);
     result.sum_local_seconds += local_seconds;
-    result.num_representatives += site.local_model().representatives.size();
-    network->Send(site.site_id(), kServerEndpoint,
-                  site.EncodeLocalModelBytes());
   }
 
-  // Step 3: the server merges the local models into the global model.
+  // Step 2b+3: transmission of the local models and the server-side
+  // merge. Two regimes:
+  //   - protocol disabled (the paper's setting): raw payloads over an
+  //     assumed-lossless transport; an undecodable payload aborts.
+  //   - protocol enabled: checksummed frames with ack/retry; the server
+  //     merges whatever arrived intact by the collection deadline and the
+  //     rest of the sites are reported as failed.
   GlobalModelParams global_params;
   global_params.eps_global = config.eps_global;
   global_params.min_pts_global = 2;
@@ -74,25 +102,76 @@ DbdcResult RunDbdc(const Dataset& data, const Metric& metric,
   global_params.min_weight_global = config.min_weight_global;
   global_params.num_threads = config.num_threads;
   Server server(metric, global_params);
-  for (const NetworkMessage* msg : network->Inbox(kServerEndpoint)) {
-    const bool ok = server.AddLocalModelBytes(msg->payload);
-    DBDC_CHECK(ok && "local model payload failed to decode");
+
+  ReliableChannel channel(network, config.protocol);
+  if (!config.protocol.enabled) {
+    for (Site& site : sites) {
+      result.num_representatives += site.local_model().representatives.size();
+      network->Send(site.site_id(), kServerEndpoint,
+                    site.EncodeLocalModelBytes());
+    }
+    for (const NetworkMessage* msg : network->Inbox(kServerEndpoint)) {
+      const DecodeStatus status = server.AddLocalModelBytes(msg->payload);
+      DBDC_CHECK(status == DecodeStatus::kOk &&
+                 "local model payload failed to decode");
+    }
+    result.sites_reporting = config.num_sites;
+  } else {
+    for (Site& site : sites) {
+      const TransferOutcome up = channel.Transfer(
+          site.site_id(), kServerEndpoint, site.EncodeLocalModelBytes());
+      AccumulateProtocolCounters(up, &result);
+      bool accepted =
+          up.delivered &&
+          up.delivered_seconds <= config.protocol.collection_deadline_sec;
+      if (accepted) {
+        accepted = server.AddLocalModelBytes(
+                       DeliveredPayload(*network, up)) == DecodeStatus::kOk;
+      }
+      if (accepted) {
+        ++result.sites_reporting;
+        result.num_representatives +=
+            site.local_model().representatives.size();
+      } else {
+        result.failed_site_ids.push_back(site.site_id());
+      }
+    }
   }
+  result.sites_failed = config.num_sites - result.sites_reporting;
+
   server.BuildGlobal();
   result.global_seconds = server.global_clustering_seconds();
   result.eps_global_used = server.global_model().eps_global_used;
 
   // Step 4: broadcast and relabel. The representative index is built once
   // here (over the server's model — byte-identical to every decoded
-  // broadcast copy) and shared by all sites' relabel passes.
+  // broadcast copy) and shared by all sites' relabel passes. Points of
+  // sites the broadcast does not reach keep kNoise.
   const std::vector<std::uint8_t> global_bytes =
       server.EncodeGlobalModelBytes();
   const RelabelContext relabel_context(server.global_model(), metric);
   result.labels.assign(data.size(), kNoise);
   for (Site& site : sites) {
-    network->Send(kServerEndpoint, site.site_id(), global_bytes);
-    const bool ok = site.ApplyGlobalModelBytes(global_bytes, &relabel_context);
-    DBDC_CHECK(ok && "global model payload failed to decode");
+    std::vector<std::uint8_t> received;
+    if (!config.protocol.enabled) {
+      network->Send(kServerEndpoint, site.site_id(), global_bytes);
+      received = global_bytes;
+    } else {
+      const TransferOutcome down =
+          channel.Transfer(kServerEndpoint, site.site_id(), global_bytes);
+      AccumulateProtocolCounters(down, &result);
+      if (!down.delivered) continue;
+      received = DeliveredPayload(*network, down);
+    }
+    const DecodeStatus status =
+        site.ApplyGlobalModelBytes(received, &relabel_context);
+    if (!config.protocol.enabled) {
+      DBDC_CHECK(status == DecodeStatus::kOk &&
+                 "global model payload failed to decode");
+    } else if (status != DecodeStatus::kOk) {
+      continue;
+    }
+    ++result.sites_relabeled;
     result.max_relabel_seconds =
         std::max(result.max_relabel_seconds, site.relabel_seconds());
     const std::vector<ClusterId>& labels = site.global_labels();
@@ -108,15 +187,16 @@ DbdcResult RunDbdc(const Dataset& data, const Metric& metric,
   return result;
 }
 
-Clustering RunCentralDbscan(const Dataset& data, const Metric& metric,
-                            const DbscanParams& params, IndexType index_type,
-                            double* seconds) {
+CentralDbscanResult RunCentralDbscan(const Dataset& data, const Metric& metric,
+                                     const DbscanParams& params,
+                                     IndexType index_type) {
   Timer timer;
   const std::unique_ptr<NeighborIndex> index =
       CreateIndex(index_type, data, metric, params.eps);
-  Clustering clustering = RunDbscan(*index, params);
-  if (seconds != nullptr) *seconds = timer.Seconds();
-  return clustering;
+  CentralDbscanResult result;
+  result.clustering = RunDbscan(*index, params);
+  result.seconds = timer.Seconds();
+  return result;
 }
 
 }  // namespace dbdc

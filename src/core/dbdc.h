@@ -6,8 +6,9 @@
 
 #include "core/server.h"
 #include "core/site.h"
-#include "distrib/network.h"
 #include "distrib/partitioner.h"
+#include "distrib/protocol.h"
+#include "distrib/transport.h"
 
 namespace dbdc {
 
@@ -49,6 +50,15 @@ struct DbdcConfig {
   /// Combined with parallel_sites each site runs its own pool, so the
   /// total thread count is roughly num_sites × num_threads.
   int num_threads = 1;
+  /// Fault-tolerant transport protocol (checksummed frames, acks, bounded
+  /// retries with exponential backoff, server-side collection deadline).
+  /// Disabled by default: payloads cross the transport raw and every site
+  /// is assumed reliable, exactly the paper's setting. With
+  /// protocol.enabled the run degrades gracefully instead of aborting:
+  /// the server builds the global model from whichever local models
+  /// arrived intact by the deadline, and unreachable sites' points stay
+  /// noise (see DbdcResult's sites_reporting / sites_failed breakdown).
+  ProtocolConfig protocol;
 };
 
 /// Outcome of a DBDC run, including the per-phase cost breakdown of the
@@ -76,6 +86,25 @@ struct DbdcResult {
   std::vector<std::size_t> site_sizes;
   GlobalModel global_model;
 
+  /// Degraded-mode breakdown (trivial when the protocol is disabled:
+  /// every site reports and relabels, nothing fails).
+  ///
+  /// Sites whose local model reached the server intact by the collection
+  /// deadline and entered the global model.
+  int sites_reporting = 0;
+  /// num_sites - sites_reporting: dead, straggling past the deadline, or
+  /// retry budget exhausted.
+  int sites_failed = 0;
+  std::vector<int> failed_site_ids;
+  /// Sites that received the broadcast and relabeled their points; points
+  /// of unreached sites keep kNoise.
+  int sites_relabeled = 0;
+  /// Protocol-level counters summed over all transfers (both directions).
+  std::uint64_t protocol_retries = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_corrupted = 0;
+  std::uint64_t acks_lost = 0;
+
   /// The paper's overall-runtime formula (Sec. 9).
   double OverallSeconds() const {
     return max_local_seconds + global_seconds;
@@ -86,18 +115,29 @@ struct DbdcResult {
 /// partition onto sites -> independent local clustering -> local models
 /// -> transmission -> global model -> broadcast -> local relabeling.
 ///
-/// All model transfer happens as serialized bytes over a
-/// SimulatedNetwork; pass `network` to inspect the traffic (may be null).
+/// All model transfer happens as serialized bytes over a Transport; pass
+/// `network` to inspect the traffic or to substitute an unreliable
+/// implementation (FaultyNetwork). Null = a private lossless
+/// SimulatedNetwork. With config.protocol.enabled the transfers run
+/// under the reliable-delivery protocol and the pipeline degrades
+/// gracefully when sites fail; without it any undecodable payload is a
+/// programming error (the transport is assumed lossless) and aborts.
 DbdcResult RunDbdc(const Dataset& data, const Metric& metric,
-                   const DbdcConfig& config,
-                   SimulatedNetwork* network = nullptr);
+                   const DbdcConfig& config, Transport* network = nullptr);
+
+/// Outcome of the centralized baseline run.
+struct CentralDbscanResult {
+  Clustering clustering;
+  /// Wall-clock seconds for index build + DBSCAN.
+  double seconds = 0.0;
+};
 
 /// Convenience baseline: central DBSCAN over the full dataset with the
 /// same parameters and index type (what DBDC is compared against
-/// throughout Sec. 9). Returns the clustering and the wall-clock seconds.
-Clustering RunCentralDbscan(const Dataset& data, const Metric& metric,
-                            const DbscanParams& params, IndexType index_type,
-                            double* seconds = nullptr);
+/// throughout Sec. 9).
+CentralDbscanResult RunCentralDbscan(const Dataset& data, const Metric& metric,
+                                     const DbscanParams& params,
+                                     IndexType index_type);
 
 }  // namespace dbdc
 

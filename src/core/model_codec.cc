@@ -3,14 +3,20 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/checksum.h"
+
 namespace dbdc {
 namespace {
 
 constexpr std::uint32_t kLocalMagic = 0x4442544Du;   // "MTBD" LE -> 'DBLM'.
 constexpr std::uint32_t kGlobalMagic = 0x4442474Du;  // 'DBGM'.
-// Version 2 added the per-representative weight (see Representative).
-constexpr std::uint32_t kVersion = 2;
+// Version 2 added the per-representative weight (see Representative);
+// version 3 added the trailing FNV-1a checksum so in-transit corruption
+// is detected (and reported) at the wire instead of surfacing as a
+// field-level decode failure.
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kMinVersion = 1;
+constexpr std::size_t kChecksumBytes = 8;
 
 class Writer {
  public:
@@ -79,6 +85,7 @@ std::vector<std::uint8_t> EncodeLocalModelImpl(const LocalModel& model) {
     w.Put(rep.weight);
     for (const double c : rep.center) w.Put(c);
   }
+  w.Put(Fnv1a64(out));
   return out;
 }
 
@@ -102,7 +109,37 @@ std::vector<std::uint8_t> EncodeGlobalModelImpl(const GlobalModel& model) {
       w.Put(c);
     }
   }
+  w.Put(Fnv1a64(out));
   return out;
+}
+
+/// Shared v3+ preamble check: magic, version window, checksum trailer.
+/// On kOk, `*body` is the payload with the checksum trailer stripped
+/// (everything the per-model parser consumes) and `*version` is set.
+DecodeStatus CheckPreamble(std::span<const std::uint8_t> bytes,
+                           std::uint32_t expected_magic,
+                           std::uint32_t* version,
+                           std::span<const std::uint8_t>* body) {
+  Reader header(bytes);
+  std::uint32_t magic = 0;
+  if (!header.Get(&magic)) return DecodeStatus::kTruncated;
+  if (magic != expected_magic) return DecodeStatus::kBadMagic;
+  if (!header.Get(version)) return DecodeStatus::kTruncated;
+  if (*version < kMinVersion || *version > kVersion) {
+    return DecodeStatus::kVersionMismatch;
+  }
+  *body = bytes;
+  if (*version >= 3) {
+    if (bytes.size() < 8 + kChecksumBytes) return DecodeStatus::kTruncated;
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, bytes.data() + bytes.size() - kChecksumBytes,
+                kChecksumBytes);
+    if (Fnv1a64(bytes.first(bytes.size() - kChecksumBytes)) != stored) {
+      return DecodeStatus::kChecksumMismatch;
+    }
+    *body = bytes.first(bytes.size() - kChecksumBytes);
+  }
+  return DecodeStatus::kOk;
 }
 
 }  // namespace
@@ -161,24 +198,30 @@ std::vector<std::uint8_t> EncodeLocalModel(const LocalModel& model) {
   return out;
 }
 
-std::optional<LocalModel> DecodeLocalModel(
-    std::span<const std::uint8_t> bytes) {
-  Reader r(bytes);
-  std::uint32_t magic = 0, version = 0, rep_count = 0;
+DecodeStatus DecodeLocalModel(std::span<const std::uint8_t> bytes,
+                              LocalModel* out) {
+  std::uint32_t version = 0;
+  std::span<const std::uint8_t> body;
+  const DecodeStatus preamble =
+      CheckPreamble(bytes, kLocalMagic, &version, &body);
+  if (preamble != DecodeStatus::kOk) return preamble;
+
+  Reader r(body);
+  std::uint32_t magic = 0, version_again = 0, rep_count = 0;
   std::int32_t site_id = 0, dim = 0, num_clusters = 0;
-  if (!r.Get(&magic) || magic != kLocalMagic) return std::nullopt;
-  if (!r.Get(&version) || version < kMinVersion || version > kVersion) {
-    return std::nullopt;
-  }
+  (void)r.Get(&magic);          // Re-reads the fields CheckPreamble
+  (void)r.Get(&version_again);  // already validated.
   if (!r.Get(&site_id) || !r.Get(&dim) || !r.Get(&num_clusters) ||
       !r.Get(&rep_count)) {
-    return std::nullopt;
+    return DecodeStatus::kTruncated;
   }
-  if (dim < 1 || num_clusters < 0 || site_id < 0) return std::nullopt;
-  // Each representative occupies 4 + 8 [+ 4 in v2] + dim*8 bytes.
+  if (dim < 1 || num_clusters < 0 || site_id < 0) {
+    return DecodeStatus::kMalformed;
+  }
+  // Each representative occupies 4 + 8 [+ 4 in v2+] + dim*8 bytes.
   const std::uint64_t rep_bytes = (version >= 2 ? 16 : 12) +
                                   static_cast<std::uint64_t>(dim) * 8;
-  if (!PayloadFits(r, rep_count, rep_bytes)) return std::nullopt;
+  if (!PayloadFits(r, rep_count, rep_bytes)) return DecodeStatus::kTruncated;
   LocalModel model;
   model.site_id = site_id;
   model.dim = dim;
@@ -187,21 +230,32 @@ std::optional<LocalModel> DecodeLocalModel(
   for (std::uint32_t i = 0; i < rep_count; ++i) {
     Representative rep;
     std::int32_t cluster = 0;
-    if (!r.Get(&cluster) || !r.Get(&rep.eps_range)) return std::nullopt;
-    if (version >= 2 && !r.Get(&rep.weight)) return std::nullopt;
+    if (!r.Get(&cluster) || !r.Get(&rep.eps_range)) {
+      return DecodeStatus::kTruncated;
+    }
+    if (version >= 2 && !r.Get(&rep.weight)) return DecodeStatus::kTruncated;
     if (cluster < 0 || !IsValidEps(rep.eps_range) || rep.weight < 1) {
-      return std::nullopt;
+      return DecodeStatus::kMalformed;
     }
     rep.local_cluster = cluster;
     rep.center.resize(static_cast<std::size_t>(dim));
     for (std::int32_t d = 0; d < dim; ++d) {
-      if (!r.Get(&rep.center[d]) || !std::isfinite(rep.center[d])) {
-        return std::nullopt;
-      }
+      if (!r.Get(&rep.center[d])) return DecodeStatus::kTruncated;
+      if (!std::isfinite(rep.center[d])) return DecodeStatus::kMalformed;
     }
     model.representatives.push_back(std::move(rep));
   }
-  if (!r.AtEnd()) return std::nullopt;  // Trailing garbage.
+  if (!r.AtEnd()) return DecodeStatus::kMalformed;  // Trailing garbage.
+  *out = std::move(model);
+  return DecodeStatus::kOk;
+}
+
+std::optional<LocalModel> DecodeLocalModel(
+    std::span<const std::uint8_t> bytes) {
+  LocalModel model;
+  if (DecodeLocalModel(bytes, &model) != DecodeStatus::kOk) {
+    return std::nullopt;
+  }
   return model;
 }
 
@@ -217,34 +271,39 @@ std::vector<std::uint8_t> EncodeGlobalModel(const GlobalModel& model) {
   return out;
 }
 
-std::optional<GlobalModel> DecodeGlobalModel(
-    std::span<const std::uint8_t> bytes) {
-  Reader r(bytes);
-  std::uint32_t magic = 0, version = 0, rep_count = 0;
+DecodeStatus DecodeGlobalModel(std::span<const std::uint8_t> bytes,
+                               GlobalModel* out) {
+  std::uint32_t version = 0;
+  std::span<const std::uint8_t> body;
+  const DecodeStatus preamble =
+      CheckPreamble(bytes, kGlobalMagic, &version, &body);
+  if (preamble != DecodeStatus::kOk) return preamble;
+
+  Reader r(body);
+  std::uint32_t magic = 0, version_again = 0, rep_count = 0;
   std::int32_t dim = 0, num_clusters = 0;
   double eps_global = 0.0;
-  if (!r.Get(&magic) || magic != kGlobalMagic) return std::nullopt;
-  if (!r.Get(&version) || version < kMinVersion || version > kVersion) {
-    return std::nullopt;
-  }
+  (void)r.Get(&magic);
+  (void)r.Get(&version_again);
   if (!r.Get(&dim) || !r.Get(&num_clusters) || !r.Get(&eps_global) ||
       !r.Get(&rep_count)) {
-    return std::nullopt;
+    return DecodeStatus::kTruncated;
   }
   if (dim < 1 || num_clusters < 0 || !IsValidEps(eps_global)) {
-    return std::nullopt;
+    return DecodeStatus::kMalformed;
   }
-  // Each representative occupies 3*4 + 8 [+ 4 in v2] + dim*8 bytes.
+  // Each representative occupies 3*4 + 8 [+ 4 in v2+] + dim*8 bytes.
   const std::uint64_t rep_bytes = (version >= 2 ? 24 : 20) +
                                   static_cast<std::uint64_t>(dim) * 8;
-  if (!PayloadFits(r, rep_count, rep_bytes)) return std::nullopt;
+  if (!PayloadFits(r, rep_count, rep_bytes)) return DecodeStatus::kTruncated;
   GlobalModel model;
   model.rep_points = Dataset(dim);
   model.num_global_clusters = num_clusters;
   model.eps_global_used = eps_global;
   if (rep_count == 0) {
-    if (!r.AtEnd()) return std::nullopt;
-    return model;
+    if (!r.AtEnd()) return DecodeStatus::kMalformed;
+    *out = std::move(model);
+    return DecodeStatus::kOk;
   }
   Point coords(static_cast<std::size_t>(dim));
   for (std::uint32_t i = 0; i < rep_count; ++i) {
@@ -253,17 +312,16 @@ std::optional<GlobalModel> DecodeGlobalModel(
     std::uint32_t weight = 1;
     if (!r.Get(&global_cluster) || !r.Get(&site) || !r.Get(&local_cluster) ||
         !r.Get(&eps)) {
-      return std::nullopt;
+      return DecodeStatus::kTruncated;
     }
-    if (version >= 2 && !r.Get(&weight)) return std::nullopt;
+    if (version >= 2 && !r.Get(&weight)) return DecodeStatus::kTruncated;
     if (global_cluster < 0 || global_cluster >= num_clusters || site < 0 ||
         local_cluster < 0 || !IsValidEps(eps) || weight < 1) {
-      return std::nullopt;
+      return DecodeStatus::kMalformed;
     }
     for (std::int32_t d = 0; d < dim; ++d) {
-      if (!r.Get(&coords[d]) || !std::isfinite(coords[d])) {
-        return std::nullopt;
-      }
+      if (!r.Get(&coords[d])) return DecodeStatus::kTruncated;
+      if (!std::isfinite(coords[d])) return DecodeStatus::kMalformed;
     }
     model.rep_points.Add(coords);
     model.rep_eps.push_back(eps);
@@ -272,8 +330,36 @@ std::optional<GlobalModel> DecodeGlobalModel(
     model.rep_site.push_back(site);
     model.rep_local_cluster.push_back(local_cluster);
   }
-  if (!r.AtEnd()) return std::nullopt;
+  if (!r.AtEnd()) return DecodeStatus::kMalformed;
+  *out = std::move(model);
+  return DecodeStatus::kOk;
+}
+
+std::optional<GlobalModel> DecodeGlobalModel(
+    std::span<const std::uint8_t> bytes) {
+  GlobalModel model;
+  if (DecodeGlobalModel(bytes, &model) != DecodeStatus::kOk) {
+    return std::nullopt;
+  }
   return model;
+}
+
+const char* DecodeStatusName(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kBadMagic:
+      return "bad magic";
+    case DecodeStatus::kVersionMismatch:
+      return "version mismatch";
+    case DecodeStatus::kTruncated:
+      return "truncated";
+    case DecodeStatus::kChecksumMismatch:
+      return "checksum mismatch";
+    case DecodeStatus::kMalformed:
+      return "malformed";
+  }
+  return "unknown";
 }
 
 std::uint64_t RawDatasetWireSize(std::size_t num_points, int dim) {

@@ -19,25 +19,58 @@ namespace dbdc {
 /// models are a small fraction of the raw data).
 ///
 /// Encoding is little-endian, versioned and self-describing enough for
-/// Decode to reject truncated or corrupt payloads by returning nullopt
-/// (recoverable error, no exceptions).
+/// Decode to reject truncated or corrupt payloads (recoverable error, no
+/// exceptions) — and, since version 3, to say *why* via DecodeStatus.
 ///
-/// LocalModel layout (version 2; version-1 payloads without the weight
-/// field still decode, with weight = 1):
+/// LocalModel layout (version 3; v1 payloads lack the weight field and
+/// decode with weight = 1, v1/v2 payloads lack the checksum trailer):
 ///   u32 magic 'DBLM' | u32 version | i32 site_id | i32 dim
 ///   i32 num_local_clusters | u32 rep_count
 ///   rep_count x { i32 local_cluster | f64 eps_range | u32 weight
 ///                 | dim x f64 coords }
+///   u64 fnv1a(all preceding bytes)            [v3+]
 ///
 /// GlobalModel layout:
 ///   u32 magic 'DBGM' | u32 version | i32 dim | i32 num_global_clusters
 ///   f64 eps_global_used | u32 rep_count
 ///   rep_count x { i32 global_cluster | i32 site | i32 local_cluster
 ///                 | f64 eps_range | u32 weight | dim x f64 coords }
-std::vector<std::uint8_t> EncodeLocalModel(const LocalModel& model);
-std::optional<LocalModel> DecodeLocalModel(std::span<const std::uint8_t> bytes);
+///   u64 fnv1a(all preceding bytes)            [v3+]
 
+/// Why a payload was rejected. kOk is the only success value; the
+/// fault-injection tests assert the specific failure reason for each
+/// corruption mode.
+enum class DecodeStatus {
+  kOk = 0,
+  /// First four bytes are not the expected model magic.
+  kBadMagic,
+  /// Version field outside the [min, current] range this build decodes.
+  kVersionMismatch,
+  /// Payload ends before a declared field (or before the checksum
+  /// trailer).
+  kTruncated,
+  /// The v3 checksum trailer does not match the payload bytes.
+  kChecksumMismatch,
+  /// Structurally complete but semantically invalid (non-finite or
+  /// negative eps, zero weight, out-of-range ids, trailing garbage).
+  kMalformed,
+};
+
+/// Human-readable name, for logs and test diagnostics.
+const char* DecodeStatusName(DecodeStatus status);
+
+std::vector<std::uint8_t> EncodeLocalModel(const LocalModel& model);
 std::vector<std::uint8_t> EncodeGlobalModel(const GlobalModel& model);
+
+/// Primary decode API: fills `*out` and returns kOk, or returns the
+/// failure reason leaving `*out` unspecified.
+DecodeStatus DecodeLocalModel(std::span<const std::uint8_t> bytes,
+                              LocalModel* out);
+DecodeStatus DecodeGlobalModel(std::span<const std::uint8_t> bytes,
+                               GlobalModel* out);
+
+/// Convenience wrappers collapsing the failure reason to nullopt.
+std::optional<LocalModel> DecodeLocalModel(std::span<const std::uint8_t> bytes);
 std::optional<GlobalModel> DecodeGlobalModel(
     std::span<const std::uint8_t> bytes);
 

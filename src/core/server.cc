@@ -7,11 +7,12 @@
 
 namespace dbdc {
 
-bool Server::AddLocalModelBytes(std::span<const std::uint8_t> bytes) {
-  std::optional<LocalModel> model = DecodeLocalModel(bytes);
-  if (!model.has_value()) return false;
-  locals_.push_back(*std::move(model));
-  return true;
+DecodeStatus Server::AddLocalModelBytes(std::span<const std::uint8_t> bytes) {
+  LocalModel model;
+  const DecodeStatus status = DecodeLocalModel(bytes, &model);
+  if (status != DecodeStatus::kOk) return status;
+  locals_.push_back(std::move(model));
+  return DecodeStatus::kOk;
 }
 
 void Server::AddLocalModel(LocalModel model) {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/global_model.h"
+#include "core/model_codec.h"
 
 namespace dbdc {
 
@@ -22,9 +23,10 @@ class Server {
   Server(const Metric& metric, const GlobalModelParams& params)
       : metric_(&metric), params_(params) {}
 
-  /// Registers a local model received as bytes. Returns false (and
-  /// ignores the payload) when it does not decode.
-  bool AddLocalModelBytes(std::span<const std::uint8_t> bytes);
+  /// Registers a local model received as bytes. On anything but kOk the
+  /// payload is ignored and the status says why it was rejected (so
+  /// fault-injection tests can assert the rejection reason).
+  DecodeStatus AddLocalModelBytes(std::span<const std::uint8_t> bytes);
 
   /// Registers an already-decoded local model (tests).
   void AddLocalModel(LocalModel model);

@@ -39,12 +39,13 @@ std::vector<std::uint8_t> Site::EncodeLocalModelBytes() const {
   return EncodeLocalModel(model_);
 }
 
-bool Site::ApplyGlobalModelBytes(std::span<const std::uint8_t> bytes,
-                                 const RelabelContext* shared_context) {
-  std::optional<GlobalModel> global = DecodeGlobalModel(bytes);
-  if (!global.has_value()) return false;
-  ApplyGlobalModel(*global, shared_context);
-  return true;
+DecodeStatus Site::ApplyGlobalModelBytes(std::span<const std::uint8_t> bytes,
+                                         const RelabelContext* shared_context) {
+  GlobalModel global;
+  const DecodeStatus status = DecodeGlobalModel(bytes, &global);
+  if (status != DecodeStatus::kOk) return status;
+  ApplyGlobalModel(global, shared_context);
+  return DecodeStatus::kOk;
 }
 
 void Site::ApplyGlobalModel(const GlobalModel& global,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/local_model.h"
+#include "core/model_codec.h"
 #include "core/relabel.h"
 #include "index/index_factory.h"
 
@@ -54,15 +55,17 @@ class Site {
   std::vector<std::uint8_t> EncodeLocalModelBytes() const;
 
   /// Phase 4: relabels all local objects against the received global
-  /// model (deserialized from `bytes`). Returns false on a corrupt
-  /// payload.
+  /// model (deserialized from `bytes`). On anything but kOk the payload
+  /// is ignored (no relabeling happens) and the status says why it was
+  /// rejected.
   ///
   /// `shared_context` optionally supplies a RelabelContext built once for
   /// the broadcast (the driver builds it from the server's model, which is
   /// byte-identical to the decoded one) so every site skips rebuilding the
   /// same representative index; null = build a private context.
-  bool ApplyGlobalModelBytes(std::span<const std::uint8_t> bytes,
-                             const RelabelContext* shared_context = nullptr);
+  DecodeStatus ApplyGlobalModelBytes(
+      std::span<const std::uint8_t> bytes,
+      const RelabelContext* shared_context = nullptr);
 
   /// Phase 4, non-serialized variant (tests).
   void ApplyGlobalModel(const GlobalModel& global,

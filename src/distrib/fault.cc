@@ -1,0 +1,116 @@
+#include "distrib/fault.h"
+
+#include <algorithm>
+#include <random>
+
+#include "common/check.h"
+#include "common/checksum.h"
+
+namespace dbdc {
+namespace {
+
+bool Contains(const std::vector<int>& ids, EndpointId endpoint) {
+  return std::find(ids.begin(), ids.end(), endpoint) != ids.end();
+}
+
+/// Per-message seed: a pure function of (stream seed, link, position on
+/// the link). Endpoint ids are offset by 2 so kServerEndpoint (-1) maps
+/// to a distinct non-negative value.
+std::uint64_t MessageSeed(std::uint64_t seed, EndpointId from, EndpointId to,
+                          std::uint64_t sequence) {
+  const std::uint64_t link =
+      (static_cast<std::uint64_t>(static_cast<std::int64_t>(from) + 2) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(to) + 2);
+  return MixBits(seed ^ MixBits(link) ^ MixBits(sequence));
+}
+
+bool Bernoulli(double p, std::mt19937_64* rng) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::uniform_real_distribution<double>(0.0, 1.0)(*rng) < p;
+}
+
+}  // namespace
+
+FaultyNetwork::FaultyNetwork(Transport* inner, const FaultSpec& spec)
+    : inner_(inner), spec_(spec) {
+  DBDC_CHECK(inner != nullptr);
+  DBDC_CHECK(spec.drop_rate >= 0.0 && spec.drop_rate <= 1.0);
+  DBDC_CHECK(spec.corrupt_rate >= 0.0 && spec.corrupt_rate <= 1.0);
+  DBDC_CHECK(spec.max_corrupt_bytes >= 1);
+  DBDC_CHECK(spec.delay_mean_sec >= 0.0);
+  DBDC_CHECK(spec.straggler_delay_sec >= 0.0);
+}
+
+bool FaultyNetwork::SiteFailed(EndpointId endpoint) const {
+  return Contains(spec_.failed_sites, endpoint);
+}
+
+bool FaultyNetwork::SiteStraggling(EndpointId endpoint) const {
+  return Contains(spec_.straggler_sites, endpoint);
+}
+
+std::size_t FaultyNetwork::Send(EndpointId from, EndpointId to,
+                                std::vector<std::uint8_t> payload) {
+  ++stats_.messages_seen;
+  const std::uint64_t sequence = link_sequence_[{from, to}]++;
+
+  // Dead endpoints are black holes in both directions.
+  if (SiteFailed(from) || SiteFailed(to)) {
+    ++stats_.messages_dropped;
+    stats_.bytes_dropped += payload.size();
+    return kMessageDropped;
+  }
+
+  std::mt19937_64 rng(MessageSeed(spec_.seed, from, to, sequence));
+  if (Bernoulli(spec_.drop_rate, &rng)) {
+    ++stats_.messages_dropped;
+    stats_.bytes_dropped += payload.size();
+    return kMessageDropped;
+  }
+
+  if (!payload.empty() && Bernoulli(spec_.corrupt_rate, &rng)) {
+    ++stats_.messages_corrupted;
+    const int flips = static_cast<int>(std::uniform_int_distribution<int>(
+        1, spec_.max_corrupt_bytes)(rng));
+    for (int i = 0; i < flips; ++i) {
+      const std::size_t pos = std::uniform_int_distribution<std::size_t>(
+          0, payload.size() - 1)(rng);
+      // XOR with a non-zero byte, so the payload always actually changes.
+      payload[pos] ^= static_cast<std::uint8_t>(
+          std::uniform_int_distribution<int>(1, 255)(rng));
+    }
+  }
+
+  double delay = 0.0;
+  if (spec_.delay_mean_sec > 0.0) {
+    delay += spec_.delay_mean_sec *
+             std::uniform_real_distribution<double>(0.5, 1.5)(rng);
+  }
+  if (SiteStraggling(from) || SiteStraggling(to)) {
+    delay += spec_.straggler_delay_sec;
+  }
+
+  const std::size_t index = inner_->Send(from, to, std::move(payload));
+  DBDC_CHECK(index != kMessageDropped);
+  ++stats_.messages_delivered;
+  if (delay > 0.0) {
+    ++stats_.messages_delayed;
+    delays_[index] = delay;
+  }
+  return index;
+}
+
+double FaultyNetwork::DeliveryDelaySeconds(std::size_t index) const {
+  const auto it = delays_.find(index);
+  return it != delays_.end() ? it->second : 0.0;
+}
+
+void FaultyNetwork::Clear() {
+  inner_->Clear();
+  stats_ = FaultStats{};
+  link_sequence_.clear();
+  delays_.clear();
+}
+
+}  // namespace dbdc

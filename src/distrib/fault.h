@@ -1,0 +1,106 @@
+#ifndef DBDC_DISTRIB_FAULT_H_
+#define DBDC_DISTRIB_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "distrib/transport.h"
+
+namespace dbdc {
+
+/// What can go wrong on the wide-area links (the fault taxonomy of
+/// DESIGN.md §7). All faults are drawn from a seeded per-message RNG, so
+/// the same spec + seed reproduces the exact same fault sequence.
+struct FaultSpec {
+  /// Probability that a message vanishes in transit (never recorded).
+  double drop_rate = 0.0;
+  /// Probability that a delivered message has bytes flipped in transit.
+  double corrupt_rate = 0.0;
+  /// Upper bound on the number of bytes a corruption event flips (>= 1).
+  int max_corrupt_bytes = 8;
+  /// Mean extra in-transit delay per delivered message; the actual delay
+  /// is uniform in [0.5, 1.5) x mean. 0 = no extra delay.
+  double delay_mean_sec = 0.0;
+  /// Dead sites: every message from or to these endpoints is dropped
+  /// (the site crashed / its link is down — it neither transmits its
+  /// local model nor receives the broadcast).
+  std::vector<int> failed_sites;
+  /// Straggling sites: delivered, but every message from or to them is
+  /// additionally delayed by straggler_delay_sec (so a server-side
+  /// collection deadline can expire them).
+  std::vector<int> straggler_sites;
+  double straggler_delay_sec = 0.0;
+  /// Seed of the deterministic fault stream.
+  std::uint64_t seed = 1;
+};
+
+/// Counters of what the fault layer did (transport-level view; the
+/// protocol layer keeps its own end-to-end counters).
+struct FaultStats {
+  std::uint64_t messages_seen = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_corrupted = 0;
+  std::uint64_t messages_delayed = 0;
+  std::uint64_t bytes_dropped = 0;
+};
+
+/// Transport decorator that injects deterministic, seeded faults into an
+/// inner transport: message drop, byte corruption, per-message delay,
+/// and whole-site failure/straggling.
+///
+/// Fault decisions are drawn from an RNG seeded per message with
+/// hash(seed, from, to, per-link sequence number), so the outcome for
+/// every message is a pure function of the spec and the message's
+/// position on its link — independent of interleaving with other links
+/// and reproducible run to run. With a default FaultSpec (all rates 0, no
+/// failed sites) the decorator is an exact pass-through: the inner
+/// transport records byte-identical messages.
+///
+/// The inner transport owns the recorded messages; byte counters and
+/// inboxes delegate to it, so they count what was actually delivered.
+class FaultyNetwork : public Transport {
+ public:
+  /// `inner` must outlive this decorator.
+  FaultyNetwork(Transport* inner, const FaultSpec& spec);
+
+  std::size_t Send(EndpointId from, EndpointId to,
+                   std::vector<std::uint8_t> payload) override;
+
+  std::vector<const NetworkMessage*> Inbox(EndpointId endpoint) const override {
+    return inner_->Inbox(endpoint);
+  }
+  std::size_t NumMessages() const override { return inner_->NumMessages(); }
+  const NetworkMessage& Message(std::size_t index) const override {
+    return inner_->Message(index);
+  }
+  double DeliveryDelaySeconds(std::size_t index) const override;
+
+  std::uint64_t BytesUplink() const override { return inner_->BytesUplink(); }
+  std::uint64_t BytesDownlink() const override {
+    return inner_->BytesDownlink();
+  }
+  std::uint64_t BytesTotal() const override { return inner_->BytesTotal(); }
+
+  void Clear() override;
+
+  const FaultSpec& spec() const { return spec_; }
+  const FaultStats& stats() const { return stats_; }
+  bool SiteFailed(EndpointId endpoint) const;
+  bool SiteStraggling(EndpointId endpoint) const;
+
+ private:
+  Transport* inner_;
+  FaultSpec spec_;
+  FaultStats stats_;
+  /// Per-link monotonic send counters feeding the per-message seeds.
+  std::map<std::pair<EndpointId, EndpointId>, std::uint64_t> link_sequence_;
+  /// Extra delay per inner message index (only delivered messages).
+  std::map<std::size_t, double> delays_;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_DISTRIB_FAULT_H_

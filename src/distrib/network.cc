@@ -39,10 +39,4 @@ std::uint64_t SimulatedNetwork::BytesTotal() const {
   return total;
 }
 
-double SimulatedNetwork::EstimateTransferSeconds(std::uint64_t bytes,
-                                                 const LinkModel& link) {
-  return link.latency_sec +
-         static_cast<double>(bytes) / link.bandwidth_bytes_per_sec;
-}
-
 }  // namespace dbdc

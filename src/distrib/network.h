@@ -2,67 +2,66 @@
 #define DBDC_DISTRIB_NETWORK_H_
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
-#include "common/types.h"
+#include "distrib/transport.h"
 
 namespace dbdc {
 
-/// Endpoint id on the simulated network. The server is kServerEndpoint;
-/// sites use their non-negative site index.
-using EndpointId = int;
-inline constexpr EndpointId kServerEndpoint = -1;
-
-/// A recorded transmission.
-struct NetworkMessage {
-  EndpointId from = 0;
-  EndpointId to = 0;
-  std::vector<std::uint8_t> payload;
-};
-
-/// In-process stand-in for the wide-area links between sites and server.
+/// In-process stand-in for the wide-area links between sites and server:
+/// a perfect lossless recorder (every Send is delivered, unmodified).
 ///
 /// DBDC's efficiency claim rests on transmitting only the local models
 /// instead of the raw data; this class makes that cost observable: every
 /// model crosses it as real serialized bytes, and byte counters plus an
 /// optional bandwidth/latency model translate them into transfer-time
-/// estimates. (The paper reports no wire times — sites were simulated on
-/// one machine — so counters are the faithful reproduction.)
-class SimulatedNetwork {
+/// estimates.
+///
+/// Storage is deque-backed so recorded messages never move: pointers
+/// returned by Inbox() (and references from Message()/messages()) stay
+/// valid across later Send() calls, as the Transport contract requires.
+class SimulatedNetwork : public Transport {
  public:
   SimulatedNetwork() = default;
 
-  /// Link model used by EstimateTransferSeconds.
-  struct LinkModel {
-    double bandwidth_bytes_per_sec = 1e6;  // ~8 Mbit/s WAN default.
-    double latency_sec = 0.05;
-  };
+  /// Legacy spelling of the free dbdc::LinkModel (pre-Transport API).
+  using LinkModel = ::dbdc::LinkModel;
 
   /// Delivers `payload` from `from` to `to`, recording it. Returns the
-  /// message index.
+  /// message index (never kMessageDropped: this transport is lossless).
   std::size_t Send(EndpointId from, EndpointId to,
-                   std::vector<std::uint8_t> payload);
+                   std::vector<std::uint8_t> payload) override;
 
-  /// Messages received by `endpoint`, in arrival order.
-  std::vector<const NetworkMessage*> Inbox(EndpointId endpoint) const;
+  /// Messages received by `endpoint`, in arrival order. Pointers stay
+  /// valid until Clear().
+  std::vector<const NetworkMessage*> Inbox(EndpointId endpoint) const override;
+
+  std::size_t NumMessages() const override { return messages_.size(); }
+  const NetworkMessage& Message(std::size_t index) const override {
+    return messages_[index];
+  }
 
   /// All recorded messages in send order.
-  const std::vector<NetworkMessage>& messages() const { return messages_; }
+  const std::deque<NetworkMessage>& messages() const { return messages_; }
 
   /// Total bytes sent from sites to the server (local models).
-  std::uint64_t BytesUplink() const;
+  std::uint64_t BytesUplink() const override;
   /// Total bytes sent from the server to sites (global model broadcast).
-  std::uint64_t BytesDownlink() const;
-  std::uint64_t BytesTotal() const;
+  std::uint64_t BytesDownlink() const override;
+  std::uint64_t BytesTotal() const override;
 
-  /// Transfer-time estimate for a payload of `bytes` under `link`.
+  /// Transfer-time estimate for a payload of `bytes` under `link`
+  /// (forwards to the free dbdc::EstimateTransferSeconds).
   static double EstimateTransferSeconds(std::uint64_t bytes,
-                                        const LinkModel& link);
+                                        const LinkModel& link) {
+    return ::dbdc::EstimateTransferSeconds(bytes, link);
+  }
 
-  void Clear() { messages_.clear(); }
+  void Clear() override { messages_.clear(); }
 
  private:
-  std::vector<NetworkMessage> messages_;
+  std::deque<NetworkMessage> messages_;
 };
 
 }  // namespace dbdc

@@ -1,0 +1,159 @@
+#include "distrib/protocol.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "common/checksum.h"
+
+namespace dbdc {
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x50464244u;  // 'DBFP' little-endian.
+// magic + type + seq + payload_size + trailing checksum.
+constexpr std::size_t kFrameOverhead = 4 + 1 + 4 + 4 + 8;
+
+template <typename T>
+void PutRaw(std::vector<std::uint8_t>* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t offset = out->size();
+  out->resize(offset + sizeof(T));
+  std::memcpy(out->data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(std::span<const std::uint8_t> bytes, std::size_t* pos, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (*pos + sizeof(T) > bytes.size()) return false;
+  std::memcpy(value, bytes.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+std::size_t FrameOverheadBytes() { return kFrameOverhead; }
+
+std::vector<std::uint8_t> EncodeFrame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameOverhead + frame.payload.size());
+  PutRaw(&out, kFrameMagic);
+  PutRaw(&out, static_cast<std::uint8_t>(frame.type));
+  PutRaw(&out, frame.seq);
+  PutRaw(&out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  PutRaw(&out, Fnv1a64(out));
+  return out;
+}
+
+std::optional<Frame> DecodeFrame(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kFrameOverhead) return std::nullopt;
+  // Verify the trailing checksum over everything before it first: any
+  // in-transit flip — header or payload — invalidates the frame.
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + bytes.size() - 8, 8);
+  if (Fnv1a64(bytes.first(bytes.size() - 8)) != stored) return std::nullopt;
+
+  std::size_t pos = 0;
+  std::uint32_t magic = 0, seq = 0, payload_size = 0;
+  std::uint8_t type = 0;
+  if (!GetRaw(bytes, &pos, &magic) || magic != kFrameMagic) {
+    return std::nullopt;
+  }
+  if (!GetRaw(bytes, &pos, &type) || type > 1) return std::nullopt;
+  if (!GetRaw(bytes, &pos, &seq) || !GetRaw(bytes, &pos, &payload_size)) {
+    return std::nullopt;
+  }
+  if (bytes.size() != kFrameOverhead + payload_size) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.seq = seq;
+  frame.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                       bytes.end() - 8);
+  return frame;
+}
+
+ReliableChannel::ReliableChannel(Transport* transport,
+                                 const ProtocolConfig& config)
+    : transport_(transport), config_(config) {
+  DBDC_CHECK(transport != nullptr);
+  DBDC_CHECK(config.max_attempts >= 1);
+  DBDC_CHECK(config.retry_backoff_sec >= 0.0);
+}
+
+TransferOutcome ReliableChannel::Transfer(EndpointId from, EndpointId to,
+                                          std::vector<std::uint8_t> payload) {
+  TransferOutcome out;
+  const std::uint32_t seq = next_seq_++;
+  Frame data_frame;
+  data_frame.type = FrameType::kData;
+  data_frame.seq = seq;
+  data_frame.payload = std::move(payload);
+  const std::vector<std::uint8_t> data_bytes = EncodeFrame(data_frame);
+  const std::vector<std::uint8_t> ack_bytes =
+      EncodeFrame(Frame{FrameType::kAck, seq, {}});
+
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Ack timeout + exponential backoff before the retransmission.
+      out.elapsed_seconds +=
+          config_.retry_backoff_sec * static_cast<double>(1 << (attempt - 1));
+      ++out.retries;
+      ++stats_.retries;
+    }
+    ++out.attempts;
+
+    const std::size_t index = transport_->Send(from, to, data_bytes);
+    out.elapsed_seconds +=
+        EstimateTransferSeconds(data_bytes.size(), config_.link);
+    if (index == kMessageDropped) {
+      ++out.data_drops;
+      ++stats_.data_drops;
+      continue;
+    }
+    out.elapsed_seconds += transport_->DeliveryDelaySeconds(index);
+
+    // Receiver side: decode what actually arrived; a failed checksum
+    // means discard without ack (the sender only sees the timeout).
+    const std::optional<Frame> received =
+        DecodeFrame(transport_->Message(index).payload);
+    if (!received.has_value() || received->type != FrameType::kData ||
+        received->seq != seq) {
+      ++out.data_corruptions;
+      ++stats_.data_corruptions;
+      continue;
+    }
+    if (!out.delivered) {
+      out.delivered = true;
+      out.delivered_index = index;
+      out.delivered_seconds = out.elapsed_seconds;
+    }
+
+    // Ack leg (subject to the same faults; duplicates on the receiver are
+    // deduplicated by seq, which the simulation gets for free).
+    const std::size_t ack_index = transport_->Send(to, from, ack_bytes);
+    out.elapsed_seconds +=
+        EstimateTransferSeconds(ack_bytes.size(), config_.link);
+    if (ack_index == kMessageDropped) {
+      ++out.ack_losses;
+      ++stats_.ack_losses;
+      continue;
+    }
+    out.elapsed_seconds += transport_->DeliveryDelaySeconds(ack_index);
+    const std::optional<Frame> ack =
+        DecodeFrame(transport_->Message(ack_index).payload);
+    if (!ack.has_value() || ack->type != FrameType::kAck || ack->seq != seq) {
+      ++out.ack_losses;
+      ++stats_.ack_losses;
+      continue;
+    }
+    out.acked = true;
+    break;
+  }
+
+  ++stats_.transfers;
+  if (out.acked) ++stats_.acked;
+  return out;
+}
+
+}  // namespace dbdc

@@ -1,0 +1,124 @@
+#ifndef DBDC_DISTRIB_PROTOCOL_H_
+#define DBDC_DISTRIB_PROTOCOL_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "distrib/transport.h"
+
+namespace dbdc {
+
+/// Reliable-delivery protocol over an unreliable Transport (DESIGN.md §7).
+///
+/// Every application payload (a serialized local/global model) is wrapped
+/// in a checksummed frame; the receiver acknowledges intact frames, and
+/// the sender retries with exponential backoff until the ack arrives or
+/// the attempt budget is exhausted. Elapsed time accrues on a *virtual*
+/// clock (LinkModel transfer estimate + injected fault delay + backoff),
+/// so straggler classification and the server-side collection deadline
+/// are deterministic — independent of the wall clock of the machine
+/// running the simulation.
+///
+/// Frame layout (little-endian):
+///   u32 magic 'DBFP' | u8 type (0 data, 1 ack) | u32 seq
+///   | u32 payload_size | payload bytes | u64 fnv1a(all preceding bytes)
+
+enum class FrameType : std::uint8_t { kData = 0, kAck = 1 };
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::uint32_t seq = 0;
+  std::vector<std::uint8_t> payload;  // Empty for acks.
+};
+
+std::vector<std::uint8_t> EncodeFrame(const Frame& frame);
+/// nullopt on truncation, bad magic, or checksum mismatch — the receiver
+/// treats all three identically (discard, no ack), so no reason enum.
+std::optional<Frame> DecodeFrame(std::span<const std::uint8_t> bytes);
+
+/// Fixed per-frame overhead of EncodeFrame in bytes.
+std::size_t FrameOverheadBytes();
+
+/// Knobs of the reliable channel and of RunDbdc's degraded mode.
+struct ProtocolConfig {
+  /// Master switch for RunDbdc: false = the paper's setting — raw
+  /// payloads, no framing/acks/retries, every site assumed reliable.
+  bool enabled = false;
+  /// Total send attempts per transfer (1 original + max_attempts-1
+  /// retries).
+  int max_attempts = 4;
+  /// Backoff before retry k (1-based): retry_backoff_sec * 2^(k-1). This
+  /// doubles as the sender's ack-timeout model.
+  double retry_backoff_sec = 0.05;
+  /// Server-side collection deadline on the virtual clock: local models
+  /// whose first intact arrival is later than this are excluded from the
+  /// global model (the site is reported as failed/straggling). Infinity =
+  /// wait for everyone.
+  double collection_deadline_sec = std::numeric_limits<double>::infinity();
+  /// Bytes -> virtual seconds for every frame and ack.
+  LinkModel link;
+};
+
+/// End-to-end result of one reliable transfer.
+struct TransferOutcome {
+  /// The sender saw an ack.
+  bool acked = false;
+  /// An intact data frame reached the receiver (possible without an ack:
+  /// the ack itself may have been lost).
+  bool delivered = false;
+  /// Transport index of the first intact data frame (valid iff
+  /// delivered); its payload is what the receiver decodes.
+  std::size_t delivered_index = kMessageDropped;
+  /// Virtual time of the first intact arrival at the receiver (valid iff
+  /// delivered) — what the collection deadline is compared against.
+  double delivered_seconds = 0.0;
+  /// Virtual time when the sender stopped (ack received or budget
+  /// exhausted).
+  double elapsed_seconds = 0.0;
+  int attempts = 0;
+  int retries = 0;
+  int data_drops = 0;
+  int data_corruptions = 0;
+  int ack_losses = 0;
+};
+
+/// Aggregate counters over a channel's lifetime.
+struct ChannelStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t data_drops = 0;
+  std::uint64_t data_corruptions = 0;
+  std::uint64_t ack_losses = 0;
+};
+
+/// Sender-side state machine of the protocol. In a real deployment sender
+/// and receiver are separate machines; the in-process simulation collapses
+/// the receiver's verify-and-ack step into Transfer(), while every frame
+/// and ack still crosses the Transport as real bytes — retransmissions
+/// and protocol overhead are charged to the byte counters.
+class ReliableChannel {
+ public:
+  /// `transport` must outlive the channel.
+  ReliableChannel(Transport* transport, const ProtocolConfig& config);
+
+  /// Sends `payload` from `from` to `to` under the protocol. Each
+  /// transfer starts its own virtual clock at 0 (concurrent senders).
+  TransferOutcome Transfer(EndpointId from, EndpointId to,
+                           std::vector<std::uint8_t> payload);
+
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  Transport* transport_;
+  ProtocolConfig config_;
+  std::uint32_t next_seq_ = 0;
+  ChannelStats stats_;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_DISTRIB_PROTOCOL_H_

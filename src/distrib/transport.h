@@ -1,0 +1,101 @@
+#ifndef DBDC_DISTRIB_TRANSPORT_H_
+#define DBDC_DISTRIB_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dbdc {
+
+/// Endpoint id on the transport. The server is kServerEndpoint; sites use
+/// their non-negative site index.
+using EndpointId = int;
+inline constexpr EndpointId kServerEndpoint = -1;
+
+/// A recorded transmission.
+struct NetworkMessage {
+  EndpointId from = 0;
+  EndpointId to = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Returned by Transport::Send when the transport discarded the message
+/// in transit (fault injection); no message was recorded.
+inline constexpr std::size_t kMessageDropped =
+    std::numeric_limits<std::size_t>::max();
+
+/// Bandwidth/latency model translating recorded bytes into transfer-time
+/// estimates (the paper reports no wire times — sites were simulated on
+/// one machine — so counters plus this model are the faithful
+/// reproduction).
+struct LinkModel {
+  double bandwidth_bytes_per_sec = 1e6;  // ~8 Mbit/s WAN default.
+  double latency_sec = 0.05;
+};
+
+/// Transfer-time estimate for a payload of `bytes` under `link`.
+inline double EstimateTransferSeconds(std::uint64_t bytes,
+                                      const LinkModel& link) {
+  return link.latency_sec +
+         static_cast<double>(bytes) / link.bandwidth_bytes_per_sec;
+}
+
+/// The wide-area links between sites and server, as seen by the DBDC
+/// pipeline. RunDbdc, the protocol layer, and the benches program against
+/// this interface; concrete implementations decide what happens to a
+/// message in transit:
+///
+///   SimulatedNetwork — perfect lossless recorder (the paper's setting).
+///   FaultyNetwork    — decorator injecting deterministic seeded faults
+///                      (drops, corruption, delay, dead sites).
+///
+/// Contract:
+///   - Send() either records the (possibly mutated) message and returns
+///     its index, or discards it and returns kMessageDropped.
+///   - Recorded messages are stable: pointers and indices obtained from
+///     Inbox()/Message() stay valid across later Send() calls, until
+///     Clear().
+///   - Byte counters cover recorded messages only — what actually crossed
+///     the wire, including retransmissions and protocol overhead.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Delivers `payload` from `from` to `to`. Returns the index of the
+  /// recorded message, or kMessageDropped if the transport lost it.
+  virtual std::size_t Send(EndpointId from, EndpointId to,
+                           std::vector<std::uint8_t> payload) = 0;
+
+  /// Messages received by `endpoint`, in arrival order. The pointers stay
+  /// valid across later Send() calls (until Clear()).
+  virtual std::vector<const NetworkMessage*> Inbox(EndpointId endpoint)
+      const = 0;
+
+  /// Number of recorded messages.
+  virtual std::size_t NumMessages() const = 0;
+  /// The recorded message at `index` (< NumMessages()).
+  virtual const NetworkMessage& Message(std::size_t index) const = 0;
+
+  /// Extra in-transit delay the transport imposed on recorded message
+  /// `index`, in (virtual) seconds, on top of the LinkModel estimate.
+  /// 0 for fault-free transports.
+  virtual double DeliveryDelaySeconds(std::size_t index) const {
+    (void)index;
+    return 0.0;
+  }
+
+  /// Total bytes sent from sites to the server (local models).
+  virtual std::uint64_t BytesUplink() const = 0;
+  /// Total bytes sent from the server to sites (global model broadcast).
+  virtual std::uint64_t BytesDownlink() const = 0;
+  virtual std::uint64_t BytesTotal() const = 0;
+
+  virtual void Clear() = 0;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_DISTRIB_TRANSPORT_H_

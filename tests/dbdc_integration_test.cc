@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/dbdc.h"
+#include "distrib/network.h"
 #include "core/model_codec.h"
 #include "data/generators.h"
 #include "eval/external_indices.h"
@@ -39,23 +40,25 @@ TEST(SiteServerTest, EndToEndOverBytes) {
   EXPECT_GT(site0.local_model().representatives.size(), 0u);
 
   Server server(Euclidean(), GlobalModelParams{});
-  ASSERT_TRUE(server.AddLocalModelBytes(site0.EncodeLocalModelBytes()));
-  ASSERT_TRUE(server.AddLocalModelBytes(site1.EncodeLocalModelBytes()));
+  ASSERT_EQ(server.AddLocalModelBytes(site0.EncodeLocalModelBytes()),
+            DecodeStatus::kOk);
+  ASSERT_EQ(server.AddLocalModelBytes(site1.EncodeLocalModelBytes()),
+            DecodeStatus::kOk);
   EXPECT_EQ(server.num_local_models(), 2u);
   server.BuildGlobal();
   // 3 well-separated clusters must survive the distribution.
   EXPECT_EQ(server.global_model().num_global_clusters, 3);
 
   const std::vector<std::uint8_t> bytes = server.EncodeGlobalModelBytes();
-  ASSERT_TRUE(site0.ApplyGlobalModelBytes(bytes));
-  ASSERT_TRUE(site1.ApplyGlobalModelBytes(bytes));
+  ASSERT_EQ(site0.ApplyGlobalModelBytes(bytes), DecodeStatus::kOk);
+  ASSERT_EQ(site1.ApplyGlobalModelBytes(bytes), DecodeStatus::kOk);
   EXPECT_EQ(site0.global_labels().size(), site0.data().size());
 
-  // Corrupt payloads are rejected.
+  // Corrupt payloads are rejected with a diagnostic status.
   std::vector<std::uint8_t> bad = bytes;
   bad.resize(bad.size() / 2);
-  EXPECT_FALSE(site0.ApplyGlobalModelBytes(bad));
-  EXPECT_FALSE(server.AddLocalModelBytes(bad));
+  EXPECT_NE(site0.ApplyGlobalModelBytes(bad), DecodeStatus::kOk);
+  EXPECT_EQ(server.AddLocalModelBytes(bad), DecodeStatus::kBadMagic);
 }
 
 TEST(SiteServerTest, IncrementalModelArrivalMatchesBatch) {
@@ -78,9 +81,9 @@ TEST(SiteServerTest, IncrementalModelArrivalMatchesBatch) {
     Site site(s, Euclidean(), std::move(datas[s]), idss[s]);
     site.RunLocalPipeline(config);
     const auto bytes = site.EncodeLocalModelBytes();
-    ASSERT_TRUE(incremental.AddLocalModelBytes(bytes));
+    ASSERT_EQ(incremental.AddLocalModelBytes(bytes), DecodeStatus::kOk);
     incremental.BuildGlobal();  // Rebuild after every arrival.
-    ASSERT_TRUE(batch.AddLocalModelBytes(bytes));
+    ASSERT_EQ(batch.AddLocalModelBytes(bytes), DecodeStatus::kOk);
   }
   batch.BuildGlobal();
   EXPECT_EQ(incremental.global_model().num_global_clusters,
@@ -101,7 +104,7 @@ TEST_P(DbdcQualityTest, HighQualityVersusCentralClustering) {
   const SyntheticDataset synth = MakeTestDatasetA(8);
 
   const Clustering central = RunCentralDbscan(
-      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid).clustering;
   ASSERT_GT(central.num_clusters, 1);
 
   DbdcConfig config;
@@ -175,7 +178,7 @@ TEST(DbdcTest, SingleSiteDegeneratesGracefully) {
   config.num_sites = 1;
   const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
   const Clustering central = RunCentralDbscan(
-      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid).clustering;
   // One site = the whole clustering is local; quality should be near 1.
   EXPECT_GT(QualityP2(result.labels, central.labels), 0.95);
   EXPECT_EQ(result.num_global_clusters, central.num_clusters);
@@ -184,7 +187,7 @@ TEST(DbdcTest, SingleSiteDegeneratesGracefully) {
 TEST(DbdcTest, WorksWithEveryIndexType) {
   const SyntheticDataset synth = MakeTestDatasetC(15);
   const Clustering central = RunCentralDbscan(
-      synth.data, Euclidean(), synth.suggested_params, IndexType::kLinearScan);
+      synth.data, Euclidean(), synth.suggested_params, IndexType::kLinearScan).clustering;
   for (const IndexType type :
        {IndexType::kLinearScan, IndexType::kGrid, IndexType::kKdTree,
         IndexType::kRStarTree, IndexType::kMTree}) {
@@ -202,7 +205,7 @@ TEST(DbdcTest, SpatialSkewStillRecoversGlobalClusters) {
   // extent; the global merge step must reunite the halves.
   const SyntheticDataset synth = MakeTestDatasetC(16);
   const Clustering central = RunCentralDbscan(
-      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid);
+      synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid).clustering;
   const SpatialSlabPartitioner slab(0);
   DbdcConfig config;
   config.local_dbscan = synth.suggested_params;

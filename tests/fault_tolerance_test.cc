@@ -1,0 +1,485 @@
+// Fault-injection matrix for the Transport/protocol layer (DESIGN.md §7):
+// deterministic seeded faults, byte-identity of the zero-fault decorator,
+// graceful degradation of the full pipeline when sites die or straggle,
+// and the DecodeStatus taxonomy of rejected payloads. Runs under ASan and
+// TSan as the fault layer's memory-safety net.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dbdc.h"
+#include "core/model_codec.h"
+#include "data/generators.h"
+#include "distrib/fault.h"
+#include "distrib/network.h"
+#include "distrib/protocol.h"
+#include "eval/quality.h"
+
+namespace dbdc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Frame codec.
+
+TEST(FrameCodecTest, RoundTripsDataAndAckFrames) {
+  Frame data{FrameType::kData, 7, {1, 2, 3, 0xff, 0}};
+  const std::vector<std::uint8_t> bytes = EncodeFrame(data);
+  EXPECT_EQ(bytes.size(), FrameOverheadBytes() + data.payload.size());
+  const auto back = DecodeFrame(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, FrameType::kData);
+  EXPECT_EQ(back->seq, 7u);
+  EXPECT_EQ(back->payload, data.payload);
+
+  const auto ack = DecodeFrame(EncodeFrame(Frame{FrameType::kAck, 9, {}}));
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->type, FrameType::kAck);
+  EXPECT_EQ(ack->seq, 9u);
+  EXPECT_TRUE(ack->payload.empty());
+}
+
+TEST(FrameCodecTest, EverySingleByteCorruptionIsRejected) {
+  const std::vector<std::uint8_t> bytes =
+      EncodeFrame(Frame{FrameType::kData, 3, {10, 20, 30, 40}});
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::vector<std::uint8_t> corrupt = bytes;
+    corrupt[pos] ^= 0x40;
+    EXPECT_FALSE(DecodeFrame(corrupt).has_value())
+        << "flip at byte " << pos << " accepted";
+  }
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(
+        DecodeFrame(std::span(bytes.data(), len)).has_value())
+        << "truncation to " << len << " accepted";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1 regression: inbox pointers must survive later Send calls.
+// With the old vector-backed storage the reallocation on Send left the
+// snapshot dangling; ASan flags any regression here immediately.
+
+TEST(SimulatedNetworkTest, InboxPointersStableAcrossManySends) {
+  SimulatedNetwork net;
+  net.Send(0, kServerEndpoint, {1, 2, 3});
+  net.Send(1, kServerEndpoint, {4, 5});
+  const std::vector<const NetworkMessage*> snapshot =
+      net.Inbox(kServerEndpoint);
+  ASSERT_EQ(snapshot.size(), 2u);
+  const NetworkMessage& first_ref = net.Message(0);
+
+  // Enough traffic to force several grows of any contiguous storage.
+  for (int i = 0; i < 1000; ++i) {
+    net.Send(i % 7, kServerEndpoint,
+             std::vector<std::uint8_t>(64, static_cast<std::uint8_t>(i)));
+  }
+
+  EXPECT_EQ(snapshot[0]->payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(snapshot[1]->payload, (std::vector<std::uint8_t>{4, 5}));
+  EXPECT_EQ(snapshot[0]->from, 0);
+  EXPECT_EQ(&first_ref, snapshot[0]);
+  EXPECT_EQ(net.Inbox(kServerEndpoint).size(), 1002u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultyNetwork decorator.
+
+TEST(FaultyNetworkTest, ZeroFaultSpecIsExactPassThrough) {
+  SimulatedNetwork plain;
+  SimulatedNetwork inner;
+  FaultyNetwork faulty(&inner, FaultSpec{});
+  for (int i = 0; i < 20; ++i) {
+    std::vector<std::uint8_t> payload(17, static_cast<std::uint8_t>(i));
+    const std::size_t a = plain.Send(i % 5, kServerEndpoint, payload);
+    const std::size_t b = faulty.Send(i % 5, kServerEndpoint, payload);
+    EXPECT_EQ(a, b);
+  }
+  ASSERT_EQ(faulty.NumMessages(), plain.NumMessages());
+  for (std::size_t i = 0; i < plain.NumMessages(); ++i) {
+    EXPECT_EQ(faulty.Message(i).payload, plain.Message(i).payload);
+    EXPECT_EQ(faulty.DeliveryDelaySeconds(i), 0.0);
+  }
+  EXPECT_EQ(faulty.BytesUplink(), plain.BytesUplink());
+  EXPECT_EQ(faulty.BytesTotal(), plain.BytesTotal());
+  EXPECT_EQ(faulty.stats().messages_dropped, 0u);
+  EXPECT_EQ(faulty.stats().messages_corrupted, 0u);
+  EXPECT_EQ(faulty.stats().messages_delivered, 20u);
+}
+
+TEST(FaultyNetworkTest, SameSeedReproducesTheExactFaultSequence) {
+  FaultSpec spec;
+  spec.drop_rate = 0.3;
+  spec.corrupt_rate = 0.2;
+  spec.delay_mean_sec = 0.1;
+  spec.seed = 1234;
+
+  auto run = [&spec]() {
+    SimulatedNetwork inner;
+    FaultyNetwork net(&inner, spec);
+    std::vector<std::size_t> indices;
+    std::vector<std::vector<std::uint8_t>> payloads;
+    std::vector<double> delays;
+    for (int i = 0; i < 200; ++i) {
+      const std::size_t idx = net.Send(
+          i % 4, kServerEndpoint,
+          std::vector<std::uint8_t>(32, static_cast<std::uint8_t>(i)));
+      indices.push_back(idx);
+      if (idx != kMessageDropped) {
+        payloads.push_back(net.Message(idx).payload);
+        delays.push_back(net.DeliveryDelaySeconds(idx));
+      }
+    }
+    return std::tuple(indices, payloads, delays, net.stats().messages_dropped,
+                      net.stats().messages_corrupted);
+  };
+
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(std::get<3>(a), 0u);
+  EXPECT_GT(std::get<4>(a), 0u);
+}
+
+TEST(FaultyNetworkTest, FaultDecisionsAreIndependentOfLinkInterleaving) {
+  // The per-message RNG is keyed on (seed, link, position-on-link), so
+  // what happens to site 0's k-th message must not depend on how its
+  // sends interleave with other sites'.
+  FaultSpec spec;
+  spec.drop_rate = 0.5;
+  spec.seed = 99;
+  const std::vector<std::uint8_t> payload(16, 0xab);
+
+  std::vector<bool> alone, interleaved;
+  {
+    SimulatedNetwork inner;
+    FaultyNetwork net(&inner, spec);
+    for (int k = 0; k < 50; ++k) {
+      alone.push_back(net.Send(0, kServerEndpoint, payload) !=
+                      kMessageDropped);
+    }
+  }
+  {
+    SimulatedNetwork inner;
+    FaultyNetwork net(&inner, spec);
+    for (int k = 0; k < 50; ++k) {
+      net.Send(1, kServerEndpoint, payload);
+      interleaved.push_back(net.Send(0, kServerEndpoint, payload) !=
+                            kMessageDropped);
+      net.Send(2, kServerEndpoint, payload);
+    }
+  }
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST(FaultyNetworkTest, DeadSitesAreBlackHolesInBothDirections) {
+  FaultSpec spec;
+  spec.failed_sites = {1};
+  SimulatedNetwork inner;
+  FaultyNetwork net(&inner, spec);
+  EXPECT_EQ(net.Send(1, kServerEndpoint, {1, 2}), kMessageDropped);
+  EXPECT_EQ(net.Send(kServerEndpoint, 1, {3, 4}), kMessageDropped);
+  EXPECT_NE(net.Send(0, kServerEndpoint, {5, 6}), kMessageDropped);
+  EXPECT_TRUE(net.SiteFailed(1));
+  EXPECT_FALSE(net.SiteFailed(0));
+  EXPECT_EQ(net.NumMessages(), 1u);
+  EXPECT_EQ(net.stats().messages_dropped, 2u);
+  EXPECT_EQ(net.stats().bytes_dropped, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Reliable channel.
+
+TEST(ReliableChannelTest, LosslessTransportDeliversOnFirstAttempt) {
+  SimulatedNetwork net;
+  ProtocolConfig config;
+  config.enabled = true;
+  ReliableChannel channel(&net, config);
+  const std::vector<std::uint8_t> payload{9, 8, 7};
+  const TransferOutcome out = channel.Transfer(0, kServerEndpoint, payload);
+  EXPECT_TRUE(out.delivered);
+  EXPECT_TRUE(out.acked);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_EQ(out.retries, 0);
+  // Data frame + ack frame crossed the wire, nothing else.
+  EXPECT_EQ(net.NumMessages(), 2u);
+  const auto frame = DecodeFrame(net.Message(out.delivered_index).payload);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(ReliableChannelTest, RetriesRecoverFromDropsAndCorruption) {
+  FaultSpec spec;
+  spec.drop_rate = 0.25;
+  spec.corrupt_rate = 0.15;
+  spec.seed = 7;
+  SimulatedNetwork inner;
+  FaultyNetwork net(&inner, spec);
+  ProtocolConfig config;
+  config.enabled = true;
+  config.max_attempts = 10;
+  ReliableChannel channel(&net, config);
+
+  int delivered = 0;
+  for (int i = 0; i < 40; ++i) {
+    const TransferOutcome out = channel.Transfer(
+        i % 4, kServerEndpoint,
+        std::vector<std::uint8_t>(100, static_cast<std::uint8_t>(i)));
+    if (out.delivered) ++delivered;
+    EXPECT_LE(out.attempts, config.max_attempts);
+  }
+  // With 10 attempts at 40% failure the success probability is ~1.
+  EXPECT_EQ(delivered, 40);
+  EXPECT_GT(channel.stats().retries, 0u);
+  EXPECT_GT(channel.stats().data_drops + channel.stats().data_corruptions,
+            0u);
+}
+
+TEST(ReliableChannelTest, ExhaustedAttemptBudgetReportsUndelivered) {
+  FaultSpec spec;
+  spec.drop_rate = 1.0;
+  SimulatedNetwork inner;
+  FaultyNetwork net(&inner, spec);
+  ProtocolConfig config;
+  config.enabled = true;
+  config.max_attempts = 4;
+  config.retry_backoff_sec = 0.05;
+  ReliableChannel channel(&net, config);
+  const TransferOutcome out =
+      channel.Transfer(0, kServerEndpoint, std::vector<std::uint8_t>(50, 1));
+  EXPECT_FALSE(out.delivered);
+  EXPECT_FALSE(out.acked);
+  EXPECT_EQ(out.attempts, 4);
+  EXPECT_EQ(out.retries, 3);
+  EXPECT_EQ(out.data_drops, 4);
+  // Virtual clock: 4 transfer estimates + backoff 0.05*(1+2+4).
+  const double frame_sec =
+      EstimateTransferSeconds(50 + FrameOverheadBytes(), config.link);
+  EXPECT_NEAR(out.elapsed_seconds, 4 * frame_sec + 0.05 * 7.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// DecodeStatus taxonomy.
+
+TEST(DecodeStatusTest, RejectionReasonsAreDistinguished) {
+  const SyntheticDataset synth = MakeTestDatasetC(3);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.num_sites = 2;
+  SimulatedNetwork net;
+  (void)RunDbdc(synth.data, Euclidean(), config, &net);
+  const std::vector<const NetworkMessage*> inbox = net.Inbox(kServerEndpoint);
+  ASSERT_FALSE(inbox.empty());
+  const std::vector<std::uint8_t>& good = inbox[0]->payload;
+
+  Server server(Euclidean(), GlobalModelParams{});
+  EXPECT_EQ(server.AddLocalModelBytes(good), DecodeStatus::kOk);
+
+  std::vector<std::uint8_t> corrupt = good;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  EXPECT_EQ(server.AddLocalModelBytes(corrupt),
+            DecodeStatus::kChecksumMismatch);
+
+  EXPECT_EQ(server.AddLocalModelBytes(std::span(good.data(), 7)),
+            DecodeStatus::kTruncated);
+
+  std::vector<std::uint8_t> future = good;
+  future[4] = 99;  // Version field.
+  EXPECT_EQ(server.AddLocalModelBytes(future),
+            DecodeStatus::kVersionMismatch);
+
+  std::vector<std::uint8_t> wrong_magic = good;
+  wrong_magic[0] ^= 0xff;
+  EXPECT_EQ(server.AddLocalModelBytes(wrong_magic), DecodeStatus::kBadMagic);
+
+  EXPECT_STREQ(DecodeStatusName(DecodeStatus::kChecksumMismatch),
+               "checksum mismatch");
+}
+
+// ---------------------------------------------------------------------------
+// Full pipeline under faults.
+
+DbdcConfig BaseConfig(const SyntheticDataset& synth, int sites) {
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.num_sites = sites;
+  return config;
+}
+
+TEST(DegradedDbdcTest, ZeroFaultRunIsBitIdenticalToSimulatedNetwork) {
+  const SyntheticDataset synth = MakeTestDatasetA(21);
+  const DbdcConfig config = BaseConfig(synth, 4);
+
+  SimulatedNetwork plain;
+  const DbdcResult reference = RunDbdc(synth.data, Euclidean(), config,
+                                       &plain);
+
+  SimulatedNetwork inner;
+  FaultyNetwork faulty(&inner, FaultSpec{});
+  const DbdcResult result = RunDbdc(synth.data, Euclidean(), config, &faulty);
+
+  EXPECT_EQ(result.labels, reference.labels);
+  EXPECT_EQ(result.bytes_uplink, reference.bytes_uplink);
+  EXPECT_EQ(result.bytes_downlink, reference.bytes_downlink);
+  EXPECT_EQ(EncodeGlobalModel(result.global_model),
+            EncodeGlobalModel(reference.global_model));
+  ASSERT_EQ(faulty.NumMessages(), plain.NumMessages());
+  for (std::size_t i = 0; i < plain.NumMessages(); ++i) {
+    EXPECT_EQ(faulty.Message(i).payload, plain.Message(i).payload);
+  }
+  EXPECT_EQ(result.sites_failed, 0);
+  EXPECT_EQ(result.sites_reporting, config.num_sites);
+}
+
+TEST(DegradedDbdcTest, ZeroFaultProtocolRunMatchesAcrossTransports) {
+  // With the protocol on but no injected faults the two transports must
+  // still agree bit for bit (framing is deterministic).
+  const SyntheticDataset synth = MakeTestDatasetA(21);
+  DbdcConfig config = BaseConfig(synth, 4);
+  config.protocol.enabled = true;
+
+  SimulatedNetwork plain;
+  const DbdcResult reference = RunDbdc(synth.data, Euclidean(), config,
+                                       &plain);
+  SimulatedNetwork inner;
+  FaultyNetwork faulty(&inner, FaultSpec{});
+  const DbdcResult result = RunDbdc(synth.data, Euclidean(), config, &faulty);
+
+  EXPECT_EQ(result.labels, reference.labels);
+  EXPECT_EQ(result.bytes_uplink, reference.bytes_uplink);
+  EXPECT_EQ(result.bytes_downlink, reference.bytes_downlink);
+  EXPECT_EQ(result.sites_failed, 0);
+  EXPECT_EQ(result.protocol_retries, 0u);
+  EXPECT_EQ(reference.protocol_retries, 0u);
+  EXPECT_EQ(result.sites_relabeled, config.num_sites);
+}
+
+TEST(DegradedDbdcTest, SameSeedSameDegradedOutcome) {
+  const SyntheticDataset synth = MakeTestDatasetA(22);
+  DbdcConfig config = BaseConfig(synth, 6);
+  config.protocol.enabled = true;
+  config.protocol.max_attempts = 3;
+
+  FaultSpec spec;
+  spec.drop_rate = 0.35;
+  spec.corrupt_rate = 0.1;
+  spec.seed = 4242;
+
+  auto run = [&]() {
+    SimulatedNetwork inner;
+    FaultyNetwork net(&inner, spec);
+    return RunDbdc(synth.data, Euclidean(), config, &net);
+  };
+  const DbdcResult a = run();
+  const DbdcResult b = run();
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.failed_site_ids, b.failed_site_ids);
+  EXPECT_EQ(a.sites_failed, b.sites_failed);
+  EXPECT_EQ(a.protocol_retries, b.protocol_retries);
+  EXPECT_EQ(a.frames_dropped, b.frames_dropped);
+  EXPECT_EQ(a.frames_corrupted, b.frames_corrupted);
+  EXPECT_EQ(a.bytes_uplink, b.bytes_uplink);
+}
+
+TEST(DegradedDbdcTest, KFailedSitesAreReportedAndTheRestCluster) {
+  const SyntheticDataset synth = MakeTestDatasetA(23);
+  DbdcConfig config = BaseConfig(synth, 5);
+  config.protocol.enabled = true;
+
+  FaultSpec spec;
+  spec.failed_sites = {1, 3};
+  SimulatedNetwork inner;
+  FaultyNetwork net(&inner, spec);
+  const DbdcResult result = RunDbdc(synth.data, Euclidean(), config, &net);
+
+  EXPECT_EQ(result.sites_failed, 2);
+  EXPECT_EQ(result.sites_reporting, 3);
+  EXPECT_EQ(result.failed_site_ids, (std::vector<int>{1, 3}));
+  EXPECT_EQ(result.sites_relabeled, 3);
+  EXPECT_GT(result.num_global_clusters, 0);
+  // Failed sites' points keep kNoise; surviving sites still cluster.
+  std::size_t failed_points = 0;
+  for (const int s : result.failed_site_ids) {
+    failed_points += result.site_sizes[static_cast<std::size_t>(s)];
+  }
+  std::size_t noise = 0;
+  for (const ClusterId label : result.labels) noise += label == kNoise;
+  EXPECT_GE(noise, failed_points);
+  EXPECT_LT(noise, result.labels.size());
+}
+
+TEST(DegradedDbdcTest, AllSitesFailedYieldsEmptyModelAndAllNoise) {
+  const SyntheticDataset synth = MakeTestDatasetC(24);
+  DbdcConfig config = BaseConfig(synth, 4);
+  config.protocol.enabled = true;
+
+  FaultSpec spec;
+  spec.failed_sites = {0, 1, 2, 3};
+  SimulatedNetwork inner;
+  FaultyNetwork net(&inner, spec);
+  const DbdcResult result = RunDbdc(synth.data, Euclidean(), config, &net);
+
+  EXPECT_EQ(result.sites_reporting, 0);
+  EXPECT_EQ(result.sites_failed, 4);
+  EXPECT_EQ(result.sites_relabeled, 0);
+  EXPECT_EQ(result.num_global_clusters, 0);
+  EXPECT_EQ(result.global_model.NumRepresentatives(), 0u);
+  EXPECT_EQ(result.num_representatives, 0u);
+  for (const ClusterId label : result.labels) EXPECT_EQ(label, kNoise);
+  // Nothing crossed the wire.
+  EXPECT_EQ(net.NumMessages(), 0u);
+}
+
+TEST(DegradedDbdcTest, CollectionDeadlineExpiresStragglers) {
+  const SyntheticDataset synth = MakeTestDatasetA(25);
+  DbdcConfig config = BaseConfig(synth, 4);
+  config.protocol.enabled = true;
+  config.protocol.collection_deadline_sec = 60.0;
+
+  FaultSpec spec;
+  spec.straggler_sites = {2};
+  spec.straggler_delay_sec = 300.0;  // Far past the deadline.
+  SimulatedNetwork inner;
+  FaultyNetwork net(&inner, spec);
+  const DbdcResult result = RunDbdc(synth.data, Euclidean(), config, &net);
+
+  EXPECT_EQ(result.sites_failed, 1);
+  EXPECT_EQ(result.failed_site_ids, (std::vector<int>{2}));
+  // The straggler's frames did arrive (late) — they are on the wire, the
+  // server just refused to wait for them.
+  EXPECT_GT(net.stats().messages_delayed, 0u);
+  // The broadcast still reaches the straggler eventually, so its points
+  // are relabeled against the (degraded) global model.
+  EXPECT_EQ(result.sites_relabeled, 4);
+}
+
+TEST(DegradedDbdcTest, DegradedRunStaysUsableUnderModerateDrops) {
+  const SyntheticDataset synth = MakeTestDatasetA(26);
+  const DbdcConfig clean_config = BaseConfig(synth, 4);
+  const DbdcResult complete = RunDbdc(synth.data, Euclidean(), clean_config);
+
+  DbdcConfig config = clean_config;
+  config.protocol.enabled = true;
+  config.protocol.max_attempts = 6;
+  FaultSpec spec;
+  spec.drop_rate = 0.2;
+  spec.corrupt_rate = 0.05;
+  spec.seed = 11;
+  SimulatedNetwork inner;
+  FaultyNetwork net(&inner, spec);
+  const DbdcResult degraded = RunDbdc(synth.data, Euclidean(), config, &net);
+
+  // With 6 attempts per transfer a 25% per-frame fault rate is far below
+  // the retry budget: every site should get through...
+  EXPECT_EQ(degraded.sites_failed, 0);
+  // ...at the price of retransmissions, which the counters expose.
+  EXPECT_GT(degraded.protocol_retries, 0u);
+  EXPECT_GT(degraded.bytes_uplink, complete.bytes_uplink);
+  // And the result matches the fault-free protocol run exactly: retries
+  // change the traffic, not the model.
+  EXPECT_EQ(degraded.labels, complete.labels);
+}
+
+}  // namespace
+}  // namespace dbdc

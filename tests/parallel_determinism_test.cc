@@ -315,7 +315,7 @@ TEST(EvalDeterminismTest, QualityIdenticalForEveryThreadCount) {
   const DbdcResult run = RunDbdc(ds.data, Euclidean(), config);
   const Clustering central = RunCentralDbscan(ds.data, Euclidean(),
                                               ds.suggested_params,
-                                              IndexType::kGrid, nullptr);
+                                              IndexType::kGrid).clustering;
   const double p1 = QualityP1(run.labels, central.labels,
                               ds.suggested_params.min_pts, 1);
   const double p2 = QualityP2(run.labels, central.labels, 1);
@@ -339,7 +339,7 @@ TEST(EvalDeterminismTest, SilhouetteIdenticalForEveryThreadCount) {
   const SyntheticDataset ds = MakeTestDatasetC();
   const Clustering central = RunCentralDbscan(ds.data, Euclidean(),
                                               ds.suggested_params,
-                                              IndexType::kGrid, nullptr);
+                                              IndexType::kGrid).clustering;
   const double reference = SilhouetteCoefficient(
       ds.data, central.labels, Euclidean(), 500, 1, 1);
   for (const int threads : {2, 8}) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/dbdc.h"
+#include "distrib/network.h"
 #include "baseline/parallel_dbscan.h"
 #include "core/model_codec.h"
 #include "data/generators.h"

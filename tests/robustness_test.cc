@@ -173,7 +173,7 @@ TEST(DbdcEdgeCaseTest, ManhattanMetricEndToEnd) {
   const SyntheticDataset synth = MakeTestDatasetC(5);
   const DbscanParams params{3.0, 5};
   const Clustering central = RunCentralDbscan(synth.data, Manhattan(),
-                                              params, IndexType::kGrid);
+                                              params, IndexType::kGrid).clustering;
   DbdcConfig config;
   config.local_dbscan = params;
   config.model_type = LocalModelType::kScor;  // Metric-safe model.

@@ -1,19 +1,21 @@
 #!/usr/bin/env bash
-# Builds (if needed) and runs the parallel-scaling benchmark, writing the
-# machine-readable perf baseline to BENCH_parallel.json at the repo root.
+# Builds (if needed) and runs the machine-readable benchmarks, writing the
+# perf baseline to BENCH_parallel.json and the fault-tolerance sweep to
+# BENCH_fault.json at the repo root.
 #
 # Usage:
-#   tools/run_bench.sh [--quick] [--out FILE] [BUILD_DIR]
+#   tools/run_bench.sh [--quick] [--out FILE] [--fault-out FILE] [BUILD_DIR]
 #
-#   --quick     Shrunk datasets + thread ladder {1,2}; for CI smoke runs.
-#   --out FILE  Output path (default: BENCH_parallel.json in the repo root).
+#   --quick     Shrunk datasets + sweeps; for CI smoke runs.
+#   --out FILE  Parallel-bench output (default: BENCH_parallel.json).
+#   --fault-out FILE  Fault-bench output (default: BENCH_fault.json).
 #   BUILD_DIR   Existing build tree to use (default: build-release/ via the
 #               `release` preset, falling back to build/ when it already
-#               contains the benchmark target).
+#               contains the benchmark targets).
 #
-# After the run the emitted JSON is schema-validated (python3 when
+# After each run the emitted JSON is schema-validated (python3 when
 # available; a pure-bash key check otherwise). Exit status is non-zero if
-# the benchmark fails, the file is missing, or validation fails.
+# a benchmark fails, a file is missing, or validation fails.
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,12 +23,14 @@ cd "$repo_root"
 
 quick_flag=""
 out_file="$repo_root/BENCH_parallel.json"
+fault_out_file="$repo_root/BENCH_fault.json"
 build_dir=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick_flag="--quick"; shift ;;
     --out) out_file="$2"; shift 2 ;;
-    -h|--help) sed -n '2,16p' "$0"; exit 0 ;;
+    --fault-out) fault_out_file="$2"; shift 2 ;;
+    -h|--help) sed -n '2,18p' "$0"; exit 0 ;;
     *) build_dir="$1"; shift ;;
   esac
 done
@@ -46,7 +50,8 @@ if [[ -z "$build_dir" ]]; then
   cmake --preset release >/dev/null || exit 1
   build_dir="build-release"
 fi
-cmake --build "$build_dir" --target bench_parallel_scaling \
+cmake --build "$build_dir" \
+      --target bench_parallel_scaling bench_fault_tolerance \
       -j "$(nproc 2>/dev/null || echo 4)" >/dev/null || exit 1
 
 echo "run_bench.sh: running $build_dir/$bench_rel $quick_flag" \
@@ -95,4 +100,53 @@ else
     fi
   done
   echo "run_bench.sh: key check OK (install python3 for full validation)." >&2
+fi
+
+# --- Fault-tolerance sweep -------------------------------------------------
+fault_rel="bench/bench_fault_tolerance"
+echo "run_bench.sh: running $build_dir/$fault_rel $quick_flag" \
+     "-> $fault_out_file" >&2
+"$build_dir/$fault_rel" $quick_flag --out "$fault_out_file" || exit 1
+
+if [[ ! -s "$fault_out_file" ]]; then
+  echo "run_bench.sh: $fault_out_file missing or empty." >&2
+  exit 1
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$fault_out_file" <<'PY' || exit 1
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "dbdc-fault-bench-v1", doc.get("schema")
+assert isinstance(doc["quick"], bool)
+assert isinstance(doc["num_sites"], int) and doc["num_sites"] >= 1
+assert isinstance(doc["complete"], dict)
+assert doc["complete"]["num_global_clusters"] >= 0
+assert isinstance(doc["results"], list) and doc["results"]
+for row in doc["results"]:
+    for key in ("drop_rate", "failed_sites", "sites_reporting",
+                "sites_failed", "sites_relabeled", "retries",
+                "frames_dropped", "frames_corrupted", "bytes_uplink",
+                "p1", "p2", "noise_fraction"):
+        assert key in row, f"fault row missing {key}: {row}"
+    assert row["sites_reporting"] + row["sites_failed"] == doc["num_sites"]
+    assert row["sites_failed"] >= row["failed_sites"], row
+    assert 0.0 <= row["p1"] <= 1.0 and 0.0 <= row["p2"] <= 1.0
+    assert 0.0 <= row["noise_fraction"] <= 1.0
+clean = [r for r in doc["results"]
+         if r["failed_sites"] == 0 and r["drop_rate"] == 0.0]
+assert clean and all(r["p2"] == 1.0 for r in clean), \
+    "fault-free cell must match the complete run exactly"
+print(f"run_bench.sh: fault schema OK ({len(doc['results'])} sweep rows).")
+PY
+else
+  for key in '"schema": "dbdc-fault-bench-v1"' '"results"' '"complete"' \
+             '"num_sites"'; do
+    if ! grep -qF "$key" "$fault_out_file"; then
+      echo "run_bench.sh: $fault_out_file missing expected key $key" >&2
+      exit 1
+    fi
+  done
+  echo "run_bench.sh: fault key check OK." >&2
 fi
