@@ -50,9 +50,7 @@ const Clustering& CentralReference() {
 void BM_Condense(benchmark::State& state) {
   const SyntheticDataset& synth = Workload();
   const double factor = static_cast<double>(state.range(0)) / 10.0;
-  DbdcConfig config;
-  config.local_dbscan = synth.suggested_params;
-  config.num_sites = kSites;
+  DbdcConfig config = bench::MakeDbdcConfig(synth, kSites);
   config.condense_eps = factor * synth.suggested_params.eps;
   for (auto _ : state) {
     // Pinned Eps_global: shows that condensation *requires* the global

@@ -51,9 +51,7 @@ void BM_EpsDefault(benchmark::State& state) {
   const double factor = static_cast<double>(state.range(1)) / 10.0;
   const Clustering central = RunCentralDbscan(
       synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid).clustering;
-  DbdcConfig config;
-  config.local_dbscan = synth.suggested_params;
-  config.num_sites = kSites;
+  DbdcConfig config = bench::MakeDbdcConfig(synth, kSites);
   config.eps_global = factor * synth.suggested_params.eps;  // 0 = default.
   for (auto _ : state) {
     const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);

@@ -66,10 +66,8 @@ void BM_Partitioning(benchmark::State& state, LocalModelType model) {
   const SyntheticDataset& synth = Workload();
   const Partitioner& partitioner =
       PartitionerByIndex(static_cast<int>(state.range(0)));
-  DbdcConfig config;
-  config.local_dbscan = synth.suggested_params;
+  DbdcConfig config = bench::MakeDbdcConfig(synth, kSites);
   config.model_type = model;
-  config.num_sites = kSites;
   config.eps_global = 2.0 * synth.suggested_params.eps;
   config.partitioner = &partitioner;
   for (auto _ : state) {

@@ -40,9 +40,7 @@ void BM_WeightedCondition(benchmark::State& state) {
       idx == 0 ? MakeTestDatasetA() : MakeTestDatasetB();
   const Clustering central = RunCentralDbscan(
       synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid).clustering;
-  DbdcConfig config;
-  config.local_dbscan = synth.suggested_params;
-  config.num_sites = kSites;
+  DbdcConfig config = bench::MakeDbdcConfig(synth, kSites);
   config.eps_global = 2.0 * synth.suggested_params.eps;
   config.min_weight_global = min_weight;
   for (auto _ : state) {

@@ -1,0 +1,198 @@
+// Continuous-mode economics benchmark: what does the streaming DBDC
+// deployment save on the wide-area links?
+//
+// Simulates k StreamingSites over T ticks of drift churn (points keep
+// arriving inside each site's existing clusters) with a few structural
+// changes sprinkled in (a new cluster appears at one site). The
+// continuous engine uploads a refreshed local model only when a site's
+// RefreshPolicy fires; the naive alternative re-runs batch DBDC over the
+// union snapshot every tick (k model uploads + k broadcasts each time).
+// Both run over real Transports, so the comparison is in actual bytes.
+//
+// Also surfaces the per-stage StageStats breakdown of one representative
+// batch run, since the batch pipeline is the per-tick unit of the naive
+// alternative.
+//
+// With --out FILE the results are emitted as machine-readable JSON
+// (schema "dbdc-continuous-bench-v1"); --quick shrinks the stream for CI
+// smoke runs. Every stream is seeded, so byte counts and refresh counts
+// are identical across runs (only timings vary with the hardware).
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/dbdc.h"
+#include "core/engine.h"
+#include "distrib/network.h"
+
+namespace {
+
+void InsertBlob(dbdc::StreamingSite* site, double cx, double cy, int count,
+                dbdc::Rng* rng) {
+  for (int i = 0; i < count; ++i) {
+    site->Insert(dbdc::Point{rng->Gaussian(cx, 0.3), rng->Gaussian(cy, 0.3)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dbdc::bench::Fmt;
+  dbdc::bench::HarnessOptions options;
+  if (!dbdc::bench::ParseHarnessOptions(argc, argv, &options)) return 2;
+  const bool quick = options.quick;
+
+  const int num_sites = quick ? 4 : 8;
+  const int ticks = quick ? 10 : 40;
+  const int structural_every = quick ? 5 : 10;  // New cluster every N ticks.
+  const dbdc::DbscanParams params{1.0, 4};
+
+  dbdc::GlobalModelParams global_params;
+  global_params.min_pts_global = 2;
+
+  dbdc::RefreshPolicy policy;
+  policy.min_cluster_delta = 1;  // Refresh only on structural change.
+
+  dbdc::SimulatedNetwork net;
+  dbdc::ContinuousDbdc continuous(dbdc::Euclidean(), global_params,
+                                  dbdc::ProtocolConfig{}, &net);
+  std::vector<std::unique_ptr<dbdc::StreamingSite>> sites;
+  sites.reserve(static_cast<std::size_t>(num_sites));
+  for (int s = 0; s < num_sites; ++s) {
+    sites.push_back(std::make_unique<dbdc::StreamingSite>(
+        s, dbdc::Euclidean(), params, 2, dbdc::LocalModelType::kScor,
+        policy));
+    continuous.AttachSite(sites.back().get());
+  }
+
+  dbdc::Rng rng(20260806);
+  for (int s = 0; s < num_sites; ++s) {
+    InsertBlob(sites[s].get(), 12.0 * s, 0.0, 40, &rng);
+  }
+
+  std::uint64_t naive_uplink = 0;
+  std::uint64_t naive_downlink = 0;
+  int structural_changes = 0;
+  dbdc::DbdcResult last_batch;
+  dbdc::bench::Table tick_table(Fmt(
+      "Continuous vs naive-batch uplink, %d streaming sites x %d ticks",
+      num_sites, ticks));
+  tick_table.SetHeader({"tick", "refreshes", "rebuilds", "cont uplink B",
+                        "naive uplink B"});
+
+  for (int t = 1; t <= ticks; ++t) {
+    // Drift churn: more observations inside each site's existing
+    // cluster. No structural change, so the refresh policies stay quiet.
+    for (int s = 0; s < num_sites; ++s) {
+      InsertBlob(sites[s].get(), 12.0 * s, 0.0, 2, &rng);
+    }
+    // Occasionally one site's structure actually changes: a new cluster
+    // far from its existing one. Its policy fires; the others stay quiet.
+    if (t % structural_every == 0) {
+      const int s = structural_changes % num_sites;
+      InsertBlob(sites[static_cast<std::size_t>(s)].get(), 12.0 * s,
+                 25.0 + 10.0 * structural_changes, 25, &rng);
+      ++structural_changes;
+    }
+    continuous.Tick();
+
+    // The naive alternative: batch DBDC from scratch over the same
+    // union-of-sites snapshot, on its own transport.
+    dbdc::Dataset snapshot(2);
+    for (const auto& site : sites) {
+      const auto& data = site->clustering().data();
+      for (dbdc::PointId p = 0;
+           p < static_cast<dbdc::PointId>(data.size()); ++p) {
+        if (site->clustering().IsActive(p)) snapshot.Add(data.point(p));
+      }
+    }
+    dbdc::DbdcConfig batch;
+    batch.local_dbscan = params;
+    batch.num_sites = num_sites;
+    dbdc::SimulatedNetwork batch_net;
+    last_batch = dbdc::RunDbdc(snapshot, dbdc::Euclidean(), batch,
+                               &batch_net);
+    naive_uplink += last_batch.bytes_uplink;
+    naive_downlink += last_batch.bytes_downlink;
+
+    if (t == 1 || t % structural_every == 0 || t == ticks) {
+      tick_table.AddRow(
+          {Fmt("%d", t),
+           Fmt("%llu", static_cast<unsigned long long>(
+                           continuous.stats().refreshes_applied)),
+           Fmt("%llu", static_cast<unsigned long long>(
+                           continuous.stats().global_rebuilds)),
+           Fmt("%llu", static_cast<unsigned long long>(net.BytesUplink())),
+           Fmt("%llu", static_cast<unsigned long long>(naive_uplink))});
+    }
+  }
+  tick_table.Print();
+
+  const dbdc::ContinuousDbdc::Stats& stats = continuous.stats();
+  const double uplink_savings =
+      net.BytesUplink() > 0
+          ? static_cast<double>(naive_uplink) /
+                static_cast<double>(net.BytesUplink())
+          : 0.0;
+  const double downlink_savings =
+      net.BytesDownlink() > 0
+          ? static_cast<double>(naive_downlink) /
+                static_cast<double>(net.BytesDownlink())
+          : 0.0;
+  std::printf(
+      "continuous: %llu B up / %llu B down (%llu refreshes, %llu rebuilds "
+      "over %d ticks)\n",
+      static_cast<unsigned long long>(net.BytesUplink()),
+      static_cast<unsigned long long>(net.BytesDownlink()),
+      static_cast<unsigned long long>(stats.refreshes_applied),
+      static_cast<unsigned long long>(stats.global_rebuilds), ticks);
+  std::printf("naive batch: %llu B up / %llu B down (%d full re-runs)\n",
+              static_cast<unsigned long long>(naive_uplink),
+              static_cast<unsigned long long>(naive_downlink), ticks);
+  std::printf("uplink savings: %.1fx (downlink %.1fx)\n", uplink_savings,
+              downlink_savings);
+
+  // The per-stage anatomy of the batch run the naive alternative pays for
+  // on every tick.
+  dbdc::bench::PrintStageStats(last_batch,
+                               "Per-tick naive batch run, by stage");
+
+  if (!options.out_path.empty()) {
+    std::ofstream out(options.out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   options.out_path.c_str());
+      return 1;
+    }
+    out << "{\n";
+    out << "  \"schema\": \"dbdc-continuous-bench-v1\",\n";
+    out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    out << "  \"num_sites\": " << num_sites << ",\n";
+    out << "  \"ticks\": " << ticks << ",\n";
+    out << "  \"structural_changes\": " << structural_changes << ",\n";
+    out << "  \"continuous\": {\"bytes_uplink\": " << net.BytesUplink()
+        << ", \"bytes_downlink\": " << net.BytesDownlink()
+        << ", \"refreshes_sent\": " << stats.refreshes_sent
+        << ", \"refreshes_applied\": " << stats.refreshes_applied
+        << ", \"global_rebuilds\": " << stats.global_rebuilds
+        << ", \"broadcasts_delivered\": " << stats.broadcasts_delivered
+        << ", \"virtual_seconds\": "
+        << Fmt("%.6f", continuous.virtual_now_sec()) << "},\n";
+    out << "  \"naive\": {\"bytes_uplink\": " << naive_uplink
+        << ", \"bytes_downlink\": " << naive_downlink
+        << ", \"runs\": " << ticks << "},\n";
+    out << "  \"uplink_savings\": " << Fmt("%.4f", uplink_savings) << ",\n";
+    out << "  \"downlink_savings\": " << Fmt("%.4f", downlink_savings)
+        << ",\n";
+    out << "  \"batch_stage_stats\": "
+        << dbdc::bench::StageStatsJson(last_batch.stage_stats) << "\n";
+    out << "}\n";
+    std::printf("wrote %s\n", options.out_path.c_str());
+  }
+  return 0;
+}

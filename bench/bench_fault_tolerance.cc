@@ -14,7 +14,6 @@
 // numbers (only the timing columns vary with the hardware).
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -47,26 +46,16 @@ struct FaultRow {
 
 int main(int argc, char** argv) {
   using dbdc::bench::Fmt;
-  bool quick = false;
-  std::string out_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
-      return 2;
-    }
-  }
+  dbdc::bench::HarnessOptions options;
+  if (!dbdc::bench::ParseHarnessOptions(argc, argv, &options)) return 2;
+  const bool quick = options.quick;
+  const std::string& out_path = options.out_path;
 
   const dbdc::SyntheticDataset synth =
       quick ? dbdc::MakeTestDatasetC() : dbdc::MakeTestDatasetA();
   const int num_sites = 8;
 
-  dbdc::DbdcConfig config;
-  config.local_dbscan = synth.suggested_params;
-  config.num_sites = num_sites;
+  dbdc::DbdcConfig config = dbdc::bench::MakeDbdcConfig(synth, num_sites);
   config.protocol.enabled = true;
   config.protocol.max_attempts = 6;
 

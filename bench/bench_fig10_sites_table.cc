@@ -55,10 +55,8 @@ const Clustering& CentralReference() {
 void BM_QualityVsSites(benchmark::State& state, LocalModelType model) {
   const SyntheticDataset& synth = Workload();
   const int sites = static_cast<int>(state.range(0));
-  DbdcConfig config;
-  config.local_dbscan = synth.suggested_params;
+  DbdcConfig config = bench::MakeDbdcConfig(synth, sites);
   config.model_type = model;
-  config.num_sites = sites;
   config.eps_global = 2.0 * synth.suggested_params.eps;
   for (auto _ : state) {
     const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);

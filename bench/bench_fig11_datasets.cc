@@ -57,10 +57,8 @@ void BM_QualityOnDataset(benchmark::State& state, LocalModelType model) {
   const SyntheticDataset synth = MakeByIndex(static_cast<int>(state.range(0)));
   const Clustering central = RunCentralDbscan(
       synth.data, Euclidean(), synth.suggested_params, IndexType::kGrid).clustering;
-  DbdcConfig config;
-  config.local_dbscan = synth.suggested_params;
+  DbdcConfig config = bench::MakeDbdcConfig(synth, kSites);
   config.model_type = model;
-  config.num_sites = kSites;
   config.eps_global = 2.0 * synth.suggested_params.eps;
   for (auto _ : state) {
     const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);

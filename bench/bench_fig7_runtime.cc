@@ -56,10 +56,8 @@ void BM_CentralDbscan(benchmark::State& state) {
 void RunDbdcBench(benchmark::State& state, LocalModelType model) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const SyntheticDataset synth = MakeScaledDataset(n);
-  DbdcConfig config;
-  config.local_dbscan = synth.suggested_params;
+  DbdcConfig config = bench::MakeDbdcConfig(synth, kSites);
   config.model_type = model;
-  config.num_sites = kSites;
   for (auto _ : state) {
     const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
     benchmark::DoNotOptimize(result.num_global_clusters);

@@ -56,10 +56,8 @@ void BM_CentralReference(benchmark::State& state) {
 void BM_DbdcSites(benchmark::State& state) {
   const SyntheticDataset& synth = Workload();
   const int sites = static_cast<int>(state.range(0));
-  DbdcConfig config;
-  config.local_dbscan = synth.suggested_params;
+  DbdcConfig config = bench::MakeDbdcConfig(synth, sites);
   config.model_type = LocalModelType::kScor;
-  config.num_sites = sites;
   for (auto _ : state) {
     const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
     benchmark::DoNotOptimize(result.num_global_clusters);

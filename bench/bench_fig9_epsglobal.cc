@@ -55,10 +55,8 @@ const Clustering& CentralReference() {
 void BM_QualityVsEpsGlobal(benchmark::State& state, LocalModelType model) {
   const SyntheticDataset& synth = Workload();
   const double factor = static_cast<double>(state.range(0)) / 10.0;
-  DbdcConfig config;
-  config.local_dbscan = synth.suggested_params;
+  DbdcConfig config = bench::MakeDbdcConfig(synth, kSites);
   config.model_type = model;
-  config.num_sites = kSites;
   config.eps_global = factor * synth.suggested_params.eps;
   for (auto _ : state) {
     const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);

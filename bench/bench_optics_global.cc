@@ -40,9 +40,7 @@ Results& R() {
 
 std::vector<LocalModel> CollectLocalModels() {
   const SyntheticDataset synth = MakeTestDatasetA();
-  DbdcConfig config;
-  config.local_dbscan = synth.suggested_params;
-  config.num_sites = kSites;
+  DbdcConfig config = bench::MakeDbdcConfig(synth, kSites);
   // Run the local phase once via the driver, then pull the models back
   // out of a server fed by a fresh run. Simpler: rebuild sites manually.
   SimulatedNetwork network;

@@ -17,9 +17,7 @@
 // core), so on constrained machines the JSON is still schema-valid but
 // speedups hover around 1x.
 
-#include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -76,36 +74,15 @@ class WrappedEuclidean final : public dbdc::Metric {
   std::string_view name() const override { return "euclidean_wrapped"; }
 };
 
-double MedianSeconds(const std::vector<double>& samples) {
-  std::vector<double> sorted = samples;
-  std::sort(sorted.begin(), sorted.end());
-  return sorted[sorted.size() / 2];
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  std::string out_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
-      return 2;
-    }
-  }
+  using dbdc::bench::JsonEscape;
+  using dbdc::bench::MedianSeconds;
+  dbdc::bench::HarnessOptions options;
+  if (!dbdc::bench::ParseHarnessOptions(argc, argv, &options)) return 2;
+  const bool quick = options.quick;
+  const std::string& out_path = options.out_path;
 
   const int repeats = quick ? 1 : 3;
   const std::vector<int> thread_ladder =
@@ -172,9 +149,7 @@ int main(int argc, char** argv) {
   Table relabel_table("Parallel relabel scaling (shared RelabelContext)");
   relabel_table.SetHeader({"dataset", "n", "threads", "seconds", "speedup"});
   for (const dbdc::SyntheticDataset& ds : datasets) {
-    dbdc::DbdcConfig config;
-    config.num_sites = 4;
-    config.local_dbscan = ds.suggested_params;
+    const dbdc::DbdcConfig config = dbdc::bench::MakeDbdcConfig(ds, 4);
     const dbdc::DbdcResult run =
         dbdc::RunDbdc(ds.data, dbdc::Euclidean(), config);
     if (run.global_model.NumRepresentatives() == 0) continue;

@@ -1,10 +1,16 @@
 #ifndef DBDC_BENCH_BENCH_UTIL_H_
 #define DBDC_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
+
+#include "core/dbdc.h"
+#include "core/stage_stats.h"
+#include "data/generators.h"
 
 namespace dbdc::bench {
 
@@ -62,6 +68,92 @@ inline std::string Fmt(const char* format, ...) {
   std::vsnprintf(buffer, sizeof(buffer), format, args);
   va_end(args);
   return buffer;
+}
+
+/// Options of the plain-main bench harness binaries driven by
+/// tools/run_bench.sh: `--quick` shrinks workloads for CI smoke runs,
+/// `--out FILE` adds machine-readable JSON output.
+struct HarnessOptions {
+  bool quick = false;
+  std::string out_path;
+};
+
+/// Parses the shared harness flags. Returns false (after printing usage)
+/// on anything unrecognized; the caller should exit 2.
+inline bool ParseHarnessOptions(int argc, char** argv,
+                                HarnessOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      options->quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      options->out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Median of timing samples (odd-biased: element n/2 of the sorted run).
+inline double MedianSeconds(const std::vector<double>& samples) {
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted[sorted.size() / 2];
+}
+
+/// Escapes `"` and `\` for embedding in the bench JSON files.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// The config plumbing every DBDC bench repeats: suggested DBSCAN
+/// parameters of the synthetic dataset + site count. Further knobs are
+/// set on the returned value.
+inline DbdcConfig MakeDbdcConfig(const SyntheticDataset& dataset,
+                                 int num_sites) {
+  DbdcConfig config;
+  config.local_dbscan = dataset.suggested_params;
+  config.num_sites = num_sites;
+  return config;
+}
+
+/// One JSON object per engine stage, e.g.
+///   [{"stage": "transmit", "seconds": 0.000123, "bytes_uplink": 4096,
+///     "bytes_downlink": 128}, ...]
+/// for embedding into a bench JSON file.
+inline std::string StageStatsJson(const std::vector<StageStats>& stages) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageStats& s = stages[i];
+    out += Fmt("{\"stage\": \"%s\", \"seconds\": %.6f, ",
+               std::string(StageName(s.stage)).c_str(), s.seconds);
+    out += Fmt("\"bytes_uplink\": %llu, \"bytes_downlink\": %llu}",
+               static_cast<unsigned long long>(s.bytes_uplink),
+               static_cast<unsigned long long>(s.bytes_downlink));
+    if (i + 1 < stages.size()) out += ", ";
+  }
+  out += "]";
+  return out;
+}
+
+/// Prints the per-stage breakdown of a DbdcResult as a Table.
+inline void PrintStageStats(const DbdcResult& result,
+                            const std::string& title) {
+  Table table(title);
+  table.SetHeader({"stage", "seconds", "uplink B", "downlink B"});
+  for (const StageStats& s : result.stage_stats) {
+    table.AddRow({std::string(StageName(s.stage)), Fmt("%.6f", s.seconds),
+                  Fmt("%llu", static_cast<unsigned long long>(s.bytes_uplink)),
+                  Fmt("%llu",
+                      static_cast<unsigned long long>(s.bytes_downlink))});
+  }
+  table.Print();
 }
 
 }  // namespace dbdc::bench

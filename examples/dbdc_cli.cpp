@@ -6,6 +6,9 @@
 //     --minpts <int>             MinPts (default 5)
 //     --sites <int>              number of sites (default 4)
 //     --model scor|kmeans        local model (default scor)
+//     --global dbscan|optics     global merge strategy (default dbscan);
+//                                optics extracts the global clusters from
+//                                an OPTICS ordering of the representatives
 //     --eps-global <double>      0 = paper default max eps_R (default 0)
 //     --index linear|grid|kdtree|rstar|rstar_bulk|mtree|vptree (default grid)
 //     --metric euclidean|manhattan|chebyshev   (default euclidean)
@@ -15,6 +18,7 @@
 //     --threads <int>            intra-site worker threads (0 = hardware
 //                                concurrency, default 1); identical labels
 //                                for every value
+//     --stages                   print the per-stage time/byte breakdown
 //     --out <labels.csv>         write "x,...,label" rows
 //
 // Example:
@@ -33,11 +37,22 @@ namespace {
   std::fprintf(stderr,
                "usage: %s <input.csv> [--mode central|dbdc] [--eps E] "
                "[--minpts M] [--sites K] [--model scor|kmeans] "
-               "[--eps-global G] [--index TYPE] [--metric NAME] "
-               "[--seed S] [--condense R] [--min-weight W] "
-               "[--threads T] [--out labels.csv]\n",
+               "[--global dbscan|optics] [--eps-global G] [--index TYPE] "
+               "[--metric NAME] [--seed S] [--condense R] [--min-weight W] "
+               "[--threads T] [--stages] [--out labels.csv]\n",
                argv0);
   std::exit(2);
+}
+
+void PrintStageBreakdown(const dbdc::DbdcResult& result) {
+  std::printf("  %-18s %10s %10s %10s\n", "stage", "seconds", "uplink B",
+              "downlink B");
+  for (const dbdc::StageStats& s : result.stage_stats) {
+    std::printf("  %-18s %10.4f %10llu %10llu\n",
+                std::string(dbdc::StageName(s.stage)).c_str(), s.seconds,
+                static_cast<unsigned long long>(s.bytes_uplink),
+                static_cast<unsigned long long>(s.bytes_downlink));
+  }
 }
 
 }  // namespace
@@ -48,7 +63,9 @@ int main(int argc, char** argv) {
   const std::string input = argv[1];
 
   std::string mode = "dbdc";
+  std::string global_strategy = "dbscan";
   std::string out_path;
+  bool print_stages = false;
   DbdcConfig config;
   config.local_dbscan = {1.0, 5};
   const Metric* metric = &Euclidean();
@@ -76,6 +93,11 @@ int main(int argc, char** argv) {
       } else {
         Usage(argv[0]);
       }
+    } else if (arg == "--global") {
+      global_strategy = next();
+      if (global_strategy != "dbscan" && global_strategy != "optics") {
+        Usage(argv[0]);
+      }
     } else if (arg == "--eps-global") {
       config.eps_global = std::atof(next());
     } else if (arg == "--index") {
@@ -92,6 +114,8 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--threads") {
       config.num_threads = std::atoi(next());
+    } else if (arg == "--stages") {
+      print_stages = true;
     } else if (arg == "--out") {
       out_path = next();
     } else {
@@ -122,15 +146,25 @@ int main(int argc, char** argv) {
                 central.clustering.num_clusters,
                 central.clustering.CountNoise(), central.seconds);
   } else if (mode == "dbdc") {
-    const DbdcResult result = RunDbdc(csv->data, *metric, config);
+    if (global_strategy == "optics" && config.min_weight_global != 0) {
+      std::fprintf(stderr,
+                   "error: --global optics does not support --min-weight\n");
+      return 2;
+    }
+    const DbdcResult result =
+        global_strategy == "optics"
+            ? RunDbdcOptics(csv->data, *metric, config)
+            : RunDbdc(csv->data, *metric, config);
     labels = result.labels;
-    std::printf("DBDC(%s, %d sites): %d global clusters, %zu reps, "
-                "eps_global %.3f, %.3f s overall, %llu uplink bytes\n",
+    std::printf("DBDC(%s, %s global, %d sites): %d global clusters, "
+                "%zu reps, eps_global %.3f, %.3f s overall, "
+                "%llu uplink bytes\n",
                 LocalModelTypeName(config.model_type).data(),
-                config.num_sites, result.num_global_clusters,
-                result.num_representatives, result.eps_global_used,
-                result.OverallSeconds(),
+                global_strategy.c_str(), config.num_sites,
+                result.num_global_clusters, result.num_representatives,
+                result.eps_global_used, result.OverallSeconds(),
                 static_cast<unsigned long long>(result.bytes_uplink));
+    if (print_stages) PrintStageBreakdown(result);
   } else {
     Usage(argv[0]);
   }

@@ -5,88 +5,98 @@
 //
 //   $ ./incremental_monitoring
 //
-// Simulates one sensor site over a day: detections stream in, stale ones
-// expire, the clustering is maintained incrementally, and the site
-// re-derives its local model only when the cluster count changes.
+// Simulates two sensor sites over a day on the continuous DBDC engine:
+// detections stream in, stale ones expire, each site maintains its
+// clustering incrementally, and a refresh (local model upload + global
+// rebuild + broadcast) crosses the simulated network only when a site's
+// RefreshPolicy fires. Quiet hours are free — no bytes move and the
+// server does not rebuild.
 
 #include <cstdio>
 #include <deque>
+#include <vector>
 
-#include "cluster/incremental_dbscan.h"
-#include "core/local_model.h"
-#include "core/model_codec.h"
+#include "core/engine.h"
 #include "data/generators.h"
-#include "index/linear_scan_index.h"
+#include "distrib/network.h"
 
 int main() {
   using namespace dbdc;
 
   const DbscanParams params{1.0, 5};
-  IncrementalDbscan clustering(params, Euclidean(), /*dim=*/2);
+  RefreshPolicy policy;
+  policy.min_cluster_delta = 1;  // Re-transmit only on structural change.
+
+  SimulatedNetwork net;
+  GlobalModelParams global_params;
+  global_params.min_pts_global = 2;
+  ContinuousDbdc continuous(Euclidean(), global_params, ProtocolConfig{},
+                            &net);
+
+  StreamingSite east(0, Euclidean(), params, /*dim=*/2,
+                     LocalModelType::kScor, policy);
+  StreamingSite west(1, Euclidean(), params, /*dim=*/2,
+                     LocalModelType::kScor, policy);
+  continuous.AttachSite(&east);
+  continuous.AttachSite(&west);
+  std::vector<StreamingSite*> sites = {&east, &west};
+
   Rng rng(99);
 
-  // A sliding window of the freshest 600 detections.
-  std::deque<PointId> window;
-  constexpr std::size_t kWindow = 600;
+  // Per site, a sliding window of the freshest 300 detections.
+  std::vector<std::deque<PointId>> windows(sites.size());
+  constexpr std::size_t kWindow = 300;
 
-  int last_cluster_count = -1;
-  int transmissions = 0;
   std::size_t events = 0;
 
-  // Over the "day", activity moves between three hot spots; a fourth
-  // appears mid-day.
+  // Over the "day", activity sits on two hot spots per site; a third
+  // appears at the east site mid-day.
   for (int hour = 0; hour < 24; ++hour) {
-    for (int e = 0; e < 100; ++e) {
-      double cx, cy;
-      const int spot = (hour < 12) ? static_cast<int>(rng.UniformInt(0, 2))
-                                   : static_cast<int>(rng.UniformInt(0, 3));
-      cx = 10.0 * spot;
-      cy = 5.0 * (spot % 2);
-      if (rng.UniformInt(0, 9) == 0) {  // 10% stray readings.
-        cx = rng.Uniform(-5.0, 35.0);
-        cy = rng.Uniform(-5.0, 10.0);
-        window.push_back(
-            clustering.Insert(Point{cx, cy}));
-      } else {
-        window.push_back(clustering.Insert(
-            Point{rng.Gaussian(cx, 0.5), rng.Gaussian(cy, 0.5)}));
-      }
-      ++events;
-      if (window.size() > kWindow) {
-        clustering.Erase(window.front());
-        window.pop_front();
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      const int spots = (s == 0 && hour >= 12) ? 3 : 2;
+      for (int e = 0; e < 50; ++e) {
+        const int spot = static_cast<int>(rng.UniformInt(0, spots - 1));
+        const double cx = 20.0 * static_cast<double>(s) + 6.0 * spot;
+        const double cy = 4.0 * (spot % 2);
+        if (rng.UniformInt(0, 9) == 0) {  // 10% stray readings.
+          windows[s].push_back(sites[s]->Insert(Point{
+              rng.Uniform(-5.0, 35.0), rng.Uniform(-5.0, 10.0)}));
+        } else {
+          windows[s].push_back(sites[s]->Insert(
+              Point{rng.Gaussian(cx, 0.4), rng.Gaussian(cy, 0.4)}));
+        }
+        ++events;
+        if (windows[s].size() > kWindow) {
+          sites[s]->Erase(windows[s].front());
+          windows[s].pop_front();
+        }
       }
     }
 
-    const Clustering snapshot = clustering.Snapshot();
-    // Re-derive and "transmit" the local model only on structural change.
-    if (snapshot.num_clusters != last_cluster_count) {
-      last_cluster_count = snapshot.num_clusters;
-      ++transmissions;
-      // Rebuild a compact dataset of active points for model extraction.
-      Dataset active(2);
-      for (PointId p = 0;
-           p < static_cast<PointId>(clustering.data().size()); ++p) {
-        if (clustering.IsActive(p)) active.Add(clustering.data().point(p));
-      }
-      const LinearScanIndex index(active, Euclidean());
-      const LocalClustering local = RunLocalDbscan(index, params);
-      const LocalModel model =
-          BuildScorModel(index, local, params, /*site_id=*/0);
-      std::printf("hour %2d: %zu active, %d clusters -> transmit model "
-                  "(%zu reps, %zu bytes)\n",
-                  hour, clustering.size(), snapshot.num_clusters,
-                  model.representatives.size(),
-                  EncodeLocalModel(model).size());
+    const std::uint64_t uplink_before = net.BytesUplink();
+    const int refreshes = continuous.Tick();
+    if (refreshes > 0) {
+      std::printf("hour %2d: %d refresh(es) -> rebuild #%llu, %llu new "
+                  "uplink bytes, %d global clusters\n",
+                  hour, refreshes,
+                  static_cast<unsigned long long>(
+                      continuous.stats().global_rebuilds),
+                  static_cast<unsigned long long>(net.BytesUplink() -
+                                                  uplink_before),
+                  continuous.server().global_model().num_global_clusters);
     } else {
-      std::printf("hour %2d: %zu active, %d clusters (unchanged, no "
-                  "transmission)\n",
-                  hour, clustering.size(), snapshot.num_clusters);
+      std::printf("hour %2d: quiet (no transmission, no rebuild)\n", hour);
     }
   }
 
-  std::printf("\nprocessed %zu insertions in total; transmitted %d local "
-              "models instead of %d hourly snapshots\n",
-              events, transmissions, 24);
+  const ContinuousDbdc::Stats& stats = continuous.stats();
+  std::printf("\nprocessed %zu insertions across %zu sites; %llu model "
+              "uploads and %llu global rebuilds instead of %d hourly "
+              "batch runs (%llu B up, %llu B down)\n",
+              events, sites.size(),
+              static_cast<unsigned long long>(stats.refreshes_applied),
+              static_cast<unsigned long long>(stats.global_rebuilds), 24,
+              static_cast<unsigned long long>(net.BytesUplink()),
+              static_cast<unsigned long long>(net.BytesDownlink()));
   return 0;
 }

@@ -1,190 +1,26 @@
 #include "core/dbdc.h"
 
-#include <algorithm>
 #include <memory>
-#include <thread>
-#include <utility>
 
-#include "common/rng.h"
 #include "common/timer.h"
-#include "distrib/network.h"
+#include "core/engine.h"
+#include "core/optics_global.h"
 
 namespace dbdc {
-namespace {
-
-void AccumulateProtocolCounters(const TransferOutcome& outcome,
-                                DbdcResult* result) {
-  result->protocol_retries += static_cast<std::uint64_t>(outcome.retries);
-  result->frames_dropped += static_cast<std::uint64_t>(outcome.data_drops);
-  result->frames_corrupted +=
-      static_cast<std::uint64_t>(outcome.data_corruptions);
-  result->acks_lost += static_cast<std::uint64_t>(outcome.ack_losses);
-}
-
-/// Unwraps the payload of a frame the channel reports as delivered
-/// intact. The frame decoded once already (that is what "delivered"
-/// means), so failure here is a programming error, not wire corruption.
-std::vector<std::uint8_t> DeliveredPayload(const Transport& network,
-                                           const TransferOutcome& outcome) {
-  DBDC_CHECK(outcome.delivered);
-  std::optional<Frame> frame =
-      DecodeFrame(network.Message(outcome.delivered_index).payload);
-  DBDC_CHECK(frame.has_value() && "delivered frame no longer decodes");
-  return std::move(frame->payload);
-}
-
-}  // namespace
 
 DbdcResult RunDbdc(const Dataset& data, const Metric& metric,
                    const DbdcConfig& config, Transport* network) {
-  DBDC_CHECK(config.num_sites >= 1);
-  SimulatedNetwork own_network;
-  if (network == nullptr) network = &own_network;
+  DbdcEngine engine(data, metric, config, network);
+  return engine.Run();
+}
 
-  // Step 0: horizontal distribution. In the real deployment the data is
-  // born at the sites; here the partitioner simulates that placement.
-  const UniformRandomPartitioner default_partitioner;
-  const Partitioner* partitioner = config.partitioner != nullptr
-                                       ? config.partitioner
-                                       : &default_partitioner;
-  Rng rng(config.seed);
-  const std::vector<std::vector<PointId>> parts =
-      partitioner->Partition(data, config.num_sites, &rng);
-
-  std::vector<Site> sites;
-  sites.reserve(parts.size());
-  for (int s = 0; s < config.num_sites; ++s) {
-    Dataset site_data(data.dim());
-    site_data.Reserve(parts[s].size());
-    for (const PointId id : parts[s]) site_data.Add(data.point(id));
-    sites.emplace_back(s, metric, std::move(site_data), parts[s]);
-  }
-
-  // Step 1+2: independent local clustering and local models.
-  const SiteConfig site_config{config.local_dbscan, config.model_type,
-                               config.kmeans, config.index_type,
-                               config.condense_eps, config.num_threads};
-  DbdcResult result;
-  result.site_sizes.reserve(sites.size());
-  if (config.parallel_sites) {
-    // Sites are fully independent; one thread each, as in a real
-    // deployment where every site is its own machine.
-    std::vector<std::thread> workers;
-    workers.reserve(sites.size());
-    for (Site& site : sites) {
-      workers.emplace_back(
-          [&site, &site_config] { site.RunLocalPipeline(site_config); });
-    }
-    for (std::thread& worker : workers) worker.join();
-  } else {
-    for (Site& site : sites) site.RunLocalPipeline(site_config);
-  }
-  for (Site& site : sites) {
-    result.site_sizes.push_back(site.data().size());
-    const double local_seconds =
-        site.local_clustering_seconds() + site.model_seconds();
-    result.max_local_seconds =
-        std::max(result.max_local_seconds, local_seconds);
-    result.sum_local_seconds += local_seconds;
-  }
-
-  // Step 2b+3: transmission of the local models and the server-side
-  // merge. Two regimes:
-  //   - protocol disabled (the paper's setting): raw payloads over an
-  //     assumed-lossless transport; an undecodable payload aborts.
-  //   - protocol enabled: checksummed frames with ack/retry; the server
-  //     merges whatever arrived intact by the collection deadline and the
-  //     rest of the sites are reported as failed.
-  GlobalModelParams global_params;
-  global_params.eps_global = config.eps_global;
-  global_params.min_pts_global = 2;
-  global_params.index_type = config.index_type;
-  global_params.min_weight_global = config.min_weight_global;
-  global_params.num_threads = config.num_threads;
-  Server server(metric, global_params);
-
-  ReliableChannel channel(network, config.protocol);
-  if (!config.protocol.enabled) {
-    for (Site& site : sites) {
-      result.num_representatives += site.local_model().representatives.size();
-      network->Send(site.site_id(), kServerEndpoint,
-                    site.EncodeLocalModelBytes());
-    }
-    for (const NetworkMessage* msg : network->Inbox(kServerEndpoint)) {
-      const DecodeStatus status = server.AddLocalModelBytes(msg->payload);
-      DBDC_CHECK(status == DecodeStatus::kOk &&
-                 "local model payload failed to decode");
-    }
-    result.sites_reporting = config.num_sites;
-  } else {
-    for (Site& site : sites) {
-      const TransferOutcome up = channel.Transfer(
-          site.site_id(), kServerEndpoint, site.EncodeLocalModelBytes());
-      AccumulateProtocolCounters(up, &result);
-      bool accepted =
-          up.delivered &&
-          up.delivered_seconds <= config.protocol.collection_deadline_sec;
-      if (accepted) {
-        accepted = server.AddLocalModelBytes(
-                       DeliveredPayload(*network, up)) == DecodeStatus::kOk;
-      }
-      if (accepted) {
-        ++result.sites_reporting;
-        result.num_representatives +=
-            site.local_model().representatives.size();
-      } else {
-        result.failed_site_ids.push_back(site.site_id());
-      }
-    }
-  }
-  result.sites_failed = config.num_sites - result.sites_reporting;
-
-  server.BuildGlobal();
-  result.global_seconds = server.global_clustering_seconds();
-  result.eps_global_used = server.global_model().eps_global_used;
-
-  // Step 4: broadcast and relabel. The representative index is built once
-  // here (over the server's model — byte-identical to every decoded
-  // broadcast copy) and shared by all sites' relabel passes. Points of
-  // sites the broadcast does not reach keep kNoise.
-  const std::vector<std::uint8_t> global_bytes =
-      server.EncodeGlobalModelBytes();
-  const RelabelContext relabel_context(server.global_model(), metric);
-  result.labels.assign(data.size(), kNoise);
-  for (Site& site : sites) {
-    std::vector<std::uint8_t> received;
-    if (!config.protocol.enabled) {
-      network->Send(kServerEndpoint, site.site_id(), global_bytes);
-      received = global_bytes;
-    } else {
-      const TransferOutcome down =
-          channel.Transfer(kServerEndpoint, site.site_id(), global_bytes);
-      AccumulateProtocolCounters(down, &result);
-      if (!down.delivered) continue;
-      received = DeliveredPayload(*network, down);
-    }
-    const DecodeStatus status =
-        site.ApplyGlobalModelBytes(received, &relabel_context);
-    if (!config.protocol.enabled) {
-      DBDC_CHECK(status == DecodeStatus::kOk &&
-                 "global model payload failed to decode");
-    } else if (status != DecodeStatus::kOk) {
-      continue;
-    }
-    ++result.sites_relabeled;
-    result.max_relabel_seconds =
-        std::max(result.max_relabel_seconds, site.relabel_seconds());
-    const std::vector<ClusterId>& labels = site.global_labels();
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      result.labels[site.origin_ids()[i]] = labels[i];
-    }
-  }
-
-  result.num_global_clusters = server.global_model().num_global_clusters;
-  result.bytes_uplink = network->BytesUplink();
-  result.bytes_downlink = network->BytesDownlink();
-  result.global_model = server.global_model();
-  return result;
+DbdcResult RunDbdcOptics(const Dataset& data, const Metric& metric,
+                         const DbdcConfig& config, Transport* network,
+                         double max_eps_global) {
+  const OpticsGlobalStrategy strategy(max_eps_global);
+  DbdcEngine engine(data, metric, config, network);
+  engine.SetGlobalModelStrategy(&strategy);
+  return engine.Run();
 }
 
 CentralDbscanResult RunCentralDbscan(const Dataset& data, const Metric& metric,

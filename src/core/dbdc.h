@@ -6,6 +6,7 @@
 
 #include "core/server.h"
 #include "core/site.h"
+#include "core/stage_stats.h"
 #include "distrib/partitioner.h"
 #include "distrib/protocol.h"
 #include "distrib/transport.h"
@@ -105,6 +106,10 @@ struct DbdcResult {
   std::uint64_t frames_corrupted = 0;
   std::uint64_t acks_lost = 0;
 
+  /// Per-stage wall-clock/byte breakdown of the engine's seven pipeline
+  /// stages, in pipeline order (see stage_stats.h).
+  std::vector<StageStats> stage_stats;
+
   /// The paper's overall-runtime formula (Sec. 9).
   double OverallSeconds() const {
     return max_local_seconds + global_seconds;
@@ -124,6 +129,19 @@ struct DbdcResult {
 /// programming error (the transport is assumed lossless) and aborts.
 DbdcResult RunDbdc(const Dataset& data, const Metric& metric,
                    const DbdcConfig& config, Transport* network = nullptr);
+
+/// RunDbdc with the OPTICS-based global-model variant (Sec. 6
+/// alternative; see OpticsGlobalStrategy): the server computes one OPTICS
+/// ordering over the received representatives and extracts the global
+/// model at config.eps_global (0 = the paper's default). All other stages
+/// — transport byte-accounting, protocol/degraded mode, relabeling, every
+/// DbdcResult counter — are shared with RunDbdc through the engine.
+/// `max_eps_global` is the OPTICS generating distance (0 = 4x the
+/// default Eps_global); config.min_weight_global must be 0.
+DbdcResult RunDbdcOptics(const Dataset& data, const Metric& metric,
+                         const DbdcConfig& config,
+                         Transport* network = nullptr,
+                         double max_eps_global = 0.0);
 
 /// Outcome of the centralized baseline run.
 struct CentralDbscanResult {

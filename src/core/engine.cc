@@ -1,0 +1,395 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace dbdc {
+namespace {
+
+GlobalModelParams MakeGlobalParams(const DbdcConfig& config) {
+  GlobalModelParams params;
+  params.eps_global = config.eps_global;
+  params.min_pts_global = 2;
+  params.index_type = config.index_type;
+  params.min_weight_global = config.min_weight_global;
+  params.num_threads = config.num_threads;
+  return params;
+}
+
+void AccumulateProtocolCounters(const TransferOutcome& outcome,
+                                DbdcResult* result) {
+  result->protocol_retries += static_cast<std::uint64_t>(outcome.retries);
+  result->frames_dropped += static_cast<std::uint64_t>(outcome.data_drops);
+  result->frames_corrupted +=
+      static_cast<std::uint64_t>(outcome.data_corruptions);
+  result->acks_lost += static_cast<std::uint64_t>(outcome.ack_losses);
+}
+
+/// Unwraps the payload of a frame the channel reports as delivered
+/// intact. The frame decoded once already (that is what "delivered"
+/// means), so failure here is a programming error, not wire corruption.
+std::vector<std::uint8_t> DeliveredPayload(const Transport& network,
+                                           const TransferOutcome& outcome) {
+  DBDC_CHECK(outcome.delivered);
+  std::optional<Frame> frame =
+      DecodeFrame(network.Message(outcome.delivered_index).payload);
+  DBDC_CHECK(frame.has_value() && "delivered frame no longer decodes");
+  return std::move(frame->payload);
+}
+
+}  // namespace
+
+DbdcEngine::DbdcEngine(const Dataset& data, const Metric& metric,
+                       const DbdcConfig& config, Transport* network)
+    : data_(&data),
+      metric_(&metric),
+      config_(config),
+      site_config_{config.local_dbscan, config.model_type,
+                   config.kmeans,       config.index_type,
+                   config.condense_eps, config.num_threads},
+      server_(metric, MakeGlobalParams(config)) {
+  DBDC_CHECK(config_.num_sites >= 1);
+  ctx_.transport = network != nullptr ? network : &own_network_;
+  if (config_.protocol.enabled) {
+    ctx_.channel.emplace(ctx_.transport, config_.protocol);
+  }
+  if (config_.parallel_sites) {
+    // One worker per site, as in a real deployment where every site is
+    // its own machine (sites are fully independent, so the result is
+    // identical to the sequential run for every pool size).
+    ctx_.site_pool = std::make_unique<ThreadPool>(config_.num_sites);
+  }
+}
+
+void DbdcEngine::SetLocalModelStrategy(const LocalModelStrategy* strategy) {
+  DBDC_CHECK(next_stage_ <= 2 && "BuildLocalModel already ran");
+  local_strategy_ = strategy;
+}
+
+void DbdcEngine::SetGlobalModelStrategy(const GlobalModelStrategy* strategy) {
+  DBDC_CHECK(next_stage_ <= 4 && "MergeGlobal already ran");
+  global_strategy_ = strategy;
+}
+
+template <typename Fn>
+void DbdcEngine::ForEachSite(Fn&& fn) {
+  if (ctx_.site_pool != nullptr) {
+    ctx_.site_pool->ParallelFor(
+        sites_.size(), [this, &fn](std::size_t i) { fn(sites_[i]); });
+  } else {
+    for (Site& site : sites_) fn(site);
+  }
+}
+
+template <typename Fn>
+void DbdcEngine::RunStage(StageId id, Fn&& body) {
+  DBDC_CHECK(next_stage_ == static_cast<int>(id) &&
+             "engine stages must run in pipeline order");
+  ++next_stage_;
+  const std::uint64_t uplink_before = ctx_.transport->BytesUplink();
+  const std::uint64_t downlink_before = ctx_.transport->BytesDownlink();
+  Timer timer;
+  body();
+  StageStats stats;
+  stats.stage = id;
+  stats.seconds = timer.Seconds();
+  stats.bytes_uplink = ctx_.transport->BytesUplink() - uplink_before;
+  stats.bytes_downlink = ctx_.transport->BytesDownlink() - downlink_before;
+  ctx_.stages.push_back(stats);
+}
+
+void DbdcEngine::Partition() {
+  RunStage(StageId::kPartition, [this] {
+    // In the real deployment the data is born at the sites; the
+    // partitioner simulates that placement.
+    const UniformRandomPartitioner default_partitioner;
+    const Partitioner* partitioner = config_.partitioner != nullptr
+                                         ? config_.partitioner
+                                         : &default_partitioner;
+    Rng rng(config_.seed);
+    const std::vector<std::vector<PointId>> parts =
+        partitioner->Partition(*data_, config_.num_sites, &rng);
+
+    sites_.reserve(parts.size());
+    for (int s = 0; s < config_.num_sites; ++s) {
+      Dataset site_data(data_->dim());
+      site_data.Reserve(parts[s].size());
+      for (const PointId id : parts[s]) site_data.Add(data_->point(id));
+      sites_.emplace_back(s, *metric_, std::move(site_data), parts[s]);
+    }
+  });
+}
+
+void DbdcEngine::LocalCluster() {
+  RunStage(StageId::kLocalCluster, [this] {
+    ForEachSite(
+        [this](Site& site) { site.RunLocalClustering(site_config_); });
+  });
+}
+
+void DbdcEngine::BuildLocalModel() {
+  RunStage(StageId::kBuildLocalModel, [this] {
+    site_config_.model_strategy = local_strategy_;
+    ForEachSite([this](Site& site) { site.BuildModel(site_config_); });
+
+    // The paper's per-phase cost aggregates (max = the slowest site, the
+    // real deployment's critical path).
+    result_.site_sizes.reserve(sites_.size());
+    for (Site& site : sites_) {
+      result_.site_sizes.push_back(site.data().size());
+      const double local_seconds =
+          site.local_clustering_seconds() + site.model_seconds();
+      result_.max_local_seconds =
+          std::max(result_.max_local_seconds, local_seconds);
+      result_.sum_local_seconds += local_seconds;
+    }
+  });
+}
+
+void DbdcEngine::Transmit() {
+  RunStage(StageId::kTransmit, [this] {
+    // Two regimes:
+    //   - protocol disabled (the paper's setting): raw payloads over an
+    //     assumed-lossless transport; an undecodable payload aborts.
+    //   - protocol enabled: checksummed frames with ack/retry; the
+    //     server merges whatever arrived intact by the collection
+    //     deadline and the rest of the sites are reported as failed.
+    if (!config_.protocol.enabled) {
+      for (Site& site : sites_) {
+        result_.num_representatives +=
+            site.local_model().representatives.size();
+        ctx_.transport->Send(site.site_id(), kServerEndpoint,
+                             site.EncodeLocalModelBytes());
+      }
+      for (const NetworkMessage* msg :
+           ctx_.transport->Inbox(kServerEndpoint)) {
+        const DecodeStatus status = server_.AddLocalModelBytes(msg->payload);
+        DBDC_CHECK(status == DecodeStatus::kOk &&
+                   "local model payload failed to decode");
+      }
+      result_.sites_reporting = config_.num_sites;
+    } else {
+      for (Site& site : sites_) {
+        const TransferOutcome up = ctx_.channel->Transfer(
+            site.site_id(), kServerEndpoint, site.EncodeLocalModelBytes());
+        AccumulateProtocolCounters(up, &result_);
+        bool accepted =
+            up.delivered &&
+            up.delivered_seconds <= config_.protocol.collection_deadline_sec;
+        if (accepted) {
+          accepted =
+              server_.AddLocalModelBytes(DeliveredPayload(
+                  *ctx_.transport, up)) == DecodeStatus::kOk;
+        }
+        if (accepted) {
+          ++result_.sites_reporting;
+          result_.num_representatives +=
+              site.local_model().representatives.size();
+        } else {
+          result_.failed_site_ids.push_back(site.site_id());
+        }
+      }
+    }
+    result_.sites_failed = config_.num_sites - result_.sites_reporting;
+  });
+}
+
+void DbdcEngine::MergeGlobal() {
+  RunStage(StageId::kMergeGlobal, [this] {
+    server_.SetGlobalStrategy(global_strategy_);
+    server_.BuildGlobal();
+    result_.global_seconds = server_.global_clustering_seconds();
+    result_.eps_global_used = server_.global_model().eps_global_used;
+  });
+}
+
+void DbdcEngine::Broadcast() {
+  RunStage(StageId::kBroadcast, [this] {
+    global_bytes_ = server_.EncodeGlobalModelBytes();
+    received_.assign(sites_.size(), std::nullopt);
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      if (!config_.protocol.enabled) {
+        ctx_.transport->Send(kServerEndpoint, sites_[i].site_id(),
+                             global_bytes_);
+        received_[i] = global_bytes_;
+      } else {
+        const TransferOutcome down = ctx_.channel->Transfer(
+            kServerEndpoint, sites_[i].site_id(), global_bytes_);
+        AccumulateProtocolCounters(down, &result_);
+        if (!down.delivered) continue;
+        received_[i] = DeliveredPayload(*ctx_.transport, down);
+      }
+    }
+  });
+}
+
+void DbdcEngine::Relabel() {
+  RunStage(StageId::kRelabel, [this] {
+    // The representative index is built once (over the server's model —
+    // byte-identical to every decoded broadcast copy) and shared by all
+    // sites' relabel passes. Points of sites the broadcast did not reach
+    // keep kNoise.
+    const RelabelContext relabel_context(server_.global_model(), *metric_);
+    result_.labels.assign(data_->size(), kNoise);
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      if (!received_[i].has_value()) continue;
+      Site& site = sites_[i];
+      const DecodeStatus status =
+          site.ApplyGlobalModelBytes(*received_[i], &relabel_context);
+      if (!config_.protocol.enabled) {
+        DBDC_CHECK(status == DecodeStatus::kOk &&
+                   "global model payload failed to decode");
+      } else if (status != DecodeStatus::kOk) {
+        continue;
+      }
+      ++result_.sites_relabeled;
+      result_.max_relabel_seconds =
+          std::max(result_.max_relabel_seconds, site.relabel_seconds());
+      const std::vector<ClusterId>& labels = site.global_labels();
+      for (std::size_t j = 0; j < labels.size(); ++j) {
+        result_.labels[site.origin_ids()[j]] = labels[j];
+      }
+    }
+  });
+}
+
+DbdcResult DbdcEngine::Run() {
+  Partition();
+  LocalCluster();
+  BuildLocalModel();
+  Transmit();
+  MergeGlobal();
+  Broadcast();
+  Relabel();
+  return TakeResult();
+}
+
+DbdcResult DbdcEngine::TakeResult() {
+  DBDC_CHECK(next_stage_ == kNumStages && "pipeline has not finished");
+  DBDC_CHECK(!result_taken_ && "TakeResult may be called once");
+  result_taken_ = true;
+  result_.num_global_clusters = server_.global_model().num_global_clusters;
+  result_.bytes_uplink = ctx_.transport->BytesUplink();
+  result_.bytes_downlink = ctx_.transport->BytesDownlink();
+  result_.global_model = server_.global_model();
+  result_.stage_stats = ctx_.stages;
+  return std::move(result_);
+}
+
+ContinuousDbdc::ContinuousDbdc(const Metric& metric,
+                               const GlobalModelParams& params,
+                               const ProtocolConfig& protocol,
+                               Transport* network)
+    : protocol_(protocol), server_(metric, params) {
+  ctx_.transport = network != nullptr ? network : &own_network_;
+  if (protocol_.enabled) {
+    ctx_.channel.emplace(ctx_.transport, protocol_);
+  }
+}
+
+void ContinuousDbdc::AttachSite(StreamingSite* site) {
+  DBDC_CHECK(site != nullptr);
+  for (const StreamingSite* existing : sites_) {
+    DBDC_CHECK(existing->site_id() != site->site_id() &&
+               "duplicate streaming site id");
+  }
+  sites_.push_back(site);
+  labels_.emplace_back();
+}
+
+int ContinuousDbdc::Tick() {
+  int applied = 0;
+  double tick_transfer_sec = 0.0;
+
+  // Uplink leg: stale sites push a refreshed model; the server replaces
+  // that site's previous contribution (upsert).
+  for (StreamingSite* site : sites_) {
+    if (!site->ModelNeedsRefresh()) continue;
+    site->RefreshModel();
+    std::vector<std::uint8_t> bytes = site->EncodeLocalModelBytes();
+    ++stats_.refreshes_sent;
+    bool ok = false;
+    if (protocol_.enabled) {
+      const TransferOutcome up = ctx_.channel->Transfer(
+          site->site_id(), kServerEndpoint, std::move(bytes));
+      stats_.protocol_retries += static_cast<std::uint64_t>(up.retries);
+      tick_transfer_sec = std::max(tick_transfer_sec, up.elapsed_seconds);
+      if (up.delivered &&
+          up.delivered_seconds <= protocol_.collection_deadline_sec) {
+        ok = server_.UpsertLocalModelBytes(DeliveredPayload(
+                 *ctx_.transport, up)) == DecodeStatus::kOk;
+      }
+    } else {
+      const std::size_t index = ctx_.transport->Send(
+          site->site_id(), kServerEndpoint, std::move(bytes));
+      if (index != kMessageDropped) {
+        const NetworkMessage& msg = ctx_.transport->Message(index);
+        ok = server_.UpsertLocalModelBytes(msg.payload) == DecodeStatus::kOk;
+        tick_transfer_sec = std::max(
+            tick_transfer_sec,
+            EstimateTransferSeconds(msg.payload.size(), protocol_.link) +
+                ctx_.transport->DeliveryDelaySeconds(index));
+      }
+    }
+    if (ok) {
+      ++stats_.refreshes_applied;
+      ++applied;
+    } else {
+      // The site's previous model stays in effect; the stream self-heals
+      // on its next refresh.
+      ++stats_.refreshes_lost;
+    }
+  }
+
+  // Merge + downlink leg, only when something actually changed: quiet
+  // ticks cost zero bytes and zero global rebuilds.
+  if (applied > 0) {
+    server_.BuildGlobal();
+    ++stats_.global_rebuilds;
+    const std::vector<std::uint8_t> global_bytes =
+        server_.EncodeGlobalModelBytes();
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      std::optional<std::vector<std::uint8_t>> received;
+      if (protocol_.enabled) {
+        const TransferOutcome down = ctx_.channel->Transfer(
+            kServerEndpoint, sites_[i]->site_id(), global_bytes);
+        stats_.protocol_retries += static_cast<std::uint64_t>(down.retries);
+        tick_transfer_sec =
+            std::max(tick_transfer_sec, down.elapsed_seconds);
+        if (down.delivered) {
+          received = DeliveredPayload(*ctx_.transport, down);
+        }
+      } else {
+        const std::size_t index = ctx_.transport->Send(
+            kServerEndpoint, sites_[i]->site_id(), global_bytes);
+        if (index != kMessageDropped) {
+          const NetworkMessage& msg = ctx_.transport->Message(index);
+          received = msg.payload;
+          tick_transfer_sec = std::max(
+              tick_transfer_sec,
+              EstimateTransferSeconds(msg.payload.size(), protocol_.link) +
+                  ctx_.transport->DeliveryDelaySeconds(index));
+        }
+      }
+      const bool relabeled =
+          received.has_value() &&
+          sites_[i]->ApplyGlobalModelBytes(*received, &labels_[i]) ==
+              DecodeStatus::kOk;
+      if (relabeled) {
+        ++stats_.broadcasts_delivered;
+      } else {
+        ++stats_.broadcasts_lost;
+      }
+    }
+  }
+
+  ctx_.virtual_now_sec += tick_transfer_sec;
+  ++stats_.ticks;
+  return applied;
+}
+
+}  // namespace dbdc

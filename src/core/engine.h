@@ -1,0 +1,219 @@
+#ifndef DBDC_CORE_ENGINE_H_
+#define DBDC_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/dbdc.h"
+#include "core/server.h"
+#include "core/site.h"
+#include "core/stage_stats.h"
+#include "core/streaming_site.h"
+#include "distrib/network.h"
+#include "distrib/protocol.h"
+#include "distrib/transport.h"
+
+namespace dbdc {
+
+/// State shared by every stage of an engine run (DESIGN.md §8): the
+/// transport the models cross, the reliable channel over it (engaged iff
+/// the protocol is enabled — one channel for the whole run, so frame
+/// sequence numbers are continuous across transmit and broadcast), the
+/// virtual clock the continuous mode advances, the site pool (engaged iff
+/// parallel_sites), and the per-stage timing/byte breakdown.
+struct RunContext {
+  Transport* transport = nullptr;
+  std::optional<ReliableChannel> channel;
+  /// Virtual seconds elapsed across Tick()s (continuous mode only; batch
+  /// transfers each start their own clock at 0, as in the protocol spec).
+  double virtual_now_sec = 0.0;
+  /// One worker per site when parallel_sites is set; null = sequential.
+  std::unique_ptr<ThreadPool> site_pool;
+  std::vector<StageStats> stages;
+};
+
+/// The DBDC pipeline as a long-lived object built from explicit,
+/// individually-testable stages:
+///
+///   Partition -> LocalCluster -> BuildLocalModel -> Transmit
+///             -> MergeGlobal -> Broadcast -> Relabel
+///
+/// Run() drives all seven in order and is bit-identical — labels, global
+/// model, and byte counters — to the historical monolithic RunDbdc()
+/// (the golden equivalence test freezes the monolith and asserts this).
+/// Stages can also be driven one at a time; calling them out of order is
+/// a contract violation (DBDC_CHECK).
+///
+/// Local-model and global-model construction are pluggable strategies:
+/// SetLocalModelStrategy / SetGlobalModelStrategy (before the respective
+/// stage runs) swap in e.g. OpticsGlobalStrategy, which is how the
+/// OPTICS-global variant inherits transport byte-accounting, the
+/// protocol/degraded mode, and every DbdcResult counter for free.
+///
+/// The engine borrows `data`, `metric`, and `network` (null = a private
+/// lossless SimulatedNetwork); all must outlive it. One engine = one run;
+/// construct a fresh engine per run.
+class DbdcEngine {
+ public:
+  DbdcEngine(const Dataset& data, const Metric& metric,
+             const DbdcConfig& config, Transport* network = nullptr);
+
+  DbdcEngine(const DbdcEngine&) = delete;
+  DbdcEngine& operator=(const DbdcEngine&) = delete;
+
+  /// Swaps the local-model construction of the BuildLocalModel stage.
+  /// Null (default) = the (model_type, condense_eps) legacy path. Must be
+  /// called before BuildLocalModel(); the strategy must outlive the
+  /// engine.
+  void SetLocalModelStrategy(const LocalModelStrategy* strategy);
+
+  /// Swaps the global-model construction of the MergeGlobal stage. Null
+  /// (default) = the paper's DBSCAN merge. Must be called before
+  /// MergeGlobal(); the strategy must outlive the engine.
+  void SetGlobalModelStrategy(const GlobalModelStrategy* strategy);
+
+  /// Stage 1: horizontal distribution of the data onto the sites
+  /// (config.partitioner, seeded by config.seed).
+  void Partition();
+  /// Stage 2: independent local DBSCAN on every site (concurrently on
+  /// the site pool when parallel_sites).
+  void LocalCluster();
+  /// Stage 3: local model determination on every site, via the local
+  /// strategy when set.
+  void BuildLocalModel();
+  /// Stage 4: local models cross the uplink (raw, or framed under the
+  /// protocol) and the server ingests what arrived intact in time.
+  void Transmit();
+  /// Stage 5: the server merges the received models into the global
+  /// model, via the global strategy when set.
+  void MergeGlobal();
+  /// Stage 6: the encoded global model crosses the downlink to every
+  /// site (delivery may fail under the protocol).
+  void Broadcast();
+  /// Stage 7: sites that received the broadcast relabel their objects;
+  /// points of unreached sites keep kNoise.
+  void Relabel();
+
+  /// Drives all seven stages in order and returns the result.
+  DbdcResult Run();
+
+  /// The accumulated result after Relabel(); call at most once.
+  DbdcResult TakeResult();
+
+  const RunContext& context() const { return ctx_; }
+  const std::vector<Site>& sites() const { return sites_; }
+  const Server& server() const { return server_; }
+
+ private:
+  template <typename Fn>
+  void ForEachSite(Fn&& fn);
+
+  /// Runs `body` as stage `id`: enforces pipeline order and records the
+  /// stage's wall-clock seconds and transport byte deltas into
+  /// ctx_.stages.
+  template <typename Fn>
+  void RunStage(StageId id, Fn&& body);
+
+  const Dataset* data_;
+  const Metric* metric_;
+  DbdcConfig config_;
+  SiteConfig site_config_;
+  SimulatedNetwork own_network_;
+  RunContext ctx_;
+  const LocalModelStrategy* local_strategy_ = nullptr;
+  const GlobalModelStrategy* global_strategy_ = nullptr;
+  std::vector<Site> sites_;
+  Server server_;
+  std::vector<std::uint8_t> global_bytes_;
+  /// Broadcast payload per site; disengaged = delivery failed.
+  std::vector<std::optional<std::vector<std::uint8_t>>> received_;
+  DbdcResult result_;
+  int next_stage_ = 0;
+  bool result_taken_ = false;
+};
+
+/// The engine's continuous mode: the long-lived deployment of Sec. 4,
+/// where sites maintain their clusterings incrementally and "only if the
+/// local clustering changes considerably" retransmit a local model.
+///
+/// The caller owns the StreamingSites, feeds them Insert/Erase, and calls
+/// Tick(). Each tick, every attached site whose RefreshPolicy fires
+/// re-derives its model and pushes it over the Transport (v3 codec;
+/// framed under the protocol when enabled). The server *upserts* the
+/// site's contribution, rebuilds the global model only when at least one
+/// refresh arrived, and re-broadcasts it for relabeling — so quiet ticks
+/// cost zero bytes and zero merges, the whole point over re-running
+/// batch DBDC per tick.
+///
+/// Without the protocol, a dropped or corrupted refresh is counted lost
+/// and the site's previous model simply stays in effect (the stream
+/// self-heals on the next refresh); with it, delivery gets the full
+/// retry/deadline treatment and the virtual clock advances by the
+/// slowest transfer of the tick.
+class ContinuousDbdc {
+ public:
+  /// Cumulative counters over the run's lifetime.
+  struct Stats {
+    std::uint64_t ticks = 0;
+    std::uint64_t refreshes_sent = 0;
+    std::uint64_t refreshes_applied = 0;
+    std::uint64_t refreshes_lost = 0;
+    std::uint64_t global_rebuilds = 0;
+    std::uint64_t broadcasts_delivered = 0;
+    std::uint64_t broadcasts_lost = 0;
+    std::uint64_t protocol_retries = 0;
+  };
+
+  /// `metric`, `network`, and any strategy must outlive the object.
+  /// Null network = a private lossless SimulatedNetwork.
+  ContinuousDbdc(const Metric& metric, const GlobalModelParams& params,
+                 const ProtocolConfig& protocol,
+                 Transport* network = nullptr);
+
+  ContinuousDbdc(const ContinuousDbdc&) = delete;
+  ContinuousDbdc& operator=(const ContinuousDbdc&) = delete;
+
+  /// Swaps the server's global merge (null = the paper's DBSCAN merge).
+  void SetGlobalModelStrategy(const GlobalModelStrategy* strategy) {
+    server_.SetGlobalStrategy(strategy);
+  }
+
+  /// Registers a streaming site (borrowed; must outlive the object).
+  void AttachSite(StreamingSite* site);
+
+  /// One pass over the attached sites: refresh-if-stale, upsert, rebuild
+  /// + re-broadcast iff anything arrived. Returns the number of
+  /// refreshes the server applied this tick.
+  int Tick();
+
+  /// Latest relabeled (active point id, global label) pairs of the
+  /// attached site at `index` (in AttachSite order); empty until the
+  /// first broadcast reaches it.
+  const std::vector<std::pair<PointId, ClusterId>>& labels(
+      std::size_t index) const {
+    DBDC_CHECK(index < labels_.size());
+    return labels_[index];
+  }
+
+  const Stats& stats() const { return stats_; }
+  const Server& server() const { return server_; }
+  const Transport& transport() const { return *ctx_.transport; }
+  double virtual_now_sec() const { return ctx_.virtual_now_sec; }
+
+ private:
+  ProtocolConfig protocol_;
+  SimulatedNetwork own_network_;
+  RunContext ctx_;
+  Server server_;
+  std::vector<StreamingSite*> sites_;
+  std::vector<std::vector<std::pair<PointId, ClusterId>>> labels_;
+  Stats stats_;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_CORE_ENGINE_H_

@@ -127,4 +127,10 @@ GlobalModel BuildGlobalModel(std::span<const LocalModel> locals,
   return global;
 }
 
+GlobalModel DbscanGlobalStrategy::Build(std::span<const LocalModel> locals,
+                                        const Metric& metric,
+                                        const GlobalModelParams& params) const {
+  return BuildGlobalModel(locals, metric, params);
+}
+
 }  // namespace dbdc

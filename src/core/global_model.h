@@ -2,6 +2,7 @@
 #define DBDC_CORE_GLOBAL_MODEL_H_
 
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/dataset.h"
@@ -66,6 +67,30 @@ double DefaultEpsGlobal(std::span<const LocalModel> locals);
 GlobalModel BuildGlobalModel(std::span<const LocalModel> locals,
                              const Metric& metric,
                              const GlobalModelParams& params);
+
+/// Strategy interface for the engine's MergeGlobal stage: how the server
+/// turns the collected local models into the global model. The paper's
+/// DBSCAN merge (Sec. 6) and the OPTICS-global variant are the stock
+/// implementations. Build must be deterministic and const; one strategy
+/// instance may serve many runs.
+class GlobalModelStrategy {
+ public:
+  virtual ~GlobalModelStrategy() = default;
+
+  virtual GlobalModel Build(std::span<const LocalModel> locals,
+                            const Metric& metric,
+                            const GlobalModelParams& params) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// The paper's merge as a strategy — forwards to BuildGlobalModel.
+class DbscanGlobalStrategy final : public GlobalModelStrategy {
+ public:
+  GlobalModel Build(std::span<const LocalModel> locals, const Metric& metric,
+                    const GlobalModelParams& params) const override;
+  std::string_view name() const override { return "dbscan_global"; }
+};
 
 }  // namespace dbdc
 

@@ -1,6 +1,7 @@
 #include "core/local_model.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace dbdc {
 
@@ -185,6 +186,61 @@ LocalModel BuildLocalModel(LocalModelType type, const NeighborIndex& index,
   }
   DBDC_CHECK(false && "unknown local model type");
   return LocalModel{};
+}
+
+LocalModel ScorModelStrategy::Build(const NeighborIndex& index,
+                                    const LocalClustering& local,
+                                    const DbscanParams& params,
+                                    const KMeansParams& /*kmeans*/,
+                                    int site_id) const {
+  return BuildScorModel(index, local, params, site_id);
+}
+
+LocalModel KMeansModelStrategy::Build(const NeighborIndex& index,
+                                      const LocalClustering& local,
+                                      const DbscanParams& params,
+                                      const KMeansParams& kmeans,
+                                      int site_id) const {
+  return BuildKMeansModel(index, local, params, kmeans, site_id);
+}
+
+CondensedModelStrategy::CondensedModelStrategy(
+    std::unique_ptr<LocalModelStrategy> inner, double condense_eps,
+    const Metric& metric)
+    : inner_(std::move(inner)),
+      condense_eps_(condense_eps),
+      metric_(&metric) {
+  DBDC_CHECK(inner_ != nullptr);
+  DBDC_CHECK(condense_eps_ > 0.0);
+}
+
+LocalModel CondensedModelStrategy::Build(const NeighborIndex& index,
+                                         const LocalClustering& local,
+                                         const DbscanParams& params,
+                                         const KMeansParams& kmeans,
+                                         int site_id) const {
+  return CondenseLocalModel(
+      inner_->Build(index, local, params, kmeans, site_id), condense_eps_,
+      *metric_);
+}
+
+std::unique_ptr<LocalModelStrategy> MakeLocalModelStrategy(
+    LocalModelType type, double condense_eps, const Metric& metric) {
+  std::unique_ptr<LocalModelStrategy> base;
+  switch (type) {
+    case LocalModelType::kScor:
+      base = std::make_unique<ScorModelStrategy>();
+      break;
+    case LocalModelType::kKMeans:
+      base = std::make_unique<KMeansModelStrategy>();
+      break;
+  }
+  DBDC_CHECK(base != nullptr && "unknown local model type");
+  if (condense_eps > 0.0) {
+    base = std::make_unique<CondensedModelStrategy>(std::move(base),
+                                                    condense_eps, metric);
+  }
+  return base;
 }
 
 }  // namespace dbdc

@@ -1,6 +1,7 @@
 #ifndef DBDC_CORE_LOCAL_MODEL_H_
 #define DBDC_CORE_LOCAL_MODEL_H_
 
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -121,6 +122,70 @@ LocalModel BuildLocalModel(LocalModelType type, const NeighborIndex& index,
 /// (deterministic).
 LocalModel CondenseLocalModel(const LocalModel& model, double condense_eps,
                               const Metric& metric);
+
+/// Strategy interface for the engine's BuildLocalModel stage: turns a
+/// site's local clustering into the model it transmits. The paper's two
+/// schemes and the condensation extension are the stock implementations;
+/// a custom strategy can plug in any other summarization without
+/// touching Site or the engine. Implementations must be deterministic
+/// (same inputs, same model) and thread-compatible: one strategy
+/// instance is shared by every site, so Build must be const and carry no
+/// mutable state.
+class LocalModelStrategy {
+ public:
+  virtual ~LocalModelStrategy() = default;
+
+  virtual LocalModel Build(const NeighborIndex& index,
+                           const LocalClustering& local,
+                           const DbscanParams& params,
+                           const KMeansParams& kmeans_params,
+                           int site_id) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// REP_Scor (Sec. 5.1) as a strategy — forwards to BuildScorModel.
+class ScorModelStrategy final : public LocalModelStrategy {
+ public:
+  LocalModel Build(const NeighborIndex& index, const LocalClustering& local,
+                   const DbscanParams& params, const KMeansParams& kmeans,
+                   int site_id) const override;
+  std::string_view name() const override { return "rep_scor"; }
+};
+
+/// REP_kMeans (Sec. 5.2) as a strategy — forwards to BuildKMeansModel.
+class KMeansModelStrategy final : public LocalModelStrategy {
+ public:
+  LocalModel Build(const NeighborIndex& index, const LocalClustering& local,
+                   const DbscanParams& params, const KMeansParams& kmeans,
+                   int site_id) const override;
+  std::string_view name() const override { return "rep_kmeans"; }
+};
+
+/// Decorator applying CondenseLocalModel to the inner strategy's model
+/// before transmission (the constrained-uplink extension).
+class CondensedModelStrategy final : public LocalModelStrategy {
+ public:
+  /// `metric` must outlive the strategy.
+  CondensedModelStrategy(std::unique_ptr<LocalModelStrategy> inner,
+                         double condense_eps, const Metric& metric);
+  LocalModel Build(const NeighborIndex& index, const LocalClustering& local,
+                   const DbscanParams& params, const KMeansParams& kmeans,
+                   int site_id) const override;
+  std::string_view name() const override { return "condensed"; }
+
+ private:
+  std::unique_ptr<LocalModelStrategy> inner_;
+  double condense_eps_;
+  const Metric* metric_;
+};
+
+/// Builds the strategy matching the legacy (model_type, condense_eps)
+/// knobs: Scor or kMeans, wrapped in condensation when condense_eps > 0.
+/// The returned strategy reproduces BuildLocalModel + CondenseLocalModel
+/// bit for bit.
+std::unique_ptr<LocalModelStrategy> MakeLocalModelStrategy(
+    LocalModelType type, double condense_eps, const Metric& metric);
 
 }  // namespace dbdc
 

@@ -55,4 +55,19 @@ GlobalModel OpticsGlobalModelBuilder::Extract(double eps_global) const {
   return global;
 }
 
+GlobalModel OpticsGlobalStrategy::Build(std::span<const LocalModel> locals,
+                                        const Metric& metric,
+                                        const GlobalModelParams& params) const {
+  DBDC_CHECK(params.min_weight_global == 0 &&
+             "optics_global does not support the weighted core condition");
+  const OpticsGlobalModelBuilder builder(locals, metric, max_eps_global_,
+                                         params.index_type);
+  const double eps_global = params.eps_global > 0.0
+                                ? params.eps_global
+                                : builder.default_eps_global();
+  // Extract(0.0) is only reachable with zero representatives, where it
+  // returns the empty model before validating eps.
+  return builder.Extract(eps_global);
+}
+
 }  // namespace dbdc

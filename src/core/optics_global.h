@@ -53,6 +53,31 @@ class OpticsGlobalModelBuilder {
   double default_eps_global_ = 0.0;
 };
 
+/// GlobalModelStrategy wrapping the OPTICS-based builder, so the engine
+/// can run the OPTICS-global variant through the same transmit /
+/// merge / broadcast stages as the paper's DBSCAN merge — inheriting
+/// transport byte-accounting, protocol/degraded mode, and the DbdcResult
+/// counters that the old side path (`RunDbdcOptics`) reimplemented.
+///
+/// Each Build computes one fresh OPTICS ordering over the received
+/// representatives with generating distance `max_eps_global` (0 = 4x the
+/// paper's default, as in OpticsGlobalModelBuilder) and extracts at
+/// params.eps_global (0 = the paper's default ε_R maximum). The
+/// weighted-core extension (params.min_weight_global) is not supported
+/// by the OPTICS path and must be 0.
+class OpticsGlobalStrategy final : public GlobalModelStrategy {
+ public:
+  explicit OpticsGlobalStrategy(double max_eps_global = 0.0)
+      : max_eps_global_(max_eps_global) {}
+
+  GlobalModel Build(std::span<const LocalModel> locals, const Metric& metric,
+                    const GlobalModelParams& params) const override;
+  std::string_view name() const override { return "optics_global"; }
+
+ private:
+  double max_eps_global_;
+};
+
 }  // namespace dbdc
 
 #endif  // DBDC_CORE_OPTICS_GLOBAL_H_

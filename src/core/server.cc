@@ -19,9 +19,30 @@ void Server::AddLocalModel(LocalModel model) {
   locals_.push_back(std::move(model));
 }
 
+void Server::UpsertLocalModel(LocalModel model) {
+  for (LocalModel& existing : locals_) {
+    if (existing.site_id == model.site_id) {
+      existing = std::move(model);
+      return;
+    }
+  }
+  locals_.push_back(std::move(model));
+}
+
+DecodeStatus Server::UpsertLocalModelBytes(
+    std::span<const std::uint8_t> bytes) {
+  LocalModel model;
+  const DecodeStatus status = DecodeLocalModel(bytes, &model);
+  if (status != DecodeStatus::kOk) return status;
+  UpsertLocalModel(std::move(model));
+  return DecodeStatus::kOk;
+}
+
 const GlobalModel& Server::BuildGlobal() {
   Timer timer;
-  global_ = BuildGlobalModel(locals_, *metric_, params_);
+  global_ = strategy_ != nullptr
+                ? strategy_->Build(locals_, *metric_, params_)
+                : BuildGlobalModel(locals_, *metric_, params_);
   global_seconds_ = timer.Seconds();
   return global_;
 }

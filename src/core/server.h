@@ -31,6 +31,22 @@ class Server {
   /// Registers an already-decoded local model (tests).
   void AddLocalModel(LocalModel model);
 
+  /// Replaces the stored model of the same site_id (appends when the site
+  /// has not reported before) — the continuous-mode ingestion path, where
+  /// a refresh supersedes the site's previous contribution.
+  void UpsertLocalModel(LocalModel model);
+
+  /// Upsert variant of AddLocalModelBytes; on anything but kOk the stored
+  /// models are untouched.
+  DecodeStatus UpsertLocalModelBytes(std::span<const std::uint8_t> bytes);
+
+  /// Selects how BuildGlobal merges the collected models. Null (default)
+  /// restores the built-in paper merge (BuildGlobalModel). The strategy
+  /// must outlive the server.
+  void SetGlobalStrategy(const GlobalModelStrategy* strategy) {
+    strategy_ = strategy;
+  }
+
   /// Merges everything received so far into a global model.
   const GlobalModel& BuildGlobal();
 
@@ -45,6 +61,7 @@ class Server {
  private:
   const Metric* metric_;
   GlobalModelParams params_;
+  const GlobalModelStrategy* strategy_ = nullptr;
   std::vector<LocalModel> locals_;
   GlobalModel global_;
   double global_seconds_ = 0.0;

@@ -17,6 +17,11 @@ Site::Site(int site_id, const Metric& metric, Dataset data,
 }
 
 void Site::RunLocalPipeline(const SiteConfig& config) {
+  RunLocalClustering(config);
+  BuildModel(config);
+}
+
+void Site::RunLocalClustering(const SiteConfig& config) {
   num_threads_ = config.num_threads;
   Timer timer;
   index_ = CreateIndex(config.index_type, data_, *metric_,
@@ -25,12 +30,20 @@ void Site::RunLocalPipeline(const SiteConfig& config) {
   dbscan.threads = config.num_threads;
   local_ = RunLocalDbscan(*index_, dbscan);
   cluster_seconds_ = timer.Seconds();
+}
 
-  timer.Reset();
-  model_ = BuildLocalModel(config.model_type, *index_, local_, config.dbscan,
-                           config.kmeans, site_id_);
-  if (config.condense_eps > 0.0) {
-    model_ = CondenseLocalModel(model_, config.condense_eps, *metric_);
+void Site::BuildModel(const SiteConfig& config) {
+  DBDC_CHECK(index_ != nullptr && "RunLocalClustering must run first");
+  Timer timer;
+  if (config.model_strategy != nullptr) {
+    model_ = config.model_strategy->Build(*index_, local_, config.dbscan,
+                                          config.kmeans, site_id_);
+  } else {
+    model_ = BuildLocalModel(config.model_type, *index_, local_,
+                             config.dbscan, config.kmeans, site_id_);
+    if (config.condense_eps > 0.0) {
+      model_ = CondenseLocalModel(model_, config.condense_eps, *metric_);
+    }
   }
   model_seconds_ = timer.Seconds();
 }

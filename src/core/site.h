@@ -26,6 +26,12 @@ struct SiteConfig {
   /// for relabeling (1 = sequential, 0 = hardware concurrency). Results
   /// are bit-identical for every value.
   int num_threads = 1;
+  /// Optional explicit local-model strategy (must outlive the site). Null
+  /// (default) selects the strategy matching (model_type, condense_eps) —
+  /// bit-identical to the legacy BuildLocalModel + CondenseLocalModel
+  /// path. Appended last so existing positional aggregate initializers
+  /// keep compiling unchanged.
+  const LocalModelStrategy* model_strategy = nullptr;
 };
 
 /// A local client site (Sec. 3): owns its horizontal partition of the
@@ -48,8 +54,20 @@ class Site {
   Site(Site&&) = default;
 
   /// Phase 1+2: local DBSCAN and local model determination. Records the
-  /// wall-clock time of each phase.
+  /// wall-clock time of each phase. Equivalent to RunLocalClustering()
+  /// followed by BuildModel() — the engine drives the two stages
+  /// separately; this fused call remains for one-shot callers and tests.
   void RunLocalPipeline(const SiteConfig& config);
+
+  /// Phase 1 only (engine stage LocalCluster): builds the neighbor index
+  /// and runs the local DBSCAN. Records local_clustering_seconds().
+  void RunLocalClustering(const SiteConfig& config);
+
+  /// Phase 2 only (engine stage BuildLocalModel): derives the local model
+  /// from the clustering — via config.model_strategy when set, else the
+  /// (model_type, condense_eps) default. Requires RunLocalClustering()
+  /// first. Records model_seconds().
+  void BuildModel(const SiteConfig& config);
 
   /// The local model, serialized for transmission to the server.
   std::vector<std::uint8_t> EncodeLocalModelBytes() const;

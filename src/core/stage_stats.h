@@ -1,0 +1,52 @@
+#ifndef DBDC_CORE_STAGE_STATS_H_
+#define DBDC_CORE_STAGE_STATS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dbdc {
+
+/// The seven explicit stages of the DBDC pipeline as the engine runs it
+/// (DESIGN.md §8). The order of the enumerators is the pipeline order.
+enum class StageId {
+  kPartition = 0,       // Horizontal distribution onto the sites.
+  kLocalCluster,        // Independent local DBSCAN per site.
+  kBuildLocalModel,     // REP_Scor / REP_kMeans (+ condensation) per site.
+  kTransmit,            // Local models cross the uplink to the server.
+  kMergeGlobal,         // Server-side global model construction.
+  kBroadcast,           // Global model crosses the downlink to the sites.
+  kRelabel,             // Sites relabel their objects against the model.
+};
+
+inline constexpr int kNumStages = 7;
+
+/// Stable lower-case name for logs, tables, and the bench JSON.
+inline std::string_view StageName(StageId stage) {
+  switch (stage) {
+    case StageId::kPartition: return "partition";
+    case StageId::kLocalCluster: return "local_cluster";
+    case StageId::kBuildLocalModel: return "build_local_model";
+    case StageId::kTransmit: return "transmit";
+    case StageId::kMergeGlobal: return "merge_global";
+    case StageId::kBroadcast: return "broadcast";
+    case StageId::kRelabel: return "relabel";
+  }
+  return "unknown";
+}
+
+/// Per-stage breakdown the engine emits into DbdcResult: wall-clock
+/// seconds spent in the stage and the transport bytes the stage put on
+/// the wire (deltas of the Transport counters, so protocol overhead and
+/// retransmissions are charged to the stage that caused them — acks to a
+/// received frame count against the transfer's stage, whichever
+/// direction they travel).
+struct StageStats {
+  StageId stage = StageId::kPartition;
+  double seconds = 0.0;
+  std::uint64_t bytes_uplink = 0;
+  std::uint64_t bytes_downlink = 0;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_CORE_STAGE_STATS_H_

@@ -69,6 +69,20 @@ const LocalModel& StreamingSite::RefreshModel() {
   return model_;
 }
 
+std::vector<std::uint8_t> StreamingSite::EncodeLocalModelBytes() const {
+  return EncodeLocalModel(model_);
+}
+
+DecodeStatus StreamingSite::ApplyGlobalModelBytes(
+    std::span<const std::uint8_t> bytes,
+    std::vector<std::pair<PointId, ClusterId>>* labeled) const {
+  GlobalModel global;
+  const DecodeStatus status = DecodeGlobalModel(bytes, &global);
+  if (status != DecodeStatus::kOk) return status;
+  *labeled = ApplyGlobalModel(global);
+  return DecodeStatus::kOk;
+}
+
 std::vector<std::pair<PointId, ClusterId>> StreamingSite::ApplyGlobalModel(
     const GlobalModel& global) const {
   Dataset active(clustering_.data().dim());

@@ -8,6 +8,7 @@
 
 #include "cluster/incremental_dbscan.h"
 #include "core/local_model.h"
+#include "core/model_codec.h"
 #include "core/relabel.h"
 
 namespace dbdc {
@@ -57,10 +58,22 @@ class StreamingSite {
   /// The last refreshed model (empty before the first RefreshModel()).
   const LocalModel& local_model() const { return model_; }
 
+  /// The last refreshed model, serialized with the v3 codec for
+  /// transmission over a Transport (the continuous-mode uplink).
+  std::vector<std::uint8_t> EncodeLocalModelBytes() const;
+
   /// Relabels the *active* points against a received global model;
   /// returns (active point id, global label) pairs.
   std::vector<std::pair<PointId, ClusterId>> ApplyGlobalModel(
       const GlobalModel& global) const;
+
+  /// Broadcast-receiving variant: decodes `bytes` with the v3 codec and,
+  /// on kOk, relabels the active points into `*labeled` (as
+  /// ApplyGlobalModel). On anything but kOk, `*labeled` is untouched and
+  /// the status says why the payload was rejected.
+  DecodeStatus ApplyGlobalModelBytes(
+      std::span<const std::uint8_t> bytes,
+      std::vector<std::pair<PointId, ClusterId>>* labeled) const;
 
   const IncrementalDbscan& clustering() const { return clustering_; }
   int site_id() const { return site_id_; }

@@ -1,0 +1,530 @@
+// Golden byte-identity suite for the DbdcEngine refactor (ISSUE 4):
+// `ReferenceRunDbdc` below is the pre-refactor monolithic RunDbdc body,
+// frozen verbatim at the commit that introduced the engine. Every test
+// runs both implementations on identically-seeded transports and asserts
+// the results match bit for bit — labels, the full global model, wire
+// byte counters, degraded-mode breakdown, and protocol counters — across
+// the {model_type, index_type, protocol on/off, num_threads,
+// parallel_sites} matrix. A divergence means the staged engine changed
+// observable behavior, which the refactor contract forbids.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dbdc.h"
+#include "core/engine.h"
+#include "core/optics_global.h"
+#include "data/generators.h"
+#include "distrib/fault.h"
+#include "distrib/network.h"
+#include "distrib/protocol.h"
+
+namespace dbdc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The frozen pre-refactor monolith (verbatim, helpers included). Uses only
+// public APIs, so it keeps compiling as long as those stay stable.
+
+void AccumulateProtocolCounters(const TransferOutcome& outcome,
+                                DbdcResult* result) {
+  result->protocol_retries += static_cast<std::uint64_t>(outcome.retries);
+  result->frames_dropped += static_cast<std::uint64_t>(outcome.data_drops);
+  result->frames_corrupted +=
+      static_cast<std::uint64_t>(outcome.data_corruptions);
+  result->acks_lost += static_cast<std::uint64_t>(outcome.ack_losses);
+}
+
+std::vector<std::uint8_t> DeliveredPayload(const Transport& network,
+                                           const TransferOutcome& outcome) {
+  DBDC_CHECK(outcome.delivered);
+  std::optional<Frame> frame =
+      DecodeFrame(network.Message(outcome.delivered_index).payload);
+  DBDC_CHECK(frame.has_value() && "delivered frame no longer decodes");
+  return std::move(frame->payload);
+}
+
+DbdcResult ReferenceRunDbdc(const Dataset& data, const Metric& metric,
+                            const DbdcConfig& config, Transport* network) {
+  DBDC_CHECK(config.num_sites >= 1);
+  SimulatedNetwork own_network;
+  if (network == nullptr) network = &own_network;
+
+  const UniformRandomPartitioner default_partitioner;
+  const Partitioner* partitioner = config.partitioner != nullptr
+                                       ? config.partitioner
+                                       : &default_partitioner;
+  Rng rng(config.seed);
+  const std::vector<std::vector<PointId>> parts =
+      partitioner->Partition(data, config.num_sites, &rng);
+
+  std::vector<Site> sites;
+  sites.reserve(parts.size());
+  for (int s = 0; s < config.num_sites; ++s) {
+    Dataset site_data(data.dim());
+    site_data.Reserve(parts[s].size());
+    for (const PointId id : parts[s]) site_data.Add(data.point(id));
+    sites.emplace_back(s, metric, std::move(site_data), parts[s]);
+  }
+
+  const SiteConfig site_config{config.local_dbscan, config.model_type,
+                               config.kmeans, config.index_type,
+                               config.condense_eps, config.num_threads};
+  DbdcResult result;
+  result.site_sizes.reserve(sites.size());
+  if (config.parallel_sites) {
+    std::vector<std::thread> workers;
+    workers.reserve(sites.size());
+    for (Site& site : sites) {
+      workers.emplace_back(
+          [&site, &site_config] { site.RunLocalPipeline(site_config); });
+    }
+    for (std::thread& worker : workers) worker.join();
+  } else {
+    for (Site& site : sites) site.RunLocalPipeline(site_config);
+  }
+  for (Site& site : sites) {
+    result.site_sizes.push_back(site.data().size());
+    const double local_seconds =
+        site.local_clustering_seconds() + site.model_seconds();
+    result.max_local_seconds =
+        std::max(result.max_local_seconds, local_seconds);
+    result.sum_local_seconds += local_seconds;
+  }
+
+  GlobalModelParams global_params;
+  global_params.eps_global = config.eps_global;
+  global_params.min_pts_global = 2;
+  global_params.index_type = config.index_type;
+  global_params.min_weight_global = config.min_weight_global;
+  global_params.num_threads = config.num_threads;
+  Server server(metric, global_params);
+
+  ReliableChannel channel(network, config.protocol);
+  if (!config.protocol.enabled) {
+    for (Site& site : sites) {
+      result.num_representatives += site.local_model().representatives.size();
+      network->Send(site.site_id(), kServerEndpoint,
+                    site.EncodeLocalModelBytes());
+    }
+    for (const NetworkMessage* msg : network->Inbox(kServerEndpoint)) {
+      const DecodeStatus status = server.AddLocalModelBytes(msg->payload);
+      DBDC_CHECK(status == DecodeStatus::kOk &&
+                 "local model payload failed to decode");
+    }
+    result.sites_reporting = config.num_sites;
+  } else {
+    for (Site& site : sites) {
+      const TransferOutcome up = channel.Transfer(
+          site.site_id(), kServerEndpoint, site.EncodeLocalModelBytes());
+      AccumulateProtocolCounters(up, &result);
+      bool accepted =
+          up.delivered &&
+          up.delivered_seconds <= config.protocol.collection_deadline_sec;
+      if (accepted) {
+        accepted = server.AddLocalModelBytes(
+                       DeliveredPayload(*network, up)) == DecodeStatus::kOk;
+      }
+      if (accepted) {
+        ++result.sites_reporting;
+        result.num_representatives +=
+            site.local_model().representatives.size();
+      } else {
+        result.failed_site_ids.push_back(site.site_id());
+      }
+    }
+  }
+  result.sites_failed = config.num_sites - result.sites_reporting;
+
+  server.BuildGlobal();
+  result.global_seconds = server.global_clustering_seconds();
+  result.eps_global_used = server.global_model().eps_global_used;
+
+  const std::vector<std::uint8_t> global_bytes =
+      server.EncodeGlobalModelBytes();
+  const RelabelContext relabel_context(server.global_model(), metric);
+  result.labels.assign(data.size(), kNoise);
+  for (Site& site : sites) {
+    std::vector<std::uint8_t> received;
+    if (!config.protocol.enabled) {
+      network->Send(kServerEndpoint, site.site_id(), global_bytes);
+      received = global_bytes;
+    } else {
+      const TransferOutcome down =
+          channel.Transfer(kServerEndpoint, site.site_id(), global_bytes);
+      AccumulateProtocolCounters(down, &result);
+      if (!down.delivered) continue;
+      received = DeliveredPayload(*network, down);
+    }
+    const DecodeStatus status =
+        site.ApplyGlobalModelBytes(received, &relabel_context);
+    if (!config.protocol.enabled) {
+      DBDC_CHECK(status == DecodeStatus::kOk &&
+                 "global model payload failed to decode");
+    } else if (status != DecodeStatus::kOk) {
+      continue;
+    }
+    ++result.sites_relabeled;
+    result.max_relabel_seconds =
+        std::max(result.max_relabel_seconds, site.relabel_seconds());
+    const std::vector<ClusterId>& labels = site.global_labels();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      result.labels[site.origin_ids()[i]] = labels[i];
+    }
+  }
+
+  result.num_global_clusters = server.global_model().num_global_clusters;
+  result.bytes_uplink = network->BytesUplink();
+  result.bytes_downlink = network->BytesDownlink();
+  result.global_model = server.global_model();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity assertions.
+
+void ExpectGlobalModelsIdentical(const GlobalModel& a, const GlobalModel& b) {
+  ASSERT_EQ(a.NumRepresentatives(), b.NumRepresentatives());
+  EXPECT_EQ(a.num_global_clusters, b.num_global_clusters);
+  EXPECT_EQ(a.eps_global_used, b.eps_global_used);
+  EXPECT_EQ(a.rep_eps, b.rep_eps);
+  EXPECT_EQ(a.rep_weight, b.rep_weight);
+  EXPECT_EQ(a.rep_global_cluster, b.rep_global_cluster);
+  EXPECT_EQ(a.rep_site, b.rep_site);
+  EXPECT_EQ(a.rep_local_cluster, b.rep_local_cluster);
+  ASSERT_EQ(a.rep_points.size(), b.rep_points.size());
+  for (std::size_t i = 0; i < a.rep_points.size(); ++i) {
+    const auto pa = a.rep_points.point(i);
+    const auto pb = b.rep_points.point(i);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t d = 0; d < pa.size(); ++d) {
+      EXPECT_EQ(pa[d], pb[d]) << "rep " << i << " axis " << d;
+    }
+  }
+}
+
+void ExpectResultsIdentical(const DbdcResult& engine,
+                            const DbdcResult& reference) {
+  EXPECT_EQ(engine.labels, reference.labels);
+  EXPECT_EQ(engine.num_global_clusters, reference.num_global_clusters);
+  EXPECT_EQ(engine.num_representatives, reference.num_representatives);
+  EXPECT_EQ(engine.bytes_uplink, reference.bytes_uplink);
+  EXPECT_EQ(engine.bytes_downlink, reference.bytes_downlink);
+  EXPECT_EQ(engine.eps_global_used, reference.eps_global_used);
+  EXPECT_EQ(engine.site_sizes, reference.site_sizes);
+  EXPECT_EQ(engine.sites_reporting, reference.sites_reporting);
+  EXPECT_EQ(engine.sites_failed, reference.sites_failed);
+  EXPECT_EQ(engine.failed_site_ids, reference.failed_site_ids);
+  EXPECT_EQ(engine.sites_relabeled, reference.sites_relabeled);
+  EXPECT_EQ(engine.protocol_retries, reference.protocol_retries);
+  EXPECT_EQ(engine.frames_dropped, reference.frames_dropped);
+  EXPECT_EQ(engine.frames_corrupted, reference.frames_corrupted);
+  EXPECT_EQ(engine.acks_lost, reference.acks_lost);
+  ExpectGlobalModelsIdentical(engine.global_model, reference.global_model);
+}
+
+// ---------------------------------------------------------------------------
+// The configuration matrix.
+
+struct MatrixCase {
+  std::string name;
+  DbdcConfig config;
+  /// Engaged = run both sides over identically-seeded FaultyNetworks.
+  std::optional<FaultSpec> faults;
+};
+
+DbdcConfig BaseConfig(const SyntheticDataset& dataset) {
+  DbdcConfig config;
+  config.local_dbscan = dataset.suggested_params;
+  config.num_sites = 4;
+  config.seed = 42;
+  return config;
+}
+
+std::vector<MatrixCase> BuildMatrix(const SyntheticDataset& dataset) {
+  std::vector<MatrixCase> cases;
+  const DbdcConfig base = BaseConfig(dataset);
+
+  cases.push_back({"defaults_scor_grid", base, std::nullopt});
+
+  {
+    DbdcConfig c = base;
+    c.model_type = LocalModelType::kKMeans;
+    cases.push_back({"kmeans_model", c, std::nullopt});
+  }
+  for (const IndexType index :
+       {IndexType::kLinearScan, IndexType::kKdTree, IndexType::kRStarTree}) {
+    DbdcConfig c = base;
+    c.index_type = index;
+    cases.push_back({"index_" + std::string(IndexTypeName(index)), c,
+                     std::nullopt});
+  }
+  {
+    DbdcConfig c = base;
+    c.condense_eps = 0.8 * c.local_dbscan.eps;
+    cases.push_back({"condensed_model", c, std::nullopt});
+  }
+  {
+    DbdcConfig c = base;
+    c.min_weight_global = 4;
+    cases.push_back({"weighted_global_core", c, std::nullopt});
+  }
+  {
+    DbdcConfig c = base;
+    c.eps_global = 2.0 * c.local_dbscan.eps;
+    cases.push_back({"explicit_eps_global", c, std::nullopt});
+  }
+  {
+    DbdcConfig c = base;
+    c.num_threads = 4;
+    cases.push_back({"intra_site_threads", c, std::nullopt});
+  }
+  {
+    DbdcConfig c = base;
+    c.parallel_sites = true;
+    cases.push_back({"parallel_sites", c, std::nullopt});
+  }
+  {
+    DbdcConfig c = base;
+    c.parallel_sites = true;
+    c.num_threads = 2;
+    c.num_sites = 7;
+    cases.push_back({"parallel_sites_and_threads", c, std::nullopt});
+  }
+  {
+    DbdcConfig c = base;
+    c.num_sites = 1;
+    cases.push_back({"single_site", c, std::nullopt});
+  }
+  {
+    DbdcConfig c = base;
+    c.protocol.enabled = true;
+    cases.push_back({"protocol_lossless", c, std::nullopt});
+  }
+  {
+    DbdcConfig c = base;
+    c.protocol.enabled = true;
+    c.protocol.max_attempts = 3;
+    FaultSpec faults;
+    faults.drop_rate = 0.2;
+    faults.corrupt_rate = 0.1;
+    faults.seed = 99;
+    cases.push_back({"protocol_lossy", c, faults});
+  }
+  {
+    DbdcConfig c = base;
+    c.protocol.enabled = true;
+    c.protocol.collection_deadline_sec = 5.0;
+    FaultSpec faults;
+    faults.failed_sites = {1};
+    faults.straggler_sites = {3};
+    faults.straggler_delay_sec = 60.0;
+    faults.seed = 7;
+    cases.push_back({"protocol_dead_and_straggler", c, faults});
+  }
+  return cases;
+}
+
+class EngineEquivalenceTest : public ::testing::Test {
+ protected:
+  SyntheticDataset dataset_ = MakeTestDatasetC();
+};
+
+TEST_F(EngineEquivalenceTest, MatrixMatchesFrozenReferenceBitForBit) {
+  for (const MatrixCase& matrix_case : BuildMatrix(dataset_)) {
+    SCOPED_TRACE(matrix_case.name);
+
+    SimulatedNetwork reference_inner;
+    SimulatedNetwork engine_inner;
+    std::optional<FaultyNetwork> reference_net;
+    std::optional<FaultyNetwork> engine_net;
+    Transport* reference_transport = &reference_inner;
+    Transport* engine_transport = &engine_inner;
+    if (matrix_case.faults.has_value()) {
+      reference_net.emplace(&reference_inner, *matrix_case.faults);
+      engine_net.emplace(&engine_inner, *matrix_case.faults);
+      reference_transport = &*reference_net;
+      engine_transport = &*engine_net;
+    }
+
+    const DbdcResult reference = ReferenceRunDbdc(
+        dataset_.data, Euclidean(), matrix_case.config, reference_transport);
+    const DbdcResult engine = RunDbdc(dataset_.data, Euclidean(),
+                                      matrix_case.config, engine_transport);
+    ExpectResultsIdentical(engine, reference);
+  }
+}
+
+// Driving the seven stages one at a time is the same run as Run() — the
+// wrapper adds nothing beyond stage order.
+TEST_F(EngineEquivalenceTest, ManualStageDrivingMatchesRun) {
+  DbdcConfig config = BaseConfig(dataset_);
+  config.protocol.enabled = true;
+
+  const DbdcResult via_run = RunDbdc(dataset_.data, Euclidean(), config);
+
+  DbdcEngine engine(dataset_.data, Euclidean(), config);
+  engine.Partition();
+  engine.LocalCluster();
+  engine.BuildLocalModel();
+  engine.Transmit();
+  engine.MergeGlobal();
+  engine.Broadcast();
+  engine.Relabel();
+  const DbdcResult manual = engine.TakeResult();
+
+  ExpectResultsIdentical(manual, via_run);
+}
+
+// ---------------------------------------------------------------------------
+// Stage stats: the per-stage byte deltas must tile the transport totals,
+// stages must appear once each in pipeline order, and traffic must land
+// on the stages that caused it.
+
+TEST_F(EngineEquivalenceTest, StageStatsTileTheByteCounters) {
+  for (const bool protocol : {false, true}) {
+    SCOPED_TRACE(protocol ? "protocol" : "raw");
+    DbdcConfig config = BaseConfig(dataset_);
+    config.protocol.enabled = protocol;
+    const DbdcResult result = RunDbdc(dataset_.data, Euclidean(), config);
+
+    ASSERT_EQ(result.stage_stats.size(),
+              static_cast<std::size_t>(kNumStages));
+    std::uint64_t uplink = 0;
+    std::uint64_t downlink = 0;
+    for (int i = 0; i < kNumStages; ++i) {
+      EXPECT_EQ(result.stage_stats[i].stage, static_cast<StageId>(i));
+      EXPECT_GE(result.stage_stats[i].seconds, 0.0);
+      uplink += result.stage_stats[i].bytes_uplink;
+      downlink += result.stage_stats[i].bytes_downlink;
+    }
+    EXPECT_EQ(uplink, result.bytes_uplink);
+    EXPECT_EQ(downlink, result.bytes_downlink);
+
+    const StageStats& transmit =
+        result.stage_stats[static_cast<int>(StageId::kTransmit)];
+    const StageStats& broadcast =
+        result.stage_stats[static_cast<int>(StageId::kBroadcast)];
+    EXPECT_GT(transmit.bytes_uplink, 0u);
+    EXPECT_GT(broadcast.bytes_downlink, 0u);
+    // Model payloads only cross the wire in transmit/broadcast; without
+    // the protocol no other stage may move a byte (with it, acks flow in
+    // the opposite direction of their stage's transfer).
+    for (const StageId stage :
+         {StageId::kPartition, StageId::kLocalCluster,
+          StageId::kBuildLocalModel, StageId::kMergeGlobal,
+          StageId::kRelabel}) {
+      EXPECT_EQ(result.stage_stats[static_cast<int>(stage)].bytes_uplink, 0u);
+      EXPECT_EQ(result.stage_stats[static_cast<int>(stage)].bytes_downlink,
+                0u);
+    }
+    if (!protocol) {
+      EXPECT_EQ(transmit.bytes_downlink, 0u);
+      EXPECT_EQ(broadcast.bytes_uplink, 0u);
+    } else {
+      // Acks: the server acks every uplink frame (downlink bytes in the
+      // transmit stage), sites ack the broadcast (uplink bytes there).
+      EXPECT_GT(transmit.bytes_downlink, 0u);
+      EXPECT_GT(broadcast.bytes_uplink, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The OPTICS-global path through the engine: same uplink traffic as the
+// DBSCAN merge (the stages up to Transmit are shared), and the global
+// model equals extracting directly from an OpticsGlobalModelBuilder over
+// the transmitted local models — i.e. the strategy is the old side path,
+// now with full byte accounting.
+
+TEST_F(EngineEquivalenceTest, OpticsStrategyMatchesDirectBuilder) {
+  const DbdcConfig config = BaseConfig(dataset_);
+
+  const DbdcResult optics =
+      RunDbdcOptics(dataset_.data, Euclidean(), config);
+  const DbdcResult dbscan = RunDbdc(dataset_.data, Euclidean(), config);
+
+  // Shared pipeline prefix: identical partitions, models, uplink bytes.
+  EXPECT_EQ(optics.num_representatives, dbscan.num_representatives);
+  EXPECT_EQ(optics.site_sizes, dbscan.site_sizes);
+  const StageStats& optics_transmit =
+      optics.stage_stats[static_cast<int>(StageId::kTransmit)];
+  const StageStats& dbscan_transmit =
+      dbscan.stage_stats[static_cast<int>(StageId::kTransmit)];
+  EXPECT_EQ(optics_transmit.bytes_uplink, dbscan_transmit.bytes_uplink);
+
+  // The strategy's output is the direct builder's extraction.
+  DbdcEngine probe(dataset_.data, Euclidean(), config);
+  probe.Partition();
+  probe.LocalCluster();
+  probe.BuildLocalModel();
+  probe.Transmit();
+  const OpticsGlobalModelBuilder builder(probe.server().local_models(),
+                                         Euclidean());
+  const GlobalModel direct = builder.Extract(builder.default_eps_global());
+  ExpectGlobalModelsIdentical(optics.global_model, direct);
+  EXPECT_EQ(optics.eps_global_used, builder.default_eps_global());
+
+  // And the labels are a faithful relabeling: every point labeled, label
+  // ids within range.
+  ASSERT_EQ(optics.labels.size(), dataset_.data.size());
+  for (const ClusterId label : optics.labels) {
+    EXPECT_GE(label, kNoise);
+    EXPECT_LT(label, optics.num_global_clusters);
+  }
+}
+
+// Degraded mode flows through the OPTICS strategy unchanged: a dead site
+// is excluded from the ordering and reported as failed.
+TEST_F(EngineEquivalenceTest, OpticsStrategyInheritsDegradedMode) {
+  DbdcConfig config = BaseConfig(dataset_);
+  config.protocol.enabled = true;
+
+  FaultSpec faults;
+  faults.failed_sites = {2};
+  faults.seed = 11;
+  SimulatedNetwork inner;
+  FaultyNetwork net(&inner, faults);
+
+  const DbdcResult result =
+      RunDbdcOptics(dataset_.data, Euclidean(), config, &net);
+  EXPECT_EQ(result.sites_reporting, config.num_sites - 1);
+  EXPECT_EQ(result.sites_failed, 1);
+  ASSERT_EQ(result.failed_site_ids.size(), 1u);
+  EXPECT_EQ(result.failed_site_ids[0], 2);
+  // The dead site contributed nothing to the ordering.
+  for (const int site : result.global_model.rep_site) {
+    EXPECT_NE(site, 2);
+  }
+  EXPECT_GT(result.num_global_clusters, 0);
+}
+
+// The local-model strategy seam: an explicit strategy mirroring the
+// legacy (model_type, condense_eps) pair reproduces the default path.
+TEST_F(EngineEquivalenceTest, ExplicitLocalStrategyMatchesLegacyKnobs) {
+  DbdcConfig config = BaseConfig(dataset_);
+  config.condense_eps = 0.8 * config.local_dbscan.eps;
+
+  const DbdcResult legacy = RunDbdc(dataset_.data, Euclidean(), config);
+
+  const std::unique_ptr<LocalModelStrategy> strategy =
+      MakeLocalModelStrategy(config.model_type, config.condense_eps,
+                             Euclidean());
+  DbdcEngine engine(dataset_.data, Euclidean(), config);
+  engine.SetLocalModelStrategy(strategy.get());
+  const DbdcResult explicit_strategy = engine.Run();
+
+  ExpectResultsIdentical(explicit_strategy, legacy);
+}
+
+}  // namespace
+}  // namespace dbdc

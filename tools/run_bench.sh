@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Builds (if needed) and runs the machine-readable benchmarks, writing the
-# perf baseline to BENCH_parallel.json and the fault-tolerance sweep to
-# BENCH_fault.json at the repo root.
+# perf baseline to BENCH_parallel.json, the fault-tolerance sweep to
+# BENCH_fault.json, and the continuous-mode economics to
+# BENCH_continuous.json at the repo root.
 #
 # Usage:
-#   tools/run_bench.sh [--quick] [--out FILE] [--fault-out FILE] [BUILD_DIR]
+#   tools/run_bench.sh [--quick] [--out FILE] [--fault-out FILE] \
+#                      [--continuous-out FILE] [BUILD_DIR]
 #
 #   --quick     Shrunk datasets + sweeps; for CI smoke runs.
 #   --out FILE  Parallel-bench output (default: BENCH_parallel.json).
 #   --fault-out FILE  Fault-bench output (default: BENCH_fault.json).
+#   --continuous-out FILE  Continuous-bench output
+#               (default: BENCH_continuous.json).
 #   BUILD_DIR   Existing build tree to use (default: build-release/ via the
 #               `release` preset, falling back to build/ when it already
 #               contains the benchmark targets).
@@ -24,13 +28,15 @@ cd "$repo_root"
 quick_flag=""
 out_file="$repo_root/BENCH_parallel.json"
 fault_out_file="$repo_root/BENCH_fault.json"
+continuous_out_file="$repo_root/BENCH_continuous.json"
 build_dir=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick_flag="--quick"; shift ;;
     --out) out_file="$2"; shift 2 ;;
     --fault-out) fault_out_file="$2"; shift 2 ;;
-    -h|--help) sed -n '2,18p' "$0"; exit 0 ;;
+    --continuous-out) continuous_out_file="$2"; shift 2 ;;
+    -h|--help) sed -n '2,23p' "$0"; exit 0 ;;
     *) build_dir="$1"; shift ;;
   esac
 done
@@ -52,6 +58,7 @@ if [[ -z "$build_dir" ]]; then
 fi
 cmake --build "$build_dir" \
       --target bench_parallel_scaling bench_fault_tolerance \
+               bench_continuous \
       -j "$(nproc 2>/dev/null || echo 4)" >/dev/null || exit 1
 
 echo "run_bench.sh: running $build_dir/$bench_rel $quick_flag" \
@@ -149,4 +156,60 @@ else
     fi
   done
   echo "run_bench.sh: fault key check OK." >&2
+fi
+
+# --- Continuous-mode economics ---------------------------------------------
+continuous_rel="bench/bench_continuous"
+echo "run_bench.sh: running $build_dir/$continuous_rel $quick_flag" \
+     "-> $continuous_out_file" >&2
+"$build_dir/$continuous_rel" $quick_flag --out "$continuous_out_file" \
+    || exit 1
+
+if [[ ! -s "$continuous_out_file" ]]; then
+  echo "run_bench.sh: $continuous_out_file missing or empty." >&2
+  exit 1
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$continuous_out_file" <<'PY' || exit 1
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "dbdc-continuous-bench-v1", doc.get("schema")
+assert isinstance(doc["quick"], bool)
+assert isinstance(doc["num_sites"], int) and doc["num_sites"] >= 1
+assert isinstance(doc["ticks"], int) and doc["ticks"] >= 1
+cont, naive = doc["continuous"], doc["naive"]
+for key in ("bytes_uplink", "bytes_downlink", "refreshes_sent",
+            "refreshes_applied", "global_rebuilds", "broadcasts_delivered",
+            "virtual_seconds"):
+    assert key in cont, f"continuous missing {key}"
+for key in ("bytes_uplink", "bytes_downlink", "runs"):
+    assert key in naive, f"naive missing {key}"
+assert cont["bytes_uplink"] > 0 and naive["bytes_uplink"] > 0
+assert cont["refreshes_applied"] <= cont["refreshes_sent"]
+assert cont["global_rebuilds"] >= 1
+stages = doc["batch_stage_stats"]
+assert isinstance(stages, list) and len(stages) == 7, stages
+assert [s["stage"] for s in stages] == [
+    "partition", "local_cluster", "build_local_model", "transmit",
+    "merge_global", "broadcast", "relabel"]
+assert sum(s["bytes_uplink"] for s in stages) > 0
+# The acceptance criterion: continuous mode must beat naive per-tick
+# batch re-runs by at least 5x on uplink bytes.
+assert doc["uplink_savings"] >= 5.0, \
+    f"continuous uplink savings below 5x: {doc['uplink_savings']}"
+print(f"run_bench.sh: continuous schema OK "
+      f"(uplink savings {doc['uplink_savings']:.1f}x, "
+      f"{cont['global_rebuilds']} rebuilds over {doc['ticks']} ticks).")
+PY
+else
+  for key in '"schema": "dbdc-continuous-bench-v1"' '"continuous"' \
+             '"naive"' '"uplink_savings"' '"batch_stage_stats"'; do
+    if ! grep -qF "$key" "$continuous_out_file"; then
+      echo "run_bench.sh: $continuous_out_file missing expected key $key" >&2
+      exit 1
+    fi
+  done
+  echo "run_bench.sh: continuous key check OK." >&2
 fi
