@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   using dbdc::bench::Fmt;
   dbdc::bench::HarnessOptions options;
   if (!dbdc::bench::ParseHarnessOptions(argc, argv, &options)) return 2;
+  const dbdc::bench::HarnessMetrics metrics;
   const bool quick = options.quick;
 
   const int num_sites = quick ? 4 : 8;
@@ -190,7 +191,8 @@ int main(int argc, char** argv) {
     out << "  \"downlink_savings\": " << Fmt("%.4f", downlink_savings)
         << ",\n";
     out << "  \"batch_stage_stats\": "
-        << dbdc::bench::StageStatsJson(last_batch.stage_stats) << "\n";
+        << dbdc::bench::StageStatsJson(last_batch.stage_stats) << ",\n";
+    out << "  \"metrics\": " << metrics.Json() << "\n";
     out << "}\n";
     std::printf("wrote %s\n", options.out_path.c_str());
   }

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   using dbdc::bench::Fmt;
   dbdc::bench::HarnessOptions options;
   if (!dbdc::bench::ParseHarnessOptions(argc, argv, &options)) return 2;
+  const dbdc::bench::HarnessMetrics metrics;
   const bool quick = options.quick;
   const std::string& out_path = options.out_path;
 
@@ -165,7 +166,8 @@ int main(int argc, char** argv) {
           << ", \"noise_fraction\": " << Fmt("%.6f", r.noise_fraction) << "}"
           << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    out << "  ]\n";
+    out << "  ],\n";
+    out << "  \"metrics\": " << metrics.Json() << "\n";
     out << "}\n";
     std::printf("wrote %s\n", out_path.c_str());
   }

@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
   using dbdc::bench::MedianSeconds;
   dbdc::bench::HarnessOptions options;
   if (!dbdc::bench::ParseHarnessOptions(argc, argv, &options)) return 2;
+  const dbdc::bench::HarnessMetrics metrics;
   const bool quick = options.quick;
   const std::string& out_path = options.out_path;
 
@@ -273,7 +274,8 @@ int main(int argc, char** argv) {
           << ", \"speedup\": " << Fmt("%.4f", r.speedup) << "}"
           << (i + 1 < fastpath.size() ? "," : "") << "\n";
     }
-    out << "  ]\n";
+    out << "  ],\n";
+    out << "  \"metrics\": " << metrics.Json() << "\n";
     out << "}\n";
     std::printf("wrote %s\n", out_path.c_str());
   }

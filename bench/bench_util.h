@@ -11,6 +11,7 @@
 #include "core/dbdc.h"
 #include "core/stage_stats.h"
 #include "data/generators.h"
+#include "obs/metrics.h"
 
 namespace dbdc::bench {
 
@@ -94,6 +95,25 @@ inline bool ParseHarnessOptions(int argc, char** argv,
   }
   return true;
 }
+
+/// Attaches a MetricsRegistry as the process-global registry for the
+/// harness's lifetime, so the bench JSON can embed a "metrics" block
+/// (Json()) covering everything the run did. The overhead of enabled
+/// metrics is a few relaxed atomic adds per ε-query — negligible against
+/// the workloads these harnesses time.
+class HarnessMetrics {
+ public:
+  HarnessMetrics() { obs::SetGlobalMetrics(&registry_); }
+  ~HarnessMetrics() { obs::SetGlobalMetrics(nullptr); }
+  HarnessMetrics(const HarnessMetrics&) = delete;
+  HarnessMetrics& operator=(const HarnessMetrics&) = delete;
+
+  /// The MetricsSnapshot::Json() of everything counted so far.
+  std::string Json() const { return registry_.Snapshot().Json(); }
+
+ private:
+  obs::MetricsRegistry registry_;
+};
 
 /// Median of timing samples (odd-biased: element n/2 of the sorted run).
 inline double MedianSeconds(const std::vector<double>& samples) {

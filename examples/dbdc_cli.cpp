@@ -1,10 +1,15 @@
 // Command-line DBDC: cluster a CSV of points, centrally or distributed.
 //
-//   dbdc_cli <input.csv> [options]
-//     --mode central|dbdc        (default dbdc)
-//     --eps <double>             Eps_local (default 1.0)
-//     --minpts <int>             MinPts (default 5)
-//     --sites <int>              number of sites (default 4)
+//   dbdc_cli <input.csv|gen:A|gen:B|gen:C> [options]
+//     --mode central|dbdc|continuous   (default dbdc). continuous feeds
+//                                the partitioned input as a stream into
+//                                StreamingSites and runs ContinuousDbdc
+//                                ticks instead of one batch pipeline
+//     --eps <double>             Eps_local > 0 (default 1.0, or the
+//                                generator's calibrated value for gen:*)
+//     --minpts <int>             MinPts >= 1 (default 5, or the
+//                                generator's calibrated value for gen:*)
+//     --sites <int>              number of sites >= 1 (default 4)
 //     --model scor|kmeans        local model (default scor)
 //     --global dbscan|optics     global merge strategy (default dbscan);
 //                                optics extracts the global clusters from
@@ -13,35 +18,152 @@
 //     --index linear|grid|kdtree|rstar|rstar_bulk|mtree|vptree (default grid)
 //     --metric euclidean|manhattan|chebyshev   (default euclidean)
 //     --seed <uint>              partitioning seed (default 42)
-//     --condense <double>        pre-transmission condensation radius
+//     --condense <double>        pre-transmission condensation radius >= 0
 //     --min-weight <uint>        weighted global core condition (0 = off)
 //     --threads <int>            intra-site worker threads (0 = hardware
 //                                concurrency, default 1); identical labels
 //                                for every value
+//     --ticks <int>              continuous mode: stream length >= 1
+//                                (default 20); each tick feeds every site
+//                                its next slice of points, then Tick()s
+//     --protocol                 frame/checksum/ack/retry the transfers
+//                                (dbdc + continuous modes)
+//     --drop <double>            fault injection: message drop
+//                                probability in [0, 1]
+//     --corrupt <double>         fault injection: message corruption
+//                                probability in [0, 1]
+//     --fault-seed <uint>        seed of the fault stream (default 1)
 //     --stages                   print the per-stage time/byte breakdown
+//     --trace <trace.json>       record a Chrome trace_event file of the
+//                                run (open in chrome://tracing / Perfetto)
+//     --metrics                  print the metrics-registry snapshot and
+//                                reconcile it against the wire counters
 //     --out <labels.csv>         write "x,...,label" rows
+//
+// The gen:A / gen:B / gen:C pseudo-inputs generate the paper's test data
+// sets in-process (Fig. 6), so traces and metrics can be produced without
+// a CSV on disk.
 //
 // Example:
 //   dbdc_cli points.csv --eps 1.2 --minpts 5 --sites 8 --out labeled.csv
+//   dbdc_cli gen:A --trace trace.json --metrics
 
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/dbdc.h"
+#include "core/engine.h"
+#include "data/generators.h"
 #include "data/io.h"
+#include "distrib/fault.h"
+#include "distrib/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <input.csv> [--mode central|dbdc] [--eps E] "
+               "usage: %s <input.csv|gen:A|gen:B|gen:C> "
+               "[--mode central|dbdc|continuous] [--eps E] "
                "[--minpts M] [--sites K] [--model scor|kmeans] "
                "[--global dbscan|optics] [--eps-global G] [--index TYPE] "
                "[--metric NAME] [--seed S] [--condense R] [--min-weight W] "
-               "[--threads T] [--stages] [--out labels.csv]\n",
+               "[--threads T] [--ticks N] [--protocol] [--drop P] "
+               "[--corrupt P] [--fault-seed S] [--stages] "
+               "[--trace trace.json] [--metrics] [--out labels.csv]\n",
                argv0);
   std::exit(2);
+}
+
+// Flag-value parsers: the whole argument must parse and lie in range, or
+// the run aborts naming the offending flag. atof/atoi silently turned
+// "0.5x" into 0.5 and "12abc" into 12 — and atoi's behavior on
+// out-of-range input is undefined.
+
+double ParseDoubleFlag(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n", flag,
+                 text);
+    std::exit(2);
+  }
+  if (errno == ERANGE || !std::isfinite(value)) {
+    std::fprintf(stderr, "error: %s value '%s' is out of range\n", flag,
+                 text);
+    std::exit(2);
+  }
+  return value;
+}
+
+double ParseDoubleFlagMin(const char* flag, const char* text, double min,
+                          bool exclusive) {
+  const double value = ParseDoubleFlag(flag, text);
+  if (exclusive ? value <= min : value < min) {
+    std::fprintf(stderr, "error: %s must be %s %g, got '%s'\n", flag,
+                 exclusive ? ">" : ">=", min, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+double ParseProbabilityFlag(const char* flag, const char* text) {
+  const double value = ParseDoubleFlag(flag, text);
+  if (value < 0.0 || value > 1.0) {
+    std::fprintf(stderr, "error: %s must be in [0, 1], got '%s'\n", flag,
+                 text);
+    std::exit(2);
+  }
+  return value;
+}
+
+int ParseIntFlag(const char* flag, const char* text, int min) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "error: %s expects an integer, got '%s'\n", flag,
+                 text);
+    std::exit(2);
+  }
+  if (errno == ERANGE || value < min || value > INT_MAX) {
+    std::fprintf(stderr, "error: %s must be in [%d, %d], got '%s'\n", flag,
+                 min, INT_MAX, text);
+    std::exit(2);
+  }
+  return static_cast<int>(value);
+}
+
+std::uint64_t ParseUint64Flag(const char* flag, const char* text,
+                              std::uint64_t max) {
+  errno = 0;
+  char* end = nullptr;
+  if (*text == '-') {
+    std::fprintf(stderr, "error: %s expects a non-negative integer, "
+                 "got '%s'\n", flag, text);
+    std::exit(2);
+  }
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "error: %s expects an integer, got '%s'\n", flag,
+                 text);
+    std::exit(2);
+  }
+  if (errno == ERANGE || value > max) {
+    std::fprintf(stderr, "error: %s value '%s' is out of range\n", flag,
+                 text);
+    std::exit(2);
+  }
+  return value;
 }
 
 void PrintStageBreakdown(const dbdc::DbdcResult& result) {
@@ -55,17 +177,92 @@ void PrintStageBreakdown(const dbdc::DbdcResult& result) {
   }
 }
 
+void PrintMetrics(const dbdc::obs::MetricsSnapshot& snap) {
+  std::printf("metrics:\n");
+  for (int c = 0; c < dbdc::obs::kNumCounters; ++c) {
+    const auto counter = static_cast<dbdc::obs::Counter>(c);
+    const std::uint64_t value = snap.counter(counter);
+    if (value == 0) continue;
+    std::printf("  %-28s %12llu\n",
+                std::string(dbdc::obs::CounterName(counter)).c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  for (int g = 0; g < dbdc::obs::kNumGauges; ++g) {
+    const auto gauge = static_cast<dbdc::obs::Gauge>(g);
+    const double value = snap.gauge(gauge);
+    if (value == 0.0) continue;
+    std::printf("  %-28s %12.6g\n",
+                std::string(dbdc::obs::GaugeName(gauge)).c_str(), value);
+  }
+  for (int h = 0; h < dbdc::obs::kNumHistograms; ++h) {
+    const auto histogram = static_cast<dbdc::obs::Histogram>(h);
+    const dbdc::obs::HistogramData& data = snap.histogram(histogram);
+    if (data.count == 0) continue;
+    std::printf("  %-28s count %llu, mean %.2f\n",
+                std::string(dbdc::obs::HistogramName(histogram)).c_str(),
+                static_cast<unsigned long long>(data.count),
+                static_cast<double>(data.sum) /
+                    static_cast<double>(data.count));
+  }
+}
+
+/// The registry and the engine count wire bytes independently (the
+/// registry inside SimulatedNetwork::Send, the engine from the transport
+/// totals); any disagreement means one of them lies.
+bool ReconcileMetrics(const dbdc::obs::MetricsSnapshot& snap,
+                      const dbdc::DbdcResult& result) {
+  using dbdc::obs::Counter;
+  struct Pair {
+    const char* name;
+    std::uint64_t metric;
+    std::uint64_t wire;
+  };
+  const Pair pairs[] = {
+      {"bytes_uplink", snap.counter(Counter::kBytesUplink),
+       result.bytes_uplink},
+      {"bytes_downlink", snap.counter(Counter::kBytesDownlink),
+       result.bytes_downlink},
+      {"frames_retried", snap.counter(Counter::kFramesRetried),
+       result.protocol_retries},
+      {"frames_dropped", snap.counter(Counter::kFramesDropped),
+       result.frames_dropped},
+      {"frames_corrupted", snap.counter(Counter::kFramesCorrupted),
+       result.frames_corrupted},
+      {"acks_lost", snap.counter(Counter::kAcksLost), result.acks_lost},
+  };
+  bool ok = true;
+  for (const Pair& p : pairs) {
+    if (p.metric != p.wire) {
+      std::fprintf(stderr,
+                   "error: metrics counter %s (%llu) does not reconcile "
+                   "with the wire counter (%llu)\n",
+                   p.name, static_cast<unsigned long long>(p.metric),
+                   static_cast<unsigned long long>(p.wire));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dbdc;
   if (argc < 2) Usage(argv[0]);
   const std::string input = argv[1];
+  if (input.empty() || input[0] == '-') Usage(argv[0]);
 
   std::string mode = "dbdc";
   std::string global_strategy = "dbscan";
   std::string out_path;
+  std::string trace_path;
   bool print_stages = false;
+  bool print_metrics = false;
+  bool eps_set = false;
+  bool minpts_set = false;
+  int ticks = 20;
+  bool faults_requested = false;
+  FaultSpec fault_spec;
   DbdcConfig config;
   config.local_dbscan = {1.0, 5};
   const Metric* metric = &Euclidean();
@@ -73,17 +270,28 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) Usage(argv[0]);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s expects a value\n", arg.c_str());
+        std::exit(2);
+      }
       return argv[++i];
     };
     if (arg == "--mode") {
       mode = next();
+      if (mode != "central" && mode != "dbdc" && mode != "continuous") {
+        std::fprintf(stderr,
+                     "error: --mode must be central, dbdc, or continuous\n");
+        return 2;
+      }
     } else if (arg == "--eps") {
-      config.local_dbscan.eps = std::atof(next());
+      config.local_dbscan.eps =
+          ParseDoubleFlagMin("--eps", next(), 0.0, /*exclusive=*/true);
+      eps_set = true;
     } else if (arg == "--minpts") {
-      config.local_dbscan.min_pts = std::atoi(next());
+      config.local_dbscan.min_pts = ParseIntFlag("--minpts", next(), 1);
+      minpts_set = true;
     } else if (arg == "--sites") {
-      config.num_sites = std::atoi(next());
+      config.num_sites = ParseIntFlag("--sites", next(), 1);
     } else if (arg == "--model") {
       const std::string name = next();
       if (name == "scor") {
@@ -91,70 +299,246 @@ int main(int argc, char** argv) {
       } else if (name == "kmeans") {
         config.model_type = LocalModelType::kKMeans;
       } else {
-        Usage(argv[0]);
+        std::fprintf(stderr, "error: --model must be scor or kmeans\n");
+        return 2;
       }
     } else if (arg == "--global") {
       global_strategy = next();
       if (global_strategy != "dbscan" && global_strategy != "optics") {
-        Usage(argv[0]);
+        std::fprintf(stderr, "error: --global must be dbscan or optics\n");
+        return 2;
       }
     } else if (arg == "--eps-global") {
-      config.eps_global = std::atof(next());
+      config.eps_global =
+          ParseDoubleFlagMin("--eps-global", next(), 0.0, false);
     } else if (arg == "--index") {
-      if (!ParseIndexType(next(), &config.index_type)) Usage(argv[0]);
+      const char* name = next();
+      if (!ParseIndexType(name, &config.index_type)) {
+        std::fprintf(stderr, "error: --index: unknown index type '%s'\n",
+                     name);
+        return 2;
+      }
     } else if (arg == "--metric") {
-      metric = MetricByName(next());
-      if (metric == nullptr) Usage(argv[0]);
+      const char* name = next();
+      metric = MetricByName(name);
+      if (metric == nullptr) {
+        std::fprintf(stderr, "error: --metric: unknown metric '%s'\n", name);
+        return 2;
+      }
     } else if (arg == "--seed") {
-      config.seed = std::strtoull(next(), nullptr, 10);
+      config.seed = ParseUint64Flag("--seed", next(), UINT64_MAX);
     } else if (arg == "--condense") {
-      config.condense_eps = std::atof(next());
+      config.condense_eps =
+          ParseDoubleFlagMin("--condense", next(), 0.0, false);
     } else if (arg == "--min-weight") {
-      config.min_weight_global =
-          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+      config.min_weight_global = static_cast<std::uint32_t>(
+          ParseUint64Flag("--min-weight", next(), UINT32_MAX));
     } else if (arg == "--threads") {
-      config.num_threads = std::atoi(next());
+      config.num_threads = ParseIntFlag("--threads", next(), 0);
+    } else if (arg == "--ticks") {
+      ticks = ParseIntFlag("--ticks", next(), 1);
+    } else if (arg == "--protocol") {
+      config.protocol.enabled = true;
+    } else if (arg == "--drop") {
+      fault_spec.drop_rate = ParseProbabilityFlag("--drop", next());
+      faults_requested = true;
+    } else if (arg == "--corrupt") {
+      fault_spec.corrupt_rate = ParseProbabilityFlag("--corrupt", next());
+      faults_requested = true;
+    } else if (arg == "--fault-seed") {
+      fault_spec.seed = ParseUint64Flag("--fault-seed", next(), UINT64_MAX);
     } else if (arg == "--stages") {
       print_stages = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--metrics") {
+      print_metrics = true;
     } else if (arg == "--out") {
       out_path = next();
     } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       Usage(argv[0]);
     }
   }
-  if (config.local_dbscan.eps <= 0.0 || config.local_dbscan.min_pts < 1) {
-    std::fprintf(stderr, "error: --eps must be > 0 and --minpts >= 1\n");
+
+  if (mode == "central" && (faults_requested || config.protocol.enabled)) {
+    std::fprintf(stderr,
+                 "error: --protocol/--drop/--corrupt require a distributed "
+                 "mode (dbdc or continuous)\n");
     return 2;
   }
-
-  const auto csv = ReadDatasetCsv(input);
-  if (!csv.has_value()) {
-    std::fprintf(stderr, "error: cannot read '%s'\n", input.c_str());
-    return 1;
+  if (faults_requested && !config.protocol.enabled) {
+    std::fprintf(stderr,
+                 "error: --drop/--corrupt need --protocol (without the "
+                 "ack/retry protocol the transport is assumed lossless)\n");
+    return 2;
   }
-  std::printf("loaded %zu points (dim %d) from %s\n", csv->data.size(),
-              csv->data.dim(), input.c_str());
+  if (mode == "continuous") {
+    if (!out_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --out is not supported with --mode continuous\n");
+      return 2;
+    }
+    if (global_strategy == "optics") {
+      std::fprintf(stderr,
+                   "error: --global optics is not supported with "
+                   "--mode continuous\n");
+      return 2;
+    }
+    if (config.condense_eps != 0.0) {
+      std::fprintf(stderr,
+                   "error: --condense is not supported with "
+                   "--mode continuous\n");
+      return 2;
+    }
+  }
 
+  Dataset data(2);
+  if (input == "gen:A" || input == "gen:B" || input == "gen:C") {
+    SyntheticDataset generated = input == "gen:A"   ? MakeTestDatasetA()
+                                 : input == "gen:B" ? MakeTestDatasetB()
+                                                    : MakeTestDatasetC();
+    data = std::move(generated.data);
+    if (!eps_set) config.local_dbscan.eps = generated.suggested_params.eps;
+    if (!minpts_set) {
+      config.local_dbscan.min_pts = generated.suggested_params.min_pts;
+    }
+    std::printf("generated %zu points (dim %d): paper test data set %s "
+                "(eps %.3f, minpts %d)\n",
+                data.size(), data.dim(), input.c_str() + 4,
+                config.local_dbscan.eps, config.local_dbscan.min_pts);
+  } else {
+    auto csv = ReadDatasetCsv(input);
+    if (!csv.has_value()) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", input.c_str());
+      return 1;
+    }
+    data = std::move(csv->data);
+    std::printf("loaded %zu points (dim %d) from %s\n", data.size(),
+                data.dim(), input.c_str());
+  }
+
+  // Observability attaches for exactly the clustering run: the trace and
+  // the metrics cover the pipeline, not the CSV I/O around it.
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  if (!trace_path.empty()) obs::SetGlobalTracer(&tracer);
+  if (print_metrics) obs::SetGlobalMetrics(&registry);
+
+  int exit_code = 0;
   std::vector<ClusterId> labels;
   if (mode == "central") {
     DbscanParams central_params = config.local_dbscan;
     central_params.threads = config.num_threads;
-    const CentralDbscanResult central = RunCentralDbscan(
-        csv->data, *metric, central_params, config.index_type);
+    const CentralDbscanResult central =
+        RunCentralDbscan(data, *metric, central_params, config.index_type);
     labels = central.clustering.labels;
     std::printf("central DBSCAN: %d clusters, %zu noise, %.3f s\n",
                 central.clustering.num_clusters,
                 central.clustering.CountNoise(), central.seconds);
-  } else if (mode == "dbdc") {
+    if (print_metrics) PrintMetrics(registry.Snapshot());
+  } else if (mode == "continuous") {
+    GlobalModelParams global_params;
+    global_params.eps_global = config.eps_global;
+    global_params.min_weight_global = config.min_weight_global;
+    global_params.index_type = config.index_type;
+    global_params.num_threads = config.num_threads;
+
+    SimulatedNetwork inner;
+    std::optional<FaultyNetwork> faulty;
+    Transport* transport = &inner;
+    if (faults_requested) {
+      faulty.emplace(&inner, fault_spec);
+      transport = &*faulty;
+    }
+    ContinuousDbdc continuous(*metric, global_params, config.protocol,
+                              transport);
+
+    std::vector<std::unique_ptr<StreamingSite>> stream_sites;
+    stream_sites.reserve(static_cast<std::size_t>(config.num_sites));
+    for (int s = 0; s < config.num_sites; ++s) {
+      stream_sites.push_back(std::make_unique<StreamingSite>(
+          s, *metric, config.local_dbscan, data.dim(), config.model_type,
+          RefreshPolicy{}));
+      continuous.AttachSite(stream_sites.back().get());
+    }
+
+    // Round-robin partition of the input, fed as `ticks` equal slices:
+    // tick t inserts each site's next slice, then runs one engine tick.
+    const std::size_t n = data.size();
+    for (int t = 0; t < ticks; ++t) {
+      const std::size_t begin = n * static_cast<std::size_t>(t) /
+                                static_cast<std::size_t>(ticks);
+      const std::size_t end = n * static_cast<std::size_t>(t + 1) /
+                              static_cast<std::size_t>(ticks);
+      for (std::size_t p = begin; p < end; ++p) {
+        stream_sites[p % stream_sites.size()]->Insert(
+            data.point(static_cast<PointId>(p)));
+      }
+      continuous.Tick();
+    }
+
+    const ContinuousDbdc::Stats& stats = continuous.stats();
+    std::printf(
+        "continuous DBDC(%s, %d sites, %d ticks): %llu refreshes sent, "
+        "%llu applied, %llu lost, %llu rebuilds, %llu broadcasts "
+        "delivered, %llu uplink bytes, %.3f virtual s\n",
+        LocalModelTypeName(config.model_type).data(), config.num_sites,
+        ticks, static_cast<unsigned long long>(stats.refreshes_sent),
+        static_cast<unsigned long long>(stats.refreshes_applied),
+        static_cast<unsigned long long>(stats.refreshes_lost),
+        static_cast<unsigned long long>(stats.global_rebuilds),
+        static_cast<unsigned long long>(stats.broadcasts_delivered),
+        static_cast<unsigned long long>(inner.BytesUplink()),
+        continuous.virtual_now_sec());
+    if (print_metrics) {
+      const obs::MetricsSnapshot snap = registry.Snapshot();
+      PrintMetrics(snap);
+      // The registry counts bytes inside the lossless transport and
+      // retries inside the protocol; both must agree with the engine.
+      struct Pair {
+        const char* name;
+        std::uint64_t metric;
+        std::uint64_t wire;
+      };
+      const Pair pairs[] = {
+          {"bytes_uplink", snap.counter(obs::Counter::kBytesUplink),
+           inner.BytesUplink()},
+          {"bytes_downlink", snap.counter(obs::Counter::kBytesDownlink),
+           inner.BytesDownlink()},
+          {"frames_retried", snap.counter(obs::Counter::kFramesRetried),
+           stats.protocol_retries},
+      };
+      for (const Pair& p : pairs) {
+        if (p.metric != p.wire) {
+          std::fprintf(stderr,
+                       "error: metrics counter %s (%llu) does not "
+                       "reconcile with the wire counter (%llu)\n",
+                       p.name, static_cast<unsigned long long>(p.metric),
+                       static_cast<unsigned long long>(p.wire));
+          exit_code = 1;
+        }
+      }
+    }
+  } else {
     if (global_strategy == "optics" && config.min_weight_global != 0) {
       std::fprintf(stderr,
                    "error: --global optics does not support --min-weight\n");
+      obs::SetGlobalTracer(nullptr);
+      obs::SetGlobalMetrics(nullptr);
       return 2;
+    }
+    SimulatedNetwork inner;
+    std::optional<FaultyNetwork> faulty;
+    Transport* transport = nullptr;
+    if (faults_requested) {
+      faulty.emplace(&inner, fault_spec);
+      transport = &*faulty;
     }
     const DbdcResult result =
         global_strategy == "optics"
-            ? RunDbdcOptics(csv->data, *metric, config)
-            : RunDbdc(csv->data, *metric, config);
+            ? RunDbdcOptics(data, *metric, config, transport)
+            : RunDbdc(data, *metric, config, transport);
     labels = result.labels;
     std::printf("DBDC(%s, %s global, %d sites): %d global clusters, "
                 "%zu reps, eps_global %.3f, %.3f s overall, "
@@ -165,16 +549,30 @@ int main(int argc, char** argv) {
                 result.eps_global_used, result.OverallSeconds(),
                 static_cast<unsigned long long>(result.bytes_uplink));
     if (print_stages) PrintStageBreakdown(result);
-  } else {
-    Usage(argv[0]);
+    if (print_metrics) {
+      PrintMetrics(result.metrics_snapshot);
+      if (!ReconcileMetrics(result.metrics_snapshot, result)) exit_code = 1;
+    }
+  }
+
+  obs::SetGlobalTracer(nullptr);
+  obs::SetGlobalMetrics(nullptr);
+  if (!trace_path.empty()) {
+    if (tracer.WriteChromeTrace(trace_path)) {
+      std::printf("wrote %zu trace spans to %s\n", tracer.NumSpans(),
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write '%s'\n", trace_path.c_str());
+      return 1;
+    }
   }
 
   if (!out_path.empty()) {
-    if (!WriteDatasetCsv(out_path, csv->data, &labels)) {
+    if (!WriteDatasetCsv(out_path, data, &labels)) {
       std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
       return 1;
     }
     std::printf("wrote labeled rows to %s\n", out_path.c_str());
   }
-  return 0;
+  return exit_code;
 }

@@ -4,6 +4,8 @@
 #include <span>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dbdc {
 
@@ -94,12 +96,21 @@ Clustering RunDbscan(const NeighborIndex& index, const DbscanParams& params,
   const std::size_t n = data.size();
   DBDC_CHECK(index.size() == n && "RunDbscan requires a fully-built index");
 
+  obs::ScopedSpan span("dbscan", "cluster");
+  span.AddArg("points", static_cast<std::int64_t>(n));
+
+  // Queries accumulate in a local; one registry add per run, not per
+  // query, keeps the disabled path to a single branch inside Observe.
+  std::uint64_t queries = 0;
   std::vector<PointId> buffer;
   Clustering result =
       DbscanSweep(n, params, observer, [&](PointId p) {
         index.RangeQuery(p, params.eps, &buffer);
+        ++queries;
+        obs::Observe(obs::Histogram::kRangeQueryNeighbors, buffer.size());
         return std::span<const PointId>(buffer);
       });
+  obs::Count(obs::Counter::kEpsRangeQueries, queries);
 #if DBDC_DCHECK_IS_ON()
   ValidateDbscanResult(index, params, result);
 #endif
@@ -130,16 +141,26 @@ Clustering RunDbscanParallel(const NeighborIndex& index,
   // scheduling and thread count.
   std::vector<std::size_t> offsets(n + 1, 0);  // offsets[p+1] = |N(p)| here.
   std::vector<std::vector<PointId>> chunk_ids(pool.NumChunks(n));
-  pool.ParallelChunks(n, [&](std::size_t chunk, std::size_t begin,
-                             std::size_t end) {
-    std::vector<PointId> scratch;
-    std::vector<PointId>& buffer = chunk_ids[chunk];
-    for (std::size_t i = begin; i < end; ++i) {
-      index.RangeQuery(static_cast<PointId>(i), params.eps, &scratch);
-      offsets[i + 1] = scratch.size();
-      buffer.insert(buffer.end(), scratch.begin(), scratch.end());
-    }
-  });
+  {
+    obs::ScopedSpan phase_a("dbscan.range_queries", "cluster");
+    phase_a.AddArg("points", static_cast<std::int64_t>(n));
+    phase_a.AddArg("threads", static_cast<std::int64_t>(resolved));
+    pool.ParallelChunks(n, [&](std::size_t chunk, std::size_t begin,
+                               std::size_t end) {
+      std::vector<PointId> scratch;
+      std::vector<PointId>& buffer = chunk_ids[chunk];
+      for (std::size_t i = begin; i < end; ++i) {
+        index.RangeQuery(static_cast<PointId>(i), params.eps, &scratch);
+        obs::Observe(obs::Histogram::kRangeQueryNeighbors, scratch.size());
+        offsets[i + 1] = scratch.size();
+        buffer.insert(buffer.end(), scratch.begin(), scratch.end());
+      }
+    });
+    // Exactly one query per point here — a different count than the
+    // sequential path, which re-queries noise points later claimed as
+    // border (see obs_test's thread-invariance matrix).
+    obs::Count(obs::Counter::kEpsRangeQueries, n);
+  }
   for (std::size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
 
   // Stitch the per-chunk buffers into one CSR adjacency. A chunk's buffer
@@ -156,6 +177,7 @@ Clustering RunDbscanParallel(const NeighborIndex& index,
   // Phase B: sequential expansion over the materialized core graph —
   // the exact sequential control flow, consuming the exact data a
   // sequential run would have queried, hence bit-identical output.
+  obs::ScopedSpan phase_b("dbscan.sweep", "cluster");
   Clustering result = DbscanSweep(n, params, observer, [&](PointId p) {
     const std::size_t begin = offsets[static_cast<std::size_t>(p)];
     const std::size_t end = offsets[static_cast<std::size_t>(p) + 1];

@@ -10,6 +10,7 @@
 #include "distrib/partitioner.h"
 #include "distrib/protocol.h"
 #include "distrib/transport.h"
+#include "obs/metrics.h"
 
 namespace dbdc {
 
@@ -109,6 +110,10 @@ struct DbdcResult {
   /// Per-stage wall-clock/byte breakdown of the engine's seven pipeline
   /// stages, in pipeline order (see stage_stats.h).
   std::vector<StageStats> stage_stats;
+
+  /// Snapshot of the global MetricsRegistry taken as the pipeline
+  /// finished; empty() when no registry was attached (the default).
+  obs::MetricsSnapshot metrics_snapshot;
 
   /// The paper's overall-runtime formula (Sec. 9).
   double OverallSeconds() const {

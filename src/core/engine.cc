@@ -6,6 +6,8 @@
 
 #include "common/rng.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dbdc {
 namespace {
@@ -92,6 +94,7 @@ void DbdcEngine::RunStage(StageId id, Fn&& body) {
   ++next_stage_;
   const std::uint64_t uplink_before = ctx_.transport->BytesUplink();
   const std::uint64_t downlink_before = ctx_.transport->BytesDownlink();
+  obs::ScopedSpan span(StageName(id), "stage");
   Timer timer;
   body();
   StageStats stats;
@@ -99,11 +102,18 @@ void DbdcEngine::RunStage(StageId id, Fn&& body) {
   stats.seconds = timer.Seconds();
   stats.bytes_uplink = ctx_.transport->BytesUplink() - uplink_before;
   stats.bytes_downlink = ctx_.transport->BytesDownlink() - downlink_before;
+  span.AddArg("bytes_uplink", static_cast<std::int64_t>(stats.bytes_uplink));
+  span.AddArg("bytes_downlink",
+              static_cast<std::int64_t>(stats.bytes_downlink));
   ctx_.stages.push_back(stats);
 }
 
 void DbdcEngine::Partition() {
   RunStage(StageId::kPartition, [this] {
+    if (obs::MetricsRegistry* metrics = obs::GlobalMetrics()) {
+      metrics->SetGauge(obs::Gauge::kDatasetPoints,
+                        static_cast<double>(data_->size()));
+    }
     // In the real deployment the data is born at the sites; the
     // partitioner simulates that placement.
     const UniformRandomPartitioner default_partitioner;
@@ -277,6 +287,9 @@ DbdcResult DbdcEngine::TakeResult() {
   result_.bytes_downlink = ctx_.transport->BytesDownlink();
   result_.global_model = server_.global_model();
   result_.stage_stats = ctx_.stages;
+  if (obs::MetricsRegistry* metrics = obs::GlobalMetrics()) {
+    result_.metrics_snapshot = metrics->Snapshot();
+  }
   return std::move(result_);
 }
 
@@ -302,6 +315,14 @@ void ContinuousDbdc::AttachSite(StreamingSite* site) {
 }
 
 int ContinuousDbdc::Tick() {
+  // Anchor the tracer's virtual cursor at this tick's start so the
+  // transfers it triggers lay out from the stream's current virtual time.
+  if (obs::Tracer* tracer = obs::GlobalTracer()) {
+    tracer->SetVirtualNow(ctx_.virtual_now_sec);
+  }
+  obs::ScopedSpan span("continuous.tick", "continuous");
+  span.AddArg("tick", static_cast<std::int64_t>(stats_.ticks));
+
   int applied = 0;
   double tick_transfer_sec = 0.0;
 
@@ -312,6 +333,7 @@ int ContinuousDbdc::Tick() {
     site->RefreshModel();
     std::vector<std::uint8_t> bytes = site->EncodeLocalModelBytes();
     ++stats_.refreshes_sent;
+    obs::Count(obs::Counter::kRefreshesSent);
     bool ok = false;
     if (protocol_.enabled) {
       const TransferOutcome up = ctx_.channel->Transfer(
@@ -337,11 +359,13 @@ int ContinuousDbdc::Tick() {
     }
     if (ok) {
       ++stats_.refreshes_applied;
+      obs::Count(obs::Counter::kRefreshesApplied);
       ++applied;
     } else {
       // The site's previous model stays in effect; the stream self-heals
       // on its next refresh.
       ++stats_.refreshes_lost;
+      obs::Count(obs::Counter::kRefreshesLost);
     }
   }
 
@@ -350,6 +374,7 @@ int ContinuousDbdc::Tick() {
   if (applied > 0) {
     server_.BuildGlobal();
     ++stats_.global_rebuilds;
+    obs::Count(obs::Counter::kGlobalRebuilds);
     const std::vector<std::uint8_t> global_bytes =
         server_.EncodeGlobalModelBytes();
     for (std::size_t i = 0; i < sites_.size(); ++i) {
@@ -389,6 +414,10 @@ int ContinuousDbdc::Tick() {
 
   ctx_.virtual_now_sec += tick_transfer_sec;
   ++stats_.ticks;
+  obs::Count(obs::Counter::kContinuousTicks);
+  if (obs::MetricsRegistry* metrics = obs::GlobalMetrics()) {
+    metrics->SetGauge(obs::Gauge::kVirtualClockSec, ctx_.virtual_now_sec);
+  }
   return applied;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace dbdc {
 
@@ -35,11 +36,16 @@ std::vector<ClusterId> RelabelSite(const Dataset& site_data,
       site_data.size(),
       [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
         std::vector<PointId> candidates;
+        // Per-chunk locals, flushed once at chunk end: instrumentation
+        // stays off the per-candidate inner loop.
+        std::uint64_t distance_comps = 0;
         for (std::size_t i = begin; i < end; ++i) {
           const PointId p = static_cast<PointId>(i);
           const auto coords = site_data.point(p);
           context.rep_index()->RangeQuery(coords, context.max_eps(),
                                           &candidates);
+          obs::Observe(obs::Histogram::kRelabelCandidates, candidates.size());
+          distance_comps += candidates.size();
           double best_d = std::numeric_limits<double>::max();
           PointId best_rep = std::numeric_limits<PointId>::max();
           ClusterId best = kNoise;
@@ -58,6 +64,9 @@ std::vector<ClusterId> RelabelSite(const Dataset& site_data,
           }
           labels[i] = best;
         }
+        obs::Count(obs::Counter::kEpsRangeQueries, end - begin);
+        obs::Count(obs::Counter::kRelabelPointsScanned, end - begin);
+        obs::Count(obs::Counter::kRelabelDistanceComps, distance_comps);
       });
   return labels;
 }

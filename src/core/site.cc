@@ -4,6 +4,7 @@
 
 #include "common/timer.h"
 #include "core/model_codec.h"
+#include "obs/trace.h"
 
 namespace dbdc {
 
@@ -22,6 +23,9 @@ void Site::RunLocalPipeline(const SiteConfig& config) {
 }
 
 void Site::RunLocalClustering(const SiteConfig& config) {
+  obs::ScopedSpan span("site.local_cluster", "site");
+  span.AddArg("site", static_cast<std::int64_t>(site_id_));
+  span.AddArg("points", static_cast<std::int64_t>(data_.size()));
   num_threads_ = config.num_threads;
   Timer timer;
   index_ = CreateIndex(config.index_type, data_, *metric_,
@@ -33,6 +37,8 @@ void Site::RunLocalClustering(const SiteConfig& config) {
 }
 
 void Site::BuildModel(const SiteConfig& config) {
+  obs::ScopedSpan span("site.build_model", "site");
+  span.AddArg("site", static_cast<std::int64_t>(site_id_));
   DBDC_CHECK(index_ != nullptr && "RunLocalClustering must run first");
   Timer timer;
   if (config.model_strategy != nullptr) {
@@ -63,6 +69,8 @@ DecodeStatus Site::ApplyGlobalModelBytes(std::span<const std::uint8_t> bytes,
 
 void Site::ApplyGlobalModel(const GlobalModel& global,
                             const RelabelContext* shared_context) {
+  obs::ScopedSpan span("site.relabel", "site");
+  span.AddArg("site", static_cast<std::int64_t>(site_id_));
   Timer timer;
   global_labels_ =
       shared_context != nullptr

@@ -1,6 +1,7 @@
 #include "data/io.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -34,6 +35,7 @@ std::optional<CsvDataset> ReadDatasetCsv(const std::string& path,
   std::vector<std::vector<double>> rows;
   std::size_t columns = 0;
   while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF file.
     if (line.empty()) continue;
     std::vector<double> row;
     std::stringstream ss(line);
@@ -43,6 +45,13 @@ std::optional<CsvDataset> ReadDatasetCsv(const std::string& path,
       char* end = nullptr;
       const double v = std::strtod(field.c_str(), &end);
       if (end == field.c_str() || errno != 0) return std::nullopt;
+      // The whole field must parse (modulo surrounding blanks): "2x" is a
+      // malformed file, not the number 2.
+      while (*end == ' ' || *end == '\t') ++end;
+      if (*end != '\0') return std::nullopt;
+      // strtod accepts "nan"/"inf", but non-finite coordinates poison
+      // every distance downstream; reject them at the boundary.
+      if (!std::isfinite(v)) return std::nullopt;
       row.push_back(v);
     }
     if (row.empty()) return std::nullopt;

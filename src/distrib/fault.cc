@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/checksum.h"
+#include "obs/metrics.h"
 
 namespace dbdc {
 namespace {
@@ -59,6 +60,7 @@ std::size_t FaultyNetwork::Send(EndpointId from, EndpointId to,
   if (SiteFailed(from) || SiteFailed(to)) {
     ++stats_.messages_dropped;
     stats_.bytes_dropped += payload.size();
+    obs::Count(obs::Counter::kFaultDropsInjected);
     return kMessageDropped;
   }
 
@@ -66,11 +68,13 @@ std::size_t FaultyNetwork::Send(EndpointId from, EndpointId to,
   if (Bernoulli(spec_.drop_rate, &rng)) {
     ++stats_.messages_dropped;
     stats_.bytes_dropped += payload.size();
+    obs::Count(obs::Counter::kFaultDropsInjected);
     return kMessageDropped;
   }
 
   if (!payload.empty() && Bernoulli(spec_.corrupt_rate, &rng)) {
     ++stats_.messages_corrupted;
+    obs::Count(obs::Counter::kFaultCorruptionsInjected);
     const int flips = static_cast<int>(std::uniform_int_distribution<int>(
         1, spec_.max_corrupt_bytes)(rng));
     for (int i = 0; i < flips; ++i) {
@@ -96,6 +100,7 @@ std::size_t FaultyNetwork::Send(EndpointId from, EndpointId to,
   ++stats_.messages_delivered;
   if (delay > 0.0) {
     ++stats_.messages_delayed;
+    obs::Count(obs::Counter::kFaultDelaysInjected);
     delays_[index] = delay;
   }
   return index;

@@ -1,9 +1,25 @@
 #include "distrib/network.h"
 
+#include "obs/metrics.h"
+
 namespace dbdc {
 
 std::size_t SimulatedNetwork::Send(EndpointId from, EndpointId to,
                                    std::vector<std::uint8_t> payload) {
+  // Wire accounting mirrors BytesUplink()/BytesDownlink() exactly: a
+  // message to the server is uplink charged to the sending site, a
+  // message from the server is downlink charged to the receiving site —
+  // so an attached registry reconciles byte-for-byte with the transport
+  // counters (and with DbdcResult's wire counters).
+  if (obs::MetricsRegistry* metrics = obs::GlobalMetrics()) {
+    if (to == kServerEndpoint) {
+      metrics->AddSiteBytes(obs::Counter::kBytesUplink, from,
+                            payload.size());
+    } else if (from == kServerEndpoint) {
+      metrics->AddSiteBytes(obs::Counter::kBytesDownlink, to,
+                            payload.size());
+    }
+  }
   messages_.push_back({from, to, std::move(payload)});
   return messages_.size() - 1;
 }

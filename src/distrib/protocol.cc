@@ -1,10 +1,14 @@
 #include "distrib/protocol.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <utility>
 
 #include "common/check.h"
 #include "common/checksum.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dbdc {
 namespace {
@@ -93,15 +97,26 @@ TransferOutcome ReliableChannel::Transfer(EndpointId from, EndpointId to,
   const std::vector<std::uint8_t> ack_bytes =
       EncodeFrame(Frame{FrameType::kAck, seq, {}});
 
+  obs::Observe(obs::Histogram::kFramePayloadBytes, data_frame.payload.size());
+
   for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      // Ack timeout + exponential backoff before the retransmission.
-      out.elapsed_seconds +=
-          config_.retry_backoff_sec * static_cast<double>(1 << (attempt - 1));
+      // Ack timeout + exponential backoff before the retransmission,
+      // computed by double scaling with a saturated exponent: an int
+      // shift (1 << (attempt - 1)) is undefined behavior from attempt 32
+      // on, and nothing bounds max_attempts below that. Past the cap the
+      // backoff simply stops growing (~3.6e16 years at the default
+      // 0.05 s base — saturation, not overflow).
+      constexpr int kMaxBackoffExponent = 60;
+      out.elapsed_seconds += std::ldexp(
+          config_.retry_backoff_sec,
+          std::min(attempt - 1, kMaxBackoffExponent));
       ++out.retries;
       ++stats_.retries;
+      obs::Count(obs::Counter::kFramesRetried);
     }
     ++out.attempts;
+    obs::Count(obs::Counter::kFramesSent);
 
     const std::size_t index = transport_->Send(from, to, data_bytes);
     out.elapsed_seconds +=
@@ -109,6 +124,7 @@ TransferOutcome ReliableChannel::Transfer(EndpointId from, EndpointId to,
     if (index == kMessageDropped) {
       ++out.data_drops;
       ++stats_.data_drops;
+      obs::Count(obs::Counter::kFramesDropped);
       continue;
     }
     out.elapsed_seconds += transport_->DeliveryDelaySeconds(index);
@@ -121,6 +137,7 @@ TransferOutcome ReliableChannel::Transfer(EndpointId from, EndpointId to,
         received->seq != seq) {
       ++out.data_corruptions;
       ++stats_.data_corruptions;
+      obs::Count(obs::Counter::kFramesCorrupted);
       continue;
     }
     if (!out.delivered) {
@@ -137,6 +154,7 @@ TransferOutcome ReliableChannel::Transfer(EndpointId from, EndpointId to,
     if (ack_index == kMessageDropped) {
       ++out.ack_losses;
       ++stats_.ack_losses;
+      obs::Count(obs::Counter::kAcksLost);
       continue;
     }
     out.elapsed_seconds += transport_->DeliveryDelaySeconds(ack_index);
@@ -145,6 +163,7 @@ TransferOutcome ReliableChannel::Transfer(EndpointId from, EndpointId to,
     if (!ack.has_value() || ack->type != FrameType::kAck || ack->seq != seq) {
       ++out.ack_losses;
       ++stats_.ack_losses;
+      obs::Count(obs::Counter::kAcksLost);
       continue;
     }
     out.acked = true;
@@ -153,6 +172,27 @@ TransferOutcome ReliableChannel::Transfer(EndpointId from, EndpointId to,
 
   ++stats_.transfers;
   if (out.acked) ++stats_.acked;
+
+  // Transfers live on the virtual clock (each starts its own at 0); the
+  // tracer's virtual cursor lays them out end to end so a trace shows
+  // the simulated wire time of the whole exchange, not a pile-up at 0.
+  if (obs::Tracer* tracer = obs::GlobalTracer()) {
+    std::vector<obs::SpanArg> args(5);
+    args[0].key = "from";
+    args[0].int_value = from;
+    args[1].key = "to";
+    args[1].int_value = to;
+    args[2].key = "seq";
+    args[2].int_value = static_cast<std::int64_t>(seq);
+    args[3].key = "attempts";
+    args[3].int_value = out.attempts;
+    args[4].key = "acked";
+    args[4].int_value = out.acked ? 1 : 0;
+    tracer->RecordVirtualSpan("protocol.transfer", "protocol",
+                              tracer->VirtualNow(), out.elapsed_seconds,
+                              std::move(args));
+    tracer->AdvanceVirtual(out.elapsed_seconds);
+  }
   return out;
 }
 

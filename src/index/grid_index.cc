@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace dbdc {
 namespace {
 
@@ -65,11 +67,15 @@ void GridIndex::RangeQuery(std::span<const double> q, double eps,
     hi[i] = static_cast<std::int64_t>(std::floor((q[i] + eps) / cell_width_));
   }
   const double eps_sq = eps * eps;
+  // Fast-path accounting is per cell (one add), never per point; pruned
+  // candidates fall out arithmetically as examined - accepted.
+  std::uint64_t examined = 0;
   cur = lo;
   while (true) {
     const auto it = cells_.find(HashCoords(cur));
     if (it != cells_.end()) {
       if (euclidean_) {
+        examined += it->second.size();
         for (const PointId id : it->second) {
           if (SquaredEuclideanDistance(q, data_->point(id)) <= eps_sq) {
             out->push_back(id);
@@ -91,6 +97,12 @@ void GridIndex::RangeQuery(std::span<const double> q, double eps,
       ++axis;
     }
     if (axis == dim) break;
+  }
+  if (examined != 0) {
+    if (obs::MetricsRegistry* metrics = obs::GlobalMetrics()) {
+      metrics->Add(obs::Counter::kFastPathCandidates, examined);
+      metrics->Add(obs::Counter::kFastPathPruned, examined - out->size());
+    }
   }
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace dbdc {
 
 LinearScanIndex::LinearScanIndex(const Dataset& data, const Metric& metric,
@@ -24,6 +26,12 @@ void LinearScanIndex::RangeQuery(std::span<const double> q, double eps,
       if (!present_[id]) continue;
       if (SquaredEuclideanDistance(q, data_->point(id)) <= eps_sq) {
         out->push_back(id);
+      }
+    }
+    if (count_ != 0) {
+      if (obs::MetricsRegistry* metrics = obs::GlobalMetrics()) {
+        metrics->Add(obs::Counter::kFastPathCandidates, count_);
+        metrics->Add(obs::Counter::kFastPathPruned, count_ - out->size());
       }
     }
     return;

@@ -1,0 +1,269 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace dbdc::obs {
+
+namespace internal {
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+}  // namespace internal
+
+void SetGlobalMetrics(MetricsRegistry* registry) {
+  internal::g_metrics.store(registry, std::memory_order_release);
+}
+
+std::string_view CounterName(Counter counter) {
+  switch (counter) {
+    case Counter::kEpsRangeQueries: return "eps_range_queries";
+    case Counter::kFastPathCandidates: return "fastpath_candidates";
+    case Counter::kFastPathPruned: return "fastpath_pruned";
+    case Counter::kFramesSent: return "frames_sent";
+    case Counter::kFramesRetried: return "frames_retried";
+    case Counter::kFramesDropped: return "frames_dropped";
+    case Counter::kFramesCorrupted: return "frames_corrupted";
+    case Counter::kAcksLost: return "acks_lost";
+    case Counter::kBytesUplink: return "bytes_uplink";
+    case Counter::kBytesDownlink: return "bytes_downlink";
+    case Counter::kFaultDropsInjected: return "fault_drops_injected";
+    case Counter::kFaultCorruptionsInjected:
+      return "fault_corruptions_injected";
+    case Counter::kFaultDelaysInjected: return "fault_delays_injected";
+    case Counter::kRelabelDistanceComps: return "relabel_distance_comps";
+    case Counter::kRelabelPointsScanned: return "relabel_points_scanned";
+    case Counter::kRefreshesSent: return "refreshes_sent";
+    case Counter::kRefreshesApplied: return "refreshes_applied";
+    case Counter::kRefreshesLost: return "refreshes_lost";
+    case Counter::kGlobalRebuilds: return "global_rebuilds";
+    case Counter::kContinuousTicks: return "continuous_ticks";
+  }
+  return "unknown";
+}
+
+std::string_view GaugeName(Gauge gauge) {
+  switch (gauge) {
+    case Gauge::kVirtualClockSec: return "virtual_clock_sec";
+    case Gauge::kDatasetPoints: return "dataset_points";
+  }
+  return "unknown";
+}
+
+std::string_view HistogramName(Histogram histogram) {
+  switch (histogram) {
+    case Histogram::kFramePayloadBytes: return "frame_payload_bytes";
+    case Histogram::kRangeQueryNeighbors: return "range_query_neighbors";
+    case Histogram::kRelabelCandidates: return "relabel_candidates";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Bucket 0 holds value 0; bucket b holds [2^(b-1), 2^b).
+inline int BucketOf(std::uint64_t value) {
+  return value == 0 ? 0 : static_cast<int>(std::bit_width(value));
+}
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+}  // namespace
+
+struct MetricsRegistry::Shard {
+  std::array<std::atomic<std::uint64_t>, kNumCounters> counters{};
+  std::array<std::atomic<std::uint64_t>, kNumHistograms> hist_count{};
+  std::array<std::atomic<std::uint64_t>, kNumHistograms> hist_sum{};
+  std::array<std::atomic<std::uint64_t>,
+             static_cast<std::size_t>(kNumHistograms) * kHistogramBuckets>
+      hist_buckets{};
+};
+
+MetricsRegistry::MetricsRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {
+  for (auto& g : gauges_) g.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::~MetricsRegistry() {
+  DBDC_CHECK(GlobalMetrics() != this &&
+             "detach a registry (SetGlobalMetrics(nullptr)) before "
+             "destroying it");
+}
+
+MetricsRegistry::Shard* MetricsRegistry::ThisThreadShard() {
+  // Registry ids are process-unique and never reused, so a stale cache
+  // entry for a destroyed registry can never match a live one.
+  thread_local struct {
+    std::uint64_t registry_id = 0;
+    Shard* shard = nullptr;
+  } cache;
+  if (cache.registry_id == id_) return cache.shard;
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  cache.registry_id = id_;
+  cache.shard = shards_.back().get();
+  return cache.shard;
+}
+
+void MetricsRegistry::Add(Counter counter, std::uint64_t delta) {
+  ThisThreadShard()
+      ->counters[static_cast<std::size_t>(static_cast<int>(counter))]
+      .fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::SetGauge(Gauge gauge, double value) {
+  gauges_[static_cast<std::size_t>(static_cast<int>(gauge))].store(
+      value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Observe(Histogram histogram, std::uint64_t value) {
+  Shard* shard = ThisThreadShard();
+  const std::size_t h = static_cast<std::size_t>(static_cast<int>(histogram));
+  shard->hist_count[h].fetch_add(1, std::memory_order_relaxed);
+  shard->hist_sum[h].fetch_add(value, std::memory_order_relaxed);
+  shard
+      ->hist_buckets[h * kHistogramBuckets +
+                     static_cast<std::size_t>(BucketOf(value))]
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::AddSiteBytes(Counter direction, int site_id,
+                                   std::uint64_t delta) {
+  DBDC_CHECK(direction == Counter::kBytesUplink ||
+             direction == Counter::kBytesDownlink);
+  Add(direction, delta);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (direction == Counter::kBytesUplink) {
+    site_uplink_[site_id] += delta;
+  } else {
+    site_downlink_[site_id] += delta;
+  }
+}
+
+std::uint64_t MetricsRegistry::CounterValue(Counter counter) const {
+  const std::size_t c = static_cast<std::size_t>(static_cast<int>(counter));
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    total += shard->counters[c].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    for (int c = 0; c < kNumCounters; ++c) {
+      snap.counters[static_cast<std::size_t>(c)] +=
+          shard->counters[static_cast<std::size_t>(c)].load(
+              std::memory_order_relaxed);
+    }
+    for (int h = 0; h < kNumHistograms; ++h) {
+      HistogramData& data = snap.histograms[static_cast<std::size_t>(h)];
+      data.count += shard->hist_count[static_cast<std::size_t>(h)].load(
+          std::memory_order_relaxed);
+      data.sum += shard->hist_sum[static_cast<std::size_t>(h)].load(
+          std::memory_order_relaxed);
+      for (int b = 0; b < kHistogramBuckets; ++b) {
+        data.buckets[static_cast<std::size_t>(b)] +=
+            shard
+                ->hist_buckets[static_cast<std::size_t>(h) *
+                                   kHistogramBuckets +
+                               static_cast<std::size_t>(b)]
+                .load(std::memory_order_relaxed);
+      }
+    }
+  }
+  for (int g = 0; g < kNumGauges; ++g) {
+    snap.gauges[static_cast<std::size_t>(g)] =
+        gauges_[static_cast<std::size_t>(g)].load(std::memory_order_relaxed);
+  }
+  snap.bytes_uplink_by_site = site_uplink_;
+  snap.bytes_downlink_by_site = site_downlink_;
+  return snap;
+}
+
+bool MetricsSnapshot::empty() const {
+  for (const std::uint64_t v : counters) {
+    if (v != 0) return false;
+  }
+  for (const double v : gauges) {
+    if (v != 0.0) return false;
+  }
+  for (const HistogramData& h : histograms) {
+    if (h.count != 0) return false;
+  }
+  return bytes_uplink_by_site.empty() && bytes_downlink_by_site.empty();
+}
+
+namespace {
+
+void AppendKv(std::string* out, std::string_view key, std::uint64_t value,
+              bool* first) {
+  if (!*first) *out += ", ";
+  *first = false;
+  *out += '"';
+  *out += key;
+  *out += "\": ";
+  *out += std::to_string(value);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::Json() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (int c = 0; c < kNumCounters; ++c) {
+    AppendKv(&out, CounterName(static_cast<Counter>(c)),
+             counters[static_cast<std::size_t>(c)], &first);
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (int g = 0; g < kNumGauges; ++g) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += GaugeName(static_cast<Gauge>(g));
+    out += "\": ";
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.9g",
+                  gauges[static_cast<std::size_t>(g)]);
+    out += buffer;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (int h = 0; h < kNumHistograms; ++h) {
+    const HistogramData& data = histograms[static_cast<std::size_t>(h)];
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += HistogramName(static_cast<Histogram>(h));
+    out += "\": {\"count\": " + std::to_string(data.count) +
+           ", \"sum\": " + std::to_string(data.sum) + ", \"buckets\": [";
+    // Trailing zero buckets are elided; bucket index = position.
+    int last = kHistogramBuckets - 1;
+    while (last > 0 && data.buckets[static_cast<std::size_t>(last)] == 0) {
+      --last;
+    }
+    for (int b = 0; b <= last; ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(data.buckets[static_cast<std::size_t>(b)]);
+    }
+    out += "]}";
+  }
+  out += "}, \"bytes_uplink_by_site\": {";
+  first = true;
+  for (const auto& [site, bytes] : bytes_uplink_by_site) {
+    AppendKv(&out, std::to_string(site), bytes, &first);
+  }
+  out += "}, \"bytes_downlink_by_site\": {";
+  first = true;
+  for (const auto& [site, bytes] : bytes_downlink_by_site) {
+    AppendKv(&out, std::to_string(site), bytes, &first);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace dbdc::obs

@@ -1,0 +1,179 @@
+#ifndef DBDC_OBS_METRICS_H_
+#define DBDC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbdc::obs {
+
+/// The well-known counters of the DBDC pipeline (DESIGN.md §9). A fixed
+/// enum instead of string lookup keeps the hot-path cost of an increment
+/// at one array index into the calling thread's shard.
+enum class Counter : int {
+  /// ε-range queries issued by the clustering drivers (DBSCAN sweeps and
+  /// relabel passes; one per neighborhood materialization).
+  kEpsRangeQueries = 0,
+  /// Candidates the Euclidean squared-distance fast path examined ...
+  kFastPathCandidates,
+  /// ... and rejected without a sqrt or a virtual metric call.
+  kFastPathPruned,
+  /// Data frames the reliable channel put on the wire (incl. retries).
+  kFramesSent,
+  kFramesRetried,
+  kFramesDropped,
+  kFramesCorrupted,
+  kAcksLost,
+  /// Bytes recorded by the transport, per direction — byte-identical to
+  /// Transport::BytesUplink()/BytesDownlink() when the registry was
+  /// attached for the transport's whole lifetime.
+  kBytesUplink,
+  kBytesDownlink,
+  /// What the fault-injection layer actually did.
+  kFaultDropsInjected,
+  kFaultCorruptionsInjected,
+  kFaultDelaysInjected,
+  /// Representative distance evaluations during relabeling.
+  kRelabelDistanceComps,
+  kRelabelPointsScanned,
+  /// Continuous-mode lifecycle.
+  kRefreshesSent,
+  kRefreshesApplied,
+  kRefreshesLost,
+  kGlobalRebuilds,
+  kContinuousTicks,
+};
+inline constexpr int kNumCounters = 20;
+
+/// Stable snake_case name for tables, JSON, and tests.
+std::string_view CounterName(Counter counter);
+
+enum class Gauge : int {
+  /// Latest virtual-clock reading (continuous mode).
+  kVirtualClockSec = 0,
+  /// Points in the dataset of the most recent run.
+  kDatasetPoints,
+};
+inline constexpr int kNumGauges = 2;
+std::string_view GaugeName(Gauge gauge);
+
+/// Power-of-two-bucketed histograms: bucket 0 counts value 0, bucket b
+/// counts values in [2^(b-1), 2^b).
+enum class Histogram : int {
+  kFramePayloadBytes = 0,
+  kRangeQueryNeighbors,
+  kRelabelCandidates,
+};
+inline constexpr int kNumHistograms = 3;
+inline constexpr int kHistogramBuckets = 65;
+std::string_view HistogramName(Histogram histogram);
+
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+};
+
+/// Point-in-time merged view of a registry. Plain values — safe to copy,
+/// compare, and embed (DbdcResult::metrics_snapshot).
+struct MetricsSnapshot {
+  std::array<std::uint64_t, kNumCounters> counters{};
+  std::array<double, kNumGauges> gauges{};
+  std::array<HistogramData, kNumHistograms> histograms{};
+  /// Per-site wire bytes (site id -> bytes), summing to the kBytesUplink /
+  /// kBytesDownlink totals.
+  std::map<int, std::uint64_t> bytes_uplink_by_site;
+  std::map<int, std::uint64_t> bytes_downlink_by_site;
+
+  std::uint64_t counter(Counter c) const {
+    return counters[static_cast<std::size_t>(static_cast<int>(c))];
+  }
+  double gauge(Gauge g) const {
+    return gauges[static_cast<std::size_t>(static_cast<int>(g))];
+  }
+  const HistogramData& histogram(Histogram h) const {
+    return histograms[static_cast<std::size_t>(static_cast<int>(h))];
+  }
+  bool empty() const;
+
+  /// Deterministic JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}, "bytes_uplink_by_site": {...}, ...} with keys
+  /// in enum/site order.
+  std::string Json() const;
+};
+
+/// Registry of the process's DBDC metrics. Counter and histogram updates
+/// go to a per-thread shard (relaxed atomics, created lazily per thread),
+/// so concurrent instrumented code never contends on a shared cache line
+/// and stays TSan-clean; Snapshot() merges the shards. Gauges and the
+/// per-site byte maps are updated on cold control paths and are
+/// mutex-guarded.
+///
+/// Totals are sums over shards, hence independent of which thread did
+/// which share of the work: for a deterministic workload the snapshot is
+/// identical for every thread count.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void Add(Counter counter, std::uint64_t delta);
+  void SetGauge(Gauge gauge, double value);
+  void Observe(Histogram histogram, std::uint64_t value);
+  /// Per-site wire accounting; `direction` must be kBytesUplink or
+  /// kBytesDownlink. Also feeds the corresponding total counter.
+  void AddSiteBytes(Counter direction, int site_id, std::uint64_t delta);
+
+  /// Merged value of one counter (same merge as Snapshot()).
+  std::uint64_t CounterValue(Counter counter) const;
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Shard;
+  Shard* ThisThreadShard();
+
+  const std::uint64_t id_;  // Process-unique; never reused.
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // Append-only, under mu_.
+  std::array<std::atomic<double>, kNumGauges> gauges_;
+  std::map<int, std::uint64_t> site_uplink_;    // Under mu_.
+  std::map<int, std::uint64_t> site_downlink_;  // Under mu_.
+};
+
+namespace internal {
+extern std::atomic<MetricsRegistry*> g_metrics;
+}  // namespace internal
+
+/// The process-wide registry instrumentation reports to, or null when
+/// observability is off (the default). The zero-cost-when-off contract:
+/// every hook is one acquire load + branch when disabled — no locks, no
+/// allocations, no stores.
+inline MetricsRegistry* GlobalMetrics() {
+  return internal::g_metrics.load(std::memory_order_acquire);
+}
+
+/// Attaches `registry` (borrowed; caller keeps ownership and must detach
+/// — SetGlobalMetrics(nullptr) — before destroying it). Not intended for
+/// concurrent re-attachment while instrumented code runs.
+void SetGlobalMetrics(MetricsRegistry* registry);
+
+inline void Count(Counter counter, std::uint64_t delta = 1) {
+  if (MetricsRegistry* m = GlobalMetrics()) m->Add(counter, delta);
+}
+
+inline void Observe(Histogram histogram, std::uint64_t value) {
+  if (MetricsRegistry* m = GlobalMetrics()) m->Observe(histogram, value);
+}
+
+}  // namespace dbdc::obs
+
+#endif  // DBDC_OBS_METRICS_H_

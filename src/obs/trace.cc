@@ -1,0 +1,261 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace dbdc::obs {
+
+namespace internal {
+std::atomic<Tracer*> g_tracer{nullptr};
+}  // namespace internal
+
+void SetGlobalTracer(Tracer* tracer) {
+  internal::g_tracer.store(tracer, std::memory_order_release);
+}
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void AppendArgs(std::string* out, const std::vector<SpanArg>& args) {
+  *out += "\"args\": {";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const SpanArg& arg = args[i];
+    if (i > 0) *out += ", ";
+    *out += '"';
+    *out += JsonEscape(arg.key);
+    *out += "\": ";
+    switch (arg.kind) {
+      case SpanArg::Kind::kInt:
+        *out += std::to_string(arg.int_value);
+        break;
+      case SpanArg::Kind::kDouble: {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.9g", arg.double_value);
+        *out += buffer;
+        break;
+      }
+      case SpanArg::Kind::kString:
+        *out += '"';
+        *out += JsonEscape(arg.string_value);
+        *out += '"';
+        break;
+    }
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+/// Per-thread span storage. `open` (the begin/end stack) is touched only
+/// by the owning thread; `done` is appended by the owning thread and read
+/// by exporters, both under the tracer mutex.
+struct Tracer::ThreadBuffer {
+  int tid = 0;
+  std::vector<SpanRecord> open;
+  std::vector<SpanRecord> done;  // Under the tracer's mu_.
+};
+
+Tracer::Tracer()
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::~Tracer() {
+  DBDC_CHECK(GlobalTracer() != this &&
+             "detach a tracer (SetGlobalTracer(nullptr)) before destroying "
+             "it");
+}
+
+Tracer::ThreadBuffer* Tracer::ThisThreadBuffer() {
+  // Tracer ids are process-unique and never reused, so a stale cache
+  // entry can never alias a live tracer.
+  thread_local struct {
+    std::uint64_t tracer_id = 0;
+    ThreadBuffer* buffer = nullptr;
+  } cache;
+  if (cache.tracer_id == id_) return cache.buffer;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<int>(threads_.size());
+  threads_.push_back(std::move(buffer));
+  cache.tracer_id = id_;
+  cache.buffer = threads_.back().get();
+  return cache.buffer;
+}
+
+std::int64_t Tracer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::BeginSpan(std::string_view name, std::string_view category) {
+  ThreadBuffer* buffer = ThisThreadBuffer();
+  SpanRecord record;
+  record.name.assign(name);
+  record.category.assign(category);
+  record.tid = buffer->tid;
+  record.depth = static_cast<int>(buffer->open.size());
+  record.start_us = NowMicros();
+  buffer->open.push_back(std::move(record));
+}
+
+void Tracer::AddSpanArg(std::string_view key, std::int64_t value) {
+  ThreadBuffer* buffer = ThisThreadBuffer();
+  DBDC_CHECK(!buffer->open.empty() && "AddSpanArg outside an open span");
+  SpanArg arg;
+  arg.key.assign(key);
+  arg.kind = SpanArg::Kind::kInt;
+  arg.int_value = value;
+  buffer->open.back().args.push_back(std::move(arg));
+}
+
+void Tracer::AddSpanArg(std::string_view key, double value) {
+  ThreadBuffer* buffer = ThisThreadBuffer();
+  DBDC_CHECK(!buffer->open.empty() && "AddSpanArg outside an open span");
+  SpanArg arg;
+  arg.key.assign(key);
+  arg.kind = SpanArg::Kind::kDouble;
+  arg.double_value = value;
+  buffer->open.back().args.push_back(std::move(arg));
+}
+
+void Tracer::AddSpanArg(std::string_view key, std::string_view value) {
+  ThreadBuffer* buffer = ThisThreadBuffer();
+  DBDC_CHECK(!buffer->open.empty() && "AddSpanArg outside an open span");
+  SpanArg arg;
+  arg.key.assign(key);
+  arg.kind = SpanArg::Kind::kString;
+  arg.string_value.assign(value);
+  buffer->open.back().args.push_back(std::move(arg));
+}
+
+void Tracer::EndSpan() {
+  ThreadBuffer* buffer = ThisThreadBuffer();
+  DBDC_CHECK(!buffer->open.empty() && "EndSpan without a matching Begin");
+  SpanRecord record = std::move(buffer->open.back());
+  buffer->open.pop_back();
+  record.dur_us = NowMicros() - record.start_us;
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer->done.push_back(std::move(record));
+}
+
+void Tracer::RecordVirtualSpan(std::string_view name,
+                               std::string_view category, double start_sec,
+                               double duration_sec,
+                               std::vector<SpanArg> args) {
+  DBDC_CHECK(std::isfinite(start_sec) && std::isfinite(duration_sec));
+  ThreadBuffer* buffer = ThisThreadBuffer();
+  SpanRecord record;
+  record.name.assign(name);
+  record.category.assign(category);
+  record.tid = buffer->tid;
+  record.virtual_clock = true;
+  record.start_us = static_cast<std::int64_t>(start_sec * 1e6);
+  record.dur_us = static_cast<std::int64_t>(duration_sec * 1e6);
+  record.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer->done.push_back(std::move(record));
+}
+
+void Tracer::SetVirtualNow(double seconds) {
+  virtual_now_.store(seconds, std::memory_order_relaxed);
+}
+
+void Tracer::AdvanceVirtual(double seconds) {
+  // Single-writer in practice (the simulation loop); a CAS loop keeps it
+  // well-defined regardless.
+  double now = virtual_now_.load(std::memory_order_relaxed);
+  while (!virtual_now_.compare_exchange_weak(now, now + seconds,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+double Tracer::VirtualNow() const {
+  return virtual_now_.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::Spans() const {
+  std::vector<SpanRecord> spans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : threads_) {
+      spans.insert(spans.end(), buffer->done.begin(), buffer->done.end());
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.dur_us > b.dur_us;  // Parents before children.
+            });
+  return spans;
+}
+
+std::size_t Tracer::NumSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& buffer : threads_) total += buffer->done.size();
+  return total;
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  const std::vector<SpanRecord> spans = Spans();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  out +=
+      "{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", "
+      "\"args\": {\"name\": \"dbdc (wall clock)\"}},\n";
+  out +=
+      "{\"ph\": \"M\", \"pid\": 2, \"name\": \"process_name\", "
+      "\"args\": {\"name\": \"dbdc (virtual clock, simulated seconds as "
+      "\\u00b5s)\"}}";
+  int max_tid = -1;
+  for (const SpanRecord& span : spans) max_tid = std::max(max_tid, span.tid);
+  for (int tid = 0; tid <= max_tid; ++tid) {
+    out += ",\n{\"ph\": \"M\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": \"thread " +
+           std::to_string(tid) + "\"}}";
+  }
+  for (const SpanRecord& span : spans) {
+    out += ",\n{\"name\": \"" + JsonEscape(span.name) + "\", \"cat\": \"" +
+           JsonEscape(span.category) + "\", \"ph\": \"X\", \"pid\": " +
+           (span.virtual_clock ? std::string("2") : std::string("1")) +
+           ", \"tid\": " + std::to_string(span.tid) +
+           ", \"ts\": " + std::to_string(span.start_us) +
+           ", \"dur\": " + std::to_string(span.dur_us) + ", ";
+    AppendArgs(&out, span.args);
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << ChromeTraceJson();
+  return out.good();
+}
+
+}  // namespace dbdc::obs

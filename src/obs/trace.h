@@ -1,0 +1,163 @@
+#ifndef DBDC_OBS_TRACE_H_
+#define DBDC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbdc::obs {
+
+/// One key/value annotation on a span (rendered into the Chrome trace's
+/// "args" object).
+struct SpanArg {
+  enum class Kind { kInt, kDouble, kString };
+  std::string key;
+  Kind kind = Kind::kInt;
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+};
+
+/// A completed span. Timestamps are microseconds — since the tracer's
+/// construction on the wall-clock track, or since virtual time 0 on the
+/// virtual track (virtual_clock spans; see Tracer::RecordVirtualSpan).
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  /// Tracer-assigned dense thread id (0 = first thread seen).
+  int tid = 0;
+  /// Nesting depth on its thread when the span opened (0 = top level).
+  int depth = 0;
+  bool virtual_clock = false;
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+  std::vector<SpanArg> args;
+};
+
+/// Records nested spans of the DBDC pipeline and exports them as Chrome
+/// trace_event JSON, loadable in chrome://tracing and Perfetto
+/// (DESIGN.md §9).
+///
+/// Spans open and close per thread (Begin/EndSpan must pair on one
+/// thread; ScopedSpan enforces this); nesting is the per-thread
+/// begin/end stack. Each thread appends to its own buffer, so tracing
+/// parallel stages never serializes the workers on a shared lock beyond
+/// the brief buffer registration.
+///
+/// Two time bases, exported as two Chrome "processes": wall-clock spans
+/// (pid 1) measured on a steady clock from the tracer's construction,
+/// and virtual-clock spans (pid 2) placed explicitly by the simulation
+/// (protocol transfers, continuous-mode ticks) on the deterministic
+/// virtual axis. The tracer keeps a virtual cursor (SetVirtualNow /
+/// AdvanceVirtual) so successive transfers lay out end to end.
+///
+/// The global hook (SetGlobalTracer) is null by default; every
+/// instrumentation site is one acquire load + branch when tracing is
+/// off — no allocations, no stores (the zero-cost-when-off contract).
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span on the calling thread's wall-clock track.
+  void BeginSpan(std::string_view name, std::string_view category = "dbdc");
+  /// Annotates the innermost open span of the calling thread.
+  void AddSpanArg(std::string_view key, std::int64_t value);
+  void AddSpanArg(std::string_view key, double value);
+  void AddSpanArg(std::string_view key, std::string_view value);
+  /// Closes the innermost open span of the calling thread.
+  void EndSpan();
+
+  /// Records a completed span on the virtual-clock track.
+  void RecordVirtualSpan(std::string_view name, std::string_view category,
+                         double start_sec, double duration_sec,
+                         std::vector<SpanArg> args = {});
+
+  /// Virtual cursor for trace layout (seconds on the virtual axis).
+  void SetVirtualNow(double seconds);
+  void AdvanceVirtual(double seconds);
+  double VirtualNow() const;
+
+  /// All completed spans, sorted by (tid, start, -duration). Call after
+  /// the traced work quiesced (open spans are not included).
+  std::vector<SpanRecord> Spans() const;
+  std::size_t NumSpans() const;
+
+  /// Chrome trace_event JSON ("X" complete events + process/thread
+  /// metadata).
+  std::string ChromeTraceJson() const;
+  /// Writes ChromeTraceJson() to `path`; false on IO failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer;
+  ThreadBuffer* ThisThreadBuffer();
+  std::int64_t NowMicros() const;
+
+  const std::uint64_t id_;  // Process-unique; never reused.
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> threads_;  // Under mu_.
+  std::atomic<double> virtual_now_{0.0};
+};
+
+namespace internal {
+extern std::atomic<Tracer*> g_tracer;
+}  // namespace internal
+
+/// The process-wide tracer, or null when tracing is off (the default).
+inline Tracer* GlobalTracer() {
+  return internal::g_tracer.load(std::memory_order_acquire);
+}
+
+/// Attaches `tracer` (borrowed; detach — SetGlobalTracer(nullptr) —
+/// before destroying it).
+void SetGlobalTracer(Tracer* tracer);
+
+/// RAII span against the global tracer; a no-op (no allocation, no
+/// atomic RMW) when tracing is off. The tracer is resolved once at
+/// construction so Begin/End always pair on the same tracer.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name,
+                      std::string_view category = "dbdc")
+      : tracer_(GlobalTracer()) {
+    if (tracer_ != nullptr) tracer_->BeginSpan(name, category);
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->EndSpan();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool enabled() const { return tracer_ != nullptr; }
+
+  /// Callers pass explicitly-typed values (cast integers to
+  /// std::int64_t) so overload resolution never has to pick between the
+  /// integer and floating representations.
+  void AddArg(std::string_view key, std::int64_t value) {
+    if (tracer_ != nullptr) tracer_->AddSpanArg(key, value);
+  }
+  void AddArg(std::string_view key, double value) {
+    if (tracer_ != nullptr) tracer_->AddSpanArg(key, value);
+  }
+  void AddArg(std::string_view key, std::string_view value) {
+    if (tracer_ != nullptr) tracer_->AddSpanArg(key, value);
+  }
+
+ private:
+  Tracer* tracer_;
+};
+
+}  // namespace dbdc::obs
+
+#endif  // DBDC_OBS_TRACE_H_

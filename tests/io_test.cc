@@ -69,6 +69,70 @@ TEST_F(IoTest, MalformedRowsRejected) {
   EXPECT_FALSE(ReadDatasetCsv(path).has_value());
 }
 
+TEST_F(IoTest, NonFiniteFieldsRejected) {
+  // strtod happily parses all of these; every one would poison the
+  // distance computations downstream.
+  const char* bad_rows[] = {"nan,1.0\n",  "1.0,inf\n",      "-inf,2.0\n",
+                            "NaN,NAN\n",  "infinity,1.0\n", "1e999,1.0\n",
+                            "1.0,-1e999\n"};
+  for (const char* row : bad_rows) {
+    const std::string path = TempPath("nonfinite.csv");
+    {
+      std::ofstream out(path);
+      out << row;
+    }
+    EXPECT_FALSE(ReadDatasetCsv(path).has_value()) << "accepted: " << row;
+  }
+}
+
+TEST_F(IoTest, TrailingJunkRejected) {
+  const char* bad_rows[] = {"2x,1.0\n", "1.0,3.5q\n", "1.0 2.0,3.0\n"};
+  for (const char* row : bad_rows) {
+    const std::string path = TempPath("junk.csv");
+    {
+      std::ofstream out(path);
+      out << row;
+    }
+    EXPECT_FALSE(ReadDatasetCsv(path).has_value()) << "accepted: " << row;
+  }
+}
+
+TEST_F(IoTest, SurroundingBlanksAccepted) {
+  const std::string path = TempPath("blanks.csv");
+  {
+    std::ofstream out(path);
+    out << " 1.5 ,\t-2.0\n";
+  }
+  const auto loaded = ReadDatasetCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->data.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded->data.point(0)[0], 1.5);
+  EXPECT_DOUBLE_EQ(loaded->data.point(0)[1], -2.0);
+}
+
+TEST_F(IoTest, CrlfLineEndingsAccepted) {
+  const std::string path = TempPath("crlf.csv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "1.0,2.0\r\n3.0,4.0\r\n";
+  }
+  const auto loaded = ReadDatasetCsv(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->data.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->data.point(1)[1], 4.0);
+}
+
+TEST_F(IoTest, LabelColumnOnSingleColumnFileRejected) {
+  // One column and has_label_column leaves zero coordinate columns.
+  const std::string path = TempPath("onecol.csv");
+  {
+    std::ofstream out(path);
+    out << "1.0\n2.0\n";
+  }
+  EXPECT_FALSE(ReadDatasetCsv(path, /*has_label_column=*/true).has_value());
+  EXPECT_TRUE(ReadDatasetCsv(path).has_value());
+}
+
 TEST_F(IoTest, LabelSizeMismatchFailsWrite) {
   Dataset data(2);
   data.Add(Point{1.0, 2.0});

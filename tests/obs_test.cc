@@ -1,0 +1,468 @@
+// Observability-layer suite (DESIGN.md §9): the MetricsRegistry's
+// sharded counters, the Tracer's span nesting and Chrome trace export,
+// the zero-cost-when-off contract (asserted via a counting operator
+// new), instrumentation determinism across thread counts, and the exact
+// reconciliation of the registry's wire counters against the engine's.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "common/rng.h"
+#include "core/dbdc.h"
+#include "core/engine.h"
+#include "data/generators.h"
+#include "distrib/fault.h"
+#include "distrib/network.h"
+#include "index/index_factory.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+// The replaced operators below pair ::operator new with std::malloc and
+// ::operator delete with std::free — a valid pairing the compiler cannot
+// see once it inlines them at call sites.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+// Counting global allocator: every operator-new call in this binary
+// bumps the counter, which is how the zero-allocation contract of the
+// disabled instrumentation hooks is asserted below.
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dbdc {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::ScopedSpan;
+using obs::SpanRecord;
+using obs::Tracer;
+
+/// Attaches for one scope and guarantees detachment even on test failure
+/// (the registry/tracer destructors CHECK they are detached).
+class ScopedMetrics {
+ public:
+  explicit ScopedMetrics(MetricsRegistry* r) { obs::SetGlobalMetrics(r); }
+  ~ScopedMetrics() { obs::SetGlobalMetrics(nullptr); }
+};
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(Tracer* t) { obs::SetGlobalTracer(t); }
+  ~ScopedTracer() { obs::SetGlobalTracer(nullptr); }
+};
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry registry;
+  ScopedMetrics attach(&registry);
+
+  obs::Count(Counter::kEpsRangeQueries);
+  obs::Count(Counter::kEpsRangeQueries, 9);
+  registry.SetGauge(Gauge::kDatasetPoints, 123.0);
+  registry.Observe(Histogram::kRangeQueryNeighbors, 0);
+  registry.Observe(Histogram::kRangeQueryNeighbors, 1);
+  registry.Observe(Histogram::kRangeQueryNeighbors, 3);
+  registry.Observe(Histogram::kRangeQueryNeighbors, 4);
+
+  EXPECT_EQ(registry.CounterValue(Counter::kEpsRangeQueries), 10u);
+  EXPECT_EQ(registry.CounterValue(Counter::kFramesSent), 0u);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter(Counter::kEpsRangeQueries), 10u);
+  EXPECT_DOUBLE_EQ(snap.gauge(Gauge::kDatasetPoints), 123.0);
+  const obs::HistogramData& h = snap.histogram(Histogram::kRangeQueryNeighbors);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.sum, 8u);
+  // Power-of-two buckets: 0 -> bucket 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3.
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 1u);
+  EXPECT_EQ(h.buckets[3], 1u);
+  EXPECT_FALSE(snap.empty());
+
+  const std::string json = snap.Json();
+  EXPECT_NE(json.find("\"eps_range_queries\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"dataset_points\": 123"), std::string::npos);
+  EXPECT_NE(json.find("\"range_query_neighbors\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DisabledHooksAreNoOps) {
+  ASSERT_EQ(obs::GlobalMetrics(), nullptr);
+  obs::Count(Counter::kEpsRangeQueries, 7);
+  obs::Observe(Histogram::kRangeQueryNeighbors, 3);
+  MetricsRegistry registry;
+  EXPECT_TRUE(registry.Snapshot().empty());
+}
+
+TEST(MetricsRegistryTest, ShardedCountersSumAcrossThreads) {
+  MetricsRegistry registry;
+  ScopedMetrics attach(&registry);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        obs::Count(Counter::kFramesSent);
+        obs::Observe(Histogram::kFramePayloadBytes, i & 1023);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(registry.CounterValue(Counter::kFramesSent),
+            kThreads * kPerThread);
+  EXPECT_EQ(registry.Snapshot().histogram(Histogram::kFramePayloadBytes).count,
+            kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SiteByteMapsSumToTotals) {
+  MetricsRegistry registry;
+  registry.AddSiteBytes(Counter::kBytesUplink, 0, 100);
+  registry.AddSiteBytes(Counter::kBytesUplink, 1, 50);
+  registry.AddSiteBytes(Counter::kBytesDownlink, 0, 30);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter(Counter::kBytesUplink), 150u);
+  EXPECT_EQ(snap.counter(Counter::kBytesDownlink), 30u);
+  EXPECT_EQ(snap.bytes_uplink_by_site.at(0), 100u);
+  EXPECT_EQ(snap.bytes_uplink_by_site.at(1), 50u);
+  EXPECT_EQ(snap.bytes_downlink_by_site.at(0), 30u);
+}
+
+TEST(ObsDisabledTest, HooksMakeZeroAllocations) {
+  ASSERT_EQ(obs::GlobalMetrics(), nullptr);
+  ASSERT_EQ(obs::GlobalTracer(), nullptr);
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    obs::Count(Counter::kEpsRangeQueries);
+    obs::Observe(Histogram::kRangeQueryNeighbors,
+                 static_cast<std::uint64_t>(i));
+    ScopedSpan span("hot", "test");
+    span.AddArg("i", static_cast<std::int64_t>(i));
+  }
+  EXPECT_EQ(g_allocations.load(), before);
+}
+
+TEST(ObsDisabledTest, DbscanHotPathAllocationsUnchangedByInstrumentation) {
+  // With observability off, an instrumented DBSCAN run must allocate
+  // exactly what an identical run allocates — the hooks add nothing.
+  // Run 1 warms every lazy cache; runs 2 and 3 must match exactly, and a
+  // tracer+registry attach/detach cycle in between must not change the
+  // steady state (stale thread-local shard caches may not allocate).
+  const SyntheticDataset synth = MakeTestDatasetC(17);
+  const DbscanParams params = synth.suggested_params;
+  const auto run_once = [&] {
+    const std::unique_ptr<NeighborIndex> index =
+        CreateIndex(IndexType::kGrid, synth.data, Euclidean(), params.eps);
+    return RunDbscan(*index, params);
+  };
+  run_once();
+  const std::uint64_t before_second = g_allocations.load();
+  const Clustering second = run_once();
+  const std::uint64_t second_cost = g_allocations.load() - before_second;
+
+  {
+    Tracer tracer;
+    MetricsRegistry registry;
+    ScopedTracer attach_tracer(&tracer);
+    ScopedMetrics attach_metrics(&registry);
+    run_once();
+  }
+
+  const std::uint64_t before_third = g_allocations.load();
+  const Clustering third = run_once();
+  const std::uint64_t third_cost = g_allocations.load() - before_third;
+  EXPECT_EQ(second_cost, third_cost);
+  EXPECT_EQ(second.labels, third.labels);
+}
+
+TEST(TracerTest, SpansNestAndStagesTileTheRun) {
+  const SyntheticDataset synth = MakeTestDatasetC(19);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.num_sites = 3;
+
+  Tracer tracer;
+  {
+    ScopedTracer attach(&tracer);
+    RunDbdc(synth.data, Euclidean(), config);
+  }
+
+  const std::vector<SpanRecord> spans = tracer.Spans();
+  ASSERT_FALSE(spans.empty());
+
+  // Exactly the seven engine stages, in pipeline order, at top level.
+  std::vector<const SpanRecord*> stages;
+  for (const SpanRecord& s : spans) {
+    if (s.category == "stage") stages.push_back(&s);
+  }
+  ASSERT_EQ(stages.size(), 7u);
+  for (int i = 0; i < kNumStages; ++i) {
+    EXPECT_EQ(stages[static_cast<std::size_t>(i)]->name,
+              StageName(static_cast<StageId>(i)));
+    EXPECT_EQ(stages[static_cast<std::size_t>(i)]->depth, 0);
+    EXPECT_FALSE(stages[static_cast<std::size_t>(i)]->virtual_clock);
+  }
+  // Stages tile the run: disjoint and in order on the wall clock.
+  for (std::size_t i = 1; i < stages.size(); ++i) {
+    EXPECT_GE(stages[i]->start_us,
+              stages[i - 1]->start_us + stages[i - 1]->dur_us);
+  }
+
+  // Every nested wall-clock span lies inside one stage's interval
+  // (sequential run: everything is on the main thread).
+  std::size_t nested = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.category == "stage" || s.virtual_clock) continue;
+    EXPECT_EQ(s.tid, stages[0]->tid);
+    EXPECT_GT(s.depth, 0);
+    bool contained = false;
+    for (const SpanRecord* stage : stages) {
+      if (s.start_us >= stage->start_us &&
+          s.start_us + s.dur_us <= stage->start_us + stage->dur_us) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << s.name << " escapes every stage span";
+    ++nested;
+  }
+  // At least the per-site spans (3 sites x 3 phases) plus the DBSCAN and
+  // relabel internals must have shown up.
+  EXPECT_GE(nested, 9u);
+
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("\"local_cluster\""), std::string::npos);
+}
+
+TEST(TracerTest, VirtualTransferSpansLayOutEndToEnd) {
+  const SyntheticDataset synth = MakeTestDatasetC(23);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.num_sites = 3;
+  config.protocol.enabled = true;
+
+  Tracer tracer;
+  {
+    ScopedTracer attach(&tracer);
+    RunDbdc(synth.data, Euclidean(), config);
+  }
+
+  const std::vector<SpanRecord> spans = tracer.Spans();
+  std::vector<const SpanRecord*> transfers;
+  for (const SpanRecord& s : spans) {
+    if (s.virtual_clock) transfers.push_back(&s);
+  }
+  // One uplink per site + one broadcast per site.
+  ASSERT_EQ(transfers.size(), 6u);
+  std::int64_t cursor = 0;
+  for (const SpanRecord* t : transfers) {
+    EXPECT_EQ(t->name, "protocol.transfer");
+    EXPECT_GT(t->dur_us, 0);
+    // End-to-end layout on the virtual axis (±1µs of rounding per span).
+    EXPECT_LE(std::abs(t->start_us - cursor), 2) << "transfer pile-up";
+    cursor = t->start_us + t->dur_us;
+  }
+}
+
+MetricsSnapshot SnapshotForThreads(int threads) {
+  const SyntheticDataset synth = MakeTestDatasetA(11);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.num_sites = 4;
+  config.num_threads = threads;
+  MetricsRegistry registry;
+  DbdcResult result;
+  {
+    ScopedMetrics attach(&registry);
+    result = RunDbdc(synth.data, Euclidean(), config);
+  }
+  const MetricsSnapshot snap = registry.Snapshot();
+  // TakeResult embeds the same snapshot (modulo nothing: the run is over
+  // by then and this thread is the only writer).
+  EXPECT_EQ(result.metrics_snapshot.Json(), snap.Json());
+  return snap;
+}
+
+TEST(MetricsDeterminismTest, SnapshotIdenticalAcrossParallelThreadCounts) {
+  // The parallel DBSCAN phase issues exactly one ε-query per point and
+  // all counters are order-independent sums, so the entire snapshot —
+  // counters, histograms, buckets, per-site bytes — is bit-identical for
+  // every worker count >= 2. (Json() is a deterministic rendering of the
+  // full snapshot, so string equality is snapshot equality.)
+  const MetricsSnapshot two = SnapshotForThreads(2);
+  const MetricsSnapshot four = SnapshotForThreads(4);
+  const MetricsSnapshot eight = SnapshotForThreads(8);
+  EXPECT_EQ(two.Json(), four.Json());
+  EXPECT_EQ(four.Json(), eight.Json());
+  EXPECT_GT(two.counter(Counter::kEpsRangeQueries), 0u);
+  EXPECT_GT(two.counter(Counter::kBytesUplink), 0u);
+}
+
+TEST(MetricsDeterminismTest, WireAndRelabelCountersInvariantToSequential) {
+  // The sequential sweep re-queries noise points later claimed as border,
+  // so kEpsRangeQueries legitimately differs from the parallel phase-A
+  // count — but everything the network and the relabel pass count must
+  // be identical even between threads=1 and threads=4.
+  const MetricsSnapshot seq = SnapshotForThreads(1);
+  const MetricsSnapshot par = SnapshotForThreads(4);
+  for (const Counter c :
+       {Counter::kBytesUplink, Counter::kBytesDownlink, Counter::kFramesSent,
+        Counter::kFramesRetried, Counter::kFramesDropped,
+        Counter::kRelabelPointsScanned, Counter::kRelabelDistanceComps}) {
+    EXPECT_EQ(seq.counter(c), par.counter(c)) << obs::CounterName(c);
+  }
+  EXPECT_EQ(seq.bytes_uplink_by_site, par.bytes_uplink_by_site);
+  EXPECT_EQ(seq.bytes_downlink_by_site, par.bytes_downlink_by_site);
+  EXPECT_GT(seq.counter(Counter::kEpsRangeQueries),
+            par.counter(Counter::kEpsRangeQueries));
+}
+
+TEST(MetricsReconciliationTest, RegistryMatchesWireCountersUnderFaults) {
+  const SyntheticDataset synth = MakeTestDatasetC(29);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.num_sites = 4;
+  config.protocol.enabled = true;
+
+  SimulatedNetwork inner;
+  FaultSpec spec;
+  spec.drop_rate = 0.15;
+  spec.corrupt_rate = 0.1;
+  spec.seed = 77;
+  FaultyNetwork network(&inner, spec);
+
+  MetricsRegistry registry;
+  DbdcResult result;
+  {
+    ScopedMetrics attach(&registry);
+    result = RunDbdc(synth.data, Euclidean(), config, &network);
+  }
+  const MetricsSnapshot snap = registry.Snapshot();
+
+  // Exact, not approximate: the registry records inside the transport.
+  EXPECT_EQ(snap.counter(Counter::kBytesUplink), result.bytes_uplink);
+  EXPECT_EQ(snap.counter(Counter::kBytesDownlink), result.bytes_downlink);
+  EXPECT_EQ(snap.counter(Counter::kFramesRetried), result.protocol_retries);
+  EXPECT_EQ(snap.counter(Counter::kFramesDropped), result.frames_dropped);
+  EXPECT_EQ(snap.counter(Counter::kFramesCorrupted), result.frames_corrupted);
+  EXPECT_EQ(snap.counter(Counter::kAcksLost), result.acks_lost);
+
+  // Fault-injection accounting against the fault layer's own stats.
+  EXPECT_EQ(snap.counter(Counter::kFaultDropsInjected),
+            network.stats().messages_dropped);
+  EXPECT_EQ(snap.counter(Counter::kFaultCorruptionsInjected),
+            network.stats().messages_corrupted);
+
+  // The per-site maps partition the totals.
+  std::uint64_t uplink_sum = 0;
+  for (const auto& [site, bytes] : snap.bytes_uplink_by_site) {
+    EXPECT_GE(site, 0);
+    EXPECT_LT(site, config.num_sites);
+    uplink_sum += bytes;
+  }
+  EXPECT_EQ(uplink_sum, result.bytes_uplink);
+}
+
+TEST(MetricsReconciliationTest, SnapshotEmptyWithoutRegistry) {
+  const SyntheticDataset synth = MakeTestDatasetC(37);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
+  EXPECT_TRUE(result.metrics_snapshot.empty());
+}
+
+TEST(ContinuousObsTest, TickCountersAndVirtualClockGauge) {
+  SimulatedNetwork net;
+  GlobalModelParams params;
+  params.min_pts_global = 2;
+  ContinuousDbdc continuous(Euclidean(), params, ProtocolConfig{}, &net);
+  StreamingSite a(0, Euclidean(), DbscanParams{1.0, 4}, 2,
+                  LocalModelType::kScor, RefreshPolicy{});
+  StreamingSite b(1, Euclidean(), DbscanParams{1.0, 4}, 2,
+                  LocalModelType::kScor, RefreshPolicy{});
+  continuous.AttachSite(&a);
+  continuous.AttachSite(&b);
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    a.Insert(Point{rng.Gaussian(0.0, 0.3), rng.Gaussian(0.0, 0.3)});
+    b.Insert(Point{rng.Gaussian(10.0, 0.3), rng.Gaussian(10.0, 0.3)});
+  }
+
+  MetricsRegistry registry;
+  Tracer tracer;
+  {
+    ScopedMetrics attach_metrics(&registry);
+    ScopedTracer attach_tracer(&tracer);
+    EXPECT_EQ(continuous.Tick(), 2);
+    for (int t = 0; t < 3; ++t) EXPECT_EQ(continuous.Tick(), 0);
+  }
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter(Counter::kContinuousTicks), 4u);
+  EXPECT_EQ(snap.counter(Counter::kRefreshesSent), 2u);
+  EXPECT_EQ(snap.counter(Counter::kRefreshesApplied), 2u);
+  EXPECT_EQ(snap.counter(Counter::kRefreshesLost), 0u);
+  EXPECT_EQ(snap.counter(Counter::kGlobalRebuilds), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauge(Gauge::kVirtualClockSec),
+                   continuous.virtual_now_sec());
+
+  // One wall span per tick.
+  std::size_t ticks = 0;
+  for (const SpanRecord& s : tracer.Spans()) {
+    if (s.name == "continuous.tick") ++ticks;
+  }
+  EXPECT_EQ(ticks, 4u);
+}
+
+TEST(FastPathMetricsTest, PrunedIsExaminedMinusAccepted) {
+  const SyntheticDataset synth = MakeTestDatasetC(41);
+  const double eps = synth.suggested_params.eps;
+  for (const IndexType type : {IndexType::kLinearScan, IndexType::kGrid}) {
+    MetricsRegistry registry;
+    ScopedMetrics attach(&registry);
+    const std::unique_ptr<NeighborIndex> index =
+        CreateIndex(type, synth.data, Euclidean(), eps);
+    std::vector<PointId> out;
+    std::uint64_t accepted = 0;
+    for (PointId p = 0; p < static_cast<PointId>(synth.data.size()); ++p) {
+      index->RangeQuery(p, eps, &out);
+      accepted += out.size();
+    }
+    const MetricsSnapshot snap = registry.Snapshot();
+    EXPECT_EQ(snap.counter(Counter::kFastPathCandidates) -
+                  snap.counter(Counter::kFastPathPruned),
+              accepted);
+    EXPECT_GT(snap.counter(Counter::kFastPathCandidates), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/dbdc.h"
+#include "distrib/fault.h"
 #include "distrib/network.h"
 #include "baseline/parallel_dbscan.h"
 #include "core/model_codec.h"
@@ -62,6 +65,44 @@ TEST_P(ProtocolInvariantsTest, MessageStructureAndAccounting) {
 
 INSTANTIATE_TEST_SUITE_P(SiteCounts, ProtocolInvariantsTest,
                          ::testing::Values(1, 3, 6));
+
+TEST(ProtocolInvariantsTest, BackoffSaturatesAtHighAttemptCounts) {
+  // Regression: the backoff used to be retry_backoff_sec * (1 << (k-1)),
+  // which is undefined behavior (int overflow in the shift) from retry 32
+  // on — and nothing bounds max_attempts below that. A transfer through a
+  // total blackout must exhaust all 64 attempts with a finite, positive
+  // elapsed time.
+  SimulatedNetwork inner;
+  FaultSpec spec;
+  spec.drop_rate = 1.0;
+  FaultyNetwork network(&inner, spec);
+
+  ProtocolConfig config;
+  config.enabled = true;
+  config.max_attempts = 64;
+  ReliableChannel channel(&network, config);
+  const TransferOutcome out =
+      channel.Transfer(0, kServerEndpoint, {1, 2, 3, 4});
+
+  EXPECT_FALSE(out.delivered);
+  EXPECT_FALSE(out.acked);
+  EXPECT_EQ(out.attempts, 64);
+  EXPECT_EQ(out.retries, 63);
+  EXPECT_EQ(out.data_drops, 64);
+  ASSERT_TRUE(std::isfinite(out.elapsed_seconds));
+  EXPECT_GT(out.elapsed_seconds, 0.0);
+
+  // More attempts may only add backoff time, never reduce or corrupt it.
+  SimulatedNetwork inner32;
+  FaultyNetwork network32(&inner32, spec);
+  ProtocolConfig config32 = config;
+  config32.max_attempts = 32;
+  ReliableChannel channel32(&network32, config32);
+  const TransferOutcome shorter =
+      channel32.Transfer(0, kServerEndpoint, {1, 2, 3, 4});
+  EXPECT_EQ(shorter.attempts, 32);
+  EXPECT_LT(shorter.elapsed_seconds, out.elapsed_seconds);
+}
 
 TEST(ProtocolInvariantsTest, SingleWorkerParallelDbscanHasNoHalo) {
   // With one worker there is no boundary, hence no replication cost.

@@ -93,6 +93,9 @@ for row in doc["fastpath"]:
         assert key in row, f"fastpath row missing {key}: {row}"
 baseline = [r for r in doc["results"] if r["threads"] == 1]
 assert baseline and all(r["speedup_vs_1t"] == 1.0 for r in baseline)
+metrics = doc["metrics"]
+assert isinstance(metrics["counters"], dict)
+assert metrics["counters"].get("eps_range_queries", 0) > 0, metrics
 print(f"run_bench.sh: schema OK "
       f"({len(doc['results'])} scaling rows, "
       f"{len(doc['fastpath'])} fastpath rows).")
@@ -100,7 +103,7 @@ PY
 else
   echo "run_bench.sh: python3 unavailable; falling back to key check." >&2
   for key in '"schema": "dbdc-parallel-bench-v1"' '"results"' '"fastpath"' \
-             '"hardware_threads"'; do
+             '"hardware_threads"' '"metrics"'; do
     if ! grep -qF "$key" "$out_file"; then
       echo "run_bench.sh: $out_file missing expected key $key" >&2
       exit 1
@@ -145,11 +148,15 @@ clean = [r for r in doc["results"]
          if r["failed_sites"] == 0 and r["drop_rate"] == 0.0]
 assert clean and all(r["p2"] == 1.0 for r in clean), \
     "fault-free cell must match the complete run exactly"
+metrics = doc["metrics"]
+assert isinstance(metrics["counters"], dict)
+assert metrics["counters"].get("eps_range_queries", 0) > 0, metrics
+assert metrics["counters"].get("frames_sent", 0) > 0, metrics
 print(f"run_bench.sh: fault schema OK ({len(doc['results'])} sweep rows).")
 PY
 else
   for key in '"schema": "dbdc-fault-bench-v1"' '"results"' '"complete"' \
-             '"num_sites"'; do
+             '"num_sites"' '"metrics"'; do
     if ! grep -qF "$key" "$fault_out_file"; then
       echo "run_bench.sh: $fault_out_file missing expected key $key" >&2
       exit 1
@@ -199,13 +206,18 @@ assert sum(s["bytes_uplink"] for s in stages) > 0
 # batch re-runs by at least 5x on uplink bytes.
 assert doc["uplink_savings"] >= 5.0, \
     f"continuous uplink savings below 5x: {doc['uplink_savings']}"
+metrics = doc["metrics"]
+assert isinstance(metrics["counters"], dict)
+assert metrics["counters"].get("eps_range_queries", 0) > 0, metrics
+assert metrics["counters"].get("continuous_ticks", 0) >= doc["ticks"], metrics
 print(f"run_bench.sh: continuous schema OK "
       f"(uplink savings {doc['uplink_savings']:.1f}x, "
       f"{cont['global_rebuilds']} rebuilds over {doc['ticks']} ticks).")
 PY
 else
   for key in '"schema": "dbdc-continuous-bench-v1"' '"continuous"' \
-             '"naive"' '"uplink_savings"' '"batch_stage_stats"'; do
+             '"naive"' '"uplink_savings"' '"batch_stage_stats"' \
+             '"metrics"'; do
     if ! grep -qF "$key" "$continuous_out_file"; then
       echo "run_bench.sh: $continuous_out_file missing expected key $key" >&2
       exit 1
