@@ -80,9 +80,10 @@ struct HarnessOptions {
 };
 
 /// Parses the shared harness flags. Returns false (after printing usage)
-/// on anything unrecognized; the caller should exit 2.
-inline bool ParseHarnessOptions(int argc, char** argv,
-                                HarnessOptions* options) {
+/// on anything unrecognized; the caller should exit 2. [[nodiscard]]:
+/// ignoring a parse failure would run the harness on half-applied flags.
+[[nodiscard]] inline bool ParseHarnessOptions(int argc, char** argv,
+                                              HarnessOptions* options) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       options->quick = true;

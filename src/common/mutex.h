@@ -1,0 +1,79 @@
+#ifndef DBDC_COMMON_MUTEX_H_
+#define DBDC_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dbdc {
+
+/// Annotated mutex: a std::mutex the Clang Thread Safety Analysis can
+/// reason about. Every shared-state surface in the library (ThreadPool,
+/// obs::MetricsRegistry, obs::Tracer) uses this wrapper so that
+/// DBDC_GUARDED_BY contracts on the data they protect are checked at
+/// compile time under the `tsafety` preset (DESIGN.md §10).
+class DBDC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DBDC_ACQUIRE() { mu_.lock(); }
+  void Unlock() DBDC_RELEASE() { mu_.unlock(); }
+  bool TryLock() DBDC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex; the analysis treats the scope of a MutexLock as
+/// the region where the capability is held.
+class DBDC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DBDC_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() DBDC_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() takes no predicate:
+/// callers re-check their condition in a `while` loop *in their own
+/// body*, where the analysis can see the guarded reads happening under
+/// the lock (a predicate lambda would be a separate, unannotated
+/// function and defeat the analysis).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases *mu, blocks until notified (or spuriously
+  /// woken), and re-acquires *mu before returning. The caller must hold
+  /// *mu and must loop on its condition.
+  void Wait(Mutex* mu) DBDC_REQUIRES(mu) { WaitInternal(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // The unlock/relock handshake happens inside std::condition_variable,
+  // which the analysis cannot model; the wrapper re-establishes the
+  // "held on entry, held on exit" contract that Wait() advertises.
+  void WaitInternal(Mutex* mu) DBDC_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  std::condition_variable cv_;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_COMMON_MUTEX_H_

@@ -1,0 +1,95 @@
+#ifndef DBDC_COMMON_THREAD_ANNOTATIONS_H_
+#define DBDC_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis annotations (DESIGN.md §10).
+///
+/// These macros attach compile-time lock-discipline contracts to types,
+/// data members and functions: which mutex guards which field, which
+/// functions must (or must not) be called with a lock held, and which
+/// RAII types acquire/release a capability. Under Clang with
+/// -Wthread-safety (the `tsafety` CMake preset turns this into
+/// -Werror=thread-safety-analysis) every violation is a compile error;
+/// under every other compiler the macros expand to nothing, so the
+/// annotated code stays portable to the pinned GCC toolchain.
+///
+/// The vocabulary mirrors the standard attribute set
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed
+/// DBDC_ to keep the global namespace clean. Use dbdc::Mutex /
+/// dbdc::MutexLock (common/mutex.h) rather than annotating raw
+/// std::mutex members: the analysis only understands capabilities it
+/// can see, and the wrapper carries the attributes.
+
+#if defined(__clang__)
+#define DBDC_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define DBDC_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the capability
+/// kind in diagnostics).
+#define DBDC_CAPABILITY(x) DBDC_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability (MutexLock).
+#define DBDC_SCOPED_CAPABILITY \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member `x` may only be read or written while holding the given
+/// capability.
+#define DBDC_GUARDED_BY(x) DBDC_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member: the *pointee* is protected by the given capability
+/// (the pointer itself is not).
+#define DBDC_PT_GUARDED_BY(x) \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock prevention).
+#define DBDC_ACQUIRED_BEFORE(...) \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(acquired_before(__VA_ARGS__))
+#define DBDC_ACQUIRED_AFTER(...) \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while holding the given capabilities
+/// (and does not release them).
+#define DBDC_REQUIRES(...) \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define DBDC_REQUIRES_SHARED(...) \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define DBDC_ACQUIRE(...) \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define DBDC_ACQUIRE_SHARED(...) \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability the caller held on entry.
+#define DBDC_RELEASE(...) \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define DBDC_RELEASE_SHARED(...) \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `b`.
+#define DBDC_TRY_ACQUIRE(b, ...) \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(b, __VA_ARGS__))
+
+/// The function may not be called while holding the given capabilities
+/// (it acquires them itself, or would deadlock).
+#define DBDC_EXCLUDES(...) \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts (at runtime, to the analysis) that the capability is held.
+#define DBDC_ASSERT_CAPABILITY(x) \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define DBDC_RETURN_CAPABILITY(x) \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Reserve for
+/// primitives whose correctness the analysis cannot express (CondVar's
+/// wait, which unlocks and relocks through std internals); never use it
+/// to silence a real finding.
+#define DBDC_NO_THREAD_SAFETY_ANALYSIS \
+  DBDC_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // DBDC_COMMON_THREAD_ANNOTATIONS_H_

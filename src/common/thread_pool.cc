@@ -22,10 +22,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(&mutex_);
     shutdown_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -50,7 +50,7 @@ void ThreadPool::RunTasks(std::size_t num_tasks,
     return;
   }
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    const MutexLock lock(&mutex_);
     DBDC_CHECK(task_fn_ == nullptr &&
                "nested ParallelFor on the same pool is not supported");
     task_fn_ = &fn;
@@ -58,25 +58,30 @@ void ThreadPool::RunTasks(std::size_t num_tasks,
     tasks_total_ = num_tasks;
     tasks_finished_ = 0;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   // The calling thread works too: the pool then provides num_threads_
   // concurrent lanes total without idling the caller.
   for (;;) {
     std::size_t task;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(&mutex_);
       if (next_task_ >= tasks_total_) break;
       task = next_task_++;
     }
     fn(task);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(&mutex_);
       ++tasks_finished_;
     }
   }
-  std::unique_lock<std::mutex> lock(mutex_);
-  work_done_.wait(lock, [this] { return tasks_finished_ == tasks_total_; });
-  task_fn_ = nullptr;
+  {
+    const MutexLock lock(&mutex_);
+    // Conditions are re-checked in a while loop in this body (not in a
+    // predicate lambda) so the guarded reads are visibly under the lock
+    // for the thread-safety analysis.
+    while (tasks_finished_ != tasks_total_) work_done_.Wait(&mutex_);
+    task_fn_ = nullptr;
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -84,19 +89,20 @@ void ThreadPool::WorkerLoop() {
     std::function<void(std::size_t)>* fn = nullptr;
     std::size_t task = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this] {
-        return shutdown_ || (task_fn_ != nullptr && next_task_ < tasks_total_);
-      });
+      const MutexLock lock(&mutex_);
+      while (!shutdown_ &&
+             (task_fn_ == nullptr || next_task_ >= tasks_total_)) {
+        work_ready_.Wait(&mutex_);
+      }
       if (shutdown_) return;
       fn = task_fn_;
       task = next_task_++;
     }
     (*fn)(task);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(&mutex_);
       ++tasks_finished_;
-      if (tasks_finished_ == tasks_total_) work_done_.notify_all();
+      if (tasks_finished_ == tasks_total_) work_done_.NotifyAll();
     }
   }
 }

@@ -1,14 +1,14 @@
 #ifndef DBDC_COMMON_THREAD_POOL_H_
 #define DBDC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dbdc {
 
@@ -108,17 +108,20 @@ class ThreadPool {
   void WorkerLoop();
 
   const int num_threads_;
+  /// Written only by the constructor, before any worker can observe it;
+  /// joined by the destructor after shutdown.
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable work_done_;
+  Mutex mutex_;
+  CondVar work_ready_;
+  CondVar work_done_;
   /// Current fork-join batch; null when idle.
-  std::function<void(std::size_t)>* task_fn_ = nullptr;
-  std::size_t next_task_ = 0;
-  std::size_t tasks_total_ = 0;
-  std::size_t tasks_finished_ = 0;
-  bool shutdown_ = false;
+  std::function<void(std::size_t)>* task_fn_ DBDC_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t next_task_ DBDC_GUARDED_BY(mutex_) = 0;
+  std::size_t tasks_total_ DBDC_GUARDED_BY(mutex_) = 0;
+  std::size_t tasks_finished_ DBDC_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ DBDC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dbdc

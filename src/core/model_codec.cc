@@ -190,9 +190,12 @@ std::vector<std::uint8_t> EncodeLocalModel(const LocalModel& model) {
 #if DBDC_DCHECK_IS_ON()
   // Round-trip self-check: whatever this encoder produced must decode and
   // re-encode to the identical byte string.
+  // DBDC_ASSERT, not DBDC_DCHECK: on codec/wire paths every compiled-in
+  // check is unconditional (the whole block is already gated on
+  // DBDC_DCHECK_IS_ON(), which keeps it out of plain Release builds).
   const std::optional<LocalModel> back = DecodeLocalModel(out);
-  DBDC_DCHECK(back.has_value() && "encoder output does not decode");
-  DBDC_DCHECK(EncodeLocalModelImpl(*back) == out &&
+  DBDC_ASSERT(back.has_value() && "encoder output does not decode");
+  DBDC_ASSERT(EncodeLocalModelImpl(*back) == out &&
               "local model round trip is not byte-exact");
 #endif
   return out;
@@ -264,8 +267,8 @@ std::vector<std::uint8_t> EncodeGlobalModel(const GlobalModel& model) {
   std::vector<std::uint8_t> out = EncodeGlobalModelImpl(model);
 #if DBDC_DCHECK_IS_ON()
   const std::optional<GlobalModel> back = DecodeGlobalModel(out);
-  DBDC_DCHECK(back.has_value() && "encoder output does not decode");
-  DBDC_DCHECK(EncodeGlobalModelImpl(*back) == out &&
+  DBDC_ASSERT(back.has_value() && "encoder output does not decode");
+  DBDC_ASSERT(EncodeGlobalModelImpl(*back) == out &&
               "global model round trip is not byte-exact");
 #endif
   return out;

@@ -39,8 +39,11 @@ namespace dbdc {
 
 /// Why a payload was rejected. kOk is the only success value; the
 /// fault-injection tests assert the specific failure reason for each
-/// corruption mode.
-enum class DecodeStatus {
+/// corruption mode. [[nodiscard]] on the type: every function returning
+/// a DecodeStatus is implicitly must-check, so a silently dropped wire
+/// error cannot compile (tools/dbdc_lint.py additionally flags bare
+/// discarding calls for builds that lack the warning).
+enum class [[nodiscard]] DecodeStatus {
   kOk = 0,
   /// First four bytes are not the expected model magic.
   kBadMagic,
@@ -70,8 +73,9 @@ DecodeStatus DecodeGlobalModel(std::span<const std::uint8_t> bytes,
                                GlobalModel* out);
 
 /// Convenience wrappers collapsing the failure reason to nullopt.
-std::optional<LocalModel> DecodeLocalModel(std::span<const std::uint8_t> bytes);
-std::optional<GlobalModel> DecodeGlobalModel(
+[[nodiscard]] std::optional<LocalModel> DecodeLocalModel(
+    std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<GlobalModel> DecodeGlobalModel(
     std::span<const std::uint8_t> bytes);
 
 /// Structural validation of a model about to be encoded or just decoded:

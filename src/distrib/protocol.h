@@ -37,7 +37,8 @@ struct Frame {
 std::vector<std::uint8_t> EncodeFrame(const Frame& frame);
 /// nullopt on truncation, bad magic, or checksum mismatch — the receiver
 /// treats all three identically (discard, no ack), so no reason enum.
-std::optional<Frame> DecodeFrame(std::span<const std::uint8_t> bytes);
+[[nodiscard]] std::optional<Frame> DecodeFrame(
+    std::span<const std::uint8_t> bytes);
 
 /// Fixed per-frame overhead of EncodeFrame in bytes.
 std::size_t FrameOverheadBytes();

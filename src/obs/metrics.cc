@@ -98,7 +98,7 @@ MetricsRegistry::Shard* MetricsRegistry::ThisThreadShard() {
     Shard* shard = nullptr;
   } cache;
   if (cache.registry_id == id_) return cache.shard;
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   shards_.push_back(std::make_unique<Shard>());
   cache.registry_id = id_;
   cache.shard = shards_.back().get();
@@ -132,7 +132,7 @@ void MetricsRegistry::AddSiteBytes(Counter direction, int site_id,
   DBDC_CHECK(direction == Counter::kBytesUplink ||
              direction == Counter::kBytesDownlink);
   Add(direction, delta);
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   if (direction == Counter::kBytesUplink) {
     site_uplink_[site_id] += delta;
   } else {
@@ -143,7 +143,7 @@ void MetricsRegistry::AddSiteBytes(Counter direction, int site_id,
 std::uint64_t MetricsRegistry::CounterValue(Counter counter) const {
   const std::size_t c = static_cast<std::size_t>(static_cast<int>(counter));
   std::uint64_t total = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   for (const auto& shard : shards_) {
     total += shard->counters[c].load(std::memory_order_relaxed);
   }
@@ -152,7 +152,7 @@ std::uint64_t MetricsRegistry::CounterValue(Counter counter) const {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   for (const auto& shard : shards_) {
     for (int c = 0; c < kNumCounters; ++c) {
       snap.counters[static_cast<std::size_t>(c)] +=

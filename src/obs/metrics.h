@@ -6,10 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dbdc::obs {
 
@@ -142,11 +144,13 @@ class MetricsRegistry {
   Shard* ThisThreadShard();
 
   const std::uint64_t id_;  // Process-unique; never reused.
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Shard>> shards_;  // Append-only, under mu_.
+  mutable Mutex mu_;
+  /// Append-only; the Shard pointees are updated lock-free by their
+  /// owning threads (relaxed atomics), only the vector itself is guarded.
+  std::vector<std::unique_ptr<Shard>> shards_ DBDC_GUARDED_BY(mu_);
   std::array<std::atomic<double>, kNumGauges> gauges_;
-  std::map<int, std::uint64_t> site_uplink_;    // Under mu_.
-  std::map<int, std::uint64_t> site_downlink_;  // Under mu_.
+  std::map<int, std::uint64_t> site_uplink_ DBDC_GUARDED_BY(mu_);
+  std::map<int, std::uint64_t> site_downlink_ DBDC_GUARDED_BY(mu_);
 };
 
 namespace internal {

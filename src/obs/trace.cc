@@ -95,7 +95,7 @@ Tracer::ThreadBuffer* Tracer::ThisThreadBuffer() {
     ThreadBuffer* buffer = nullptr;
   } cache;
   if (cache.tracer_id == id_) return cache.buffer;
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   auto buffer = std::make_unique<ThreadBuffer>();
   buffer->tid = static_cast<int>(threads_.size());
   threads_.push_back(std::move(buffer));
@@ -157,7 +157,7 @@ void Tracer::EndSpan() {
   SpanRecord record = std::move(buffer->open.back());
   buffer->open.pop_back();
   record.dur_us = NowMicros() - record.start_us;
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   buffer->done.push_back(std::move(record));
 }
 
@@ -175,7 +175,7 @@ void Tracer::RecordVirtualSpan(std::string_view name,
   record.start_us = static_cast<std::int64_t>(start_sec * 1e6);
   record.dur_us = static_cast<std::int64_t>(duration_sec * 1e6);
   record.args = std::move(args);
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   buffer->done.push_back(std::move(record));
 }
 
@@ -199,7 +199,7 @@ double Tracer::VirtualNow() const {
 std::vector<SpanRecord> Tracer::Spans() const {
   std::vector<SpanRecord> spans;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(&mu_);
     for (const auto& buffer : threads_) {
       spans.insert(spans.end(), buffer->done.begin(), buffer->done.end());
     }
@@ -214,7 +214,7 @@ std::vector<SpanRecord> Tracer::Spans() const {
 }
 
 std::size_t Tracer::NumSpans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(&mu_);
   std::size_t total = 0;
   for (const auto& buffer : threads_) total += buffer->done.size();
   return total;

@@ -5,10 +5,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dbdc::obs {
 
@@ -104,8 +106,10 @@ class Tracer {
 
   const std::uint64_t id_;  // Process-unique; never reused.
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<ThreadBuffer>> threads_;  // Under mu_.
+  mutable Mutex mu_;
+  /// The vector is guarded; each ThreadBuffer's `open` stack is confined
+  /// to its owning thread, and `done` is appended/read under mu_.
+  std::vector<std::unique_ptr<ThreadBuffer>> threads_ DBDC_GUARDED_BY(mu_);
   std::atomic<double> virtual_now_{0.0};
 };
 

@@ -131,6 +131,12 @@ bool WriteScatterPpm(const std::string& path, const Dataset& data,
     }
   }
   out << "P6\n" << width << " " << height << "\n255\n";
+  // Audited byte-type pun: ostream::write takes char*, the pixel buffer
+  // is unsigned char. Casting between the two byte types for I/O is
+  // well-defined ([basic.lval] allows char access to any object) and the
+  // only reinterpret_cast in the library; std::memcpy into a char buffer
+  // would add a full-frame copy for no safety gain.
+  // dbdc-lint: allow(no-reinterpret-cast)
   out.write(reinterpret_cast<const char*>(pixels.data()),
             static_cast<std::streamsize>(pixels.size()));
   return out.good();

@@ -1,0 +1,13 @@
+// Seeded violation: DBDC_DCHECK guarding wire-facing logic. On codec /
+// protocol / model-exchange paths the check would vanish in Release
+// builds — exactly where corrupt bytes arrive. (The self-test lints this
+// file as if it lived on a wire path.)
+#include "common/check.h"
+
+namespace dbdc {
+
+void BadWireCheck(unsigned magic) {
+  DBDC_DCHECK(magic == 0x4d4c4244u && "bad magic must abort everywhere");
+}
+
+}  // namespace dbdc

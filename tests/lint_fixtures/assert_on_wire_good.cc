@@ -1,0 +1,14 @@
+// Clean variant: DBDC_ASSERT is always on, and the DBDC_DCHECK_IS_ON()
+// gate macro (a different token) must not fire the rule.
+#include "common/check.h"
+
+namespace dbdc {
+
+void GoodWireCheck(unsigned magic) {
+  DBDC_ASSERT(magic == 0x4d4c4244u && "bad magic aborts in every build");
+#if DBDC_DCHECK_IS_ON()
+  DBDC_ASSERT(magic != 0u);
+#endif
+}
+
+}  // namespace dbdc

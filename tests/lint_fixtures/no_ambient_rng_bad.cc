@@ -1,0 +1,15 @@
+// Seeded violation: ambient, unseeded randomness. rand()/srand() and
+// std::random_device produce different streams per run, so any component
+// using them is unreproducible by construction.
+#include <cstdlib>
+#include <random>
+
+namespace dbdc {
+
+int BadRandomInt() {
+  std::srand(42);
+  std::random_device device;
+  return static_cast<int>(std::rand() + device());
+}
+
+}  // namespace dbdc

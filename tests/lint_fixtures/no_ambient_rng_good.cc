@@ -1,0 +1,14 @@
+// Clean variant: randomness comes from an explicit seeded dbdc::Rng.
+// Identifiers that merely contain the forbidden substrings (operand,
+// random_device_count as a comment topic) must not fire.
+#include "common/rng.h"
+
+namespace dbdc {
+
+double GoodRandomDraw(std::uint64_t seed) {
+  Rng rng(seed);
+  const double operand = rng.Uniform(0.0, 1.0);
+  return operand + rng.Gaussian(0.0, 1.0);
+}
+
+}  // namespace dbdc

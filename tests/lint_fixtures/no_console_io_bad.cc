@@ -1,0 +1,16 @@
+// Seeded violation: console I/O in library code. The library reports
+// through return values and the obs layer; printing from inside it
+// corrupts harness output and cannot be disabled.
+#include <cstdio>
+#include <iostream>
+
+namespace dbdc {
+
+void BadReport(int clusters) {
+  std::printf("clusters: %d\n", clusters);
+  std::fprintf(stderr, "clusters: %d\n", clusters);
+  std::cout << "clusters: " << clusters << "\n";
+  std::cerr << "warning\n";
+}
+
+}  // namespace dbdc

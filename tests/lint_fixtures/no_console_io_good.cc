@@ -1,0 +1,14 @@
+// Clean variant: formatting into buffers/strings (snprintf, vsnprintf)
+// is fine — only stdout/stderr writes are console I/O.
+#include <cstdio>
+#include <string>
+
+namespace dbdc {
+
+std::string GoodReport(int clusters) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "clusters: %d", clusters);
+  return buffer;
+}
+
+}  // namespace dbdc

@@ -1,0 +1,16 @@
+// Seeded violation: naked new/delete ownership outside the audited
+// arena-style index structures.
+namespace dbdc {
+
+struct Node {
+  int value = 0;
+};
+
+int BadOwnership() {
+  Node* node = new Node();
+  const int value = node->value;
+  delete node;
+  return value;
+}
+
+}  // namespace dbdc

@@ -1,0 +1,23 @@
+// Clean variant: RAII ownership, plus the two shapes that must NOT
+// fire — `= delete` on special members, and identifiers that merely
+// contain the keywords (new_root, delete_count).
+#include <memory>
+
+namespace dbdc {
+
+struct Node {
+  int value = 0;
+
+  Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+};
+
+int GoodOwnership() {
+  auto new_root = std::make_unique<Node>();
+  int delete_count = 0;
+  ++delete_count;
+  return new_root->value + delete_count;
+}
+
+}  // namespace dbdc

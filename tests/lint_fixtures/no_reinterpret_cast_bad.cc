@@ -1,0 +1,12 @@
+// Seeded violation: undocumented reinterpret_cast. Type punning through
+// reinterpret_cast is UB for anything but byte access; audited sites
+// must carry an inline `dbdc-lint: allow(no-reinterpret-cast)`.
+#include <cstdint>
+
+namespace dbdc {
+
+double BadPun(std::uint64_t bits) {
+  return *reinterpret_cast<double*>(&bits);
+}
+
+}  // namespace dbdc

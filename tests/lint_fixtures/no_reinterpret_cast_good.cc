@@ -1,0 +1,25 @@
+// Clean variant: std::memcpy for type punning, std::bit_cast where the
+// sizes match — and an audited byte-access cast suppressed with the
+// inline allow mechanism (which this fixture also regression-tests).
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace dbdc {
+
+double GoodPun(std::uint64_t bits) {
+  double out = 0.0;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+void GoodAuditedByteWrite(std::ofstream& out,
+                          const std::vector<unsigned char>& pixels) {
+  // Byte-type access for I/O is well-defined; audited and suppressed.
+  // dbdc-lint: allow(no-reinterpret-cast)
+  out.write(reinterpret_cast<const char*>(pixels.data()),
+            static_cast<std::streamsize>(pixels.size()));
+}
+
+}  // namespace dbdc

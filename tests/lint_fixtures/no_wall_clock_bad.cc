@@ -1,0 +1,19 @@
+// Seeded violation: ambient wall-clock reads in library code. A path
+// timed with steady_clock diverges between runs and machines, breaking
+// the bit-identical determinism contract (DESIGN.md §10).
+#include <chrono>
+
+namespace dbdc {
+
+double BadElapsedSeconds() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto wall = std::chrono::system_clock::now().time_since_epoch();
+  const auto hi = std::chrono::high_resolution_clock::now();
+  (void)hi;
+  (void)wall;
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace dbdc

@@ -1,0 +1,15 @@
+// Seeded violation: DecodeStatus-returning calls whose result is
+// discarded. A corrupted payload would be silently ignored instead of
+// being counted/refused.
+#include "core/model_codec.h"
+#include "core/server.h"
+
+namespace dbdc {
+
+void BadIngest(Server* server, std::span<const std::uint8_t> bytes) {
+  server->AddLocalModelBytes(bytes);
+  LocalModel model;
+  DecodeLocalModel(bytes, &model);
+}
+
+}  // namespace dbdc

@@ -1,0 +1,18 @@
+// Clean variant: every status is consumed — assigned, compared,
+// returned, or explicitly discarded with (void). Definitions whose
+// *name* matches a status-returning function must not fire either.
+#include "core/model_codec.h"
+#include "core/server.h"
+
+namespace dbdc {
+
+DecodeStatus GoodIngest(Server* server,
+                        std::span<const std::uint8_t> bytes) {
+  const DecodeStatus status = server->AddLocalModelBytes(bytes);
+  if (status != DecodeStatus::kOk) return status;
+  LocalModel model;
+  (void)DecodeLocalModel(bytes, &model);
+  return DecodeLocalModel(bytes, &model);
+}
+
+}  // namespace dbdc

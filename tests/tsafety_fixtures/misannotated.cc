@@ -1,0 +1,31 @@
+// Negative control for the tsafety preset: accesses a DBDC_GUARDED_BY
+// member without holding its mutex. Under Clang with
+// -Werror=thread-safety-analysis this translation unit MUST fail to
+// compile; the CTest target registers it with WILL_FAIL.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dbdc {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BUG: mu_ not held — thread-safety analysis must reject.
+  }
+
+  int Read() const {
+    return value_;  // BUG: mu_ not held here either.
+  }
+
+ private:
+  mutable Mutex mu_;
+  int value_ DBDC_GUARDED_BY(mu_) = 0;
+};
+
+int Drive() {
+  Counter counter;
+  counter.Increment();
+  return counter.Read();
+}
+
+}  // namespace dbdc

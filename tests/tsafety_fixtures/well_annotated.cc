@@ -1,0 +1,36 @@
+// Positive control for the tsafety preset: the same shape as
+// misannotated.cc but with every guarded access under a MutexLock and a
+// DBDC_REQUIRES helper. This translation unit must compile clean under
+// -Werror=thread-safety-analysis, proving the preset does not reject
+// correctly annotated code.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dbdc {
+
+class Counter {
+ public:
+  void Increment() DBDC_EXCLUDES(mu_) {
+    const MutexLock lock(&mu_);
+    IncrementLocked();
+  }
+
+  int Read() const DBDC_EXCLUDES(mu_) {
+    const MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() DBDC_REQUIRES(mu_) { ++value_; }
+
+  mutable Mutex mu_;
+  int value_ DBDC_GUARDED_BY(mu_) = 0;
+};
+
+int Drive() {
+  Counter counter;
+  counter.Increment();
+  return counter.Read();
+}
+
+}  // namespace dbdc

@@ -1,0 +1,544 @@
+#!/usr/bin/env python3
+"""DBDC invariant linter (DESIGN.md §10).
+
+Enforces the project-specific determinism and robustness invariants that
+generic tooling cannot know about, over every library source under src/:
+
+  no-wall-clock        Wall-clock reads (steady_clock / system_clock /
+                       high_resolution_clock) are confined to
+                       common/timer.h and the tracer; everything else in
+                       the pipeline must run on the virtual clock so
+                       parallel / streaming results stay bit-identical.
+  no-ambient-rng       rand() / srand() / std::random_device are ambient,
+                       unseeded randomness; all randomized components take
+                       an explicit seeded dbdc::Rng (common/rng.h).
+  unchecked-status     A DecodeStatus-returning call whose result is
+                       discarded drops a wire error on the floor. (The
+                       enum is also [[nodiscard]]; this rule catches
+                       builds or call shapes the warning misses.)
+  no-naked-new         Naked new/delete outside the audited arena-style
+                       index structures; ownership elsewhere is RAII.
+  no-console-io        printf/fprintf/puts/std::cout/std::cerr in library
+                       code; the library reports through return values,
+                       observability hooks, or the check.h abort path.
+  assert-on-wire       DBDC_DCHECK on codec/wire paths: checks guarding
+                       decode/framing logic must be DBDC_ASSERT so they
+                       stay active in Release builds too.
+  no-reinterpret-cast  reinterpret_cast outside audited, documented sites.
+
+The linter is driven off a compile_commands.json when one is available
+(for the translation-unit list) and falls back to walking src/ otherwise.
+Analysis itself is token-level: comments and string/char literals are
+stripped (line structure preserved), then per-rule regexes run over the
+cleaned text. If the libclang Python bindings are importable, the
+unchecked-status rule is upgraded to an AST pass; the container image
+ships without them, so the token path is the one the fixture self-test
+pins down.
+
+Suppressions, most-local first:
+  1. An inline `// dbdc-lint: allow(<rule-id>)` comment on the offending
+     line or the line directly above it.
+  2. A per-file allowlist entry in ALLOWLIST below, with a justification.
+
+Self-test: `dbdc_lint.py --self-test` lints tests/lint_fixtures/, where
+every rule has a `<rule>_bad.*` fixture that must fire exactly that rule
+and a `<rule>_good.*` fixture that must stay silent — the gate gates
+itself.
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+# Each rule: id, message, regex over comment/string-stripped source,
+# `scope` (predicate on the repo-relative path; default: everything under
+# src/), and a per-file allowlist {path: justification}.
+
+
+def _wire_path(path):
+    """Codec / framing / model-exchange surfaces (the wire paths)."""
+    wire = (
+        "src/core/model_codec",
+        "src/core/server",
+        "src/core/site",
+        "src/core/streaming_site",
+        "src/distrib/protocol",
+    )
+    return path.startswith(wire)
+
+
+RULES = [
+    {
+        "id": "no-wall-clock",
+        "pattern": re.compile(
+            r"\b(?:steady_clock|system_clock|high_resolution_clock)\b"
+        ),
+        "message": "wall-clock read outside the timer/tracer "
+                   "(breaks virtual-clock determinism)",
+        "allow": {
+            "src/common/timer.h":
+                "the one wall-clock stopwatch the harness times with",
+            "src/obs/trace.h":
+                "tracer epoch member type (wall-clock span track)",
+            "src/obs/trace.cc":
+                "the tracer's wall-clock track is wall time by design",
+        },
+    },
+    {
+        "id": "no-ambient-rng",
+        "pattern": re.compile(
+            r"(?:\brand\s*\(|\bsrand\s*\(|\brandom_device\b)"
+        ),
+        "message": "ambient randomness; take an explicit seeded dbdc::Rng",
+        "allow": {
+            "src/common/rng.h":
+                "the seeded-RNG abstraction every component must use",
+        },
+    },
+    {
+        "id": "unchecked-status",
+        # A status-returning call that *starts* a statement (directly
+        # preceded, modulo whitespace, by ';', '{' or '}') is a discarded
+        # result. Assignments, comparisons, returns and (void) casts all
+        # put another token in front and do not match; neither do
+        # declarations/definitions, whose leading return type breaks the
+        # qualified-name prefix.
+        "pattern": re.compile(
+            r"[;{}]\s*"
+            r"(?:[A-Za-z_]\w*(?:\.|->|::))*"
+            r"(?:DecodeLocalModel|DecodeGlobalModel|DecodeFrame"
+            r"|AddLocalModelBytes|ApplyGlobalModelBytes"
+            r"|UpsertLocalModelBytes)\s*\("
+        ),
+        "message": "DecodeStatus/decode result discarded; a wire error "
+                   "would vanish silently",
+        "allow": {},
+    },
+    {
+        "id": "no-naked-new",
+        "pattern": re.compile(r"\bnew\b|\bdelete\b"),
+        # `= delete` (deleted special members) is not an ownership
+        # operation; everything else is.
+        "filter": lambda cleaned, m: not (
+            m.group(0) == "delete"
+            and cleaned[:m.start()].rstrip()[-1:] == "="
+        ),
+        "message": "naked new/delete; use RAII ownership "
+                   "(std::unique_ptr / containers)",
+        "allow": {
+            "src/index/m_tree.cc":
+                "audited arena-style node ownership with explicit "
+                "recursive FreeSubtree",
+            "src/index/rstar_tree.cc":
+                "audited arena-style node ownership with explicit "
+                "recursive free",
+            "src/common/distance.cc":
+                "intentionally leaked function-local metric singletons "
+                "(identity-compared; must never be destroyed)",
+        },
+    },
+    {
+        "id": "no-console-io",
+        "pattern": re.compile(
+            r"(?:(?<!\w)(?:printf|fprintf|vfprintf|puts|putchar)\s*\("
+            r"|std::(?:cout|cerr|clog)\b)"
+        ),
+        "message": "console I/O in library code; report through return "
+                   "values or the obs layer",
+        "allow": {
+            "src/common/check.h":
+                "the contract-violation abort path must print before "
+                "std::abort",
+        },
+    },
+    {
+        "id": "assert-on-wire",
+        "pattern": re.compile(r"\bDBDC_DCHECK\b(?!_IS_ON)"),
+        "message": "DBDC_DCHECK on a codec/wire path; wire-facing checks "
+                   "must be DBDC_ASSERT (always on)",
+        "scope": _wire_path,
+        "allow": {},
+    },
+    {
+        "id": "no-reinterpret-cast",
+        "pattern": re.compile(r"\breinterpret_cast\b"),
+        "message": "reinterpret_cast outside audited sites; prefer "
+                   "std::memcpy or a documented inline allow",
+        "allow": {},
+    },
+]
+
+ALLOW_COMMENT = re.compile(r"dbdc-lint:\s*allow\(([^)]*)\)")
+
+
+# --------------------------------------------------------------------------
+# Source preparation
+# --------------------------------------------------------------------------
+
+def strip_comments_and_strings(text):
+    """Blanks comments and string/char literal contents, preserving every
+    newline so match offsets map back to the original line numbers."""
+    out = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW_STRING = range(6)
+    state = NORMAL
+    raw_terminator = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                # Raw string literal?  R"delim( ... )delim"
+                m = re.match(r'R"([^()\\\s]{0,16})\(', text[i - 1:i + 20]) \
+                    if i > 0 and text[i - 1] == "R" else None
+                if m:
+                    raw_terminator = ")" + m.group(1) + '"'
+                    state = RAW_STRING
+                    out.append('"')
+                    i += 1 + len(m.group(1)) + 1
+                    out.append(" " * (len(m.group(1)) + 1))
+                else:
+                    state = STRING
+                    out.append('"')
+                    i += 1
+            elif c == "'":
+                state = CHAR
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == STRING:
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = NORMAL
+                out.append('"')
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == CHAR:
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = NORMAL
+                out.append("'")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        elif state == RAW_STRING:
+            if text.startswith(raw_terminator, i):
+                out.append(" " * (len(raw_terminator) - 1) + '"')
+                i += len(raw_terminator)
+                state = NORMAL
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def inline_allows(original_text):
+    """Maps 1-based line number -> set of rule ids allowed on that line
+    (an allow-comment also covers the line directly below it)."""
+    allows = {}
+    for lineno, line in enumerate(original_text.splitlines(), start=1):
+        m = ALLOW_COMMENT.search(line)
+        if not m:
+            continue
+        ids = {part.strip() for part in m.group(1).split(",") if part.strip()}
+        allows.setdefault(lineno, set()).update(ids)
+        allows.setdefault(lineno + 1, set()).update(ids)
+    return allows
+
+
+# --------------------------------------------------------------------------
+# Lint driver
+# --------------------------------------------------------------------------
+
+class Finding:
+    def __init__(self, path, line, rule_id, message):
+        self.path = path
+        self.line = line
+        self.rule_id = rule_id
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+
+
+def lint_text(text, rel_path):
+    """Lints one file's contents as repo-relative path `rel_path`."""
+    cleaned = strip_comments_and_strings(text)
+    allows = inline_allows(text)
+    findings = []
+    for rule in RULES:
+        scope = rule.get("scope", lambda p: True)
+        if not rel_path.startswith("src/") or not scope(rel_path):
+            continue
+        if rel_path in rule["allow"]:
+            continue
+        for m in rule["pattern"].finditer(cleaned):
+            if not rule.get("filter", lambda c, mm: True)(cleaned, m):
+                continue
+            # Line of the first non-separator character of the match.
+            matched = m.group(0)
+            offset = m.start() + (len(matched) - len(matched.lstrip(";{} \t\n")))
+            line = cleaned.count("\n", 0, offset) + 1
+            if rule["id"] in allows.get(line, set()):
+                continue
+            findings.append(Finding(rel_path, line, rule["id"],
+                                    rule["message"]))
+    return findings
+
+
+def try_libclang_status_check(path, compile_args):
+    """AST-accurate unchecked-status pass; returns a list of (line,) hits
+    or None when libclang is unavailable/unusable (token fallback runs
+    instead)."""
+    try:
+        from clang import cindex  # noqa: PLC0415
+    except Exception:
+        return None
+    try:
+        index = cindex.Index.create()
+        tu = index.parse(path, args=compile_args)
+        status_fns = {
+            "DecodeLocalModel", "DecodeGlobalModel", "DecodeFrame",
+            "AddLocalModelBytes", "ApplyGlobalModelBytes",
+            "UpsertLocalModelBytes",
+        }
+        hits = []
+
+        def walk(node, parent_kind):
+            if (node.kind == cindex.CursorKind.CALL_EXPR
+                    and node.spelling in status_fns
+                    and parent_kind == cindex.CursorKind.COMPOUND_STMT):
+                hits.append(node.location.line)
+            for child in node.get_children():
+                walk(child, node.kind)
+
+        walk(tu.cursor, None)
+        return hits
+    except Exception:
+        return None
+
+
+def collect_files(root, build_dir):
+    """Translation units from compile_commands.json (when present) plus
+    all headers/sources under src/."""
+    files = set()
+    db = os.path.join(build_dir, "compile_commands.json") if build_dir else None
+    if db and os.path.isfile(db):
+        try:
+            with open(db, encoding="utf-8") as fh:
+                for entry in json.load(fh):
+                    path = os.path.normpath(
+                        os.path.join(entry.get("directory", ""),
+                                     entry["file"]))
+                    rel = os.path.relpath(path, root)
+                    if rel.startswith("src" + os.sep):
+                        files.add(rel)
+        except (OSError, ValueError, KeyError) as err:
+            print(f"dbdc_lint: warning: unreadable {db}: {err}",
+                  file=sys.stderr)
+    for pattern in ("src/**/*.cc", "src/**/*.h"):
+        for path in glob.glob(os.path.join(root, pattern), recursive=True):
+            files.add(os.path.relpath(path, root))
+    return sorted(f.replace(os.sep, "/") for f in files)
+
+
+def lint_tree(root, build_dir):
+    findings = []
+    files = collect_files(root, build_dir)
+    if not files:
+        print(f"dbdc_lint: no sources found under {root}/src",
+              file=sys.stderr)
+        return findings, 0
+    for rel in files:
+        try:
+            with open(os.path.join(root, rel), encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as err:
+            print(f"dbdc_lint: warning: cannot read {rel}: {err}",
+                  file=sys.stderr)
+            continue
+        file_findings = lint_text(text, rel)
+        # Optional AST upgrade: when libclang is importable, it may find
+        # discarded-status call shapes the token pass cannot see. It only
+        # ever *adds* findings, so environments without the bindings (the
+        # pinned container) and CI agree on everything the token pass
+        # reports.
+        if rel.endswith(".cc"):
+            ast_lines = try_libclang_status_check(
+                os.path.join(root, rel),
+                ["-std=c++20", "-I" + os.path.join(root, "src")])
+            if ast_lines:
+                allows = inline_allows(text)
+                token_lines = {f.line for f in file_findings
+                               if f.rule_id == "unchecked-status"}
+                for line in sorted(set(ast_lines) - token_lines):
+                    if "unchecked-status" in allows.get(line, set()):
+                        continue
+                    file_findings.append(Finding(
+                        rel, line, "unchecked-status",
+                        "DecodeStatus/decode result discarded "
+                        "(libclang AST pass)"))
+        findings.extend(file_findings)
+    return findings, len(files)
+
+
+# --------------------------------------------------------------------------
+# Fixture self-test
+# --------------------------------------------------------------------------
+
+# Fixtures are linted under a virtual src/ path so scoped rules apply;
+# assert-on-wire fixtures pretend to live on a wire path.
+FIXTURE_VIRTUAL_DIR = {
+    "assert-on-wire": "src/core/model_codec_fixture/",
+}
+DEFAULT_VIRTUAL_DIR = "src/fixture/"
+
+
+def self_test(fixtures_dir):
+    ok = True
+    fixtures = sorted(glob.glob(os.path.join(fixtures_dir, "*.cc")))
+    if not fixtures:
+        print(f"dbdc_lint: no fixtures in {fixtures_dir}", file=sys.stderr)
+        return False
+    rule_ids = {rule["id"] for rule in RULES}
+    covered_bad = set()
+    covered_good = set()
+    for path in fixtures:
+        name = os.path.basename(path)
+        m = re.match(r"(.+)_(bad|good)\.cc$", name)
+        if not m:
+            print(f"SKIP  {name} (not <rule>_bad.cc / <rule>_good.cc)")
+            continue
+        rule_id, kind = m.group(1).replace("_", "-"), m.group(2)
+        if rule_id not in rule_ids:
+            print(f"FAIL  {name}: unknown rule id '{rule_id}'")
+            ok = False
+            continue
+        virtual = FIXTURE_VIRTUAL_DIR.get(rule_id, DEFAULT_VIRTUAL_DIR) + name
+        with open(path, encoding="utf-8") as fh:
+            findings = lint_text(fh.read(), virtual)
+        fired = {f.rule_id for f in findings}
+        if kind == "bad":
+            covered_bad.add(rule_id)
+            if fired == {rule_id}:
+                print(f"PASS  {name}: fired [{rule_id}] "
+                      f"x{len(findings)}")
+            else:
+                print(f"FAIL  {name}: expected exactly {{{rule_id}}}, "
+                      f"got {sorted(fired) or '{}'}")
+                ok = False
+        else:
+            covered_good.add(rule_id)
+            if not findings:
+                print(f"PASS  {name}: silent")
+            else:
+                print(f"FAIL  {name}: expected no findings, got:")
+                for f in findings:
+                    print(f"      {f}")
+                ok = False
+    for rule_id in sorted(rule_ids - covered_bad):
+        print(f"FAIL  rule '{rule_id}' has no bad fixture")
+        ok = False
+    for rule_id in sorted(rule_ids - covered_good):
+        print(f"FAIL  rule '{rule_id}' has no good fixture")
+        ok = False
+    return ok
+
+
+# --------------------------------------------------------------------------
+# Entry point
+# --------------------------------------------------------------------------
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--build-dir", default=None,
+                        help="build tree with compile_commands.json "
+                             "(optional; adds TU discovery)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint the seeded-violation fixture suite "
+                             "instead of the tree")
+    parser.add_argument("--fixtures", default=None,
+                        help="fixtures dir for --self-test "
+                             "(default: tests/lint_fixtures)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule['id']:20s} {rule['message']}")
+            for path, why in rule["allow"].items():
+                print(f"{'':22s}allow {path}: {why}")
+        return 0
+
+    if args.self_test:
+        fixtures = args.fixtures or os.path.join(root, "tests",
+                                                 "lint_fixtures")
+        passed = self_test(fixtures)
+        print("dbdc_lint self-test:", "PASS" if passed else "FAIL")
+        return 0 if passed else 1
+
+    build_dir = args.build_dir
+    if build_dir is None:
+        for candidate in ("build-tidy", "build"):
+            if os.path.isfile(os.path.join(root, candidate,
+                                           "compile_commands.json")):
+                build_dir = os.path.join(root, candidate)
+                break
+    findings, num_files = lint_tree(root, build_dir)
+    for finding in findings:
+        print(finding)
+    db_note = f", database: {build_dir}" if build_dir else ""
+    print(f"dbdc_lint: {num_files} files, {len(findings)} finding(s)"
+          f"{db_note}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

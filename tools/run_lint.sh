@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Runs the DBDC invariant linter (tools/dbdc_lint.py): first the fixture
+# self-test proving every rule fires on its seeded violation and stays
+# silent on the compliant twin, then a full lint of src/.
+#
+# Usage:
+#   tools/run_lint.sh [BUILD_DIR]
+#
+# BUILD_DIR is optional; when it (or one of build-tidy/, build-release/,
+# build/) contains a compile_commands.json, the linter uses that database
+# to enumerate translation units and — when libclang python bindings are
+# installed — to run the AST-level unchecked-status pass on top of the
+# token-level rules. Without a build dir the linter falls back to globbing
+# src/, so this script works on a pristine checkout.
+#
+# Exit status: 0 when the self-test passes and the tree has no findings,
+# non-zero otherwise. Mirrors tools/run_tidy.sh.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+python_bin="${PYTHON:-}"
+if [[ -z "$python_bin" ]]; then
+  for candidate in python3 python; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      python_bin="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$python_bin" ]]; then
+  echo "run_lint.sh: no python interpreter found (set PYTHON=...);" \
+       "skipping the lint pass." >&2
+  exit 0
+fi
+
+build_dir=""
+if [[ $# -gt 0 ]]; then
+  build_dir="$1"
+  shift
+fi
+if [[ -z "$build_dir" ]]; then
+  for candidate in build-tidy build-release build; do
+    if [[ -f "$candidate/compile_commands.json" ]]; then
+      build_dir="$candidate"
+      break
+    fi
+  done
+fi
+
+echo "run_lint.sh: self-test ..." >&2
+"$python_bin" tools/dbdc_lint.py --self-test \
+    --fixtures tests/lint_fixtures || exit 1
+
+echo "run_lint.sh: linting src/ ..." >&2
+if [[ -n "$build_dir" ]]; then
+  "$python_bin" tools/dbdc_lint.py --root . --build-dir "$build_dir"
+else
+  "$python_bin" tools/dbdc_lint.py --root .
+fi
+status=$?
+
+if [[ $status -eq 0 ]]; then
+  echo "run_lint.sh: clean." >&2
+else
+  echo "run_lint.sh: dbdc_lint reported findings (exit $status)." >&2
+fi
+exit "$status"
