@@ -9,13 +9,18 @@
 //   3. The devirtualized squared-distance fast path: central DBSCAN with
 //      the Euclidean() singleton (fast path) vs an equivalent wrapper
 //      metric that is forced onto the generic virtual-call path.
+//   4. The batched SIMD distance kernels: sequential DBSCAN on the scaled
+//      dataset per index, per-point reference scan (the pre-batching
+//      loop) vs blocked kernels on the CPU's detected tier (labels
+//      verified bit-identical between the two).
 //
 // With --out FILE the results are also emitted as machine-readable JSON
-// (schema "dbdc-parallel-bench-v1"); --quick shrinks datasets and the
+// (schema "dbdc-parallel-bench-v2"); --quick shrinks datasets and the
 // thread ladder for CI smoke runs. Absolute times are hardware-dependent;
 // speedups above 1x require actual hardware parallelism (more than one
 // core), so on constrained machines the JSON is still schema-valid but
-// speedups hover around 1x.
+// thread speedups hover around 1x ("degraded_host" flags exactly that).
+// The simd section is single-core work, so it is meaningful even there.
 
 #include <cstdio>
 #include <fstream>
@@ -26,6 +31,7 @@
 
 #include "bench_util.h"
 #include "cluster/dbscan.h"
+#include "common/simd_kernels.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/dbdc.h"
@@ -54,6 +60,16 @@ struct FastPathRow {
   std::string index;
   double generic_seconds = 0.0;
   double fast_seconds = 0.0;
+  double speedup = 1.0;
+};
+
+struct SimdRow {
+  std::string dataset;
+  std::size_t n = 0;
+  std::string index;
+  std::string tier;  // The batched run's dispatch tier.
+  double scalar_seconds = 0.0;   // Per-point reference scan (pre-batching).
+  double batched_seconds = 0.0;  // Blocked kernels on the detected tier.
   double speedup = 1.0;
 };
 
@@ -98,6 +114,7 @@ int main(int argc, char** argv) {
 
   std::vector<ScalingRow> scaling;
   std::vector<FastPathRow> fastpath;
+  std::vector<SimdRow> simd_rows;
 
   // --- Phase 1: parallel DBSCAN scaling -------------------------------
   Table dbscan_table("Parallel DBSCAN scaling (threads x index x dataset)");
@@ -242,6 +259,70 @@ int main(int argc, char** argv) {
   }
   fast_table.Print();
 
+  // --- Phase 4: batched SIMD kernels vs per-point scalar scan ---------
+  // Sequential (1-thread) DBSCAN on the scaled dataset: the n=20k sweep
+  // the 1-core bench host can still measure meaningfully. The scalar leg
+  // is the reference scan — the per-point loop the batched kernels
+  // replaced — so the speedup is before-vs-after for the subsystem
+  // (data layout + blocking + vector tier), not tier-vs-tier. Labels
+  // must be bit-identical between the legs — that is the contract.
+  const dbdc::simd::Tier detected = dbdc::simd::DetectedTier();
+  Table simd_table(
+      Fmt("Batched SIMD kernels (detected tier: %s) vs per-point scalar "
+          "scan, sequential DBSCAN",
+          dbdc::simd::TierName(detected).data()));
+  simd_table.SetHeader(
+      {"dataset", "n", "index", "tier", "scalar_s", "batched_s", "speedup"});
+  const std::vector<dbdc::IndexType> simd_index_types = {
+      dbdc::IndexType::kLinearScan, dbdc::IndexType::kGrid,
+      dbdc::IndexType::kKdTree, dbdc::IndexType::kRStarTreeBulk};
+  const dbdc::SyntheticDataset& scaled = datasets.back();
+  for (const dbdc::IndexType index_type : simd_index_types) {
+    dbdc::DbscanParams params = scaled.suggested_params;
+    const std::unique_ptr<dbdc::NeighborIndex> index = dbdc::CreateIndex(
+        index_type, scaled.data, dbdc::Euclidean(), params.eps);
+    std::vector<double> scalar_samples;
+    std::vector<double> batched_samples;
+    dbdc::Clustering scalar_result;
+    dbdc::Clustering batched_result;
+    for (int r = 0; r < repeats; ++r) {
+      dbdc::simd::SetReferenceScan(true);
+      dbdc::Timer scalar_timer;
+      scalar_result = dbdc::RunDbscan(*index, params);
+      scalar_samples.push_back(scalar_timer.Seconds());
+      dbdc::simd::SetReferenceScan(false);
+      dbdc::Timer batched_timer;
+      batched_result = dbdc::RunDbscan(*index, params);
+      batched_samples.push_back(batched_timer.Seconds());
+    }
+    if (scalar_result.labels != batched_result.labels ||
+        scalar_result.is_core != batched_result.is_core) {
+      std::fprintf(stderr,
+                   "FATAL: batched-kernel labels diverge from the per-point "
+                   "reference scan (dataset=%s index=%s tier=%s)\n",
+                   scaled.name.c_str(),
+                   std::string(dbdc::IndexTypeName(index_type)).c_str(),
+                   dbdc::simd::TierName(detected).data());
+      return 1;
+    }
+    SimdRow row;
+    row.dataset = scaled.name;
+    row.n = scaled.data.size();
+    row.index = std::string(dbdc::IndexTypeName(index_type));
+    row.tier = std::string(dbdc::simd::TierName(detected));
+    row.scalar_seconds = MedianSeconds(scalar_samples);
+    row.batched_seconds = MedianSeconds(batched_samples);
+    row.speedup = row.batched_seconds > 0.0
+                      ? row.scalar_seconds / row.batched_seconds
+                      : 1.0;
+    simd_rows.push_back(row);
+    simd_table.AddRow({row.dataset, Fmt("%zu", row.n), row.index, row.tier,
+                       Fmt("%.4f", row.scalar_seconds),
+                       Fmt("%.4f", row.batched_seconds),
+                       Fmt("%.2fx", row.speedup)});
+  }
+  simd_table.Print();
+
   if (!out_path.empty()) {
     std::ofstream out(out_path);
     if (!out) {
@@ -249,10 +330,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << "{\n";
-    out << "  \"schema\": \"dbdc-parallel-bench-v1\",\n";
+    out << "  \"schema\": \"dbdc-parallel-bench-v2\",\n";
     out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
     out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
         << ",\n";
+    // A 1-thread host cannot measure thread scaling: every speedup_vs_1t
+    // is noise around (or below) 1x. Consumers must not read the scaling
+    // section of a degraded-host JSON as a regression.
+    out << "  \"degraded_host\": "
+        << (std::thread::hardware_concurrency() <= 1 ? "true" : "false")
+        << ",\n";
+    out << "  \"detected_tier\": \""
+        << JsonEscape(std::string(dbdc::simd::TierName(detected))) << "\",\n";
     out << "  \"results\": [\n";
     for (std::size_t i = 0; i < scaling.size(); ++i) {
       const ScalingRow& r = scaling[i];
@@ -273,6 +362,18 @@ int main(int argc, char** argv) {
           << ", \"fast_seconds\": " << Fmt("%.6f", r.fast_seconds)
           << ", \"speedup\": " << Fmt("%.4f", r.speedup) << "}"
           << (i + 1 < fastpath.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"simd\": [\n";
+    for (std::size_t i = 0; i < simd_rows.size(); ++i) {
+      const SimdRow& r = simd_rows[i];
+      out << "    {\"dataset\": \"" << JsonEscape(r.dataset)
+          << "\", \"n\": " << r.n << ", \"index\": \"" << JsonEscape(r.index)
+          << "\", \"tier\": \"" << JsonEscape(r.tier)
+          << "\", \"scalar_seconds\": " << Fmt("%.6f", r.scalar_seconds)
+          << ", \"batched_seconds\": " << Fmt("%.6f", r.batched_seconds)
+          << ", \"speedup\": " << Fmt("%.4f", r.speedup) << "}"
+          << (i + 1 < simd_rows.size() ? "," : "") << "\n";
     }
     out << "  ],\n";
     out << "  \"metrics\": " << metrics.Json() << "\n";

@@ -23,6 +23,10 @@
 //     --threads <int>            intra-site worker threads (0 = hardware
 //                                concurrency, default 1); identical labels
 //                                for every value
+//     --simd auto|avx2|sse2|scalar   batched-distance kernel tier
+//                                (default auto = highest the CPU supports;
+//                                rejected if the CPU lacks the tier);
+//                                identical labels for every tier
 //     --ticks <int>              continuous mode: stream length >= 1
 //                                (default 20); each tick feeds every site
 //                                its next slice of points, then Tick()s
@@ -58,6 +62,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd_kernels.h"
 #include "core/dbdc.h"
 #include "core/engine.h"
 #include "data/generators.h"
@@ -76,7 +81,8 @@ namespace {
                "[--minpts M] [--sites K] [--model scor|kmeans] "
                "[--global dbscan|optics] [--eps-global G] [--index TYPE] "
                "[--metric NAME] [--seed S] [--condense R] [--min-weight W] "
-               "[--threads T] [--ticks N] [--protocol] [--drop P] "
+               "[--threads T] [--simd TIER] [--ticks N] [--protocol] "
+               "[--drop P] "
                "[--corrupt P] [--fault-seed S] [--stages] "
                "[--trace trace.json] [--metrics] [--out labels.csv]\n",
                argv0);
@@ -206,6 +212,45 @@ void PrintMetrics(const dbdc::obs::MetricsSnapshot& snap) {
   }
 }
 
+/// SIMD attribution must be self-consistent: the tier gauge, the
+/// result's tier string, and the kernel counters all describe the same
+/// dispatch tier, and the fused compare cannot have rejected more
+/// candidates than its blocks could hold (filtered <= blocks * lanes).
+bool ReconcileSimd(const dbdc::obs::MetricsSnapshot& snap,
+                   const std::string& tier_name) {
+  using dbdc::obs::Counter;
+  dbdc::simd::Tier tier;
+  if (!dbdc::simd::ParseTier(tier_name, &tier)) {
+    std::fprintf(stderr, "error: result reports unknown simd tier '%s'\n",
+                 tier_name.c_str());
+    return false;
+  }
+  bool ok = true;
+  const double gauge = snap.gauge(dbdc::obs::Gauge::kSimdTier);
+  if (gauge != static_cast<double>(static_cast<int>(tier))) {
+    std::fprintf(stderr,
+                 "error: simd_tier gauge (%g) does not reconcile with the "
+                 "result tier %s (%d)\n",
+                 gauge, tier_name.c_str(), static_cast<int>(tier));
+    ok = false;
+  }
+  const std::uint64_t blocks = snap.counter(Counter::kSimdBlocksScored);
+  const std::uint64_t filtered =
+      snap.counter(Counter::kSimdCandidatesFiltered);
+  const std::uint64_t lanes =
+      static_cast<std::uint64_t>(dbdc::simd::TierLanes(tier));
+  if (filtered > blocks * lanes) {
+    std::fprintf(stderr,
+                 "error: simd_candidates_filtered (%llu) exceeds "
+                 "simd_blocks_scored (%llu) x %llu lanes\n",
+                 static_cast<unsigned long long>(filtered),
+                 static_cast<unsigned long long>(blocks),
+                 static_cast<unsigned long long>(lanes));
+    ok = false;
+  }
+  return ok;
+}
+
 /// The registry and the engine count wire bytes independently (the
 /// registry inside SimulatedNetwork::Send, the engine from the transport
 /// totals); any disagreement means one of them lies.
@@ -241,6 +286,7 @@ bool ReconcileMetrics(const dbdc::obs::MetricsSnapshot& snap,
       ok = false;
     }
   }
+  if (!ReconcileSimd(snap, result.simd_tier)) ok = false;
   return ok;
 }
 
@@ -335,6 +381,29 @@ int main(int argc, char** argv) {
           ParseUint64Flag("--min-weight", next(), UINT32_MAX));
     } else if (arg == "--threads") {
       config.num_threads = ParseIntFlag("--threads", next(), 0);
+    } else if (arg == "--simd") {
+      const std::string name = next();
+      if (name == "auto") {
+        dbdc::simd::ResetForcedTier();
+      } else {
+        dbdc::simd::Tier tier;
+        if (!dbdc::simd::ParseTier(name, &tier)) {
+          std::fprintf(stderr,
+                       "error: --simd must be auto, avx2, sse2, or scalar, "
+                       "got '%s'\n",
+                       name.c_str());
+          return 2;
+        }
+        if (!dbdc::simd::ForceTier(tier)) {
+          std::fprintf(stderr,
+                       "error: --simd %s is not supported on this CPU "
+                       "(detected tier: %s)\n",
+                       name.c_str(),
+                       dbdc::simd::TierName(dbdc::simd::DetectedTier())
+                           .data());
+          return 2;
+        }
+      }
     } else if (arg == "--ticks") {
       ticks = ParseIntFlag("--ticks", next(), 1);
     } else if (arg == "--protocol") {
@@ -417,6 +486,10 @@ int main(int argc, char** argv) {
     std::printf("loaded %zu points (dim %d) from %s\n", data.size(),
                 data.dim(), input.c_str());
   }
+
+  std::printf("simd tier: %s (detected: %s)\n",
+              simd::TierName(simd::ActiveTier()).data(),
+              simd::TierName(simd::DetectedTier()).data());
 
   // Observability attaches for exactly the clustering run: the trace and
   // the metrics cover the pipeline, not the CSV I/O around it.

@@ -1,6 +1,8 @@
 #include "cluster/dbscan.h"
 
 #include <algorithm>
+#include <array>
+#include <numeric>
 #include <span>
 
 #include "common/thread_pool.h"
@@ -29,14 +31,26 @@ std::vector<std::size_t> Clustering::ClusterSizes() const {
 
 namespace {
 
-/// The DBSCAN control flow, generic over where neighborhoods come from:
-/// `neighbors_of(p)` must return the ε-neighborhood of p (inclusive).
-/// The sequential path issues live range queries; the parallel path reads
-/// the materialized core graph. Keeping one sweep guarantees the two
-/// paths cannot diverge behaviorally.
-template <typename NeighborsOf>
+/// Seed-queue expansion resolves neighborhoods in blocks of up to this
+/// many queries (one BatchRangeQuery per block). Every queued seed is
+/// queried in the scalar control flow too, in the same queue order, so
+/// the block size affects throughput only — never the query multiset,
+/// labels, or observer events.
+constexpr std::size_t kSeedBlock = 32;
+
+/// The DBSCAN control flow, generic over where neighborhoods come from.
+/// A resolver materializes neighborhoods for a block of query points:
+///
+///   resolver.Resolve(std::span<const PointId> queries);
+///   std::span<const PointId> ns = resolver.Neighbors(j);  // of queries[j]
+///
+/// Neighbors(j) stays valid until the next Resolve call. The sequential
+/// path issues live (batched) range queries; the parallel path reads the
+/// materialized core graph. Keeping one sweep guarantees the two paths
+/// cannot diverge behaviorally.
+template <typename Resolver>
 Clustering DbscanSweep(std::size_t n, const DbscanParams& params,
-                       DbscanObserver* observer, NeighborsOf&& neighbors_of) {
+                       DbscanObserver* observer, Resolver&& resolver) {
   Clustering result;
   result.labels.assign(n, kUnclassified);
   result.is_core.assign(n, 0);
@@ -45,7 +59,8 @@ Clustering DbscanSweep(std::size_t n, const DbscanParams& params,
   ClusterId next_cluster = 0;
   for (PointId p = 0; p < static_cast<PointId>(n); ++p) {
     if (result.labels[p] != kUnclassified) continue;
-    const std::span<const PointId> neighbors = neighbors_of(p);
+    resolver.Resolve(std::span<const PointId>(&p, 1));
+    const std::span<const PointId> neighbors = resolver.Neighbors(0);
     if (static_cast<int>(neighbors.size()) < params.min_pts) {
       // Tentative noise; may later be claimed as a border point.
       result.labels[p] = kNoise;
@@ -65,23 +80,94 @@ Clustering DbscanSweep(std::size_t n, const DbscanParams& params,
         seeds.push_back(q);
       }
     }
-    for (std::size_t i = 0; i < seeds.size(); ++i) {
-      const PointId q = seeds[i];
-      const std::span<const PointId> expansion = neighbors_of(q);
-      if (static_cast<int>(expansion.size()) < params.min_pts) continue;
-      result.is_core[q] = 1;
-      if (observer != nullptr) observer->OnCorePoint(q, cluster);
-      for (const PointId r : expansion) {
-        if (result.labels[r] == kUnclassified || result.labels[r] == kNoise) {
-          result.labels[r] = cluster;
-          seeds.push_back(r);
+    // Expansion wave: resolve the queue in blocks, then replay each
+    // block's results in queue order. Neighborhoods depend only on the
+    // (static) index contents, never on labels, so resolving queries
+    // ahead of processing cannot change any result. Each block is copied
+    // out of `seeds` first: the inner loop grows `seeds` (reallocating
+    // it), and a resolver may hold the query span until the next Resolve.
+    std::array<PointId, kSeedBlock> block_queries;
+    for (std::size_t i = 0; i < seeds.size();) {
+      const std::size_t block = std::min(seeds.size() - i, kSeedBlock);
+      std::copy_n(seeds.data() + i, block, block_queries.data());
+      resolver.Resolve(std::span<const PointId>(block_queries.data(), block));
+      for (std::size_t j = 0; j < block; ++j) {
+        const PointId q = block_queries[j];
+        const std::span<const PointId> expansion = resolver.Neighbors(j);
+        if (static_cast<int>(expansion.size()) < params.min_pts) continue;
+        result.is_core[q] = 1;
+        if (observer != nullptr) observer->OnCorePoint(q, cluster);
+        for (const PointId r : expansion) {
+          if (result.labels[r] == kUnclassified ||
+              result.labels[r] == kNoise) {
+            result.labels[r] = cluster;
+            seeds.push_back(r);
+          }
         }
       }
+      i += block;
     }
   }
   result.num_clusters = next_cluster;
   return result;
 }
+
+/// Live resolver of the sequential path: one BatchRangeQuery per block,
+/// with the per-query histogram/counter instrumentation of the old
+/// query-at-a-time loop (same values, same order).
+class IndexBatchResolver {
+ public:
+  IndexBatchResolver(const NeighborIndex& index, double eps)
+      : index_(&index), eps_(eps) {}
+
+  void Resolve(std::span<const PointId> queries) {
+    index_->BatchRangeQuery(queries, eps_, &ids_, &counts_);
+    queries_ += queries.size();
+    offsets_.assign(counts_.size() + 1, 0);
+    for (std::size_t j = 0; j < counts_.size(); ++j) {
+      obs::Observe(obs::Histogram::kRangeQueryNeighbors, counts_[j]);
+      offsets_[j + 1] = offsets_[j] + counts_[j];
+    }
+  }
+
+  std::span<const PointId> Neighbors(std::size_t j) const {
+    return {ids_.data() + offsets_[j], counts_[j]};
+  }
+
+  std::uint64_t queries() const { return queries_; }
+
+ private:
+  const NeighborIndex* index_;
+  double eps_;
+  std::uint64_t queries_ = 0;
+  std::vector<PointId> ids_;
+  std::vector<std::size_t> counts_;
+  std::vector<std::size_t> offsets_;
+};
+
+/// Resolver of the parallel path's phase B: neighborhoods were already
+/// materialized into a CSR graph, so Resolve just notes the block and
+/// Neighbors returns the adjacency slice in place.
+class CsrResolver {
+ public:
+  CsrResolver(const std::vector<std::size_t>& offsets,
+              const std::vector<PointId>& adjacency)
+      : offsets_(&offsets), adjacency_(&adjacency) {}
+
+  void Resolve(std::span<const PointId> queries) { queries_ = queries; }
+
+  std::span<const PointId> Neighbors(std::size_t j) const {
+    const std::size_t p = static_cast<std::size_t>(queries_[j]);
+    const std::size_t begin = (*offsets_)[p];
+    const std::size_t end = (*offsets_)[p + 1];
+    return {adjacency_->data() + begin, end - begin};
+  }
+
+ private:
+  const std::vector<std::size_t>* offsets_;
+  const std::vector<PointId>* adjacency_;
+  std::span<const PointId> queries_;
+};
 
 }  // namespace
 
@@ -99,18 +185,11 @@ Clustering RunDbscan(const NeighborIndex& index, const DbscanParams& params,
   obs::ScopedSpan span("dbscan", "cluster");
   span.AddArg("points", static_cast<std::int64_t>(n));
 
-  // Queries accumulate in a local; one registry add per run, not per
-  // query, keeps the disabled path to a single branch inside Observe.
-  std::uint64_t queries = 0;
-  std::vector<PointId> buffer;
-  Clustering result =
-      DbscanSweep(n, params, observer, [&](PointId p) {
-        index.RangeQuery(p, params.eps, &buffer);
-        ++queries;
-        obs::Observe(obs::Histogram::kRangeQueryNeighbors, buffer.size());
-        return std::span<const PointId>(buffer);
-      });
-  obs::Count(obs::Counter::kEpsRangeQueries, queries);
+  // Queries accumulate in the resolver; one registry add per run, not
+  // per query, keeps the disabled path to a single branch inside Observe.
+  IndexBatchResolver resolver(index, params.eps);
+  Clustering result = DbscanSweep(n, params, observer, resolver);
+  obs::Count(obs::Counter::kEpsRangeQueries, resolver.queries());
 #if DBDC_DCHECK_IS_ON()
   ValidateDbscanResult(index, params, result);
 #endif
@@ -147,13 +226,17 @@ Clustering RunDbscanParallel(const NeighborIndex& index,
     phase_a.AddArg("threads", static_cast<std::int64_t>(resolved));
     pool.ParallelChunks(n, [&](std::size_t chunk, std::size_t begin,
                                std::size_t end) {
-      std::vector<PointId> scratch;
-      std::vector<PointId>& buffer = chunk_ids[chunk];
+      // A chunk's buffer is the concatenation of its points' neighbor
+      // lists — exactly BatchRangeQuery's output layout, so the whole
+      // chunk is one batched call (per-query setup hoisted, candidate
+      // blocks scored through the SIMD kernels).
+      std::vector<PointId> queries(end - begin);
+      std::iota(queries.begin(), queries.end(), static_cast<PointId>(begin));
+      std::vector<std::size_t> counts;
+      index.BatchRangeQuery(queries, params.eps, &chunk_ids[chunk], &counts);
       for (std::size_t i = begin; i < end; ++i) {
-        index.RangeQuery(static_cast<PointId>(i), params.eps, &scratch);
-        obs::Observe(obs::Histogram::kRangeQueryNeighbors, scratch.size());
-        offsets[i + 1] = scratch.size();
-        buffer.insert(buffer.end(), scratch.begin(), scratch.end());
+        obs::Observe(obs::Histogram::kRangeQueryNeighbors, counts[i - begin]);
+        offsets[i + 1] = counts[i - begin];
       }
     });
     // Exactly one query per point here — a different count than the
@@ -178,11 +261,8 @@ Clustering RunDbscanParallel(const NeighborIndex& index,
   // the exact sequential control flow, consuming the exact data a
   // sequential run would have queried, hence bit-identical output.
   obs::ScopedSpan phase_b("dbscan.sweep", "cluster");
-  Clustering result = DbscanSweep(n, params, observer, [&](PointId p) {
-    const std::size_t begin = offsets[static_cast<std::size_t>(p)];
-    const std::size_t end = offsets[static_cast<std::size_t>(p) + 1];
-    return std::span<const PointId>(adjacency.data() + begin, end - begin);
-  });
+  CsrResolver resolver(offsets, adjacency);
+  Clustering result = DbscanSweep(n, params, observer, resolver);
 #if DBDC_DCHECK_IS_ON()
   ValidateDbscanResult(index, params, result);
 #endif

@@ -46,6 +46,11 @@ class Dataset {
   /// Dimensionality of every point.
   int dim() const { return dim_; }
 
+  /// The flat row-major store: point `id` occupies the `dim()` doubles at
+  /// raw() + id*dim(). Backs the batched SIMD kernels
+  /// (common/simd_kernels.h), which score runs of rows in one call.
+  const double* raw() const { return data_.data(); }
+
   /// Reserves storage for `n` points.
   void Reserve(std::size_t n) { data_.reserve(n * dim_); }
 

@@ -1,0 +1,465 @@
+#include "common/simd_kernels.h"
+
+#include <atomic>
+#include <span>
+
+#include "common/distance.h"
+
+// The vector tiers are compiled only for x86 GCC/Clang builds and only
+// when the build did not opt out (DBDC_SIMD=OFF defines
+// DBDC_SIMD_DISABLED). Everything else ships the scalar tier alone; the
+// public entry points and their results are identical either way.
+#if !defined(DBDC_SIMD_DISABLED) && \
+    (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define DBDC_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define DBDC_SIMD_X86 0
+#endif
+
+namespace dbdc::simd {
+namespace {
+
+/// -1 = auto (CPUID); otherwise the forced Tier value.
+std::atomic<int> g_forced_tier{-1};
+
+/// Reference-scan mode (bench baseline / cross-check); off in production.
+std::atomic<bool> g_reference_scan{false};
+
+inline std::size_t RowOffset(PointId id, int dim) {
+  return static_cast<std::size_t>(id) * static_cast<std::size_t>(dim);
+}
+
+/// One pair, exactly the scalar hot-path kernel: the reference sequence
+/// of IEEE additions every vector lane must reproduce.
+inline double PairSquaredL2(const double* query, const double* row, int dim) {
+  return SquaredEuclideanDistance(
+      std::span<const double>(query, static_cast<std::size_t>(dim)),
+      std::span<const double>(row, static_cast<std::size_t>(dim)));
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tier (also the tail handler of the vector tiers; any mix of
+// tiers over the same pairs yields bit-identical sums).
+// ---------------------------------------------------------------------------
+
+void BatchedScalar(const double* query, const double* rows, std::size_t n,
+                   int dim, double* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = PairSquaredL2(query, rows + i * static_cast<std::size_t>(dim),
+                           dim);
+  }
+}
+
+void FilterRowsScalar(const double* query, const double* rows, std::size_t n,
+                      int dim, double eps_sq, PointId first_id,
+                      std::vector<PointId>* out, KernelStats* stats) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (PairSquaredL2(query, rows + i * static_cast<std::size_t>(dim), dim) <=
+        eps_sq) {
+      out->push_back(first_id + static_cast<PointId>(i));
+    }
+  }
+  stats->blocks_scored += n;
+}
+
+void FilterIdsScalar(const double* query, const double* base, int dim,
+                     double eps_sq, const PointId* ids, std::size_t n,
+                     std::vector<PointId>* out, KernelStats* stats) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (PairSquaredL2(query, base + RowOffset(ids[i], dim), dim) <= eps_sq) {
+      out->push_back(ids[i]);
+    }
+  }
+  stats->blocks_scored += n;
+}
+
+#if DBDC_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// SSE2 tier: 2 candidates per block, one lane per candidate. Lanes
+// accumulate over the axes in ascending order with separate mul and add
+// intrinsics (never FMA), so each lane's sum is bit-identical to the
+// scalar loop's.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse2"))) inline __m128d
+Sse2PairAccumulate(const double* query, const double* r0, const double* r1,
+                   int dim) {
+  __m128d acc = _mm_setzero_pd();
+  for (int k = 0; k < dim; ++k) {
+    const __m128d x = _mm_set_pd(r1[k], r0[k]);
+    const __m128d d = _mm_sub_pd(x, _mm_set1_pd(query[k]));
+    acc = _mm_add_pd(acc, _mm_mul_pd(d, d));
+  }
+  return acc;
+}
+
+__attribute__((target("sse2"))) void BatchedSse2(const double* query,
+                                                 const double* rows,
+                                                 std::size_t n, int dim,
+                                                 double* out) {
+  const std::size_t sdim = static_cast<std::size_t>(dim);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d acc =
+        Sse2PairAccumulate(query, rows + i * sdim, rows + (i + 1) * sdim, dim);
+    _mm_storeu_pd(out + i, acc);
+  }
+  if (i < n) out[i] = PairSquaredL2(query, rows + i * sdim, dim);
+}
+
+__attribute__((target("sse2"))) void FilterRowsSse2(
+    const double* query, const double* rows, std::size_t n, int dim,
+    double eps_sq, PointId first_id, std::vector<PointId>* out,
+    KernelStats* stats) {
+  const __m128d eps_v = _mm_set1_pd(eps_sq);
+  const std::size_t sdim = static_cast<std::size_t>(dim);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d acc;
+    if (dim == 2) {
+      // Two consecutive 2-d rows are one aligned-free 4-double run:
+      // deinterleave into x and y lanes, square-accumulate in axis order.
+      const __m128d r0 = _mm_loadu_pd(rows + i * 2);
+      const __m128d r1 = _mm_loadu_pd(rows + i * 2 + 2);
+      const __m128d xs = _mm_unpacklo_pd(r0, r1);
+      const __m128d ys = _mm_unpackhi_pd(r0, r1);
+      const __m128d dx = _mm_sub_pd(xs, _mm_set1_pd(query[0]));
+      const __m128d dy = _mm_sub_pd(ys, _mm_set1_pd(query[1]));
+      acc = _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy));
+    } else {
+      acc = Sse2PairAccumulate(query, rows + i * sdim, rows + (i + 1) * sdim,
+                               dim);
+    }
+    const int mask = _mm_movemask_pd(_mm_cmple_pd(acc, eps_v));
+    if (mask == 0) continue;  // one predictable branch per miss block
+    if (mask & 1) out->push_back(first_id + static_cast<PointId>(i));
+    if (mask & 2) out->push_back(first_id + static_cast<PointId>(i) + 1);
+  }
+  stats->blocks_scored += i / 2;
+  if (i < n) {
+    FilterRowsScalar(query, rows + i * sdim, n - i, dim, eps_sq,
+                     first_id + static_cast<PointId>(i), out, stats);
+  }
+}
+
+__attribute__((target("sse2"))) void FilterIdsSse2(
+    const double* query, const double* base, int dim, double eps_sq,
+    const PointId* ids, std::size_t n, std::vector<PointId>* out,
+    KernelStats* stats) {
+  const __m128d eps_v = _mm_set1_pd(eps_sq);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const double* r0 = base + RowOffset(ids[i], dim);
+    const double* r1 = base + RowOffset(ids[i + 1], dim);
+    const __m128d acc = Sse2PairAccumulate(query, r0, r1, dim);
+    const int mask = _mm_movemask_pd(_mm_cmple_pd(acc, eps_v));
+    if (mask == 0) continue;
+    if (mask & 1) out->push_back(ids[i]);
+    if (mask & 2) out->push_back(ids[i + 1]);
+  }
+  stats->blocks_scored += i / 2;
+  if (i < n) {
+    FilterIdsScalar(query, base, dim, eps_sq, ids + i, n - i, out, stats);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: 4 candidates per block, one lane per candidate; the same
+// axis-order accumulation contract as the SSE2 and scalar tiers.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline __m256d
+Avx2QuadAccumulate(const double* query, const double* r0, const double* r1,
+                   const double* r2, const double* r3, int dim) {
+  __m256d acc = _mm256_setzero_pd();
+  for (int k = 0; k < dim; ++k) {
+    const __m256d x = _mm256_set_pd(r3[k], r2[k], r1[k], r0[k]);
+    const __m256d d = _mm256_sub_pd(x, _mm256_set1_pd(query[k]));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+  }
+  return acc;
+}
+
+__attribute__((target("avx2"))) void BatchedAvx2(const double* query,
+                                                 const double* rows,
+                                                 std::size_t n, int dim,
+                                                 double* out) {
+  const std::size_t sdim = static_cast<std::size_t>(dim);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d acc = Avx2QuadAccumulate(
+        query, rows + i * sdim, rows + (i + 1) * sdim, rows + (i + 2) * sdim,
+        rows + (i + 3) * sdim, dim);
+    _mm256_storeu_pd(out + i, acc);
+  }
+  for (; i < n; ++i) out[i] = PairSquaredL2(query, rows + i * sdim, dim);
+}
+
+__attribute__((target("avx2"))) void FilterRowsAvx2(
+    const double* query, const double* rows, std::size_t n, int dim,
+    double eps_sq, PointId first_id, std::vector<PointId>* out,
+    KernelStats* stats) {
+  const __m256d eps_v = _mm256_set1_pd(eps_sq);
+  const std::size_t sdim = static_cast<std::size_t>(dim);
+  std::size_t i = 0;
+  if (dim == 2) {
+    // Four consecutive 2-d rows are two unaligned 256-bit loads.
+    // Deinterleaving with unpacklo/hi leaves the lane order
+    // [c0, c2, c1, c3], so the hit bits are consumed as 0, 2, 1, 3 to
+    // emit ids in ascending order (the order the scalar loop emits —
+    // neighbor order feeds the DBSCAN seed queue and observer events).
+    const __m256d qx = _mm256_set1_pd(query[0]);
+    const __m256d qy = _mm256_set1_pd(query[1]);
+    // Two independent 4-lane blocks per iteration: the second block's
+    // loads/unpacks overlap the first's arithmetic, and the merged mask
+    // makes the (overwhelmingly common) all-miss iteration one branch.
+    for (; i + 8 <= n; i += 8) {
+      const __m256d r01 = _mm256_loadu_pd(rows + i * 2);
+      const __m256d r23 = _mm256_loadu_pd(rows + i * 2 + 4);
+      const __m256d r45 = _mm256_loadu_pd(rows + i * 2 + 8);
+      const __m256d r67 = _mm256_loadu_pd(rows + i * 2 + 12);
+      const __m256d dx_a = _mm256_sub_pd(_mm256_unpacklo_pd(r01, r23), qx);
+      const __m256d dy_a = _mm256_sub_pd(_mm256_unpackhi_pd(r01, r23), qy);
+      const __m256d dx_b = _mm256_sub_pd(_mm256_unpacklo_pd(r45, r67), qx);
+      const __m256d dy_b = _mm256_sub_pd(_mm256_unpackhi_pd(r45, r67), qy);
+      const __m256d acc_a =
+          _mm256_add_pd(_mm256_mul_pd(dx_a, dx_a), _mm256_mul_pd(dy_a, dy_a));
+      const __m256d acc_b =
+          _mm256_add_pd(_mm256_mul_pd(dx_b, dx_b), _mm256_mul_pd(dy_b, dy_b));
+      const int mask_a =
+          _mm256_movemask_pd(_mm256_cmp_pd(acc_a, eps_v, _CMP_LE_OQ));
+      const int mask_b =
+          _mm256_movemask_pd(_mm256_cmp_pd(acc_b, eps_v, _CMP_LE_OQ));
+      if ((mask_a | mask_b) == 0) continue;
+      const PointId id = first_id + static_cast<PointId>(i);
+      if (mask_a & 1) out->push_back(id);
+      if (mask_a & 4) out->push_back(id + 1);
+      if (mask_a & 2) out->push_back(id + 2);
+      if (mask_a & 8) out->push_back(id + 3);
+      if (mask_b & 1) out->push_back(id + 4);
+      if (mask_b & 4) out->push_back(id + 5);
+      if (mask_b & 2) out->push_back(id + 6);
+      if (mask_b & 8) out->push_back(id + 7);
+    }
+    for (; i + 4 <= n; i += 4) {
+      const __m256d r01 = _mm256_loadu_pd(rows + i * 2);
+      const __m256d r23 = _mm256_loadu_pd(rows + i * 2 + 4);
+      const __m256d xs = _mm256_unpacklo_pd(r01, r23);
+      const __m256d ys = _mm256_unpackhi_pd(r01, r23);
+      const __m256d dx = _mm256_sub_pd(xs, qx);
+      const __m256d dy = _mm256_sub_pd(ys, qy);
+      const __m256d acc =
+          _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+      const int mask =
+          _mm256_movemask_pd(_mm256_cmp_pd(acc, eps_v, _CMP_LE_OQ));
+      if (mask == 0) continue;  // one predictable branch per miss block
+      const PointId id = first_id + static_cast<PointId>(i);
+      if (mask & 1) out->push_back(id);
+      if (mask & 4) out->push_back(id + 1);
+      if (mask & 2) out->push_back(id + 2);
+      if (mask & 8) out->push_back(id + 3);
+    }
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      const __m256d acc = Avx2QuadAccumulate(
+          query, rows + i * sdim, rows + (i + 1) * sdim,
+          rows + (i + 2) * sdim, rows + (i + 3) * sdim, dim);
+      const int mask =
+          _mm256_movemask_pd(_mm256_cmp_pd(acc, eps_v, _CMP_LE_OQ));
+      if (mask == 0) continue;
+      const PointId id = first_id + static_cast<PointId>(i);
+      if (mask & 1) out->push_back(id);
+      if (mask & 2) out->push_back(id + 1);
+      if (mask & 4) out->push_back(id + 2);
+      if (mask & 8) out->push_back(id + 3);
+    }
+  }
+  stats->blocks_scored += i / 4;
+  if (i < n) {
+    FilterRowsScalar(query, rows + i * sdim, n - i, dim, eps_sq,
+                     first_id + static_cast<PointId>(i), out, stats);
+  }
+}
+
+__attribute__((target("avx2"))) void FilterIdsAvx2(
+    const double* query, const double* base, int dim, double eps_sq,
+    const PointId* ids, std::size_t n, std::vector<PointId>* out,
+    KernelStats* stats) {
+  const __m256d eps_v = _mm256_set1_pd(eps_sq);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double* r0 = base + RowOffset(ids[i], dim);
+    const double* r1 = base + RowOffset(ids[i + 1], dim);
+    const double* r2 = base + RowOffset(ids[i + 2], dim);
+    const double* r3 = base + RowOffset(ids[i + 3], dim);
+    __m256d acc;
+    int mask;
+    if (dim == 2) {
+      // Gather each 2-d row as one 128-bit load, pack pairs, then
+      // deinterleave; lane order is [c0, c2, c1, c3] (see FilterRowsAvx2).
+      const __m256d r01 =
+          _mm256_set_m128d(_mm_loadu_pd(r1), _mm_loadu_pd(r0));
+      const __m256d r23 =
+          _mm256_set_m128d(_mm_loadu_pd(r3), _mm_loadu_pd(r2));
+      const __m256d xs = _mm256_unpacklo_pd(r01, r23);
+      const __m256d ys = _mm256_unpackhi_pd(r01, r23);
+      const __m256d dx = _mm256_sub_pd(xs, _mm256_set1_pd(query[0]));
+      const __m256d dy = _mm256_sub_pd(ys, _mm256_set1_pd(query[1]));
+      acc = _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+      mask = _mm256_movemask_pd(_mm256_cmp_pd(acc, eps_v, _CMP_LE_OQ));
+      if (mask == 0) continue;
+      if (mask & 1) out->push_back(ids[i]);
+      if (mask & 4) out->push_back(ids[i + 1]);
+      if (mask & 2) out->push_back(ids[i + 2]);
+      if (mask & 8) out->push_back(ids[i + 3]);
+    } else {
+      acc = Avx2QuadAccumulate(query, r0, r1, r2, r3, dim);
+      mask = _mm256_movemask_pd(_mm256_cmp_pd(acc, eps_v, _CMP_LE_OQ));
+      if (mask == 0) continue;
+      if (mask & 1) out->push_back(ids[i]);
+      if (mask & 2) out->push_back(ids[i + 1]);
+      if (mask & 4) out->push_back(ids[i + 2]);
+      if (mask & 8) out->push_back(ids[i + 3]);
+    }
+  }
+  stats->blocks_scored += i / 4;
+  if (i < n) {
+    FilterIdsScalar(query, base, dim, eps_sq, ids + i, n - i, out, stats);
+  }
+}
+
+#endif  // DBDC_SIMD_X86
+
+Tier DetectTier() {
+#if DBDC_SIMD_X86
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return Tier::kSse2;
+#endif
+  return Tier::kScalar;
+}
+
+}  // namespace
+
+std::string_view TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kSse2: return "sse2";
+    case Tier::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseTier(std::string_view name, Tier* out) {
+  if (name == "scalar") {
+    *out = Tier::kScalar;
+  } else if (name == "sse2") {
+    *out = Tier::kSse2;
+  } else if (name == "avx2") {
+    *out = Tier::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Tier DetectedTier() {
+  static const Tier tier = DetectTier();
+  return tier;
+}
+
+Tier ActiveTier() {
+  const int forced = g_forced_tier.load(std::memory_order_relaxed);
+  return forced >= 0 ? static_cast<Tier>(forced) : DetectedTier();
+}
+
+int TierLanes(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar: return 1;
+    case Tier::kSse2: return 2;
+    case Tier::kAvx2: return 4;
+  }
+  return 1;
+}
+
+bool ForceTier(Tier tier) {
+  if (static_cast<int>(tier) > static_cast<int>(DetectedTier())) return false;
+  g_forced_tier.store(static_cast<int>(tier), std::memory_order_relaxed);
+  return true;
+}
+
+void ResetForcedTier() {
+  g_forced_tier.store(-1, std::memory_order_relaxed);
+}
+
+void SetReferenceScan(bool enabled) {
+  g_reference_scan.store(enabled, std::memory_order_relaxed);
+}
+
+bool ReferenceScanEnabled() {
+  return g_reference_scan.load(std::memory_order_relaxed);
+}
+
+void BatchedSquaredEuclidean(const double* query, const double* rows,
+                             std::size_t n, int dim, double* out) {
+  switch (ActiveTier()) {
+#if DBDC_SIMD_X86
+    case Tier::kAvx2:
+      BatchedAvx2(query, rows, n, dim, out);
+      return;
+    case Tier::kSse2:
+      BatchedSse2(query, rows, n, dim, out);
+      return;
+#endif
+    default:
+      BatchedScalar(query, rows, n, dim, out);
+      return;
+  }
+}
+
+void FilterRowsSquaredEuclidean(const double* query, const double* rows,
+                                std::size_t n, int dim, double eps_sq,
+                                PointId first_id, std::vector<PointId>* out,
+                                KernelStats* stats) {
+  const std::size_t before = out->size();
+  switch (ActiveTier()) {
+#if DBDC_SIMD_X86
+    case Tier::kAvx2:
+      FilterRowsAvx2(query, rows, n, dim, eps_sq, first_id, out, stats);
+      break;
+    case Tier::kSse2:
+      FilterRowsSse2(query, rows, n, dim, eps_sq, first_id, out, stats);
+      break;
+#endif
+    default:
+      FilterRowsScalar(query, rows, n, dim, eps_sq, first_id, out, stats);
+      break;
+  }
+  stats->candidates_filtered += n - (out->size() - before);
+}
+
+void FilterIdsSquaredEuclidean(const double* query, const double* base,
+                               int dim, double eps_sq, const PointId* ids,
+                               std::size_t n, std::vector<PointId>* out,
+                               KernelStats* stats) {
+  const std::size_t before = out->size();
+  switch (ActiveTier()) {
+#if DBDC_SIMD_X86
+    case Tier::kAvx2:
+      FilterIdsAvx2(query, base, dim, eps_sq, ids, n, out, stats);
+      break;
+    case Tier::kSse2:
+      FilterIdsSse2(query, base, dim, eps_sq, ids, n, out, stats);
+      break;
+#endif
+    default:
+      FilterIdsScalar(query, base, dim, eps_sq, ids, n, out, stats);
+      break;
+  }
+  stats->candidates_filtered += n - (out->size() - before);
+}
+
+}  // namespace dbdc::simd

@@ -1,0 +1,124 @@
+#ifndef DBDC_COMMON_SIMD_KERNELS_H_
+#define DBDC_COMMON_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dbdc::simd {
+
+/// The batched squared-L2 kernel tiers, ordered by capability. The active
+/// tier is resolved once per process from CPUID (mirroring the one-time
+/// IsEuclideanMetric dispatch) and can be forced down for attribution and
+/// testing (`dbdc_cli --simd=...`, DBDC_SIMD=OFF).
+///
+/// Determinism contract (DESIGN.md §11): every tier vectorizes *across
+/// candidates* — one SIMD lane per candidate point, accumulating over the
+/// coordinate axes in ascending order, exactly like the scalar loop in
+/// SquaredEuclideanDistance. Each pair's sum is therefore the bit-identical
+/// sequence of IEEE additions in every tier (no horizontal reductions, no
+/// FMA contraction), so labels, core flags and observer events cannot
+/// depend on the tier, the block size, or where a tail lane falls.
+enum class Tier : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+/// Stable lower-case tier name ("scalar", "sse2", "avx2").
+std::string_view TierName(Tier tier);
+
+/// Parses "scalar" / "sse2" / "avx2" (strict; anything else is rejected).
+bool ParseTier(std::string_view name, Tier* out);
+
+/// Highest tier this CPU supports, detected once via CPUID. Always
+/// kScalar when the library was built with DBDC_SIMD=OFF or for a
+/// non-x86 target.
+Tier DetectedTier();
+
+/// The tier the kernels will actually run: the forced tier when one is
+/// set, otherwise DetectedTier().
+Tier ActiveTier();
+
+/// Candidates processed per SIMD block at `tier` (1 / 2 / 4).
+int TierLanes(Tier tier);
+
+/// Forces every subsequent kernel call onto `tier`. Returns false (and
+/// changes nothing) when the CPU cannot run `tier`. Not intended to be
+/// flipped concurrently with in-flight queries.
+bool ForceTier(Tier tier);
+
+/// Restores CPUID auto-dispatch.
+void ResetForcedTier();
+
+/// Reference-scan mode: every index's euclidean ε-query runs the
+/// per-point loop the batched kernels replaced (one ReferenceSquaredL2
+/// call per candidate, linear scan walks `present_` point by point)
+/// instead of blocked kernel calls. This is the benchmarks' "scalar"
+/// baseline — the pre-batching code path, kept verbatim so the measured
+/// speedup is before-vs-after, not tier-vs-tier — and a cross-check that
+/// the blocked scans emit identical labels. Not intended to be flipped
+/// concurrently with in-flight queries.
+void SetReferenceScan(bool enabled);
+bool ReferenceScanEnabled();
+
+/// The per-pair scalar loop every kernel tier is defined against:
+/// coordinate deltas squared and accumulated in ascending-axis order,
+/// no FMA. Inline so the reference scan pays exactly what the old
+/// devirtualized fast paths paid — an inlined loop, not a call.
+inline double ReferenceSquaredL2(const double* a, const double* b, int dim) {
+  double sum = 0.0;
+  for (int k = 0; k < dim; ++k) {
+    const double d = a[k] - b[k];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// Per-call kernel accounting, accumulated by the caller across one
+/// ε-query and flushed to the obs registry in a single Add (the same
+/// one-add-per-query pattern as the fast-path counters).
+struct KernelStats {
+  /// Blocks evaluated: ⌊candidates / W⌋ full W-lane vector blocks plus one
+  /// block per scalar-tail candidate, W = TierLanes(active) — i.e.
+  /// ⌊n/W⌋ + (n mod W) per call (exactly n on the scalar tier).
+  std::uint64_t blocks_scored = 0;
+  /// Candidates the fused eps² compare rejected.
+  std::uint64_t candidates_filtered = 0;
+
+  void MergeInto(KernelStats* total) const {
+    total->blocks_scored += blocks_scored;
+    total->candidates_filtered += candidates_filtered;
+  }
+};
+
+/// Squared L2 distance from `query` to each of `n` contiguous row-major
+/// `rows` of `dim` doubles; out[i] is bit-identical to
+/// SquaredEuclideanDistance(query, rows + i*dim) in every tier.
+void BatchedSquaredEuclidean(const double* query, const double* rows,
+                             std::size_t n, int dim, double* out);
+
+/// Fused compare-against-eps² over contiguous rows: appends first_id + i
+/// to *out for every row i with squared distance <= eps_sq, in ascending
+/// i (the order the scalar loop emits). Used where candidate rows are
+/// physically consecutive (linear scan runs).
+void FilterRowsSquaredEuclidean(const double* query, const double* rows,
+                                std::size_t n, int dim, double eps_sq,
+                                PointId first_id, std::vector<PointId>* out,
+                                KernelStats* stats);
+
+/// Fused compare-against-eps² over gathered candidates: appends ids[i] to
+/// *out for every candidate with squared distance from `query` to row
+/// base + ids[i]*dim <= eps_sq, preserving the ids[] order. Used by the
+/// cell/leaf scans of the grid, k-d tree and R*-tree indices.
+void FilterIdsSquaredEuclidean(const double* query, const double* base,
+                               int dim, double eps_sq, const PointId* ids,
+                               std::size_t n, std::vector<PointId>* out,
+                               KernelStats* stats);
+
+}  // namespace dbdc::simd
+
+#endif  // DBDC_COMMON_SIMD_KERNELS_H_

@@ -2,6 +2,7 @@
 #define DBDC_CORE_DBDC_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/server.h"
@@ -114,6 +115,11 @@ struct DbdcResult {
   /// Snapshot of the global MetricsRegistry taken as the pipeline
   /// finished; empty() when no registry was attached (the default).
   obs::MetricsSnapshot metrics_snapshot;
+
+  /// The SIMD dispatch tier the batched distance kernels ran on
+  /// ("scalar", "sse2", "avx2") — results are attributable to a kernel
+  /// tier even though labels are tier-independent by construction.
+  std::string simd_tier;
 
   /// The paper's overall-runtime formula (Sec. 9).
   double OverallSeconds() const {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "common/simd_kernels.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -287,6 +288,11 @@ DbdcResult DbdcEngine::TakeResult() {
   result_.bytes_downlink = ctx_.transport->BytesDownlink();
   result_.global_model = server_.global_model();
   result_.stage_stats = ctx_.stages;
+  // Tier gauge before Snapshot() so the snapshot carries it too.
+  const simd::Tier tier = simd::ActiveTier();
+  obs::SetGauge(obs::Gauge::kSimdTier,
+                static_cast<double>(static_cast<int>(tier)));
+  result_.simd_tier = std::string(simd::TierName(tier));
   if (obs::MetricsRegistry* metrics = obs::GlobalMetrics()) {
     result_.metrics_snapshot = metrics->Snapshot();
   }

@@ -55,31 +55,52 @@ GridIndex::CellKey GridIndex::KeyFor(std::span<const double> p) const {
   return HashCoords(c);
 }
 
-void GridIndex::RangeQuery(std::span<const double> q, double eps,
-                           std::vector<PointId>* out) const {
-  out->clear();
+void GridIndex::ScanCells(std::span<const double> q, double eps,
+                          std::vector<std::int64_t>* lo,
+                          std::vector<std::int64_t>* hi,
+                          std::vector<std::int64_t>* cur,
+                          std::uint64_t* examined, simd::KernelStats* kstats,
+                          std::vector<PointId>* out) const {
   DBDC_CHECK(static_cast<int>(q.size()) == data_->dim());
   const int dim = data_->dim();
+  const std::size_t sdim = static_cast<std::size_t>(dim);
   // Cell-coordinate box covering [q-eps, q+eps].
-  std::vector<std::int64_t> lo(dim), hi(dim), cur(dim);
+  lo->resize(sdim);
+  hi->resize(sdim);
+  cur->resize(sdim);
   for (int i = 0; i < dim; ++i) {
-    lo[i] = static_cast<std::int64_t>(std::floor((q[i] - eps) / cell_width_));
-    hi[i] = static_cast<std::int64_t>(std::floor((q[i] + eps) / cell_width_));
+    (*lo)[static_cast<std::size_t>(i)] =
+        static_cast<std::int64_t>(std::floor((q[i] - eps) / cell_width_));
+    (*hi)[static_cast<std::size_t>(i)] =
+        static_cast<std::int64_t>(std::floor((q[i] + eps) / cell_width_));
   }
   const double eps_sq = eps * eps;
-  // Fast-path accounting is per cell (one add), never per point; pruned
-  // candidates fall out arithmetically as examined - accepted.
-  std::uint64_t examined = 0;
-  cur = lo;
+  *cur = *lo;
   while (true) {
-    const auto it = cells_.find(HashCoords(cur));
+    const auto it = cells_.find(HashCoords(*cur));
     if (it != cells_.end()) {
       if (euclidean_) {
-        examined += it->second.size();
-        for (const PointId id : it->second) {
-          if (SquaredEuclideanDistance(q, data_->point(id)) <= eps_sq) {
-            out->push_back(id);
+        *examined += it->second.size();
+        if (simd::ReferenceScanEnabled()) {
+          // Pre-batching scan: one inlined squared distance per candidate
+          // (the bench baseline). Only the filtered count is accounted —
+          // no kernel blocks ran.
+          for (const PointId id : it->second) {
+            if (simd::ReferenceSquaredL2(
+                    q.data(),
+                    data_->raw() + static_cast<std::size_t>(id) * sdim,
+                    dim) <= eps_sq) {
+              out->push_back(id);
+            } else {
+              ++kstats->candidates_filtered;
+            }
           }
+        } else {
+          // A whole cell's candidate list is one block through the batched
+          // kernel (squared distances vs eps², no sqrt, no virtual call).
+          simd::FilterIdsSquaredEuclidean(q.data(), data_->raw(), dim, eps_sq,
+                                          it->second.data(),
+                                          it->second.size(), out, kstats);
         }
       } else {
         for (const PointId id : it->second) {
@@ -92,18 +113,65 @@ void GridIndex::RangeQuery(std::span<const double> q, double eps,
     // Odometer-style advance through the cell box.
     int axis = 0;
     while (axis < dim) {
-      if (++cur[axis] <= hi[axis]) break;
-      cur[axis] = lo[axis];
+      if (++(*cur)[static_cast<std::size_t>(axis)] <=
+          (*hi)[static_cast<std::size_t>(axis)]) {
+        break;
+      }
+      (*cur)[static_cast<std::size_t>(axis)] =
+          (*lo)[static_cast<std::size_t>(axis)];
       ++axis;
     }
     if (axis == dim) break;
   }
-  if (examined != 0) {
-    if (obs::MetricsRegistry* metrics = obs::GlobalMetrics()) {
-      metrics->Add(obs::Counter::kFastPathCandidates, examined);
-      metrics->Add(obs::Counter::kFastPathPruned, examined - out->size());
+}
+
+namespace {
+
+/// One registry flush per query (or per batch) — never per cell or per
+/// point. `kstats.candidates_filtered` equals examined - accepted on the
+/// euclidean path, which is exactly the old per-query pruned count.
+void FlushGridQueryMetrics(std::uint64_t examined,
+                           const simd::KernelStats& kstats) {
+  if (examined == 0) return;
+  if (obs::MetricsRegistry* metrics = obs::GlobalMetrics()) {
+    metrics->Add(obs::Counter::kFastPathCandidates, examined);
+    metrics->Add(obs::Counter::kFastPathPruned, kstats.candidates_filtered);
+    if (kstats.blocks_scored != 0) {  // Zero in reference-scan mode.
+      metrics->Add(obs::Counter::kSimdBlocksScored, kstats.blocks_scored);
+      metrics->Add(obs::Counter::kSimdCandidatesFiltered,
+                   kstats.candidates_filtered);
     }
   }
+}
+
+}  // namespace
+
+void GridIndex::RangeQuery(std::span<const double> q, double eps,
+                           std::vector<PointId>* out) const {
+  out->clear();
+  std::vector<std::int64_t> lo, hi, cur;
+  std::uint64_t examined = 0;
+  simd::KernelStats kstats;
+  ScanCells(q, eps, &lo, &hi, &cur, &examined, &kstats, out);
+  FlushGridQueryMetrics(examined, kstats);
+}
+
+void GridIndex::BatchRangeQuery(std::span<const PointId> queries, double eps,
+                                std::vector<PointId>* out_ids,
+                                std::vector<std::size_t>* out_counts) const {
+  out_ids->clear();
+  out_counts->clear();
+  out_counts->reserve(queries.size());
+  std::vector<std::int64_t> lo, hi, cur;
+  std::uint64_t examined = 0;
+  simd::KernelStats kstats;
+  for (const PointId p : queries) {
+    const std::size_t before = out_ids->size();
+    ScanCells(data_->point(p), eps, &lo, &hi, &cur, &examined, &kstats,
+              out_ids);
+    out_counts->push_back(out_ids->size() - before);
+  }
+  FlushGridQueryMetrics(examined, kstats);
 }
 
 void GridIndex::KnnQuery(std::span<const double> q, int k,

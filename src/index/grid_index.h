@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/simd_kernels.h"
 #include "index/neighbor_index.h"
 
 namespace dbdc {
@@ -28,6 +29,12 @@ class GridIndex final : public NeighborIndex {
   void RangeQuery(std::span<const double> q, double eps,
                   std::vector<PointId>* out) const override;
   using NeighborIndex::RangeQuery;
+  /// Batched override: reuses one set of cell-coordinate scratch vectors
+  /// across the block and flushes candidate/kernel accounting to the
+  /// registry once, instead of per query.
+  void BatchRangeQuery(std::span<const PointId> queries, double eps,
+                       std::vector<PointId>* out_ids,
+                       std::vector<std::size_t>* out_counts) const override;
   void KnnQuery(std::span<const double> q, int k,
                 std::vector<PointId>* out) const override;
   std::size_t size() const override { return count_; }
@@ -46,6 +53,15 @@ class GridIndex final : public NeighborIndex {
   CellKey KeyFor(std::span<const double> p) const;
   void CellCoords(std::span<const double> p, std::vector<std::int64_t>* c) const;
   CellKey HashCoords(const std::vector<std::int64_t>& c) const;
+
+  /// One range query's cell-box scan, appending hits to *out without
+  /// clearing it. Cell-coordinate scratch is caller-provided so batched
+  /// queries reuse the allocations; candidate and kernel accounting
+  /// accumulate into *examined / *kstats for a single registry flush.
+  void ScanCells(std::span<const double> q, double eps,
+                 std::vector<std::int64_t>* lo, std::vector<std::int64_t>* hi,
+                 std::vector<std::int64_t>* cur, std::uint64_t* examined,
+                 simd::KernelStats* kstats, std::vector<PointId>* out) const;
 
   const Dataset* data_;
   const Metric* metric_;

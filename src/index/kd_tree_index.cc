@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace dbdc {
 
 KdTreeIndex::KdTreeIndex(const Dataset& data, const Metric& metric)
@@ -63,23 +65,45 @@ std::int32_t KdTreeIndex::BuildRecursive(std::int32_t begin,
 void KdTreeIndex::RangeQuery(std::span<const double> q, double eps,
                              std::vector<PointId>* out) const {
   out->clear();
-  if (root_ >= 0) RangeRecursive(root_, q, eps, eps * eps, out);
+  if (root_ < 0) return;
+  simd::KernelStats kstats;
+  RangeRecursive(root_, q, eps, eps * eps, &kstats, out);
+  if (kstats.blocks_scored != 0) {
+    if (obs::MetricsRegistry* metrics = obs::GlobalMetrics()) {
+      metrics->Add(obs::Counter::kSimdBlocksScored, kstats.blocks_scored);
+      metrics->Add(obs::Counter::kSimdCandidatesFiltered,
+                   kstats.candidates_filtered);
+    }
+  }
 }
 
 void KdTreeIndex::RangeRecursive(std::int32_t node_idx,
                                  std::span<const double> q, double eps,
-                                 double eps_sq,
+                                 double eps_sq, simd::KernelStats* kstats,
                                  std::vector<PointId>* out) const {
   const Node& node = nodes_[node_idx];
   if (node.axis < 0) {
     if (euclidean_) {
-      // Devirtualized fast path: squared distance against eps², no sqrt.
-      for (std::int32_t i = node.begin; i < node.end; ++i) {
-        const PointId id = ids_[i];
-        if (SquaredEuclideanDistance(q, data_->point(id)) <= eps_sq) {
-          out->push_back(id);
+      if (simd::ReferenceScanEnabled()) {
+        // Pre-batching scan: one inlined squared distance per leaf point
+        // (the bench baseline; no kernel blocks are accounted).
+        const std::size_t dim = static_cast<std::size_t>(data_->dim());
+        for (std::int32_t i = node.begin; i < node.end; ++i) {
+          const PointId id = ids_[i];
+          if (simd::ReferenceSquaredL2(
+                  q.data(), data_->raw() + static_cast<std::size_t>(id) * dim,
+                  data_->dim()) <= eps_sq) {
+            out->push_back(id);
+          }
         }
+        return;
       }
+      // Devirtualized fast path: the leaf's id bucket is one block
+      // through the batched kernel (squared distances vs eps², no sqrt).
+      simd::FilterIdsSquaredEuclidean(
+          q.data(), data_->raw(), data_->dim(), eps_sq,
+          ids_.data() + node.begin,
+          static_cast<std::size_t>(node.end - node.begin), out, kstats);
       return;
     }
     for (std::int32_t i = node.begin; i < node.end; ++i) {
@@ -91,10 +115,10 @@ void KdTreeIndex::RangeRecursive(std::int32_t node_idx,
   // The true distance dominates any per-axis delta, so a subtree on the far
   // side of the split plane by more than eps cannot contain answers.
   if (q[node.axis] - eps <= node.split) {
-    RangeRecursive(node.left, q, eps, eps_sq, out);
+    RangeRecursive(node.left, q, eps, eps_sq, kstats, out);
   }
   if (q[node.axis] + eps >= node.split) {
-    RangeRecursive(node.right, q, eps, eps_sq, out);
+    RangeRecursive(node.right, q, eps, eps_sq, kstats, out);
   }
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd_kernels.h"
 #include "index/neighbor_index.h"
 
 namespace dbdc {
@@ -42,7 +43,8 @@ class KdTreeIndex final : public NeighborIndex {
 
   std::int32_t BuildRecursive(std::int32_t begin, std::int32_t end);
   void RangeRecursive(std::int32_t node, std::span<const double> q, double eps,
-                      double eps_sq, std::vector<PointId>* out) const;
+                      double eps_sq, simd::KernelStats* kstats,
+                      std::vector<PointId>* out) const;
   void KnnRecursive(std::int32_t node, std::span<const double> q,
                     std::size_t k,
                     std::vector<std::pair<double, PointId>>* heap) const;

@@ -35,6 +35,31 @@ class NeighborIndex {
     RangeQuery(data().point(id), eps, out);
   }
 
+  /// Resolves the ε-neighborhoods of a block of indexed query points in
+  /// one call: the neighbors of queries[j] are the (*out_counts)[j] ids at
+  /// out_ids[sum of the previous counts...] — a concatenated CSR-style
+  /// layout. Both outputs are cleared first. Per-query results are exactly
+  /// RangeQuery(queries[j], ...), in the same per-query order, so callers
+  /// may batch freely without affecting labels or observer events (the
+  /// DBSCAN sweeps resolve their seed queues through this entry point).
+  ///
+  /// The default resolves queries one by one; implementations override it
+  /// to hoist per-query setup out of the loop and feed candidate blocks
+  /// to the batched SIMD kernels (common/simd_kernels.h).
+  virtual void BatchRangeQuery(std::span<const PointId> queries, double eps,
+                               std::vector<PointId>* out_ids,
+                               std::vector<std::size_t>* out_counts) const {
+    out_ids->clear();
+    out_counts->clear();
+    out_counts->reserve(queries.size());
+    std::vector<PointId> buffer;
+    for (const PointId q : queries) {
+      RangeQuery(data().point(q), eps, &buffer);
+      out_counts->push_back(buffer.size());
+      out_ids->insert(out_ids->end(), buffer.begin(), buffer.end());
+    }
+  }
+
   /// The `k` indexed ids closest to `q`, ordered by increasing distance
   /// (fewer if the index holds fewer than k points). Ties broken
   /// arbitrarily.

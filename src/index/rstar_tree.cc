@@ -1,10 +1,13 @@
 #include "index/rstar_tree.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <queue>
+
+#include "obs/metrics.h"
 
 namespace dbdc {
 
@@ -449,7 +452,15 @@ void RStarTree::RangeQuery(std::span<const double> q, double eps,
   if (euclidean_) {
     // Devirtualized fast path: leaf filtering and interior pruning both
     // compare squared distances against eps² (no virtual call, no sqrt).
-    RangeRecursiveEuclidean(root_, q, eps * eps, out);
+    simd::KernelStats kstats;
+    RangeRecursiveEuclidean(root_, q, eps * eps, &kstats, out);
+    if (kstats.blocks_scored != 0) {
+      if (obs::MetricsRegistry* metrics = obs::GlobalMetrics()) {
+        metrics->Add(obs::Counter::kSimdBlocksScored, kstats.blocks_scored);
+        metrics->Add(obs::Counter::kSimdCandidatesFiltered,
+                     kstats.candidates_filtered);
+      }
+    }
     return;
   }
   RangeRecursive(root_, q, eps, out);
@@ -476,20 +487,41 @@ void RStarTree::RangeRecursive(const Node* node, std::span<const double> q,
 void RStarTree::RangeRecursiveEuclidean(const Node* node,
                                         std::span<const double> q,
                                         double eps_sq,
+                                        simd::KernelStats* kstats,
                                         std::vector<PointId>* out) const {
   if (node->is_leaf()) {
-    for (const Entry& e : node->entries) {
-      if (SquaredEuclideanDistance(q, data_->point(e.id)) <= eps_sq) {
-        out->push_back(e.id);
+    if (simd::ReferenceScanEnabled()) {
+      // Pre-batching scan: one inlined squared distance per leaf entry
+      // (the bench baseline; no kernel blocks are accounted).
+      const std::size_t dim = static_cast<std::size_t>(data_->dim());
+      for (const Entry& e : node->entries) {
+        if (simd::ReferenceSquaredL2(
+                q.data(), data_->raw() + static_cast<std::size_t>(e.id) * dim,
+                data_->dim()) <= eps_sq) {
+          out->push_back(e.id);
+        }
       }
+      return;
     }
+    // Gather the leaf's ids (entries hold non-contiguous rows) and score
+    // them as one block through the batched kernel. Queries never run
+    // mid-insert, so a leaf holds at most kMaxEntries entries.
+    std::array<PointId, kMaxEntries> leaf_ids;
+    const std::size_t count = node->entries.size();
+    DBDC_CHECK(count <= leaf_ids.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      leaf_ids[i] = node->entries[i].id;
+    }
+    simd::FilterIdsSquaredEuclidean(q.data(), data_->raw(), data_->dim(),
+                                    eps_sq, leaf_ids.data(), count, out,
+                                    kstats);
     return;
   }
   for (const Entry& e : node->entries) {
     if (e.box.empty()) continue;
     if (SquaredEuclideanMinDistanceToBox(q, e.box.lo(), e.box.hi()) <=
         eps_sq) {
-      RangeRecursiveEuclidean(e.child, q, eps_sq, out);
+      RangeRecursiveEuclidean(e.child, q, eps_sq, kstats, out);
     }
   }
 }

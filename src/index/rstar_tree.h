@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/bounding_box.h"
+#include "common/simd_kernels.h"
 #include "index/neighbor_index.h"
 
 namespace dbdc {
@@ -134,9 +135,11 @@ class RStarTree final : public NeighborIndex {
 
   void RangeRecursive(const Node* node, std::span<const double> q, double eps,
                       std::vector<PointId>* out) const;
-  /// Euclidean fast path of RangeRecursive: squared distances vs eps².
+  /// Euclidean fast path of RangeRecursive: squared distances vs eps²,
+  /// leaves scored through the batched SIMD kernel.
   void RangeRecursiveEuclidean(const Node* node, std::span<const double> q,
-                               double eps_sq, std::vector<PointId>* out) const;
+                               double eps_sq, simd::KernelStats* kstats,
+                               std::vector<PointId>* out) const;
 
   void CheckNode(const Node* node, int expected_level,
                  std::size_t* point_count) const;

@@ -38,6 +38,8 @@ std::string_view CounterName(Counter counter) {
     case Counter::kRefreshesLost: return "refreshes_lost";
     case Counter::kGlobalRebuilds: return "global_rebuilds";
     case Counter::kContinuousTicks: return "continuous_ticks";
+    case Counter::kSimdBlocksScored: return "simd_blocks_scored";
+    case Counter::kSimdCandidatesFiltered: return "simd_candidates_filtered";
   }
   return "unknown";
 }
@@ -46,6 +48,7 @@ std::string_view GaugeName(Gauge gauge) {
   switch (gauge) {
     case Gauge::kVirtualClockSec: return "virtual_clock_sec";
     case Gauge::kDatasetPoints: return "dataset_points";
+    case Gauge::kSimdTier: return "simd_tier";
   }
   return "unknown";
 }

@@ -50,8 +50,14 @@ enum class Counter : int {
   kRefreshesLost,
   kGlobalRebuilds,
   kContinuousTicks,
+  /// SIMD blocks the batched distance kernels evaluated (one block =
+  /// TierLanes(active) candidates, tail lanes counted as one block each)...
+  kSimdBlocksScored,
+  /// ... and candidates their fused eps² compare rejected. Invariant:
+  /// filtered <= blocks * TierLanes(active tier).
+  kSimdCandidatesFiltered,
 };
-inline constexpr int kNumCounters = 20;
+inline constexpr int kNumCounters = 22;
 
 /// Stable snake_case name for tables, JSON, and tests.
 std::string_view CounterName(Counter counter);
@@ -61,8 +67,11 @@ enum class Gauge : int {
   kVirtualClockSec = 0,
   /// Points in the dataset of the most recent run.
   kDatasetPoints,
+  /// Active SIMD dispatch tier (simd::Tier as a number: 0 scalar,
+  /// 1 sse2, 2 avx2).
+  kSimdTier,
 };
-inline constexpr int kNumGauges = 2;
+inline constexpr int kNumGauges = 3;
 std::string_view GaugeName(Gauge gauge);
 
 /// Power-of-two-bucketed histograms: bucket 0 counts value 0, bucket b
@@ -176,6 +185,10 @@ inline void Count(Counter counter, std::uint64_t delta = 1) {
 
 inline void Observe(Histogram histogram, std::uint64_t value) {
   if (MetricsRegistry* m = GlobalMetrics()) m->Observe(histogram, value);
+}
+
+inline void SetGauge(Gauge gauge, double value) {
+  if (MetricsRegistry* m = GlobalMetrics()) m->SetGauge(gauge, value);
 }
 
 }  // namespace dbdc::obs

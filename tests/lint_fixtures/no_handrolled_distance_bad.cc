@@ -1,0 +1,25 @@
+// Seeded violation for the no-handrolled-distance rule: a per-point
+// Euclidean scoring loop that calls the scalar reference kernel once per
+// candidate instead of handing the whole run to the batched kernels
+// (common/simd_kernels.h). Such a loop sits outside the SIMD/scalar
+// bit-identity contract of DESIGN.md §11 and never benefits from the
+// vector tiers.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+double SquaredEuclideanDistance(std::span<const double> a,
+                                std::span<const double> b);
+
+void ScoreCellTheSlowWay(std::span<const double> query, const double* rows,
+                         std::size_t n, std::size_t dim, double eps_sq,
+                         std::vector<std::int32_t>* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = SquaredEuclideanDistance(
+        query, std::span<const double>(rows + i * dim, dim));
+    if (d <= eps_sq) {
+      out->push_back(static_cast<std::int32_t>(i));
+    }
+  }
+}

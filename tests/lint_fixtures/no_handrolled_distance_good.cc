@@ -1,0 +1,23 @@
+// Compliant twin of no_handrolled_distance_bad.cc: the candidate run is
+// scored by one call into the batched kernels, which own the per-point
+// loop (and its scalar tail) under the tier bit-identity contract.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dbdc::simd {
+struct KernelStats;
+void FilterRowsSquaredEuclidean(const double* query, const double* rows,
+                                std::size_t n, std::size_t dim,
+                                double eps_sq, std::int32_t first_id,
+                                std::vector<std::int32_t>* out,
+                                KernelStats* stats);
+}  // namespace dbdc::simd
+
+void ScoreCell(const double* query, const double* rows, std::size_t n,
+               std::size_t dim, double eps_sq,
+               std::vector<std::int32_t>* out,
+               dbdc::simd::KernelStats* stats) {
+  dbdc::simd::FilterRowsSquaredEuclidean(query, rows, n, dim, eps_sq,
+                                         /*first_id=*/0, out, stats);
+}

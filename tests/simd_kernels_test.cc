@@ -1,0 +1,466 @@
+// Bit-identity suite for the batched SIMD distance kernels (DESIGN.md
+// §11). The contract under test: every dispatch tier — scalar, SSE2,
+// AVX2 — produces *bit-identical* outputs (distances, survivor id
+// sequences, DBSCAN labels/core flags/observer events) for every dim,
+// batch size, tail shape and alignment, so results can never depend on
+// the host CPU. Tiers the machine cannot run are skipped (the scalar
+// tier always runs, and on x86 CI hosts SSE2 is guaranteed).
+
+#include "common/simd_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "common/distance.h"
+#include "common/rng.h"
+#include "core/dbdc.h"
+#include "data/generators.h"
+#include "index/index_factory.h"
+
+namespace dbdc {
+namespace {
+
+// Every tier this host can actually execute, scalar first.
+std::vector<simd::Tier> SupportedTiers() {
+  std::vector<simd::Tier> tiers = {simd::Tier::kScalar};
+  const int detected = static_cast<int>(simd::DetectedTier());
+  if (detected >= static_cast<int>(simd::Tier::kSse2)) {
+    tiers.push_back(simd::Tier::kSse2);
+  }
+  if (detected >= static_cast<int>(simd::Tier::kAvx2)) {
+    tiers.push_back(simd::Tier::kAvx2);
+  }
+  return tiers;
+}
+
+// Restores CPUID auto-dispatch however a test exits.
+struct TierGuard {
+  TierGuard() = default;
+  ~TierGuard() { simd::ResetForcedTier(); }
+};
+
+// Bit-level (memcmp) equality: catches -0.0 vs 0.0 and any ULP drift
+// that value comparison under -ffast-math-style flags could mask.
+void ExpectBitsEqual(const std::vector<double>& a,
+                     const std::vector<double>& b, const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (!a.empty()) {
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+        << what;
+  }
+}
+
+// Random rows with mixed signs, magnitudes, and exact duplicates of the
+// query — the shapes that expose reassociation or compare-direction bugs.
+std::vector<double> MakeRows(Rng* rng, std::size_t n, int dim,
+                             const std::vector<double>& query) {
+  std::vector<double> rows(n * static_cast<std::size_t>(dim));
+  for (double& v : rows) v = rng->Uniform(-5.0, 5.0);
+  for (std::size_t i = 0; i < n; i += 7) {  // exact-zero-distance rows
+    std::copy(query.begin(), query.end(),
+              rows.begin() + static_cast<std::ptrdiff_t>(
+                                 i * static_cast<std::size_t>(dim)));
+  }
+  return rows;
+}
+
+const std::vector<int> kDims = {1, 2, 3, 5, 8};
+const std::vector<std::size_t> kSizes = {0, 1, 2, 3, 4, 5, 7,
+                                         8, 9, 31, 32, 33, 100};
+
+// --- Tier API ---------------------------------------------------------
+
+TEST(SimdTierApiTest, NamesRoundTripAndParseIsStrict) {
+  for (const simd::Tier tier : {simd::Tier::kScalar, simd::Tier::kSse2,
+                                simd::Tier::kAvx2}) {
+    simd::Tier parsed = simd::Tier::kAvx2;
+    EXPECT_TRUE(simd::ParseTier(simd::TierName(tier), &parsed));
+    EXPECT_EQ(parsed, tier);
+  }
+  simd::Tier out;
+  EXPECT_FALSE(simd::ParseTier("", &out));
+  EXPECT_FALSE(simd::ParseTier("AVX2", &out));   // strict: no case folding
+  EXPECT_FALSE(simd::ParseTier("sse", &out));
+  EXPECT_FALSE(simd::ParseTier("scalar ", &out));
+  EXPECT_FALSE(simd::ParseTier("auto", &out));   // CLI keyword, not a tier
+}
+
+TEST(SimdTierApiTest, LanesPerTier) {
+  EXPECT_EQ(simd::TierLanes(simd::Tier::kScalar), 1);
+  EXPECT_EQ(simd::TierLanes(simd::Tier::kSse2), 2);
+  EXPECT_EQ(simd::TierLanes(simd::Tier::kAvx2), 4);
+}
+
+TEST(SimdTierApiTest, ForceTierHonorsCpuCapability) {
+  const TierGuard guard;
+  EXPECT_EQ(simd::ActiveTier(), simd::DetectedTier());
+  for (const simd::Tier tier : SupportedTiers()) {
+    EXPECT_TRUE(simd::ForceTier(tier)) << simd::TierName(tier);
+    EXPECT_EQ(simd::ActiveTier(), tier);
+  }
+  // Tiers above the detected one must be refused without side effects.
+  const simd::Tier before = simd::ActiveTier();
+  for (const simd::Tier tier : {simd::Tier::kSse2, simd::Tier::kAvx2}) {
+    if (static_cast<int>(tier) > static_cast<int>(simd::DetectedTier())) {
+      EXPECT_FALSE(simd::ForceTier(tier)) << simd::TierName(tier);
+      EXPECT_EQ(simd::ActiveTier(), before);
+    }
+  }
+  simd::ResetForcedTier();
+  EXPECT_EQ(simd::ActiveTier(), simd::DetectedTier());
+}
+
+// --- BatchedSquaredEuclidean -----------------------------------------
+
+TEST(SimdKernelTest, BatchedMatchesScalarReferenceBitForBit) {
+  const TierGuard guard;
+  Rng rng(11);
+  for (const int dim : kDims) {
+    for (const std::size_t n : kSizes) {
+      std::vector<double> query(static_cast<std::size_t>(dim));
+      for (double& v : query) v = rng.Uniform(-5.0, 5.0);
+      const std::vector<double> rows = MakeRows(&rng, n, dim, query);
+
+      // The reference is the scalar helper itself, row by row.
+      std::vector<double> expected(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        expected[i] = SquaredEuclideanDistance(
+            query, {rows.data() + i * static_cast<std::size_t>(dim),
+                    static_cast<std::size_t>(dim)});
+      }
+      for (const simd::Tier tier : SupportedTiers()) {
+        ASSERT_TRUE(simd::ForceTier(tier));
+        std::vector<double> got(n);
+        simd::BatchedSquaredEuclidean(query.data(), rows.data(), n, dim,
+                                      got.data());
+        ExpectBitsEqual(expected, got,
+                        std::string("tier=") +
+                            std::string(simd::TierName(tier)) +
+                            " dim=" + std::to_string(dim) +
+                            " n=" + std::to_string(n));
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, BatchedHandlesUnalignedRowStarts) {
+  // All loads are unaligned-safe: shifting the whole row block by one
+  // double (8 bytes, guaranteed off any 16/32-byte vector boundary)
+  // must not change a bit.
+  const TierGuard guard;
+  Rng rng(12);
+  const int dim = 2;
+  const std::size_t n = 33;
+  std::vector<double> query = {0.25, -1.5};
+  std::vector<double> storage((n + 1) * static_cast<std::size_t>(dim) + 1);
+  for (double& v : storage) v = rng.Uniform(-3.0, 3.0);
+  for (const std::size_t offset : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{3}}) {
+    const double* rows = storage.data() + offset;
+    std::vector<double> expected(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      expected[i] = SquaredEuclideanDistance(
+          query, {rows + i * static_cast<std::size_t>(dim),
+                  static_cast<std::size_t>(dim)});
+    }
+    for (const simd::Tier tier : SupportedTiers()) {
+      ASSERT_TRUE(simd::ForceTier(tier));
+      std::vector<double> got(n);
+      simd::BatchedSquaredEuclidean(query.data(), rows, n, dim, got.data());
+      ExpectBitsEqual(expected, got,
+                      std::string("tier=") +
+                          std::string(simd::TierName(tier)) +
+                          " offset=" + std::to_string(offset));
+    }
+  }
+}
+
+// --- Fused filters ----------------------------------------------------
+
+TEST(SimdKernelTest, FilterRowsMatchesScalarLoopAndAppends) {
+  const TierGuard guard;
+  Rng rng(13);
+  for (const int dim : kDims) {
+    for (const std::size_t n : kSizes) {
+      std::vector<double> query(static_cast<std::size_t>(dim));
+      for (double& v : query) v = rng.Uniform(-5.0, 5.0);
+      const std::vector<double> rows = MakeRows(&rng, n, dim, query);
+      const double eps_sq = rng.Uniform(0.5, 40.0);
+      const PointId first_id = 1000;
+
+      std::vector<PointId> expected = {-7};  // pre-seeded: append-only
+      for (std::size_t i = 0; i < n; ++i) {
+        if (SquaredEuclideanDistance(
+                query, {rows.data() + i * static_cast<std::size_t>(dim),
+                        static_cast<std::size_t>(dim)}) <= eps_sq) {
+          expected.push_back(first_id + static_cast<PointId>(i));
+        }
+      }
+      for (const simd::Tier tier : SupportedTiers()) {
+        ASSERT_TRUE(simd::ForceTier(tier));
+        std::vector<PointId> got = {-7};
+        simd::KernelStats stats;
+        simd::FilterRowsSquaredEuclidean(query.data(), rows.data(), n, dim,
+                                         eps_sq, first_id, &got, &stats);
+        EXPECT_EQ(got, expected)
+            << "tier=" << simd::TierName(tier) << " dim=" << dim
+            << " n=" << n;
+        // ⌊n/W⌋ vector blocks + one block per scalar-tail candidate.
+        const std::size_t lanes =
+            static_cast<std::size_t>(simd::TierLanes(tier));
+        EXPECT_EQ(stats.blocks_scored, n / lanes + n % lanes)
+            << "tier=" << simd::TierName(tier) << " n=" << n;
+        EXPECT_EQ(stats.candidates_filtered, n - (expected.size() - 1))
+            << "tier=" << simd::TierName(tier) << " n=" << n;
+        EXPECT_LE(stats.candidates_filtered,
+                  stats.blocks_scored * lanes);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, FilterIdsMatchesScalarLoopInGivenOrder) {
+  const TierGuard guard;
+  Rng rng(14);
+  for (const int dim : kDims) {
+    for (const std::size_t n : kSizes) {
+      // A gathered id list over a larger base array: shuffled order with
+      // duplicates, exactly what grid cells / tree leaves hand over.
+      const std::size_t base_points = std::max<std::size_t>(n * 2, 8);
+      std::vector<double> query(static_cast<std::size_t>(dim));
+      for (double& v : query) v = rng.Uniform(-5.0, 5.0);
+      const std::vector<double> base =
+          MakeRows(&rng, base_points, dim, query);
+      std::vector<PointId> ids(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ids[i] = static_cast<PointId>(
+            rng.UniformInt(0, static_cast<std::int64_t>(base_points) - 1));
+      }
+      const double eps_sq = rng.Uniform(0.5, 40.0);
+
+      std::vector<PointId> expected;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t row = static_cast<std::size_t>(ids[i]) *
+                                static_cast<std::size_t>(dim);
+        if (SquaredEuclideanDistance(
+                query, {base.data() + row, static_cast<std::size_t>(dim)}) <=
+            eps_sq) {
+          expected.push_back(ids[i]);
+        }
+      }
+      for (const simd::Tier tier : SupportedTiers()) {
+        ASSERT_TRUE(simd::ForceTier(tier));
+        std::vector<PointId> got;
+        simd::KernelStats stats;
+        simd::FilterIdsSquaredEuclidean(query.data(), base.data(), dim,
+                                        eps_sq, ids.data(), n, &got, &stats);
+        EXPECT_EQ(got, expected)
+            << "tier=" << simd::TierName(tier) << " dim=" << dim
+            << " n=" << n;
+        const std::size_t lanes =
+            static_cast<std::size_t>(simd::TierLanes(tier));
+        EXPECT_EQ(stats.blocks_scored, n / lanes + n % lanes);
+        EXPECT_EQ(stats.candidates_filtered, n - expected.size());
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ExactEpsBoundaryIsInclusiveOnEveryTier) {
+  // d² == eps² exactly (integer coordinates): the fused compare must be
+  // <= on every tier, in every lane position of a block.
+  const TierGuard guard;
+  const int dim = 2;
+  const std::size_t n = 9;  // covers every AVX2 lane + a tail
+  const std::vector<double> query = {0.0, 0.0};
+  std::vector<double> rows;
+  for (std::size_t i = 0; i < n; ++i) {  // all at squared distance 25
+    rows.push_back(3.0);
+    rows.push_back(4.0);
+  }
+  for (const simd::Tier tier : SupportedTiers()) {
+    ASSERT_TRUE(simd::ForceTier(tier));
+    std::vector<PointId> got;
+    simd::KernelStats stats;
+    simd::FilterRowsSquaredEuclidean(query.data(), rows.data(), n, dim,
+                                     /*eps_sq=*/25.0, /*first_id=*/0, &got,
+                                     &stats);
+    EXPECT_EQ(got.size(), n) << simd::TierName(tier);
+    EXPECT_EQ(stats.candidates_filtered, 0u) << simd::TierName(tier);
+    // Nudge below the boundary: everything must now be rejected.
+    got.clear();
+    simd::KernelStats stats2;
+    simd::FilterRowsSquaredEuclidean(
+        query.data(), rows.data(), n, dim,
+        std::nextafter(25.0, 0.0), 0, &got, &stats2);
+    EXPECT_TRUE(got.empty()) << simd::TierName(tier);
+    EXPECT_EQ(stats2.candidates_filtered, n) << simd::TierName(tier);
+  }
+}
+
+// --- BatchRangeQuery --------------------------------------------------
+
+TEST(SimdBatchRangeQueryTest, SegmentsEqualPerQueryRangeQuery) {
+  const TierGuard guard;
+  const SyntheticDataset ds = MakeTestDatasetC();
+  std::vector<PointId> queries;
+  for (PointId id = 0; id < static_cast<PointId>(ds.data.size());
+       id += 3) {
+    queries.push_back(id);
+  }
+  for (const IndexType index_type :
+       {IndexType::kLinearScan, IndexType::kGrid, IndexType::kKdTree,
+        IndexType::kRStarTreeBulk}) {
+    const std::unique_ptr<NeighborIndex> index = CreateIndex(
+        index_type, ds.data, Euclidean(), ds.suggested_params.eps);
+    for (const simd::Tier tier : SupportedTiers()) {
+      ASSERT_TRUE(simd::ForceTier(tier));
+      std::vector<PointId> ids;
+      std::vector<std::size_t> counts;
+      index->BatchRangeQuery(queries, ds.suggested_params.eps, &ids,
+                             &counts);
+      ASSERT_EQ(counts.size(), queries.size());
+      std::size_t offset = 0;
+      std::vector<PointId> single;
+      for (std::size_t j = 0; j < queries.size(); ++j) {
+        index->RangeQuery(queries[j], ds.suggested_params.eps, &single);
+        ASSERT_LE(offset + counts[j], ids.size());
+        EXPECT_EQ(std::vector<PointId>(
+                      ids.begin() + static_cast<std::ptrdiff_t>(offset),
+                      ids.begin() +
+                          static_cast<std::ptrdiff_t>(offset + counts[j])),
+                  single)
+            << IndexTypeName(index_type) << " tier=" << simd::TierName(tier)
+            << " query=" << queries[j];
+        offset += counts[j];
+      }
+      EXPECT_EQ(offset, ids.size());
+      // Empty batch: outputs must come back cleared, not stale.
+      index->BatchRangeQuery({}, ds.suggested_params.eps, &ids, &counts);
+      EXPECT_TRUE(ids.empty());
+      EXPECT_TRUE(counts.empty());
+    }
+  }
+}
+
+// --- End-to-end DBSCAN bit-identity matrix ----------------------------
+
+struct RecordingObserver : DbscanObserver {
+  std::vector<std::pair<PointId, ClusterId>> events;
+  void OnClusterStarted(ClusterId cluster) override {
+    events.emplace_back(-1, -10 - cluster);
+  }
+  void OnCorePoint(PointId id, ClusterId cluster) override {
+    events.emplace_back(id, cluster);
+  }
+};
+
+TEST(SimdDbscanBitIdentityTest, EveryIndexMetricThreadCountAndTier) {
+  const TierGuard guard;
+  const SyntheticDataset ds = MakeTestDatasetC();
+  struct NamedMetric {
+    const char* name;
+    const Metric* metric;
+  };
+  const std::vector<NamedMetric> metrics = {{"euclidean", &Euclidean()},
+                                            {"manhattan", &Manhattan()}};
+  for (const NamedMetric& nm : metrics) {
+    for (const IndexType index_type :
+         {IndexType::kLinearScan, IndexType::kGrid, IndexType::kKdTree,
+          IndexType::kRStarTreeBulk}) {
+      const std::unique_ptr<NeighborIndex> index = CreateIndex(
+          index_type, ds.data, *nm.metric, ds.suggested_params.eps);
+      // Reference: forced-scalar, sequential.
+      ASSERT_TRUE(simd::ForceTier(simd::Tier::kScalar));
+      DbscanParams params = ds.suggested_params;
+      params.threads = 1;
+      RecordingObserver ref_observer;
+      const Clustering reference =
+          RunDbscan(*index, params, &ref_observer);
+      for (const simd::Tier tier : SupportedTiers()) {
+        ASSERT_TRUE(simd::ForceTier(tier));
+        for (const int threads : {1, 4}) {
+          params.threads = threads;
+          RecordingObserver observer;
+          const Clustering run = RunDbscan(*index, params, &observer);
+          const std::string what =
+              std::string("metric=") + nm.name +
+              " index=" + std::string(IndexTypeName(index_type)) +
+              " tier=" + std::string(simd::TierName(tier)) +
+              " threads=" + std::to_string(threads);
+          EXPECT_EQ(run.labels, reference.labels) << what;
+          EXPECT_EQ(run.is_core, reference.is_core) << what;
+          EXPECT_EQ(run.num_clusters, reference.num_clusters) << what;
+          EXPECT_EQ(observer.events, ref_observer.events) << what;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDbscanBitIdentityTest, ReferenceScanMatchesBatchedOnEveryIndex) {
+  // The per-point reference scan (the benchmarks' "scalar" baseline — the
+  // pre-batching loop each index kept) must agree with the blocked kernel
+  // path on labels, core flags and observer events, on every tier.
+  const TierGuard guard;
+  struct ReferenceScanGuard {
+    ~ReferenceScanGuard() { simd::SetReferenceScan(false); }
+  } reference_guard;
+  const SyntheticDataset ds = MakeTestDatasetC();
+  for (const IndexType index_type :
+       {IndexType::kLinearScan, IndexType::kGrid, IndexType::kKdTree,
+        IndexType::kRStarTreeBulk}) {
+    const std::unique_ptr<NeighborIndex> index = CreateIndex(
+        index_type, ds.data, Euclidean(), ds.suggested_params.eps);
+    DbscanParams params = ds.suggested_params;
+    params.threads = 1;
+    simd::SetReferenceScan(true);
+    RecordingObserver ref_observer;
+    const Clustering reference = RunDbscan(*index, params, &ref_observer);
+    simd::SetReferenceScan(false);
+    for (const simd::Tier tier : SupportedTiers()) {
+      ASSERT_TRUE(simd::ForceTier(tier));
+      RecordingObserver observer;
+      const Clustering run = RunDbscan(*index, params, &observer);
+      const std::string what =
+          std::string("index=") + std::string(IndexTypeName(index_type)) +
+          " tier=" + std::string(simd::TierName(tier));
+      EXPECT_EQ(run.labels, reference.labels) << what;
+      EXPECT_EQ(run.is_core, reference.is_core) << what;
+      EXPECT_EQ(observer.events, ref_observer.events) << what;
+    }
+  }
+}
+
+TEST(SimdDbscanBitIdentityTest, DbdcResultReportsActiveTier) {
+  const TierGuard guard;
+  const SyntheticDataset ds = MakeTestDatasetC();
+  DbdcConfig config;
+  config.num_sites = 2;
+  config.local_dbscan = ds.suggested_params;
+  for (const simd::Tier tier : SupportedTiers()) {
+    ASSERT_TRUE(simd::ForceTier(tier));
+    const DbdcResult run = RunDbdc(ds.data, Euclidean(), config);
+    EXPECT_EQ(run.simd_tier, simd::TierName(tier));
+  }
+  // The full pipeline, too, is tier-independent bit for bit.
+  ASSERT_TRUE(simd::ForceTier(simd::Tier::kScalar));
+  const DbdcResult reference = RunDbdc(ds.data, Euclidean(), config);
+  for (const simd::Tier tier : SupportedTiers()) {
+    ASSERT_TRUE(simd::ForceTier(tier));
+    const DbdcResult run = RunDbdc(ds.data, Euclidean(), config);
+    EXPECT_EQ(run.labels, reference.labels) << simd::TierName(tier);
+    EXPECT_EQ(run.num_global_clusters, reference.num_global_clusters);
+    EXPECT_EQ(run.bytes_uplink, reference.bytes_uplink);
+  }
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -25,6 +25,12 @@ generic tooling cannot know about, over every library source under src/:
                        decode/framing logic must be DBDC_ASSERT so they
                        stay active in Release builds too.
   no-reinterpret-cast  reinterpret_cast outside audited, documented sites.
+  no-handrolled-distance
+                       Per-point Euclidean scoring loops outside the
+                       audited kernels; every candidate run must route
+                       through simd::Filter*/BatchedSquaredEuclidean so
+                       the SIMD/scalar bit-identity argument (DESIGN.md
+                       §11) covers it.
 
 The linter is driven off a compile_commands.json when one is available
 (for the translation-unit list) and falls back to walking src/ otherwise.
@@ -174,6 +180,23 @@ RULES = [
         "message": "reinterpret_cast outside audited sites; prefer "
                    "std::memcpy or a documented inline allow",
         "allow": {},
+    },
+    {
+        "id": "no-handrolled-distance",
+        "pattern": re.compile(r"\bSquaredEuclideanDistance\s*\("),
+        "message": "hand-rolled per-point Euclidean scoring; route the "
+                   "candidate run through the batched kernels "
+                   "(simd::FilterRows/FilterIds/BatchedSquaredEuclidean, "
+                   "common/simd_kernels.h) so the tier bit-identity "
+                   "contract covers it",
+        "allow": {
+            "src/common/distance.h":
+                "the scalar reference kernel the contract is defined "
+                "against",
+            "src/common/simd_kernels.cc":
+                "the kernels' scalar tier and vector-tail path call the "
+                "reference kernel by design",
+        },
     },
 ]
 

@@ -41,6 +41,24 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
+# A 1-hardware-thread host cannot measure thread scaling: every speedup
+# in the "results" section is noise around 1x. Say so loudly (the JSON
+# carries a matching "degraded_host": true) so such numbers are never
+# again mistaken for a parallelism regression.
+hw_threads="$(nproc 2>/dev/null || echo 1)"
+if [[ "$hw_threads" -le 1 ]]; then
+  cat >&2 <<'EOF'
+run_bench.sh: ********************************************************
+run_bench.sh: ** WARNING: this host has only 1 hardware thread.     **
+run_bench.sh: ** Thread-scaling speedups recorded in this run are   **
+run_bench.sh: ** MEANINGLESS (expect ~1x or worse at every thread   **
+run_bench.sh: ** count). The JSON will carry "degraded_host": true; **
+run_bench.sh: ** only single-core sections (fastpath, simd) carry   **
+run_bench.sh: ** signal. Re-run on a multi-core host for scaling.   **
+run_bench.sh: ********************************************************
+EOF
+fi
+
 bench_rel="bench/bench_parallel_scaling"
 if [[ -z "$build_dir" ]]; then
   for candidate in build-release build; do
@@ -76,11 +94,15 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
-assert doc["schema"] == "dbdc-parallel-bench-v1", doc.get("schema")
+assert doc["schema"] == "dbdc-parallel-bench-v2", doc.get("schema")
 assert isinstance(doc["quick"], bool)
 assert isinstance(doc["hardware_threads"], int)
+assert isinstance(doc["degraded_host"], bool)
+assert doc["degraded_host"] == (doc["hardware_threads"] <= 1)
+assert doc["detected_tier"] in ("scalar", "sse2", "avx2"), doc["detected_tier"]
 assert isinstance(doc["results"], list) and doc["results"]
 assert isinstance(doc["fastpath"], list) and doc["fastpath"]
+assert isinstance(doc["simd"], list) and doc["simd"]
 for row in doc["results"]:
     for key in ("phase", "dataset", "n", "index", "threads", "seconds",
                 "speedup_vs_1t"):
@@ -91,6 +113,18 @@ for row in doc["fastpath"]:
     for key in ("dataset", "n", "index", "generic_seconds", "fast_seconds",
                 "speedup"):
         assert key in row, f"fastpath row missing {key}: {row}"
+for row in doc["simd"]:
+    for key in ("dataset", "n", "index", "tier", "scalar_seconds",
+                "batched_seconds", "speedup"):
+        assert key in row, f"simd row missing {key}: {row}"
+    assert row["tier"] == doc["detected_tier"], row
+# When a vector tier is available, batched throughput must not regress
+# below scalar on the best index (the CI release gate; timing noise on
+# the weakest index is tolerated, a regression everywhere is not).
+if doc["detected_tier"] != "scalar":
+    best = max(r["speedup"] for r in doc["simd"])
+    assert best >= 1.0, \
+        f"batched kernels slower than scalar on every index: {doc['simd']}"
 baseline = [r for r in doc["results"] if r["threads"] == 1]
 assert baseline and all(r["speedup_vs_1t"] == 1.0 for r in baseline)
 metrics = doc["metrics"]
@@ -98,11 +132,13 @@ assert isinstance(metrics["counters"], dict)
 assert metrics["counters"].get("eps_range_queries", 0) > 0, metrics
 print(f"run_bench.sh: schema OK "
       f"({len(doc['results'])} scaling rows, "
-      f"{len(doc['fastpath'])} fastpath rows).")
+      f"{len(doc['fastpath'])} fastpath rows, "
+      f"{len(doc['simd'])} simd rows, tier {doc['detected_tier']}).")
 PY
 else
   echo "run_bench.sh: python3 unavailable; falling back to key check." >&2
-  for key in '"schema": "dbdc-parallel-bench-v1"' '"results"' '"fastpath"' \
+  for key in '"schema": "dbdc-parallel-bench-v2"' '"results"' '"fastpath"' \
+             '"simd"' '"degraded_host"' '"detected_tier"' \
              '"hardware_threads"' '"metrics"'; do
     if ! grep -qF "$key" "$out_file"; then
       echo "run_bench.sh: $out_file missing expected key $key" >&2
