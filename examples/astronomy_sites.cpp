@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "core/server.h"
 #include "core/site.h"
 #include "data/generators.h"
@@ -67,7 +68,9 @@ int main() {
         SimulatedNetwork::EstimateTransferSeconds(bytes.size(),
                                                   satellite_link);
     network.Send(s, kServerEndpoint, std::move(bytes));
-    server.AddLocalModelBytes(network.messages().back().payload);
+    const DecodeStatus uplink_status =
+        server.AddLocalModelBytes(network.messages().back().payload);
+    DBDC_CHECK(uplink_status == DecodeStatus::kOk);
     server.BuildGlobal();  // Incremental arrival: merge what we have.
     std::printf(
         "observatory %d: %5zu detections, %2d local clusters, "
@@ -82,7 +85,9 @@ int main() {
   std::vector<ClusterId> merged(sky.data.size(), kNoise);
   for (Site& obs : observatories) {
     network.Send(kServerEndpoint, obs.site_id(), global_bytes);
-    obs.ApplyGlobalModelBytes(global_bytes);
+    const DecodeStatus downlink_status =
+        obs.ApplyGlobalModelBytes(global_bytes);
+    DBDC_CHECK(downlink_status == DecodeStatus::kOk);
     for (std::size_t i = 0; i < obs.global_labels().size(); ++i) {
       merged[obs.origin_ids()[i]] = obs.global_labels()[i];
     }

@@ -30,6 +30,18 @@
 //     --ticks <int>              continuous mode: stream length >= 1
 //                                (default 20); each tick feeds every site
 //                                its next slice of points, then Tick()s
+//     --auto-params              estimate (eps, minpts) from the data with
+//                                the average k-th-NN-distance heuristic
+//                                instead of --eps/--minpts (locally, or on
+//                                the server with --connect)
+//     --auto-k <int>             k of the --auto-params heuristic >= 1
+//                                (default 4, the DBSCAN paper's choice)
+//     --connect <host:port>      client mode: ship the dataset to a
+//                                dbdc_server, stream per-stage status, and
+//                                print the same result surface as a local
+//                                run (--stages/--metrics/--out all work;
+//                                labels are byte-identical to a local run
+//                                of the same request)
 //     --protocol                 frame/checksum/ack/retry the transfers
 //                                (dbdc + continuous modes)
 //     --drop <double>            fault injection: message drop
@@ -62,6 +74,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/param_estimation.h"
 #include "common/simd_kernels.h"
 #include "core/dbdc.h"
 #include "core/engine.h"
@@ -71,6 +84,7 @@
 #include "distrib/network.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/client.h"
 
 namespace {
 
@@ -81,7 +95,8 @@ namespace {
                "[--minpts M] [--sites K] [--model scor|kmeans] "
                "[--global dbscan|optics] [--eps-global G] [--index TYPE] "
                "[--metric NAME] [--seed S] [--condense R] [--min-weight W] "
-               "[--threads T] [--simd TIER] [--ticks N] [--protocol] "
+               "[--threads T] [--simd TIER] [--ticks N] [--auto-params] "
+               "[--auto-k K] [--connect host:port] [--protocol] "
                "[--drop P] "
                "[--corrupt P] [--fault-seed S] [--stages] "
                "[--trace trace.json] [--metrics] [--out labels.csv]\n",
@@ -307,6 +322,9 @@ int main(int argc, char** argv) {
   bool eps_set = false;
   bool minpts_set = false;
   int ticks = 20;
+  bool auto_params = false;
+  int auto_k = 4;
+  std::string connect_spec;
   bool faults_requested = false;
   FaultSpec fault_spec;
   DbdcConfig config;
@@ -406,6 +424,12 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--ticks") {
       ticks = ParseIntFlag("--ticks", next(), 1);
+    } else if (arg == "--auto-params") {
+      auto_params = true;
+    } else if (arg == "--auto-k") {
+      auto_k = ParseIntFlag("--auto-k", next(), 1);
+    } else if (arg == "--connect") {
+      connect_spec = next();
     } else if (arg == "--protocol") {
       config.protocol.enabled = true;
     } else if (arg == "--drop") {
@@ -441,6 +465,32 @@ int main(int argc, char** argv) {
                  "error: --drop/--corrupt need --protocol (without the "
                  "ack/retry protocol the transport is assumed lossless)\n");
     return 2;
+  }
+  if (auto_params && (eps_set || minpts_set)) {
+    std::fprintf(stderr,
+                 "error: --auto-params replaces --eps/--minpts; give one "
+                 "or the other\n");
+    return 2;
+  }
+  if (!connect_spec.empty()) {
+    if (mode != "dbdc") {
+      std::fprintf(stderr,
+                   "error: --connect supports --mode dbdc only (the server "
+                   "runs the batch pipeline)\n");
+      return 2;
+    }
+    if (faults_requested) {
+      std::fprintf(stderr,
+                   "error: --drop/--corrupt are local fault injection; not "
+                   "supported with --connect\n");
+      return 2;
+    }
+    if (!trace_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --trace records in-process spans; not supported "
+                   "with --connect\n");
+      return 2;
+    }
   }
   if (mode == "continuous") {
     if (!out_path.empty()) {
@@ -490,6 +540,24 @@ int main(int argc, char** argv) {
   std::printf("simd tier: %s (detected: %s)\n",
               simd::TierName(simd::ActiveTier()).data(),
               simd::TierName(simd::DetectedTier()).data());
+
+  if (auto_params && connect_spec.empty()) {
+    const DbscanParams estimate = EstimateDbscanParams(data, *metric, auto_k);
+    config.local_dbscan.eps = estimate.eps;
+    config.local_dbscan.min_pts = estimate.min_pts;
+    std::printf("estimated params (k=%d): eps %.4f, minpts %d\n", auto_k,
+                estimate.eps, estimate.min_pts);
+  }
+  if (connect_spec.empty()) {
+    // Validate up front so a bad flag combination names the offending
+    // field instead of tripping the library's assertion. With --connect
+    // the server validates and its rejection carries the field name.
+    const ConfigStatus status = config.Validate();
+    if (!status.ok) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 2;
+    }
+  }
 
   // Observability attaches for exactly the clustering run: the trace and
   // the metrics cover the pipeline, not the CSV I/O around it.
@@ -592,6 +660,70 @@ int main(int argc, char** argv) {
           exit_code = 1;
         }
       }
+    }
+  } else if (!connect_spec.empty()) {
+    const std::size_t colon = connect_spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == connect_spec.size()) {
+      std::fprintf(stderr, "error: --connect expects host:port, got '%s'\n",
+                   connect_spec.c_str());
+      obs::SetGlobalTracer(nullptr);
+      obs::SetGlobalMetrics(nullptr);
+      return 2;
+    }
+    const int port =
+        ParseIntFlag("--connect", connect_spec.c_str() + colon + 1, 1);
+    if (port > 65535) {
+      std::fprintf(stderr, "error: --connect port must be <= 65535\n");
+      obs::SetGlobalTracer(nullptr);
+      obs::SetGlobalMetrics(nullptr);
+      return 2;
+    }
+
+    serve::JobRequest request;
+    request.data = data;
+    request.metric_name = std::string(metric->name());
+    request.config = config;
+    request.options.global_strategy =
+        global_strategy == "optics" ? serve::GlobalStrategyKind::kOptics
+                                    : serve::GlobalStrategyKind::kDbscanMerge;
+    request.options.auto_params = auto_params;
+    request.options.auto_params_k = auto_k;
+
+    serve::ClientOptions client_options;
+    client_options.host = connect_spec.substr(0, colon);
+    client_options.port = static_cast<std::uint16_t>(port);
+    client_options.on_status = [](int stages_done) {
+      std::printf("  remote stage %d/%d complete\n", stages_done, kNumStages);
+    };
+    const serve::RemoteOutcome outcome =
+        serve::RunRemoteJob(request, client_options);
+    if (!outcome.ok) {
+      std::fprintf(stderr, "error: %s\n", outcome.error.c_str());
+      obs::SetGlobalTracer(nullptr);
+      obs::SetGlobalMetrics(nullptr);
+      return 1;
+    }
+    labels = outcome.result.labels;
+    if (auto_params) {
+      std::printf("server estimated params (k=%d): eps %.4f, minpts %d\n",
+                  auto_k, outcome.params_used.eps,
+                  outcome.params_used.min_pts);
+    }
+    const DbdcResult& result = outcome.result;
+    std::printf("remote DBDC(%s, %s global, %d sites, job %llu): "
+                "%d global clusters, %zu reps, eps_global %.3f, "
+                "%.3f s overall, %llu uplink bytes\n",
+                LocalModelTypeName(config.model_type).data(),
+                global_strategy.c_str(), config.num_sites,
+                static_cast<unsigned long long>(outcome.job_id),
+                result.num_global_clusters, result.num_representatives,
+                result.eps_global_used, result.OverallSeconds(),
+                static_cast<unsigned long long>(result.bytes_uplink));
+    if (print_stages) PrintStageBreakdown(result);
+    if (print_metrics) {
+      PrintMetrics(result.metrics_snapshot);
+      if (!ReconcileMetrics(result.metrics_snapshot, result)) exit_code = 1;
     }
   } else {
     if (global_strategy == "optics" && config.min_weight_global != 0) {

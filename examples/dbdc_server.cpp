@@ -1,0 +1,132 @@
+// The DBDC serving daemon: hosts many concurrent clustering jobs over
+// TCP (loopback), each in its own engine with its own metrics/tracing.
+//
+//   dbdc_server [options]
+//     --port <int>          TCP port on 127.0.0.1 (default 0 = ephemeral;
+//                           the bound port is printed either way)
+//     --max-active <int>    concurrent executor threads / running jobs
+//                           (default 2)
+//     --max-queued <int>    admitted jobs waiting for an executor;
+//                           further submissions are rejected with
+//                           "server.queue" (default 8)
+//     --max-points <int>    largest dataset a job may ship (default 2M)
+//     --max-sites <int>     largest num_sites a job may request
+//                           (default 256)
+//     --job-threads <int>   per-job worker-thread clamp, 0 = none
+//                           (default 4)
+//     --max-sessions <int>  concurrent client connections (default 16)
+//     --max-jobs <int>      serve this many jobs, then exit cleanly
+//                           (default 0 = run until SIGINT/--allow-shutdown;
+//                           the CI smoke test's clean-exit knob)
+//     --allow-shutdown      honor the wire Shutdown message
+//     --quiet               suppress the per-event log lines
+//
+// Submit work with the CLI's client mode:
+//   dbdc_server --port 7979 &
+//   dbdc_cli gen:A --connect 127.0.0.1:7979 --metrics
+//
+// A job request carries the dataset, the full DbdcConfig, the global
+// strategy (dbscan|optics), and optionally asks the server to estimate
+// (eps, minpts) from the shipped data (--auto-params). Bad configs are
+// rejected with the offending field named on the wire.
+
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "serve/server.h"
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port P] [--max-active N] [--max-queued N] "
+               "[--max-points N] [--max-sites N] [--job-threads N] "
+               "[--max-sessions N] [--max-jobs N] [--allow-shutdown] "
+               "[--quiet]\n",
+               argv0);
+  std::exit(2);
+}
+
+int ParseIntFlag(const char* flag, const char* text, int min, int max) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < min || value > max) {
+    std::fprintf(stderr, "error: %s must be an integer in [%d, %d], "
+                 "got '%s'\n", flag, min, max, text);
+    std::exit(2);
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dbdc::serve::ServerOptions options;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s expects a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      options.port = static_cast<std::uint16_t>(
+          ParseIntFlag("--port", next(), 0, 65535));
+    } else if (arg == "--max-active") {
+      options.limits.max_active = ParseIntFlag("--max-active", next(), 1,
+                                               1024);
+    } else if (arg == "--max-queued") {
+      options.limits.max_queued = ParseIntFlag("--max-queued", next(), 0,
+                                               1 << 20);
+    } else if (arg == "--max-points") {
+      options.limits.max_points = static_cast<std::size_t>(
+          ParseIntFlag("--max-points", next(), 1, INT_MAX));
+    } else if (arg == "--max-sites") {
+      options.limits.max_sites = ParseIntFlag("--max-sites", next(), 1,
+                                              1 << 20);
+    } else if (arg == "--job-threads") {
+      options.limits.max_threads_per_job =
+          ParseIntFlag("--job-threads", next(), 0, 1024);
+    } else if (arg == "--max-sessions") {
+      options.max_sessions = ParseIntFlag("--max-sessions", next(), 1,
+                                          1 << 16);
+    } else if (arg == "--max-jobs") {
+      options.max_jobs_served = static_cast<std::uint64_t>(
+          ParseIntFlag("--max-jobs", next(), 0, INT_MAX));
+    } else if (arg == "--allow-shutdown") {
+      options.allow_remote_shutdown = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      Usage(argv[0]);
+    }
+  }
+  if (!quiet) {
+    options.log = [](const std::string& line) {
+      std::fprintf(stderr, "dbdc_server: %s\n", line.c_str());
+      std::fflush(stderr);
+    };
+  }
+
+  dbdc::serve::DbdcServer server(std::move(options));
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "error: cannot start server: %s\n", error.c_str());
+    return 1;
+  }
+  // The port line goes to stdout (and is flushed) so scripts — the CI
+  // smoke test among them — can scrape it even under an ephemeral port.
+  std::printf("dbdc_server listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  server.Wait();
+  std::printf("dbdc_server exiting after %llu served jobs\n",
+              static_cast<unsigned long long>(server.jobs_served()));
+  return 0;
+}

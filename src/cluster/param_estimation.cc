@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "index/index_factory.h"
 
 namespace dbdc {
 
@@ -45,6 +48,24 @@ double SuggestEps(const NeighborIndex& index, int min_pts) {
     }
   }
   return kdist[best_i];
+}
+
+DbscanParams EstimateDbscanParams(const Dataset& data, const Metric& metric,
+                                  int k) {
+  DBDC_CHECK(k >= 1);
+  DbscanParams params;  // {0, 0}: invalid until the estimate succeeds.
+  if (static_cast<int>(data.size()) < k + 1) return params;
+  // Linear scan: the one index type that needs no eps to build (the
+  // chicken-and-egg of estimating eps *with* an eps-celled grid).
+  const std::unique_ptr<NeighborIndex> index =
+      CreateIndex(IndexType::kLinearScan, data, metric, /*eps_hint=*/0.0);
+  const std::vector<double> kdist = SortedKDistances(*index, k);
+  if (kdist.empty()) return params;
+  double sum = 0.0;
+  for (const double d : kdist) sum += d;
+  params.eps = sum / static_cast<double>(kdist.size());
+  params.min_pts = k + 1;
+  return params;
 }
 
 }  // namespace dbdc

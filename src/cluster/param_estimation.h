@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "cluster/dbscan.h"
 #include "index/neighbor_index.h"
 
 namespace dbdc {
@@ -20,6 +21,23 @@ std::vector<double> SortedKDistances(const NeighborIndex& index, int k);
 /// line connecting its endpoints. Returns 0 for datasets with fewer
 /// than 3 points.
 double SuggestEps(const NeighborIndex& index, int min_pts);
+
+/// Estimates full DBSCAN parameters for `data` with the average
+/// k-th-NN-distance heuristic: Eps = the mean over all points of the
+/// distance to the k-th nearest *other* point, MinPts = k + 1 (a point
+/// is core when its Eps-ball holds at least its k neighbors plus
+/// itself). The classic k = 4 (the DBSCAN paper's fixed choice for 2D
+/// data) is a good default.
+///
+/// Cheaper and more robust to automate than the knee heuristic — the
+/// mean needs no curve-shape detection — which makes it the estimator
+/// behind `dbdc_cli --auto-params` and the serve layer's auto_params job
+/// option. Deterministic: depends only on the point set and k.
+///
+/// Returns {0, 0} (invalid; DbdcConfig::Validate rejects it) when the
+/// dataset has fewer than k + 1 points.
+DbscanParams EstimateDbscanParams(const Dataset& data, const Metric& metric,
+                                  int k);
 
 }  // namespace dbdc
 

@@ -1,0 +1,30 @@
+#ifndef DBDC_COMMON_OBS_CONTEXT_H_
+#define DBDC_COMMON_OBS_CONTEXT_H_
+
+namespace dbdc::internal {
+
+/// Thread-local observability scope: the metrics registry and tracer a
+/// job scope (obs::ObsScope) installed on this thread, overriding the
+/// process-wide hooks. Slots are opaque pointers because this header
+/// lives in common/ — *below* the obs layer — so that the ThreadPool can
+/// capture the creating thread's scope and re-install it on its workers
+/// without a common -> obs dependency cycle. Only src/obs reads or
+/// writes the slots, through typed accessors; everything else treats the
+/// struct as an opaque token.
+///
+/// Null slot = no override: the obs hooks fall through to the
+/// process-wide SetGlobalMetrics / SetGlobalTracer registration. This is
+/// what gives the multi-tenant server per-job isolation — each job's
+/// executor thread (and every pool thread it spawns) reports to that
+/// job's own registry, while single-job tools keep using the process
+/// globals unchanged.
+struct ObsTlsScope {
+  void* metrics = nullptr;
+  void* tracer = nullptr;
+};
+
+inline thread_local ObsTlsScope tls_obs_scope;
+
+}  // namespace dbdc::internal
+
+#endif  // DBDC_COMMON_OBS_CONTEXT_H_

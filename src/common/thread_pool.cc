@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/obs_context.h"
+
 namespace dbdc {
 
 int ResolveNumThreads(int requested) {
@@ -15,8 +17,15 @@ ThreadPool::ThreadPool(int num_threads)
     : num_threads_(ResolveNumThreads(num_threads)) {
   if (num_threads_ == 1) return;  // Inline execution; no workers.
   workers_.reserve(static_cast<std::size_t>(num_threads_));
+  // Workers inherit the creating thread's observability scope (per-job
+  // metrics/tracer override): a pool spawned while a job scope is active
+  // reports to that job's registry, not to another tenant's.
+  const internal::ObsTlsScope obs_scope = internal::tls_obs_scope;
   for (int i = 0; i < num_threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, obs_scope] {
+      internal::tls_obs_scope = obs_scope;
+      WorkerLoop();
+    });
   }
 }
 

@@ -1,26 +1,105 @@
 #include "core/dbdc.h"
 
 #include <memory>
+#include <utility>
 
+#include "common/check.h"
 #include "common/timer.h"
 #include "core/engine.h"
 #include "core/optics_global.h"
 
 namespace dbdc {
 
+ConfigStatus ValidateProtocolConfig(const ProtocolConfig& protocol,
+                                    const std::string& field_prefix) {
+  if (protocol.max_attempts < 1) {
+    return ConfigStatus::Invalid(field_prefix + ".max_attempts",
+                                 "must be >= 1");
+  }
+  if (!(protocol.retry_backoff_sec >= 0.0)) {  // Rejects NaN too.
+    return ConfigStatus::Invalid(field_prefix + ".retry_backoff_sec",
+                                 "must be >= 0");
+  }
+  if (!(protocol.collection_deadline_sec > 0.0)) {
+    return ConfigStatus::Invalid(field_prefix + ".collection_deadline_sec",
+                                 "must be > 0 (infinity = no deadline)");
+  }
+  if (!(protocol.link.bandwidth_bytes_per_sec > 0.0)) {
+    return ConfigStatus::Invalid(
+        field_prefix + ".link.bandwidth_bytes_per_sec", "must be > 0");
+  }
+  if (!(protocol.link.latency_sec >= 0.0)) {
+    return ConfigStatus::Invalid(field_prefix + ".link.latency_sec",
+                                 "must be >= 0");
+  }
+  return ConfigStatus::Ok();
+}
+
+ConfigStatus DbdcConfig::Validate() const {
+  // Negated comparisons throughout so NaN fails the check it belongs to
+  // instead of slipping past a `<`.
+  if (!(local_dbscan.eps > 0.0)) {
+    return ConfigStatus::Invalid("local_dbscan.eps", "must be > 0");
+  }
+  if (local_dbscan.min_pts < 1) {
+    return ConfigStatus::Invalid("local_dbscan.min_pts", "must be >= 1");
+  }
+  if (local_dbscan.threads < 0) {
+    return ConfigStatus::Invalid("local_dbscan.threads",
+                                 "must be >= 0 (0 = hardware concurrency)");
+  }
+  if (!(eps_global >= 0.0)) {
+    return ConfigStatus::Invalid("eps_global",
+                                 "must be >= 0 (0 = the paper's default)");
+  }
+  if (!(condense_eps >= 0.0)) {
+    return ConfigStatus::Invalid("condense_eps",
+                                 "must be >= 0 (0 = no condensation)");
+  }
+  if (num_sites < 1) {
+    return ConfigStatus::Invalid("num_sites", "must be >= 1");
+  }
+  if (num_threads < 0) {
+    return ConfigStatus::Invalid("num_threads",
+                                 "must be >= 0 (0 = hardware concurrency)");
+  }
+  if (kmeans.max_iterations < 1) {
+    return ConfigStatus::Invalid("kmeans.max_iterations", "must be >= 1");
+  }
+  if (!(kmeans.tolerance >= 0.0)) {
+    return ConfigStatus::Invalid("kmeans.tolerance", "must be >= 0");
+  }
+  if (!(optics.max_eps_global >= 0.0)) {
+    return ConfigStatus::Invalid("optics.max_eps_global",
+                                 "must be >= 0 (0 = 4x Eps_global)");
+  }
+  return ValidateProtocolConfig(protocol, "protocol");
+}
+
 DbdcResult RunDbdc(const Dataset& data, const Metric& metric,
                    const DbdcConfig& config, Transport* network) {
+  DBDC_ASSERT(config.Validate().ok &&
+              "invalid DbdcConfig; call Validate() for the field");
   DbdcEngine engine(data, metric, config, network);
+  return engine.Run();
+}
+
+DbdcResult RunDbdcOptics(const Dataset& data, const Metric& metric,
+                         const DbdcConfig& config, Transport* network) {
+  DBDC_ASSERT(config.Validate().ok &&
+              "invalid DbdcConfig; call Validate() for the field");
+  const OpticsGlobalStrategy strategy(config.optics.max_eps_global);
+  DbdcEngine engine(data, metric, config, network);
+  engine.SetGlobalModelStrategy(&strategy);
   return engine.Run();
 }
 
 DbdcResult RunDbdcOptics(const Dataset& data, const Metric& metric,
                          const DbdcConfig& config, Transport* network,
                          double max_eps_global) {
-  const OpticsGlobalStrategy strategy(max_eps_global);
-  DbdcEngine engine(data, metric, config, network);
-  engine.SetGlobalModelStrategy(&strategy);
-  return engine.Run();
+  DbdcConfig forwarded = config;
+  forwarded.optics.max_eps_global = max_eps_global;
+  return RunDbdcOptics(data, metric, forwarded, network);
 }
 
 CentralDbscanResult RunCentralDbscan(const Dataset& data, const Metric& metric,

@@ -15,6 +15,36 @@
 
 namespace dbdc {
 
+/// Outcome of DbdcConfig::Validate(): ok, or the dotted path of the
+/// first offending field plus a human-readable reason. The field name is
+/// part of the API — dbdc_cli prints it and dbdc_server sends it back to
+/// the rejected client verbatim, so a remote caller can fix exactly the
+/// knob that was wrong.
+struct ConfigStatus {
+  bool ok = true;
+  /// Dotted field path relative to DbdcConfig ("local_dbscan.eps",
+  /// "protocol.max_attempts"); empty when ok.
+  std::string field;
+  /// Why the value is invalid ("must be > 0"); empty when ok.
+  std::string message;
+
+  static ConfigStatus Ok() { return ConfigStatus{}; }
+  static ConfigStatus Invalid(std::string field, std::string message) {
+    return ConfigStatus{false, std::move(field), std::move(message)};
+  }
+  explicit operator bool() const { return ok; }
+  /// "config.local_dbscan.eps: must be > 0" (empty when ok).
+  std::string ToString() const {
+    return ok ? std::string() : "config." + field + ": " + message;
+  }
+};
+
+/// Validates the protocol/link knobs shared by RunDbdc and
+/// ContinuousDbdc; `field_prefix` ("protocol") prefixes the reported
+/// field path.
+ConfigStatus ValidateProtocolConfig(const ProtocolConfig& protocol,
+                                    const std::string& field_prefix);
+
 /// Configuration of a full DBDC run.
 struct DbdcConfig {
   /// Local DBSCAN parameters (Eps_local, MinPts).
@@ -62,6 +92,21 @@ struct DbdcConfig {
   /// arrived intact by the deadline, and unreachable sites' points stay
   /// noise (see DbdcResult's sites_reporting / sites_failed breakdown).
   ProtocolConfig protocol;
+
+  /// Knobs specific to the OPTICS-based global-model variant
+  /// (RunDbdcOptics); ignored by the DBSCAN-merge path.
+  struct OpticsOptions {
+    /// OPTICS generating distance on the server; 0 = 4x the default
+    /// Eps_global.
+    double max_eps_global = 0.0;
+  };
+  OpticsOptions optics;
+
+  /// Checks every knob for structural validity (positivity, ranges,
+  /// cross-field constraints) and names the first offending field.
+  /// RunDbdc/RunDbdcOptics assert this; callers with a reporting channel
+  /// (dbdc_cli, dbdc_server) call it first and surface field + message.
+  ConfigStatus Validate() const;
 };
 
 /// Outcome of a DBDC run, including the per-phase cost breakdown of the
@@ -147,12 +192,20 @@ DbdcResult RunDbdc(const Dataset& data, const Metric& metric,
 /// model at config.eps_global (0 = the paper's default). All other stages
 /// — transport byte-accounting, protocol/degraded mode, relabeling, every
 /// DbdcResult counter — are shared with RunDbdc through the engine.
-/// `max_eps_global` is the OPTICS generating distance (0 = 4x the
-/// default Eps_global); config.min_weight_global must be 0.
+/// The OPTICS generating distance comes from config.optics.max_eps_global
+/// (0 = 4x the default Eps_global); config.min_weight_global must be 0.
 DbdcResult RunDbdcOptics(const Dataset& data, const Metric& metric,
                          const DbdcConfig& config,
-                         Transport* network = nullptr,
-                         double max_eps_global = 0.0);
+                         Transport* network = nullptr);
+
+/// Deprecated forwarding overload: pre-PR-8 callers passed the OPTICS
+/// generating distance as a dangling function parameter. Copies it into
+/// config.optics.max_eps_global and forwards. Prefer the config field —
+/// it is what travels over the serve-layer wire, so a parameter-only
+/// value would silently vanish on a remote run.
+DbdcResult RunDbdcOptics(const Dataset& data, const Metric& metric,
+                         const DbdcConfig& config, Transport* network,
+                         double max_eps_global);
 
 /// Outcome of the centralized baseline run.
 struct CentralDbscanResult {

@@ -304,6 +304,9 @@ ContinuousDbdc::ContinuousDbdc(const Metric& metric,
                                const ProtocolConfig& protocol,
                                Transport* network)
     : protocol_(protocol), server_(metric, params) {
+  DBDC_ASSERT(ValidateProtocolConfig(protocol, "protocol").ok &&
+              "invalid ProtocolConfig; call ValidateProtocolConfig for "
+              "the field");
   ctx_.transport = network != nullptr ? network : &own_network_;
   if (protocol_.enabled) {
     ctx_.channel.emplace(ctx_.transport, protocol_);

@@ -77,6 +77,54 @@ std::optional<Frame> DecodeFrame(std::span<const std::uint8_t> bytes) {
   return frame;
 }
 
+FrameAssembler::FrameAssembler(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+void FrameAssembler::Append(std::span<const std::uint8_t> bytes) {
+  if (corrupted_) return;
+  // Compact once the dead prefix dominates, so a long-lived session does
+  // not grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameAssembler::Next() {
+  if (corrupted_) return std::nullopt;
+  const std::size_t available = buffer_.size() - consumed_;
+  // Header = magic(4) + type(1) + seq(4) + payload_size(4); the size
+  // field is the last header word, so 13 bytes tell us the frame length.
+  constexpr std::size_t kHeaderBytes = 4 + 1 + 4 + 4;
+  if (available < kHeaderBytes) return std::nullopt;
+  const std::uint8_t* head = buffer_.data() + consumed_;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, head, 4);
+  if (magic != kFrameMagic) {
+    corrupted_ = true;
+    return std::nullopt;
+  }
+  std::uint32_t payload_size = 0;
+  std::memcpy(&payload_size, head + 9, 4);
+  if (payload_size > max_frame_bytes_) {
+    corrupted_ = true;
+    return std::nullopt;
+  }
+  const std::size_t total = FrameOverheadBytes() + payload_size;
+  if (available < total) return std::nullopt;
+  std::optional<Frame> frame =
+      DecodeFrame(std::span<const std::uint8_t>(head, total));
+  if (!frame.has_value()) {
+    // Complete by length but failing checksum/structure: poisoned stream.
+    corrupted_ = true;
+    return std::nullopt;
+  }
+  consumed_ += total;
+  return frame;
+}
+
 ReliableChannel::ReliableChannel(Transport* transport,
                                  const ProtocolConfig& config)
     : transport_(transport), config_(config) {

@@ -43,6 +43,47 @@ std::vector<std::uint8_t> EncodeFrame(const Frame& frame);
 /// Fixed per-frame overhead of EncodeFrame in bytes.
 std::size_t FrameOverheadBytes();
 
+/// Incremental reassembly of DBFP frames from a byte *stream* (a TCP
+/// connection delivers bytes, not records: a frame may arrive split
+/// across many reads, and one read may carry several frames). Feed raw
+/// stream bytes with Append() and pop complete, checksum-verified frames
+/// with Next().
+///
+/// The stream has no resynchronization points — a bad magic, an
+/// oversized declared payload, or a checksum mismatch poisons it
+/// (corrupted() goes true and stays true; Next() returns nothing more).
+/// That is the right model for the socket transports: on TCP, garbage
+/// means a broken or hostile peer, not a recoverable bit flip, and the
+/// connection is torn down.
+class FrameAssembler {
+ public:
+  /// Frames declaring a payload larger than `max_frame_bytes` poison the
+  /// stream (admission control against hostile or insane senders).
+  explicit FrameAssembler(std::size_t max_frame_bytes = 1u << 30);
+
+  /// Appends raw stream bytes. No-op once the stream is corrupted.
+  void Append(std::span<const std::uint8_t> bytes);
+
+  /// Pops the next complete frame, or nullopt when the buffered bytes do
+  /// not yet hold one (or the stream is corrupted).
+  std::optional<Frame> Next();
+
+  /// True once the stream broke framing (bad magic, oversized payload,
+  /// or checksum mismatch). Unrecoverable.
+  bool corrupted() const { return corrupted_; }
+
+  /// Bytes buffered but not yet consumed by Next() — nonzero at peer
+  /// disconnect means the peer died mid-frame.
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  /// Prefix of buffer_ already handed out as frames; compacted lazily.
+  std::size_t consumed_ = 0;
+  bool corrupted_ = false;
+};
+
 /// Knobs of the reliable channel and of RunDbdc's degraded mode.
 struct ProtocolConfig {
   /// Master switch for RunDbdc: false = the paper's setting — raw

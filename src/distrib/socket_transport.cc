@@ -1,0 +1,386 @@
+#include "distrib/socket_transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace dbdc {
+namespace {
+
+/// Routing envelope carried as the DBFP frame payload:
+///   i32 from | i32 to | application bytes.
+/// Host byte order — both ends of the loopback hub are this process.
+constexpr std::size_t kEnvelopeBytes = 8;
+
+std::vector<std::uint8_t> EncodeEnvelope(
+    EndpointId from, EndpointId to,
+    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kEnvelopeBytes + payload.size());
+  const std::int32_t from32 = from;
+  const std::int32_t to32 = to;
+  out.resize(kEnvelopeBytes);
+  std::memcpy(out.data(), &from32, 4);
+  std::memcpy(out.data() + 4, &to32, 4);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool DecodeEnvelope(const std::vector<std::uint8_t>& envelope,
+                    EndpointId* from, EndpointId* to,
+                    std::vector<std::uint8_t>* payload) {
+  if (envelope.size() < kEnvelopeBytes) return false;
+  std::int32_t from32 = 0;
+  std::int32_t to32 = 0;
+  std::memcpy(&from32, envelope.data(), 4);
+  std::memcpy(&to32, envelope.data() + 4, 4);
+  *from = from32;
+  *to = to32;
+  payload->assign(
+      envelope.begin() + static_cast<std::ptrdiff_t>(kEnvelopeBytes),
+      envelope.end());
+  return true;
+}
+
+/// Poll budget in whole ms out of what remains of `timeout_sec` on
+/// `timer`; >= 1 while the deadline has not passed (0 would busy-spin).
+int PollBudgetMillis(const Timer& timer, double timeout_sec) {
+  const double remaining = timeout_sec - timer.Seconds();
+  if (remaining <= 0.0) return 0;
+  const double ms = remaining * 1e3;
+  if (ms >= 60000.0) return 60000;
+  const int whole = static_cast<int>(ms);
+  return whole < 1 ? 1 : whole;
+}
+
+}  // namespace
+
+std::unique_ptr<SocketTransport> SocketTransport::CreateLoopback(
+    const Options& options, std::string* error) {
+  // make_unique cannot reach the private constructor; the unique_ptr
+  // takes ownership on the same line. dbdc-lint: allow(no-naked-new)
+  std::unique_ptr<SocketTransport> transport(new SocketTransport(options));
+  if (!transport->init_error_.empty()) {
+    if (error != nullptr) *error = transport->init_error_;
+    return nullptr;
+  }
+  return transport;
+}
+
+SocketTransport::SocketTransport(const Options& options)
+    : options_(options), num_sites_(options.num_sites) {
+  if (options.num_sites < 1) {
+    init_error_ = "SocketTransport needs at least one site";
+    return;
+  }
+  std::uint16_t port = 0;
+  const Fd listener = ListenTcp(0, options.num_sites + 1, &port,
+                                &init_error_);
+  if (!listener.valid()) return;
+
+  // One connection per endpoint: slot 0 = the server, slot 1+s = site s.
+  // Connect and accept strictly one at a time, so the accepted fd is
+  // unambiguously the endpoint that just connected — no handshake needed.
+  endpoints_.reserve(static_cast<std::size_t>(options.num_sites) + 1);
+  for (int i = 0; i <= options.num_sites; ++i) {
+    auto endpoint = std::make_unique<Endpoint>(options.max_frame_bytes);
+    endpoint->client_fd = ConnectTcp("127.0.0.1", port,
+                                     options.io_timeout_sec, &init_error_);
+    if (!endpoint->client_fd.valid()) return;
+    endpoint->hub_fd = AcceptTcp(listener.get());
+    if (!endpoint->hub_fd.valid()) {
+      init_error_ = "accept failed for endpoint " + std::to_string(i);
+      return;
+    }
+    // The hub side is polled, never blocked on.
+    if (!SetNonBlocking(endpoint->hub_fd.get())) {
+      init_error_ = "cannot make hub socket nonblocking";
+      return;
+    }
+    endpoints_.push_back(std::move(endpoint));
+  }
+}
+
+SocketTransport::~SocketTransport() = default;
+
+std::size_t SocketTransport::Slot(EndpointId endpoint) const {
+  const std::size_t slot =
+      endpoint == kServerEndpoint
+          ? 0
+          : static_cast<std::size_t>(endpoint) + 1;
+  DBDC_CHECK(endpoint >= kServerEndpoint && endpoint < num_sites_);
+  return slot;
+}
+
+std::size_t SocketTransport::Send(EndpointId from, EndpointId to,
+                                  std::vector<std::uint8_t> payload) {
+  MutexLock lock(&mu_);
+  const std::size_t from_slot = Slot(from);
+  const std::size_t to_slot = Slot(to);
+  // Dead-peer semantics (matches FaultyNetwork's dead sites): a closed
+  // endpoint neither sends nor receives.
+  if (endpoints_[from_slot]->closed || endpoints_[to_slot]->closed) {
+    ++stats_.sends_dropped;
+    return kMessageDropped;
+  }
+
+  Frame frame;
+  frame.type = FrameType::kData;
+  frame.seq = next_seq_++;
+  frame.payload = EncodeEnvelope(from, to, payload);
+  const std::vector<std::uint8_t> wire = EncodeFrame(frame);
+
+  // The wall clock starts when the first byte enters the kernel; its
+  // reading when the frame is routed is the measured transfer time.
+  Timer timer;
+  send_timer_ = &timer;
+  bool ok = WriteAllFd(endpoints_[from_slot]->client_fd.get(), wire,
+                       options_.io_timeout_sec);
+  if (ok) {
+    wire_bytes_ += wire.size();
+    ok = PumpUntil(messages_.size() + 1, from_slot);
+  } else {
+    // Write failure = the peer is gone; close both directions.
+    CloseSlot(from_slot);
+  }
+  send_timer_ = nullptr;
+  if (!ok) {
+    ++stats_.sends_dropped;
+    return kMessageDropped;
+  }
+  return messages_.size() - 1;
+}
+
+bool SocketTransport::PumpUntil(std::size_t target_count,
+                                std::size_t sender_slot) {
+  // send_timer_ is the deadline reference: the whole Send() round trip
+  // shares one io_timeout_sec budget.
+  DBDC_CHECK(send_timer_ != nullptr);
+  while (messages_.size() < target_count) {
+    if (endpoints_[sender_slot]->closed) return false;
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> slots;
+    pfds.reserve(endpoints_.size());
+    slots.reserve(endpoints_.size());
+    for (std::size_t slot = 0; slot < endpoints_.size(); ++slot) {
+      if (endpoints_[slot]->closed) continue;
+      pfds.push_back(pollfd{endpoints_[slot]->hub_fd.get(), POLLIN, 0});
+      slots.push_back(slot);
+    }
+    if (pfds.empty()) return false;
+    const int ms = PollBudgetMillis(*send_timer_, options_.io_timeout_sec);
+    if (ms == 0) return false;
+    const int rc = ::poll(pfds.data(),
+                          static_cast<nfds_t>(pfds.size()), ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        DrainEndpoint(slots[i]);
+      }
+    }
+  }
+  return true;
+}
+
+void SocketTransport::DrainEndpoint(std::size_t slot) {
+  Endpoint& endpoint = *endpoints_[slot];
+  if (endpoint.closed) return;
+
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n =
+        ::recv(endpoint.hub_fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      endpoint.assembler.Append(
+          std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      // Orderly EOF. Bytes short of a full frame = the peer died
+      // mid-message; the partial frame is discarded, never delivered.
+      if (endpoint.assembler.buffered_bytes() > 0) {
+        ++stats_.mid_frame_disconnects;
+      }
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Stream drained; route what completed and keep the endpoint.
+      RouteFrames(slot);
+      return;
+    }
+    break;  // Hard socket error.
+  }
+  // EOF or error: route any frames that did complete, then close.
+  RouteFrames(slot);
+  CloseSlot(slot);
+}
+
+void SocketTransport::RouteFrames(std::size_t slot) {
+  Endpoint& endpoint = *endpoints_[slot];
+  while (std::optional<Frame> frame = endpoint.assembler.Next()) {
+    EndpointId from = 0;
+    EndpointId to = 0;
+    std::vector<std::uint8_t> payload;
+    if (!DecodeEnvelope(frame->payload, &from, &to, &payload)) {
+      ++stats_.framing_errors;
+      CloseSlot(slot);
+      return;
+    }
+    const double delay =
+        (send_timer_ != nullptr ? send_timer_->Seconds() : 0.0) +
+        endpoint.extra_delay_sec;
+    RecordMessage(from, to, std::move(payload), delay);
+    ++stats_.frames_routed;
+  }
+  if (endpoint.assembler.corrupted()) {
+    ++stats_.framing_errors;
+    CloseSlot(slot);
+  }
+}
+
+void SocketTransport::CloseSlot(std::size_t slot) {
+  Endpoint& endpoint = *endpoints_[slot];
+  endpoint.closed = true;
+  endpoint.client_fd.Close();
+  endpoint.hub_fd.Close();
+}
+
+void SocketTransport::RecordMessage(EndpointId from, EndpointId to,
+                                    std::vector<std::uint8_t> payload,
+                                    double delay_sec) {
+  // Byte accounting mirrors SimulatedNetwork::Send exactly, so an
+  // attached per-job registry reconciles with the transport counters
+  // regardless of which transport ran the job.
+  if (obs::MetricsRegistry* metrics = obs::GlobalMetrics()) {
+    if (to == kServerEndpoint) {
+      metrics->AddSiteBytes(obs::Counter::kBytesUplink, from,
+                            payload.size());
+    } else if (from == kServerEndpoint) {
+      metrics->AddSiteBytes(obs::Counter::kBytesDownlink, to,
+                            payload.size());
+    }
+  }
+  messages_.push_back({from, to, std::move(payload)});
+  delays_.push_back(delay_sec);
+}
+
+std::vector<const NetworkMessage*> SocketTransport::Inbox(
+    EndpointId endpoint) const {
+  MutexLock lock(&mu_);
+  std::vector<const NetworkMessage*> inbox;
+  for (const NetworkMessage& m : messages_) {
+    if (m.to == endpoint) inbox.push_back(&m);
+  }
+  return inbox;
+}
+
+std::size_t SocketTransport::NumMessages() const {
+  MutexLock lock(&mu_);
+  return messages_.size();
+}
+
+const NetworkMessage& SocketTransport::Message(std::size_t index) const {
+  MutexLock lock(&mu_);
+  DBDC_CHECK(index < messages_.size());
+  return messages_[index];
+}
+
+double SocketTransport::DeliveryDelaySeconds(std::size_t index) const {
+  MutexLock lock(&mu_);
+  DBDC_CHECK(index < delays_.size());
+  return delays_[index];
+}
+
+std::uint64_t SocketTransport::BytesUplink() const {
+  MutexLock lock(&mu_);
+  std::uint64_t total = 0;
+  for (const NetworkMessage& m : messages_) {
+    if (m.to == kServerEndpoint) total += m.payload.size();
+  }
+  return total;
+}
+
+std::uint64_t SocketTransport::BytesDownlink() const {
+  MutexLock lock(&mu_);
+  std::uint64_t total = 0;
+  for (const NetworkMessage& m : messages_) {
+    if (m.from == kServerEndpoint) total += m.payload.size();
+  }
+  return total;
+}
+
+std::uint64_t SocketTransport::BytesTotal() const {
+  MutexLock lock(&mu_);
+  std::uint64_t total = 0;
+  for (const NetworkMessage& m : messages_) total += m.payload.size();
+  return total;
+}
+
+void SocketTransport::Clear() {
+  MutexLock lock(&mu_);
+  messages_.clear();
+  delays_.clear();
+}
+
+void SocketTransport::CloseEndpoint(EndpointId endpoint_id, bool mid_frame) {
+  MutexLock lock(&mu_);
+  const std::size_t slot = Slot(endpoint_id);
+  Endpoint& endpoint = *endpoints_[slot];
+  if (endpoint.closed) return;
+  if (mid_frame && endpoint.client_fd.valid()) {
+    // Write the front half of a legitimate frame, then vanish — the
+    // nastiest real failure shape a TCP peer can produce.
+    Frame frame;
+    frame.type = FrameType::kData;
+    frame.seq = next_seq_++;
+    frame.payload.assign(64, std::uint8_t{0xAB});
+    const std::vector<std::uint8_t> wire = EncodeFrame(frame);
+    const std::span<const std::uint8_t> prefix =
+        std::span<const std::uint8_t>(wire).first(wire.size() / 2);
+    if (WriteAllFd(endpoint.client_fd.get(), prefix,
+                   options_.io_timeout_sec)) {
+      wire_bytes_ += prefix.size();
+    }
+  }
+  endpoint.client_fd.Close();
+  // Pump the hub side until it observes the EOF (and the mid-frame
+  // counter fires), so the failure is fully accounted before return.
+  Timer timer;
+  while (!endpoint.closed &&
+         timer.Seconds() < options_.io_timeout_sec) {
+    pollfd pfd{endpoint.hub_fd.get(), POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 10);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc > 0) DrainEndpoint(slot);
+  }
+  if (!endpoint.closed) CloseSlot(slot);
+}
+
+void SocketTransport::SetExtraDelaySeconds(EndpointId endpoint_id,
+                                           double seconds) {
+  MutexLock lock(&mu_);
+  endpoints_[Slot(endpoint_id)]->extra_delay_sec = seconds;
+}
+
+std::uint64_t SocketTransport::wire_bytes() const {
+  MutexLock lock(&mu_);
+  return wire_bytes_;
+}
+
+SocketTransport::Stats SocketTransport::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace dbdc

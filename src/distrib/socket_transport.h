@@ -1,0 +1,176 @@
+#ifndef DBDC_DISTRIB_SOCKET_TRANSPORT_H_
+#define DBDC_DISTRIB_SOCKET_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "distrib/protocol.h"
+#include "distrib/socket_util.h"
+#include "distrib/transport.h"
+
+namespace dbdc {
+
+class Timer;
+
+/// Transport over real TCP sockets (ROADMAP item 5; DESIGN.md §12).
+///
+/// Topology: a loopback "hub" — every endpoint (the server and each
+/// site) holds its own TCP connection to an in-process router. Send()
+/// encodes the message as a checksummed DBFP frame (the same framing the
+/// reliable protocol uses; payload = i32 from | i32 to | app bytes),
+/// pushes it through the *sender's* connection — the bytes genuinely
+/// cross the kernel's TCP stack, with all its short reads/writes and
+/// buffering — and the hub's poll() loop reassembles the stream
+/// (FrameAssembler), verifies the checksum, and routes the message into
+/// the destination inbox. The recorded NetworkMessage carries the app
+/// payload exactly as SimulatedNetwork records it, so labels, models,
+/// and every byte counter of a fault-free run are byte-identical to the
+/// simulated transport (asserted by socket_transport_test); framing
+/// overhead is transport-internal, observable via wire_bytes().
+///
+/// Wall-vs-virtual clock: the engine's protocol machinery runs on a
+/// virtual clock. The measured wall-clock transfer time of each message
+/// (plus any injected per-endpoint delay; see SetExtraDelaySeconds) is
+/// reported through DeliveryDelaySeconds(), which ReliableChannel adds
+/// to its virtual timeline — so real-socket latency and stragglers feed
+/// the existing deadline/degradation path with no new machinery.
+///
+/// Failure model: a closed endpoint (peer crash; CloseEndpoint or a real
+/// disconnect observed by the hub) drops every later message from or to
+/// it — Send() returns kMessageDropped, exactly FaultyNetwork's
+/// dead-site semantics, so the engine's graceful degradation applies
+/// unchanged. A partial frame pending at disconnect is counted in
+/// stats().mid_frame_disconnects and discarded; a stream that breaks
+/// framing (bad magic/checksum) closes the endpoint.
+///
+/// Threading: all public methods are safe to call concurrently
+/// (internally serialized); one message is in flight at a time.
+class SocketTransport : public Transport {
+ public:
+  struct Options {
+    int num_sites = 4;
+    /// Wall-clock budget for one Send() round trip through the kernel.
+    double io_timeout_sec = 10.0;
+    /// Frames declaring a larger payload poison the sender's stream.
+    std::size_t max_frame_bytes = 1u << 30;
+  };
+
+  /// Diagnostics counters (monotonic).
+  struct Stats {
+    std::uint64_t frames_routed = 0;
+    std::uint64_t sends_dropped = 0;
+    std::uint64_t mid_frame_disconnects = 0;
+    std::uint64_t framing_errors = 0;
+  };
+
+  /// Builds the loopback hub and connects every endpoint. Null (+
+  /// `*error` when non-null) if the sockets cannot be set up.
+  static std::unique_ptr<SocketTransport> CreateLoopback(
+      const Options& options, std::string* error = nullptr);
+
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  // Transport contract.
+  std::size_t Send(EndpointId from, EndpointId to,
+                   std::vector<std::uint8_t> payload) override;
+  std::vector<const NetworkMessage*> Inbox(EndpointId endpoint)
+      const override;
+  std::size_t NumMessages() const override;
+  const NetworkMessage& Message(std::size_t index) const override;
+  /// Measured wall-clock transfer seconds of the recorded message plus
+  /// the sender's injected extra delay — the wall→virtual clock bridge.
+  double DeliveryDelaySeconds(std::size_t index) const override;
+  std::uint64_t BytesUplink() const override;
+  std::uint64_t BytesDownlink() const override;
+  std::uint64_t BytesTotal() const override;
+  void Clear() override;
+
+  /// Simulates a peer crash: hard-closes the endpoint's connection. With
+  /// `mid_frame` a truncated frame prefix is written first, so the hub
+  /// observes a disconnect in the middle of a message (the nastiest real
+  /// failure shape). Idempotent.
+  void CloseEndpoint(EndpointId endpoint, bool mid_frame = false);
+
+  /// Injects `seconds` of extra (virtual) delivery delay on every later
+  /// message sent *by* `endpoint` — a straggler on a slow WAN link. The
+  /// delay is charged to DeliveryDelaySeconds (and hence the protocol's
+  /// virtual clock and collection deadline), not slept.
+  void SetExtraDelaySeconds(EndpointId endpoint, double seconds);
+
+  /// Total bytes that actually crossed the sockets, including DBFP
+  /// framing and routing overhead (>= BytesTotal()).
+  std::uint64_t wire_bytes() const;
+  Stats stats() const;
+  int num_sites() const { return num_sites_; }
+
+ private:
+  struct Endpoint {
+    Fd client_fd;          // The endpoint's end of its hub connection.
+    Fd hub_fd;             // The hub's end (nonblocking, polled).
+    FrameAssembler assembler;
+    bool closed = false;
+    double extra_delay_sec = 0.0;
+
+    explicit Endpoint(std::size_t max_frame_bytes)
+        : assembler(max_frame_bytes) {}
+  };
+
+  /// Does all the socket setup; on failure leaves the reason in
+  /// init_error_ (CreateLoopback checks and rejects).
+  explicit SocketTransport(const Options& options);
+
+  /// endpoints_ slot of an EndpointId (0 = server, 1 + site for sites).
+  std::size_t Slot(EndpointId endpoint) const;
+
+  /// Polls the hub sides and drains readable streams into the message
+  /// record until `target_count` messages are recorded, the sender's
+  /// stream dies, or the wall deadline passes. Returns true when the
+  /// target was reached.
+  bool PumpUntil(std::size_t target_count, std::size_t sender_slot)
+      DBDC_REQUIRES(mu_);
+
+  /// Drains one hub fd (nonblocking) and routes every completed frame.
+  /// Closes the endpoint on EOF, error, or broken framing.
+  void DrainEndpoint(std::size_t slot) DBDC_REQUIRES(mu_);
+
+  /// Pops every completed frame off the endpoint's assembler and records
+  /// the routed messages; closes the endpoint on broken framing.
+  void RouteFrames(std::size_t slot) DBDC_REQUIRES(mu_);
+
+  void CloseSlot(std::size_t slot) DBDC_REQUIRES(mu_);
+
+  void RecordMessage(EndpointId from, EndpointId to,
+                     std::vector<std::uint8_t> payload, double delay_sec)
+      DBDC_REQUIRES(mu_);
+
+  const Options options_;
+  int num_sites_ = 0;
+  /// Why construction failed; empty on success. Written only during
+  /// construction.
+  std::string init_error_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_ DBDC_GUARDED_BY(mu_);
+  /// Deque-backed so recorded messages never move (Transport contract:
+  /// Inbox() pointers stay valid across later Sends).
+  std::deque<NetworkMessage> messages_ DBDC_GUARDED_BY(mu_);
+  std::deque<double> delays_ DBDC_GUARDED_BY(mu_);
+  /// Wall clock of the Send() in flight; DrainEndpoint reads it to stamp
+  /// the routed message's measured transfer time.
+  const Timer* send_timer_ DBDC_GUARDED_BY(mu_) = nullptr;
+  std::uint32_t next_seq_ DBDC_GUARDED_BY(mu_) = 0;
+  std::uint64_t wire_bytes_ DBDC_GUARDED_BY(mu_) = 0;
+  Stats stats_ DBDC_GUARDED_BY(mu_);
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_DISTRIB_SOCKET_TRANSPORT_H_

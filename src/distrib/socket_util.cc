@@ -1,0 +1,234 @@
+#include "distrib/socket_util.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/timer.h"
+
+namespace dbdc {
+namespace {
+
+void AssignError(std::string* error, const char* what) {
+  if (error != nullptr) {
+    *error = std::string(what) + ": " + std::strerror(errno);
+  }
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  // Best effort: latency tuning, not correctness.
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in LoopbackAddr(std::uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+/// The POSIX socket API traffics in `sockaddr*` views of the concrete
+/// per-family structs; the cast is the API's own idiom.
+sockaddr* AsSockaddr(sockaddr_in* addr) {
+  return static_cast<sockaddr*>(static_cast<void*>(addr));
+}
+
+/// Remaining poll budget in whole milliseconds, >= 1 while the deadline
+/// has not passed (poll(0) would busy-spin).
+int RemainingMillis(const Timer& timer, double timeout_sec) {
+  const double remaining = timeout_sec - timer.Seconds();
+  if (remaining <= 0.0) return 0;
+  const double ms = remaining * 1e3;
+  if (ms >= 60000.0) return 60000;
+  const int whole = static_cast<int>(ms);
+  return whole < 1 ? 1 : whole;
+}
+
+}  // namespace
+
+void Fd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd ListenTcp(std::uint16_t port, int backlog, std::uint16_t* bound_port,
+             std::string* error) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    AssignError(error, "socket");
+    return Fd();
+  }
+  int one = 1;
+  (void)setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd.get(), AsSockaddr(&addr), sizeof(addr)) != 0) {
+    AssignError(error, "bind");
+    return Fd();
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    AssignError(error, "listen");
+    return Fd();
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), AsSockaddr(&bound), &len) != 0) {
+      AssignError(error, "getsockname");
+      return Fd();
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+Fd ConnectTcp(const std::string& host, std::uint16_t port,
+              double timeout_sec, std::string* error) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    AssignError(error, "socket");
+    return Fd();
+  }
+  sockaddr_in addr = LoopbackAddr(port);
+  const std::string resolved =
+      (host.empty() || host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "cannot parse host '" + host + "' (IPv4 dotted quad "
+               "or 'localhost' expected)";
+    }
+    return Fd();
+  }
+  // Nonblocking connect + poll gives the wall-clock timeout; the fd is
+  // switched back to blocking for the session afterwards.
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) != 0) {
+    AssignError(error, "fcntl");
+    return Fd();
+  }
+  if (::connect(fd.get(), AsSockaddr(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      AssignError(error, "connect");
+      return Fd();
+    }
+    Timer timer;
+    for (;;) {
+      pollfd pfd{fd.get(), POLLOUT, 0};
+      const int ms = RemainingMillis(timer, timeout_sec);
+      if (ms == 0) {
+        if (error != nullptr) *error = "connect timed out";
+        return Fd();
+      }
+      const int rc = ::poll(&pfd, 1, ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        AssignError(error, "poll");
+        return Fd();
+      }
+      if (rc == 0) continue;  // Re-check the deadline.
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+          soerr != 0) {
+        if (error != nullptr) {
+          *error = std::string("connect: ") +
+                   std::strerror(soerr != 0 ? soerr : errno);
+        }
+        return Fd();
+      }
+      break;
+    }
+  }
+  if (::fcntl(fd.get(), F_SETFL, flags) != 0) {
+    AssignError(error, "fcntl");
+    return Fd();
+  }
+  SetNoDelay(fd.get());
+  return fd;
+}
+
+Fd AcceptTcp(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      return Fd(fd);
+    }
+    if (errno == EINTR) continue;
+    return Fd();
+  }
+}
+
+bool WriteAllFd(int fd, std::span<const std::uint8_t> bytes,
+                double timeout_sec) {
+  Timer timer;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the
+    // process with SIGPIPE.
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ms = RemainingMillis(timer, timeout_sec);
+      if (ms == 0) return false;
+      const int rc = ::poll(&pfd, 1, ms);
+      if (rc < 0 && errno != EINTR) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EPIPE / ECONNRESET / other hard error.
+  }
+  return true;
+}
+
+ReadResult ReadSomeFd(int fd, double timeout_sec, std::size_t max_bytes,
+                      std::vector<std::uint8_t>* out) {
+  Timer timer;
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ms = RemainingMillis(timer, timeout_sec);
+    const int rc = ::poll(&pfd, 1, ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ReadResult::kError;
+    }
+    if (rc == 0) {
+      if (timer.Seconds() >= timeout_sec) return ReadResult::kTimeout;
+      continue;
+    }
+    const std::size_t prev = out->size();
+    out->resize(prev + max_bytes);
+    const ssize_t n = ::recv(fd, out->data() + prev, max_bytes, 0);
+    if (n > 0) {
+      out->resize(prev + static_cast<std::size_t>(n));
+      return ReadResult::kData;
+    }
+    out->resize(prev);
+    if (n == 0) return ReadResult::kClosed;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return ReadResult::kError;
+  }
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace dbdc

@@ -1,0 +1,86 @@
+#ifndef DBDC_DISTRIB_SOCKET_UTIL_H_
+#define DBDC_DISTRIB_SOCKET_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dbdc {
+
+/// RAII file descriptor (POSIX). Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the descriptor now (idempotent).
+  void Close();
+  /// Releases ownership without closing.
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral
+/// port). On success returns a valid listening Fd and stores the bound
+/// port in `*bound_port`; on failure returns an invalid Fd and stores
+/// strerror text in `*error` (when non-null).
+Fd ListenTcp(std::uint16_t port, int backlog, std::uint16_t* bound_port,
+             std::string* error);
+
+/// Connects to `host`:`port` with a wall-clock connect timeout. The
+/// returned socket is blocking with TCP_NODELAY set. Invalid Fd +
+/// `*error` on failure.
+Fd ConnectTcp(const std::string& host, std::uint16_t port,
+              double timeout_sec, std::string* error);
+
+/// Accepts one pending connection (the caller saw POLLIN on
+/// `listen_fd`); invalid Fd when none is pending or on error. The
+/// returned socket is blocking with TCP_NODELAY set.
+Fd AcceptTcp(int listen_fd);
+
+/// Writes all of `bytes`, looping over short writes, with a wall-clock
+/// deadline across the whole write. False on error, peer reset, or
+/// deadline expiry.
+bool WriteAllFd(int fd, std::span<const std::uint8_t> bytes,
+                double timeout_sec);
+
+/// One nonblocking-style read step under poll: waits up to `timeout_sec`
+/// for readability, then reads at most `max_bytes` into `*out`
+/// (appended). Returns:
+///   kData      — appended >= 1 byte,
+///   kTimeout   — nothing readable within the deadline,
+///   kClosed    — orderly peer shutdown (EOF),
+///   kError     — socket error.
+enum class ReadResult { kData = 0, kTimeout, kClosed, kError };
+ReadResult ReadSomeFd(int fd, double timeout_sec, std::size_t max_bytes,
+                      std::vector<std::uint8_t>* out);
+
+/// Marks `fd` nonblocking. False on fcntl failure.
+bool SetNonBlocking(int fd);
+
+}  // namespace dbdc
+
+#endif  // DBDC_DISTRIB_SOCKET_UTIL_H_

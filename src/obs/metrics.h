@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/obs_context.h"
 #include "common/thread_annotations.h"
 
 namespace dbdc::obs {
@@ -166,11 +167,17 @@ namespace internal {
 extern std::atomic<MetricsRegistry*> g_metrics;
 }  // namespace internal
 
-/// The process-wide registry instrumentation reports to, or null when
-/// observability is off (the default). The zero-cost-when-off contract:
-/// every hook is one acquire load + branch when disabled — no locks, no
-/// allocations, no stores.
+/// The registry instrumentation reports to, or null when observability
+/// is off (the default). A thread-local scope override (obs::ObsScope —
+/// the multi-tenant server's per-job isolation) wins over the
+/// process-wide registration; ThreadPool workers inherit the scope of
+/// the thread that created the pool. The zero-cost-when-off contract:
+/// every hook is one thread-local load plus one acquire load + branch
+/// when disabled — no locks, no allocations, no stores.
 inline MetricsRegistry* GlobalMetrics() {
+  if (void* scoped = ::dbdc::internal::tls_obs_scope.metrics) {
+    return static_cast<MetricsRegistry*>(scoped);
+  }
   return internal::g_metrics.load(std::memory_order_acquire);
 }
 

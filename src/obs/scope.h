@@ -1,0 +1,45 @@
+#ifndef DBDC_OBS_SCOPE_H_
+#define DBDC_OBS_SCOPE_H_
+
+#include "common/obs_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dbdc::obs {
+
+/// RAII per-thread observability scope: while alive, instrumentation on
+/// this thread (and on any ThreadPool whose workers were spawned on this
+/// thread while the scope was active) reports to `metrics` / `tracer`
+/// instead of the process-wide hooks. Destruction restores whatever the
+/// thread had before, so scopes nest.
+///
+/// This is the multi-tenant isolation primitive of the serving layer
+/// (DESIGN.md §12): every job executor wraps a job run in an ObsScope
+/// holding that job's own MetricsRegistry and Tracer, so concurrent jobs
+/// in one server process never mix counters or spans — without threading
+/// a registry pointer through every engine, DBSCAN, and index call.
+///
+/// Null arguments are legal and mean "no override for that slot": the
+/// lookup falls through to the process-wide registration, exactly the
+/// pre-scope behavior. The scope is thread-confined: create and destroy
+/// it on the same thread.
+class ObsScope {
+ public:
+  ObsScope(MetricsRegistry* metrics, Tracer* tracer)
+      : saved_(::dbdc::internal::tls_obs_scope) {
+    ::dbdc::internal::tls_obs_scope.metrics = metrics;
+    ::dbdc::internal::tls_obs_scope.tracer = tracer;
+  }
+
+  ~ObsScope() { ::dbdc::internal::tls_obs_scope = saved_; }
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+ private:
+  ::dbdc::internal::ObsTlsScope saved_;
+};
+
+}  // namespace dbdc::obs
+
+#endif  // DBDC_OBS_SCOPE_H_

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/obs_context.h"
 #include "common/thread_annotations.h"
 
 namespace dbdc::obs {
@@ -117,8 +118,15 @@ namespace internal {
 extern std::atomic<Tracer*> g_tracer;
 }  // namespace internal
 
-/// The process-wide tracer, or null when tracing is off (the default).
+/// The tracer instrumentation reports to, or null when tracing is off
+/// (the default). A thread-local scope override (obs::ObsScope — the
+/// multi-tenant server's per-job isolation) wins over the process-wide
+/// registration; ThreadPool workers inherit the scope of the thread that
+/// created the pool.
 inline Tracer* GlobalTracer() {
+  if (void* scoped = ::dbdc::internal::tls_obs_scope.tracer) {
+    return static_cast<Tracer*>(scoped);
+  }
   return internal::g_tracer.load(std::memory_order_acquire);
 }
 

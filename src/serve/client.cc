@@ -1,0 +1,176 @@
+#include "serve/client.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/model_codec.h"
+#include "distrib/protocol.h"
+#include "distrib/socket_util.h"
+
+namespace dbdc::serve {
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Reads from `fd` until the assembler yields a frame, the peer closes,
+/// or a silent stretch exceeds `timeout_sec`.
+enum class NextFrameResult { kFrame = 0, kClosed, kTimeout, kError };
+
+NextFrameResult NextFrame(int fd, double timeout_sec,
+                          FrameAssembler* assembler, Frame* out) {
+  for (;;) {
+    if (std::optional<Frame> frame = assembler->Next()) {
+      *out = *std::move(frame);
+      return NextFrameResult::kFrame;
+    }
+    if (assembler->corrupted()) return NextFrameResult::kError;
+    std::vector<std::uint8_t> chunk;
+    switch (ReadSomeFd(fd, timeout_sec, kReadChunk, &chunk)) {
+      case ReadResult::kData:
+        assembler->Append(chunk);
+        break;
+      case ReadResult::kTimeout:
+        return NextFrameResult::kTimeout;
+      case ReadResult::kClosed:
+        return NextFrameResult::kClosed;
+      case ReadResult::kError:
+        return NextFrameResult::kError;
+    }
+  }
+}
+
+bool SendPayload(int fd, std::vector<std::uint8_t> payload, std::uint32_t seq,
+                 double timeout_sec) {
+  Frame frame;
+  frame.type = FrameType::kData;
+  frame.seq = seq;
+  frame.payload = std::move(payload);
+  return WriteAllFd(fd, EncodeFrame(frame), timeout_sec);
+}
+
+}  // namespace
+
+RemoteOutcome RunRemoteJob(const JobRequest& request,
+                           const ClientOptions& options) {
+  RemoteOutcome outcome;
+  std::string error;
+  Fd fd = ConnectTcp(options.host, options.port, options.io_timeout_sec,
+                     &error);
+  if (!fd.valid()) {
+    outcome.error = "connect to " + options.host + ":" +
+                    std::to_string(options.port) + " failed: " + error;
+    return outcome;
+  }
+  if (!SendPayload(fd.get(), EncodeJobRequest(request), /*seq=*/0,
+                   options.io_timeout_sec)) {
+    outcome.error = "sending the job request failed (peer reset or "
+                    "write timeout)";
+    return outcome;
+  }
+
+  FrameAssembler assembler(options.max_frame_bytes);
+  bool accepted = false;
+  for (;;) {
+    Frame frame;
+    switch (NextFrame(fd.get(), options.io_timeout_sec, &assembler, &frame)) {
+      case NextFrameResult::kFrame:
+        break;
+      case NextFrameResult::kClosed:
+        outcome.error = accepted
+                            ? "server closed the connection before the result"
+                            : "server closed the connection before answering";
+        return outcome;
+      case NextFrameResult::kTimeout:
+        outcome.error = "server went silent for longer than io_timeout_sec";
+        return outcome;
+      case NextFrameResult::kError:
+        outcome.error = "broken framing or socket error on the reply stream";
+        return outcome;
+    }
+    const std::optional<MsgType> type = PeekMsgType(frame.payload);
+    if (!type.has_value()) {
+      outcome.error = "server sent a message of unknown type";
+      return outcome;
+    }
+    switch (*type) {
+      case MsgType::kJobAccepted: {
+        JobAccepted msg;
+        if (DecodeJobAccepted(frame.payload, &msg) != DecodeStatus::kOk) {
+          outcome.error = "undecodable JobAccepted";
+          return outcome;
+        }
+        accepted = true;
+        outcome.job_id = msg.job_id;
+        break;
+      }
+      case MsgType::kJobRejected: {
+        JobRejected msg;
+        if (DecodeJobRejected(frame.payload, &msg) != DecodeStatus::kOk) {
+          outcome.error = "undecodable JobRejected";
+          return outcome;
+        }
+        outcome.reject_field = msg.field;
+        outcome.error = "rejected by server: config/" + msg.field + ": " +
+                        msg.message;
+        return outcome;
+      }
+      case MsgType::kJobStatus: {
+        JobStatusUpdate msg;
+        if (DecodeJobStatus(frame.payload, &msg) != DecodeStatus::kOk) {
+          outcome.error = "undecodable JobStatus";
+          return outcome;
+        }
+        if (options.on_status) options.on_status(msg.stages_done);
+        break;
+      }
+      case MsgType::kJobResult: {
+        JobResultMsg msg;
+        const DecodeStatus status = DecodeJobResult(frame.payload, &msg);
+        if (status != DecodeStatus::kOk) {
+          outcome.error = std::string("undecodable JobResult: ") +
+                          DecodeStatusName(status);
+          return outcome;
+        }
+        outcome.ok = true;
+        outcome.job_id = msg.job_id;
+        outcome.result = std::move(msg.result);
+        outcome.params_used = msg.params_used;
+        return outcome;
+      }
+      default:
+        outcome.error = "server sent an unexpected message type";
+        return outcome;
+    }
+  }
+}
+
+bool RequestRemoteShutdown(const ClientOptions& options, std::string* error) {
+  std::string connect_error;
+  Fd fd = ConnectTcp(options.host, options.port, options.io_timeout_sec,
+                     &connect_error);
+  if (!fd.valid()) {
+    if (error != nullptr) *error = "connect failed: " + connect_error;
+    return false;
+  }
+  if (!SendPayload(fd.get(), EncodeShutdown(), /*seq=*/0,
+                   options.io_timeout_sec)) {
+    if (error != nullptr) *error = "sending the shutdown request failed";
+    return false;
+  }
+  FrameAssembler assembler(options.max_frame_bytes);
+  Frame frame;
+  const NextFrameResult rr =
+      NextFrame(fd.get(), options.io_timeout_sec, &assembler, &frame);
+  if (rr != NextFrameResult::kFrame ||
+      PeekMsgType(frame.payload) != MsgType::kShutdownAck) {
+    if (error != nullptr) {
+      *error = "server did not acknowledge the shutdown (is it running "
+               "with --allow-shutdown?)";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dbdc::serve

@@ -1,0 +1,60 @@
+#ifndef DBDC_SERVE_CLIENT_H_
+#define DBDC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serve/wire.h"
+
+namespace dbdc::serve {
+
+/// Knobs of a remote job submission (the client side of DESIGN.md §12).
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Wall-clock bound on the TCP connect and on each *silent* stretch of
+  /// the conversation. The server streams a JobStatus per completed
+  /// pipeline stage, so the effective bound on a healthy job is per
+  /// stage, not end-to-end — a stage that stays silent longer than this
+  /// is treated as a dead server.
+  double io_timeout_sec = 60.0;
+  /// Frames declaring a larger payload poison the stream.
+  std::size_t max_frame_bytes = 1u << 30;
+  /// Called on every status update with the stages-completed count
+  /// (1..kNumStages). Null = no progress reporting.
+  std::function<void(int)> on_status;
+};
+
+/// Outcome of RunRemoteJob.
+struct RemoteOutcome {
+  /// True iff the job ran to completion and `result` is valid.
+  bool ok = false;
+  /// Human-readable failure description (transport errors, rejection,
+  /// protocol violations).
+  std::string error;
+  /// On rejection: the offending field the server named on the wire
+  /// (DbdcConfig dotted path, request limit, or "request" for an
+  /// undecodable submission). Empty for transport-level failures.
+  std::string reject_field;
+  std::uint64_t job_id = 0;
+  DbdcResult result;
+  /// DBSCAN parameters the server actually used (differ from the
+  /// request's when options.auto_params ran server-side).
+  DbscanParams params_used;
+};
+
+/// Ships `request` to a dbdc_server, streams status, and returns the
+/// full DbdcResult surface — the same labels, counters, stage breakdown,
+/// and metrics snapshot a local RunDbdc of the same request produces
+/// (byte-identical; the serving tests assert it). Blocking.
+RemoteOutcome RunRemoteJob(const JobRequest& request,
+                           const ClientOptions& options);
+
+/// Asks the server to drain and exit (honored only when it was started
+/// with allow_remote_shutdown). True iff the server acknowledged.
+bool RequestRemoteShutdown(const ClientOptions& options, std::string* error);
+
+}  // namespace dbdc::serve
+
+#endif  // DBDC_SERVE_CLIENT_H_

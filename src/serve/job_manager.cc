@@ -1,0 +1,264 @@
+#include "serve/job_manager.h"
+
+#include <atomic>
+#include <utility>
+
+#include "cluster/param_estimation.h"
+#include "common/check.h"
+#include "common/distance.h"
+#include "core/engine.h"
+#include "core/optics_global.h"
+#include "core/stage_stats.h"
+#include "obs/scope.h"
+
+namespace dbdc::serve {
+namespace {
+
+/// Clamps a requested thread count to the per-job ceiling (0 = no clamp).
+int ClampThreads(int requested, int ceiling) {
+  if (ceiling <= 0) return requested;
+  // 0 means "hardware concurrency" downstream, which would dodge the
+  // ceiling — pin it to the ceiling instead.
+  if (requested <= 0 || requested > ceiling) return ceiling;
+  return requested;
+}
+
+}  // namespace
+
+/// All fields except `stages_done` are guarded by JobManager::mu_; the
+/// stage counter is atomic so the executor can bump it mid-run without
+/// taking the manager lock on the pipeline's hot path.
+struct JobManager::Job {
+  std::uint64_t id = 0;
+  JobRequest request;
+  std::atomic<int> stages_done{0};
+  JobState state = JobState::kQueued;
+  JobOutcome outcome;
+  bool terminal = false;
+};
+
+JobManager::JobManager(const JobLimits& limits) : limits_(limits) {
+  DBDC_CHECK(limits_.max_active >= 1);
+  DBDC_CHECK(limits_.max_queued >= 0);
+  executors_.reserve(static_cast<std::size_t>(limits_.max_active));
+  for (int i = 0; i < limits_.max_active; ++i) {
+    executors_.emplace_back([this] { ExecutorLoop(); });
+  }
+}
+
+JobManager::~JobManager() { Shutdown(); }
+
+AdmitDecision JobManager::Submit(JobRequest request) {
+  AdmitDecision decision;
+  auto reject = [&decision](std::string field,
+                            std::string message) -> AdmitDecision& {
+    decision.accepted = false;
+    decision.field = std::move(field);
+    decision.message = std::move(message);
+    return decision;
+  };
+
+  // Request-level limits first: they are cheap and independent of the
+  // manager lock.
+  if (request.data.size() == 0) {
+    return reject("data.points", "dataset is empty");
+  }
+  if (request.data.size() > limits_.max_points) {
+    return reject("data.points",
+                  "dataset exceeds the server's max_points limit");
+  }
+  if (MetricByName(request.metric_name) == nullptr) {
+    return reject("metric", "unknown metric name '" + request.metric_name +
+                                "'");
+  }
+  if (request.config.num_sites > limits_.max_sites) {
+    return reject("num_sites",
+                  "num_sites exceeds the server's max_sites limit");
+  }
+  if (request.options.auto_params_k < 1) {
+    return reject("options.auto_params_k", "must be >= 1");
+  }
+  if (request.options.auto_params &&
+      request.data.size() <
+          static_cast<std::size_t>(request.options.auto_params_k) + 1) {
+    return reject("options.auto_params_k",
+                  "dataset has fewer than k + 1 points; no k-th neighbor "
+                  "distance to estimate from");
+  }
+  if (request.options.global_strategy == GlobalStrategyKind::kOptics &&
+      request.config.min_weight_global != 0.0) {
+    return reject("min_weight_global",
+                  "the OPTICS global strategy does not support the "
+                  "weighted-core extension; must be 0");
+  }
+  if (!request.options.auto_params) {
+    // With auto_params the shipped (eps, min_pts) are placeholders and the
+    // estimate is validated after it is computed, in the executor.
+    const ConfigStatus status = request.config.Validate();
+    if (!status.ok) return reject(status.field, status.message);
+  } else {
+    // Still validate everything that auto_params does not overwrite, by
+    // validating with provisional legal local parameters.
+    DbdcConfig probe = request.config;
+    probe.local_dbscan.eps = 1.0;
+    probe.local_dbscan.min_pts = 1;
+    const ConfigStatus status = probe.Validate();
+    if (!status.ok) return reject(status.field, status.message);
+  }
+
+  MutexLock lock(&mu_);
+  if (shutdown_) {
+    return reject("server.shutdown", "server is shutting down");
+  }
+  if (static_cast<int>(queue_.size()) >= limits_.max_queued) {
+    return reject("server.queue",
+                  "admission queue is full; retry after a job finishes");
+  }
+
+  auto job = std::make_unique<Job>();
+  job->id = next_job_id_++;
+  job->request = std::move(request);
+  decision.accepted = true;
+  decision.job_id = job->id;
+  decision.queue_depth = static_cast<int>(queue_.size());
+  queue_.push_back(job.get());
+  jobs_.emplace(job->id, std::move(job));
+  work_cv_.NotifyOne();
+  return decision;
+}
+
+JobProgress JobManager::Poll(std::uint64_t job_id) const {
+  MutexLock lock(&mu_);
+  const auto it = jobs_.find(job_id);
+  DBDC_CHECK(it != jobs_.end() && "Poll() on a job id never admitted");
+  JobProgress progress;
+  progress.state = it->second->state;
+  progress.stages_done = it->second->stages_done.load(std::memory_order_relaxed);
+  return progress;
+}
+
+const JobOutcome& JobManager::Wait(std::uint64_t job_id) {
+  MutexLock lock(&mu_);
+  const auto it = jobs_.find(job_id);
+  DBDC_CHECK(it != jobs_.end() && "Wait() on a job id never admitted");
+  Job* job = it->second.get();
+  while (!job->terminal) done_cv_.Wait(&mu_);
+  return job->outcome;
+}
+
+void JobManager::Shutdown() {
+  {
+    MutexLock lock(&mu_);
+    if (shutdown_ && executors_.empty()) return;
+    shutdown_ = true;
+    work_cv_.NotifyAll();
+  }
+  for (std::thread& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  executors_.clear();
+}
+
+std::uint64_t JobManager::jobs_finished() const {
+  MutexLock lock(&mu_);
+  return finished_;
+}
+
+void JobManager::ExecutorLoop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      MutexLock lock(&mu_);
+      while (queue_.empty() && !shutdown_) work_cv_.Wait(&mu_);
+      // Admitted means promised: drain the queue even under shutdown.
+      if (queue_.empty()) return;
+      job = queue_.front();
+      queue_.pop_front();
+      job->state = JobState::kRunning;
+      ++active_;
+    }
+    RunJob(job);
+    {
+      MutexLock lock(&mu_);
+      --active_;
+      job->state = job->outcome.state;
+      job->terminal = true;
+      ++finished_;
+      done_cv_.NotifyAll();
+    }
+  }
+}
+
+void JobManager::RunJob(Job* job) {
+  // The isolation boundary: everything the pipeline reports on this
+  // thread (and on ThreadPool workers it spawns) lands in this job's own
+  // registry/tracer, so the snapshot TakeResult() embeds is exactly this
+  // job's telemetry. Declared before the scope so the scope unwinds
+  // first.
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::ObsScope scope(&registry, &tracer);
+
+  JobRequest& request = job->request;
+  JobOutcome& outcome = job->outcome;
+  const Metric* metric = MetricByName(request.metric_name);
+  DBDC_CHECK(metric != nullptr && "admission validated the metric name");
+
+  DbdcConfig config = request.config;
+  config.partitioner = nullptr;  // Never travels; uniform random split.
+  if (request.options.auto_params) {
+    const DbscanParams estimate = EstimateDbscanParams(
+        request.data, *metric, request.options.auto_params_k);
+    config.local_dbscan.eps = estimate.eps;
+    config.local_dbscan.min_pts = estimate.min_pts;
+  }
+  config.num_threads = ClampThreads(config.num_threads,
+                                    limits_.max_threads_per_job);
+  config.local_dbscan.threads =
+      ClampThreads(config.local_dbscan.threads, limits_.max_threads_per_job);
+  outcome.params_used = config.local_dbscan;
+
+  // Admission only validated what it could see; the auto-params estimate
+  // (e.g. eps = 0 on a dataset of coincident points) is validated here.
+  const ConfigStatus status = config.Validate();
+  if (!status.ok) {
+    outcome.state = JobState::kFailed;
+    outcome.field = status.field;
+    outcome.message = status.message;
+    return;
+  }
+
+  // Private engine + private lossless SimulatedNetwork (network =
+  // nullptr): the same execution a local RunDbdc performs, which is what
+  // makes a remote job's labels and byte counters byte-identical to a
+  // local run of the same request.
+  DbdcEngine engine(request.data, *metric, config);
+  const OpticsGlobalStrategy optics(config.optics.max_eps_global);
+  if (request.options.global_strategy == GlobalStrategyKind::kOptics) {
+    engine.SetGlobalModelStrategy(&optics);
+  }
+
+  // Stage by stage (not Run()) so sessions can stream per-stage progress.
+  const auto bump = [job](int done) {
+    job->stages_done.store(done, std::memory_order_relaxed);
+  };
+  engine.Partition();
+  bump(1);
+  engine.LocalCluster();
+  bump(2);
+  engine.BuildLocalModel();
+  bump(3);
+  engine.Transmit();
+  bump(4);
+  engine.MergeGlobal();
+  bump(5);
+  engine.Broadcast();
+  bump(6);
+  engine.Relabel();
+  bump(kNumStages);
+
+  outcome.result = engine.TakeResult();
+  outcome.state = JobState::kDone;
+}
+
+}  // namespace dbdc::serve

@@ -1,0 +1,154 @@
+#ifndef DBDC_SERVE_JOB_MANAGER_H_
+#define DBDC_SERVE_JOB_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/wire.h"
+
+namespace dbdc::serve {
+
+/// Admission-control limits of a multi-tenant server. Anything over a
+/// limit is rejected at submit time with the offending field named —
+/// backpressure by refusal, never by unbounded queueing.
+struct JobLimits {
+  /// Executor threads = jobs clustering concurrently.
+  int max_active = 2;
+  /// Jobs admitted but waiting for an executor; submits beyond
+  /// max_active + max_queued are rejected ("server.queue").
+  int max_queued = 8;
+  /// Largest dataset a job may ship ("data.points").
+  std::size_t max_points = 2'000'000;
+  /// Largest num_sites a job may request ("num_sites").
+  int max_sites = 256;
+  /// Per-job worker-thread ceiling: requested num_threads (and the
+  /// intra-stage dbscan threads) are *clamped* to this, not rejected —
+  /// legal because labels are bit-identical for every thread count, so
+  /// clamping changes resource use, never results. 0 = no clamp.
+  int max_threads_per_job = 4;
+};
+
+/// Lifecycle of a job inside the manager.
+enum class JobState {
+  kQueued = 0,
+  kRunning,
+  kDone,
+  /// Validation passed at admission but execution still failed (e.g.
+  /// auto_params produced an estimate the config rejects).
+  kFailed,
+};
+
+/// What Submit() decided.
+struct AdmitDecision {
+  bool accepted = false;
+  std::uint64_t job_id = 0;
+  /// Jobs ahead in the queue at admission.
+  int queue_depth = 0;
+  /// On rejection: offending field + reason (JobRejected wire fields).
+  std::string field;
+  std::string message;
+};
+
+/// Point-in-time progress of a job (session polling).
+struct JobProgress {
+  JobState state = JobState::kQueued;
+  /// Pipeline stages completed (0..kNumStages).
+  int stages_done = 0;
+};
+
+/// Terminal outcome of a job.
+struct JobOutcome {
+  JobState state = JobState::kDone;
+  /// Engine result (valid iff state == kDone). Its metrics_snapshot is
+  /// the job's *own* registry — concurrent jobs never mix counters.
+  DbdcResult result;
+  /// DBSCAN parameters actually used (differ from the request's when
+  /// auto_params ran).
+  DbscanParams params_used;
+  /// Failure reason (state == kFailed): field + message, like a wire
+  /// rejection.
+  std::string field;
+  std::string message;
+};
+
+/// The multi-tenant job engine of dbdc_server (DESIGN.md §12): a bounded
+/// admission queue in front of a fixed pool of executor threads, one
+/// isolated DbdcEngine run per job.
+///
+/// Isolation: every job runs under its own obs::ObsScope holding a
+/// per-job MetricsRegistry and Tracer, so the snapshot embedded in its
+/// DbdcResult covers exactly that job — the serving test runs jobs of
+/// different sizes concurrently and asserts the kDatasetPoints gauge of
+/// each snapshot. Engines, transports (each job gets a private lossless
+/// SimulatedNetwork, which is also what makes a remote run byte-identical
+/// to a local one), and thread pools are per-job by construction.
+///
+/// Degradation: a job whose config enables the protocol gets the full
+/// retry/deadline treatment inside its own engine; a failing job flips
+/// to kFailed with a field/message, never takes the server down.
+///
+/// Thread-safe; Submit/Poll/Wait may be called from any thread.
+class JobManager {
+ public:
+  explicit JobManager(const JobLimits& limits);
+  /// Implies Shutdown().
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Validates the request (limits, metric name, DbdcConfig::Validate,
+  /// options) and either enqueues it or rejects it with the offending
+  /// field. Rejection is the backpressure mechanism: a full queue is
+  /// "server.queue: ...".
+  AdmitDecision Submit(JobRequest request);
+
+  /// Progress of an admitted job. Aborts on an unknown id.
+  JobProgress Poll(std::uint64_t job_id) const;
+
+  /// Blocks until the job reaches a terminal state and returns the
+  /// outcome. The outcome stays retrievable until the manager dies.
+  const JobOutcome& Wait(std::uint64_t job_id);
+
+  /// Stops accepting work, finishes the jobs already admitted (queued
+  /// jobs still run — admitted means promised), and joins the executors.
+  /// Idempotent.
+  void Shutdown();
+
+  /// Jobs that reached a terminal state (kDone or kFailed) so far.
+  std::uint64_t jobs_finished() const;
+
+  const JobLimits& limits() const { return limits_; }
+
+ private:
+  struct Job;
+
+  void ExecutorLoop();
+  /// Runs one job under its private observability scope.
+  void RunJob(Job* job);
+
+  const JobLimits limits_;
+  mutable Mutex mu_;
+  CondVar work_cv_;  // Signaled on enqueue and shutdown.
+  CondVar done_cv_;  // Signaled on every terminal transition.
+  bool shutdown_ DBDC_GUARDED_BY(mu_) = false;
+  std::uint64_t next_job_id_ DBDC_GUARDED_BY(mu_) = 1;
+  std::uint64_t finished_ DBDC_GUARDED_BY(mu_) = 0;
+  std::deque<Job*> queue_ DBDC_GUARDED_BY(mu_);
+  int active_ DBDC_GUARDED_BY(mu_) = 0;
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_ DBDC_GUARDED_BY(mu_);
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace dbdc::serve
+
+#endif  // DBDC_SERVE_JOB_MANAGER_H_

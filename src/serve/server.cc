@@ -1,0 +1,274 @@
+#include "serve/server.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "core/model_codec.h"
+#include "core/stage_stats.h"
+#include "distrib/protocol.h"
+
+namespace dbdc::serve {
+namespace {
+
+/// Poll granularity of the IO loop: short enough that per-stage status
+/// updates stream promptly, long enough not to busy-spin an idle server.
+constexpr int kPollMillis = 50;
+
+/// Largest single read per drain step.
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+/// One client connection. IO-thread-only.
+struct DbdcServer::Session {
+  explicit Session(Fd socket, std::size_t max_frame_bytes)
+      : fd(std::move(socket)), assembler(max_frame_bytes) {}
+
+  Fd fd;
+  FrameAssembler assembler;
+  std::uint32_t next_seq = 0;
+  /// Engaged once the session's JobRequest was admitted.
+  bool has_job = false;
+  std::uint64_t job_id = 0;
+  /// Stage count last reported to the client.
+  int stages_sent = 0;
+};
+
+DbdcServer::DbdcServer(ServerOptions options)
+    : options_(std::move(options)), manager_(options_.limits) {}
+
+DbdcServer::~DbdcServer() { Stop(); }
+
+bool DbdcServer::Start(std::string* error) {
+  DBDC_CHECK(!started_ && "Start() called twice");
+  listen_fd_ = ListenTcp(options_.port, /*backlog=*/16, &port_, error);
+  if (!listen_fd_.valid()) return false;
+  if (!SetNonBlocking(listen_fd_.get())) {
+    if (error != nullptr) *error = "cannot make the listener nonblocking";
+    return false;
+  }
+  started_ = true;
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return true;
+}
+
+void DbdcServer::Wait() {
+  if (io_thread_.joinable()) io_thread_.join();
+}
+
+void DbdcServer::Stop() {
+  {
+    MutexLock lock(&mu_);
+    stop_requested_ = true;
+  }
+  Wait();
+  manager_.Shutdown();
+}
+
+std::uint64_t DbdcServer::jobs_served() const {
+  MutexLock lock(&mu_);
+  return jobs_served_;
+}
+
+void DbdcServer::Log(const std::string& line) {
+  if (options_.log) options_.log(line);
+}
+
+bool DbdcServer::SendMsg(Session* session,
+                         const std::vector<std::uint8_t>& payload) {
+  Frame frame;
+  frame.type = FrameType::kData;
+  frame.seq = session->next_seq++;
+  frame.payload = payload;
+  return WriteAllFd(session->fd.get(), EncodeFrame(frame),
+                    options_.io_timeout_sec);
+}
+
+bool DbdcServer::HandleSessionFrames(Session* session) {
+  while (std::optional<Frame> frame = session->assembler.Next()) {
+    const std::optional<MsgType> type = PeekMsgType(frame->payload);
+    if (!type.has_value()) {
+      Log("session: unknown message type; dropping connection");
+      return false;
+    }
+    switch (*type) {
+      case MsgType::kJobRequest: {
+        if (session->has_job) {
+          Log("session: second JobRequest on one connection; dropping");
+          return false;
+        }
+        JobRequest request;
+        const DecodeStatus status = DecodeJobRequest(frame->payload, &request);
+        if (status != DecodeStatus::kOk) {
+          JobRejected rejected;
+          rejected.field = "request";
+          rejected.message = std::string("undecodable JobRequest: ") +
+                             DecodeStatusName(status);
+          Log("session: " + rejected.message);
+          (void)SendMsg(session, EncodeJobRejected(rejected));
+          return false;
+        }
+        const AdmitDecision decision = manager_.Submit(std::move(request));
+        if (!decision.accepted) {
+          JobRejected rejected;
+          rejected.field = decision.field;
+          rejected.message = decision.message;
+          Log("job rejected: " + rejected.field + ": " + rejected.message);
+          (void)SendMsg(session, EncodeJobRejected(rejected));
+          return false;
+        }
+        session->has_job = true;
+        session->job_id = decision.job_id;
+        JobAccepted accepted;
+        accepted.job_id = decision.job_id;
+        accepted.queue_depth = decision.queue_depth;
+        Log("job " + std::to_string(decision.job_id) + " admitted (queue " +
+            std::to_string(decision.queue_depth) + ")");
+        if (!SendMsg(session, EncodeJobAccepted(accepted))) return false;
+        break;
+      }
+      case MsgType::kShutdown: {
+        if (!options_.allow_remote_shutdown) {
+          Log("session: remote shutdown refused (not allowed)");
+          return false;
+        }
+        Log("remote shutdown accepted; draining");
+        (void)SendMsg(session, EncodeShutdownAck());
+        MutexLock lock(&mu_);
+        stop_requested_ = true;
+        return false;
+      }
+      default:
+        Log("session: unexpected client message; dropping connection");
+        return false;
+    }
+  }
+  if (session->assembler.corrupted()) {
+    Log("session: broken framing; dropping connection");
+    return false;
+  }
+  return true;
+}
+
+bool DbdcServer::PumpJob(Session* session) {
+  const JobProgress progress = manager_.Poll(session->job_id);
+  // One JobStatus per completed stage, even if several finished between
+  // polls — the client sees the full stage ladder.
+  while (session->stages_sent <
+         std::min(progress.stages_done, kNumStages)) {
+    ++session->stages_sent;
+    JobStatusUpdate update;
+    update.job_id = session->job_id;
+    update.stages_done = session->stages_sent;
+    if (!SendMsg(session, EncodeJobStatus(update))) return false;
+  }
+  if (progress.state != JobState::kDone &&
+      progress.state != JobState::kFailed) {
+    return true;
+  }
+  // Terminal: Wait() returns immediately and pins the outcome.
+  const JobOutcome& outcome = manager_.Wait(session->job_id);
+  bool sent = false;
+  if (outcome.state == JobState::kDone) {
+    JobResultMsg msg;
+    msg.job_id = session->job_id;
+    msg.result = outcome.result;
+    msg.params_used = outcome.params_used;
+    sent = SendMsg(session, EncodeJobResult(msg));
+    Log("job " + std::to_string(session->job_id) + " done (" +
+        std::to_string(outcome.result.labels.size()) + " points)");
+  } else {
+    JobRejected rejected;
+    rejected.field = outcome.field;
+    rejected.message = outcome.message;
+    sent = SendMsg(session, EncodeJobRejected(rejected));
+    Log("job " + std::to_string(session->job_id) + " failed: " +
+        outcome.field + ": " + outcome.message);
+  }
+  if (sent) {
+    MutexLock lock(&mu_);
+    ++jobs_served_;
+  }
+  return false;  // Terminal message sent (or write failed): session over.
+}
+
+void DbdcServer::IoLoop() {
+  for (;;) {
+    {
+      MutexLock lock(&mu_);
+      if (stop_requested_) break;
+      if (options_.max_jobs_served != 0 &&
+          jobs_served_ >= options_.max_jobs_served) {
+        Log("served " + std::to_string(jobs_served_) + " jobs; exiting");
+        break;
+      }
+    }
+
+    std::vector<pollfd> pfds;
+    pfds.reserve(sessions_.size() + 1);
+    pfds.push_back(pollfd{listen_fd_.get(), POLLIN, 0});
+    for (const std::unique_ptr<Session>& session : sessions_) {
+      pfds.push_back(pollfd{session->fd.get(), POLLIN, 0});
+    }
+    (void)::poll(pfds.data(), pfds.size(), kPollMillis);
+
+    // New connections.
+    if ((pfds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        Fd client = AcceptTcp(listen_fd_.get());
+        if (!client.valid()) break;
+        if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
+          Log("connection refused: max_sessions reached");
+          continue;  // Fd closes on scope exit.
+        }
+        if (!SetNonBlocking(client.get())) continue;
+        sessions_.push_back(std::make_unique<Session>(
+            std::move(client), options_.max_frame_bytes));
+        Log("client connected (" + std::to_string(sessions_.size()) +
+            " sessions)");
+      }
+    }
+
+    // Drain readable sessions, process frames, stream job updates.
+    std::vector<std::uint8_t> chunk;
+    for (std::size_t i = 0; i < sessions_.size();) {
+      Session* session = sessions_[i].get();
+      bool alive = true;
+      bool peer_closed = false;
+      for (;;) {
+        chunk.clear();
+        const ReadResult rr =
+            ReadSomeFd(session->fd.get(), /*timeout_sec=*/0.0, kReadChunk,
+                       &chunk);
+        if (rr == ReadResult::kData) {
+          session->assembler.Append(chunk);
+          continue;
+        }
+        if (rr == ReadResult::kClosed || rr == ReadResult::kError) {
+          peer_closed = true;
+        }
+        break;
+      }
+      if (alive) alive = HandleSessionFrames(session);
+      if (alive && session->has_job) alive = PumpJob(session);
+      if (alive && peer_closed) {
+        // Orderly close with no pending frames. The job (if any) still
+        // runs — admitted means promised — but no one is listening.
+        Log("client disconnected");
+        alive = false;
+      }
+      if (alive) {
+        ++i;
+      } else {
+        sessions_.erase(sessions_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+  }
+  sessions_.clear();
+  listen_fd_.Close();
+}
+
+}  // namespace dbdc::serve

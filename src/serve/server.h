@@ -1,0 +1,122 @@
+#ifndef DBDC_SERVE_SERVER_H_
+#define DBDC_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "distrib/socket_util.h"
+#include "serve/job_manager.h"
+#include "serve/wire.h"
+
+namespace dbdc::serve {
+
+/// Knobs of a DbdcServer instance.
+struct ServerOptions {
+  /// TCP port to listen on (127.0.0.1 only); 0 = kernel-assigned
+  /// ephemeral, read back via port().
+  std::uint16_t port = 0;
+  /// Admission control + executor pool of the embedded JobManager.
+  JobLimits limits;
+  /// Wall-clock bound on any single blocking socket write and the poll
+  /// granularity of the IO loop.
+  double io_timeout_sec = 10.0;
+  /// Frames declaring a larger payload poison the session (admission
+  /// control against hostile or insane clients).
+  std::size_t max_frame_bytes = 1u << 30;
+  /// Concurrent client connections; extra connects are accepted and
+  /// immediately closed.
+  int max_sessions = 16;
+  /// When nonzero the server stops itself after serving this many jobs
+  /// to completion — the clean-exit knob of the CI serving smoke test.
+  std::uint64_t max_jobs_served = 0;
+  /// Honor the wire Shutdown message (drain and exit). Off by default:
+  /// an unauthenticated loopback peer should not be able to stop a
+  /// long-lived server unless the operator opted in (--allow-shutdown).
+  bool allow_remote_shutdown = false;
+  /// Where diagnostics go. Library code performs no console IO (lint:
+  /// no-console-io); the dbdc_server binary installs a stderr printer
+  /// here. Null = silent. Called only from the IO thread.
+  std::function<void(const std::string&)> log;
+};
+
+/// The dbdc_server daemon core (DESIGN.md §12): one IO thread
+/// multiplexing a TCP listener and up to max_sessions client sessions
+/// with poll(2), in front of a JobManager whose executor pool runs the
+/// admitted clustering jobs.
+///
+/// Session conversation (all messages are DBFP frames, reassembled by
+/// FrameAssembler): the client sends one JobRequest; the server answers
+/// JobAccepted or JobRejected (offending field named on the wire),
+/// streams a JobStatus per completed pipeline stage, and finishes with
+/// JobResult — then closes the session. A session whose stream breaks
+/// framing, or that dies mid-job, is dropped without touching any other
+/// session; its job still runs to completion (admitted means promised),
+/// the result simply has no one to go to.
+///
+/// Start() returns once the listener is bound; Stop() (or
+/// max_jobs_served, or a permitted remote Shutdown) drains and joins.
+class DbdcServer {
+ public:
+  explicit DbdcServer(ServerOptions options);
+  /// Implies Stop().
+  ~DbdcServer();
+
+  DbdcServer(const DbdcServer&) = delete;
+  DbdcServer& operator=(const DbdcServer&) = delete;
+
+  /// Binds the listener and launches the IO thread. False + *error on
+  /// bind failure. Call at most once.
+  bool Start(std::string* error);
+
+  /// The bound port (valid after Start() succeeds).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until the server stops on its own (max_jobs_served reached
+  /// or remote shutdown honored). Returns immediately if never started.
+  void Wait();
+
+  /// Asks the IO loop to exit, drains the job manager, joins. Jobs
+  /// already admitted still run to completion. Idempotent.
+  void Stop();
+
+  /// Jobs whose terminal message (result or failure) was sent so far.
+  std::uint64_t jobs_served() const;
+
+ private:
+  struct Session;
+
+  void IoLoop();
+  /// Handles every complete frame buffered in the session. Returns false
+  /// when the session must be dropped.
+  bool HandleSessionFrames(Session* session);
+  /// Pushes status/result updates of the session's job. Returns false
+  /// when the session is finished (terminal message sent) or broken.
+  bool PumpJob(Session* session);
+  /// Sends one serve message as a DBFP frame. False on write failure.
+  bool SendMsg(Session* session, const std::vector<std::uint8_t>& payload);
+  void Log(const std::string& line);
+
+  const ServerOptions options_;
+  JobManager manager_;
+  Fd listen_fd_;
+  std::uint16_t port_ = 0;
+  std::thread io_thread_;
+  bool started_ = false;
+
+  mutable Mutex mu_;
+  bool stop_requested_ DBDC_GUARDED_BY(mu_) = false;
+  std::uint64_t jobs_served_ DBDC_GUARDED_BY(mu_) = 0;
+
+  /// IO-thread-only state (never touched by other threads).
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace dbdc::serve
+
+#endif  // DBDC_SERVE_SERVER_H_

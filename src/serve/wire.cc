@@ -1,0 +1,498 @@
+#include "serve/wire.h"
+
+#include <cstring>
+#include <limits>
+#include <type_traits>
+#include <utility>
+
+namespace dbdc::serve {
+namespace {
+
+// Little-endian raw readers/writers, mirroring the model codec's idiom.
+
+template <typename T>
+void PutRaw(std::vector<std::uint8_t>* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t offset = out->size();
+  out->resize(offset + sizeof(T));
+  std::memcpy(out->data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(std::span<const std::uint8_t> bytes, std::size_t* pos,
+            T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (*pos + sizeof(T) > bytes.size()) return false;
+  std::memcpy(value, bytes.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+void PutString(std::vector<std::uint8_t>* out, const std::string& s) {
+  PutRaw(out, static_cast<std::uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+bool GetString(std::span<const std::uint8_t> bytes, std::size_t* pos,
+               std::string* s) {
+  std::uint32_t len = 0;
+  if (!GetRaw(bytes, pos, &len)) return false;
+  if (*pos + len > bytes.size()) return false;
+  s->assign(bytes.begin() + static_cast<std::ptrdiff_t>(*pos),
+            bytes.begin() + static_cast<std::ptrdiff_t>(*pos + len));
+  *pos += len;
+  return true;
+}
+
+/// Decode epilogue shared by every message: the payload must be fully
+/// consumed — trailing garbage means a framing or version mismatch.
+DecodeStatus Finish(std::span<const std::uint8_t> payload, std::size_t pos) {
+  return pos == payload.size() ? DecodeStatus::kOk : DecodeStatus::kMalformed;
+}
+
+/// Checks and strips the leading MsgType byte.
+bool ConsumeType(std::span<const std::uint8_t> payload, std::size_t* pos,
+                 MsgType expected) {
+  std::uint8_t type = 0;
+  return GetRaw(payload, pos, &type) &&
+         type == static_cast<std::uint8_t>(expected);
+}
+
+void PutConfig(std::vector<std::uint8_t>* out, const DbdcConfig& config) {
+  PutRaw(out, config.local_dbscan.eps);
+  PutRaw(out, static_cast<std::int32_t>(config.local_dbscan.min_pts));
+  PutRaw(out, static_cast<std::int32_t>(config.local_dbscan.threads));
+  PutRaw(out, static_cast<std::uint8_t>(config.model_type));
+  PutRaw(out, config.eps_global);
+  PutRaw(out, config.min_weight_global);
+  PutRaw(out, config.condense_eps);
+  PutRaw(out, static_cast<std::int32_t>(config.num_sites));
+  PutRaw(out, static_cast<std::uint8_t>(config.index_type));
+  PutRaw(out, config.seed);
+  PutRaw(out, static_cast<std::int32_t>(config.kmeans.max_iterations));
+  PutRaw(out, config.kmeans.tolerance);
+  PutRaw(out, static_cast<std::uint8_t>(config.parallel_sites ? 1 : 0));
+  PutRaw(out, static_cast<std::int32_t>(config.num_threads));
+  PutRaw(out, static_cast<std::uint8_t>(config.protocol.enabled ? 1 : 0));
+  PutRaw(out, static_cast<std::int32_t>(config.protocol.max_attempts));
+  PutRaw(out, config.protocol.retry_backoff_sec);
+  PutRaw(out, config.protocol.collection_deadline_sec);
+  PutRaw(out, config.protocol.link.bandwidth_bytes_per_sec);
+  PutRaw(out, config.protocol.link.latency_sec);
+  PutRaw(out, config.optics.max_eps_global);
+}
+
+bool GetConfig(std::span<const std::uint8_t> bytes, std::size_t* pos,
+               DbdcConfig* config, bool* malformed) {
+  std::int32_t min_pts = 0, threads = 0, num_sites = 0, max_iterations = 0,
+               num_threads = 0, max_attempts = 0;
+  std::uint8_t model_type = 0, index_type = 0, parallel_sites = 0,
+               protocol_enabled = 0;
+  if (!GetRaw(bytes, pos, &config->local_dbscan.eps) ||
+      !GetRaw(bytes, pos, &min_pts) || !GetRaw(bytes, pos, &threads) ||
+      !GetRaw(bytes, pos, &model_type) ||
+      !GetRaw(bytes, pos, &config->eps_global) ||
+      !GetRaw(bytes, pos, &config->min_weight_global) ||
+      !GetRaw(bytes, pos, &config->condense_eps) ||
+      !GetRaw(bytes, pos, &num_sites) ||
+      !GetRaw(bytes, pos, &index_type) ||
+      !GetRaw(bytes, pos, &config->seed) ||
+      !GetRaw(bytes, pos, &max_iterations) ||
+      !GetRaw(bytes, pos, &config->kmeans.tolerance) ||
+      !GetRaw(bytes, pos, &parallel_sites) ||
+      !GetRaw(bytes, pos, &num_threads) ||
+      !GetRaw(bytes, pos, &protocol_enabled) ||
+      !GetRaw(bytes, pos, &max_attempts) ||
+      !GetRaw(bytes, pos, &config->protocol.retry_backoff_sec) ||
+      !GetRaw(bytes, pos, &config->protocol.collection_deadline_sec) ||
+      !GetRaw(bytes, pos, &config->protocol.link.bandwidth_bytes_per_sec) ||
+      !GetRaw(bytes, pos, &config->protocol.link.latency_sec) ||
+      !GetRaw(bytes, pos, &config->optics.max_eps_global)) {
+    return false;
+  }
+  if (model_type > 1 || parallel_sites > 1 || protocol_enabled > 1 ||
+      index_type > static_cast<std::uint8_t>(IndexType::kVpTree)) {
+    *malformed = true;
+    return false;
+  }
+  config->local_dbscan.min_pts = min_pts;
+  config->local_dbscan.threads = threads;
+  config->model_type = static_cast<LocalModelType>(model_type);
+  config->num_sites = num_sites;
+  config->index_type = static_cast<IndexType>(index_type);
+  config->kmeans.max_iterations = max_iterations;
+  config->parallel_sites = parallel_sites != 0;
+  config->num_threads = num_threads;
+  config->protocol.enabled = protocol_enabled != 0;
+  config->protocol.max_attempts = max_attempts;
+  config->partitioner = nullptr;  // Never travels.
+  return true;
+}
+
+void PutSnapshot(std::vector<std::uint8_t>* out,
+                 const obs::MetricsSnapshot& snap) {
+  for (const std::uint64_t c : snap.counters) PutRaw(out, c);
+  for (const double g : snap.gauges) PutRaw(out, g);
+  for (const obs::HistogramData& h : snap.histograms) {
+    PutRaw(out, h.count);
+    PutRaw(out, h.sum);
+    for (const std::uint64_t b : h.buckets) PutRaw(out, b);
+  }
+  for (const auto* map : {&snap.bytes_uplink_by_site,
+                          &snap.bytes_downlink_by_site}) {
+    PutRaw(out, static_cast<std::uint32_t>(map->size()));
+    for (const auto& [site, bytes] : *map) {
+      PutRaw(out, static_cast<std::int32_t>(site));
+      PutRaw(out, bytes);
+    }
+  }
+}
+
+bool GetSnapshot(std::span<const std::uint8_t> bytes, std::size_t* pos,
+                 obs::MetricsSnapshot* snap) {
+  for (std::uint64_t& c : snap->counters) {
+    if (!GetRaw(bytes, pos, &c)) return false;
+  }
+  for (double& g : snap->gauges) {
+    if (!GetRaw(bytes, pos, &g)) return false;
+  }
+  for (obs::HistogramData& h : snap->histograms) {
+    if (!GetRaw(bytes, pos, &h.count) || !GetRaw(bytes, pos, &h.sum)) {
+      return false;
+    }
+    for (std::uint64_t& b : h.buckets) {
+      if (!GetRaw(bytes, pos, &b)) return false;
+    }
+  }
+  for (auto* map : {&snap->bytes_uplink_by_site,
+                    &snap->bytes_downlink_by_site}) {
+    std::uint32_t n = 0;
+    if (!GetRaw(bytes, pos, &n)) return false;
+    map->clear();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::int32_t site = 0;
+      std::uint64_t site_bytes = 0;
+      if (!GetRaw(bytes, pos, &site) || !GetRaw(bytes, pos, &site_bytes)) {
+        return false;
+      }
+      (*map)[site] = site_bytes;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<MsgType> PeekMsgType(std::span<const std::uint8_t> payload) {
+  if (payload.empty()) return std::nullopt;
+  const std::uint8_t type = payload[0];
+  if (type < static_cast<std::uint8_t>(MsgType::kJobRequest) ||
+      type > static_cast<std::uint8_t>(MsgType::kShutdownAck)) {
+    return std::nullopt;
+  }
+  return static_cast<MsgType>(type);
+}
+
+std::vector<std::uint8_t> EncodeJobRequest(const JobRequest& request) {
+  std::vector<std::uint8_t> out;
+  const std::size_t n = request.data.size();
+  out.reserve(64 + request.metric_name.size() +
+              n * static_cast<std::size_t>(request.data.dim()) * 8);
+  PutRaw(&out, static_cast<std::uint8_t>(MsgType::kJobRequest));
+  PutString(&out, request.metric_name);
+  PutRaw(&out, static_cast<std::int32_t>(request.data.dim()));
+  PutRaw(&out, static_cast<std::uint64_t>(n));
+  for (PointId p = 0; p < static_cast<PointId>(n); ++p) {
+    for (const double coord : request.data.point(p)) PutRaw(&out, coord);
+  }
+  PutConfig(&out, request.config);
+  PutRaw(&out, static_cast<std::uint8_t>(request.options.global_strategy));
+  PutRaw(&out,
+         static_cast<std::uint8_t>(request.options.auto_params ? 1 : 0));
+  PutRaw(&out, static_cast<std::int32_t>(request.options.auto_params_k));
+  return out;
+}
+
+DecodeStatus DecodeJobRequest(std::span<const std::uint8_t> payload,
+                              JobRequest* out) {
+  std::size_t pos = 0;
+  if (!ConsumeType(payload, &pos, MsgType::kJobRequest)) {
+    return DecodeStatus::kBadMagic;
+  }
+  if (!GetString(payload, &pos, &out->metric_name)) {
+    return DecodeStatus::kTruncated;
+  }
+  std::int32_t dim = 0;
+  std::uint64_t count = 0;
+  if (!GetRaw(payload, &pos, &dim) || !GetRaw(payload, &pos, &count)) {
+    return DecodeStatus::kTruncated;
+  }
+  if (dim < 1) return DecodeStatus::kMalformed;
+  // The declared point data must fit in what actually arrived — checked
+  // up front so a hostile count cannot trigger a giant allocation.
+  const std::uint64_t coord_bytes =
+      count * static_cast<std::uint64_t>(dim) * 8;
+  if (coord_bytes > payload.size() - pos) return DecodeStatus::kTruncated;
+  out->data = Dataset(dim);
+  std::vector<double> point(static_cast<std::size_t>(dim));
+  for (std::uint64_t p = 0; p < count; ++p) {
+    for (double& coord : point) {
+      if (!GetRaw(payload, &pos, &coord)) return DecodeStatus::kTruncated;
+    }
+    out->data.Add(point);
+  }
+  bool malformed = false;
+  if (!GetConfig(payload, &pos, &out->config, &malformed)) {
+    return malformed ? DecodeStatus::kMalformed : DecodeStatus::kTruncated;
+  }
+  std::uint8_t strategy = 0, auto_params = 0;
+  std::int32_t auto_k = 0;
+  if (!GetRaw(payload, &pos, &strategy) ||
+      !GetRaw(payload, &pos, &auto_params) ||
+      !GetRaw(payload, &pos, &auto_k)) {
+    return DecodeStatus::kTruncated;
+  }
+  if (strategy > 1 || auto_params > 1) return DecodeStatus::kMalformed;
+  out->options.global_strategy = static_cast<GlobalStrategyKind>(strategy);
+  out->options.auto_params = auto_params != 0;
+  out->options.auto_params_k = auto_k;
+  return Finish(payload, pos);
+}
+
+std::vector<std::uint8_t> EncodeJobAccepted(const JobAccepted& msg) {
+  std::vector<std::uint8_t> out;
+  PutRaw(&out, static_cast<std::uint8_t>(MsgType::kJobAccepted));
+  PutRaw(&out, msg.job_id);
+  PutRaw(&out, static_cast<std::int32_t>(msg.queue_depth));
+  return out;
+}
+
+DecodeStatus DecodeJobAccepted(std::span<const std::uint8_t> payload,
+                               JobAccepted* out) {
+  std::size_t pos = 0;
+  std::int32_t depth = 0;
+  if (!ConsumeType(payload, &pos, MsgType::kJobAccepted)) {
+    return DecodeStatus::kBadMagic;
+  }
+  if (!GetRaw(payload, &pos, &out->job_id) ||
+      !GetRaw(payload, &pos, &depth)) {
+    return DecodeStatus::kTruncated;
+  }
+  out->queue_depth = depth;
+  return Finish(payload, pos);
+}
+
+std::vector<std::uint8_t> EncodeJobRejected(const JobRejected& msg) {
+  std::vector<std::uint8_t> out;
+  PutRaw(&out, static_cast<std::uint8_t>(MsgType::kJobRejected));
+  PutString(&out, msg.field);
+  PutString(&out, msg.message);
+  return out;
+}
+
+DecodeStatus DecodeJobRejected(std::span<const std::uint8_t> payload,
+                               JobRejected* out) {
+  std::size_t pos = 0;
+  if (!ConsumeType(payload, &pos, MsgType::kJobRejected)) {
+    return DecodeStatus::kBadMagic;
+  }
+  if (!GetString(payload, &pos, &out->field) ||
+      !GetString(payload, &pos, &out->message)) {
+    return DecodeStatus::kTruncated;
+  }
+  return Finish(payload, pos);
+}
+
+std::vector<std::uint8_t> EncodeJobStatus(const JobStatusUpdate& msg) {
+  std::vector<std::uint8_t> out;
+  PutRaw(&out, static_cast<std::uint8_t>(MsgType::kJobStatus));
+  PutRaw(&out, msg.job_id);
+  PutRaw(&out, msg.stages_done);
+  return out;
+}
+
+DecodeStatus DecodeJobStatus(std::span<const std::uint8_t> payload,
+                             JobStatusUpdate* out) {
+  std::size_t pos = 0;
+  if (!ConsumeType(payload, &pos, MsgType::kJobStatus)) {
+    return DecodeStatus::kBadMagic;
+  }
+  if (!GetRaw(payload, &pos, &out->job_id) ||
+      !GetRaw(payload, &pos, &out->stages_done)) {
+    return DecodeStatus::kTruncated;
+  }
+  return Finish(payload, pos);
+}
+
+std::vector<std::uint8_t> EncodeJobResult(const JobResultMsg& msg) {
+  const DbdcResult& r = msg.result;
+  std::vector<std::uint8_t> out;
+  out.reserve(256 + r.labels.size() * 4);
+  PutRaw(&out, static_cast<std::uint8_t>(MsgType::kJobResult));
+  PutRaw(&out, msg.job_id);
+  PutRaw(&out, msg.params_used.eps);
+  PutRaw(&out, static_cast<std::int32_t>(msg.params_used.min_pts));
+
+  PutRaw(&out, static_cast<std::uint64_t>(r.labels.size()));
+  for (const ClusterId label : r.labels) {
+    PutRaw(&out, static_cast<std::int32_t>(label));
+  }
+  PutRaw(&out, static_cast<std::int32_t>(r.num_global_clusters));
+  PutRaw(&out, static_cast<std::uint64_t>(r.num_representatives));
+  PutRaw(&out, r.bytes_uplink);
+  PutRaw(&out, r.bytes_downlink);
+  PutRaw(&out, r.max_local_seconds);
+  PutRaw(&out, r.sum_local_seconds);
+  PutRaw(&out, r.global_seconds);
+  PutRaw(&out, r.max_relabel_seconds);
+  PutRaw(&out, r.eps_global_used);
+  PutRaw(&out, static_cast<std::uint32_t>(r.site_sizes.size()));
+  for (const std::size_t s : r.site_sizes) {
+    PutRaw(&out, static_cast<std::uint64_t>(s));
+  }
+  const std::vector<std::uint8_t> model = EncodeGlobalModel(r.global_model);
+  PutRaw(&out, static_cast<std::uint32_t>(model.size()));
+  out.insert(out.end(), model.begin(), model.end());
+  PutRaw(&out, static_cast<std::int32_t>(r.sites_reporting));
+  PutRaw(&out, static_cast<std::int32_t>(r.sites_failed));
+  PutRaw(&out, static_cast<std::uint32_t>(r.failed_site_ids.size()));
+  for (const int site : r.failed_site_ids) {
+    PutRaw(&out, static_cast<std::int32_t>(site));
+  }
+  PutRaw(&out, static_cast<std::int32_t>(r.sites_relabeled));
+  PutRaw(&out, r.protocol_retries);
+  PutRaw(&out, r.frames_dropped);
+  PutRaw(&out, r.frames_corrupted);
+  PutRaw(&out, r.acks_lost);
+  PutRaw(&out, static_cast<std::uint32_t>(r.stage_stats.size()));
+  for (const StageStats& s : r.stage_stats) {
+    PutRaw(&out, static_cast<std::uint8_t>(s.stage));
+    PutRaw(&out, s.seconds);
+    PutRaw(&out, s.bytes_uplink);
+    PutRaw(&out, s.bytes_downlink);
+  }
+  PutSnapshot(&out, r.metrics_snapshot);
+  PutString(&out, r.simd_tier);
+  return out;
+}
+
+DecodeStatus DecodeJobResult(std::span<const std::uint8_t> payload,
+                             JobResultMsg* out) {
+  std::size_t pos = 0;
+  if (!ConsumeType(payload, &pos, MsgType::kJobResult)) {
+    return DecodeStatus::kBadMagic;
+  }
+  DbdcResult& r = out->result;
+  std::int32_t min_pts = 0;
+  if (!GetRaw(payload, &pos, &out->job_id) ||
+      !GetRaw(payload, &pos, &out->params_used.eps) ||
+      !GetRaw(payload, &pos, &min_pts)) {
+    return DecodeStatus::kTruncated;
+  }
+  out->params_used.min_pts = min_pts;
+
+  std::uint64_t num_labels = 0;
+  if (!GetRaw(payload, &pos, &num_labels)) return DecodeStatus::kTruncated;
+  if (num_labels * 4 > payload.size() - pos) return DecodeStatus::kTruncated;
+  r.labels.clear();
+  r.labels.reserve(static_cast<std::size_t>(num_labels));
+  for (std::uint64_t i = 0; i < num_labels; ++i) {
+    std::int32_t label = 0;
+    if (!GetRaw(payload, &pos, &label)) return DecodeStatus::kTruncated;
+    r.labels.push_back(label);
+  }
+  std::int32_t num_clusters = 0;
+  std::uint64_t num_reps = 0;
+  if (!GetRaw(payload, &pos, &num_clusters) ||
+      !GetRaw(payload, &pos, &num_reps) ||
+      !GetRaw(payload, &pos, &r.bytes_uplink) ||
+      !GetRaw(payload, &pos, &r.bytes_downlink) ||
+      !GetRaw(payload, &pos, &r.max_local_seconds) ||
+      !GetRaw(payload, &pos, &r.sum_local_seconds) ||
+      !GetRaw(payload, &pos, &r.global_seconds) ||
+      !GetRaw(payload, &pos, &r.max_relabel_seconds) ||
+      !GetRaw(payload, &pos, &r.eps_global_used)) {
+    return DecodeStatus::kTruncated;
+  }
+  r.num_global_clusters = num_clusters;
+  r.num_representatives = static_cast<std::size_t>(num_reps);
+
+  std::uint32_t num_sites = 0;
+  if (!GetRaw(payload, &pos, &num_sites)) return DecodeStatus::kTruncated;
+  r.site_sizes.clear();
+  for (std::uint32_t i = 0; i < num_sites; ++i) {
+    std::uint64_t size = 0;
+    if (!GetRaw(payload, &pos, &size)) return DecodeStatus::kTruncated;
+    r.site_sizes.push_back(static_cast<std::size_t>(size));
+  }
+  std::uint32_t model_len = 0;
+  if (!GetRaw(payload, &pos, &model_len)) return DecodeStatus::kTruncated;
+  if (model_len > payload.size() - pos) return DecodeStatus::kTruncated;
+  const DecodeStatus model_status =
+      DecodeGlobalModel(payload.subspan(pos, model_len), &r.global_model);
+  if (model_status != DecodeStatus::kOk) return model_status;
+  pos += model_len;
+
+  std::int32_t reporting = 0, failed = 0, relabeled = 0;
+  std::uint32_t num_failed_ids = 0;
+  if (!GetRaw(payload, &pos, &reporting) ||
+      !GetRaw(payload, &pos, &failed) ||
+      !GetRaw(payload, &pos, &num_failed_ids)) {
+    return DecodeStatus::kTruncated;
+  }
+  r.sites_reporting = reporting;
+  r.sites_failed = failed;
+  r.failed_site_ids.clear();
+  for (std::uint32_t i = 0; i < num_failed_ids; ++i) {
+    std::int32_t site = 0;
+    if (!GetRaw(payload, &pos, &site)) return DecodeStatus::kTruncated;
+    r.failed_site_ids.push_back(site);
+  }
+  if (!GetRaw(payload, &pos, &relabeled) ||
+      !GetRaw(payload, &pos, &r.protocol_retries) ||
+      !GetRaw(payload, &pos, &r.frames_dropped) ||
+      !GetRaw(payload, &pos, &r.frames_corrupted) ||
+      !GetRaw(payload, &pos, &r.acks_lost)) {
+    return DecodeStatus::kTruncated;
+  }
+  r.sites_relabeled = relabeled;
+
+  std::uint32_t num_stages = 0;
+  if (!GetRaw(payload, &pos, &num_stages)) return DecodeStatus::kTruncated;
+  if (num_stages > static_cast<std::uint32_t>(kNumStages)) {
+    return DecodeStatus::kMalformed;
+  }
+  r.stage_stats.clear();
+  for (std::uint32_t i = 0; i < num_stages; ++i) {
+    std::uint8_t stage = 0;
+    StageStats stats;
+    if (!GetRaw(payload, &pos, &stage) ||
+        !GetRaw(payload, &pos, &stats.seconds) ||
+        !GetRaw(payload, &pos, &stats.bytes_uplink) ||
+        !GetRaw(payload, &pos, &stats.bytes_downlink)) {
+      return DecodeStatus::kTruncated;
+    }
+    if (stage >= static_cast<std::uint8_t>(kNumStages)) {
+      return DecodeStatus::kMalformed;
+    }
+    stats.stage = static_cast<StageId>(stage);
+    r.stage_stats.push_back(stats);
+  }
+  if (!GetSnapshot(payload, &pos, &r.metrics_snapshot)) {
+    return DecodeStatus::kTruncated;
+  }
+  if (!GetString(payload, &pos, &r.simd_tier)) {
+    return DecodeStatus::kTruncated;
+  }
+  return Finish(payload, pos);
+}
+
+std::vector<std::uint8_t> EncodeShutdown() {
+  return {static_cast<std::uint8_t>(MsgType::kShutdown)};
+}
+
+std::vector<std::uint8_t> EncodeShutdownAck() {
+  return {static_cast<std::uint8_t>(MsgType::kShutdownAck)};
+}
+
+}  // namespace dbdc::serve

@@ -1,0 +1,126 @@
+#ifndef DBDC_SERVE_WIRE_H_
+#define DBDC_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/dbdc.h"
+#include "core/model_codec.h"
+
+namespace dbdc::serve {
+
+/// Wire format of the serving layer (DESIGN.md §12).
+///
+/// Every serve message is the payload of one DBFP frame (the same
+/// checksummed framing the reliable protocol uses; FrameAssembler
+/// reassembles them from the TCP stream). The first payload byte is the
+/// MsgType; the rest is the little-endian body encoded here. Decoders
+/// reuse the model codec's DecodeStatus vocabulary, so a truncated or
+/// corrupt serve message is reported exactly like a corrupt model
+/// payload.
+///
+/// Conversation: the client sends one JobRequest and then only reads;
+/// the server answers JobAccepted or JobRejected, streams a JobStatus
+/// per completed pipeline stage, and finishes with JobResult. Shutdown
+/// (when the server allows it) is acknowledged with ShutdownAck and
+/// drains the server.
+
+enum class MsgType : std::uint8_t {
+  kJobRequest = 1,
+  kJobAccepted = 2,
+  kJobRejected = 3,
+  kJobStatus = 4,
+  kJobResult = 5,
+  kShutdown = 6,
+  kShutdownAck = 7,
+};
+
+/// MsgType of a frame payload, or nullopt for an empty/unknown payload.
+std::optional<MsgType> PeekMsgType(std::span<const std::uint8_t> payload);
+
+/// Which global-model construction the job runs (the serve-layer
+/// projection of RunDbdc vs RunDbdcOptics).
+enum class GlobalStrategyKind : std::uint8_t {
+  kDbscanMerge = 0,
+  kOptics = 1,
+};
+
+/// Server-side execution options that are not DbdcConfig knobs.
+struct JobOptions {
+  GlobalStrategyKind global_strategy = GlobalStrategyKind::kDbscanMerge;
+  /// Estimate local_dbscan (eps, min_pts) on the server from the shipped
+  /// dataset via EstimateDbscanParams(data, metric, auto_params_k),
+  /// overriding whatever the request's config carries.
+  bool auto_params = false;
+  /// k of the average k-th-NN-distance heuristic (classic default: 4).
+  int auto_params_k = 4;
+};
+
+/// One clustering job: the dataset (shipped in full — the client may not
+/// share a filesystem with the server), the run configuration, and the
+/// execution options. `config.partitioner` does not travel (function
+/// pointers have no wire form); remote jobs always use the paper's
+/// uniform random split.
+struct JobRequest {
+  Dataset data{1};
+  std::string metric_name = "euclidean";
+  DbdcConfig config;
+  JobOptions options;
+};
+
+struct JobAccepted {
+  std::uint64_t job_id = 0;
+  /// Jobs ahead of this one (0 = started immediately).
+  int queue_depth = 0;
+};
+
+/// Admission or validation failure. `field` names the offending
+/// DbdcConfig field (ConfigStatus::field) or the request-level limit
+/// ("data.points", "options.auto_params_k", ...), so the remote caller
+/// can fix exactly the knob that was wrong.
+struct JobRejected {
+  std::string field;
+  std::string message;
+};
+
+struct JobStatusUpdate {
+  std::uint64_t job_id = 0;
+  /// Pipeline stages completed so far (0..kNumStages).
+  std::int32_t stages_done = 0;
+};
+
+/// Terminal message of a successful job: the full DbdcResult surface a
+/// local run produces (labels, counters, stage breakdown, per-job
+/// metrics snapshot, global model) plus the DBSCAN parameters actually
+/// used — which differ from the request's when auto_params ran.
+struct JobResultMsg {
+  std::uint64_t job_id = 0;
+  DbdcResult result;
+  DbscanParams params_used;
+};
+
+std::vector<std::uint8_t> EncodeJobRequest(const JobRequest& request);
+std::vector<std::uint8_t> EncodeJobAccepted(const JobAccepted& msg);
+std::vector<std::uint8_t> EncodeJobRejected(const JobRejected& msg);
+std::vector<std::uint8_t> EncodeJobStatus(const JobStatusUpdate& msg);
+std::vector<std::uint8_t> EncodeJobResult(const JobResultMsg& msg);
+std::vector<std::uint8_t> EncodeShutdown();
+std::vector<std::uint8_t> EncodeShutdownAck();
+
+DecodeStatus DecodeJobRequest(std::span<const std::uint8_t> payload,
+                              JobRequest* out);
+DecodeStatus DecodeJobAccepted(std::span<const std::uint8_t> payload,
+                               JobAccepted* out);
+DecodeStatus DecodeJobRejected(std::span<const std::uint8_t> payload,
+                               JobRejected* out);
+DecodeStatus DecodeJobStatus(std::span<const std::uint8_t> payload,
+                             JobStatusUpdate* out);
+DecodeStatus DecodeJobResult(std::span<const std::uint8_t> payload,
+                             JobResultMsg* out);
+
+}  // namespace dbdc::serve
+
+#endif  // DBDC_SERVE_WIRE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cluster/param_estimation.h"
+#include "core/dbdc.h"
 #include "data/generators.h"
 #include "index/index_factory.h"
 #include "index/linear_scan_index.h"
@@ -75,6 +76,63 @@ TEST(SuggestEpsTest, TinyDatasetsReturnZero) {
   data.Add(Point{1.0, 1.0});
   const LinearScanIndex index(data, Euclidean());
   EXPECT_DOUBLE_EQ(SuggestEps(index, 3), 0.0);
+}
+
+TEST(EstimateDbscanParamsTest, ExactValuesOnALine) {
+  // Points at 0, 1, 2, 3: every point's 1-NN distance is 1, so the mean
+  // 1st-NN distance is exactly 1 and min_pts = k + 1 = 2.
+  Dataset data(1);
+  for (int i = 0; i < 4; ++i) data.Add(Point{static_cast<double>(i)});
+  const DbscanParams params = EstimateDbscanParams(data, Euclidean(), 1);
+  EXPECT_DOUBLE_EQ(params.eps, 1.0);
+  EXPECT_EQ(params.min_pts, 2);
+}
+
+TEST(EstimateDbscanParamsTest, UsableOnThePaperDatasets) {
+  for (int idx = 0; idx < 3; ++idx) {
+    const SyntheticDataset synth = idx == 0   ? MakeTestDatasetA(5)
+                                   : idx == 1 ? MakeTestDatasetB(5)
+                                              : MakeTestDatasetC(5);
+    const DbscanParams params =
+        EstimateDbscanParams(synth.data, Euclidean(), 4);
+    EXPECT_EQ(params.min_pts, 5) << synth.name;
+    ASSERT_GT(params.eps, 0.0) << synth.name;
+    // Same ballpark as the hand-calibrated value (the mean k-NN distance
+    // runs a bit below the knee, which sits at the noise/cluster border).
+    EXPECT_GT(params.eps, synth.suggested_params.eps / 4.0) << synth.name;
+    EXPECT_LT(params.eps, synth.suggested_params.eps * 4.0) << synth.name;
+    // Validates, and drives DBSCAN to a non-degenerate clustering.
+    DbdcConfig config;
+    config.local_dbscan = params;
+    EXPECT_TRUE(config.Validate().ok) << synth.name;
+    const auto index = CreateIndex(IndexType::kKdTree, synth.data,
+                                   Euclidean(), params.eps);
+    const Clustering result = RunDbscan(*index, params);
+    EXPECT_GE(result.num_clusters, 1) << synth.name;
+  }
+}
+
+TEST(EstimateDbscanParamsTest, DeterministicAcrossCalls) {
+  const SyntheticDataset synth = MakeTestDatasetC(6);
+  const DbscanParams first = EstimateDbscanParams(synth.data, Euclidean(), 4);
+  const DbscanParams second =
+      EstimateDbscanParams(synth.data, Euclidean(), 4);
+  EXPECT_EQ(first.eps, second.eps);
+  EXPECT_EQ(first.min_pts, second.min_pts);
+}
+
+TEST(EstimateDbscanParamsTest, TooFewPointsReturnsInvalidParams) {
+  Dataset data(2);
+  data.Add(Point{0.0, 0.0});
+  data.Add(Point{1.0, 1.0});
+  data.Add(Point{2.0, 0.0});
+  // k = 4 needs at least 5 points.
+  const DbscanParams params = EstimateDbscanParams(data, Euclidean(), 4);
+  EXPECT_DOUBLE_EQ(params.eps, 0.0);
+  EXPECT_EQ(params.min_pts, 0);
+  DbdcConfig config;
+  config.local_dbscan = params;
+  EXPECT_FALSE(config.Validate().ok);
 }
 
 }  // namespace

@@ -1,0 +1,592 @@
+// End-to-end tests of the serving layer (DESIGN.md §12): config
+// validation surfaces, the serve wire codec, the multi-tenant JobManager,
+// and a real DbdcServer on a loopback TCP port driven through the client
+// library — including the two acceptance criteria of the serving PR:
+// remote labels byte-identical to a local run, and >= 2 concurrent jobs
+// with isolated per-job metrics snapshots.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/distance.h"
+#include "core/dbdc.h"
+#include "core/model_codec.h"
+#include "data/generators.h"
+#include "distrib/network.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/job_manager.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+
+namespace dbdc {
+namespace {
+
+using serve::ClientOptions;
+using serve::DbdcServer;
+using serve::GlobalStrategyKind;
+using serve::JobLimits;
+using serve::JobManager;
+using serve::JobRequest;
+using serve::RemoteOutcome;
+using serve::ServerOptions;
+
+// ---------------------------------------------------------------------------
+// Satellite 2: DbdcConfig::Validate names the offending field.
+
+TEST(ConfigValidateTest, DefaultConfigIsValid) {
+  DbdcConfig config;
+  config.local_dbscan = {1.0, 5};
+  const ConfigStatus status = config.Validate();
+  EXPECT_TRUE(status.ok);
+  EXPECT_TRUE(static_cast<bool>(status));
+  EXPECT_EQ(status.ToString(), "");
+}
+
+TEST(ConfigValidateTest, NamesTheOffendingField) {
+  struct Case {
+    const char* field;
+    void (*mutate)(DbdcConfig*);
+  };
+  const Case cases[] = {
+      {"local_dbscan.eps", [](DbdcConfig* c) { c->local_dbscan.eps = 0.0; }},
+      {"local_dbscan.eps",
+       [](DbdcConfig* c) { c->local_dbscan.eps = -1.0; }},
+      {"local_dbscan.min_pts",
+       [](DbdcConfig* c) { c->local_dbscan.min_pts = 0; }},
+      {"local_dbscan.threads",
+       [](DbdcConfig* c) { c->local_dbscan.threads = -1; }},
+      {"eps_global", [](DbdcConfig* c) { c->eps_global = -0.5; }},
+      {"condense_eps", [](DbdcConfig* c) { c->condense_eps = -1.0; }},
+      {"num_sites", [](DbdcConfig* c) { c->num_sites = 0; }},
+      {"num_threads", [](DbdcConfig* c) { c->num_threads = -2; }},
+      {"kmeans.max_iterations",
+       [](DbdcConfig* c) { c->kmeans.max_iterations = 0; }},
+      {"kmeans.tolerance",
+       [](DbdcConfig* c) { c->kmeans.tolerance = -0.1; }},
+      {"optics.max_eps_global",
+       [](DbdcConfig* c) { c->optics.max_eps_global = -1.0; }},
+      {"protocol.max_attempts",
+       [](DbdcConfig* c) {
+         c->protocol.enabled = true;
+         c->protocol.max_attempts = 0;
+       }},
+      {"protocol.retry_backoff_sec",
+       [](DbdcConfig* c) {
+         c->protocol.enabled = true;
+         c->protocol.retry_backoff_sec = -1.0;
+       }},
+      {"protocol.collection_deadline_sec",
+       [](DbdcConfig* c) {
+         c->protocol.enabled = true;
+         c->protocol.collection_deadline_sec = 0.0;
+       }},
+  };
+  for (const Case& test_case : cases) {
+    DbdcConfig config;
+    config.local_dbscan = {1.0, 5};
+    test_case.mutate(&config);
+    const ConfigStatus status = config.Validate();
+    EXPECT_FALSE(status.ok) << test_case.field;
+    EXPECT_EQ(status.field, test_case.field);
+    EXPECT_FALSE(status.message.empty());
+    EXPECT_NE(status.ToString().find(test_case.field), std::string::npos);
+  }
+}
+
+TEST(ConfigValidateTest, NanNeverValidates) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  DbdcConfig config;
+  config.local_dbscan = {nan, 5};
+  EXPECT_FALSE(config.Validate().ok);
+  config.local_dbscan = {1.0, 5};
+  config.eps_global = nan;
+  EXPECT_FALSE(config.Validate().ok);
+}
+
+// ---------------------------------------------------------------------------
+// Serve wire codec round trips.
+
+JobRequest SmallRequest(int seed = 7) {
+  const SyntheticDataset synth = MakeTestDatasetC(seed);
+  JobRequest request;
+  request.data = synth.data;
+  request.config.local_dbscan = synth.suggested_params;
+  request.config.num_sites = 3;
+  return request;
+}
+
+TEST(ServeWireTest, JobRequestRoundTrips) {
+  JobRequest request = SmallRequest();
+  request.metric_name = "manhattan";
+  request.config.seed = 99;
+  request.config.protocol.enabled = true;
+  request.config.optics.max_eps_global = 3.5;
+  request.options.global_strategy = GlobalStrategyKind::kOptics;
+  request.options.auto_params = true;
+  request.options.auto_params_k = 6;
+
+  JobRequest back;
+  ASSERT_EQ(serve::DecodeJobRequest(serve::EncodeJobRequest(request), &back),
+            DecodeStatus::kOk);
+  EXPECT_EQ(back.metric_name, "manhattan");
+  EXPECT_EQ(back.data.size(), request.data.size());
+  EXPECT_EQ(back.data.dim(), request.data.dim());
+  for (std::size_t p = 0; p < request.data.size(); ++p) {
+    for (int d = 0; d < request.data.dim(); ++d) {
+      EXPECT_EQ(back.data.point(static_cast<PointId>(p))[d],
+                request.data.point(static_cast<PointId>(p))[d]);
+    }
+  }
+  EXPECT_EQ(back.config.local_dbscan.eps, request.config.local_dbscan.eps);
+  EXPECT_EQ(back.config.seed, 99u);
+  EXPECT_TRUE(back.config.protocol.enabled);
+  EXPECT_EQ(back.config.optics.max_eps_global, 3.5);
+  EXPECT_EQ(back.options.global_strategy, GlobalStrategyKind::kOptics);
+  EXPECT_TRUE(back.options.auto_params);
+  EXPECT_EQ(back.options.auto_params_k, 6);
+  EXPECT_EQ(back.config.partitioner, nullptr);
+}
+
+TEST(ServeWireTest, TruncationAndTrailingGarbageAreRejected) {
+  const std::vector<std::uint8_t> bytes =
+      serve::EncodeJobRequest(SmallRequest());
+  JobRequest out;
+  for (std::size_t len = 0; len < bytes.size();
+       len += std::max<std::size_t>(1, bytes.size() / 37)) {
+    EXPECT_NE(serve::DecodeJobRequest(
+                  std::span(bytes.data(), len), &out),
+              DecodeStatus::kOk)
+        << "truncation to " << len << " accepted";
+  }
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(0);
+  EXPECT_EQ(serve::DecodeJobRequest(padded, &out), DecodeStatus::kMalformed);
+}
+
+TEST(ServeWireTest, ControlMessagesRoundTrip) {
+  serve::JobAccepted accepted{42, 3};
+  serve::JobAccepted accepted_back;
+  ASSERT_EQ(serve::DecodeJobAccepted(serve::EncodeJobAccepted(accepted),
+                                     &accepted_back),
+            DecodeStatus::kOk);
+  EXPECT_EQ(accepted_back.job_id, 42u);
+  EXPECT_EQ(accepted_back.queue_depth, 3);
+
+  serve::JobRejected rejected{"local_dbscan.eps", "must be > 0"};
+  serve::JobRejected rejected_back;
+  ASSERT_EQ(serve::DecodeJobRejected(serve::EncodeJobRejected(rejected),
+                                     &rejected_back),
+            DecodeStatus::kOk);
+  EXPECT_EQ(rejected_back.field, "local_dbscan.eps");
+  EXPECT_EQ(rejected_back.message, "must be > 0");
+
+  serve::JobStatusUpdate status{7, 4};
+  serve::JobStatusUpdate status_back;
+  ASSERT_EQ(serve::DecodeJobStatus(serve::EncodeJobStatus(status),
+                                   &status_back),
+            DecodeStatus::kOk);
+  EXPECT_EQ(status_back.job_id, 7u);
+  EXPECT_EQ(status_back.stages_done, 4);
+
+  EXPECT_EQ(serve::PeekMsgType(serve::EncodeShutdown()),
+            serve::MsgType::kShutdown);
+  EXPECT_EQ(serve::PeekMsgType(serve::EncodeShutdownAck()),
+            serve::MsgType::kShutdownAck);
+}
+
+TEST(ServeWireTest, JobResultRoundTripsTheFullResultSurface) {
+  const SyntheticDataset synth = MakeTestDatasetC(8);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.num_sites = 3;
+  config.protocol.enabled = true;
+  const DbdcResult result = RunDbdc(synth.data, Euclidean(), config);
+
+  serve::JobResultMsg msg;
+  msg.job_id = 5;
+  msg.result = result;
+  msg.params_used = config.local_dbscan;
+  serve::JobResultMsg back;
+  ASSERT_EQ(serve::DecodeJobResult(serve::EncodeJobResult(msg), &back),
+            DecodeStatus::kOk);
+  EXPECT_EQ(back.job_id, 5u);
+  EXPECT_EQ(back.result.labels, result.labels);
+  EXPECT_EQ(back.result.num_global_clusters, result.num_global_clusters);
+  EXPECT_EQ(back.result.num_representatives, result.num_representatives);
+  EXPECT_EQ(back.result.bytes_uplink, result.bytes_uplink);
+  EXPECT_EQ(back.result.bytes_downlink, result.bytes_downlink);
+  EXPECT_EQ(back.result.eps_global_used, result.eps_global_used);
+  EXPECT_EQ(back.result.site_sizes, result.site_sizes);
+  EXPECT_EQ(back.result.sites_reporting, result.sites_reporting);
+  EXPECT_EQ(back.result.simd_tier, result.simd_tier);
+  EXPECT_EQ(EncodeGlobalModel(back.result.global_model),
+            EncodeGlobalModel(result.global_model));
+  ASSERT_EQ(back.result.stage_stats.size(), result.stage_stats.size());
+  for (std::size_t i = 0; i < result.stage_stats.size(); ++i) {
+    EXPECT_EQ(back.result.stage_stats[i].stage, result.stage_stats[i].stage);
+    EXPECT_EQ(back.result.stage_stats[i].bytes_uplink,
+              result.stage_stats[i].bytes_uplink);
+  }
+  // The embedded metrics snapshot survives the wire counter-for-counter.
+  for (int c = 0; c < obs::kNumCounters; ++c) {
+    EXPECT_EQ(back.result.metrics_snapshot.counter(
+                  static_cast<obs::Counter>(c)),
+              result.metrics_snapshot.counter(static_cast<obs::Counter>(c)))
+        << "counter " << c;
+  }
+  for (int g = 0; g < obs::kNumGauges; ++g) {
+    EXPECT_EQ(
+        back.result.metrics_snapshot.gauge(static_cast<obs::Gauge>(g)),
+        result.metrics_snapshot.gauge(static_cast<obs::Gauge>(g)))
+        << "gauge " << g;
+  }
+  EXPECT_EQ(back.params_used.eps, config.local_dbscan.eps);
+  EXPECT_EQ(back.params_used.min_pts, config.local_dbscan.min_pts);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1: the deprecated RunDbdcOptics overload forwards into
+// config.optics.
+
+TEST(OpticsConfigFoldTest, DeprecatedOverloadMatchesConfigField) {
+  const SyntheticDataset synth = MakeTestDatasetC(9);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.num_sites = 3;
+
+  DbdcConfig folded = config;
+  folded.optics.max_eps_global = 6.0;
+  const DbdcResult via_config =
+      RunDbdcOptics(synth.data, Euclidean(), folded);
+  SimulatedNetwork net;
+  const DbdcResult via_param =
+      RunDbdcOptics(synth.data, Euclidean(), config, &net, 6.0);
+  EXPECT_EQ(via_config.labels, via_param.labels);
+  EXPECT_EQ(via_config.num_global_clusters, via_param.num_global_clusters);
+  EXPECT_EQ(via_config.bytes_uplink, via_param.bytes_uplink);
+}
+
+// ---------------------------------------------------------------------------
+// JobManager: admission, isolation, backpressure.
+
+TEST(JobManagerTest, RejectsOverLimitAndInvalidRequestsWithFieldNames) {
+  JobLimits limits;
+  limits.max_points = 100;
+  limits.max_sites = 4;
+  JobManager manager(limits);
+
+  JobRequest big = SmallRequest();
+  ASSERT_GT(big.data.size(), 100u);
+  EXPECT_EQ(manager.Submit(big).field, "data.points");
+
+  const SyntheticDataset tiny = MakeTestDatasetC(7);
+  JobRequest sites = SmallRequest();
+  sites.data = Dataset(2);
+  for (PointId p = 0; p < 50; ++p) {
+    sites.data.Add(tiny.data.point(p));
+  }
+  sites.config.num_sites = 9;
+  EXPECT_EQ(manager.Submit(sites).field, "num_sites");
+
+  JobRequest metric = sites;
+  metric.config.num_sites = 2;
+  metric.metric_name = "hamming";
+  EXPECT_EQ(manager.Submit(metric).field, "metric");
+
+  JobRequest bad_eps = sites;
+  bad_eps.config.num_sites = 2;
+  bad_eps.config.local_dbscan.eps = -1.0;
+  EXPECT_EQ(manager.Submit(bad_eps).field, "local_dbscan.eps");
+
+  JobRequest bad_k = sites;
+  bad_k.config.num_sites = 2;
+  bad_k.options.auto_params = true;
+  bad_k.options.auto_params_k = 0;
+  EXPECT_EQ(manager.Submit(bad_k).field, "options.auto_params_k");
+
+  EXPECT_EQ(manager.jobs_finished(), 0u);
+}
+
+TEST(JobManagerTest, QueueFullIsRejectedAsBackpressure) {
+  JobLimits limits;
+  limits.max_active = 1;
+  limits.max_queued = 1;
+  JobManager manager(limits);
+  // Enough submissions that at least one must find both the executor and
+  // the one-deep queue busy. Every decision is either an admission or a
+  // named "server.queue" rejection — never a hang or a crash.
+  int rejected = 0;
+  std::vector<std::uint64_t> admitted;
+  for (int i = 0; i < 8; ++i) {
+    const serve::AdmitDecision decision = manager.Submit(SmallRequest(i));
+    if (decision.accepted) {
+      admitted.push_back(decision.job_id);
+    } else {
+      EXPECT_EQ(decision.field, "server.queue");
+      ++rejected;
+    }
+  }
+  EXPECT_GE(admitted.size(), 1u);
+  for (const std::uint64_t id : admitted) {
+    EXPECT_EQ(manager.Wait(id).state, serve::JobState::kDone);
+  }
+  EXPECT_EQ(manager.jobs_finished(), admitted.size());
+  manager.Shutdown();
+}
+
+TEST(JobManagerTest, ConcurrentJobsGetIsolatedMetricsSnapshots) {
+  JobLimits limits;
+  limits.max_active = 2;
+  limits.max_queued = 4;
+  JobManager manager(limits);
+
+  // Two jobs of different sizes running concurrently: each result's
+  // snapshot must carry its *own* dataset-points gauge and byte
+  // counters, proving per-job registries never bleed into each other.
+  const SyntheticDataset synth_a = MakeTestDatasetA(11);
+  const SyntheticDataset synth_c = MakeTestDatasetC(11);
+  JobRequest job_a;
+  job_a.data = synth_a.data;
+  job_a.config.local_dbscan = synth_a.suggested_params;
+  job_a.config.num_sites = 4;
+  JobRequest job_c;
+  job_c.data = synth_c.data;
+  job_c.config.local_dbscan = synth_c.suggested_params;
+  job_c.config.num_sites = 3;
+
+  const serve::AdmitDecision admit_a = manager.Submit(job_a);
+  const serve::AdmitDecision admit_c = manager.Submit(job_c);
+  ASSERT_TRUE(admit_a.accepted) << admit_a.field << ": " << admit_a.message;
+  ASSERT_TRUE(admit_c.accepted) << admit_c.field << ": " << admit_c.message;
+
+  const serve::JobOutcome& outcome_a = manager.Wait(admit_a.job_id);
+  const serve::JobOutcome& outcome_c = manager.Wait(admit_c.job_id);
+  ASSERT_EQ(outcome_a.state, serve::JobState::kDone);
+  ASSERT_EQ(outcome_c.state, serve::JobState::kDone);
+
+  const obs::MetricsSnapshot& snap_a = outcome_a.result.metrics_snapshot;
+  const obs::MetricsSnapshot& snap_c = outcome_c.result.metrics_snapshot;
+  EXPECT_EQ(snap_a.gauge(obs::Gauge::kDatasetPoints),
+            static_cast<double>(synth_a.data.size()));
+  EXPECT_EQ(snap_c.gauge(obs::Gauge::kDatasetPoints),
+            static_cast<double>(synth_c.data.size()));
+  EXPECT_EQ(snap_a.counter(obs::Counter::kBytesUplink),
+            outcome_a.result.bytes_uplink);
+  EXPECT_EQ(snap_c.counter(obs::Counter::kBytesUplink),
+            outcome_c.result.bytes_uplink);
+  EXPECT_NE(outcome_a.result.bytes_uplink, outcome_c.result.bytes_uplink);
+
+  // Isolation also means equality with a solo local run of the same job.
+  SimulatedNetwork net;
+  const DbdcResult solo =
+      RunDbdc(synth_a.data, Euclidean(), job_a.config, &net);
+  EXPECT_EQ(outcome_a.result.labels, solo.labels);
+  EXPECT_EQ(outcome_a.result.bytes_uplink, solo.bytes_uplink);
+}
+
+TEST(JobManagerTest, AutoParamsEstimatesOnTheServer) {
+  JobManager manager(JobLimits{});
+  JobRequest request = SmallRequest();
+  request.config.local_dbscan = {123.0, 77};  // Placeholder; overridden.
+  request.options.auto_params = true;
+  request.options.auto_params_k = 4;
+  const serve::AdmitDecision decision = manager.Submit(request);
+  ASSERT_TRUE(decision.accepted) << decision.field;
+  const serve::JobOutcome& outcome = manager.Wait(decision.job_id);
+  ASSERT_EQ(outcome.state, serve::JobState::kDone);
+  EXPECT_GT(outcome.params_used.eps, 0.0);
+  EXPECT_LT(outcome.params_used.eps, 123.0);
+  EXPECT_EQ(outcome.params_used.min_pts, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Full client/server loop over a real TCP port.
+
+ServerOptions QuietServer() {
+  ServerOptions options;
+  options.port = 0;
+  return options;
+}
+
+TEST(ServingTest, RemoteJobIsByteIdenticalToLocalRun) {
+  DbdcServer server(QuietServer());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const SyntheticDataset synth = MakeTestDatasetA(41);
+  JobRequest request;
+  request.data = synth.data;
+  request.config.local_dbscan = synth.suggested_params;
+  request.config.num_sites = 4;
+
+  ClientOptions client;
+  client.port = server.port();
+  std::vector<int> stages_seen;
+  client.on_status = [&stages_seen](int done) {
+    stages_seen.push_back(done);
+  };
+  const RemoteOutcome outcome = serve::RunRemoteJob(request, client);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+
+  SimulatedNetwork net;
+  const DbdcResult local =
+      RunDbdc(synth.data, Euclidean(), request.config, &net);
+  EXPECT_EQ(outcome.result.labels, local.labels);
+  EXPECT_EQ(outcome.result.bytes_uplink, local.bytes_uplink);
+  EXPECT_EQ(outcome.result.bytes_downlink, local.bytes_downlink);
+  EXPECT_EQ(outcome.result.num_global_clusters, local.num_global_clusters);
+  EXPECT_EQ(EncodeGlobalModel(outcome.result.global_model),
+            EncodeGlobalModel(local.global_model));
+  // The status stream walked the full stage ladder in order.
+  ASSERT_EQ(stages_seen.size(), static_cast<std::size_t>(kNumStages));
+  for (int i = 0; i < kNumStages; ++i) EXPECT_EQ(stages_seen[i], i + 1);
+
+  server.Stop();
+  EXPECT_EQ(server.jobs_served(), 1u);
+}
+
+TEST(ServingTest, TwoConcurrentClientsGetIsolatedResults) {
+  ServerOptions options = QuietServer();
+  options.limits.max_active = 2;
+  DbdcServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const SyntheticDataset synth_a = MakeTestDatasetA(42);
+  const SyntheticDataset synth_b = MakeTestDatasetB(42);
+  RemoteOutcome outcome_a, outcome_b;
+  std::thread client_a([&] {
+    JobRequest request;
+    request.data = synth_a.data;
+    request.config.local_dbscan = synth_a.suggested_params;
+    request.config.num_sites = 4;
+    ClientOptions client;
+    client.port = server.port();
+    outcome_a = serve::RunRemoteJob(request, client);
+  });
+  std::thread client_b([&] {
+    JobRequest request;
+    request.data = synth_b.data;
+    request.config.local_dbscan = synth_b.suggested_params;
+    request.config.num_sites = 3;
+    ClientOptions client;
+    client.port = server.port();
+    outcome_b = serve::RunRemoteJob(request, client);
+  });
+  client_a.join();
+  client_b.join();
+  ASSERT_TRUE(outcome_a.ok) << outcome_a.error;
+  ASSERT_TRUE(outcome_b.ok) << outcome_b.error;
+
+  // Per-job isolation across real concurrent sessions: each snapshot
+  // reports its own dataset size and reconciles with its own wire bytes.
+  EXPECT_EQ(outcome_a.result.metrics_snapshot.gauge(
+                obs::Gauge::kDatasetPoints),
+            static_cast<double>(synth_a.data.size()));
+  EXPECT_EQ(outcome_b.result.metrics_snapshot.gauge(
+                obs::Gauge::kDatasetPoints),
+            static_cast<double>(synth_b.data.size()));
+  EXPECT_EQ(outcome_a.result.metrics_snapshot.counter(
+                obs::Counter::kBytesUplink),
+            outcome_a.result.bytes_uplink);
+  EXPECT_EQ(outcome_b.result.metrics_snapshot.counter(
+                obs::Counter::kBytesUplink),
+            outcome_b.result.bytes_uplink);
+  EXPECT_EQ(outcome_a.result.labels.size(), synth_a.data.size());
+  EXPECT_EQ(outcome_b.result.labels.size(), synth_b.data.size());
+
+  server.Stop();
+  EXPECT_EQ(server.jobs_served(), 2u);
+}
+
+TEST(ServingTest, BadConfigIsRejectedWithTheFieldOnTheWire) {
+  DbdcServer server(QuietServer());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  JobRequest request = SmallRequest();
+  request.config.local_dbscan.eps = -3.0;
+  ClientOptions client;
+  client.port = server.port();
+  const RemoteOutcome outcome = serve::RunRemoteJob(request, client);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.reject_field, "local_dbscan.eps");
+  EXPECT_NE(outcome.error.find("local_dbscan.eps"), std::string::npos);
+  server.Stop();
+  EXPECT_EQ(server.jobs_served(), 0u);
+}
+
+TEST(ServingTest, RemoteAutoParamsAndOpticsStrategyWork) {
+  DbdcServer server(QuietServer());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  const SyntheticDataset synth = MakeTestDatasetC(43);
+  JobRequest request;
+  request.data = synth.data;
+  request.config.local_dbscan = {1.0, 5};
+  request.config.num_sites = 3;
+  request.options.auto_params = true;
+  request.options.global_strategy = GlobalStrategyKind::kOptics;
+  ClientOptions client;
+  client.port = server.port();
+  const RemoteOutcome outcome = serve::RunRemoteJob(request, client);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  EXPECT_GT(outcome.params_used.eps, 0.0);
+  EXPECT_EQ(outcome.params_used.min_pts, 5);
+  EXPECT_GT(outcome.result.num_global_clusters, 0);
+  server.Stop();
+}
+
+TEST(ServingTest, MaxJobsServedStopsTheServerCleanly) {
+  ServerOptions options = QuietServer();
+  options.max_jobs_served = 1;
+  DbdcServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  JobRequest request = SmallRequest();
+  ClientOptions client;
+  client.port = server.port();
+  const RemoteOutcome outcome = serve::RunRemoteJob(request, client);
+  ASSERT_TRUE(outcome.ok) << outcome.error;
+  // The server drains itself; Wait() returns without Stop().
+  server.Wait();
+  EXPECT_EQ(server.jobs_served(), 1u);
+}
+
+TEST(ServingTest, RemoteShutdownIsHonoredOnlyWhenAllowed) {
+  ServerOptions options = QuietServer();
+  options.allow_remote_shutdown = true;
+  DbdcServer server(options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ClientOptions client;
+  client.port = server.port();
+  EXPECT_TRUE(serve::RequestRemoteShutdown(client, &error)) << error;
+  server.Wait();
+
+  DbdcServer locked(QuietServer());
+  ASSERT_TRUE(locked.Start(&error)) << error;
+  ClientOptions locked_client;
+  locked_client.port = locked.port();
+  locked_client.io_timeout_sec = 2.0;
+  EXPECT_FALSE(serve::RequestRemoteShutdown(locked_client, &error));
+  // Still serving: a job after the refused shutdown succeeds.
+  const RemoteOutcome outcome =
+      serve::RunRemoteJob(SmallRequest(), locked_client);
+  EXPECT_TRUE(outcome.ok) << outcome.error;
+  locked.Stop();
+}
+
+}  // namespace
+}  // namespace dbdc

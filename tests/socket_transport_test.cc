@@ -1,0 +1,265 @@
+// Integration tests of the TCP loopback transport (DESIGN.md §12): the
+// bytes cross the kernel's real TCP stack, so this suite is where short
+// reads, mid-frame disconnects, and wall-clock stragglers meet the
+// engine's virtual-clock protocol machinery. Mirrors the fault_tolerance
+// matrix on real sockets; runs under ASan and TSan.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/dbdc.h"
+#include "core/model_codec.h"
+#include "data/generators.h"
+#include "distrib/network.h"
+#include "distrib/protocol.h"
+#include "distrib/socket_transport.h"
+
+namespace dbdc {
+namespace {
+
+std::unique_ptr<SocketTransport> MakeLoopback(int num_sites,
+                                              std::size_t max_frame_bytes =
+                                                  1u << 30) {
+  SocketTransport::Options options;
+  options.num_sites = num_sites;
+  options.max_frame_bytes = max_frame_bytes;
+  std::string error;
+  std::unique_ptr<SocketTransport> transport =
+      SocketTransport::CreateLoopback(options, &error);
+  EXPECT_NE(transport, nullptr) << error;
+  return transport;
+}
+
+// ---------------------------------------------------------------------------
+// Transport contract over real sockets.
+
+TEST(SocketTransportTest, RoutesMessagesThroughRealSockets) {
+  auto net = MakeLoopback(3);
+  ASSERT_NE(net, nullptr);
+
+  const std::vector<std::uint8_t> up{1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> down{9, 8, 7};
+  const std::size_t i0 = net->Send(0, kServerEndpoint, up);
+  const std::size_t i1 = net->Send(kServerEndpoint, 2, down);
+  ASSERT_NE(i0, kMessageDropped);
+  ASSERT_NE(i1, kMessageDropped);
+
+  ASSERT_EQ(net->NumMessages(), 2u);
+  EXPECT_EQ(net->Message(i0).from, 0);
+  EXPECT_EQ(net->Message(i0).to, kServerEndpoint);
+  EXPECT_EQ(net->Message(i0).payload, up);
+  EXPECT_EQ(net->Message(i1).payload, down);
+
+  // The recorded bytes are app bytes only; framing overhead is tracked
+  // separately and is strictly larger.
+  EXPECT_EQ(net->BytesUplink(), up.size());
+  EXPECT_EQ(net->BytesDownlink(), down.size());
+  EXPECT_EQ(net->BytesTotal(), up.size() + down.size());
+  EXPECT_GT(net->wire_bytes(), net->BytesTotal());
+  EXPECT_EQ(net->stats().frames_routed, 2u);
+
+  const std::vector<const NetworkMessage*> inbox =
+      net->Inbox(kServerEndpoint);
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0]->payload, up);
+
+  // Measured wall transfer time is nonnegative and sane for loopback.
+  EXPECT_GE(net->DeliveryDelaySeconds(i0), 0.0);
+  EXPECT_LT(net->DeliveryDelaySeconds(i0), 5.0);
+}
+
+TEST(SocketTransportTest, InboxPointersStableAcrossManySends) {
+  auto net = MakeLoopback(3);
+  ASSERT_NE(net, nullptr);
+  net->Send(0, kServerEndpoint, {1, 2, 3});
+  const std::vector<const NetworkMessage*> snapshot =
+      net->Inbox(kServerEndpoint);
+  ASSERT_EQ(snapshot.size(), 1u);
+  for (int i = 0; i < 300; ++i) {
+    net->Send(i % 3, kServerEndpoint,
+              std::vector<std::uint8_t>(64, static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(snapshot[0]->payload, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(SocketTransportTest, InjectedDelayIsReportedNotSlept) {
+  auto net = MakeLoopback(2);
+  ASSERT_NE(net, nullptr);
+  net->SetExtraDelaySeconds(1, 2.5);
+  const std::size_t index = net->Send(1, kServerEndpoint, {42});
+  ASSERT_NE(index, kMessageDropped);
+  // 2.5 virtual seconds reported; the Send itself returned in wall
+  // microseconds (it would have hit io_timeout_sec long before 2.5 s).
+  EXPECT_GE(net->DeliveryDelaySeconds(index), 2.5);
+  EXPECT_LT(net->DeliveryDelaySeconds(index), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Failure shapes.
+
+TEST(SocketTransportTest, ClosedEndpointDropsSendsBothDirections) {
+  auto net = MakeLoopback(3);
+  ASSERT_NE(net, nullptr);
+  net->CloseEndpoint(1);
+  EXPECT_EQ(net->Send(1, kServerEndpoint, {1, 2}), kMessageDropped);
+  EXPECT_EQ(net->Send(kServerEndpoint, 1, {3, 4}), kMessageDropped);
+  EXPECT_NE(net->Send(0, kServerEndpoint, {5, 6}), kMessageDropped);
+  EXPECT_EQ(net->stats().sends_dropped, 2u);
+  net->CloseEndpoint(1);  // Idempotent.
+  EXPECT_EQ(net->NumMessages(), 1u);
+}
+
+TEST(SocketTransportTest, MidFrameDisconnectIsCountedAndNeverDelivered) {
+  auto net = MakeLoopback(3);
+  ASSERT_NE(net, nullptr);
+  ASSERT_NE(net->Send(2, kServerEndpoint, {1, 2, 3}), kMessageDropped);
+  net->CloseEndpoint(2, /*mid_frame=*/true);
+  // The truncated frame was discarded, not delivered.
+  EXPECT_EQ(net->NumMessages(), 1u);
+  EXPECT_EQ(net->stats().mid_frame_disconnects, 1u);
+  EXPECT_EQ(net->Send(2, kServerEndpoint, {9}), kMessageDropped);
+}
+
+TEST(SocketTransportTest, OversizedFramePoisonsTheSendersStream) {
+  // The hub's assembler caps declared payloads at max_frame_bytes; a
+  // bigger send breaks the sender's framing and closes its endpoint.
+  auto net = MakeLoopback(2, /*max_frame_bytes=*/128);
+  ASSERT_NE(net, nullptr);
+  ASSERT_NE(net->Send(0, kServerEndpoint,
+                      std::vector<std::uint8_t>(16, 1)),
+            kMessageDropped);
+  EXPECT_EQ(net->Send(0, kServerEndpoint,
+                      std::vector<std::uint8_t>(1024, 2)),
+            kMessageDropped);
+  EXPECT_GE(net->stats().framing_errors, 1u);
+  // The poisoned endpoint is dead; the other still works.
+  EXPECT_EQ(net->Send(0, kServerEndpoint, {3}), kMessageDropped);
+  EXPECT_NE(net->Send(1, kServerEndpoint, {4}), kMessageDropped);
+}
+
+// ---------------------------------------------------------------------------
+// Full pipeline over TCP.
+
+DbdcConfig BaseConfig(const SyntheticDataset& synth, int sites) {
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.num_sites = sites;
+  return config;
+}
+
+TEST(SocketDbdcTest, FaultFreeRunIsBitIdenticalToSimulatedNetwork) {
+  const SyntheticDataset synth = MakeTestDatasetA(31);
+  const DbdcConfig config = BaseConfig(synth, 4);
+
+  SimulatedNetwork plain;
+  const DbdcResult reference =
+      RunDbdc(synth.data, Euclidean(), config, &plain);
+
+  auto socket_net = MakeLoopback(config.num_sites);
+  ASSERT_NE(socket_net, nullptr);
+  const DbdcResult result =
+      RunDbdc(synth.data, Euclidean(), config, socket_net.get());
+
+  EXPECT_EQ(result.labels, reference.labels);
+  EXPECT_EQ(result.bytes_uplink, reference.bytes_uplink);
+  EXPECT_EQ(result.bytes_downlink, reference.bytes_downlink);
+  EXPECT_EQ(EncodeGlobalModel(result.global_model),
+            EncodeGlobalModel(reference.global_model));
+  EXPECT_EQ(result.sites_failed, 0);
+  EXPECT_EQ(result.sites_reporting, config.num_sites);
+
+  // Message-by-message byte identity with the simulated transport.
+  ASSERT_EQ(socket_net->NumMessages(), plain.NumMessages());
+  for (std::size_t i = 0; i < plain.NumMessages(); ++i) {
+    EXPECT_EQ(socket_net->Message(i).from, plain.Message(i).from);
+    EXPECT_EQ(socket_net->Message(i).to, plain.Message(i).to);
+    EXPECT_EQ(socket_net->Message(i).payload, plain.Message(i).payload);
+  }
+}
+
+TEST(SocketDbdcTest, ProtocolRunOverTcpMatchesSimulatedNetwork) {
+  const SyntheticDataset synth = MakeTestDatasetA(31);
+  DbdcConfig config = BaseConfig(synth, 4);
+  config.protocol.enabled = true;
+
+  SimulatedNetwork plain;
+  const DbdcResult reference =
+      RunDbdc(synth.data, Euclidean(), config, &plain);
+
+  auto socket_net = MakeLoopback(config.num_sites);
+  ASSERT_NE(socket_net, nullptr);
+  const DbdcResult result =
+      RunDbdc(synth.data, Euclidean(), config, socket_net.get());
+
+  EXPECT_EQ(result.labels, reference.labels);
+  EXPECT_EQ(result.bytes_uplink, reference.bytes_uplink);
+  EXPECT_EQ(result.bytes_downlink, reference.bytes_downlink);
+  EXPECT_EQ(result.protocol_retries, 0u);
+  EXPECT_EQ(result.sites_relabeled, config.num_sites);
+}
+
+TEST(SocketDbdcTest, PeerDisconnectMidFrameDegradesGracefully) {
+  const SyntheticDataset synth = MakeTestDatasetA(32);
+  DbdcConfig config = BaseConfig(synth, 5);
+  config.protocol.enabled = true;
+
+  auto socket_net = MakeLoopback(config.num_sites);
+  ASSERT_NE(socket_net, nullptr);
+  // Site 2's process dies halfway through writing a frame, before the
+  // run starts. The engine must report it failed and cluster the rest.
+  socket_net->CloseEndpoint(2, /*mid_frame=*/true);
+
+  const DbdcResult result =
+      RunDbdc(synth.data, Euclidean(), config, socket_net.get());
+
+  EXPECT_EQ(result.sites_failed, 1);
+  EXPECT_EQ(result.failed_site_ids, (std::vector<int>{2}));
+  EXPECT_EQ(result.sites_reporting, config.num_sites - 1);
+  EXPECT_GT(result.num_global_clusters, 0);
+  EXPECT_EQ(socket_net->stats().mid_frame_disconnects, 1u);
+  // The dead site's points keep kNoise.
+  std::size_t noise = 0;
+  for (const ClusterId label : result.labels) noise += label == kNoise;
+  EXPECT_GE(noise, result.site_sizes[2]);
+  EXPECT_LT(noise, result.labels.size());
+}
+
+TEST(SocketDbdcTest, StragglerPastTheCollectionDeadlineIsExcluded) {
+  const SyntheticDataset synth = MakeTestDatasetA(33);
+  DbdcConfig config = BaseConfig(synth, 4);
+  config.protocol.enabled = true;
+  config.protocol.collection_deadline_sec = 5.0;
+
+  auto socket_net = MakeLoopback(config.num_sites);
+  ASSERT_NE(socket_net, nullptr);
+  // Site 3 sits behind a WAN link 10 virtual seconds slow: its model
+  // arrives intact but past the deadline, so the server must exclude it.
+  socket_net->SetExtraDelaySeconds(3, 10.0);
+
+  const DbdcResult result =
+      RunDbdc(synth.data, Euclidean(), config, socket_net.get());
+
+  EXPECT_EQ(result.sites_failed, 1);
+  EXPECT_EQ(result.failed_site_ids, (std::vector<int>{3}));
+  EXPECT_EQ(result.sites_reporting, config.num_sites - 1);
+  EXPECT_GT(result.num_global_clusters, 0);
+
+  // Without a deadline the same straggler is waited for and included.
+  DbdcConfig patient = config;
+  patient.protocol.collection_deadline_sec =
+      std::numeric_limits<double>::infinity();
+  auto patient_net = MakeLoopback(config.num_sites);
+  ASSERT_NE(patient_net, nullptr);
+  patient_net->SetExtraDelaySeconds(3, 10.0);
+  const DbdcResult patient_result =
+      RunDbdc(synth.data, Euclidean(), patient, patient_net.get());
+  EXPECT_EQ(patient_result.sites_failed, 0);
+  EXPECT_EQ(patient_result.sites_reporting, config.num_sites);
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -78,6 +78,8 @@ def _wire_path(path):
         "src/core/site",
         "src/core/streaming_site",
         "src/distrib/protocol",
+        "src/distrib/socket_transport",
+        "src/serve/wire",
     )
     return path.startswith(wire)
 
