@@ -1,0 +1,187 @@
+// Aggregation-topology scaling benchmark: what does routing the uplink
+// through a k-ary tree of AggregatorNodes buy at the root as the site
+// count grows 10 -> 1000?
+//
+// For each site count the same scaled dataset (fixed [0,100]^2 region,
+// n proportional to sites so every site holds a constant-size slab at
+// global density — SpatialSlabPartitioner keeps the per-site density
+// equal to the global density at any site count) runs twice over a
+// seeded FaultyNetwork with the reliable protocol enabled:
+//
+//   flat     — the paper's star: every site uplinks straight to the
+//              root, so the root's fan-in, merge input and uplink bytes
+//              all grow linearly with the site count.
+//   tree:<f> — a balanced fanout-f aggregation tree with condensing
+//              aggregators (aggregator_condense_eps = eps_local): each
+//              AggregatorNode collapses cross-child representatives of
+//              one intermediate cluster before forwarding, so the
+//              root's fan-in stays <= f and its uplink bytes grow
+//              sub-linearly in the site count.
+//
+// The root uplink column is SimulatedNetwork::BytesUplink() — only
+// traffic terminating at the root endpoint counts, so it is exactly the
+// "bytes into the root" number under both shapes. Root merge time and
+// fan-in come from DbdcResult::level_stats[0].
+//
+// With --out FILE the results are emitted as machine-readable JSON
+// (schema "dbdc-topology-bench-v1"); --quick drops the 1000-site point
+// for CI smoke runs. Faults, partitioning and data are all seeded, so
+// byte counts, fan-ins and cluster counts are identical across runs
+// (only timings vary with the hardware).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dbdc.h"
+#include "data/generators.h"
+#include "distrib/fault.h"
+#include "distrib/network.h"
+#include "distrib/partitioner.h"
+
+namespace {
+
+constexpr int kFanout = 8;
+constexpr double kDropRate = 0.05;
+constexpr int kPointsPerSite = 120;
+
+struct TopologyRow {
+  int sites = 0;
+  std::string topology;
+  int points = 0;
+  std::size_t levels = 0;
+  std::uint64_t root_uplink_bytes = 0;
+  std::uint64_t bytes_total = 0;
+  double root_merge_seconds = 0.0;
+  int root_models_in = 0;
+  int sites_reporting = 0;
+  int sites_failed = 0;
+  int clusters = 0;
+};
+
+TopologyRow RunOne(const dbdc::SyntheticDataset& dataset, int num_sites,
+                   bool tree) {
+  dbdc::DbdcConfig config = dbdc::bench::MakeDbdcConfig(dataset, num_sites);
+  static const dbdc::SpatialSlabPartitioner slab(0);
+  config.partitioner = &slab;
+  config.protocol.enabled = true;
+  config.protocol.max_attempts = 6;
+  if (tree) {
+    config.topology.kind = dbdc::TopologyKind::kTree;
+    config.topology.fanout = kFanout;
+    config.topology.aggregator_condense_eps = dataset.suggested_params.eps;
+  }
+
+  dbdc::FaultSpec faults;
+  faults.drop_rate = kDropRate;
+  faults.seed = 20260808;
+  dbdc::SimulatedNetwork inner;
+  dbdc::FaultyNetwork net(&inner, faults);
+  const dbdc::DbdcResult result =
+      dbdc::RunDbdc(dataset.data, dbdc::Euclidean(), config, &net);
+
+  TopologyRow row;
+  row.sites = num_sites;
+  row.topology = tree ? dbdc::bench::Fmt("tree:%d", kFanout) : "flat";
+  row.points = static_cast<int>(dataset.data.size());
+  row.levels = result.level_stats.size();
+  row.root_uplink_bytes = result.bytes_uplink;
+  row.bytes_total = net.BytesTotal();
+  if (!result.level_stats.empty()) {
+    row.root_merge_seconds = result.level_stats[0].merge_seconds;
+    row.root_models_in = result.level_stats[0].models_in;
+  }
+  row.sites_reporting = result.sites_reporting;
+  row.sites_failed = result.sites_failed;
+  row.clusters = result.num_global_clusters;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dbdc::bench::Fmt;
+  dbdc::bench::HarnessOptions options;
+  if (!dbdc::bench::ParseHarnessOptions(argc, argv, &options)) return 2;
+  const dbdc::bench::HarnessMetrics metrics;
+  const bool quick = options.quick;
+
+  const std::vector<int> site_counts =
+      quick ? std::vector<int>{10, 100} : std::vector<int>{10, 100, 1000};
+
+  std::vector<TopologyRow> rows;
+  dbdc::bench::Table table(Fmt(
+      "Root uplink and merge cost, flat star vs fanout-%d aggregation "
+      "tree, drop rate %.2f (seeded)",
+      kFanout, kDropRate));
+  table.SetHeader({"sites", "topology", "points", "levels", "root fan-in",
+                   "root uplink B", "root merge s", "reporting", "failed",
+                   "clusters"});
+
+  for (const int sites : site_counts) {
+    const dbdc::SyntheticDataset dataset = dbdc::MakeScaledDataset(
+        static_cast<std::size_t>(sites) * kPointsPerSite);
+    for (const bool tree : {false, true}) {
+      rows.push_back(RunOne(dataset, sites, tree));
+      const TopologyRow& row = rows.back();
+      table.AddRow(
+          {Fmt("%d", row.sites), row.topology, Fmt("%d", row.points),
+           Fmt("%zu", row.levels), Fmt("%d", row.root_models_in),
+           Fmt("%llu", static_cast<unsigned long long>(row.root_uplink_bytes)),
+           Fmt("%.6f", row.root_merge_seconds), Fmt("%d", row.sites_reporting),
+           Fmt("%d", row.sites_failed), Fmt("%d", row.clusters)});
+    }
+  }
+  table.Print();
+
+  // The headline ratio: how much root uplink the tree shaves off the
+  // star at the largest site count measured.
+  const TopologyRow& flat_last = rows[rows.size() - 2];
+  const TopologyRow& tree_last = rows.back();
+  if (tree_last.root_uplink_bytes > 0) {
+    std::printf("at %d sites: tree root uplink %llu B vs flat %llu B "
+                "(%.2fx), root fan-in %d vs %d\n",
+                flat_last.sites,
+                static_cast<unsigned long long>(tree_last.root_uplink_bytes),
+                static_cast<unsigned long long>(flat_last.root_uplink_bytes),
+                static_cast<double>(flat_last.root_uplink_bytes) /
+                    static_cast<double>(tree_last.root_uplink_bytes),
+                tree_last.root_models_in, flat_last.root_models_in);
+  }
+
+  if (!options.out_path.empty()) {
+    std::ofstream out(options.out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   options.out_path.c_str());
+      return 1;
+    }
+    out << "{\n";
+    out << "  \"schema\": \"dbdc-topology-bench-v1\",\n";
+    out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    out << "  \"fanout\": " << kFanout << ",\n";
+    out << "  \"drop_rate\": " << Fmt("%.4f", kDropRate) << ",\n";
+    out << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const TopologyRow& r = rows[i];
+      out << "    {\"sites\": " << r.sites << ", \"topology\": \""
+          << r.topology << "\", \"points\": " << r.points
+          << ", \"levels\": " << r.levels
+          << ", \"root_uplink_bytes\": " << r.root_uplink_bytes
+          << ", \"bytes_total\": " << r.bytes_total
+          << ", \"root_merge_seconds\": " << Fmt("%.6f", r.root_merge_seconds)
+          << ", \"root_models_in\": " << r.root_models_in
+          << ", \"sites_reporting\": " << r.sites_reporting
+          << ", \"sites_failed\": " << r.sites_failed
+          << ", \"clusters\": " << r.clusters << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"metrics\": " << metrics.Json() << "\n";
+    out << "}\n";
+    std::printf("wrote %s\n", options.out_path.c_str());
+  }
+  return 0;
+}

@@ -23,6 +23,16 @@
 //     --threads <int>            intra-site worker threads (0 = hardware
 //                                concurrency, default 1); identical labels
 //                                for every value
+//     --topology flat|tree:<fanout>  aggregation topology (default flat =
+//                                the paper's star); tree:<K> routes the
+//                                local models through a balanced K-ary
+//                                aggregator tree (K >= 2); lossless, so
+//                                labels match flat bit-for-bit
+//     --agg-condense <double>    aggregator condensation radius >= 0
+//                                (default 0 = lossless concatenation);
+//                                > 0 lets each aggregator merge and
+//                                condense before forwarding, shrinking
+//                                the root uplink (dbdc + continuous)
 //     --simd auto|avx2|sse2|scalar   batched-distance kernel tier
 //                                (default auto = highest the CPU supports;
 //                                rejected if the CPU lacks the tier);
@@ -95,7 +105,8 @@ namespace {
                "[--minpts M] [--sites K] [--model scor|kmeans] "
                "[--global dbscan|optics] [--eps-global G] [--index TYPE] "
                "[--metric NAME] [--seed S] [--condense R] [--min-weight W] "
-               "[--threads T] [--simd TIER] [--ticks N] [--auto-params] "
+               "[--threads T] [--topology flat|tree:K] [--agg-condense R] "
+               "[--simd TIER] [--ticks N] [--auto-params] "
                "[--auto-k K] [--connect host:port] [--protocol] "
                "[--drop P] "
                "[--corrupt P] [--fault-seed S] [--stages] "
@@ -164,6 +175,38 @@ int ParseIntFlag(const char* flag, const char* text, int min) {
   return static_cast<int>(value);
 }
 
+/// "flat" or "tree:<fanout>" with fanout a strict integer >= 2 — anything
+/// else (trailing junk included) aborts naming --topology.
+void ParseTopologyFlag(const char* text, dbdc::DbdcConfig* config) {
+  const std::string value = text;
+  if (value == "flat") {
+    config->topology.kind = dbdc::TopologyKind::kFlat;
+    config->topology.fanout = 0;
+    return;
+  }
+  if (value.rfind("tree:", 0) == 0) {
+    const char* fanout_text = text + 5;
+    errno = 0;
+    char* end = nullptr;
+    const long fanout = std::strtol(fanout_text, &end, 10);
+    if (end == fanout_text || *end != '\0' || errno == ERANGE || fanout < 2 ||
+        fanout > INT_MAX) {
+      std::fprintf(stderr,
+                   "error: --topology tree fanout must be an integer >= 2, "
+                   "got '%s'\n",
+                   fanout_text);
+      std::exit(2);
+    }
+    config->topology.kind = dbdc::TopologyKind::kTree;
+    config->topology.fanout = static_cast<int>(fanout);
+    return;
+  }
+  std::fprintf(stderr,
+               "error: --topology must be flat or tree:<fanout>, got '%s'\n",
+               text);
+  std::exit(2);
+}
+
 std::uint64_t ParseUint64Flag(const char* flag, const char* text,
                               std::uint64_t max) {
   errno = 0;
@@ -195,6 +238,25 @@ void PrintStageBreakdown(const dbdc::DbdcResult& result) {
                 std::string(dbdc::StageName(s.stage)).c_str(), s.seconds,
                 static_cast<unsigned long long>(s.bytes_uplink),
                 static_cast<unsigned long long>(s.bytes_downlink));
+  }
+  // The per-level view of the aggregation topology (root first; a flat
+  // run has just the root and the sites).
+  if (result.level_stats.empty()) return;
+  std::printf("  %-8s %6s %7s %7s %8s %10s %10s\n", "level", "nodes",
+              "failed", "models", "reps", "bytes in", "merge s");
+  const int deepest = result.level_stats.back().level;
+  for (const dbdc::LevelStats& l : result.level_stats) {
+    char label[16];
+    if (l.level == 0) {
+      std::snprintf(label, sizeof(label), "root");
+    } else if (l.level == deepest) {
+      std::snprintf(label, sizeof(label), "sites");
+    } else {
+      std::snprintf(label, sizeof(label), "agg L%d", l.level);
+    }
+    std::printf("  %-8s %6d %7d %7d %8zu %10llu %10.4f\n", label, l.nodes,
+                l.nodes_failed, l.models_in, l.representatives_in,
+                static_cast<unsigned long long>(l.bytes_in), l.merge_seconds);
   }
 }
 
@@ -399,6 +461,11 @@ int main(int argc, char** argv) {
           ParseUint64Flag("--min-weight", next(), UINT32_MAX));
     } else if (arg == "--threads") {
       config.num_threads = ParseIntFlag("--threads", next(), 0);
+    } else if (arg == "--topology") {
+      ParseTopologyFlag(next(), &config);
+    } else if (arg == "--agg-condense") {
+      config.topology.aggregator_condense_eps =
+          ParseDoubleFlagMin("--agg-condense", next(), 0.0, false);
     } else if (arg == "--simd") {
       const std::string name = next();
       if (name == "auto") {
@@ -594,6 +661,11 @@ int main(int argc, char** argv) {
     }
     ContinuousDbdc continuous(*metric, global_params, config.protocol,
                               transport);
+    if (config.topology.kind == TopologyKind::kTree) {
+      continuous.SetTopology(
+          Topology::KaryTree(config.num_sites, config.topology.fanout),
+          config.topology.aggregator_condense_eps);
+    }
 
     std::vector<std::unique_ptr<StreamingSite>> stream_sites;
     stream_sites.reserve(static_cast<std::size_t>(config.num_sites));

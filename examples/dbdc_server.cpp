@@ -14,6 +14,11 @@
 //                           (default 256)
 //     --job-threads <int>   per-job worker-thread clamp, 0 = none
 //                           (default 4)
+//     --aggregator <int>    force every job onto a k-ary aggregation
+//                           tree of this fanout (>= 2), whatever topology
+//                           the request asked for; lossless, so labels
+//                           stay bit-identical to the flat run
+//                           (default 0 = honor the request)
 //     --max-sessions <int>  concurrent client connections (default 16)
 //     --max-jobs <int>      serve this many jobs, then exit cleanly
 //                           (default 0 = run until SIGINT/--allow-shutdown;
@@ -43,8 +48,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--port P] [--max-active N] [--max-queued N] "
                "[--max-points N] [--max-sites N] [--job-threads N] "
-               "[--max-sessions N] [--max-jobs N] [--allow-shutdown] "
-               "[--quiet]\n",
+               "[--aggregator K] [--max-sessions N] [--max-jobs N] "
+               "[--allow-shutdown] [--quiet]\n",
                argv0);
   std::exit(2);
 }
@@ -92,6 +97,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--job-threads") {
       options.limits.max_threads_per_job =
           ParseIntFlag("--job-threads", next(), 0, 1024);
+    } else if (arg == "--aggregator") {
+      options.limits.force_tree_fanout =
+          ParseIntFlag("--aggregator", next(), 2, 1 << 20);
     } else if (arg == "--max-sessions") {
       options.max_sessions = ParseIntFlag("--max-sessions", next(), 1,
                                           1 << 16);

@@ -1,0 +1,130 @@
+#include "core/aggregator.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace dbdc {
+
+AggregatorNode::AggregatorNode(EndpointId node_id, const Metric& metric,
+                               const GlobalModelParams& params,
+                               double condense_eps,
+                               const GlobalModelStrategy* strategy)
+    : node_id_(node_id),
+      metric_(&metric),
+      params_(params),
+      condense_eps_(condense_eps),
+      strategy_(strategy) {
+  DBDC_CHECK(node_id >= 0 && "aggregator ids are non-negative endpoints");
+  DBDC_CHECK(condense_eps >= 0.0);
+}
+
+DecodeStatus AggregatorNode::AddChildModelBytes(
+    std::span<const std::uint8_t> bytes) {
+  LocalModel model;
+  const DecodeStatus status = DecodeLocalModel(bytes, &model);
+  if (status == DecodeStatus::kOk) AddChildModel(std::move(model));
+  return status;
+}
+
+void AggregatorNode::AddChildModel(LocalModel model) {
+  if (!children_.empty()) {
+    DBDC_CHECK(model.dim == children_.front().dim &&
+               "child models must agree on dimensionality");
+  }
+  children_.push_back(std::move(model));
+}
+
+void AggregatorNode::UpsertChildModel(LocalModel model) {
+  for (LocalModel& existing : children_) {
+    if (existing.site_id == model.site_id) {
+      existing = std::move(model);
+      return;
+    }
+  }
+  AddChildModel(std::move(model));
+}
+
+DecodeStatus AggregatorNode::UpsertChildModelBytes(
+    std::span<const std::uint8_t> bytes) {
+  LocalModel model;
+  const DecodeStatus status = DecodeLocalModel(bytes, &model);
+  if (status == DecodeStatus::kOk) UpsertChildModel(std::move(model));
+  return status;
+}
+
+bool AggregatorNode::RemoveChildModel(int child_id) {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].site_id == child_id) {
+      children_.erase(children_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t AggregatorNode::representatives_in() const {
+  std::size_t total = 0;
+  for (const LocalModel& child : children_) {
+    total += child.representatives.size();
+  }
+  return total;
+}
+
+const LocalModel& AggregatorNode::BuildIntermediateModel() {
+  Timer timer;
+  // Concatenate in child order with the local-cluster ids offset apart,
+  // so clusters of different children never alias. In lossless mode this
+  // *is* the merged model: the children's representative sequences,
+  // verbatim and in order.
+  LocalModel merged;
+  merged.site_id = node_id_;
+  merged.dim = children_.empty() ? 0 : children_.front().dim;
+  ClusterId offset = 0;
+  for (const LocalModel& child : children_) {
+    for (const Representative& rep : child.representatives) {
+      Representative shifted = rep;
+      shifted.local_cluster = rep.local_cluster + offset;
+      merged.representatives.push_back(std::move(shifted));
+    }
+    offset += child.num_local_clusters;
+  }
+  merged.num_local_clusters = offset;
+
+  if (condense_eps_ > 0.0 && !children_.empty()) {
+    // Discover which representatives — across children — describe the
+    // same density area, with the same machinery the root uses, then
+    // condense within those intermediate clusters.
+    const DbscanGlobalStrategy default_strategy;
+    const GlobalModelStrategy* strategy =
+        strategy_ != nullptr ? strategy_ : &default_strategy;
+    const GlobalModel intermediate =
+        strategy->Build(children_, *metric_, params_);
+    DBDC_CHECK(intermediate.NumRepresentatives() ==
+                   merged.representatives.size() &&
+               "intermediate merge must cover every child representative");
+    for (std::size_t i = 0; i < merged.representatives.size(); ++i) {
+      merged.representatives[i].local_cluster =
+          intermediate.rep_global_cluster[i];
+    }
+    merged.num_local_clusters = intermediate.num_global_clusters;
+    merged = CondenseLocalModel(merged, condense_eps_, *metric_);
+  }
+
+  merged_ = std::move(merged);
+  merge_seconds_ = timer.Seconds();
+  obs::Count(obs::Counter::kAggregatorMerges);
+  return merged_;
+}
+
+std::vector<std::uint8_t> AggregatorNode::EncodeIntermediateModelBytes() {
+  BuildIntermediateModel();
+  DBDC_CHECK(!children_.empty() &&
+             "an aggregator with no child models sends nothing");
+  return EncodeLocalModel(merged_);
+}
+
+}  // namespace dbdc

@@ -1,0 +1,100 @@
+#ifndef DBDC_CORE_AGGREGATOR_H_
+#define DBDC_CORE_AGGREGATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/global_model.h"
+#include "core/model_codec.h"
+#include "distrib/transport.h"
+
+namespace dbdc {
+
+/// An intermediate merge node of the aggregation tree (DESIGN.md §13):
+/// collects the local (or intermediate) models of its children and
+/// merges them into ONE intermediate model that travels up the tree in
+/// their place, so the root's fan-in is bounded by the tree fanout
+/// instead of the site count.
+///
+/// Two merge modes, selected by `condense_eps`:
+///
+///   condense_eps == 0 (lossless): the child models are concatenated in
+///   child order with their local-cluster ids offset apart. The merged
+///   model carries exactly the children's representatives in order, so a
+///   lossless tree presents the root with the same representative
+///   sequence as the flat star — global labels are bit-identical in
+///   fault-free runs (the topology_test pins this).
+///
+///   condense_eps > 0 (condensing): the node first runs the global-merge
+///   machinery (GlobalModelStrategy; default the paper's DBSCAN merge)
+///   over its children to discover which representatives describe the
+///   same density area, stamps those intermediate cluster ids into the
+///   concatenated model, and then condenses it with CondenseLocalModel —
+///   cross-child representatives of one intermediate cluster within
+///   condense_eps collapse into their heaviest survivor with enlarged
+///   ε-range and summed weight. CondenseLocalModel's coverage guarantee
+///   carries over: every object covered below stays covered above, so
+///   condensation trades range coarseness, never reachability.
+///
+/// Continuous mode upserts/removes child contributions by child id
+/// (elastic membership); batch mode appends in arrival order.
+class AggregatorNode {
+ public:
+  /// `node_id` becomes the site_id of the merged model (so an upsert at
+  /// the parent keys on the aggregator, like any other child).
+  /// `metric` and `strategy` are borrowed and must outlive the node;
+  /// null strategy = the paper's DBSCAN merge (only consulted when
+  /// condense_eps > 0).
+  AggregatorNode(EndpointId node_id, const Metric& metric,
+                 const GlobalModelParams& params, double condense_eps,
+                 const GlobalModelStrategy* strategy = nullptr);
+
+  /// Batch ingestion: appends a child model received as bytes; on
+  /// anything but kOk the payload is ignored.
+  DecodeStatus AddChildModelBytes(std::span<const std::uint8_t> bytes);
+  void AddChildModel(LocalModel model);
+
+  /// Continuous ingestion: replaces the stored model with the same
+  /// site_id (appends on first contact) — a refresh supersedes the
+  /// child's previous contribution.
+  void UpsertChildModel(LocalModel model);
+  DecodeStatus UpsertChildModelBytes(std::span<const std::uint8_t> bytes);
+
+  /// Drops the stored model of `child_id` (a retired/expired child or a
+  /// dead child aggregator). Returns whether anything was stored.
+  bool RemoveChildModel(int child_id);
+
+  /// Merges the stored child models into the intermediate model this
+  /// node forwards to its parent. Valid with zero children (an empty
+  /// model). Records merge_seconds().
+  const LocalModel& BuildIntermediateModel();
+  /// BuildIntermediateModel() serialized with the v3 codec.
+  std::vector<std::uint8_t> EncodeIntermediateModelBytes();
+
+  EndpointId node_id() const { return node_id_; }
+  std::size_t num_child_models() const { return children_.size(); }
+  const std::vector<LocalModel>& child_models() const { return children_; }
+  /// Wall-clock seconds of the last BuildIntermediateModel().
+  double merge_seconds() const { return merge_seconds_; }
+  /// Representatives in across all stored children vs out of the last
+  /// merge — the condensation ratio the bench reports.
+  std::size_t representatives_in() const;
+  std::size_t representatives_out() const {
+    return merged_.representatives.size();
+  }
+
+ private:
+  EndpointId node_id_;
+  const Metric* metric_;
+  GlobalModelParams params_;
+  double condense_eps_;
+  const GlobalModelStrategy* strategy_;
+  std::vector<LocalModel> children_;
+  LocalModel merged_;
+  double merge_seconds_ = 0.0;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_CORE_AGGREGATOR_H_

@@ -73,6 +73,45 @@ ConfigStatus DbdcConfig::Validate() const {
     return ConfigStatus::Invalid("optics.max_eps_global",
                                  "must be >= 0 (0 = 4x Eps_global)");
   }
+  switch (topology.kind) {
+    case TopologyKind::kFlat:
+      if (topology.fanout != 0) {
+        return ConfigStatus::Invalid("topology.fanout",
+                                     "must be 0 for the flat topology");
+      }
+      break;
+    case TopologyKind::kTree:
+      if (topology.fanout < 2) {
+        return ConfigStatus::Invalid("topology.fanout",
+                                     "must be >= 2 for the tree topology");
+      }
+      break;
+    case TopologyKind::kExplicit:
+      if (explicit_topology == nullptr) {
+        return ConfigStatus::Invalid(
+            "explicit_topology",
+            "must be set for the explicit topology kind");
+      }
+      if (explicit_topology->num_sites() != num_sites) {
+        return ConfigStatus::Invalid("explicit_topology",
+                                     "must cover exactly num_sites sites");
+      }
+      if (const std::string problem = explicit_topology->Validate();
+          !problem.empty()) {
+        return ConfigStatus::Invalid("explicit_topology", problem);
+      }
+      break;
+  }
+  if (topology.kind != TopologyKind::kExplicit &&
+      explicit_topology != nullptr) {
+    return ConfigStatus::Invalid(
+        "explicit_topology",
+        "only valid with topology.kind = kExplicit");
+  }
+  if (!(topology.aggregator_condense_eps >= 0.0)) {
+    return ConfigStatus::Invalid("topology.aggregator_condense_eps",
+                                 "must be >= 0 (0 = lossless aggregation)");
+  }
   return ValidateProtocolConfig(protocol, "protocol");
 }
 

@@ -10,6 +10,7 @@
 #include "core/stage_stats.h"
 #include "distrib/partitioner.h"
 #include "distrib/protocol.h"
+#include "distrib/topology.h"
 #include "distrib/transport.h"
 #include "obs/metrics.h"
 
@@ -102,6 +103,29 @@ struct DbdcConfig {
   };
   OpticsOptions optics;
 
+  /// Aggregation topology (DESIGN.md §13). Flat (default) is the paper's
+  /// star and is pinned bit-identical to the historical pipeline; kTree
+  /// routes the uplink through a balanced k-ary tree of AggregatorNodes
+  /// so the root's fan-in is bounded by `fanout` instead of num_sites.
+  struct TopologyOptions {
+    TopologyKind kind = TopologyKind::kFlat;
+    /// Tree fanout; required >= 2 for kTree, required 0 for kFlat.
+    int fanout = 0;
+    /// Intermediate-model condensation radius at the aggregators
+    /// (AggregatorNode): 0 = lossless concatenation (tree labels
+    /// bit-identical to flat in fault-free runs), > 0 = cross-child
+    /// representatives of one intermediate cluster within this radius
+    /// collapse before traveling up (sub-linear root uplink).
+    double aggregator_condense_eps = 0.0;
+  };
+  TopologyOptions topology;
+  /// Optional explicit topology (TopologyKind::kExplicit shapes that a
+  /// (kind, fanout) pair cannot express). Borrowed, must outlive the run,
+  /// must satisfy Topology::Validate() and cover exactly num_sites sites.
+  /// Like `partitioner`, this pointer does NOT travel over the serve-layer
+  /// wire; remote jobs use the (kind, fanout) knobs.
+  const Topology* explicit_topology = nullptr;
+
   /// Checks every knob for structural validity (positivity, ranges,
   /// cross-field constraints) and names the first offending field.
   /// RunDbdc/RunDbdcOptics assert this; callers with a reporting channel
@@ -156,6 +180,12 @@ struct DbdcResult {
   /// Per-stage wall-clock/byte breakdown of the engine's seven pipeline
   /// stages, in pipeline order (see stage_stats.h).
   std::vector<StageStats> stage_stats;
+
+  /// Per-level breakdown of the aggregation topology (root-first; see
+  /// LevelStats). A flat run has two levels: the root and the sites. The
+  /// root entry's models_in is its fan-in — the number that stays bounded
+  /// by the fanout as sites scale.
+  std::vector<LevelStats> level_stats;
 
   /// Snapshot of the global MetricsRegistry taken as the pipeline
   /// finished; empty() when no registry was attached (the default).

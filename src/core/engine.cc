@@ -56,6 +56,24 @@ DbdcEngine::DbdcEngine(const Dataset& data, const Metric& metric,
                    config.condense_eps, config.num_threads},
       server_(metric, MakeGlobalParams(config)) {
   DBDC_CHECK(config_.num_sites >= 1);
+  switch (config_.topology.kind) {
+    case TopologyKind::kFlat:
+      topology_ = Topology::Flat(config_.num_sites);
+      break;
+    case TopologyKind::kTree:
+      topology_ =
+          Topology::KaryTree(config_.num_sites, config_.topology.fanout);
+      break;
+    case TopologyKind::kExplicit:
+      DBDC_CHECK(config_.explicit_topology != nullptr &&
+                 "kExplicit requires config.explicit_topology");
+      topology_ = *config_.explicit_topology;
+      DBDC_CHECK(topology_.num_sites() == config_.num_sites &&
+                 "explicit topology must cover num_sites sites");
+      DBDC_CHECK(topology_.Validate().empty() &&
+                 "explicit topology failed Validate()");
+      break;
+  }
   ctx_.transport = network != nullptr ? network : &own_network_;
   if (config_.protocol.enabled) {
     ctx_.channel.emplace(ctx_.transport, config_.protocol);
@@ -163,40 +181,102 @@ void DbdcEngine::BuildLocalModel() {
 
 void DbdcEngine::Transmit() {
   RunStage(StageId::kTransmit, [this] {
+    // Routing: every node uplinks its model to its topology parent —
+    // sites first (in site order), then the aggregators deepest level
+    // first, each merging what its children delivered before forwarding
+    // one intermediate model. Under the flat topology every parent is
+    // the root and the aggregator pass is empty: the message sequence is
+    // exactly the historical star's (the equivalence test pins this).
+    //
     // Two regimes:
     //   - protocol disabled (the paper's setting): raw payloads over an
     //     assumed-lossless transport; an undecodable payload aborts.
-    //   - protocol enabled: checksummed frames with ack/retry; the
-    //     server merges whatever arrived intact by the collection
-    //     deadline and the rest of the sites are reported as failed.
+    //   - protocol enabled: checksummed frames with ack/retry, hop by
+    //     hop; every merger ingests whatever arrived intact by the
+    //     collection deadline, and a site counts as failed when ANY hop
+    //     on its root path failed (its representatives never reached the
+    //     global model).
+    for (const EndpointId agg : topology_.AggregatorsBottomUp()) {
+      aggregators_.try_emplace(agg, agg, *metric_, MakeGlobalParams(config_),
+                               config_.topology.aggregator_condense_eps,
+                               global_strategy_);
+    }
     if (!config_.protocol.enabled) {
       for (Site& site : sites_) {
         result_.num_representatives +=
             site.local_model().representatives.size();
-        ctx_.transport->Send(site.site_id(), kServerEndpoint,
+        ctx_.transport->Send(site.site_id(),
+                             topology_.ParentOf(site.site_id()),
                              site.EncodeLocalModelBytes());
+      }
+      for (const EndpointId agg : topology_.AggregatorsBottomUp()) {
+        AggregatorNode& node = aggregators_.at(agg);
+        for (const NetworkMessage* msg : ctx_.transport->Inbox(agg)) {
+          bytes_in_by_node_[agg] += msg->payload.size();
+          const DecodeStatus status = node.AddChildModelBytes(msg->payload);
+          DBDC_CHECK(status == DecodeStatus::kOk &&
+                     "child model payload failed to decode");
+        }
+        ctx_.transport->Send(agg, topology_.ParentOf(agg),
+                             node.EncodeIntermediateModelBytes());
+        obs::Count(obs::Counter::kIntermediateModelsForwarded);
       }
       for (const NetworkMessage* msg :
            ctx_.transport->Inbox(kServerEndpoint)) {
+        bytes_in_by_node_[kServerEndpoint] += msg->payload.size();
         const DecodeStatus status = server_.AddLocalModelBytes(msg->payload);
         DBDC_CHECK(status == DecodeStatus::kOk &&
                    "local model payload failed to decode");
       }
       result_.sites_reporting = config_.num_sites;
     } else {
-      for (Site& site : sites_) {
-        const TransferOutcome up = ctx_.channel->Transfer(
-            site.site_id(), kServerEndpoint, site.EncodeLocalModelBytes());
+      // One reliable hop: Transfer + deadline + decode at the receiving
+      // merger. Returns whether the payload entered the receiver's model
+      // set.
+      const auto uplink_hop = [this](EndpointId from, EndpointId to,
+                                     std::vector<std::uint8_t> payload) {
+        const TransferOutcome up =
+            ctx_.channel->Transfer(from, to, std::move(payload));
         AccumulateProtocolCounters(up, &result_);
-        bool accepted =
-            up.delivered &&
-            up.delivered_seconds <= config_.protocol.collection_deadline_sec;
-        if (accepted) {
-          accepted =
-              server_.AddLocalModelBytes(DeliveredPayload(
-                  *ctx_.transport, up)) == DecodeStatus::kOk;
+        if (!up.delivered ||
+            up.delivered_seconds > config_.protocol.collection_deadline_sec) {
+          return false;
         }
-        if (accepted) {
+        std::vector<std::uint8_t> delivered =
+            DeliveredPayload(*ctx_.transport, up);
+        const std::uint64_t delivered_bytes = delivered.size();
+        const DecodeStatus status =
+            to == kServerEndpoint
+                ? server_.AddLocalModelBytes(delivered)
+                : aggregators_.at(to).AddChildModelBytes(delivered);
+        if (status != DecodeStatus::kOk) return false;
+        bytes_in_by_node_[to] += delivered_bytes;
+        return true;
+      };
+      for (Site& site : sites_) {
+        uplink_hop_ok_[site.site_id()] =
+            uplink_hop(site.site_id(), topology_.ParentOf(site.site_id()),
+                       site.EncodeLocalModelBytes());
+      }
+      for (const EndpointId agg : topology_.AggregatorsBottomUp()) {
+        AggregatorNode& node = aggregators_.at(agg);
+        if (node.num_child_models() == 0) {
+          // Every child hop failed; there is nothing to forward.
+          uplink_hop_ok_[agg] = false;
+          continue;
+        }
+        uplink_hop_ok_[agg] = uplink_hop(agg, topology_.ParentOf(agg),
+                                         node.EncodeIntermediateModelBytes());
+        obs::Count(obs::Counter::kIntermediateModelsForwarded);
+      }
+      for (Site& site : sites_) {
+        bool reached_root = uplink_hop_ok_.at(site.site_id());
+        for (EndpointId node = topology_.ParentOf(site.site_id());
+             reached_root && node != kServerEndpoint;
+             node = topology_.ParentOf(node)) {
+          reached_root = uplink_hop_ok_.at(node);
+        }
+        if (reached_root) {
           ++result_.sites_reporting;
           result_.num_representatives +=
               site.local_model().representatives.size();
@@ -206,7 +286,45 @@ void DbdcEngine::Transmit() {
       }
     }
     result_.sites_failed = config_.num_sites - result_.sites_reporting;
+    FillLevelStats();
   });
+}
+
+void DbdcEngine::FillLevelStats() {
+  std::vector<LevelStats> levels(
+      static_cast<std::size_t>(topology_.depth()) + 1);
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    levels[l].level = static_cast<int>(l);
+  }
+  LevelStats& root = levels[0];
+  root.nodes = 1;
+  root.models_in = static_cast<int>(server_.num_local_models());
+  for (const LocalModel& model : server_.local_models()) {
+    root.representatives_in += model.representatives.size();
+  }
+  root.bytes_in = bytes_in_by_node_[kServerEndpoint];
+  // root.merge_seconds is the MergeGlobal stage; TakeResult() fills it.
+  for (Site& site : sites_) {
+    LevelStats& level =
+        levels[static_cast<std::size_t>(topology_.LevelOf(site.site_id()))];
+    ++level.nodes;
+    if (config_.protocol.enabled && !uplink_hop_ok_.at(site.site_id())) {
+      ++level.nodes_failed;
+    }
+  }
+  for (const auto& [agg, node] : aggregators_) {
+    LevelStats& level =
+        levels[static_cast<std::size_t>(topology_.LevelOf(agg))];
+    ++level.nodes;
+    level.models_in += static_cast<int>(node.num_child_models());
+    level.representatives_in += node.representatives_in();
+    level.bytes_in += bytes_in_by_node_[agg];
+    level.merge_seconds += node.merge_seconds();
+    if (config_.protocol.enabled && !uplink_hop_ok_.at(agg)) {
+      ++level.nodes_failed;
+    }
+  }
+  result_.level_stats = std::move(levels);
 }
 
 void DbdcEngine::MergeGlobal() {
@@ -222,18 +340,46 @@ void DbdcEngine::Broadcast() {
   RunStage(StageId::kBroadcast, [this] {
     global_bytes_ = server_.EncodeGlobalModelBytes();
     received_.assign(sites_.size(), std::nullopt);
-    for (std::size_t i = 0; i < sites_.size(); ++i) {
+    // Top-down over the topology: the root sends to its children in
+    // child order; every aggregator the payload reached forwards the
+    // bytes it received, verbatim, to its own children. A failed hop
+    // cuts the whole subtree below it (those sites keep kNoise). Under
+    // the flat topology the root's children are the sites in site order
+    // — the historical broadcast loop, message for message.
+    const auto downlink_hop =
+        [this](EndpointId from, EndpointId to,
+               const std::vector<std::uint8_t>& payload)
+        -> std::optional<std::vector<std::uint8_t>> {
       if (!config_.protocol.enabled) {
-        ctx_.transport->Send(kServerEndpoint, sites_[i].site_id(),
-                             global_bytes_);
-        received_[i] = global_bytes_;
-      } else {
-        const TransferOutcome down = ctx_.channel->Transfer(
-            kServerEndpoint, sites_[i].site_id(), global_bytes_);
-        AccumulateProtocolCounters(down, &result_);
-        if (!down.delivered) continue;
-        received_[i] = DeliveredPayload(*ctx_.transport, down);
+        ctx_.transport->Send(from, to, payload);
+        return payload;
       }
+      const TransferOutcome down = ctx_.channel->Transfer(from, to, payload);
+      AccumulateProtocolCounters(down, &result_);
+      if (!down.delivered) return std::nullopt;
+      return DeliveredPayload(*ctx_.transport, down);
+    };
+    // Payload as it arrived at each aggregator (absent = hop failed).
+    std::map<EndpointId, std::vector<std::uint8_t>> at_aggregator;
+    const auto fan_out = [&](EndpointId node,
+                             const std::vector<std::uint8_t>& payload) {
+      for (const EndpointId child : topology_.ChildrenOf(node)) {
+        std::optional<std::vector<std::uint8_t>> got =
+            downlink_hop(node, child, payload);
+        if (!got.has_value()) continue;
+        if (topology_.IsAggregator(child)) {
+          at_aggregator[child] = std::move(*got);
+        } else {
+          // Sites are created in site-id order, so id == index.
+          received_[static_cast<std::size_t>(child)] = std::move(*got);
+        }
+      }
+    };
+    fan_out(kServerEndpoint, global_bytes_);
+    for (const EndpointId agg : topology_.AggregatorsTopDown()) {
+      const auto it = at_aggregator.find(agg);
+      if (it == at_aggregator.end()) continue;
+      fan_out(agg, it->second);
     }
   });
 }
@@ -288,6 +434,10 @@ DbdcResult DbdcEngine::TakeResult() {
   result_.bytes_downlink = ctx_.transport->BytesDownlink();
   result_.global_model = server_.global_model();
   result_.stage_stats = ctx_.stages;
+  if (!result_.level_stats.empty()) {
+    // The root's merge is the MergeGlobal stage, known only now.
+    result_.level_stats[0].merge_seconds = result_.global_seconds;
+  }
   // Tier gauge before Snapshot() so the snapshot carries it too.
   const simd::Tier tier = simd::ActiveTier();
   obs::SetGauge(obs::Gauge::kSimdTier,
@@ -303,7 +453,11 @@ ContinuousDbdc::ContinuousDbdc(const Metric& metric,
                                const GlobalModelParams& params,
                                const ProtocolConfig& protocol,
                                Transport* network)
-    : protocol_(protocol), server_(metric, params) {
+    : protocol_(protocol),
+      server_(metric, params),
+      metric_(&metric),
+      global_params_(params),
+      topology_(Topology::Flat(0)) {
   DBDC_ASSERT(ValidateProtocolConfig(protocol, "protocol").ok &&
               "invalid ProtocolConfig; call ValidateProtocolConfig for "
               "the field");
@@ -313,14 +467,108 @@ ContinuousDbdc::ContinuousDbdc(const Metric& metric,
   }
 }
 
+void ContinuousDbdc::SetTopology(Topology topology,
+                                 double aggregator_condense_eps) {
+  DBDC_CHECK(members_.empty() &&
+             "set the topology before attaching sites");
+  DBDC_CHECK(topology.Validate().empty() && "topology failed Validate()");
+  DBDC_CHECK(aggregator_condense_eps >= 0.0);
+  topology_ = std::move(topology);
+  aggregator_condense_eps_ = aggregator_condense_eps;
+  aggregators_.clear();
+  dirty_aggregators_.clear();
+  for (const EndpointId agg : topology_.AggregatorsBottomUp()) {
+    aggregators_.try_emplace(agg, agg, *metric_, global_params_,
+                             aggregator_condense_eps_, nullptr);
+  }
+}
+
 void ContinuousDbdc::AttachSite(StreamingSite* site) {
   DBDC_CHECK(site != nullptr);
-  for (const StreamingSite* existing : sites_) {
-    DBDC_CHECK(existing->site_id() != site->site_id() &&
-               "duplicate streaming site id");
+  DBDC_CHECK(member_index_.count(site->site_id()) == 0 &&
+             "duplicate streaming site id");
+  if (!topology_.IsSite(site->site_id())) {
+    // Mid-stream join: the deterministic join rule of Topology::AddSite.
+    topology_.AddSite(site->site_id());
   }
-  sites_.push_back(site);
-  labels_.emplace_back();
+  member_index_[site->site_id()] = members_.size();
+  Member member;
+  member.site = site;
+  member.last_alive_tick = stats_.ticks;
+  members_.push_back(std::move(member));
+}
+
+bool ContinuousDbdc::EvictFromParent(EndpointId parent, int child_id) {
+  if (parent == kServerEndpoint) {
+    const bool evicted = server_.RemoveLocalModel(child_id);
+    rebuild_pending_ = rebuild_pending_ || evicted;
+    return evicted;
+  }
+  const bool evicted = aggregators_.at(parent).RemoveChildModel(child_id);
+  if (evicted) dirty_aggregators_.insert(parent);
+  return evicted;
+}
+
+void ContinuousDbdc::RetireSite(int site_id) {
+  const auto it = member_index_.find(site_id);
+  DBDC_CHECK(it != member_index_.end() && "unknown site id");
+  Member& member = members_[it->second];
+  DBDC_CHECK(!member.retired && "site already retired");
+  member.retired = true;
+  EvictFromParent(topology_.ParentOf(site_id), site_id);
+  topology_.RemoveSite(site_id);
+  // A retirement must leave the global model even when the site never
+  // contributed: the next tick still rebuilds only if something was
+  // actually evicted (EvictFromParent recorded that).
+  ++stats_.sites_retired;
+  obs::Count(obs::Counter::kSitesRetired);
+}
+
+void ContinuousDbdc::FailAggregator(EndpointId aggregator) {
+  DBDC_CHECK(topology_.IsAggregator(aggregator) && "unknown aggregator");
+  const EndpointId parent = topology_.ParentOf(aggregator);
+  const std::vector<EndpointId> orphans = topology_.ChildrenOf(aggregator);
+  topology_.RemoveAggregator(aggregator);
+  EvictFromParent(parent, aggregator);
+  // The orphans' stored contributions died with the node; every orphan
+  // re-delivers its current state to the new parent on the next tick.
+  for (const EndpointId orphan : orphans) {
+    if (topology_.IsAggregator(orphan)) {
+      dirty_aggregators_.insert(orphan);
+    } else if (const auto member_it = member_index_.find(orphan);
+               member_it != member_index_.end()) {
+      members_[member_it->second].force_refresh = true;
+    }
+  }
+  aggregators_.erase(aggregator);
+  dirty_aggregators_.erase(aggregator);
+  ++stats_.aggregators_failed;
+}
+
+std::optional<std::vector<std::uint8_t>> ContinuousDbdc::TickTransfer(
+    EndpointId from, EndpointId to, std::vector<std::uint8_t> payload,
+    double* transfer_sec, bool enforce_deadline) {
+  if (protocol_.enabled) {
+    const TransferOutcome outcome =
+        ctx_.channel->Transfer(from, to, std::move(payload));
+    stats_.protocol_retries += static_cast<std::uint64_t>(outcome.retries);
+    *transfer_sec = std::max(*transfer_sec, outcome.elapsed_seconds);
+    if (!outcome.delivered) return std::nullopt;
+    if (enforce_deadline &&
+        outcome.delivered_seconds > protocol_.collection_deadline_sec) {
+      return std::nullopt;
+    }
+    return DeliveredPayload(*ctx_.transport, outcome);
+  }
+  const std::size_t index =
+      ctx_.transport->Send(from, to, std::move(payload));
+  if (index == kMessageDropped) return std::nullopt;
+  const NetworkMessage& msg = ctx_.transport->Message(index);
+  *transfer_sec = std::max(
+      *transfer_sec,
+      EstimateTransferSeconds(msg.payload.size(), protocol_.link) +
+          ctx_.transport->DeliveryDelaySeconds(index));
+  return msg.payload;
 }
 
 int ContinuousDbdc::Tick() {
@@ -334,42 +582,48 @@ int ContinuousDbdc::Tick() {
 
   int applied = 0;
   double tick_transfer_sec = 0.0;
+  bool root_changed = rebuild_pending_;
+  rebuild_pending_ = false;
 
-  // Uplink leg: stale sites push a refreshed model; the server replaces
-  // that site's previous contribution (upsert).
-  for (StreamingSite* site : sites_) {
-    if (!site->ModelNeedsRefresh()) continue;
-    site->RefreshModel();
+  // Uplink leg: stale sites push a refreshed model to their topology
+  // parent, which replaces that site's previous contribution (upsert).
+  // A quiet reachable site counts as alive (nothing pending is itself a
+  // heartbeat); only sites whose refreshes keep vanishing go stale
+  // toward the TTL.
+  for (Member& member : members_) {
+    if (member.retired) continue;
+    StreamingSite* site = member.site;
+    const bool needs = member.force_refresh || site->ModelNeedsRefresh();
+    if (!needs) {
+      member.last_alive_tick = stats_.ticks;
+      continue;
+    }
+    if (site->ModelNeedsRefresh()) site->RefreshModel();
     std::vector<std::uint8_t> bytes = site->EncodeLocalModelBytes();
     ++stats_.refreshes_sent;
     obs::Count(obs::Counter::kRefreshesSent);
+    const EndpointId parent = topology_.ParentOf(site->site_id());
     bool ok = false;
-    if (protocol_.enabled) {
-      const TransferOutcome up = ctx_.channel->Transfer(
-          site->site_id(), kServerEndpoint, std::move(bytes));
-      stats_.protocol_retries += static_cast<std::uint64_t>(up.retries);
-      tick_transfer_sec = std::max(tick_transfer_sec, up.elapsed_seconds);
-      if (up.delivered &&
-          up.delivered_seconds <= protocol_.collection_deadline_sec) {
-        ok = server_.UpsertLocalModelBytes(DeliveredPayload(
-                 *ctx_.transport, up)) == DecodeStatus::kOk;
-      }
-    } else {
-      const std::size_t index = ctx_.transport->Send(
-          site->site_id(), kServerEndpoint, std::move(bytes));
-      if (index != kMessageDropped) {
-        const NetworkMessage& msg = ctx_.transport->Message(index);
-        ok = server_.UpsertLocalModelBytes(msg.payload) == DecodeStatus::kOk;
-        tick_transfer_sec = std::max(
-            tick_transfer_sec,
-            EstimateTransferSeconds(msg.payload.size(), protocol_.link) +
-                ctx_.transport->DeliveryDelaySeconds(index));
+    std::optional<std::vector<std::uint8_t>> delivered =
+        TickTransfer(site->site_id(), parent, std::move(bytes),
+                     &tick_transfer_sec, /*enforce_deadline=*/true);
+    if (delivered.has_value()) {
+      if (parent == kServerEndpoint) {
+        ok = server_.UpsertLocalModelBytes(*delivered) == DecodeStatus::kOk;
+        root_changed = root_changed || ok;
+      } else {
+        ok = aggregators_.at(parent).UpsertChildModelBytes(*delivered) ==
+             DecodeStatus::kOk;
+        if (ok) dirty_aggregators_.insert(parent);
       }
     }
     if (ok) {
       ++stats_.refreshes_applied;
       obs::Count(obs::Counter::kRefreshesApplied);
       ++applied;
+      member.last_alive_tick = stats_.ticks;
+      member.force_refresh = false;
+      member.expired = false;
     } else {
       // The site's previous model stays in effect; the stream self-heals
       // on its next refresh.
@@ -378,40 +632,96 @@ int ContinuousDbdc::Tick() {
     }
   }
 
-  // Merge + downlink leg, only when something actually changed: quiet
-  // ticks cost zero bytes and zero global rebuilds.
-  if (applied > 0) {
+  // TTL sweep: a site silent for ttl_ticks_ consecutive ticks is presumed
+  // dead — its stale model leaves the model set so it stops polluting
+  // the global model. The site stays attached: a later refresh that gets
+  // through re-admits it (force_refresh accelerates that recovery).
+  if (ttl_ticks_ > 0) {
+    for (Member& member : members_) {
+      if (member.retired || member.expired) continue;
+      if (stats_.ticks - member.last_alive_tick < ttl_ticks_) continue;
+      member.expired = true;
+      member.force_refresh = true;
+      EvictFromParent(topology_.ParentOf(member.site->site_id()),
+                      member.site->site_id());
+      root_changed = root_changed || rebuild_pending_;
+      rebuild_pending_ = false;
+      ++stats_.sites_expired;
+      obs::Count(obs::Counter::kSitesExpired);
+    }
+  }
+
+  // Aggregator leg, deepest level first: every node whose child set
+  // changed re-merges and forwards one intermediate model to its parent.
+  // A lost forward keeps the node dirty — retried next tick. A node
+  // drained of children evicts its own contribution instead.
+  for (const EndpointId agg : topology_.AggregatorsBottomUp()) {
+    if (dirty_aggregators_.count(agg) == 0) continue;
+    AggregatorNode& node = aggregators_.at(agg);
+    const EndpointId parent = topology_.ParentOf(agg);
+    if (node.num_child_models() == 0) {
+      dirty_aggregators_.erase(agg);
+      EvictFromParent(parent, agg);
+      root_changed = root_changed || rebuild_pending_;
+      rebuild_pending_ = false;
+      continue;
+    }
+    std::vector<std::uint8_t> bytes = node.EncodeIntermediateModelBytes();
+    ++stats_.aggregator_forwards;
+    obs::Count(obs::Counter::kIntermediateModelsForwarded);
+    bool ok = false;
+    std::optional<std::vector<std::uint8_t>> delivered =
+        TickTransfer(agg, parent, std::move(bytes), &tick_transfer_sec,
+                     /*enforce_deadline=*/true);
+    if (delivered.has_value()) {
+      if (parent == kServerEndpoint) {
+        ok = server_.UpsertLocalModelBytes(*delivered) == DecodeStatus::kOk;
+        root_changed = root_changed || ok;
+      } else {
+        ok = aggregators_.at(parent).UpsertChildModelBytes(*delivered) ==
+             DecodeStatus::kOk;
+        if (ok) dirty_aggregators_.insert(parent);
+      }
+    }
+    if (ok) {
+      dirty_aggregators_.erase(agg);
+    } else {
+      ++stats_.aggregator_forwards_lost;
+    }
+  }
+
+  // Merge + downlink leg, only when the root's view actually changed:
+  // quiet ticks cost zero bytes and zero global rebuilds. The broadcast
+  // routes top-down over the topology; a failed aggregator hop cuts the
+  // whole subtree below it that tick.
+  if (root_changed) {
     server_.BuildGlobal();
     ++stats_.global_rebuilds;
     obs::Count(obs::Counter::kGlobalRebuilds);
     const std::vector<std::uint8_t> global_bytes =
         server_.EncodeGlobalModelBytes();
-    for (std::size_t i = 0; i < sites_.size(); ++i) {
-      std::optional<std::vector<std::uint8_t>> received;
-      if (protocol_.enabled) {
-        const TransferOutcome down = ctx_.channel->Transfer(
-            kServerEndpoint, sites_[i]->site_id(), global_bytes);
-        stats_.protocol_retries += static_cast<std::uint64_t>(down.retries);
-        tick_transfer_sec =
-            std::max(tick_transfer_sec, down.elapsed_seconds);
-        if (down.delivered) {
-          received = DeliveredPayload(*ctx_.transport, down);
-        }
-      } else {
-        const std::size_t index = ctx_.transport->Send(
-            kServerEndpoint, sites_[i]->site_id(), global_bytes);
-        if (index != kMessageDropped) {
-          const NetworkMessage& msg = ctx_.transport->Message(index);
-          received = msg.payload;
-          tick_transfer_sec = std::max(
-              tick_transfer_sec,
-              EstimateTransferSeconds(msg.payload.size(), protocol_.link) +
-                  ctx_.transport->DeliveryDelaySeconds(index));
-        }
+    std::map<EndpointId, std::vector<std::uint8_t>> at_node;
+    const auto fan_out = [&](EndpointId node,
+                             const std::vector<std::uint8_t>& payload) {
+      for (const EndpointId child : topology_.ChildrenOf(node)) {
+        std::optional<std::vector<std::uint8_t>> got =
+            TickTransfer(node, child, payload, &tick_transfer_sec,
+                         /*enforce_deadline=*/false);
+        if (got.has_value()) at_node[child] = std::move(*got);
       }
+    };
+    fan_out(kServerEndpoint, global_bytes);
+    for (const EndpointId agg : topology_.AggregatorsTopDown()) {
+      const auto it = at_node.find(agg);
+      if (it == at_node.end()) continue;
+      fan_out(agg, it->second);
+    }
+    for (Member& member : members_) {
+      if (member.retired) continue;
+      const auto it = at_node.find(member.site->site_id());
       const bool relabeled =
-          received.has_value() &&
-          sites_[i]->ApplyGlobalModelBytes(*received, &labels_[i]) ==
+          it != at_node.end() &&
+          member.site->ApplyGlobalModelBytes(it->second, &member.labels) ==
               DecodeStatus::kOk;
       if (relabeled) {
         ++stats_.broadcasts_delivered;

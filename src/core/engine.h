@@ -2,12 +2,15 @@
 #define DBDC_CORE_ENGINE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/aggregator.h"
 #include "core/dbdc.h"
 #include "core/server.h"
 #include "core/site.h"
@@ -15,6 +18,7 @@
 #include "core/streaming_site.h"
 #include "distrib/network.h"
 #include "distrib/protocol.h"
+#include "distrib/topology.h"
 #include "distrib/transport.h"
 
 namespace dbdc {
@@ -107,10 +111,18 @@ class DbdcEngine {
   const RunContext& context() const { return ctx_; }
   const std::vector<Site>& sites() const { return sites_; }
   const Server& server() const { return server_; }
+  /// The aggregation topology the run routes over (config.topology;
+  /// DESIGN.md §13). Flat reduces every routed stage to the historical
+  /// star, byte-identically.
+  const Topology& topology() const { return topology_; }
 
  private:
   template <typename Fn>
   void ForEachSite(Fn&& fn);
+
+  /// Lays out result_.level_stats from the topology shape and the
+  /// per-aggregator uplink accounting gathered during Transmit().
+  void FillLevelStats();
 
   /// Runs `body` as stage `id`: enforces pipeline order and records the
   /// stage's wall-clock seconds and transport byte deltas into
@@ -128,6 +140,14 @@ class DbdcEngine {
   const GlobalModelStrategy* global_strategy_ = nullptr;
   std::vector<Site> sites_;
   Server server_;
+  Topology topology_;
+  /// Intermediate merge nodes, keyed by aggregator endpoint (empty under
+  /// the flat topology). Created at Transmit().
+  std::map<EndpointId, AggregatorNode> aggregators_;
+  /// Uplink payload bytes ingested per endpoint (root + aggregators) and
+  /// per-hop acceptance, gathered during Transmit() for level_stats.
+  std::map<EndpointId, std::uint64_t> bytes_in_by_node_;
+  std::map<EndpointId, bool> uplink_hop_ok_;
   std::vector<std::uint8_t> global_bytes_;
   /// Broadcast payload per site; disengaged = delivery failed.
   std::vector<std::optional<std::vector<std::uint8_t>>> received_;
@@ -154,6 +174,19 @@ class DbdcEngine {
 /// self-heals on the next refresh); with it, delivery gets the full
 /// retry/deadline treatment and the virtual clock advances by the
 /// slowest transfer of the tick.
+///
+/// Membership is elastic (DESIGN.md §13): sites may AttachSite()
+/// mid-stream (the upsert path needs no warning), retire explicitly
+/// (RetireSite — their stored model is evicted from the global model),
+/// or expire via TTL (SetSiteTtl — a site whose refreshes keep failing
+/// to arrive is presumed dead after `ttl` silent ticks and its stale
+/// model evicted; a later successful refresh re-admits it). Refreshes
+/// route over an aggregation Topology (SetTopology; default flat):
+/// aggregator nodes upsert child refreshes, re-merge, and forward one
+/// intermediate model up, retrying on the next tick when a forward is
+/// lost. FailAggregator() kills a merge node: its children re-parent
+/// deterministically (Topology::RemoveAggregator) and re-deliver their
+/// current models to the new parent on the next tick.
 class ContinuousDbdc {
  public:
   /// Cumulative counters over the run's lifetime.
@@ -166,6 +199,12 @@ class ContinuousDbdc {
     std::uint64_t broadcasts_delivered = 0;
     std::uint64_t broadcasts_lost = 0;
     std::uint64_t protocol_retries = 0;
+    /// Elastic membership (DESIGN.md §13).
+    std::uint64_t sites_retired = 0;
+    std::uint64_t sites_expired = 0;
+    std::uint64_t aggregator_forwards = 0;
+    std::uint64_t aggregator_forwards_lost = 0;
+    std::uint64_t aggregators_failed = 0;
   };
 
   /// `metric`, `network`, and any strategy must outlive the object.
@@ -182,35 +221,106 @@ class ContinuousDbdc {
     server_.SetGlobalStrategy(strategy);
   }
 
+  /// Routes the stream over `topology` (copied) instead of the default
+  /// flat star; `aggregator_condense_eps` selects the merge nodes'
+  /// condensation radius (0 = lossless). Must be called before the first
+  /// AttachSite. Sites the topology does not pre-track join under the
+  /// deterministic rule of Topology::AddSite.
+  void SetTopology(Topology topology, double aggregator_condense_eps = 0.0);
+
+  /// Evicts attached sites that have not proven alive — no applied
+  /// refresh and never quiet-while-reachable — for `ticks` consecutive
+  /// ticks: their stale model leaves the global model until a later
+  /// refresh re-admits them. 0 (default) disables expiry.
+  void SetSiteTtl(std::uint64_t ticks) { ttl_ticks_ = ticks; }
+
   /// Registers a streaming site (borrowed; must outlive the object).
+  /// Sites may join mid-stream; their first refresh upserts like any
+  /// other.
   void AttachSite(StreamingSite* site);
 
-  /// One pass over the attached sites: refresh-if-stale, upsert, rebuild
-  /// + re-broadcast iff anything arrived. Returns the number of
-  /// refreshes the server applied this tick.
+  /// Explicitly retires an attached site: its stored model is evicted
+  /// (the next tick rebuilds the global model without it) and the site
+  /// stops participating in ticks. Its labels(index) entry stays frozen.
+  void RetireSite(int site_id);
+
+  /// Kills an aggregator of the current topology: its children are
+  /// re-parented deterministically onto its own parent and re-deliver
+  /// their current models on the next tick; the dead node's intermediate
+  /// model is evicted from its parent.
+  void FailAggregator(EndpointId aggregator);
+
+  /// One pass over the attached sites: refresh-if-stale, upsert at the
+  /// parent, TTL sweep, aggregator re-merge/forward, rebuild +
+  /// re-broadcast iff the root's view changed. Returns the number of
+  /// refreshes applied at their first hop this tick.
   int Tick();
 
   /// Latest relabeled (active point id, global label) pairs of the
   /// attached site at `index` (in AttachSite order); empty until the
-  /// first broadcast reaches it.
+  /// first broadcast reaches it; frozen once the site retires.
   const std::vector<std::pair<PointId, ClusterId>>& labels(
       std::size_t index) const {
-    DBDC_CHECK(index < labels_.size());
-    return labels_[index];
+    DBDC_CHECK(index < members_.size());
+    return members_[index].labels;
   }
 
   const Stats& stats() const { return stats_; }
   const Server& server() const { return server_; }
   const Transport& transport() const { return *ctx_.transport; }
+  const Topology& topology() const { return topology_; }
   double virtual_now_sec() const { return ctx_.virtual_now_sec; }
 
  private:
+  /// Per-site membership state, in AttachSite order (never erased:
+  /// labels() indices stay stable across retirements).
+  struct Member {
+    StreamingSite* site = nullptr;
+    std::vector<std::pair<PointId, ClusterId>> labels;
+    /// Last tick index the site proved alive (applied refresh, or quiet
+    /// with nothing pending); attach counts as alive.
+    std::uint64_t last_alive_tick = 0;
+    bool retired = false;
+    /// TTL fired: the stored model is evicted until a refresh arrives.
+    bool expired = false;
+    /// Re-send the full model next tick even if the RefreshPolicy is
+    /// quiet (set on re-parenting and on expiry, so recovery does not
+    /// wait for the next structural change).
+    bool force_refresh = false;
+  };
+
+  /// Sends `payload` from `from` to `to` on this tick's uplink/downlink
+  /// leg; returns the delivered payload (nullopt = lost). Advances
+  /// `*transfer_sec` by the transfer's virtual duration. The collection
+  /// deadline applies to uplink refreshes only (`enforce_deadline`) —
+  /// broadcast delivery has never been deadline-gated.
+  std::optional<std::vector<std::uint8_t>> TickTransfer(
+      EndpointId from, EndpointId to, std::vector<std::uint8_t> payload,
+      double* transfer_sec, bool enforce_deadline);
+  /// Evicts `child`'s stored model from `parent` (the root server or an
+  /// aggregator); returns whether anything was evicted. Marks the parent
+  /// dirty / the root changed.
+  bool EvictFromParent(EndpointId parent, int child_id);
+
   ProtocolConfig protocol_;
   SimulatedNetwork own_network_;
   RunContext ctx_;
   Server server_;
-  std::vector<StreamingSite*> sites_;
-  std::vector<std::vector<std::pair<PointId, ClusterId>>> labels_;
+  const Metric* metric_;
+  GlobalModelParams global_params_;
+  Topology topology_;
+  double aggregator_condense_eps_ = 0.0;
+  /// Merge-node state, keyed by aggregator endpoint.
+  std::map<EndpointId, AggregatorNode> aggregators_;
+  /// Aggregators whose child set changed since their last successful
+  /// forward (re-merged and re-sent next tick — lost forwards retry).
+  std::set<EndpointId> dirty_aggregators_;
+  /// The root's stored models changed outside a tick (RetireSite /
+  /// FailAggregator); the next tick rebuilds even with zero refreshes.
+  bool rebuild_pending_ = false;
+  std::vector<Member> members_;
+  std::map<int, std::size_t> member_index_;
+  std::uint64_t ttl_ticks_ = 0;
   Stats stats_;
 };
 

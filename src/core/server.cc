@@ -38,6 +38,16 @@ DecodeStatus Server::UpsertLocalModelBytes(
   return DecodeStatus::kOk;
 }
 
+bool Server::RemoveLocalModel(int site_id) {
+  for (std::size_t i = 0; i < locals_.size(); ++i) {
+    if (locals_[i].site_id == site_id) {
+      locals_.erase(locals_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
 const GlobalModel& Server::BuildGlobal() {
   Timer timer;
   global_ = strategy_ != nullptr

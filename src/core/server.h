@@ -40,6 +40,12 @@ class Server {
   /// models are untouched.
   DecodeStatus UpsertLocalModelBytes(std::span<const std::uint8_t> bytes);
 
+  /// Drops the stored model of `site_id` — elastic membership: a retired
+  /// or TTL-expired site (or a dead aggregator) stops contributing to the
+  /// next BuildGlobal(). Returns whether a model was stored. The current
+  /// global_model() is untouched until the next BuildGlobal().
+  bool RemoveLocalModel(int site_id);
+
   /// Selects how BuildGlobal merges the collected models. Null (default)
   /// restores the built-in paper merge (BuildGlobalModel). The strategy
   /// must outlive the server.

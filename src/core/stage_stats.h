@@ -47,6 +47,32 @@ struct StageStats {
   std::uint64_t bytes_downlink = 0;
 };
 
+/// Per-level breakdown of a run over an aggregation topology
+/// (DESIGN.md §13), one entry per tree level in root-first order. Level
+/// 0 is the root server; level k holds the endpoints k hops below it
+/// (aggregators and/or sites). A flat run has exactly two levels: the
+/// root and the sites.
+struct LevelStats {
+  int level = 0;
+  /// Endpoints at this level (the root counts as one node at level 0).
+  int nodes = 0;
+  /// Endpoints at this level whose uplink hop failed (dead link,
+  /// deadline, retry budget exhausted, or nothing to send because every
+  /// child already failed) — the loss is counted at the level where the
+  /// failing hop started.
+  int nodes_failed = 0;
+  /// Models ingested by the mergers at this level (the root's count is
+  /// its fan-in — bounded by the fanout, not the site count).
+  int models_in = 0;
+  /// Representatives carried by those models.
+  std::size_t representatives_in = 0;
+  /// Payload bytes arriving at this level's mergers on the uplink leg.
+  std::uint64_t bytes_in = 0;
+  /// Wall-clock seconds the mergers at this level spent merging (the
+  /// root's entry is the MergeGlobal stage time).
+  double merge_seconds = 0.0;
+};
+
 }  // namespace dbdc
 
 #endif  // DBDC_CORE_STAGE_STATS_H_

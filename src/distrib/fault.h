@@ -86,6 +86,12 @@ class FaultyNetwork : public Transport {
 
   void Clear() override;
 
+  /// Swaps the fault spec mid-stream (a link that heals or degrades while
+  /// a continuous run is live — the elastic-membership tests script
+  /// exactly this). The per-link sequence counters are kept, so messages
+  /// after the swap continue the same deterministic fault stream.
+  void SetSpec(const FaultSpec& spec) { spec_ = spec; }
+
   const FaultSpec& spec() const { return spec_; }
   const FaultStats& stats() const { return stats_; }
   bool SiteFailed(EndpointId endpoint) const;

@@ -1,0 +1,242 @@
+#include "distrib/topology.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dbdc {
+
+const char* TopologyKindName(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kFlat: return "flat";
+    case TopologyKind::kTree: return "tree";
+    case TopologyKind::kExplicit: return "explicit";
+  }
+  return "unknown";
+}
+
+void Topology::Link(EndpointId child, EndpointId parent) {
+  parents_[child] = parent;
+  children_[parent].push_back(child);
+}
+
+Topology Topology::Flat(int num_sites) {
+  DBDC_CHECK(num_sites >= 0);
+  Topology t;
+  t.num_sites_ = num_sites;
+  t.first_aggregator_id_ = num_sites;
+  t.children_[kServerEndpoint];  // The root exists even with no sites.
+  for (EndpointId s = 0; s < num_sites; ++s) t.Link(s, kServerEndpoint);
+  return t;
+}
+
+Topology Topology::KaryTree(int num_sites, int fanout) {
+  DBDC_CHECK(num_sites >= 0);
+  DBDC_CHECK(fanout >= 2 && "aggregation tree fanout must be >= 2");
+  // With everything fitting under the root directly there is nothing to
+  // aggregate; the tree degenerates to the star.
+  if (num_sites <= fanout) return Flat(num_sites);
+
+  Topology t;
+  t.num_sites_ = num_sites;
+  t.first_aggregator_id_ = num_sites;
+  t.children_[kServerEndpoint];
+  EndpointId next_id = num_sites;
+
+  // Group the current layer fanout-at-a-time under fresh aggregators,
+  // then recurse on the aggregator layer until it fits under the root.
+  std::vector<EndpointId> layer;
+  layer.reserve(static_cast<std::size_t>(num_sites));
+  for (EndpointId s = 0; s < num_sites; ++s) layer.push_back(s);
+  while (static_cast<int>(layer.size()) > fanout) {
+    std::vector<EndpointId> next_layer;
+    for (std::size_t i = 0; i < layer.size(); i += static_cast<std::size_t>(
+             fanout)) {
+      const EndpointId agg = next_id++;
+      t.aggregator_set_[agg] = static_cast<int>(t.aggregators_.size());
+      t.aggregators_.push_back(agg);
+      const std::size_t end =
+          std::min(layer.size(), i + static_cast<std::size_t>(fanout));
+      for (std::size_t j = i; j < end; ++j) t.Link(layer[j], agg);
+      next_layer.push_back(agg);
+    }
+    layer = std::move(next_layer);
+  }
+  for (const EndpointId node : layer) t.Link(node, kServerEndpoint);
+  return t;
+}
+
+Topology Topology::FromParentMap(int num_sites,
+                                 std::vector<EndpointId> site_parent,
+                                 std::vector<EndpointId> aggregator_parent) {
+  DBDC_CHECK(num_sites >= 0);
+  DBDC_CHECK(static_cast<int>(site_parent.size()) == num_sites &&
+             "one parent entry per site");
+  Topology t;
+  t.num_sites_ = num_sites;
+  t.first_aggregator_id_ = num_sites;
+  t.children_[kServerEndpoint];
+  // Aggregators first so child lists come out in (aggregators, then
+  // sites) ... no: children order should follow declaration order of the
+  // child ids themselves. Register parents in ascending child-id order:
+  // sites 0..n-1, then aggregators n..n+m-1 — deterministic and matching
+  // KaryTree's ascending-order invariant for same-parent siblings.
+  for (std::size_t k = 0; k < aggregator_parent.size(); ++k) {
+    const EndpointId agg = num_sites + static_cast<EndpointId>(k);
+    t.aggregator_set_[agg] = static_cast<int>(k);
+    t.aggregators_.push_back(agg);
+  }
+  for (EndpointId s = 0; s < num_sites; ++s) t.Link(s, site_parent[s]);
+  for (std::size_t k = 0; k < aggregator_parent.size(); ++k) {
+    t.Link(num_sites + static_cast<EndpointId>(k), aggregator_parent[k]);
+  }
+  return t;
+}
+
+std::string Topology::Validate() const {
+  for (const auto& [child, parent] : parents_) {
+    if (parent != kServerEndpoint && aggregator_set_.count(parent) == 0) {
+      return "endpoint " + std::to_string(child) +
+             " has untracked parent " + std::to_string(parent);
+    }
+    // Walk to the root; more hops than tracked endpoints means a cycle.
+    EndpointId node = child;
+    std::size_t hops = 0;
+    while (node != kServerEndpoint) {
+      const auto it = parents_.find(node);
+      if (it == parents_.end()) {
+        return "endpoint " + std::to_string(node) + " (reached from " +
+               std::to_string(child) + ") has no parent";
+      }
+      node = it->second;
+      if (++hops > parents_.size()) {
+        return "cycle through endpoint " + std::to_string(child);
+      }
+    }
+  }
+  for (const EndpointId agg : aggregators_) {
+    if (parents_.count(agg) == 0) {
+      return "aggregator " + std::to_string(agg) + " has no parent";
+    }
+  }
+  return std::string();
+}
+
+int Topology::depth() const {
+  int max_level = 0;
+  for (const auto& [child, parent] : parents_) {
+    (void)parent;
+    max_level = std::max(max_level, LevelOf(child));
+  }
+  return max_level;
+}
+
+EndpointId Topology::ParentOf(EndpointId node) const {
+  const auto it = parents_.find(node);
+  DBDC_CHECK(it != parents_.end() && "untracked endpoint");
+  return it->second;
+}
+
+const std::vector<EndpointId>& Topology::ChildrenOf(EndpointId node) const {
+  static const std::vector<EndpointId> kEmpty;
+  const auto it = children_.find(node);
+  return it == children_.end() ? kEmpty : it->second;
+}
+
+int Topology::LevelOf(EndpointId node) const {
+  if (node == kServerEndpoint) return 0;
+  int level = 0;
+  EndpointId cursor = node;
+  while (cursor != kServerEndpoint) {
+    cursor = ParentOf(cursor);
+    ++level;
+    DBDC_CHECK(level <= static_cast<int>(parents_.size()) &&
+               "cycle in topology");
+  }
+  return level;
+}
+
+std::vector<EndpointId> Topology::AggregatorsBottomUp() const {
+  std::vector<EndpointId> order = aggregators_;
+  std::sort(order.begin(), order.end(),
+            [this](EndpointId a, EndpointId b) {
+              const int la = LevelOf(a);
+              const int lb = LevelOf(b);
+              return la != lb ? la > lb : a < b;
+            });
+  return order;
+}
+
+std::vector<EndpointId> Topology::AggregatorsTopDown() const {
+  std::vector<EndpointId> order = AggregatorsBottomUp();
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+void Topology::AddSite(EndpointId site) {
+  DBDC_CHECK(site >= 0 && "site ids are non-negative");
+  DBDC_CHECK(parents_.count(site) == 0 && "endpoint already tracked");
+  DBDC_CHECK(aggregator_set_.count(site) == 0 &&
+             "site id collides with an aggregator");
+  // Join rule: deepest aggregator layer, least-loaded node, ties broken
+  // by ascending endpoint id — a pure function of the current shape.
+  EndpointId parent = kServerEndpoint;
+  int best_level = 0;
+  std::size_t best_load = 0;
+  for (const EndpointId agg : aggregators_) {
+    const int level = LevelOf(agg);
+    const std::size_t load = ChildrenOf(agg).size();
+    if (parent == kServerEndpoint || level > best_level ||
+        (level == best_level && load < best_load)) {
+      parent = agg;
+      best_level = level;
+      best_load = load;
+    }
+  }
+  Link(site, parent);
+  if (site >= first_aggregator_id_) first_aggregator_id_ = site + 1;
+}
+
+void Topology::RemoveSite(EndpointId site) {
+  const auto it = parents_.find(site);
+  DBDC_CHECK(it != parents_.end() && "untracked site");
+  DBDC_CHECK(aggregator_set_.count(site) == 0 &&
+             "use RemoveAggregator for aggregators");
+  std::vector<EndpointId>& siblings = children_[it->second];
+  siblings.erase(std::remove(siblings.begin(), siblings.end(), site),
+                 siblings.end());
+  parents_.erase(it);
+}
+
+void Topology::RemoveAggregator(EndpointId aggregator) {
+  const auto set_it = aggregator_set_.find(aggregator);
+  DBDC_CHECK(set_it != aggregator_set_.end() && "untracked aggregator");
+  const auto parent_it = parents_.find(aggregator);
+  DBDC_CHECK(parent_it != parents_.end());
+  const EndpointId parent = parent_it->second;
+
+  // Splice the orphans into the grandparent's child list at the dead
+  // node's position, keeping their relative order — the shape after a
+  // death is a pure function of the shape before it.
+  std::vector<EndpointId> orphans;
+  const auto child_it = children_.find(aggregator);
+  if (child_it != children_.end()) {
+    orphans = std::move(child_it->second);
+    children_.erase(child_it);
+  }
+  std::vector<EndpointId>& siblings = children_[parent];
+  const auto pos =
+      std::find(siblings.begin(), siblings.end(), aggregator);
+  DBDC_CHECK(pos != siblings.end());
+  const auto insert_at = siblings.erase(pos);
+  siblings.insert(insert_at, orphans.begin(), orphans.end());
+  for (const EndpointId orphan : orphans) parents_[orphan] = parent;
+
+  parents_.erase(parent_it);
+  aggregator_set_.erase(set_it);
+  aggregators_.erase(
+      std::remove(aggregators_.begin(), aggregators_.end(), aggregator),
+      aggregators_.end());
+}
+
+}  // namespace dbdc

@@ -1,0 +1,132 @@
+#ifndef DBDC_DISTRIB_TOPOLOGY_H_
+#define DBDC_DISTRIB_TOPOLOGY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "distrib/transport.h"
+
+namespace dbdc {
+
+/// How the sites are wired to the root server (DESIGN.md §13).
+enum class TopologyKind : int {
+  kFlat = 0,  // The paper's star: every site uplinks straight to the root.
+  kTree = 1,  // Balanced k-ary aggregation tree built from a fanout.
+  kExplicit = 2,  // Caller-supplied parent map (arbitrary shapes).
+};
+
+/// Stable lower-case name for flags, JSON, and logs.
+const char* TopologyKindName(TopologyKind kind);
+
+/// The aggregation topology the DBDC pipeline routes over: which parent
+/// each endpoint uplinks its (local or intermediate) model to, and which
+/// children each aggregator merges. The root server is always
+/// kServerEndpoint; sites keep their non-negative ids; aggregators get
+/// fresh endpoint ids above every site id, assigned in construction
+/// order — so the Transport's uplink/downlink counters (keyed on
+/// kServerEndpoint) keep meaning "bytes over the root link" under any
+/// shape.
+///
+/// A flat topology has zero aggregators and reduces the engine's routing
+/// to exactly the historical star (same messages, same order, same
+/// bytes — the equivalence test pins this).
+///
+/// All mutation (elastic membership: AddSite / RemoveSite /
+/// RemoveAggregator) is deterministic: the same call sequence yields the
+/// same shape, independent of any runtime state — re-parenting after an
+/// aggregator death is reproducible across runs and across machines.
+class Topology {
+ public:
+  /// The paper's star over sites 0..num_sites-1.
+  static Topology Flat(int num_sites);
+
+  /// Balanced k-ary aggregation tree over sites 0..num_sites-1:
+  /// consecutive sites are grouped under consecutive bottom-level
+  /// aggregators (site i -> aggregator i / fanout), aggregator layers are
+  /// grouped the same way until at most `fanout` top-level nodes remain;
+  /// those uplink to the root. Child order everywhere is ascending site
+  /// order, so a lossless bottom-up concatenation presents the
+  /// representatives to the root in exactly flat order. With
+  /// num_sites <= fanout there are no aggregators (the tree *is* the
+  /// star). fanout must be >= 2.
+  static Topology KaryTree(int num_sites, int fanout);
+
+  /// Arbitrary shape from an explicit parent map: `site_parent[i]` is the
+  /// parent endpoint of site i (kServerEndpoint or an aggregator id),
+  /// `aggregator_parent[k]` the parent of aggregator `num_sites + k`.
+  /// Aggregator ids must be `num_sites + k`, the map acyclic and rooted
+  /// at kServerEndpoint; Validate() reports the first violation.
+  static Topology FromParentMap(int num_sites,
+                                std::vector<EndpointId> site_parent,
+                                std::vector<EndpointId> aggregator_parent);
+
+  /// Structural check: every tracked endpoint reaches kServerEndpoint
+  /// through tracked parents, with no cycles. Returns an empty string
+  /// when sound, else a human-readable description of the first problem.
+  std::string Validate() const;
+
+  int num_sites() const { return num_sites_; }
+  /// Aggregators currently alive (dead ones are gone for good).
+  int num_aggregators() const { return static_cast<int>(aggregators_.size()); }
+  /// Longest root-to-leaf path length in hops (1 for flat with sites).
+  int depth() const;
+
+  bool IsSite(EndpointId node) const {
+    return node >= 0 && parents_.count(node) != 0 && !IsAggregator(node);
+  }
+  bool IsAggregator(EndpointId node) const {
+    return aggregator_set_.count(node) != 0;
+  }
+  /// The smallest endpoint id FromParentMap/KaryTree may assign to an
+  /// aggregator; explicit maps must use ids from this range.
+  EndpointId FirstAggregatorId() const { return first_aggregator_id_; }
+
+  /// Parent endpoint of a tracked site or aggregator.
+  EndpointId ParentOf(EndpointId node) const;
+  /// Ordered children of an aggregator or of kServerEndpoint.
+  const std::vector<EndpointId>& ChildrenOf(EndpointId node) const;
+  /// Hops from the root: root children are level 1, their children 2, ...
+  int LevelOf(EndpointId node) const;
+
+  /// All live aggregators ordered deepest level first (ties: ascending
+  /// endpoint id) — the order a bottom-up merge pass must visit them in.
+  std::vector<EndpointId> AggregatorsBottomUp() const;
+  /// The same set ordered shallowest first (top-down broadcast order).
+  std::vector<EndpointId> AggregatorsTopDown() const;
+
+  /// Elastic membership. AddSite attaches a new site id under the
+  /// deterministic join rule: the deepest-level aggregator with the
+  /// fewest children (ties: ascending endpoint id), or the root when the
+  /// topology has no aggregators. The id must not be tracked yet.
+  void AddSite(EndpointId site);
+  /// Detaches a tracked site (its parent keeps its other children).
+  void RemoveSite(EndpointId site);
+  /// Kills an aggregator: its children are re-parented onto its own
+  /// parent, spliced into the parent's child list at the dead node's
+  /// position in their existing order — the deterministic re-parenting
+  /// rule (DESIGN.md §13).
+  void RemoveAggregator(EndpointId aggregator);
+
+  /// An empty flat topology over zero sites (equivalent to Flat(0));
+  /// useful as a placeholder before the real shape is chosen, and as the
+  /// starting point of a purely elastic (AddSite-grown) star.
+  Topology() = default;
+
+ private:
+  void Link(EndpointId child, EndpointId parent);
+
+  int num_sites_ = 0;
+  EndpointId first_aggregator_id_ = 0;
+  /// child -> parent, for every tracked site and aggregator.
+  std::map<EndpointId, EndpointId> parents_;
+  /// parent (aggregator or kServerEndpoint) -> ordered children.
+  std::map<EndpointId, std::vector<EndpointId>> children_;
+  /// Live aggregators in creation order.
+  std::vector<EndpointId> aggregators_;
+  std::map<EndpointId, int> aggregator_set_;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_DISTRIB_TOPOLOGY_H_

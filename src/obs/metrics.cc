@@ -40,6 +40,11 @@ std::string_view CounterName(Counter counter) {
     case Counter::kContinuousTicks: return "continuous_ticks";
     case Counter::kSimdBlocksScored: return "simd_blocks_scored";
     case Counter::kSimdCandidatesFiltered: return "simd_candidates_filtered";
+    case Counter::kAggregatorMerges: return "aggregator_merges";
+    case Counter::kIntermediateModelsForwarded:
+      return "intermediate_models_forwarded";
+    case Counter::kSitesRetired: return "sites_retired";
+    case Counter::kSitesExpired: return "sites_expired";
   }
   return "unknown";
 }

@@ -57,8 +57,16 @@ enum class Counter : int {
   /// ... and candidates their fused eps² compare rejected. Invariant:
   /// filtered <= blocks * TierLanes(active tier).
   kSimdCandidatesFiltered,
+  /// Hierarchical topology (DESIGN.md §13): intermediate merges run by
+  /// aggregator nodes, and the merged models they forwarded up the tree.
+  kAggregatorMerges,
+  kIntermediateModelsForwarded,
+  /// Elastic membership in continuous mode: sites explicitly retired,
+  /// and stale sites evicted by TTL expiry.
+  kSitesRetired,
+  kSitesExpired,
 };
-inline constexpr int kNumCounters = 22;
+inline constexpr int kNumCounters = 26;
 
 /// Stable snake_case name for tables, JSON, and tests.
 std::string_view CounterName(Counter counter);

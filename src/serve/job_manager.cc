@@ -205,7 +205,12 @@ void JobManager::RunJob(Job* job) {
   DBDC_CHECK(metric != nullptr && "admission validated the metric name");
 
   DbdcConfig config = request.config;
-  config.partitioner = nullptr;  // Never travels; uniform random split.
+  config.partitioner = nullptr;        // Never travels; uniform random split.
+  config.explicit_topology = nullptr;  // Never travels either.
+  if (limits_.force_tree_fanout >= 2) {
+    config.topology.kind = TopologyKind::kTree;
+    config.topology.fanout = limits_.force_tree_fanout;
+  }
   if (request.options.auto_params) {
     const DbscanParams estimate = EstimateDbscanParams(
         request.data, *metric, request.options.auto_params_k);

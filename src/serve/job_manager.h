@@ -35,6 +35,13 @@ struct JobLimits {
   /// legal because labels are bit-identical for every thread count, so
   /// clamping changes resource use, never results. 0 = no clamp.
   int max_threads_per_job = 4;
+  /// Server-side aggregation override (dbdc_server --aggregator): >= 2
+  /// forces every job onto a k-ary aggregation tree of this fanout,
+  /// whatever topology the request asked for. Legal for the same reason
+  /// as the thread clamp: lossless aggregation keeps labels bit-identical
+  /// to the flat run, so forcing the tree changes root-link bytes, never
+  /// results. 0 = honor the request's topology.
+  int force_tree_fanout = 0;
 };
 
 /// Lifecycle of a job inside the manager.

@@ -80,14 +80,17 @@ void PutConfig(std::vector<std::uint8_t>* out, const DbdcConfig& config) {
   PutRaw(out, config.protocol.link.bandwidth_bytes_per_sec);
   PutRaw(out, config.protocol.link.latency_sec);
   PutRaw(out, config.optics.max_eps_global);
+  PutRaw(out, static_cast<std::uint8_t>(config.topology.kind));
+  PutRaw(out, static_cast<std::int32_t>(config.topology.fanout));
+  PutRaw(out, config.topology.aggregator_condense_eps);
 }
 
 bool GetConfig(std::span<const std::uint8_t> bytes, std::size_t* pos,
                DbdcConfig* config, bool* malformed) {
   std::int32_t min_pts = 0, threads = 0, num_sites = 0, max_iterations = 0,
-               num_threads = 0, max_attempts = 0;
+               num_threads = 0, max_attempts = 0, fanout = 0;
   std::uint8_t model_type = 0, index_type = 0, parallel_sites = 0,
-               protocol_enabled = 0;
+               protocol_enabled = 0, topology_kind = 0;
   if (!GetRaw(bytes, pos, &config->local_dbscan.eps) ||
       !GetRaw(bytes, pos, &min_pts) || !GetRaw(bytes, pos, &threads) ||
       !GetRaw(bytes, pos, &model_type) ||
@@ -107,11 +110,17 @@ bool GetConfig(std::span<const std::uint8_t> bytes, std::size_t* pos,
       !GetRaw(bytes, pos, &config->protocol.collection_deadline_sec) ||
       !GetRaw(bytes, pos, &config->protocol.link.bandwidth_bytes_per_sec) ||
       !GetRaw(bytes, pos, &config->protocol.link.latency_sec) ||
-      !GetRaw(bytes, pos, &config->optics.max_eps_global)) {
+      !GetRaw(bytes, pos, &config->optics.max_eps_global) ||
+      !GetRaw(bytes, pos, &topology_kind) || !GetRaw(bytes, pos, &fanout) ||
+      !GetRaw(bytes, pos, &config->topology.aggregator_condense_eps)) {
     return false;
   }
+  // kExplicit never travels: the Topology object is a borrowed pointer on
+  // the client and has no wire form, so a remote job may only ask for the
+  // shapes the server can build itself.
   if (model_type > 1 || parallel_sites > 1 || protocol_enabled > 1 ||
-      index_type > static_cast<std::uint8_t>(IndexType::kVpTree)) {
+      index_type > static_cast<std::uint8_t>(IndexType::kVpTree) ||
+      topology_kind > static_cast<std::uint8_t>(TopologyKind::kTree)) {
     *malformed = true;
     return false;
   }
@@ -125,7 +134,10 @@ bool GetConfig(std::span<const std::uint8_t> bytes, std::size_t* pos,
   config->num_threads = num_threads;
   config->protocol.enabled = protocol_enabled != 0;
   config->protocol.max_attempts = max_attempts;
-  config->partitioner = nullptr;  // Never travels.
+  config->topology.kind = static_cast<TopologyKind>(topology_kind);
+  config->topology.fanout = fanout;
+  config->partitioner = nullptr;        // Never travels.
+  config->explicit_topology = nullptr;  // Never travels.
   return true;
 }
 
@@ -371,6 +383,16 @@ std::vector<std::uint8_t> EncodeJobResult(const JobResultMsg& msg) {
     PutRaw(&out, s.bytes_uplink);
     PutRaw(&out, s.bytes_downlink);
   }
+  PutRaw(&out, static_cast<std::uint32_t>(r.level_stats.size()));
+  for (const LevelStats& l : r.level_stats) {
+    PutRaw(&out, static_cast<std::int32_t>(l.level));
+    PutRaw(&out, static_cast<std::int32_t>(l.nodes));
+    PutRaw(&out, static_cast<std::int32_t>(l.nodes_failed));
+    PutRaw(&out, static_cast<std::int32_t>(l.models_in));
+    PutRaw(&out, static_cast<std::uint64_t>(l.representatives_in));
+    PutRaw(&out, l.bytes_in);
+    PutRaw(&out, l.merge_seconds);
+  }
   PutSnapshot(&out, r.metrics_snapshot);
   PutString(&out, r.simd_tier);
   return out;
@@ -477,6 +499,31 @@ DecodeStatus DecodeJobResult(std::span<const std::uint8_t> payload,
     }
     stats.stage = static_cast<StageId>(stage);
     r.stage_stats.push_back(stats);
+  }
+  std::uint32_t num_levels = 0;
+  if (!GetRaw(payload, &pos, &num_levels)) return DecodeStatus::kTruncated;
+  // Levels tile a parent chain from the root to the sites; a chain
+  // longer than the label count cannot describe a real topology.
+  if (num_levels > num_labels + 2) return DecodeStatus::kMalformed;
+  r.level_stats.clear();
+  for (std::uint32_t i = 0; i < num_levels; ++i) {
+    LevelStats level;
+    std::int32_t lvl = 0, nodes = 0, nodes_failed = 0, models_in = 0;
+    std::uint64_t reps_in = 0;
+    if (!GetRaw(payload, &pos, &lvl) || !GetRaw(payload, &pos, &nodes) ||
+        !GetRaw(payload, &pos, &nodes_failed) ||
+        !GetRaw(payload, &pos, &models_in) ||
+        !GetRaw(payload, &pos, &reps_in) ||
+        !GetRaw(payload, &pos, &level.bytes_in) ||
+        !GetRaw(payload, &pos, &level.merge_seconds)) {
+      return DecodeStatus::kTruncated;
+    }
+    level.level = lvl;
+    level.nodes = nodes;
+    level.nodes_failed = nodes_failed;
+    level.models_in = models_in;
+    level.representatives_in = static_cast<std::size_t>(reps_in);
+    r.level_stats.push_back(level);
   }
   if (!GetSnapshot(payload, &pos, &r.metrics_snapshot)) {
     return DecodeStatus::kTruncated;

@@ -303,5 +303,113 @@ TEST(ContinuousModeTest, ContinuousUplinkAtLeastFiveTimesCheaperThanBatch) {
   EXPECT_EQ(continuous.stats().global_rebuilds, 1u);
 }
 
+// --- Elastic membership (ISSUE 9) ------------------------------------------
+
+TEST(ContinuousModeTest, RetireSiteEvictsItsModelAndFreezesItsLabels) {
+  SimulatedNetwork net;
+  ContinuousDbdc continuous(Euclidean(), MakeGlobalParams(),
+                            ProtocolConfig{}, &net);
+  StreamingSite a = MakeStreamingSite(0);
+  StreamingSite b = MakeStreamingSite(1);
+  continuous.AttachSite(&a);
+  continuous.AttachSite(&b);
+
+  Rng rng(31);
+  InsertBlob(&a, 0.0, 0.0, 20, &rng);
+  InsertBlob(&b, 10.0, 10.0, 20, &rng);
+  continuous.Tick();
+  ASSERT_EQ(continuous.server().num_local_models(), 2u);
+  const auto frozen = continuous.labels(1);
+  ASSERT_FALSE(frozen.empty());
+
+  // Retirement evicts the stored model; the very next tick rebuilds the
+  // global model without it even though no refresh arrived.
+  continuous.RetireSite(1);
+  const std::uint64_t rebuilds_before = continuous.stats().global_rebuilds;
+  continuous.Tick();
+  EXPECT_EQ(continuous.stats().sites_retired, 1u);
+  ASSERT_EQ(continuous.server().num_local_models(), 1u);
+  EXPECT_EQ(continuous.server().local_models()[0].site_id, 0);
+  EXPECT_EQ(continuous.stats().global_rebuilds, rebuilds_before + 1);
+
+  // The retired site no longer participates: new points on it trigger no
+  // refresh, and its labels stay frozen at the pre-retirement value.
+  InsertBlob(&b, -10.0, -10.0, 20, &rng);
+  const std::uint64_t sent_before = continuous.stats().refreshes_sent;
+  continuous.Tick();
+  EXPECT_EQ(continuous.stats().refreshes_sent, sent_before);
+  EXPECT_EQ(continuous.labels(1), frozen);
+}
+
+TEST(ContinuousModeTest, TtlExpiryEvictsVanishedSiteAndRefreshReadmits) {
+  // Site 1 goes dark (FaultyNetwork drops everything from/to it) while
+  // holding a changing stream, so it keeps trying — and failing — to
+  // refresh. After ttl quiet-less ticks its stale model leaves the global
+  // model; healing the link re-admits it on the next delivered refresh.
+  SimulatedNetwork inner;
+  FaultSpec faults;
+  faults.failed_sites = {1};
+  faults.seed = 33;
+  FaultyNetwork net(&inner, faults);
+
+  ProtocolConfig protocol;
+  protocol.enabled = true;
+  protocol.max_attempts = 2;
+  ContinuousDbdc continuous(Euclidean(), MakeGlobalParams(), protocol,
+                            &net);
+  continuous.SetSiteTtl(3);
+  StreamingSite alive = MakeStreamingSite(0);
+  StreamingSite dying = MakeStreamingSite(1);
+  continuous.AttachSite(&alive);
+  continuous.AttachSite(&dying);
+
+  Rng rng(34);
+  InsertBlob(&alive, 0.0, 0.0, 20, &rng);
+  InsertBlob(&dying, 10.0, 10.0, 20, &rng);
+  continuous.Tick();  // Site 1's first refresh is lost: never stored.
+  ASSERT_EQ(continuous.server().num_local_models(), 1u);
+
+  // Keep the dying site structurally stale so every tick retries (a
+  // pending refresh that keeps failing is not a heartbeat).
+  for (int t = 0; t < 3; ++t) {
+    InsertBlob(&dying, 10.0 * (t + 2), 10.0 * (t + 2), 20, &rng);
+    continuous.Tick();
+  }
+  EXPECT_EQ(continuous.stats().sites_expired, 1u);
+  EXPECT_EQ(continuous.server().num_local_models(), 1u);
+
+  // The link heals: the site's next refresh re-admits its model.
+  FaultSpec healed;
+  healed.seed = 33;
+  net.SetSpec(healed);
+  InsertBlob(&dying, -20.0, -20.0, 20, &rng);
+  continuous.Tick();
+  EXPECT_EQ(continuous.server().num_local_models(), 2u);
+  EXPECT_EQ(continuous.stats().sites_expired, 1u);  // No re-expiry.
+}
+
+TEST(ContinuousModeTest, SiteJoinsMidStreamAndParticipatesImmediately) {
+  SimulatedNetwork net;
+  ContinuousDbdc continuous(Euclidean(), MakeGlobalParams(),
+                            ProtocolConfig{}, &net);
+  StreamingSite first = MakeStreamingSite(0);
+  continuous.AttachSite(&first);
+
+  Rng rng(35);
+  InsertBlob(&first, 0.0, 0.0, 20, &rng);
+  continuous.Tick();
+  ASSERT_EQ(continuous.server().num_local_models(), 1u);
+
+  // A second site joins mid-stream: its first refresh upserts like any
+  // other and the next broadcast labels it too.
+  StreamingSite joiner = MakeStreamingSite(7);
+  continuous.AttachSite(&joiner);
+  InsertBlob(&joiner, 10.0, 10.0, 20, &rng);
+  continuous.Tick();
+  EXPECT_EQ(continuous.server().num_local_models(), 2u);
+  EXPECT_FALSE(continuous.labels(1).empty());
+  EXPECT_TRUE(continuous.topology().IsSite(7));
+}
+
 }  // namespace
 }  // namespace dbdc

@@ -1,0 +1,510 @@
+// Aggregation-topology suite (ISSUE 9): Topology construction /
+// validation / elastic-membership rules, the AggregatorNode merge
+// semantics, and the engine running over trees — flat-vs-tree label
+// bit-identity under lossless aggregation, root-uplink shrinkage under
+// condensing aggregation, per-level stats tiling, dead aggregators
+// failing exactly their subtree deterministically, and continuous-mode
+// membership churn (join / retire / TTL-expire / aggregator death)
+// reproducing bit-identically across runs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/aggregator.h"
+#include "core/dbdc.h"
+#include "core/engine.h"
+#include "data/generators.h"
+#include "distrib/fault.h"
+#include "distrib/network.h"
+#include "distrib/topology.h"
+
+namespace dbdc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Topology shape and validation.
+
+TEST(TopologyTest, FlatIsTheStar) {
+  const Topology t = Topology::Flat(4);
+  EXPECT_EQ(t.num_sites(), 4);
+  EXPECT_EQ(t.num_aggregators(), 0);
+  EXPECT_EQ(t.depth(), 1);
+  EXPECT_EQ(t.ChildrenOf(kServerEndpoint),
+            (std::vector<EndpointId>{0, 1, 2, 3}));
+  for (EndpointId s = 0; s < 4; ++s) {
+    EXPECT_TRUE(t.IsSite(s));
+    EXPECT_FALSE(t.IsAggregator(s));
+    EXPECT_EQ(t.ParentOf(s), kServerEndpoint);
+    EXPECT_EQ(t.LevelOf(s), 1);
+  }
+  EXPECT_TRUE(t.Validate().empty()) << t.Validate();
+}
+
+TEST(TopologyTest, KaryTreeDegeneratesToStarWhenEverythingFits) {
+  const Topology t = Topology::KaryTree(3, 4);
+  EXPECT_EQ(t.num_aggregators(), 0);
+  EXPECT_EQ(t.depth(), 1);
+  EXPECT_EQ(t.ChildrenOf(kServerEndpoint),
+            (std::vector<EndpointId>{0, 1, 2}));
+}
+
+TEST(TopologyTest, KaryTreeTwoLevelShape) {
+  // 9 sites, fanout 3: three bottom aggregators (ids 9..11) of three
+  // consecutive sites each, all uplinking to the root.
+  const Topology t = Topology::KaryTree(9, 3);
+  EXPECT_EQ(t.num_sites(), 9);
+  EXPECT_EQ(t.num_aggregators(), 3);
+  EXPECT_EQ(t.depth(), 2);
+  EXPECT_EQ(t.FirstAggregatorId(), 9);
+  EXPECT_EQ(t.ChildrenOf(kServerEndpoint),
+            (std::vector<EndpointId>{9, 10, 11}));
+  EXPECT_EQ(t.ChildrenOf(9), (std::vector<EndpointId>{0, 1, 2}));
+  EXPECT_EQ(t.ChildrenOf(10), (std::vector<EndpointId>{3, 4, 5}));
+  EXPECT_EQ(t.ChildrenOf(11), (std::vector<EndpointId>{6, 7, 8}));
+  EXPECT_TRUE(t.IsAggregator(10));
+  EXPECT_FALSE(t.IsSite(10));
+  EXPECT_EQ(t.LevelOf(10), 1);
+  EXPECT_EQ(t.LevelOf(4), 2);
+  EXPECT_TRUE(t.Validate().empty()) << t.Validate();
+}
+
+TEST(TopologyTest, KaryTreeThreeLevelShapeAndTraversalOrders) {
+  // 27 sites, fanout 3: nine bottom aggregators (27..35), three middle
+  // ones (36..38), depth 3.
+  const Topology t = Topology::KaryTree(27, 3);
+  EXPECT_EQ(t.num_aggregators(), 12);
+  EXPECT_EQ(t.depth(), 3);
+  EXPECT_EQ(t.ChildrenOf(kServerEndpoint),
+            (std::vector<EndpointId>{36, 37, 38}));
+  EXPECT_EQ(t.ChildrenOf(36), (std::vector<EndpointId>{27, 28, 29}));
+  EXPECT_EQ(t.ChildrenOf(27), (std::vector<EndpointId>{0, 1, 2}));
+
+  // Bottom-up visits the deepest layer first (merge order); top-down is
+  // the exact reverse (broadcast order).
+  const std::vector<EndpointId> up = t.AggregatorsBottomUp();
+  ASSERT_EQ(up.size(), 12u);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(up[static_cast<std::size_t>(i)],
+                                        27 + i);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(up[static_cast<std::size_t>(9 + i)], 36 + i);
+  std::vector<EndpointId> down = t.AggregatorsTopDown();
+  std::reverse(down.begin(), down.end());
+  EXPECT_EQ(down, up);
+}
+
+TEST(TopologyTest, FromParentMapRoundTripsAndValidateCatchesCycles) {
+  // sites 0,1 -> agg 3; site 2 -> root; agg 3 -> root.
+  const Topology good = Topology::FromParentMap(
+      3, {3, 3, kServerEndpoint}, {kServerEndpoint});
+  EXPECT_TRUE(good.Validate().empty()) << good.Validate();
+  EXPECT_EQ(good.ParentOf(0), 3);
+  EXPECT_EQ(good.ChildrenOf(3), (std::vector<EndpointId>{0, 1}));
+  EXPECT_EQ(good.ChildrenOf(kServerEndpoint),
+            (std::vector<EndpointId>{2, 3}));
+
+  // Two aggregators parenting each other never reach the root.
+  const Topology cyclic =
+      Topology::FromParentMap(1, {1}, {2, 1});
+  EXPECT_FALSE(cyclic.Validate().empty());
+
+  // A site naming a parent that is not a tracked aggregator.
+  const Topology untracked = Topology::FromParentMap(1, {7}, {});
+  EXPECT_FALSE(untracked.Validate().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership rules.
+
+TEST(TopologyTest, AddSiteJoinsDeepestLeastLoadedAggregator) {
+  Topology t = Topology::KaryTree(9, 3);
+  // All three aggregators sit at the same level with equal load; the tie
+  // breaks to the lowest endpoint id.
+  t.AddSite(12);
+  EXPECT_EQ(t.ParentOf(12), 9);
+  EXPECT_EQ(t.ChildrenOf(9), (std::vector<EndpointId>{0, 1, 2, 12}));
+  // Now 9 carries four children; the next join picks 10.
+  t.AddSite(13);
+  EXPECT_EQ(t.ParentOf(13), 10);
+  // Without aggregators a join lands under the root.
+  Topology star = Topology::Flat(2);
+  star.AddSite(2);
+  EXPECT_EQ(star.ParentOf(2), kServerEndpoint);
+  EXPECT_EQ(star.ChildrenOf(kServerEndpoint),
+            (std::vector<EndpointId>{0, 1, 2}));
+}
+
+TEST(TopologyTest, RemoveSiteDetachesOnlyThatSite) {
+  Topology t = Topology::KaryTree(9, 3);
+  t.RemoveSite(4);
+  EXPECT_FALSE(t.IsSite(4));
+  EXPECT_EQ(t.ChildrenOf(10), (std::vector<EndpointId>{3, 5}));
+  EXPECT_TRUE(t.Validate().empty()) << t.Validate();
+}
+
+TEST(TopologyTest, RemoveAggregatorSplicesOrphansInPlace) {
+  // Killing middle aggregator 10 re-parents its sites onto the root at
+  // the dead node's position: the root's child list becomes
+  // {9, 3, 4, 5, 11} — a pure function of the prior shape.
+  Topology t = Topology::KaryTree(9, 3);
+  t.RemoveAggregator(10);
+  EXPECT_EQ(t.num_aggregators(), 2);
+  EXPECT_FALSE(t.IsAggregator(10));
+  EXPECT_EQ(t.ChildrenOf(kServerEndpoint),
+            (std::vector<EndpointId>{9, 3, 4, 5, 11}));
+  for (const EndpointId s : {3, 4, 5}) {
+    EXPECT_EQ(t.ParentOf(s), kServerEndpoint);
+  }
+  EXPECT_TRUE(t.Validate().empty()) << t.Validate();
+
+  // Determinism: the same death on an identically-built twin yields the
+  // identical shape.
+  Topology twin = Topology::KaryTree(9, 3);
+  twin.RemoveAggregator(10);
+  EXPECT_EQ(twin.ChildrenOf(kServerEndpoint),
+            t.ChildrenOf(kServerEndpoint));
+}
+
+// ---------------------------------------------------------------------------
+// AggregatorNode merge semantics.
+
+LocalModel TwoRepModel(int site_id, double x0, double x1) {
+  LocalModel model;
+  model.site_id = site_id;
+  model.dim = 2;
+  model.num_local_clusters = 1;
+  model.representatives.push_back({Point{x0, 0.0}, 1.0, 0, 5});
+  model.representatives.push_back({Point{x1, 0.0}, 1.0, 0, 5});
+  return model;
+}
+
+TEST(AggregatorNodeTest, LosslessMergeConcatenatesInChildOrder) {
+  const GlobalModelParams params;
+  AggregatorNode node(100, Euclidean(), params, /*condense_eps=*/0.0);
+  node.AddChildModel(TwoRepModel(0, 0.0, 1.0));
+  node.AddChildModel(TwoRepModel(1, 10.0, 11.0));
+  const LocalModel& merged = node.BuildIntermediateModel();
+  EXPECT_EQ(merged.site_id, 100);
+  ASSERT_EQ(merged.representatives.size(), 4u);
+  // Concatenation preserves child order and remaps local_cluster ids into
+  // disjoint ranges, so the root reconstructs the flat rep sequence.
+  EXPECT_EQ(merged.num_local_clusters, 2);
+  EXPECT_EQ(merged.representatives[0].local_cluster, 0);
+  EXPECT_EQ(merged.representatives[2].local_cluster, 1);
+  EXPECT_DOUBLE_EQ(merged.representatives[2].center[0], 10.0);
+}
+
+TEST(AggregatorNodeTest, UpsertReplacesAndRemoveEvicts) {
+  const GlobalModelParams params;
+  AggregatorNode node(100, Euclidean(), params, 0.0);
+  node.UpsertChildModel(TwoRepModel(0, 0.0, 1.0));
+  node.UpsertChildModel(TwoRepModel(0, 5.0, 6.0));
+  ASSERT_EQ(node.num_child_models(), 1u);
+  EXPECT_DOUBLE_EQ(node.child_models()[0].representatives[0].center[0], 5.0);
+  EXPECT_TRUE(node.RemoveChildModel(0));
+  EXPECT_FALSE(node.RemoveChildModel(0));
+  EXPECT_EQ(node.num_child_models(), 0u);
+}
+
+TEST(AggregatorNodeTest, CondensingMergeShrinksTheForwardedModel) {
+  // Two children whose clusters overlap within eps: the condensing node
+  // joins them into one intermediate cluster and collapses nearby
+  // representatives, so fewer reps travel up than came in.
+  GlobalModelParams params;
+  params.eps_global = 2.5;
+  AggregatorNode node(100, Euclidean(), params, /*condense_eps=*/2.5);
+  node.AddChildModel(TwoRepModel(0, 0.0, 1.0));
+  node.AddChildModel(TwoRepModel(1, 1.5, 2.0));
+  const LocalModel& merged = node.BuildIntermediateModel();
+  EXPECT_EQ(merged.num_local_clusters, 1);
+  EXPECT_LT(merged.representatives.size(), 4u);
+  EXPECT_GE(merged.representatives.size(), 1u);
+  EXPECT_EQ(node.representatives_in(), 4u);
+  EXPECT_EQ(node.representatives_out(), merged.representatives.size());
+}
+
+// ---------------------------------------------------------------------------
+// Batch engine over trees.
+
+DbdcConfig TreeConfig(int num_sites, int fanout) {
+  DbdcConfig config;
+  config.num_sites = num_sites;
+  config.local_dbscan = {1.2, 5};
+  config.topology.kind = TopologyKind::kTree;
+  config.topology.fanout = fanout;
+  return config;
+}
+
+TEST(TopologyEngineTest, LosslessTreeLabelsAreBitIdenticalToFlat) {
+  const SyntheticDataset gen = MakeTestDatasetA();
+  DbdcConfig flat_config = TreeConfig(16, 4);
+  flat_config.topology.kind = TopologyKind::kFlat;
+  flat_config.topology.fanout = 0;
+
+  SimulatedNetwork flat_net;
+  const DbdcResult flat =
+      RunDbdc(gen.data, Euclidean(), flat_config, &flat_net);
+  SimulatedNetwork tree_net;
+  const DbdcResult tree =
+      RunDbdc(gen.data, Euclidean(), TreeConfig(16, 4), &tree_net);
+
+  // Lossless aggregation concatenates child models in flat site order, so
+  // the root's rep sequence — and with it every label — is identical.
+  EXPECT_EQ(tree.labels, flat.labels);
+  EXPECT_EQ(tree.num_global_clusters, flat.num_global_clusters);
+  EXPECT_EQ(tree.num_representatives, flat.num_representatives);
+  EXPECT_EQ(tree.eps_global_used, flat.eps_global_used);
+  EXPECT_EQ(tree.sites_reporting, 16);
+
+  // The topology changes the fan-in, not the outcome: the root of the
+  // tree merges 4 intermediate models instead of 16 site models.
+  ASSERT_EQ(flat.level_stats.size(), 2u);
+  ASSERT_EQ(tree.level_stats.size(), 3u);
+  EXPECT_EQ(flat.level_stats[0].models_in, 16);
+  EXPECT_EQ(tree.level_stats[0].models_in, 4);
+  EXPECT_EQ(tree.level_stats[1].nodes, 4);
+  EXPECT_EQ(tree.level_stats[2].nodes, 16);
+
+  // The same tree run with the sites' local pipelines on concurrent
+  // threads and a 2-thread worker pool per site must stay bit-identical
+  // too — the configuration the sanitizer CI gates race-check.
+  DbdcConfig threaded_config = TreeConfig(16, 4);
+  threaded_config.parallel_sites = true;
+  threaded_config.num_threads = 2;
+  SimulatedNetwork threaded_net;
+  const DbdcResult threaded =
+      RunDbdc(gen.data, Euclidean(), threaded_config, &threaded_net);
+  EXPECT_EQ(threaded.labels, flat.labels);
+  EXPECT_EQ(threaded.bytes_uplink, tree.bytes_uplink);
+  EXPECT_EQ(threaded.num_global_clusters, flat.num_global_clusters);
+}
+
+TEST(TopologyEngineTest, CondensingTreeShrinksRootUplink) {
+  const SyntheticDataset gen = MakeTestDatasetA();
+  DbdcConfig flat_config = TreeConfig(16, 4);
+  flat_config.topology.kind = TopologyKind::kFlat;
+  flat_config.topology.fanout = 0;
+  DbdcConfig tree_config = TreeConfig(16, 4);
+  tree_config.topology.aggregator_condense_eps = 1.2;
+
+  SimulatedNetwork flat_net;
+  const DbdcResult flat =
+      RunDbdc(gen.data, Euclidean(), flat_config, &flat_net);
+  SimulatedNetwork tree_net;
+  const DbdcResult tree =
+      RunDbdc(gen.data, Euclidean(), tree_config, &tree_net);
+
+  // bytes_uplink counts only root-link traffic (site->aggregator and
+  // aggregator->aggregator hops live in BytesTotal), so condensation at
+  // the aggregators must show up as a strictly smaller root uplink.
+  EXPECT_LT(tree.bytes_uplink, flat.bytes_uplink);
+  EXPECT_EQ(tree.bytes_uplink, tree_net.BytesUplink());
+  EXPECT_GE(tree.num_global_clusters, 1);
+
+  // Condensation preserves coverage: every point the flat run considered
+  // part of a cluster stays clustered (it may move to a merged cluster).
+  for (std::size_t i = 0; i < flat.labels.size(); ++i) {
+    if (flat.labels[i] != kNoise) {
+      EXPECT_NE(tree.labels[i], kNoise) << "point " << i << " lost coverage";
+    }
+  }
+}
+
+TEST(TopologyEngineTest, DeadAggregatorFailsExactlyItsSubtree) {
+  const SyntheticDataset gen = MakeTestDatasetA();
+  DbdcConfig config = TreeConfig(9, 3);
+  config.protocol.enabled = true;
+  config.protocol.max_attempts = 2;
+
+  // Aggregator endpoints for 9 sites / fanout 3 are 9, 10, 11; killing
+  // endpoint 10 severs sites 3..5 from the root.
+  FaultSpec spec;
+  spec.failed_sites = {10};
+  spec.seed = 21;
+
+  const auto run = [&] {
+    SimulatedNetwork inner;
+    FaultyNetwork net(&inner, spec);
+    return RunDbdc(gen.data, Euclidean(), config, &net);
+  };
+  const DbdcResult a = run();
+
+  EXPECT_EQ(a.sites_reporting, 6);
+  EXPECT_EQ(a.sites_failed, 3);
+  EXPECT_EQ(a.failed_site_ids, (std::vector<int>{3, 4, 5}));
+  EXPECT_GE(a.num_global_clusters, 1);
+
+  // Per-level accounting: the dead node lives on level 1 of 2.
+  ASSERT_EQ(a.level_stats.size(), 3u);
+  EXPECT_EQ(a.level_stats[1].nodes, 3);
+  EXPECT_EQ(a.level_stats[1].nodes_failed, 1);
+  EXPECT_EQ(a.level_stats[0].models_in, 2);
+
+  // Deterministic degradation: an identically-seeded rerun is
+  // bit-identical, labels included.
+  const DbdcResult b = run();
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.failed_site_ids, b.failed_site_ids);
+  EXPECT_EQ(a.bytes_uplink, b.bytes_uplink);
+}
+
+TEST(TopologyEngineTest, LevelStatsTileTheTopology) {
+  const SyntheticDataset gen = MakeTestDatasetA();
+  const DbdcResult result =
+      RunDbdc(gen.data, Euclidean(), TreeConfig(27, 3));
+  // 27 sites / fanout 3: root + 3 middle + 9 bottom aggregators + sites.
+  ASSERT_EQ(result.level_stats.size(), 4u);
+  EXPECT_EQ(result.level_stats[0].nodes, 1);
+  EXPECT_EQ(result.level_stats[1].nodes, 3);
+  EXPECT_EQ(result.level_stats[2].nodes, 9);
+  EXPECT_EQ(result.level_stats[3].nodes, 27);
+  EXPECT_EQ(result.level_stats[0].models_in, 3);
+  EXPECT_GT(result.level_stats[0].bytes_in, 0u);
+  for (std::size_t level = 0; level < result.level_stats.size(); ++level) {
+    EXPECT_EQ(result.level_stats[level].level, static_cast<int>(level));
+    EXPECT_EQ(result.level_stats[level].nodes_failed, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Continuous mode: membership churn.
+
+GlobalModelParams ChurnGlobalParams() {
+  GlobalModelParams params;
+  params.min_pts_global = 2;
+  return params;
+}
+
+std::unique_ptr<StreamingSite> MakeChurnSite(int site_id) {
+  return std::make_unique<StreamingSite>(site_id, Euclidean(),
+                                         DbscanParams{1.0, 4}, 2,
+                                         LocalModelType::kScor,
+                                         RefreshPolicy{});
+}
+
+void FeedBlob(StreamingSite* site, double cx, double cy, int count,
+              Rng* rng) {
+  for (int i = 0; i < count; ++i) {
+    site->Insert(Point{rng->Gaussian(cx, 0.3), rng->Gaussian(cy, 0.3)});
+  }
+}
+
+struct ChurnOutcome {
+  ContinuousDbdc::Stats stats;
+  std::vector<std::vector<std::pair<PointId, ClusterId>>> labels;
+  std::size_t root_models = 0;
+  std::uint64_t uplink = 0;
+};
+
+// A fixed churn script over a 3-level tree (6 sites, fanout 2: bottom
+// aggregators {6, 7, 8} under middle aggregators {9, 10}): one
+// mid-stream join, one explicit retirement, one aggregator death. Used
+// twice to pin determinism. The joiner's id (20) is clear of the
+// aggregator endpoint range.
+ChurnOutcome RunChurnScript() {
+  SimulatedNetwork net;
+  ContinuousDbdc continuous(Euclidean(), ChurnGlobalParams(),
+                            ProtocolConfig{}, &net);
+  continuous.SetTopology(Topology::KaryTree(6, 2));
+
+  std::vector<std::unique_ptr<StreamingSite>> sites;
+  for (int s = 0; s < 6; ++s) {
+    sites.push_back(MakeChurnSite(s));
+    continuous.AttachSite(sites.back().get());
+  }
+  Rng rng(17);
+  for (int s = 0; s < 6; ++s) {
+    FeedBlob(sites[static_cast<std::size_t>(s)].get(), 4.0 * s, 0.0, 15,
+             &rng);
+  }
+  continuous.Tick();
+  continuous.Tick();
+
+  // Mid-stream join: a seventh site appears and lands under the join
+  // rule's pick; its first refresh upserts like any other.
+  sites.push_back(MakeChurnSite(20));
+  continuous.AttachSite(sites.back().get());
+  FeedBlob(sites.back().get(), -8.0, -8.0, 15, &rng);
+  continuous.Tick();
+
+  // Explicit retirement evicts site 1's model.
+  continuous.RetireSite(1);
+  continuous.Tick();
+
+  // Aggregator death: the dead node's children re-parent and re-deliver.
+  const EndpointId agg = continuous.topology().AggregatorsBottomUp()[0];
+  continuous.FailAggregator(agg);
+  continuous.Tick();
+  continuous.Tick();
+
+  ChurnOutcome out;
+  out.stats = continuous.stats();
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    out.labels.push_back(continuous.labels(i));
+  }
+  out.root_models = continuous.server().num_local_models();
+  out.uplink = net.BytesUplink();
+  return out;
+}
+
+TEST(ContinuousTopologyTest, ChurnScriptIsDeterministic) {
+  const ChurnOutcome a = RunChurnScript();
+  const ChurnOutcome b = RunChurnScript();
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.root_models, b.root_models);
+  EXPECT_EQ(a.uplink, b.uplink);
+  EXPECT_EQ(a.stats.refreshes_applied, b.stats.refreshes_applied);
+  EXPECT_EQ(a.stats.aggregator_forwards, b.stats.aggregator_forwards);
+
+  // The script's membership arithmetic: 7 attached, 1 retired, 1 dead
+  // aggregator. The root's own fan-in stays the two middle aggregators —
+  // it stores exactly their intermediate models, whatever churns below.
+  EXPECT_EQ(a.stats.sites_retired, 1u);
+  EXPECT_EQ(a.stats.aggregators_failed, 1u);
+  EXPECT_EQ(a.root_models, 2u);
+  // Everyone alive ended up labeled; the retired site's labels froze at
+  // their pre-retirement value.
+  for (std::size_t i = 0; i < a.labels.size(); ++i) {
+    EXPECT_FALSE(a.labels[i].empty()) << "site " << i;
+  }
+}
+
+TEST(ContinuousTopologyTest, TreeStreamMatchesFlatStreamLosslessly) {
+  // The same stream over the flat default and over a lossless 2-level
+  // tree must produce identical labels on every site — continuous mode's
+  // equivalent of the batch bit-identity pin.
+  const auto run = [](bool tree) {
+    SimulatedNetwork net;
+    ContinuousDbdc continuous(Euclidean(), ChurnGlobalParams(),
+                              ProtocolConfig{}, &net);
+    if (tree) continuous.SetTopology(Topology::KaryTree(6, 2));
+    std::vector<std::unique_ptr<StreamingSite>> sites;
+    for (int s = 0; s < 6; ++s) {
+      sites.push_back(MakeChurnSite(s));
+      continuous.AttachSite(sites.back().get());
+    }
+    Rng rng(23);
+    std::vector<std::vector<std::pair<PointId, ClusterId>>> labels;
+    for (int t = 0; t < 4; ++t) {
+      for (int s = 0; s < 6; ++s) {
+        FeedBlob(sites[static_cast<std::size_t>(s)].get(), 4.0 * s,
+                 2.0 * t, 8, &rng);
+      }
+      continuous.Tick();
+    }
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      labels.push_back(continuous.labels(i));
+    }
+    return labels;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
 # Builds (if needed) and runs the machine-readable benchmarks, writing the
 # perf baseline to BENCH_parallel.json, the fault-tolerance sweep to
-# BENCH_fault.json, and the continuous-mode economics to
-# BENCH_continuous.json at the repo root.
+# BENCH_fault.json, the continuous-mode economics to BENCH_continuous.json,
+# and the aggregation-topology scaling numbers to BENCH_topology.json at
+# the repo root.
 #
 # Usage:
 #   tools/run_bench.sh [--quick] [--out FILE] [--fault-out FILE] \
-#                      [--continuous-out FILE] [BUILD_DIR]
+#                      [--continuous-out FILE] [--topology-out FILE] \
+#                      [BUILD_DIR]
 #
 #   --quick     Shrunk datasets + sweeps; for CI smoke runs.
 #   --out FILE  Parallel-bench output (default: BENCH_parallel.json).
 #   --fault-out FILE  Fault-bench output (default: BENCH_fault.json).
 #   --continuous-out FILE  Continuous-bench output
 #               (default: BENCH_continuous.json).
+#   --topology-out FILE  Topology-bench output
+#               (default: BENCH_topology.json).
 #   BUILD_DIR   Existing build tree to use (default: build-release/ via the
 #               `release` preset, falling back to build/ when it already
 #               contains the benchmark targets).
@@ -29,6 +33,7 @@ quick_flag=""
 out_file="$repo_root/BENCH_parallel.json"
 fault_out_file="$repo_root/BENCH_fault.json"
 continuous_out_file="$repo_root/BENCH_continuous.json"
+topology_out_file="$repo_root/BENCH_topology.json"
 build_dir=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -36,7 +41,8 @@ while [[ $# -gt 0 ]]; do
     --out) out_file="$2"; shift 2 ;;
     --fault-out) fault_out_file="$2"; shift 2 ;;
     --continuous-out) continuous_out_file="$2"; shift 2 ;;
-    -h|--help) sed -n '2,23p' "$0"; exit 0 ;;
+    --topology-out) topology_out_file="$2"; shift 2 ;;
+    -h|--help) sed -n '2,26p' "$0"; exit 0 ;;
     *) build_dir="$1"; shift ;;
   esac
 done
@@ -76,7 +82,7 @@ if [[ -z "$build_dir" ]]; then
 fi
 cmake --build "$build_dir" \
       --target bench_parallel_scaling bench_fault_tolerance \
-               bench_continuous \
+               bench_continuous bench_topology \
       -j "$(nproc 2>/dev/null || echo 4)" >/dev/null || exit 1
 
 echo "run_bench.sh: running $build_dir/$bench_rel $quick_flag" \
@@ -260,4 +266,74 @@ else
     fi
   done
   echo "run_bench.sh: continuous key check OK." >&2
+fi
+
+# --- Aggregation-topology scaling -------------------------------------------
+topology_rel="bench/bench_topology"
+echo "run_bench.sh: running $build_dir/$topology_rel $quick_flag" \
+     "-> $topology_out_file" >&2
+"$build_dir/$topology_rel" $quick_flag --out "$topology_out_file" || exit 1
+
+if [[ ! -s "$topology_out_file" ]]; then
+  echo "run_bench.sh: $topology_out_file missing or empty." >&2
+  exit 1
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$topology_out_file" <<'PY' || exit 1
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "dbdc-topology-bench-v1", doc.get("schema")
+assert isinstance(doc["quick"], bool)
+fanout = doc["fanout"]
+assert isinstance(fanout, int) and fanout >= 2
+assert 0.0 < doc["drop_rate"] < 1.0, "topology bench must run under faults"
+rows = doc["results"]
+assert isinstance(rows, list) and rows
+by_sites = {}
+for row in rows:
+    for key in ("sites", "topology", "points", "levels",
+                "root_uplink_bytes", "bytes_total", "root_merge_seconds",
+                "root_models_in", "sites_reporting", "sites_failed",
+                "clusters"):
+        assert key in row, f"topology row missing {key}: {row}"
+    assert row["sites_reporting"] + row["sites_failed"] == row["sites"], row
+    assert row["root_uplink_bytes"] > 0 and row["clusters"] >= 1, row
+    by_sites.setdefault(row["sites"], {})[row["topology"]] = row
+for sites, pair in sorted(by_sites.items()):
+    flat = pair.get("flat")
+    tree = pair.get(f"tree:{fanout}")
+    assert flat and tree, f"need a flat/tree pair at {sites} sites: {pair}"
+    # The star's fan-in is every reporting site; the tree's is bounded by
+    # the fanout no matter how many sites there are.
+    assert flat["levels"] == 2 and flat["root_models_in"] == \
+        flat["sites_reporting"], flat
+    assert tree["levels"] >= 3 and tree["root_models_in"] <= fanout, tree
+    # The release-smoke criterion: once the star's fan-in dwarfs the
+    # fanout, the condensing tree must beat it on bytes into the root.
+    if sites >= 100:
+        assert tree["root_uplink_bytes"] < flat["root_uplink_bytes"], \
+            f"tree root uplink not below flat at {sites} sites: {pair}"
+metrics = doc["metrics"]
+assert isinstance(metrics["counters"], dict)
+assert metrics["counters"].get("aggregator_merges", 0) > 0, metrics
+assert metrics["counters"].get("intermediate_models_forwarded", 0) > 0, metrics
+largest = max(by_sites)
+ratio = (by_sites[largest]["flat"]["root_uplink_bytes"]
+         / by_sites[largest][f"tree:{fanout}"]["root_uplink_bytes"])
+print(f"run_bench.sh: topology schema OK ({len(rows)} rows; at {largest} "
+      f"sites the fanout-{fanout} tree carries {ratio:.1f}x less root "
+      f"uplink than the star).")
+PY
+else
+  for key in '"schema": "dbdc-topology-bench-v1"' '"results"' '"fanout"' \
+             '"drop_rate"' '"root_uplink_bytes"' '"root_models_in"' \
+             '"metrics"'; do
+    if ! grep -qF "$key" "$topology_out_file"; then
+      echo "run_bench.sh: $topology_out_file missing expected key $key" >&2
+      exit 1
+    fi
+  done
+  echo "run_bench.sh: topology key check OK." >&2
 fi
