@@ -1,0 +1,278 @@
+// Approximate-index crossover benchmark (ROADMAP item 2, DESIGN.md §14).
+//
+// The question this harness answers: at what cardinality do the exact
+// NeighborIndex backends fall over on the workload the approximate tier
+// targets — moderate-dimension (dim 12) Gaussian blobs, eps calibrated
+// to hold ~5 % of a blob — and does ApproxIndex beat them there while
+// staying exact on the answers?
+//
+//   1. n-sweep: per (n, index), build time plus the median wall time of a
+//      Q-query BatchRangeQuery block (the DBSCAN expansion access
+//      pattern), with recall measured against the linear scan's ground
+//      truth. An index whose build or batch leg exceeds the time budget
+//      is recorded as-is and skipped at every larger n ("fell over"):
+//      at dim 12 the grid must odometer 3^12 cells per query, and the
+//      metric trees lose their pruning to distance concentration.
+//   2. Quality gate: full DBSCAN (exact k-d tree vs ApproxIndex) at a
+//      moderate n, compared with the paper's Q_DBDC criteria (QualityP1
+//      with qp = MinPts, QualityP2). window_scale = 1.0 makes the
+//      approximate index exact, so both must be 1.0 — the gate would
+//      catch any regression that breaks the Cauchy–Schwarz window.
+//
+// With --out FILE the results are emitted as machine-readable JSON
+// (schema "dbdc-approx-bench-v1"; tools/run_bench.sh validates it and
+// asserts recall >= 0.99 plus the n >= 10^6 wall-clock win). --quick
+// shrinks the sweep to {20k, 50k} for CI smoke runs. Absolute times are
+// hardware-dependent; the crossover shape is not.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "cluster/dbscan.h"
+#include "common/timer.h"
+#include "data/generators.h"
+#include "eval/quality.h"
+#include "index/index_factory.h"
+
+namespace {
+
+using dbdc::bench::Fmt;
+using dbdc::bench::Table;
+
+struct SweepRow {
+  std::size_t n = 0;
+  int num_blobs = 0;
+  double eps = 0.0;
+  std::string index;
+  bool skipped = false;
+  std::string skip_reason;
+  double build_seconds = 0.0;
+  double batch_seconds = 0.0;
+  double seconds_per_query = 0.0;
+  std::size_t queries = 0;
+  std::size_t neighbors_returned = 0;
+  double recall = 1.0;
+};
+
+// Blob count scaled with n so per-blob neighborhoods stay in the
+// hundreds — dense enough for DBSCAN, small enough that candidate
+// verification is not the only cost.
+int BlobsFor(std::size_t n) {
+  if (n <= 50000) return 16;
+  if (n <= 300000) return 64;
+  return 256;
+}
+
+// Fraction of the ground truth's (query, neighbor) pairs the index
+// reproduced. Both CSR blocks hold per-query sorted-unique ids for the
+// same query order, so per-query sorted intersection counts suffice.
+double Recall(const std::vector<dbdc::PointId>& truth_ids,
+              const std::vector<std::size_t>& truth_counts,
+              const std::vector<dbdc::PointId>& got_ids,
+              const std::vector<std::size_t>& got_counts) {
+  std::size_t truth_total = 0, hit = 0;
+  std::size_t t_off = 0, g_off = 0;
+  for (std::size_t q = 0; q < truth_counts.size(); ++q) {
+    std::vector<dbdc::PointId> t(truth_ids.begin() + static_cast<long>(t_off),
+                                 truth_ids.begin() +
+                                     static_cast<long>(t_off +
+                                                       truth_counts[q]));
+    std::vector<dbdc::PointId> g(got_ids.begin() + static_cast<long>(g_off),
+                                 got_ids.begin() +
+                                     static_cast<long>(g_off +
+                                                       got_counts[q]));
+    std::sort(t.begin(), t.end());
+    std::sort(g.begin(), g.end());
+    std::vector<dbdc::PointId> both;
+    std::set_intersection(t.begin(), t.end(), g.begin(), g.end(),
+                          std::back_inserter(both));
+    truth_total += t.size();
+    hit += both.size();
+    t_off += truth_counts[q];
+    g_off += got_counts[q];
+  }
+  return truth_total == 0
+             ? 1.0
+             : static_cast<double>(hit) / static_cast<double>(truth_total);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dbdc::bench::JsonEscape;
+  using dbdc::bench::MedianSeconds;
+  dbdc::bench::HarnessOptions options;
+  if (!dbdc::bench::ParseHarnessOptions(argc, argv, &options)) return 2;
+  const dbdc::bench::HarnessMetrics metrics;
+  const bool quick = options.quick;
+
+  const int kDim = 12;
+  const double kNoiseFraction = 0.02;
+  const std::vector<std::size_t> sweep =
+      quick ? std::vector<std::size_t>{20000, 50000}
+            : std::vector<std::size_t>{100000, 300000, 1000000};
+  const std::size_t kQueries = quick ? 50 : 200;
+  const double kBudgetSeconds = quick ? 2.0 : 30.0;
+  const int repeats = quick ? 1 : 3;
+  // The linear scan stays un-skipped at every n: it is the recall ground
+  // truth, and its O(n) per query IS the baseline the crossover is
+  // measured against.
+  const std::vector<dbdc::IndexType> index_types = {
+      dbdc::IndexType::kLinearScan,    dbdc::IndexType::kGrid,
+      dbdc::IndexType::kKdTree,        dbdc::IndexType::kRStarTreeBulk,
+      dbdc::IndexType::kMTree,         dbdc::IndexType::kVpTree,
+      dbdc::IndexType::kApprox};
+
+  std::vector<SweepRow> rows;
+  std::vector<bool> fell_over(index_types.size(), false);
+  Table sweep_table(
+      Fmt("eps-query crossover, dim=%d blobs (Q=%zu queries per cell)", kDim,
+          kQueries));
+  sweep_table.SetHeader({"n", "index", "build_s", "batch_s", "s/query",
+                         "recall", "note"});
+  for (const std::size_t n : sweep) {
+    const dbdc::SyntheticDataset ds =
+        dbdc::MakeHighDimBlobs(n, kDim, BlobsFor(n), kNoiseFraction, 42);
+    const double eps = ds.suggested_params.eps;
+    std::vector<dbdc::PointId> queries;
+    for (std::size_t j = 0; j < kQueries; ++j) {
+      queries.push_back(
+          static_cast<dbdc::PointId>(j * (ds.data.size() / kQueries)));
+    }
+    std::vector<dbdc::PointId> truth_ids;
+    std::vector<std::size_t> truth_counts;
+    for (std::size_t t = 0; t < index_types.size(); ++t) {
+      const dbdc::IndexType type = index_types[t];
+      SweepRow row;
+      row.n = n;
+      row.num_blobs = BlobsFor(n);
+      row.eps = eps;
+      row.index = std::string(dbdc::IndexTypeName(type));
+      row.queries = kQueries;
+      if (fell_over[t]) {
+        row.skipped = true;
+        row.skip_reason = "exceeded_budget";
+        rows.push_back(row);
+        sweep_table.AddRow({Fmt("%zu", n), row.index, "-", "-", "-", "-",
+                            "skipped (exceeded budget at smaller n)"});
+        continue;
+      }
+      dbdc::Timer build_timer;
+      const std::unique_ptr<dbdc::NeighborIndex> index =
+          dbdc::CreateIndex(type, ds.data, dbdc::Euclidean(), eps);
+      row.build_seconds = build_timer.Seconds();
+      std::vector<double> samples;
+      std::vector<dbdc::PointId> out_ids;
+      std::vector<std::size_t> out_counts;
+      for (int r = 0; r < repeats; ++r) {
+        dbdc::Timer timer;
+        index->BatchRangeQuery(queries, eps, &out_ids, &out_counts);
+        samples.push_back(timer.Seconds());
+        // One over-budget sample is answer enough; don't triple the pain.
+        if (samples.back() > kBudgetSeconds) break;
+      }
+      row.batch_seconds = MedianSeconds(samples);
+      row.seconds_per_query =
+          row.batch_seconds / static_cast<double>(kQueries);
+      for (const std::size_t c : out_counts) row.neighbors_returned += c;
+      if (type == dbdc::IndexType::kLinearScan) {
+        truth_ids = out_ids;
+        truth_counts = out_counts;
+      } else {
+        row.recall = Recall(truth_ids, truth_counts, out_ids, out_counts);
+      }
+      std::string note;
+      if ((row.build_seconds > kBudgetSeconds ||
+           row.batch_seconds > kBudgetSeconds) &&
+          type != dbdc::IndexType::kLinearScan) {
+        fell_over[t] = true;
+        note = "over budget; skipped at larger n";
+      }
+      rows.push_back(row);
+      sweep_table.AddRow({Fmt("%zu", n), row.index,
+                          Fmt("%.3f", row.build_seconds),
+                          Fmt("%.4f", row.batch_seconds),
+                          Fmt("%.6f", row.seconds_per_query),
+                          Fmt("%.4f", row.recall), note});
+    }
+  }
+  sweep_table.Print();
+
+  // --- Quality gate: full DBSCAN, exact vs approximate ----------------
+  const std::size_t quality_n = quick ? 20000 : 100000;
+  const dbdc::SyntheticDataset qds = dbdc::MakeHighDimBlobs(
+      quality_n, kDim, BlobsFor(quality_n), kNoiseFraction, 43);
+  dbdc::DbscanParams params = qds.suggested_params;
+  params.threads = 0;  // Bit-identical for every thread count.
+  const std::unique_ptr<dbdc::NeighborIndex> exact_index = dbdc::CreateIndex(
+      dbdc::IndexType::kKdTree, qds.data, dbdc::Euclidean(), params.eps);
+  dbdc::Timer exact_timer;
+  const dbdc::Clustering exact = dbdc::RunDbscan(*exact_index, params);
+  const double exact_seconds = exact_timer.Seconds();
+  const std::unique_ptr<dbdc::NeighborIndex> approx_index = dbdc::CreateIndex(
+      dbdc::IndexType::kApprox, qds.data, dbdc::Euclidean(), params.eps);
+  dbdc::Timer approx_timer;
+  const dbdc::Clustering approx = dbdc::RunDbscan(*approx_index, params);
+  const double approx_seconds = approx_timer.Seconds();
+  const double p1 =
+      dbdc::QualityP1(approx.labels, exact.labels, params.min_pts, 0);
+  const double p2 = dbdc::QualityP2(approx.labels, exact.labels, 0);
+  Table quality_table(Fmt("Q_DBDC quality gate: full DBSCAN at n=%zu",
+                          quality_n));
+  quality_table.SetHeader(
+      {"index", "seconds", "clusters", "P^I (qp=MinPts)", "P^II"});
+  quality_table.AddRow({"kdtree (exact)", Fmt("%.3f", exact_seconds),
+                        Fmt("%d", exact.num_clusters), "1.0000", "1.0000"});
+  quality_table.AddRow({"approx", Fmt("%.3f", approx_seconds),
+                        Fmt("%d", approx.num_clusters), Fmt("%.4f", p1),
+                        Fmt("%.4f", p2)});
+  quality_table.Print();
+
+  if (!options.out_path.empty()) {
+    std::ofstream out(options.out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   options.out_path.c_str());
+      return 1;
+    }
+    out << "{\n";
+    out << "  \"schema\": \"dbdc-approx-bench-v1\",\n";
+    out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    out << "  \"dim\": " << kDim << ",\n";
+    out << "  \"queries_per_cell\": " << kQueries << ",\n";
+    out << "  \"budget_seconds\": " << Fmt("%.1f", kBudgetSeconds) << ",\n";
+    out << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const SweepRow& r = rows[i];
+      out << "    {\"n\": " << r.n << ", \"num_blobs\": " << r.num_blobs
+          << ", \"eps\": " << Fmt("%.6f", r.eps) << ", \"index\": \""
+          << JsonEscape(r.index) << "\", \"skipped\": "
+          << (r.skipped ? "true" : "false") << ", \"skip_reason\": \""
+          << JsonEscape(r.skip_reason) << "\", \"build_seconds\": "
+          << Fmt("%.6f", r.build_seconds) << ", \"batch_seconds\": "
+          << Fmt("%.6f", r.batch_seconds) << ", \"seconds_per_query\": "
+          << Fmt("%.8f", r.seconds_per_query) << ", \"queries\": "
+          << r.queries << ", \"neighbors_returned\": " << r.neighbors_returned
+          << ", \"recall\": " << Fmt("%.6f", r.recall) << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"quality\": {\"n\": " << quality_n
+        << ", \"eps\": " << Fmt("%.6f", params.eps)
+        << ", \"min_pts\": " << params.min_pts
+        << ", \"exact_seconds\": " << Fmt("%.6f", exact_seconds)
+        << ", \"approx_seconds\": " << Fmt("%.6f", approx_seconds)
+        << ", \"exact_clusters\": " << exact.num_clusters
+        << ", \"approx_clusters\": " << approx.num_clusters
+        << ", \"p1\": " << Fmt("%.6f", p1) << ", \"p2\": " << Fmt("%.6f", p2)
+        << "},\n";
+    out << "  \"metrics\": " << metrics.Json() << "\n";
+    out << "}\n";
+    std::printf("wrote %s\n", options.out_path.c_str());
+  }
+  return 0;
+}

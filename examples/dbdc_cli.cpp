@@ -15,7 +15,19 @@
 //                                optics extracts the global clusters from
 //                                an OPTICS ordering of the representatives
 //     --eps-global <double>      0 = paper default max eps_R (default 0)
-//     --index linear|grid|kdtree|rstar|rstar_bulk|mtree|vptree (default grid)
+//     --index linear|grid|kdtree|rstar|rstar_bulk|mtree|vptree|approx
+//                                (default grid). approx = random-projection
+//                                candidate generation with exact
+//                                re-verification; at the default window
+//                                scale its labels match the exact indices
+//     --approx-projections <int> approx index: random-projection axes >= 1
+//                                (default 4)
+//     --approx-cell-width <double>  approx index: projected cell side as a
+//                                multiple of eps, > 0 (default 2.0)
+//     --approx-window <double>   approx index: query-window scale > 0
+//                                (default 1.0 = guaranteed full recall;
+//                                below 1.0 trades recall for speed)
+//     --approx-seed <uint>       approx index: projection-direction seed
 //     --metric euclidean|manhattan|chebyshev   (default euclidean)
 //     --seed <uint>              partitioning seed (default 42)
 //     --condense <double>        pre-transmission condensation radius >= 0
@@ -104,6 +116,8 @@ namespace {
                "[--mode central|dbdc|continuous] [--eps E] "
                "[--minpts M] [--sites K] [--model scor|kmeans] "
                "[--global dbscan|optics] [--eps-global G] [--index TYPE] "
+               "[--approx-projections N] [--approx-cell-width F] "
+               "[--approx-window W] [--approx-seed S] "
                "[--metric NAME] [--seed S] [--condense R] [--min-weight W] "
                "[--threads T] [--topology flat|tree:K] [--agg-condense R] "
                "[--simd TIER] [--ticks N] [--auto-params] "
@@ -363,6 +377,23 @@ bool ReconcileMetrics(const dbdc::obs::MetricsSnapshot& snap,
       ok = false;
     }
   }
+  // The approximate index accounts for every gathered candidate exactly
+  // once: it is either accepted by the exact re-verification or pruned.
+  const std::uint64_t approx_generated =
+      snap.counter(Counter::kApproxCandidatesGenerated);
+  const std::uint64_t approx_verified =
+      snap.counter(Counter::kApproxCandidatesVerified);
+  const std::uint64_t approx_pruned =
+      snap.counter(Counter::kApproxCandidatesPruned);
+  if (approx_generated != approx_verified + approx_pruned) {
+    std::fprintf(stderr,
+                 "error: approx_candidates_generated (%llu) does not "
+                 "reconcile with verified (%llu) + pruned (%llu)\n",
+                 static_cast<unsigned long long>(approx_generated),
+                 static_cast<unsigned long long>(approx_verified),
+                 static_cast<unsigned long long>(approx_pruned));
+    ok = false;
+  }
   if (!ReconcileSimd(snap, result.simd_tier)) ok = false;
   return ok;
 }
@@ -444,6 +475,19 @@ int main(int argc, char** argv) {
                      name);
         return 2;
       }
+    } else if (arg == "--approx-projections") {
+      config.approx.num_projections =
+          ParseIntFlag("--approx-projections", next(), 1);
+    } else if (arg == "--approx-cell-width") {
+      config.approx.cell_width_factor =
+          ParseDoubleFlagMin("--approx-cell-width", next(), 0.0,
+                             /*exclusive=*/true);
+    } else if (arg == "--approx-window") {
+      config.approx.window_scale = ParseDoubleFlagMin(
+          "--approx-window", next(), 0.0, /*exclusive=*/true);
+    } else if (arg == "--approx-seed") {
+      config.approx.seed = ParseUint64Flag("--approx-seed", next(),
+                                           UINT64_MAX);
     } else if (arg == "--metric") {
       const char* name = next();
       metric = MetricByName(name);
@@ -609,11 +653,19 @@ int main(int argc, char** argv) {
               simd::TierName(simd::DetectedTier()).data());
 
   if (auto_params && connect_spec.empty()) {
-    const DbscanParams estimate = EstimateDbscanParams(data, *metric, auto_k);
-    config.local_dbscan.eps = estimate.eps;
-    config.local_dbscan.min_pts = estimate.min_pts;
+    const ParamEstimate estimate =
+        EstimateDbscanParamsChecked(data, *metric, auto_k);
+    if (!estimate.ok()) {
+      std::fprintf(stderr, "error: --auto-params (k=%d) failed: %s\n",
+                   auto_k,
+                   std::string(ParamEstimationStatusMessage(estimate.status))
+                       .c_str());
+      return 1;
+    }
+    config.local_dbscan.eps = estimate.params.eps;
+    config.local_dbscan.min_pts = estimate.params.min_pts;
     std::printf("estimated params (k=%d): eps %.4f, minpts %d\n", auto_k,
-                estimate.eps, estimate.min_pts);
+                estimate.params.eps, estimate.params.min_pts);
   }
   if (connect_spec.empty()) {
     // Validate up front so a bad flag combination names the offending
@@ -638,8 +690,8 @@ int main(int argc, char** argv) {
   if (mode == "central") {
     DbscanParams central_params = config.local_dbscan;
     central_params.threads = config.num_threads;
-    const CentralDbscanResult central =
-        RunCentralDbscan(data, *metric, central_params, config.index_type);
+    const CentralDbscanResult central = RunCentralDbscan(
+        data, *metric, central_params, config.index_type, config.approx);
     labels = central.clustering.labels;
     std::printf("central DBSCAN: %d clusters, %zu noise, %.3f s\n",
                 central.clustering.num_clusters,
@@ -650,6 +702,7 @@ int main(int argc, char** argv) {
     global_params.eps_global = config.eps_global;
     global_params.min_weight_global = config.min_weight_global;
     global_params.index_type = config.index_type;
+    global_params.approx = config.approx;
     global_params.num_threads = config.num_threads;
 
     SimulatedNetwork inner;

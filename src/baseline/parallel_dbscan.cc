@@ -127,7 +127,7 @@ ParallelDbscanResult RunParallelDbscan(const Dataset& data,
     Timer timer;
     std::vector<PointId> neighbors;
     state.index = CreateIndex(config.index_type, state.local, metric,
-                              config.dbscan.eps);
+                              config.dbscan.eps, config.approx);
     for (std::size_t i = 0; i < state.owned_count; ++i) {
       state.index->RangeQuery(static_cast<PointId>(i), config.dbscan.eps,
                               &neighbors);

@@ -13,6 +13,8 @@ struct ParallelDbscanConfig {
   DbscanParams dbscan;
   int num_workers = 4;
   IndexType index_type = IndexType::kGrid;
+  /// Tuning for index_type == kApprox; ignored by the exact indices.
+  ApproxIndexOptions approx;
   /// Axis along which the data space is sliced into worker partitions.
   int slice_axis = 0;
   /// Threads executing the workers (ThreadPool size): 0 = hardware

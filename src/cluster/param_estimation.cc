@@ -52,20 +52,54 @@ double SuggestEps(const NeighborIndex& index, int min_pts) {
 
 DbscanParams EstimateDbscanParams(const Dataset& data, const Metric& metric,
                                   int k) {
+  return EstimateDbscanParamsChecked(data, metric, k).params;
+}
+
+std::string_view ParamEstimationStatusMessage(ParamEstimationStatus status) {
+  switch (status) {
+    case ParamEstimationStatus::kOk:
+      return "ok";
+    case ParamEstimationStatus::kTooFewPoints:
+      return "dataset has fewer than k+1 points, so no k-th-neighbor "
+             "distance exists to average";
+    case ParamEstimationStatus::kDegenerateDistances:
+      return "average k-th-neighbor distance is not a positive finite eps "
+             "(every point duplicates another, or coordinates are "
+             "non-finite); supply eps/min_pts explicitly";
+  }
+  return "unknown";
+}
+
+ParamEstimate EstimateDbscanParamsChecked(const Dataset& data,
+                                          const Metric& metric, int k) {
   DBDC_CHECK(k >= 1);
-  DbscanParams params;  // {0, 0}: invalid until the estimate succeeds.
-  if (static_cast<int>(data.size()) < k + 1) return params;
+  ParamEstimate est;  // params stays {0, 0} on every failure path.
+  if (static_cast<int>(data.size()) < k + 1) {
+    est.status = ParamEstimationStatus::kTooFewPoints;
+    return est;
+  }
   // Linear scan: the one index type that needs no eps to build (the
   // chicken-and-egg of estimating eps *with* an eps-celled grid).
   const std::unique_ptr<NeighborIndex> index =
       CreateIndex(IndexType::kLinearScan, data, metric, /*eps_hint=*/0.0);
   const std::vector<double> kdist = SortedKDistances(*index, k);
-  if (kdist.empty()) return params;
+  if (kdist.empty()) {
+    // Every per-point k-NN result came back short of k+1 neighbors.
+    est.status = ParamEstimationStatus::kTooFewPoints;
+    return est;
+  }
   double sum = 0.0;
   for (const double d : kdist) sum += d;
-  params.eps = sum / static_cast<double>(kdist.size());
-  params.min_pts = k + 1;
-  return params;
+  const double eps = sum / static_cast<double>(kdist.size());
+  // An eps of 0 (all-duplicates dataset) or NaN/inf (non-finite
+  // coordinates) would silently disable or break DBSCAN downstream.
+  if (!(std::isfinite(eps) && eps > 0.0)) {
+    est.status = ParamEstimationStatus::kDegenerateDistances;
+    return est;
+  }
+  est.params.eps = eps;
+  est.params.min_pts = k + 1;
+  return est;
 }
 
 }  // namespace dbdc

@@ -1,6 +1,7 @@
 #ifndef DBDC_CLUSTER_PARAM_ESTIMATION_H_
 #define DBDC_CLUSTER_PARAM_ESTIMATION_H_
 
+#include <string_view>
 #include <vector>
 
 #include "cluster/dbscan.h"
@@ -34,10 +35,42 @@ double SuggestEps(const NeighborIndex& index, int min_pts);
 /// behind `dbdc_cli --auto-params` and the serve layer's auto_params job
 /// option. Deterministic: depends only on the point set and k.
 ///
-/// Returns {0, 0} (invalid; DbdcConfig::Validate rejects it) when the
-/// dataset has fewer than k + 1 points.
+/// Returns {0, 0} (invalid; DbdcConfig::Validate rejects it) whenever the
+/// checked variant below reports a failure. Callers that can surface an
+/// error should prefer EstimateDbscanParamsChecked, which names the
+/// failure instead of handing back an unusable eps.
 DbscanParams EstimateDbscanParams(const Dataset& data, const Metric& metric,
                                   int k);
+
+/// Why an estimate failed (or didn't).
+enum class ParamEstimationStatus {
+  kOk,
+  /// The dataset holds fewer than k + 1 points (or every per-point k-NN
+  /// result came back short), so no k-th-neighbor distance exists to
+  /// average.
+  kTooFewPoints,
+  /// The averaged k-th-neighbor distance is not a positive finite eps —
+  /// e.g. every point is a duplicate of another (all k-distances zero),
+  /// or the data contains non-finite coordinates.
+  kDegenerateDistances,
+};
+
+/// Human-readable description of `status`, suitable for error reporting
+/// ("--auto-params failed: <message>").
+std::string_view ParamEstimationStatusMessage(ParamEstimationStatus status);
+
+/// An estimate plus its validity. `params` stays {0, 0} unless ok().
+struct ParamEstimate {
+  ParamEstimationStatus status = ParamEstimationStatus::kOk;
+  DbscanParams params;
+  bool ok() const { return status == ParamEstimationStatus::kOk; }
+};
+
+/// EstimateDbscanParams with an explicit status: degenerate datasets
+/// (too small, all-duplicate, non-finite) yield a named failure instead
+/// of a silently unusable eps of 0 or NaN.
+ParamEstimate EstimateDbscanParamsChecked(const Dataset& data,
+                                          const Metric& metric, int k);
 
 }  // namespace dbdc
 

@@ -1,5 +1,6 @@
 #include "core/dbdc.h"
 
+#include <cmath>
 #include <memory>
 #include <utility>
 
@@ -73,6 +74,19 @@ ConfigStatus DbdcConfig::Validate() const {
     return ConfigStatus::Invalid("optics.max_eps_global",
                                  "must be >= 0 (0 = 4x Eps_global)");
   }
+  if (approx.num_projections < 1) {
+    return ConfigStatus::Invalid("approx.num_projections", "must be >= 1");
+  }
+  if (!(approx.cell_width_factor > 0.0) ||
+      !std::isfinite(approx.cell_width_factor)) {
+    return ConfigStatus::Invalid("approx.cell_width_factor",
+                                 "must be positive and finite");
+  }
+  if (!(approx.window_scale > 0.0) || !std::isfinite(approx.window_scale)) {
+    return ConfigStatus::Invalid("approx.window_scale",
+                                 "must be positive and finite "
+                                 "(1.0 = full recall)");
+  }
   switch (topology.kind) {
     case TopologyKind::kFlat:
       if (topology.fanout != 0) {
@@ -143,10 +157,11 @@ DbdcResult RunDbdcOptics(const Dataset& data, const Metric& metric,
 
 CentralDbscanResult RunCentralDbscan(const Dataset& data, const Metric& metric,
                                      const DbscanParams& params,
-                                     IndexType index_type) {
+                                     IndexType index_type,
+                                     const ApproxIndexOptions& approx) {
   Timer timer;
   const std::unique_ptr<NeighborIndex> index =
-      CreateIndex(index_type, data, metric, params.eps);
+      CreateIndex(index_type, data, metric, params.eps, approx);
   CentralDbscanResult result;
   result.clustering = RunDbscan(*index, params);
   result.seconds = timer.Seconds();

@@ -65,6 +65,11 @@ struct DbdcConfig {
   int num_sites = 4;
   /// Spatial index the sites (and the server) use.
   IndexType index_type = IndexType::kGrid;
+  /// Tuning for index_type == kApprox (random-projection candidate
+  /// generation with exact re-verification); ignored by the exact
+  /// indices. Travels with index_type everywhere it goes: sites, the
+  /// global model, baselines, and the serve wire.
+  ApproxIndexOptions approx;
   /// How the data is spread over the sites; null = the paper's uniform
   /// random split.
   const Partitioner* partitioner = nullptr;
@@ -249,7 +254,8 @@ struct CentralDbscanResult {
 /// throughout Sec. 9).
 CentralDbscanResult RunCentralDbscan(const Dataset& data, const Metric& metric,
                                      const DbscanParams& params,
-                                     IndexType index_type);
+                                     IndexType index_type,
+                                     const ApproxIndexOptions& approx = {});
 
 }  // namespace dbdc
 

@@ -18,6 +18,7 @@ GlobalModelParams MakeGlobalParams(const DbdcConfig& config) {
   params.eps_global = config.eps_global;
   params.min_pts_global = 2;
   params.index_type = config.index_type;
+  params.approx = config.approx;
   params.min_weight_global = config.min_weight_global;
   params.num_threads = config.num_threads;
   return params;
@@ -53,7 +54,8 @@ DbdcEngine::DbdcEngine(const Dataset& data, const Metric& metric,
       config_(config),
       site_config_{config.local_dbscan, config.model_type,
                    config.kmeans,       config.index_type,
-                   config.condense_eps, config.num_threads},
+                   config.condense_eps, config.num_threads,
+                   nullptr,             config.approx},
       server_(metric, MakeGlobalParams(config)) {
   DBDC_CHECK(config_.num_sites >= 1);
   switch (config_.topology.kind) {

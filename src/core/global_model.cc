@@ -108,7 +108,8 @@ GlobalModel BuildGlobalModel(std::span<const LocalModel> locals,
   global.eps_global_used = eps_global;
 
   const std::unique_ptr<NeighborIndex> index =
-      CreateIndex(params.index_type, global.rep_points, metric, eps_global);
+      CreateIndex(params.index_type, global.rep_points, metric, eps_global,
+                  params.approx);
   const Clustering merged =
       params.min_weight_global > 0
           ? RunWeightedDbscan(*index, eps_global, global.rep_weight,

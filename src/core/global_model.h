@@ -20,6 +20,8 @@ struct GlobalModelParams {
   double eps_global = 0.0;  // 0 = default: max ε_R of all representatives.
   int min_pts_global = 2;
   IndexType index_type = IndexType::kLinearScan;
+  /// Tuning for index_type == kApprox; ignored by the exact indices.
+  ApproxIndexOptions approx;
   /// Extension beyond the EDBT'04 scheme: when > 0, the server-side core
   /// condition counts represented *objects* instead of representatives —
   /// a representative is core iff the weights of the representatives in

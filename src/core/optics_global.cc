@@ -6,7 +6,8 @@ namespace dbdc {
 
 OpticsGlobalModelBuilder::OpticsGlobalModelBuilder(
     std::span<const LocalModel> locals, const Metric& metric,
-    double max_eps_global, IndexType index_type) {
+    double max_eps_global, IndexType index_type,
+    const ApproxIndexOptions& approx) {
   int dim = 0;
   for (const LocalModel& model : locals) {
     if (model.dim > 0) {
@@ -33,7 +34,7 @@ OpticsGlobalModelBuilder::OpticsGlobalModelBuilder(
   DBDC_CHECK(max_eps_global_ > 0.0);
 
   const std::unique_ptr<NeighborIndex> index = CreateIndex(
-      index_type, reps_.rep_points, metric, max_eps_global_);
+      index_type, reps_.rep_points, metric, max_eps_global_, approx);
   optics_ = RunOptics(*index, OpticsParams{max_eps_global_, 2});
 }
 
@@ -61,7 +62,7 @@ GlobalModel OpticsGlobalStrategy::Build(std::span<const LocalModel> locals,
   DBDC_CHECK(params.min_weight_global == 0 &&
              "optics_global does not support the weighted core condition");
   const OpticsGlobalModelBuilder builder(locals, metric, max_eps_global_,
-                                         params.index_type);
+                                         params.index_type, params.approx);
   const double eps_global = params.eps_global > 0.0
                                 ? params.eps_global
                                 : builder.default_eps_global();

@@ -28,7 +28,8 @@ class OpticsGlobalModelBuilder {
   /// 4 * max ε_R, which comfortably covers the useful range).
   OpticsGlobalModelBuilder(std::span<const LocalModel> locals,
                            const Metric& metric, double max_eps_global = 0.0,
-                           IndexType index_type = IndexType::kLinearScan);
+                           IndexType index_type = IndexType::kLinearScan,
+                           const ApproxIndexOptions& approx = {});
 
   /// Extracts the global model for `eps_global` (must be > 0 and <=
   /// max_eps_global()). Representatives left unmerged keep singleton

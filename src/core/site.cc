@@ -29,7 +29,7 @@ void Site::RunLocalClustering(const SiteConfig& config) {
   num_threads_ = config.num_threads;
   Timer timer;
   index_ = CreateIndex(config.index_type, data_, *metric_,
-                       config.dbscan.eps);
+                       config.dbscan.eps, config.approx);
   DbscanParams dbscan = config.dbscan;
   dbscan.threads = config.num_threads;
   local_ = RunLocalDbscan(*index_, dbscan);

@@ -32,6 +32,9 @@ struct SiteConfig {
   /// path. Appended last so existing positional aggregate initializers
   /// keep compiling unchanged.
   const LocalModelStrategy* model_strategy = nullptr;
+  /// Tuning for index_type == kApprox; ignored by the exact indices.
+  /// (Also appended past the positional initializers.)
+  ApproxIndexOptions approx;
 };
 
 /// A local client site (Sec. 3): owns its horizontal partition of the

@@ -157,4 +157,52 @@ SyntheticDataset MakeScaledDataset(std::size_t n, std::uint64_t seed) {
   return out;
 }
 
+SyntheticDataset MakeHighDimBlobs(std::size_t n, int dim, int num_blobs,
+                                  double noise_fraction, std::uint64_t seed) {
+  DBDC_CHECK(dim >= 1 && num_blobs >= 1);
+  DBDC_CHECK(noise_fraction >= 0.0 && noise_fraction < 1.0);
+  Rng rng(seed);
+  SyntheticDataset out;
+  out.name = "highdim";
+  out.data = Dataset(dim);
+  out.data.Reserve(n);
+  out.num_components = num_blobs;
+
+  const double region = 100.0;
+  const std::size_t noise_count =
+      static_cast<std::size_t>(noise_fraction * static_cast<double>(n));
+  const std::size_t cluster_total = n - noise_count;
+
+  // Uniform-random centers: in dim >= ~8 the pairwise center distances
+  // concentrate near region * sqrt(dim/6) — vastly beyond any blob's
+  // 3σ + eps reach — so no separation enforcement is needed.
+  Point center(static_cast<std::size_t>(dim));
+  for (int b = 0; b < num_blobs; ++b) {
+    for (int d = 0; d < dim; ++d) center[static_cast<std::size_t>(d)] =
+        rng.Uniform(0.0, region);
+    const std::size_t count =
+        b + 1 == num_blobs
+            ? cluster_total - cluster_total / static_cast<std::size_t>(
+                                                  num_blobs) *
+                                  static_cast<std::size_t>(num_blobs - 1)
+            : cluster_total / static_cast<std::size_t>(num_blobs);
+    AppendBlob({center, 1.0, count}, b, &rng, &out.data, &out.true_labels);
+  }
+  AppendUniformNoise(noise_count, 0.0, region, &rng, &out.data,
+                     &out.true_labels);
+
+  // Calibrated eps: the squared distance between two points of one unit-σ
+  // blob is 2·χ²_dim distributed, so the radius holding ~5 % of the blob
+  // is sqrt(2 · Q_{χ²_dim}(0.05)). Wilson–Hilferty approximates the
+  // quantile to well under a percent here. A fixed "2σ" would hold
+  // essentially no neighbors once dim ≳ 8.
+  const double z05 = -1.6448536269514722;  // 5 % standard-normal quantile.
+  const double h = 2.0 / (9.0 * static_cast<double>(dim));
+  const double chi_sq_quantile =
+      static_cast<double>(dim) * std::pow(1.0 - h + z05 * std::sqrt(h), 3.0);
+  out.suggested_params.eps = std::sqrt(2.0 * chi_sq_quantile);
+  out.suggested_params.min_pts = 8;
+  return out;
+}
+
 }  // namespace dbdc

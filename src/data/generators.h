@@ -75,6 +75,23 @@ SyntheticDataset MakeTestDatasetC(std::uint64_t seed = 3);
 /// grow with n exactly as in the paper's setup.
 SyntheticDataset MakeScaledDataset(std::size_t n, std::uint64_t seed = 7);
 
+/// Moderate/high-dimensional unit-σ Gaussian blobs with uniform-random
+/// centers in [0,100]^dim plus `noise_fraction` uniform background noise —
+/// the 10⁶–10⁷-point regime the approximate index targets (bench_approx).
+/// This is the workload where every *exact* index degrades: the grid
+/// must scan ~3^dim cells per ε-query, metric trees lose their pruning to
+/// distance concentration, and the k-d tree cannot prune inside a blob
+/// once eps spans it — while random projections keep candidate sets near
+/// one blob.
+///
+/// suggested_params is calibrated for the dimension: eps is the distance
+/// within which ~5 % of a blob's own points fall (Wilson–Hilferty
+/// approximation of the χ²_dim quantile — in high dimensions "2σ" holds
+/// almost no neighbors), so clusters recover and the far-flung noise
+/// stays noise for any n where n/num_blobs ≳ 200.
+SyntheticDataset MakeHighDimBlobs(std::size_t n, int dim, int num_blobs,
+                                  double noise_fraction, std::uint64_t seed);
+
 }  // namespace dbdc
 
 #endif  // DBDC_DATA_GENERATORS_H_

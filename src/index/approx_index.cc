@@ -1,0 +1,335 @@
+#include "index/approx_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace dbdc {
+namespace {
+
+// Splitmix-style integer mix for cell-coordinate hashing (the same scheme
+// GridIndex uses for its spatial cells).
+inline std::uint64_t Mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+// Upper bound of ||.||_2 / d_metric over difference vectors: the factor
+// the projected query window must be inflated by so Cauchy–Schwarz
+// coverage holds for the metric. L2: equality. L1: ||.||_2 <= ||.||_1.
+// L∞: ||.||_2 <= sqrt(dim) * ||.||_∞.
+double MetricInflation(const Metric& metric, int dim) {
+  const std::string_view name = metric.name();
+  if (name == "euclidean" || name == "manhattan") return 1.0;
+  if (name == "chebyshev") {
+    return std::sqrt(static_cast<double>(dim > 0 ? dim : 1));
+  }
+  DBDC_CHECK(false && "ApproxIndex supports euclidean/manhattan/chebyshev");
+  return 0.0;
+}
+
+// Absolute slack added to each projected window edge, scaled by the score
+// magnitude, so floating-point rounding in the dot products can never
+// push a boundary neighbor's cell outside the scanned box. ~1e4 times any
+// realistic accumulated dot-product error, and at most one extra cell per
+// axis in the pathological case.
+constexpr double kWindowPad = 1e-9;
+
+// One registry flush per query (or per batch) — never per cell. The
+// --metrics reconciler asserts generated == verified + pruned.
+void FlushApproxQueryMetrics(std::uint64_t examined, std::uint64_t accepted,
+                             const simd::KernelStats& kstats) {
+  if (examined == 0) return;
+  if (obs::MetricsRegistry* metrics = obs::GlobalMetrics()) {
+    metrics->Add(obs::Counter::kApproxCandidatesGenerated, examined);
+    metrics->Add(obs::Counter::kApproxCandidatesVerified, accepted);
+    metrics->Add(obs::Counter::kApproxCandidatesPruned, examined - accepted);
+    if (kstats.blocks_scored != 0) {  // Zero in reference-scan mode.
+      metrics->Add(obs::Counter::kSimdBlocksScored, kstats.blocks_scored);
+      metrics->Add(obs::Counter::kSimdCandidatesFiltered,
+                   kstats.candidates_filtered);
+    }
+  }
+}
+
+}  // namespace
+
+ApproxIndex::ApproxIndex(const Dataset& data, const Metric& metric,
+                         double eps_hint, const ApproxIndexOptions& options,
+                         bool index_all)
+    : data_(&data),
+      metric_(&metric),
+      options_(options),
+      euclidean_(IsEuclideanMetric(metric)),
+      inflation_(MetricInflation(metric, data.dim())),
+      eps_hint_(eps_hint) {
+  DBDC_CHECK(std::isfinite(eps_hint) && eps_hint > 0.0);
+  DBDC_CHECK(options_.num_projections >= 1);
+  DBDC_CHECK(std::isfinite(options_.cell_width_factor) &&
+             options_.cell_width_factor > 0.0);
+  DBDC_CHECK(std::isfinite(options_.window_scale) &&
+             options_.window_scale > 0.0);
+  cell_width_ = options_.cell_width_factor * eps_hint * inflation_;
+  // Seeded Gaussian directions, normalized to unit length so the
+  // Cauchy–Schwarz window bound applies directly.
+  const std::size_t sdim = static_cast<std::size_t>(data.dim());
+  const std::size_t snp = static_cast<std::size_t>(options_.num_projections);
+  Rng rng(options_.seed);
+  directions_.resize(snp * sdim);
+  for (std::size_t i = 0; i < snp; ++i) {
+    double* dir = directions_.data() + i * sdim;
+    double norm_sq = 0.0;
+    do {
+      norm_sq = 0.0;
+      for (std::size_t j = 0; j < sdim; ++j) {
+        dir[j] = rng.Gaussian(0.0, 1.0);
+        norm_sq += dir[j] * dir[j];
+      }
+    } while (sdim > 0 && norm_sq < 1e-24);
+    if (sdim > 0) {
+      const double inv = 1.0 / std::sqrt(norm_sq);
+      for (std::size_t j = 0; j < sdim; ++j) dir[j] *= inv;
+    }
+  }
+  if (index_all) {
+    for (PointId id = 0; id < static_cast<PointId>(data.size()); ++id) {
+      Insert(id);
+    }
+  }
+}
+
+void ApproxIndex::Scores(std::span<const double> p,
+                         std::vector<double>* s) const {
+  const std::size_t sdim = static_cast<std::size_t>(data_->dim());
+  const std::size_t snp = static_cast<std::size_t>(options_.num_projections);
+  s->resize(snp);
+  for (std::size_t i = 0; i < snp; ++i) {
+    const double* dir = directions_.data() + i * sdim;
+    double dot = 0.0;
+    for (std::size_t j = 0; j < sdim; ++j) dot += dir[j] * p[j];
+    (*s)[i] = dot;
+  }
+}
+
+void ApproxIndex::CellCoords(const std::vector<double>& s,
+                             std::vector<std::int64_t>* c) const {
+  c->resize(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    (*c)[i] = static_cast<std::int64_t>(std::floor(s[i] / cell_width_));
+  }
+}
+
+ApproxIndex::CellKey ApproxIndex::HashCoords(
+    const std::vector<std::int64_t>& c) const {
+  std::uint64_t h = Mix(0x51ed270b0a1f2c3dULL, options_.seed);
+  for (const std::int64_t v : c) h = Mix(h, static_cast<std::uint64_t>(v));
+  return h;
+}
+
+void ApproxIndex::VerifyCell(std::span<const double> q, double eps,
+                             double eps_sq, const std::vector<PointId>& ids,
+                             std::uint64_t* examined,
+                             simd::KernelStats* kstats,
+                             std::vector<PointId>* out) const {
+  *examined += ids.size();
+  const int dim = data_->dim();
+  const std::size_t sdim = static_cast<std::size_t>(dim);
+  if (euclidean_) {
+    if (simd::ReferenceScanEnabled()) {
+      // Pre-batching scan: one inlined squared distance per candidate.
+      // Only the filtered count is accounted — no kernel blocks ran.
+      for (const PointId id : ids) {
+        if (simd::ReferenceSquaredL2(
+                q.data(), data_->raw() + static_cast<std::size_t>(id) * sdim,
+                dim) <= eps_sq) {
+          out->push_back(id);
+        } else {
+          ++kstats->candidates_filtered;
+        }
+      }
+    } else {
+      // A whole cell's candidate list is one block through the batched
+      // kernel (squared distances vs eps², no sqrt, no virtual call).
+      simd::FilterIdsSquaredEuclidean(q.data(), data_->raw(), dim, eps_sq,
+                                      ids.data(), ids.size(), out, kstats);
+    }
+  } else {
+    for (const PointId id : ids) {
+      if (metric_->Distance(q, data_->point(id)) <= eps) out->push_back(id);
+    }
+  }
+}
+
+void ApproxIndex::ScanWindow(std::span<const double> q, double eps,
+                             std::vector<double>* s,
+                             std::vector<std::int64_t>* lo,
+                             std::vector<std::int64_t>* hi,
+                             std::vector<std::int64_t>* cur,
+                             std::uint64_t* examined, std::uint64_t* accepted,
+                             simd::KernelStats* kstats,
+                             std::vector<PointId>* out) const {
+  DBDC_CHECK(static_cast<int>(q.size()) == data_->dim());
+  const std::size_t first_out = out->size();
+  const int np = options_.num_projections;
+  const std::size_t snp = static_cast<std::size_t>(np);
+  Scores(q, s);
+  lo->resize(snp);
+  hi->resize(snp);
+  cur->resize(snp);
+  // Projected window half-width: covers every true ε-neighbor when
+  // window_scale = 1.0 (see class comment), padded against fp rounding.
+  const double window = options_.window_scale * inflation_ * eps;
+  // Cell count of the window box, in floating point so extreme
+  // eps/cell-width ratios saturate instead of overflowing.
+  double box_cells = 1.0;
+  for (std::size_t i = 0; i < snp; ++i) {
+    const double si = (*s)[i];
+    const double t = window + kWindowPad * (1.0 + std::fabs(si));
+    (*lo)[i] = static_cast<std::int64_t>(std::floor((si - t) / cell_width_));
+    (*hi)[i] = static_cast<std::int64_t>(std::floor((si + t) / cell_width_));
+    box_cells *= static_cast<double>((*hi)[i] - (*lo)[i] + 1);
+  }
+  const double eps_sq = eps * eps;
+  if (box_cells > static_cast<double>(cells_.size())) {
+    // The window box spans more cells than exist: walking the occupied
+    // cells is cheaper (and bounds every query at O(occupied cells +
+    // candidates), whatever eps is).
+    for (const auto& [key, cell] : cells_) {
+      bool inside = true;
+      for (std::size_t i = 0; i < snp; ++i) {
+        if (cell.coords[i] < (*lo)[i] || cell.coords[i] > (*hi)[i]) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) VerifyCell(q, eps, eps_sq, cell.ids, examined, kstats, out);
+    }
+  } else {
+    // Odometer-style advance through the window box.
+    *cur = *lo;
+    while (true) {
+      const auto it = cells_.find(HashCoords(*cur));
+      if (it != cells_.end()) {
+        VerifyCell(q, eps, eps_sq, it->second.ids, examined, kstats, out);
+      }
+      std::size_t axis = 0;
+      while (axis < snp) {
+        if (++(*cur)[axis] <= (*hi)[axis]) break;
+        (*cur)[axis] = (*lo)[axis];
+        ++axis;
+      }
+      if (axis == snp) break;
+    }
+  }
+  *accepted += out->size() - first_out;
+  // Sort + dedup the accepted slice: each point lives in exactly one cell,
+  // so duplicates require a 64-bit cell-hash collision — but dedup is
+  // cheap on the small accepted set and makes the ascending-id output
+  // contract unconditional (bit-identical to LinearScanIndex at full
+  // recall).
+  std::sort(out->begin() + static_cast<std::ptrdiff_t>(first_out), out->end());
+  out->erase(std::unique(out->begin() + static_cast<std::ptrdiff_t>(first_out),
+                         out->end()),
+             out->end());
+}
+
+void ApproxIndex::RangeQuery(std::span<const double> q, double eps,
+                             std::vector<PointId>* out) const {
+  out->clear();
+  std::vector<double> s;
+  std::vector<std::int64_t> lo, hi, cur;
+  std::uint64_t examined = 0;
+  std::uint64_t accepted = 0;
+  simd::KernelStats kstats;
+  ScanWindow(q, eps, &s, &lo, &hi, &cur, &examined, &accepted, &kstats, out);
+  FlushApproxQueryMetrics(examined, accepted, kstats);
+}
+
+void ApproxIndex::BatchRangeQuery(std::span<const PointId> queries, double eps,
+                                  std::vector<PointId>* out_ids,
+                                  std::vector<std::size_t>* out_counts) const {
+  out_ids->clear();
+  out_counts->clear();
+  out_counts->reserve(queries.size());
+  std::vector<double> s;
+  std::vector<std::int64_t> lo, hi, cur;
+  std::uint64_t examined = 0;
+  std::uint64_t accepted = 0;
+  simd::KernelStats kstats;
+  for (const PointId p : queries) {
+    const std::size_t before = out_ids->size();
+    ScanWindow(data_->point(p), eps, &s, &lo, &hi, &cur, &examined, &accepted,
+               &kstats, out_ids);
+    out_counts->push_back(out_ids->size() - before);
+  }
+  FlushApproxQueryMetrics(examined, accepted, kstats);
+}
+
+void ApproxIndex::KnnQuery(std::span<const double> q, int k,
+                           std::vector<PointId>* out) const {
+  out->clear();
+  if (k <= 0 || count_ == 0) return;
+  const std::size_t want = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                                 count_);
+  // Expanding-radius search, exact once the k-th neighbor lies within the
+  // scanned radius (at window_scale = 1.0; approximate below that, though
+  // still terminating — the window eventually covers every occupied cell).
+  double r = eps_hint_;
+  std::vector<PointId> candidates;
+  std::vector<std::pair<double, PointId>> scored;
+  for (;;) {
+    RangeQuery(q, r, &candidates);
+    if (candidates.size() >= want) {
+      scored.clear();
+      scored.reserve(candidates.size());
+      for (const PointId id : candidates) {
+        scored.emplace_back(metric_->Distance(q, data_->point(id)), id);
+      }
+      // Pair order pins ties to (distance, id) ascending.
+      std::sort(scored.begin(), scored.end());
+      if (scored[want - 1].first <= r) {
+        for (std::size_t i = 0; i < want; ++i) out->push_back(scored[i].second);
+        return;
+      }
+    }
+    r *= 2.0;
+    DBDC_CHECK(r < std::numeric_limits<double>::max() / 4.0);
+  }
+}
+
+void ApproxIndex::Insert(PointId id) {
+  DBDC_CHECK(id >= 0 && static_cast<std::size_t>(id) < data_->size());
+  std::vector<double> s;
+  std::vector<std::int64_t> c;
+  Scores(data_->point(id), &s);
+  CellCoords(s, &c);
+  Cell& cell = cells_[HashCoords(c)];
+  if (cell.ids.empty()) cell.coords = c;
+  cell.ids.push_back(id);
+  ++count_;
+}
+
+void ApproxIndex::Erase(PointId id) {
+  DBDC_CHECK(id >= 0 && static_cast<std::size_t>(id) < data_->size());
+  std::vector<double> s;
+  std::vector<std::int64_t> c;
+  Scores(data_->point(id), &s);
+  CellCoords(s, &c);
+  const auto it = cells_.find(HashCoords(c));
+  DBDC_CHECK(it != cells_.end());
+  auto& ids = it->second.ids;
+  const auto pos = std::find(ids.begin(), ids.end(), id);
+  DBDC_CHECK(pos != ids.end());
+  *pos = ids.back();
+  ids.pop_back();
+  if (ids.empty()) cells_.erase(it);
+  --count_;
+}
+
+}  // namespace dbdc

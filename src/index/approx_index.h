@@ -1,0 +1,135 @@
+#ifndef DBDC_INDEX_APPROX_INDEX_H_
+#define DBDC_INDEX_APPROX_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/simd_kernels.h"
+#include "index/index_factory.h"
+#include "index/neighbor_index.h"
+
+namespace dbdc {
+
+/// Approximate-neighbor index: seeded random-projection candidate
+/// generation with exact re-verification.
+///
+/// Following the sDBSCAN idea (random projections as a cheap density
+/// filter), every point is scored against `num_projections` seeded
+/// Gaussian unit directions and hashed into a cell of the projected grid
+/// (side `cell_width_factor * eps_hint` per projection axis). An ε-query
+/// gathers the cells overlapping the projected window
+/// [s(q) - t, s(q) + t] per axis and re-verifies every gathered candidate
+/// EXACTLY — through the batched SIMD squared-L2 kernels for the
+/// Euclidean metric, through virtual Metric::Distance otherwise — so a
+/// reported neighbor is never a false positive and core-point decisions
+/// stay sound. Accepted ids are sorted (and deduplicated) per query, so
+/// at full recall the output is bit-identical to LinearScanIndex.
+///
+/// Soundness of the window: by Cauchy–Schwarz |<x-q, v>| <= ||x-q||_2 for
+/// a unit direction v, and ||.||_2 <= inflation * d_metric with inflation
+/// 1 for Euclidean and Manhattan and sqrt(dim) for Chebyshev. With the
+/// default `window_scale = 1.0` the window t = window_scale * inflation *
+/// eps therefore COVERS every true ε-neighbor: recall is 1.0 and the
+/// index is exact (only the candidate set, and hence the running time, is
+/// probabilistic in the seed). `window_scale < 1` trades recall for
+/// speed; recall then degrades gracefully because only neighbors whose
+/// projection lands near the window edge on some axis can be missed.
+/// Only the three built-in Lp metrics are supported.
+///
+/// Determinism: directions depend only on (seed, dim); cell contents only
+/// on insertion order; accepted results are sorted — so candidate sets
+/// and query answers are reproducible across runs, thread counts, and
+/// SIMD tiers.
+///
+/// When a query's cell window spans more cells than are occupied (tiny
+/// cells or huge eps), the scan falls back to walking the occupied-cell
+/// table and testing each cell's stored coordinates against the window,
+/// bounding every query at O(occupied cells + candidates).
+class ApproxIndex final : public NeighborIndex {
+ public:
+  /// `eps_hint` must be positive: it sizes the projected cells and seeds
+  /// the k-NN search radius. Indexes every point of `data`
+  /// (index_all=false starts empty).
+  ApproxIndex(const Dataset& data, const Metric& metric, double eps_hint,
+              const ApproxIndexOptions& options = {}, bool index_all = true);
+
+  void RangeQuery(std::span<const double> q, double eps,
+                  std::vector<PointId>* out) const override;
+  using NeighborIndex::RangeQuery;
+  /// Batched override: reuses one set of projection/cell scratch vectors
+  /// across the block and flushes candidate accounting to the registry
+  /// once, instead of per query.
+  void BatchRangeQuery(std::span<const PointId> queries, double eps,
+                       std::vector<PointId>* out_ids,
+                       std::vector<std::size_t>* out_counts) const override;
+  /// Expanding-radius search. Exact (and tie-pinned to (distance, id)
+  /// ascending) when window_scale = 1.0; approximate below that.
+  void KnnQuery(std::span<const double> q, int k,
+                std::vector<PointId>* out) const override;
+  std::size_t size() const override { return count_; }
+  bool SupportsDynamicUpdates() const override { return true; }
+  void Insert(PointId id) override;
+  void Erase(PointId id) override;
+  std::string_view name() const override { return "approx"; }
+  const Dataset& data() const override { return *data_; }
+  const Metric& metric() const override { return *metric_; }
+
+  const ApproxIndexOptions& options() const { return options_; }
+  /// Projected-grid cell side (cell_width_factor * eps_hint * inflation).
+  double cell_width() const { return cell_width_; }
+
+ private:
+  using CellKey = std::uint64_t;
+  struct Cell {
+    /// Projected-grid coordinates, kept for the occupied-cell fallback
+    /// scan. A 64-bit hash collision between distinct coordinate tuples
+    /// would merge two cells (the stored coords are the first inserter's);
+    /// exact re-verification keeps answers correct regardless, the
+    /// fallback scan could only over- or under-scan that one cell.
+    std::vector<std::int64_t> coords;
+    std::vector<PointId> ids;
+  };
+
+  /// Projection scores of p onto the `num_projections` unit directions.
+  void Scores(std::span<const double> p, std::vector<double>* s) const;
+  void CellCoords(const std::vector<double>& s,
+                  std::vector<std::int64_t>* c) const;
+  CellKey HashCoords(const std::vector<std::int64_t>& c) const;
+
+  /// Verifies one cell's candidates exactly, appending accepted ids.
+  void VerifyCell(std::span<const double> q, double eps, double eps_sq,
+                  const std::vector<PointId>& ids, std::uint64_t* examined,
+                  simd::KernelStats* kstats, std::vector<PointId>* out) const;
+
+  /// One range query: gather candidate cells, verify exactly, then sort +
+  /// dedup the accepted slice [first_out, out->size()). Scratch vectors
+  /// are caller-provided so batched queries reuse allocations; candidate
+  /// and kernel accounting accumulate for a single registry flush.
+  void ScanWindow(std::span<const double> q, double eps,
+                  std::vector<double>* s, std::vector<std::int64_t>* lo,
+                  std::vector<std::int64_t>* hi, std::vector<std::int64_t>* cur,
+                  std::uint64_t* examined, std::uint64_t* accepted,
+                  simd::KernelStats* kstats, std::vector<PointId>* out) const;
+
+  const Dataset* data_;
+  const Metric* metric_;
+  ApproxIndexOptions options_;
+  /// Detected at construction: verification then filters candidates by
+  /// squared distance against eps² via the SIMD kernels.
+  bool euclidean_;
+  /// Upper bound of ||.||_2 / d_metric (1 for L1/L2, sqrt(dim) for L∞).
+  double inflation_;
+  double eps_hint_;
+  double cell_width_;
+  /// Seeded Gaussian unit directions, row-major
+  /// [num_projections x dim].
+  std::vector<double> directions_;
+  std::unordered_map<CellKey, Cell> cells_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dbdc
+
+#endif  // DBDC_INDEX_APPROX_INDEX_H_

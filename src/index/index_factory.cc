@@ -1,5 +1,6 @@
 #include "index/index_factory.h"
 
+#include "index/approx_index.h"
 #include "index/grid_index.h"
 #include "index/kd_tree_index.h"
 #include "index/linear_scan_index.h"
@@ -11,7 +12,8 @@ namespace dbdc {
 
 std::unique_ptr<NeighborIndex> CreateIndex(IndexType type, const Dataset& data,
                                            const Metric& metric,
-                                           double eps_hint) {
+                                           double eps_hint,
+                                           const ApproxIndexOptions& approx) {
   switch (type) {
     case IndexType::kLinearScan:
       return std::make_unique<LinearScanIndex>(data, metric);
@@ -29,6 +31,8 @@ std::unique_ptr<NeighborIndex> CreateIndex(IndexType type, const Dataset& data,
       return std::make_unique<MTree>(data, metric);
     case IndexType::kVpTree:
       return std::make_unique<VpTree>(data, metric);
+    case IndexType::kApprox:
+      return std::make_unique<ApproxIndex>(data, metric, eps_hint, approx);
   }
   DBDC_CHECK(false && "unknown index type");
   return nullptr;
@@ -49,6 +53,8 @@ bool ParseIndexType(std::string_view name, IndexType* out) {
     *out = IndexType::kMTree;
   } else if (name == "vptree") {
     *out = IndexType::kVpTree;
+  } else if (name == "approx") {
+    *out = IndexType::kApprox;
   } else {
     return false;
   }
@@ -71,6 +77,8 @@ std::string_view IndexTypeName(IndexType type) {
       return "mtree";
     case IndexType::kVpTree:
       return "vptree";
+    case IndexType::kApprox:
+      return "approx";
   }
   return "unknown";
 }

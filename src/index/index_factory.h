@@ -1,6 +1,7 @@
 #ifndef DBDC_INDEX_INDEX_FACTORY_H_
 #define DBDC_INDEX_INDEX_FACTORY_H_
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 
@@ -20,19 +21,44 @@ enum class IndexType {
   kMTree,
   /// Vantage-point tree (metric-only, static, balanced).
   kVpTree,
+  /// Random-projection candidate generation with exact re-verification
+  /// (see ApproxIndex). Exact at the default window_scale = 1.0.
+  kApprox,
+};
+
+/// Tuning knobs for IndexType::kApprox (see ApproxIndex for semantics).
+/// The defaults are the "default projection budget" the bench quality
+/// gate holds to: full recall, 4 projection axes.
+struct ApproxIndexOptions {
+  /// Number of random-projection axes. More axes prune candidates harder
+  /// but cost more cell lookups per query. Must be >= 1.
+  int num_projections = 4;
+  /// Projected cell side as a multiple of eps_hint (times the metric
+  /// inflation factor). Must be positive and finite. Raising it far above
+  /// the dataset spread degenerates the index to one cell per axis — the
+  /// exhaustive configuration the equivalence tests use.
+  double cell_width_factor = 2.0;
+  /// Scales the projected query window. 1.0 (default) guarantees recall
+  /// 1.0 by Cauchy–Schwarz; below 1.0 the index becomes genuinely
+  /// approximate. Must be positive and finite.
+  double window_scale = 1.0;
+  /// Seed for the projection directions; candidate sets are a pure
+  /// function of (seed, dim, insertion order).
+  std::uint64_t seed = 0x5eedULL;
 };
 
 /// Builds an index of the requested type over `data`.
 ///
-/// `eps_hint` sizes the grid cells (ignored by the other types); it should
-/// be the DBSCAN ε the index will mostly be queried with and must be
-/// positive when `type == kGrid`.
-std::unique_ptr<NeighborIndex> CreateIndex(IndexType type, const Dataset& data,
-                                           const Metric& metric,
-                                           double eps_hint);
+/// `eps_hint` sizes the grid and projected-grid cells (ignored by the
+/// other types); it should be the DBSCAN ε the index will mostly be
+/// queried with and must be positive when `type` is kGrid or kApprox.
+/// `approx` is consulted only by kApprox.
+std::unique_ptr<NeighborIndex> CreateIndex(
+    IndexType type, const Dataset& data, const Metric& metric,
+    double eps_hint, const ApproxIndexOptions& approx = {});
 
 /// Parses "linear" / "grid" / "kdtree" / "rstar" / "rstar_bulk" /
-/// "mtree" / "vptree"; returns false for unknown names.
+/// "mtree" / "vptree" / "approx"; returns false for unknown names.
 bool ParseIndexType(std::string_view name, IndexType* out);
 
 /// The inverse of ParseIndexType.

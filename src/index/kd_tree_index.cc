@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <utility>
 
 #include "obs/metrics.h"
 
@@ -145,7 +146,8 @@ void KdTreeIndex::KnnRecursive(
       if (heap->size() < k) {
         heap->emplace_back(d, id);
         std::push_heap(heap->begin(), heap->end());
-      } else if (d < heap->front().first) {
+      } else if (std::make_pair(d, id) < heap->front()) {
+        // Whole-pair compare pins ties to (distance, id) ascending.
         std::pop_heap(heap->begin(), heap->end());
         heap->back() = {d, id};
         std::push_heap(heap->begin(), heap->end());

@@ -92,7 +92,9 @@ void LinearScanIndex::KnnQuery(std::span<const double> q, int k,
                                std::vector<PointId>* out) const {
   out->clear();
   if (k <= 0) return;
-  // (distance, id) max-heap of the best k so far.
+  // (distance, id) max-heap of the best k so far. Offers compare whole
+  // pairs, pinning ties to (distance, id) ascending — the cross-index
+  // KnnQuery contract (neighbor_index.h).
   std::vector<std::pair<double, PointId>> heap;
   heap.reserve(static_cast<std::size_t>(k) + 1);
   for (PointId id = 0; id < static_cast<PointId>(present_.size()); ++id) {
@@ -101,7 +103,7 @@ void LinearScanIndex::KnnQuery(std::span<const double> q, int k,
     if (static_cast<int>(heap.size()) < k) {
       heap.emplace_back(d, id);
       std::push_heap(heap.begin(), heap.end());
-    } else if (d < heap.front().first) {
+    } else if (std::make_pair(d, id) < heap.front()) {
       std::pop_heap(heap.begin(), heap.end());
       heap.back() = {d, id};
       std::push_heap(heap.begin(), heap.end());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
+#include <tuple>
 
 namespace dbdc {
 
@@ -187,7 +188,14 @@ void MTree::KnnQuery(std::span<const double> q, int k,
     double dist;
     const Node* node;  // Null for point results.
     PointId id;
-    bool operator>(const QueueItem& other) const { return dist > other.dist; }
+    // Ordering pins ties: nodes expand before equal-distance points pop
+    // (so an equal-distance smaller-id point inside an unexpanded subtree
+    // cannot be missed), and equal-distance points emit id-ascending —
+    // the cross-index KnnQuery contract (neighbor_index.h).
+    bool operator>(const QueueItem& other) const {
+      return std::make_tuple(dist, node == nullptr, id) >
+             std::make_tuple(other.dist, other.node == nullptr, other.id);
+    }
   };
   std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
   pq.push({0.0, root_, -1});

@@ -61,8 +61,11 @@ class NeighborIndex {
   }
 
   /// The `k` indexed ids closest to `q`, ordered by increasing distance
-  /// (fewer if the index holds fewer than k points). Ties broken
-  /// arbitrarily.
+  /// (fewer if the index holds fewer than k points). Ties are broken by
+  /// ascending point id: the returned set and its order are the first k
+  /// elements under (distance, id)-lexicographic order, identical across
+  /// every backend — so k-NN consumers (e.g. EstimateDbscanParams) are
+  /// index-invariant even on datasets with equidistant neighbors.
   virtual void KnnQuery(std::span<const double> q, int k,
                         std::vector<PointId>* out) const = 0;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 namespace dbdc {
 
@@ -97,7 +98,8 @@ void VpTree::KnnRecursive(
     if (heap->size() < k) {
       heap->emplace_back(d, id);
       std::push_heap(heap->begin(), heap->end());
-    } else if (d < heap->front().first) {
+    } else if (std::make_pair(d, id) < heap->front()) {
+      // Whole-pair compare pins ties to (distance, id) ascending.
       std::pop_heap(heap->begin(), heap->end());
       heap->back() = {d, id};
       std::push_heap(heap->begin(), heap->end());

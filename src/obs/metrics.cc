@@ -45,6 +45,12 @@ std::string_view CounterName(Counter counter) {
       return "intermediate_models_forwarded";
     case Counter::kSitesRetired: return "sites_retired";
     case Counter::kSitesExpired: return "sites_expired";
+    case Counter::kApproxCandidatesGenerated:
+      return "approx_candidates_generated";
+    case Counter::kApproxCandidatesVerified:
+      return "approx_candidates_verified";
+    case Counter::kApproxCandidatesPruned:
+      return "approx_candidates_pruned";
   }
   return "unknown";
 }

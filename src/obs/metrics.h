@@ -65,8 +65,15 @@ enum class Counter : int {
   /// and stale sites evicted by TTL expiry.
   kSitesRetired,
   kSitesExpired,
+  /// Approximate index tier (ApproxIndex): candidates the projected-grid
+  /// window gathered, of which every one is re-verified exactly —
+  /// accepted as true ε-neighbors or pruned. Invariant:
+  /// generated == verified + pruned.
+  kApproxCandidatesGenerated,
+  kApproxCandidatesVerified,
+  kApproxCandidatesPruned,
 };
-inline constexpr int kNumCounters = 26;
+inline constexpr int kNumCounters = 29;
 
 /// Stable snake_case name for tables, JSON, and tests.
 std::string_view CounterName(Counter counter);

@@ -212,10 +212,19 @@ void JobManager::RunJob(Job* job) {
     config.topology.fanout = limits_.force_tree_fanout;
   }
   if (request.options.auto_params) {
-    const DbscanParams estimate = EstimateDbscanParams(
+    const ParamEstimate estimate = EstimateDbscanParamsChecked(
         request.data, *metric, request.options.auto_params_k);
-    config.local_dbscan.eps = estimate.eps;
-    config.local_dbscan.min_pts = estimate.min_pts;
+    if (!estimate.ok()) {
+      // A named failure beats the {0, 0} params Validate() would reject
+      // below with a message blaming the wrong field.
+      outcome.state = JobState::kFailed;
+      outcome.field = "options.auto_params";
+      outcome.message = std::string(
+          ParamEstimationStatusMessage(estimate.status));
+      return;
+    }
+    config.local_dbscan.eps = estimate.params.eps;
+    config.local_dbscan.min_pts = estimate.params.min_pts;
   }
   config.num_threads = ClampThreads(config.num_threads,
                                     limits_.max_threads_per_job);

@@ -83,12 +83,17 @@ void PutConfig(std::vector<std::uint8_t>* out, const DbdcConfig& config) {
   PutRaw(out, static_cast<std::uint8_t>(config.topology.kind));
   PutRaw(out, static_cast<std::int32_t>(config.topology.fanout));
   PutRaw(out, config.topology.aggregator_condense_eps);
+  PutRaw(out, static_cast<std::int32_t>(config.approx.num_projections));
+  PutRaw(out, config.approx.cell_width_factor);
+  PutRaw(out, config.approx.window_scale);
+  PutRaw(out, config.approx.seed);
 }
 
 bool GetConfig(std::span<const std::uint8_t> bytes, std::size_t* pos,
                DbdcConfig* config, bool* malformed) {
   std::int32_t min_pts = 0, threads = 0, num_sites = 0, max_iterations = 0,
-               num_threads = 0, max_attempts = 0, fanout = 0;
+               num_threads = 0, max_attempts = 0, fanout = 0,
+               approx_projections = 0;
   std::uint8_t model_type = 0, index_type = 0, parallel_sites = 0,
                protocol_enabled = 0, topology_kind = 0;
   if (!GetRaw(bytes, pos, &config->local_dbscan.eps) ||
@@ -112,14 +117,18 @@ bool GetConfig(std::span<const std::uint8_t> bytes, std::size_t* pos,
       !GetRaw(bytes, pos, &config->protocol.link.latency_sec) ||
       !GetRaw(bytes, pos, &config->optics.max_eps_global) ||
       !GetRaw(bytes, pos, &topology_kind) || !GetRaw(bytes, pos, &fanout) ||
-      !GetRaw(bytes, pos, &config->topology.aggregator_condense_eps)) {
+      !GetRaw(bytes, pos, &config->topology.aggregator_condense_eps) ||
+      !GetRaw(bytes, pos, &approx_projections) ||
+      !GetRaw(bytes, pos, &config->approx.cell_width_factor) ||
+      !GetRaw(bytes, pos, &config->approx.window_scale) ||
+      !GetRaw(bytes, pos, &config->approx.seed)) {
     return false;
   }
   // kExplicit never travels: the Topology object is a borrowed pointer on
   // the client and has no wire form, so a remote job may only ask for the
   // shapes the server can build itself.
   if (model_type > 1 || parallel_sites > 1 || protocol_enabled > 1 ||
-      index_type > static_cast<std::uint8_t>(IndexType::kVpTree) ||
+      index_type > static_cast<std::uint8_t>(IndexType::kApprox) ||
       topology_kind > static_cast<std::uint8_t>(TopologyKind::kTree)) {
     *malformed = true;
     return false;
@@ -136,6 +145,7 @@ bool GetConfig(std::span<const std::uint8_t> bytes, std::size_t* pos,
   config->protocol.max_attempts = max_attempts;
   config->topology.kind = static_cast<TopologyKind>(topology_kind);
   config->topology.fanout = fanout;
+  config->approx.num_projections = approx_projections;
   config->partitioner = nullptr;        // Never travels.
   config->explicit_topology = nullptr;  // Never travels.
   return true;

@@ -1,0 +1,389 @@
+// ApproxIndex contract suite — the analogue of engine_equivalence_test
+// for the approximate tier (DESIGN.md §14). The load-bearing claims:
+//
+//  1. With the default window_scale = 1.0 the index is EXACT: the
+//     Cauchy–Schwarz window covers every true ε-neighbor, candidates are
+//     re-verified exactly, and the sorted output is bit-identical to
+//     LinearScanIndex — per query, per batch, and through entire DBSCAN
+//     runs — for every metric, thread count, and SIMD tier.
+//  2. With the candidate generator configured exhaustive (cell width so
+//     large every point hashes to one cell) the candidate set is the
+//     whole dataset, so the equivalence cannot depend on projection
+//     luck — this isolates the re-verification path.
+//  3. Candidate accounting reconciles: generated == verified + pruned.
+
+#include "index/approx_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "common/rng.h"
+#include "core/dbdc.h"
+#include "common/simd_kernels.h"
+#include "data/generators.h"
+#include "index/index_factory.h"
+#include "index/linear_scan_index.h"
+#include "obs/metrics.h"
+#include "obs/scope.h"
+#include "test_util.h"
+
+namespace dbdc {
+namespace {
+
+// Every tier this host can actually execute, scalar first.
+std::vector<simd::Tier> SupportedTiers() {
+  std::vector<simd::Tier> tiers = {simd::Tier::kScalar};
+  const int detected = static_cast<int>(simd::DetectedTier());
+  if (detected >= static_cast<int>(simd::Tier::kSse2)) {
+    tiers.push_back(simd::Tier::kSse2);
+  }
+  if (detected >= static_cast<int>(simd::Tier::kAvx2)) {
+    tiers.push_back(simd::Tier::kAvx2);
+  }
+  return tiers;
+}
+
+// Restores CPUID auto-dispatch however a test exits.
+struct TierGuard {
+  TierGuard() = default;
+  ~TierGuard() { simd::ResetForcedTier(); }
+};
+
+// Cell width so large every point lands in projected cell 0 on every
+// axis: the candidate set is the entire dataset in id order, making the
+// index exhaustive regardless of where the projections point.
+ApproxIndexOptions ExhaustiveOptions() {
+  ApproxIndexOptions options;
+  options.cell_width_factor = 1e18;
+  return options;
+}
+
+// A mixed workload: three 3-d blobs plus uniform background, queried at
+// several radii including ones far from the eps_hint the cells were
+// sized for.
+Dataset MixedDataset(std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data(3);
+  std::vector<ClusterId> unused;
+  AppendBlob({{0.0, 0.0, 0.0}, 0.5, 150}, 0, &rng, &data, &unused);
+  AppendBlob({{10.0, 0.0, 5.0}, 0.5, 150}, 1, &rng, &data, &unused);
+  AppendBlob({{5.0, 9.0, 2.0}, 0.8, 150}, 2, &rng, &data, &unused);
+  AppendUniformNoise(50, -2.0, 12.0, &rng, &data, &unused);
+  return data;
+}
+
+class ApproxExactnessTest : public ::testing::TestWithParam<const Metric*> {
+ protected:
+  const Metric& metric() const { return *GetParam(); }
+};
+
+// Claim 1 at the single-query level: default options, every supported
+// SIMD tier, query radii above and below the hint, query points on and
+// off the data — raw output vectors (content AND order) must equal the
+// linear scan's.
+TEST_P(ApproxExactnessTest, RangeQueryBitIdenticalToLinearScan) {
+  const Dataset data = MixedDataset(91);
+  const LinearScanIndex truth(data, metric());
+  const ApproxIndex index(data, metric(), /*eps_hint=*/1.0);
+  TierGuard guard;
+  std::vector<PointId> got, want;
+  for (const simd::Tier tier : SupportedTiers()) {
+    ASSERT_TRUE(simd::ForceTier(tier));
+    Rng rng(7);
+    for (int trial = 0; trial < 40; ++trial) {
+      const Point q{rng.Uniform(-2.0, 12.0), rng.Uniform(-2.0, 12.0),
+                    rng.Uniform(-1.0, 6.0)};
+      for (const double eps : {0.3, 1.0, 4.0}) {
+        truth.RangeQuery(q, eps, &want);
+        index.RangeQuery(q, eps, &got);
+        EXPECT_EQ(got, want) << simd::TierName(tier) << " eps=" << eps;
+      }
+    }
+    // Indexed-point queries (the DBSCAN access pattern).
+    for (PointId q = 0; q < static_cast<PointId>(data.size()); q += 13) {
+      truth.RangeQuery(q, 1.2, &want);
+      index.RangeQuery(q, 1.2, &got);
+      EXPECT_EQ(got, want) << simd::TierName(tier) << " id=" << q;
+    }
+  }
+}
+
+// Claim 2: the exhaustive configuration isolates re-verification — the
+// candidate set is all of the data, so any mismatch would be a
+// verification bug, not a recall gap.
+TEST_P(ApproxExactnessTest, ExhaustiveConfigurationMatchesLinearScan) {
+  const Dataset data = MixedDataset(92);
+  const LinearScanIndex truth(data, metric());
+  const ApproxIndex index(data, metric(), 1.0, ExhaustiveOptions());
+  std::vector<PointId> got, want;
+  Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Point q{rng.Uniform(-2.0, 12.0), rng.Uniform(-2.0, 12.0),
+                  rng.Uniform(-1.0, 6.0)};
+    truth.RangeQuery(q, 1.5, &want);
+    index.RangeQuery(q, 1.5, &got);
+    EXPECT_EQ(got, want);
+  }
+}
+
+// Batched expansion must agree with the per-query path bit-identically,
+// empty-result queries included (their zero counts keep the CSR offsets
+// aligned).
+TEST_P(ApproxExactnessTest, BatchRangeQueryMatchesPerQueryPath) {
+  Rng rng(9);
+  Dataset data = MixedDataset(93);
+  // An isolated far-away point: its neighborhood at small eps is just
+  // itself; a query elsewhere at tiny eps yields nothing.
+  data.Add(Point{100.0, 100.0, 100.0});
+  const ApproxIndex index(data, metric(), 1.0);
+  std::vector<PointId> queries;
+  for (PointId q = 0; q < static_cast<PointId>(data.size()); q += 7) {
+    queries.push_back(q);
+  }
+  std::vector<PointId> batch_ids, single;
+  std::vector<std::size_t> batch_counts;
+  for (const double eps : {0.05, 0.9, 3.0}) {
+    index.BatchRangeQuery(queries, eps, &batch_ids, &batch_counts);
+    ASSERT_EQ(batch_counts.size(), queries.size());
+    std::size_t offset = 0;
+    for (std::size_t j = 0; j < queries.size(); ++j) {
+      index.RangeQuery(queries[j], eps, &single);
+      ASSERT_EQ(batch_counts[j], single.size()) << "query " << j;
+      for (std::size_t i = 0; i < single.size(); ++i) {
+        EXPECT_EQ(batch_ids[offset + i], single[i]);
+      }
+      offset += batch_counts[j];
+    }
+    EXPECT_EQ(offset, batch_ids.size());
+  }
+}
+
+// k-NN is tie-pinned to (distance, id) ascending like every backend, so
+// raw id sequences — not just distances — must match the linear scan.
+TEST_P(ApproxExactnessTest, KnnQueryBitIdenticalToLinearScan) {
+  const Dataset data = MixedDataset(94);
+  const LinearScanIndex truth(data, metric());
+  const ApproxIndex index(data, metric(), 1.0);
+  std::vector<PointId> got, want;
+  Rng rng(10);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Point q{rng.Uniform(-2.0, 12.0), rng.Uniform(-2.0, 12.0),
+                  rng.Uniform(-1.0, 6.0)};
+    for (const int k : {1, 4, 23, 600}) {
+      truth.KnnQuery(q, k, &want);
+      index.KnnQuery(q, k, &got);
+      EXPECT_EQ(got, want) << "k=" << k;
+    }
+  }
+}
+
+// Claim 1 end-to-end: whole DBSCAN runs (sequential and parallel, every
+// SIMD tier) produce bit-identical labels/core flags on the approximate
+// index. Uses the suggested parameters of a moderate-dimension blob
+// dataset — the workload the index exists for, scaled down.
+TEST_P(ApproxExactnessTest, DbscanLabelsBitIdenticalAcrossThreadsAndTiers) {
+  const SyntheticDataset synth = MakeHighDimBlobs(900, 6, 4, 0.05, 95);
+  const DbscanParams params = synth.suggested_params;
+  const LinearScanIndex truth_index(synth.data, metric());
+  const Clustering want = RunDbscan(truth_index, params);
+  const ApproxIndex index(synth.data, metric(), params.eps);
+  TierGuard guard;
+  for (const simd::Tier tier : SupportedTiers()) {
+    ASSERT_TRUE(simd::ForceTier(tier));
+    for (const int threads : {1, 4}) {
+      DbscanParams p = params;
+      p.threads = threads;
+      const Clustering got = RunDbscan(index, p);
+      EXPECT_EQ(got.labels, want.labels)
+          << simd::TierName(tier) << " threads=" << threads;
+      EXPECT_EQ(got.is_core, want.is_core)
+          << simd::TierName(tier) << " threads=" << threads;
+      EXPECT_EQ(got.num_clusters, want.num_clusters);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, ApproxExactnessTest,
+                         ::testing::Values(&Euclidean(), &Manhattan(),
+                                           &Chebyshev()),
+                         [](const auto& info) {
+                           return std::string(info.param->name());
+                         });
+
+// Claim 3: the obs accounting a --metrics run reconciles — every
+// generated candidate is either verified into the result or pruned.
+TEST(ApproxIndexTest, CandidateCountersReconcile) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::ObsScope scope(&registry, &tracer);
+  const Dataset data = MixedDataset(96);
+  const ApproxIndex index(data, Euclidean(), 1.0);
+  std::vector<PointId> out;
+  std::vector<PointId> queries;
+  for (PointId q = 0; q < 60; ++q) queries.push_back(q);
+  std::vector<PointId> batch_ids;
+  std::vector<std::size_t> batch_counts;
+  index.RangeQuery(queries[0], 1.0, &out);
+  index.BatchRangeQuery(queries, 1.0, &batch_ids, &batch_counts);
+  const std::uint64_t generated =
+      registry.CounterValue(obs::Counter::kApproxCandidatesGenerated);
+  const std::uint64_t verified =
+      registry.CounterValue(obs::Counter::kApproxCandidatesVerified);
+  const std::uint64_t pruned =
+      registry.CounterValue(obs::Counter::kApproxCandidatesPruned);
+  EXPECT_GT(generated, 0u);
+  EXPECT_GT(verified, 0u);
+  EXPECT_EQ(generated, verified + pruned);
+  // The projections must actually prune on this workload: three separated
+  // blobs mean most of the dataset never becomes a candidate.
+  EXPECT_LT(generated, (queries.size() + 1) * data.size());
+}
+
+// Different seeds move the projection directions, never the answers
+// (full recall + exact verification); the same seed reproduces the
+// candidate accounting exactly.
+TEST(ApproxIndexTest, SeedChangesCandidatesButNeverAnswers) {
+  const Dataset data = MixedDataset(97);
+  ApproxIndexOptions a, b;
+  b.seed = 0xfeedULL;
+  const ApproxIndex first(data, Euclidean(), 1.0, a);
+  const ApproxIndex second(data, Euclidean(), 1.0, b);
+  const ApproxIndex repeat(data, Euclidean(), 1.0, a);
+  std::vector<PointId> out_first, out_second, out_repeat;
+  for (PointId q = 0; q < static_cast<PointId>(data.size()); q += 11) {
+    first.RangeQuery(q, 1.3, &out_first);
+    second.RangeQuery(q, 1.3, &out_second);
+    repeat.RangeQuery(q, 1.3, &out_repeat);
+    EXPECT_EQ(out_first, out_second) << "id=" << q;
+    EXPECT_EQ(out_first, out_repeat) << "id=" << q;
+  }
+}
+
+// More projections tighten the candidate set (each axis is another
+// necessary condition), never the answers.
+TEST(ApproxIndexTest, MoreProjectionsOnlyPrune) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::ObsScope scope(&registry, &tracer);
+  const Dataset data = MixedDataset(98);
+  std::vector<PointId> queries;
+  for (PointId q = 0; q < 80; ++q) queries.push_back(q);
+  std::vector<PointId> ids_few, ids_many;
+  std::vector<std::size_t> counts_few, counts_many;
+  std::uint64_t generated_few = 0;
+  {
+    ApproxIndexOptions options;
+    options.num_projections = 1;
+    const ApproxIndex index(data, Euclidean(), 1.0, options);
+    index.BatchRangeQuery(queries, 1.0, &ids_few, &counts_few);
+    generated_few =
+        registry.CounterValue(obs::Counter::kApproxCandidatesGenerated);
+  }
+  {
+    ApproxIndexOptions options;
+    options.num_projections = 8;
+    const ApproxIndex index(data, Euclidean(), 1.0, options);
+    index.BatchRangeQuery(queries, 1.0, &ids_many, &counts_many);
+  }
+  const std::uint64_t generated_many =
+      registry.CounterValue(obs::Counter::kApproxCandidatesGenerated) -
+      generated_few;
+  EXPECT_EQ(ids_few, ids_many);
+  EXPECT_EQ(counts_few, counts_many);
+  EXPECT_LE(generated_many, generated_few);
+}
+
+// Degenerate shapes: all-duplicate data (every point one cell), a
+// single point, and queries far outside the indexed region (the
+// occupied-cell fallback path).
+TEST(ApproxIndexTest, DegenerateDatasets) {
+  Dataset dupes(2);
+  for (int i = 0; i < 64; ++i) dupes.Add(Point{3.0, 4.0});
+  const ApproxIndex dupe_index(dupes, Euclidean(), 0.5);
+  std::vector<PointId> out;
+  dupe_index.RangeQuery(Point{3.0, 4.0}, 0.0, &out);
+  EXPECT_EQ(out.size(), 64u);
+  dupe_index.KnnQuery(Point{0.0, 0.0}, 10, &out);
+  ASSERT_EQ(out.size(), 10u);
+  for (PointId i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);  // Tie-pinned.
+
+  Dataset single(2);
+  single.Add(Point{1.0, 1.0});
+  const ApproxIndex single_index(single, Euclidean(), 1.0);
+  single_index.RangeQuery(Point{1.0, 1.0}, 0.0, &out);
+  EXPECT_EQ(out, (std::vector<PointId>{0}));
+  // Far query, eps tiny relative to the distance: window spans an
+  // astronomical cell box, which must fall back to the occupied-cell
+  // scan instead of iterating it.
+  single_index.RangeQuery(Point{1e7, -1e7}, 0.01, &out);
+  EXPECT_TRUE(out.empty());
+  single_index.KnnQuery(Point{1e7, -1e7}, 3, &out);
+  EXPECT_EQ(out, (std::vector<PointId>{0}));
+}
+
+// Dynamic updates mirror LinearScanIndex through interleaved
+// insert/erase/query traffic (the incremental-DBSCAN substrate).
+TEST(ApproxIndexTest, InsertEraseMatchesLinearTruth) {
+  Rng rng(99);
+  const Dataset data = RandomDataset(300, 3, 0.0, 10.0, &rng);
+  LinearScanIndex truth(data, Euclidean(), /*index_all=*/false);
+  ApproxIndex index(data, Euclidean(), 1.0, ApproxIndexOptions{},
+                    /*index_all=*/false);
+  ASSERT_TRUE(index.SupportsDynamicUpdates());
+  std::vector<PointId> present, got, want;
+  for (int step = 0; step < 600; ++step) {
+    const bool do_insert =
+        present.empty() ||
+        (present.size() < data.size() && rng.UniformInt(0, 2) != 0);
+    if (do_insert) {
+      PointId id;
+      do {
+        id = static_cast<PointId>(rng.UniformInt(0, data.size() - 1));
+      } while (std::find(present.begin(), present.end(), id) !=
+               present.end());
+      present.push_back(id);
+      index.Insert(id);
+      truth.Insert(id);
+    } else {
+      const std::size_t pos = rng.UniformInt(0, present.size() - 1);
+      const PointId id = present[pos];
+      present.erase(present.begin() + pos);
+      index.Erase(id);
+      truth.Erase(id);
+    }
+    ASSERT_EQ(index.size(), present.size());
+    if (step % 20 == 0) {
+      const Point q{rng.Uniform(0.0, 10.0), rng.Uniform(0.0, 10.0),
+                    rng.Uniform(0.0, 10.0)};
+      truth.RangeQuery(q, 1.5, &want);
+      index.RangeQuery(q, 1.5, &got);
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(got, want) << "step " << step;
+    }
+  }
+}
+
+// Factory + engine plumbing: the options travel from DbdcConfig into
+// the sites, and the full distributed pipeline on the approximate index
+// agrees with the same run on the linear scan.
+TEST(ApproxIndexTest, EngineRunMatchesLinearScanIndex) {
+  const SyntheticDataset synth = MakeHighDimBlobs(1200, 5, 4, 0.05, 101);
+  DbdcConfig config;
+  config.local_dbscan = synth.suggested_params;
+  config.num_sites = 3;
+  config.index_type = IndexType::kApprox;
+  config.approx.num_projections = 3;
+  ASSERT_TRUE(config.Validate().ok);
+  const DbdcResult approx_run = RunDbdc(synth.data, Euclidean(), config);
+  config.index_type = IndexType::kLinearScan;
+  const DbdcResult exact_run = RunDbdc(synth.data, Euclidean(), config);
+  EXPECT_EQ(approx_run.labels, exact_run.labels);
+  EXPECT_EQ(approx_run.num_global_clusters, exact_run.num_global_clusters);
+}
+
+}  // namespace
+}  // namespace dbdc

@@ -77,8 +77,9 @@ DbdcResult ReferenceRunDbdc(const Dataset& data, const Metric& metric,
   }
 
   const SiteConfig site_config{config.local_dbscan, config.model_type,
-                               config.kmeans, config.index_type,
-                               config.condense_eps, config.num_threads};
+                               config.kmeans,       config.index_type,
+                               config.condense_eps, config.num_threads,
+                               nullptr,             config.approx};
   DbdcResult result;
   result.site_sizes.reserve(sites.size());
   if (config.parallel_sites) {

@@ -3,8 +3,11 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "data/generators.h"
 #include "eval/external_indices.h"
 #include "eval/quality.h"
+#include "index/m_tree.h"
+#include "index/vp_tree.h"
 
 namespace dbdc {
 namespace {
@@ -63,6 +66,80 @@ TEST(ExternalIndicesTest, NmiZeroForConstantVersusBalanced) {
   const Labels constant = {0, 0, 0, 0};
   const Labels split = {0, 0, 1, 1};
   EXPECT_NEAR(NormalizedMutualInformation(constant, split), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// External *spatial* indices: the M-tree and VP-tree are the two
+// backends PR 7's SIMD batching sweep did not touch, so they answer
+// BatchRangeQuery through the NeighborIndex default fallback. The audit
+// this PR ships: the CSR output must match the per-query RangeQuery path
+// bit-identically — same ids, same per-query order, zero-count rows for
+// empty-result queries keeping the offsets aligned — because the DBSCAN
+// sweeps resolve their seed queues through the batched entry point and
+// any drift would change labels between the paths.
+
+template <typename IndexT>
+void ExpectBatchMatchesPerQuery(const IndexT& index, const Dataset& data,
+                                double eps) {
+  std::vector<PointId> queries;
+  for (PointId q = 0; q < static_cast<PointId>(data.size()); q += 3) {
+    queries.push_back(q);
+  }
+  std::vector<PointId> batch_ids, single;
+  std::vector<std::size_t> batch_counts;
+  index.BatchRangeQuery(queries, eps, &batch_ids, &batch_counts);
+  ASSERT_EQ(batch_counts.size(), queries.size());
+  std::size_t offset = 0;
+  for (std::size_t j = 0; j < queries.size(); ++j) {
+    index.RangeQuery(queries[j], eps, &single);
+    ASSERT_EQ(batch_counts[j], single.size()) << "query " << j;
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      ASSERT_EQ(batch_ids[offset + i], single[i])
+          << "query " << j << " position " << i;
+    }
+    offset += batch_counts[j];
+  }
+  EXPECT_EQ(offset, batch_ids.size());
+}
+
+template <typename IndexT>
+void RunBatchFallbackAudit() {
+  Rng rng(77);
+  Dataset data(2);
+  std::vector<ClusterId> unused;
+  AppendBlob({{5.0, 5.0}, 0.4, 120}, 0, &rng, &data, &unused);
+  AppendBlob({{15.0, 5.0}, 0.4, 120}, 1, &rng, &data, &unused);
+  // Isolated far-away points. These backends are static and index every
+  // point, so an indexed-point query always contains at least itself — a
+  // zero-count CSR row is impossible by construction; the minimal row is
+  // the singleton these points produce at small eps, and that is what
+  // must keep the offsets aligned.
+  data.Add(Point{500.0, 500.0});
+  data.Add(Point{-500.0, 500.0});
+  const IndexT index(data, Euclidean());
+  for (const double eps : {0.05, 0.8, 30.0}) {
+    ExpectBatchMatchesPerQuery(index, data, eps);
+  }
+  // Empty-result behavior lives on the span path (a query point outside
+  // the indexed region): the output must be cleared, never left stale.
+  std::vector<PointId> out{1, 2, 3};
+  index.RangeQuery(Point{1000.0, -1000.0}, 0.5, &out);
+  EXPECT_TRUE(out.empty());
+  // And an empty batch yields empty, cleared CSR outputs.
+  std::vector<PointId> batch_ids{9};
+  std::vector<std::size_t> batch_counts{9};
+  index.BatchRangeQuery(std::vector<PointId>{}, 1.0, &batch_ids,
+                        &batch_counts);
+  EXPECT_TRUE(batch_ids.empty());
+  EXPECT_TRUE(batch_counts.empty());
+}
+
+TEST(ExternalSpatialIndicesTest, MTreeBatchFallbackMatchesPerQuery) {
+  RunBatchFallbackAudit<MTree>();
+}
+
+TEST(ExternalSpatialIndicesTest, VpTreeBatchFallbackMatchesPerQuery) {
+  RunBatchFallbackAudit<VpTree>();
 }
 
 TEST(ExternalIndicesTest, OrdersClusteringsConsistentlyWithP2) {

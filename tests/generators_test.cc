@@ -123,5 +123,33 @@ TEST(GeneratorsTest, BlobSizesSumToTotal) {
   EXPECT_EQ(s.true_labels.size(), 5000u);
 }
 
+TEST(GeneratorsTest, HighDimBlobsShapeAndCalibration) {
+  const SyntheticDataset s = MakeHighDimBlobs(4000, 12, 8, 0.02, 9);
+  EXPECT_EQ(s.data.size(), 4000u);
+  EXPECT_EQ(s.data.dim(), 12);
+  EXPECT_EQ(s.true_labels.size(), 4000u);
+  EXPECT_EQ(s.num_components, 8);
+  // The χ²-calibrated eps sits well above the naive "2σ" (which holds
+  // almost no neighbors at dim 12) and well below the blob diameter.
+  EXPECT_GT(s.suggested_params.eps, 2.0);
+  EXPECT_LT(s.suggested_params.eps, 6.0);
+  // The suggested parameters must actually recover the generated blobs:
+  // every blob one cluster, the far-flung uniform noise mostly noise.
+  const Clustering result =
+      RunDbscan(*CreateIndex(IndexType::kKdTree, s.data, Euclidean(),
+                             s.suggested_params.eps),
+                s.suggested_params);
+  EXPECT_EQ(result.num_clusters, 8);
+  std::size_t noise_points = 0;
+  std::size_t noise_labeled_noise = 0;
+  for (std::size_t i = 0; i < s.true_labels.size(); ++i) {
+    if (s.true_labels[i] != kNoise) continue;
+    ++noise_points;
+    if (result.labels[i] == kNoise) ++noise_labeled_noise;
+  }
+  ASSERT_GT(noise_points, 0u);
+  EXPECT_GE(noise_labeled_noise * 10, noise_points * 9);
+}
+
 }  // namespace
 }  // namespace dbdc

@@ -7,6 +7,7 @@
 #include <tuple>
 #include <vector>
 
+#include "index/approx_index.h"
 #include "index/grid_index.h"
 #include "index/index_factory.h"
 #include "index/kd_tree_index.h"
@@ -151,7 +152,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          IndexType::kRStarTree,
                                          IndexType::kRStarTreeBulk,
                                          IndexType::kMTree,
-                                         IndexType::kVpTree),
+                                         IndexType::kVpTree,
+                                         IndexType::kApprox),
                        ::testing::Values(&Euclidean(), &Manhattan(),
                                          &Chebyshev())),
     IndexCaseName);
@@ -176,6 +178,10 @@ TEST_P(DynamicIndexTest, InsertEraseMatchesLinearTruth) {
       break;
     case IndexType::kRStarTree:
       dynamic = std::make_unique<RStarTree>(data, Euclidean(), false);
+      break;
+    case IndexType::kApprox:
+      dynamic = std::make_unique<ApproxIndex>(data, Euclidean(), 0.8,
+                                              ApproxIndexOptions{}, false);
       break;
     default:
       FAIL() << "not a dynamic index";
@@ -216,7 +222,8 @@ TEST_P(DynamicIndexTest, InsertEraseMatchesLinearTruth) {
 INSTANTIATE_TEST_SUITE_P(DynamicIndexes, DynamicIndexTest,
                          ::testing::Values(IndexType::kLinearScan,
                                            IndexType::kGrid,
-                                           IndexType::kRStarTree),
+                                           IndexType::kRStarTree,
+                                           IndexType::kApprox),
                          [](const auto& info) {
                            return std::string(IndexTypeName(info.param));
                          });
@@ -418,7 +425,7 @@ TEST(GridIndexTest, QueryRadiusLargerThanCellWidth) {
 TEST(IndexFactoryTest, ParseAndNameRoundTrip) {
   for (const IndexType type :
        {IndexType::kLinearScan, IndexType::kGrid, IndexType::kKdTree,
-        IndexType::kRStarTree, IndexType::kMTree}) {
+        IndexType::kRStarTree, IndexType::kMTree, IndexType::kApprox}) {
     IndexType parsed;
     ASSERT_TRUE(ParseIndexType(IndexTypeName(type), &parsed));
     EXPECT_EQ(parsed, type);

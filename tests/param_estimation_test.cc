@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
+#include <vector>
 
 #include "cluster/param_estimation.h"
 #include "core/dbdc.h"
@@ -133,6 +135,95 @@ TEST(EstimateDbscanParamsTest, TooFewPointsReturnsInvalidParams) {
   DbdcConfig config;
   config.local_dbscan = params;
   EXPECT_FALSE(config.Validate().ok);
+  const ParamEstimate estimate =
+      EstimateDbscanParamsChecked(data, Euclidean(), 4);
+  EXPECT_FALSE(estimate.ok());
+  EXPECT_EQ(estimate.status, ParamEstimationStatus::kTooFewPoints);
+}
+
+// The regression this PR fixes: on an all-duplicates dataset every k-th
+// neighbor distance is exactly 0, so the averaged eps is 0 — never a
+// legal DBSCAN radius. The checked API must name the degeneracy instead
+// of handing the caller garbage params, and the legacy wrapper must
+// return the (invalid, rejected-by-Validate) zero params rather than
+// NaN or a stale average.
+TEST(EstimateDbscanParamsTest, AllDuplicatesReportsDegenerateDistances) {
+  Dataset data(2);
+  for (int i = 0; i < 50; ++i) data.Add(Point{7.0, -3.0});
+  const ParamEstimate estimate =
+      EstimateDbscanParamsChecked(data, Euclidean(), 4);
+  EXPECT_FALSE(estimate.ok());
+  EXPECT_EQ(estimate.status, ParamEstimationStatus::kDegenerateDistances);
+  EXPECT_DOUBLE_EQ(estimate.params.eps, 0.0);
+  EXPECT_EQ(estimate.params.min_pts, 0);
+  const DbscanParams params = EstimateDbscanParams(data, Euclidean(), 4);
+  EXPECT_DOUBLE_EQ(params.eps, 0.0);
+  EXPECT_EQ(params.min_pts, 0);
+  DbdcConfig config;
+  config.local_dbscan = params;
+  EXPECT_FALSE(config.Validate().ok);
+  // Every failure status renders a non-empty human-readable message (the
+  // CLI and job manager surface it verbatim).
+  EXPECT_FALSE(
+      std::string(ParamEstimationStatusMessage(estimate.status)).empty());
+  EXPECT_FALSE(std::string(ParamEstimationStatusMessage(
+                               ParamEstimationStatus::kTooFewPoints))
+                   .empty());
+}
+
+TEST(EstimateDbscanParamsTest, OkStatusOnHealthyData) {
+  const SyntheticDataset synth = MakeTestDatasetC(8);
+  const ParamEstimate estimate =
+      EstimateDbscanParamsChecked(synth.data, Euclidean(), 4);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate.status, ParamEstimationStatus::kOk);
+  EXPECT_GT(estimate.params.eps, 0.0);
+  EXPECT_EQ(estimate.params.min_pts, 5);
+  // The wrapper agrees with the checked API on success.
+  const DbscanParams params = EstimateDbscanParams(synth.data, Euclidean(), 4);
+  EXPECT_EQ(params.eps, estimate.params.eps);
+  EXPECT_EQ(params.min_pts, estimate.params.min_pts);
+}
+
+// The tie-pinning bugfix: on a dataset with equidistant neighbors every
+// index backend must return the same (distance, id)-ascending k-NN ids,
+// which makes the k-dist sample — and therefore the estimated eps —
+// index-invariant.
+TEST(EstimateDbscanParamsTest, IndexInvariantOnEquidistantNeighbors) {
+  // A grid of unit-spaced points: each interior point has 4 neighbors at
+  // distance exactly 1, 4 at sqrt(2), 4 at 2, ... — ties everywhere.
+  Dataset data(2);
+  for (int x = 0; x < 12; ++x) {
+    for (int y = 0; y < 12; ++y) {
+      data.Add(Point{static_cast<double>(x), static_cast<double>(y)});
+    }
+  }
+  const std::vector<IndexType> kAllIndexTypes = {
+      IndexType::kLinearScan, IndexType::kGrid,
+      IndexType::kKdTree,     IndexType::kRStarTree,
+      IndexType::kRStarTreeBulk, IndexType::kMTree,
+      IndexType::kVpTree,     IndexType::kApprox};
+  const auto truth = CreateIndex(IndexType::kLinearScan, data, Euclidean(),
+                                 1.0);
+  std::vector<PointId> want, got;
+  for (const IndexType type : kAllIndexTypes) {
+    const auto index = CreateIndex(type, data, Euclidean(), 1.0);
+    for (PointId q = 0; q < static_cast<PointId>(data.size()); q += 5) {
+      for (const int k : {3, 6, 13}) {
+        truth->KnnQuery(data.point(q), k, &want);
+        index->KnnQuery(data.point(q), k, &got);
+        // Exact id sequences, not just distances: the tie-pin contract.
+        EXPECT_EQ(got, want)
+            << IndexTypeName(type) << " q=" << q << " k=" << k;
+      }
+    }
+    // And the derived estimate is identical across backends.
+    const std::vector<double> kdist = SortedKDistances(*index, 4);
+    const std::vector<double> kdist_truth = SortedKDistances(*truth, 4);
+    EXPECT_EQ(kdist, kdist_truth) << IndexTypeName(type);
+  }
+  const DbscanParams params = EstimateDbscanParams(data, Euclidean(), 4);
+  EXPECT_GT(params.eps, 0.0);
 }
 
 }  // namespace

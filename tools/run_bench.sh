@@ -2,13 +2,13 @@
 # Builds (if needed) and runs the machine-readable benchmarks, writing the
 # perf baseline to BENCH_parallel.json, the fault-tolerance sweep to
 # BENCH_fault.json, the continuous-mode economics to BENCH_continuous.json,
-# and the aggregation-topology scaling numbers to BENCH_topology.json at
-# the repo root.
+# the aggregation-topology scaling numbers to BENCH_topology.json, and the
+# approximate-index crossover sweep to BENCH_approx.json at the repo root.
 #
 # Usage:
 #   tools/run_bench.sh [--quick] [--out FILE] [--fault-out FILE] \
 #                      [--continuous-out FILE] [--topology-out FILE] \
-#                      [BUILD_DIR]
+#                      [--approx-out FILE] [BUILD_DIR]
 #
 #   --quick     Shrunk datasets + sweeps; for CI smoke runs.
 #   --out FILE  Parallel-bench output (default: BENCH_parallel.json).
@@ -17,6 +17,7 @@
 #               (default: BENCH_continuous.json).
 #   --topology-out FILE  Topology-bench output
 #               (default: BENCH_topology.json).
+#   --approx-out FILE  Approx-bench output (default: BENCH_approx.json).
 #   BUILD_DIR   Existing build tree to use (default: build-release/ via the
 #               `release` preset, falling back to build/ when it already
 #               contains the benchmark targets).
@@ -34,6 +35,7 @@ out_file="$repo_root/BENCH_parallel.json"
 fault_out_file="$repo_root/BENCH_fault.json"
 continuous_out_file="$repo_root/BENCH_continuous.json"
 topology_out_file="$repo_root/BENCH_topology.json"
+approx_out_file="$repo_root/BENCH_approx.json"
 build_dir=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -42,7 +44,8 @@ while [[ $# -gt 0 ]]; do
     --fault-out) fault_out_file="$2"; shift 2 ;;
     --continuous-out) continuous_out_file="$2"; shift 2 ;;
     --topology-out) topology_out_file="$2"; shift 2 ;;
-    -h|--help) sed -n '2,26p' "$0"; exit 0 ;;
+    --approx-out) approx_out_file="$2"; shift 2 ;;
+    -h|--help) sed -n '2,28p' "$0"; exit 0 ;;
     *) build_dir="$1"; shift ;;
   esac
 done
@@ -82,7 +85,7 @@ if [[ -z "$build_dir" ]]; then
 fi
 cmake --build "$build_dir" \
       --target bench_parallel_scaling bench_fault_tolerance \
-               bench_continuous bench_topology \
+               bench_continuous bench_topology bench_approx \
       -j "$(nproc 2>/dev/null || echo 4)" >/dev/null || exit 1
 
 echo "run_bench.sh: running $build_dir/$bench_rel $quick_flag" \
@@ -336,4 +339,90 @@ else
     fi
   done
   echo "run_bench.sh: topology key check OK." >&2
+fi
+
+# --- Approximate-index crossover ---------------------------------------------
+approx_rel="bench/bench_approx"
+echo "run_bench.sh: running $build_dir/$approx_rel $quick_flag" \
+     "-> $approx_out_file" >&2
+"$build_dir/$approx_rel" $quick_flag --out "$approx_out_file" || exit 1
+
+if [[ ! -s "$approx_out_file" ]]; then
+  echo "run_bench.sh: $approx_out_file missing or empty." >&2
+  exit 1
+fi
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$approx_out_file" <<'PY' || exit 1
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "dbdc-approx-bench-v1", doc.get("schema")
+assert isinstance(doc["quick"], bool)
+assert isinstance(doc["dim"], int) and doc["dim"] >= 2
+rows = doc["results"]
+assert isinstance(rows, list) and rows
+by_n = {}
+for row in rows:
+    for key in ("n", "num_blobs", "eps", "index", "skipped", "skip_reason",
+                "build_seconds", "batch_seconds", "seconds_per_query",
+                "queries", "neighbors_returned", "recall"):
+        assert key in row, f"approx row missing {key}: {row}"
+    by_n.setdefault(row["n"], {})[row["index"]] = row
+    if row["skipped"]:
+        assert row["skip_reason"] == "exceeded_budget", row
+for n, cell in sorted(by_n.items()):
+    assert "linear" in cell and "approx" in cell, f"n={n}: {sorted(cell)}"
+    assert not cell["linear"]["skipped"], "ground truth must never be skipped"
+    approx = cell["approx"]
+    # The release-smoke criterion: recall >= 0.99 at the default
+    # projection budget (window_scale = 1.0 actually guarantees 1.0).
+    assert not approx["skipped"] and approx["recall"] >= 0.99, approx
+    # Exact indices answering at all must answer exactly.
+    for name, row in cell.items():
+        if name not in ("approx",) and not row["skipped"]:
+            assert row["recall"] == 1.0, f"exact index lost neighbors: {row}"
+    # The crossover criterion: at n >= 10^6 the approximate tier must
+    # beat every exact index still inside the time budget on wall-clock
+    # per query (a skipped index already fell over at a smaller n).
+    if n >= 1000000:
+        for name, row in cell.items():
+            if name == "approx" or row["skipped"]:
+                continue
+            assert approx["seconds_per_query"] < row["seconds_per_query"], \
+                f"approx not fastest at n={n}: {name} " \
+                f"{row['seconds_per_query']} <= {approx['seconds_per_query']}"
+quality = doc["quality"]
+for key in ("n", "eps", "min_pts", "exact_seconds", "approx_seconds",
+            "exact_clusters", "approx_clusters", "p1", "p2"):
+    assert key in quality, f"quality missing {key}"
+# Q_DBDC within 1% of the exact run under both paper criteria.
+assert quality["p1"] >= 0.99 and quality["p2"] >= 0.99, quality
+metrics = doc["metrics"]
+counters = metrics["counters"]
+assert counters.get("approx_candidates_generated", 0) > 0, metrics
+assert counters["approx_candidates_generated"] == \
+    counters.get("approx_candidates_verified", 0) + \
+    counters.get("approx_candidates_pruned", 0), \
+    "approx candidate accounting does not reconcile"
+largest = max(by_n)
+cell = by_n[largest]
+contenders = {name: row["seconds_per_query"] for name, row in cell.items()
+              if name != "approx" and not row["skipped"]}
+best = min(contenders, key=contenders.get)
+ratio = contenders[best] / cell["approx"]["seconds_per_query"]
+print(f"run_bench.sh: approx schema OK ({len(rows)} sweep rows; at "
+      f"n={largest} approx is {ratio:.1f}x faster per query than the best "
+      f"exact index ({best}); quality P1={quality['p1']:.4f} "
+      f"P2={quality['p2']:.4f}).")
+PY
+else
+  for key in '"schema": "dbdc-approx-bench-v1"' '"results"' '"quality"' \
+             '"recall"' '"seconds_per_query"' '"metrics"'; do
+    if ! grep -qF "$key" "$approx_out_file"; then
+      echo "run_bench.sh: $approx_out_file missing expected key $key" >&2
+      exit 1
+    fi
+  done
+  echo "run_bench.sh: approx key check OK." >&2
 fi
